@@ -1,0 +1,66 @@
+// Ablation: the cached cardinality in the SHF pair (B, c). Eq. 4 needs
+// |B1|, |B2| and |B1 AND B2|; caching c at fingerprint time replaces
+// two popcount scans per similarity with two loads. This bench measures
+// the similarity kernel with and without the cache, across SHF sizes.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/fingerprint_store.h"
+#include "util/bench_env.h"
+
+int main() {
+  gf::bench::PrintHeader(
+      "Ablation: cached cardinality vs recomputed popcount",
+      "design choice §2.3: the SHF pair (B, c) caches ||B||_1; without "
+      "it every similarity pays two extra popcount scans (~1.5-3x)");
+
+  const auto bench =
+      gf::bench::LoadBenchDataset(gf::PaperDataset::kMovieLens10M);
+  const auto& d = bench.dataset;
+  gf::Rng rng(3);
+  constexpr std::size_t kSamples = 1u << 18;
+  std::vector<gf::UserId> ua(kSamples), ub(kSamples);
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    ua[i] = static_cast<gf::UserId>(rng.Below(d.NumUsers()));
+    ub[i] = static_cast<gf::UserId>(rng.Below(d.NumUsers()));
+  }
+
+  std::printf("\n%-8s %14s %14s %10s\n", "bits", "cached(ns)",
+              "recomputed(ns)", "overhead");
+  for (std::size_t bits : {256, 1024, 4096}) {
+    gf::FingerprintConfig config;
+    config.num_bits = bits;
+    auto store = gf::FingerprintStore::Build(d, config);
+    if (!store.ok()) return 1;
+    const std::size_t words = store->words_per_shf();
+
+    gf::WallTimer cached;
+    double s1 = 0;
+    for (std::size_t i = 0; i < kSamples; ++i) {
+      s1 += store->EstimateJaccard(ua[i], ub[i]);
+    }
+    const double cached_ns = cached.ElapsedNanos() / kSamples;
+
+    gf::WallTimer recomputed;
+    double s2 = 0;
+    for (std::size_t i = 0; i < kSamples; ++i) {
+      const auto wa = store->WordsOf(ua[i]);
+      const auto wb = store->WordsOf(ub[i]);
+      // The "no cache" variant: recompute both cardinalities.
+      const uint32_t ca = gf::bits::PopCount(wa);
+      const uint32_t cb = gf::bits::PopCount(wb);
+      const uint32_t inter =
+          gf::bits::AndPopCount(wa.data(), wb.data(), words);
+      s2 += gf::JaccardFromCounts(ca, cb, inter);
+    }
+    const double recomputed_ns = recomputed.ElapsedNanos() / kSamples;
+    std::printf("%-8zu %14.2f %14.2f %9.2fx\n", bits, cached_ns,
+                recomputed_ns, recomputed_ns / cached_ns);
+    if (s1 + s2 < -1) std::printf("#");
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation: the item hash behind the SHF. The paper uses Jenkins' hash
+// [28]; any uniform hash should behave identically (the analysis of
+// §2.4 only assumes uniformity). This bench checks that claim: KNN
+// quality and fingerprinting time for Jenkins lookup3, MurmurHash3 and
+// SplitMix64 on the same dataset.
+
+#include <cstdio>
+
+#include "common/timer.h"
+#include "knn/builder.h"
+#include "knn/quality.h"
+#include "util/bench_env.h"
+
+int main() {
+  gf::bench::PrintHeader(
+      "Ablation: SHF item hash (Jenkins vs Murmur3 vs SplitMix64)",
+      "§2.4 assumes only uniformity: quality should be hash-invariant; "
+      "preparation time differs by hash cost");
+
+  const auto bench =
+      gf::bench::LoadBenchDataset(gf::PaperDataset::kMovieLens1M);
+  const auto& d = bench.dataset;
+
+  gf::KnnPipelineConfig config;
+  config.algorithm = gf::KnnAlgorithm::kBruteForce;
+  config.mode = gf::SimilarityMode::kNative;
+  config.greedy.k = 30;
+  auto exact = gf::BuildKnnGraph(d, config);
+  if (!exact.ok()) return 1;
+  const double exact_avg = gf::AverageExactSimilarity(exact->graph, d);
+
+  std::printf("\n%-10s %14s %10s\n", "hash", "prep (ms)", "quality");
+  for (const auto kind :
+       {gf::hash::HashKind::kJenkins, gf::hash::HashKind::kMurmur3,
+        gf::hash::HashKind::kSplitMix, gf::hash::HashKind::kXxHash}) {
+    config.mode = gf::SimilarityMode::kGoldFinger;
+    config.fingerprint.hash = kind;
+    auto r = gf::BuildKnnGraph(d, config);
+    if (!r.ok()) return 1;
+    const double q = gf::GraphQuality(
+        gf::AverageExactSimilarity(r->graph, d), exact_avg);
+    std::printf("%-10s %14.2f %10.4f\n",
+                std::string(gf::hash::HashKindName(kind)).c_str(),
+                r->preparation_seconds * 1e3, q);
+    std::fflush(stdout);
+  }
+  return 0;
+}

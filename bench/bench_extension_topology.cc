@@ -1,0 +1,62 @@
+// Extension bench: what fingerprinting does to the KNN graph's
+// STRUCTURE. §5.2 explains Hyrec/NNDescent's sensitivity to the
+// "similarity topology of the dataset"; this bench quantifies the
+// topology of the produced graphs — edge reciprocity, in-degree
+// concentration (Gini), weak components — for the exact graph vs
+// GoldFinger graphs at several SHF sizes, plus the per-user quality
+// spread (the global Eq. 3 average can hide collapsed neighborhoods).
+
+#include <cstdio>
+
+#include "knn/builder.h"
+#include "knn/graph_metrics.h"
+#include "knn/quality.h"
+#include "util/bench_env.h"
+
+int main() {
+  gf::bench::PrintHeader(
+      "Extension: graph topology under fingerprinting (ml10M)",
+      "reciprocity / in-degree Gini / components of GolFi graphs vs "
+      "exact, plus per-user quality quantiles");
+
+  const auto bench =
+      gf::bench::LoadBenchDataset(gf::PaperDataset::kMovieLens10M);
+  const auto& d = bench.dataset;
+
+  gf::KnnPipelineConfig config;
+  config.algorithm = gf::KnnAlgorithm::kBruteForce;
+  config.mode = gf::SimilarityMode::kNative;
+  config.greedy.k = 30;
+  auto exact = gf::BuildKnnGraph(d, config);
+  if (!exact.ok()) return 1;
+
+  const auto report = [&](const char* label, const gf::KnnGraph& g) {
+    const auto components = gf::ConnectedComponents(g);
+    const auto quality = gf::ComputePerUserQuality(g, exact->graph, d);
+    std::printf(
+        "%-12s %12.3f %8.3f %12zu %10zu | %8.3f %8.3f %8.3f %8.3f\n",
+        label, gf::EdgeReciprocity(g), gf::InDegreeGini(g),
+        components.num_components, components.largest, quality.mean,
+        quality.p50, quality.p10, quality.min);
+  };
+
+  std::printf("\n%-12s %12s %8s %12s %10s | %8s %8s %8s %8s\n", "graph",
+              "reciprocity", "gini", "components", "largest", "q.mean",
+              "q.p50", "q.p10", "q.min");
+  report("exact", exact->graph);
+  for (std::size_t bits : {256, 1024, 4096}) {
+    config.mode = gf::SimilarityMode::kGoldFinger;
+    config.fingerprint.num_bits = bits;
+    auto golfi = gf::BuildKnnGraph(d, config);
+    if (!golfi.ok()) return 1;
+    char label[32];
+    std::snprintf(label, sizeof(label), "GolFi-%zu", bits);
+    report(label, golfi->graph);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\n(expected: fingerprinting leaves the giant component intact and "
+      "shifts reciprocity/Gini only mildly; the per-user p10 shows how "
+      "deep the quality loss reaches beyond the mean)\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 9: per-similarity computation time and speedup as a function
+// of the SHF size, on ml10M-shaped profiles. Paper: SHF similarity time
+// grows linearly from ~8 ns (64b) to ~250 ns (8192b) vs ~800 ns for
+// explicit profiles (their Java numbers); the speedup plot is the ratio.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/fingerprint_store.h"
+#include "core/similarity.h"
+#include "util/bench_env.h"
+
+int main() {
+  gf::bench::PrintHeader(
+      "Figure 9: similarity computation time vs SHF size (ml10M profiles)",
+      "paper shape: SHF time linear in b (8ns @64b to 250ns @8192b vs "
+      "800ns explicit); speedup = explicit / SHF");
+
+  // ml10M-shaped profiles at bench scale; the kernel cost depends only
+  // on profile size (~84 items), not user count.
+  const auto bench = gf::bench::LoadBenchDataset(
+      gf::PaperDataset::kMovieLens10M);
+  const auto& d = bench.dataset;
+  const std::size_t n = d.NumUsers();
+
+  gf::Rng rng(7);
+  constexpr std::size_t kSamples = 1u << 18;
+  std::vector<gf::UserId> ua(kSamples), ub(kSamples);
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    ua[i] = static_cast<gf::UserId>(rng.Below(n));
+    ub[i] = static_cast<gf::UserId>(rng.Below(n));
+  }
+
+  gf::WallTimer timer;
+  double sink = 0;
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    sink += gf::ExactJaccard(d.Profile(ua[i]), d.Profile(ub[i]));
+  }
+  const double exact_ns = timer.ElapsedNanos() / kSamples;
+  std::printf("\nexplicit profiles (|Pu|=%.1f): %8.1f ns per similarity\n\n",
+              d.MeanProfileSize(), exact_ns);
+  std::printf("%-10s %14s %10s\n", "SHF bits", "time (ns)", "speedup");
+
+  for (std::size_t bits : {64, 128, 256, 512, 1024, 2048, 4096, 8192}) {
+    gf::FingerprintConfig config;
+    config.num_bits = bits;
+    auto store = gf::FingerprintStore::Build(d, config);
+    gf::WallTimer t2;
+    double s2 = 0;
+    for (std::size_t i = 0; i < kSamples; ++i) {
+      s2 += store->EstimateJaccard(ua[i], ub[i]);
+    }
+    const double shf_ns = t2.ElapsedNanos() / kSamples;
+    std::printf("%-10zu %14.2f %9.1fx\n", bits, shf_ns, exact_ns / shf_ns);
+    sink += s2;
+  }
+  if (sink < -1) std::printf("%f", sink);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 12: effect of SHF compression on Hyrec's convergence (ml10M):
+// iterations to converge and scan rate vs SHF size. Paper: short SHFs
+// (< 1024 bits) need more iterations and a higher scan rate before the
+// δ-termination fires; both converge to the native behaviour as b
+// grows. This is the mechanism behind Figure 10's non-monotone time.
+
+#include <cstdio>
+
+#include "knn/builder.h"
+#include "util/bench_env.h"
+
+int main() {
+  gf::bench::PrintHeader(
+      "Figure 12: Hyrec iterations and scan rate vs SHF size (ml10M)",
+      "paper shape: iterations and scan rate highest at 64 bits, "
+      "decreasing toward the native level as b grows");
+
+  const auto bench =
+      gf::bench::LoadBenchDataset(gf::PaperDataset::kMovieLens10M);
+  const auto& d = bench.dataset;
+
+  gf::KnnPipelineConfig native_config;
+  native_config.algorithm = gf::KnnAlgorithm::kHyrec;
+  native_config.mode = gf::SimilarityMode::kNative;
+  native_config.greedy.k = 30;
+  auto native = gf::BuildKnnGraph(d, native_config);
+  if (!native.ok()) return 1;
+  std::printf("\n# native Hyrec: %zu iterations, scan rate %.3f\n",
+              native->stats.iterations,
+              native->stats.ScanRate(d.NumUsers()));
+
+  std::printf("\n%-8s %12s %12s %16s\n", "bits", "iterations", "scanrate",
+              "updates (last)");
+  for (std::size_t bits : {64, 128, 256, 512, 1024, 2048, 4096, 8192}) {
+    gf::KnnPipelineConfig config = native_config;
+    config.mode = gf::SimilarityMode::kGoldFinger;
+    config.fingerprint.num_bits = bits;
+    auto r = gf::BuildKnnGraph(d, config);
+    if (!r.ok()) return 1;
+    std::printf("%-8zu %12zu %12.3f %16llu\n", bits, r->stats.iterations,
+                r->stats.ScanRate(d.NumUsers()),
+                static_cast<unsigned long long>(
+                    r->stats.updates_per_iteration.empty()
+                        ? 0
+                        : r->stats.updates_per_iteration.back()));
+    std::fflush(stdout);
+  }
+  return 0;
+}

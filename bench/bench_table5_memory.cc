@@ -1,0 +1,71 @@
+// Table 5: memory accesses of the similarity phase, native vs
+// GoldFinger, on ml10M. The paper reports hardware L1 loads/stores from
+// perf; PMU counters are unavailable here, so we report the modelled
+// word-level loads the similarity kernels perform on profile /
+// fingerprint data (see DESIGN.md §5, substitution 2). The paper's
+// shape: GoldFinger reduces accesses by ~70-88% on BF / Hyrec /
+// NNDescent and leaves LSH (bucket-dominated) nearly unchanged.
+
+#include <cstdio>
+
+#include "common/access_counter.h"
+#include "knn/builder.h"
+#include "util/bench_env.h"
+
+int main() {
+  gf::bench::PrintHeader(
+      "Table 5: modelled memory accesses of the similarity phase "
+      "(ml10M), native vs GoldFinger",
+      "paper (L1 loads): BF -86.9%, Hyrec -75.4%, NNDescent -69.4%, "
+      "LSH ~0%; we count word-level loads on profile/fingerprint data");
+
+  const auto bench =
+      gf::bench::LoadBenchDataset(gf::PaperDataset::kMovieLens10M);
+
+  const struct {
+    gf::KnnAlgorithm algo;
+    const char* name;
+    double paper_gain;  // paper's L1-load reduction %
+  } rows[] = {
+      {gf::KnnAlgorithm::kBruteForce, "BruteForce", 86.9},
+      {gf::KnnAlgorithm::kHyrec, "Hyrec", 75.4},
+      {gf::KnnAlgorithm::kNNDescent, "NNDescent", 69.4},
+      {gf::KnnAlgorithm::kLsh, "LSH", -2.0},
+  };
+
+  std::printf("\n%-11s %16s %16s %8s %14s\n", "algo", "native loads",
+              "GolFi loads", "gain%", "paper gain%");
+  for (const auto& row : rows) {
+    gf::KnnPipelineConfig config;
+    config.algorithm = row.algo;
+    config.greedy.k = 30;
+
+    gf::AccessCounter::Instance().Reset();
+    gf::AccessCounter::Enable(true);
+    config.mode = gf::SimilarityMode::kNative;
+    auto native = gf::BuildKnnGraph(bench.dataset, config);
+    const uint64_t native_loads = gf::AccessCounter::Instance().loads();
+
+    gf::AccessCounter::Instance().Reset();
+    config.mode = gf::SimilarityMode::kGoldFinger;
+    auto golfi = gf::BuildKnnGraph(bench.dataset, config);
+    const uint64_t golfi_loads = gf::AccessCounter::Instance().loads();
+    gf::AccessCounter::Enable(false);
+    if (!native.ok() || !golfi.ok()) return 1;
+
+    const double gain =
+        100.0 * (1.0 - static_cast<double>(golfi_loads) /
+                           static_cast<double>(native_loads));
+    std::printf("%-11s %16llu %16llu %8.1f %13.1f%%\n", row.name,
+                static_cast<unsigned long long>(native_loads),
+                static_cast<unsigned long long>(golfi_loads), gain,
+                row.paper_gain);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\n(LSH's similarity phase also shrinks in our model because we "
+      "count only similarity-kernel traffic; the paper's near-zero LSH "
+      "effect comes from bucket-creation accesses, which dominate its "
+      "total L1 traffic.)\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "util/bench_env.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/random.h"
+
+namespace gf::bench {
+
+double DefaultScale(PaperDataset d) {
+  switch (d) {
+    case PaperDataset::kMovieLens1M: return 0.60;   // ~3.6k users
+    case PaperDataset::kMovieLens10M: return 0.06;  // ~4.2k users
+    case PaperDataset::kMovieLens20M: return 0.03;  // ~4.2k users
+    case PaperDataset::kAmazonMovies: return 0.07;  // ~4.0k users
+    case PaperDataset::kDblp: return 0.20;          // ~3.8k users
+    case PaperDataset::kGowalla: return 0.20;       // ~4.1k users
+  }
+  return 0.1;
+}
+
+double ScaleMultiplier() {
+  if (const char* full = std::getenv("GF_BENCH_FULL");
+      full != nullptr && full[0] == '1') {
+    return -1.0;  // sentinel: full scale
+  }
+  if (const char* s = std::getenv("GF_BENCH_SCALE"); s != nullptr) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+std::vector<PaperDataset> SelectedDatasets() {
+  const char* env = std::getenv("GF_DATASETS");
+  if (env == nullptr || env[0] == '\0') return AllPaperDatasets();
+  std::vector<PaperDataset> out;
+  std::string spec(env);
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t next = spec.find(',', pos);
+    if (next == std::string::npos) next = spec.size();
+    const std::string token = spec.substr(pos, next - pos);
+    for (PaperDataset d : AllPaperDatasets()) {
+      if (token == PaperDatasetName(d)) out.push_back(d);
+    }
+    pos = next + 1;
+  }
+  return out.empty() ? AllPaperDatasets() : out;
+}
+
+BenchDataset LoadBenchDataset(PaperDataset d, uint64_t seed) {
+  const double mult = ScaleMultiplier();
+  const double scale = mult < 0 ? 1.0 : DefaultScale(d) * mult;
+  auto dataset = GeneratePaperDataset(d, scale, seed);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "FATAL: generating %s failed: %s\n",
+                 PaperDatasetName(d).c_str(),
+                 dataset.status().ToString().c_str());
+    std::exit(1);
+  }
+  return BenchDataset{d, PaperDatasetName(d), scale,
+                      std::move(dataset).value()};
+}
+
+BenchDataset LoadBenchDatasetFullItems(PaperDataset d, uint64_t seed) {
+  const double mult = ScaleMultiplier();
+  const double scale = mult < 0 ? 1.0 : DefaultScale(d) * mult;
+  SyntheticSpec spec = PaperSpec(d, scale);
+  const SyntheticSpec full = PaperSpec(d, 1.0);
+  spec.num_items = full.num_items;  // restore the full item universe
+  spec.num_communities = full.num_communities;
+  spec.seed = SplitMix64(spec.seed ^ seed);
+  auto dataset = GenerateZipfDataset(spec);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "FATAL: generating %s failed: %s\n",
+                 PaperDatasetName(d).c_str(),
+                 dataset.status().ToString().c_str());
+    std::exit(1);
+  }
+  return BenchDataset{d, PaperDatasetName(d), scale,
+                      std::move(dataset).value()};
+}
+
+std::vector<BenchDataset> LoadBenchDatasetsFullItems(uint64_t seed) {
+  std::vector<BenchDataset> out;
+  for (PaperDataset d : SelectedDatasets()) {
+    out.push_back(LoadBenchDatasetFullItems(d, seed));
+    const auto& b = out.back();
+    std::printf(
+        "# generated %-6s user-scale=%.3f users=%zu items=%zu (full) "
+        "entries=%zu\n",
+        b.name.c_str(), b.scale, b.dataset.NumUsers(),
+        b.dataset.NumItems(), b.dataset.NumEntries());
+  }
+  std::fflush(stdout);
+  return out;
+}
+
+std::vector<BenchDataset> LoadBenchDatasets(uint64_t seed) {
+  std::vector<BenchDataset> out;
+  for (PaperDataset d : SelectedDatasets()) {
+    out.push_back(LoadBenchDataset(d, seed));
+    const auto& b = out.back();
+    std::printf("# generated %-6s scale=%.3f users=%zu items=%zu entries=%zu\n",
+                b.name.c_str(), b.scale, b.dataset.NumUsers(),
+                b.dataset.NumItems(), b.dataset.NumEntries());
+  }
+  std::fflush(stdout);
+  return out;
+}
+
+void PrintHeader(const std::string& experiment, const std::string& summary) {
+  std::printf("\n==================================================================\n");
+  std::printf("== %s\n", experiment.c_str());
+  std::printf("== %s\n", summary.c_str());
+  std::printf("==================================================================\n");
+  std::fflush(stdout);
+}
+
+}  // namespace gf::bench

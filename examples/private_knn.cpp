@@ -1,0 +1,89 @@
+// Privacy-preserving KNN — the paper's §2.5 scenario. Users compute
+// their SHFs locally and ship only the fingerprints to an untrusted
+// KNN-construction service; collisions obfuscate the profiles. This
+// example quantifies the k-anonymity and ℓ-diversity each user actually
+// enjoys (both the theorems' idealized values and the empirical ones
+// of the concrete Jenkins hash) and how the guarantees trade off
+// against KNN quality as b varies.
+//
+// Run:  ./private_knn
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/fingerprint_store.h"
+#include "core/privacy.h"
+#include "dataset/synthetic.h"
+#include "knn/builder.h"
+#include "knn/quality.h"
+
+int main() {
+  // AmazonMovies-shaped: huge item universe, sparse profiles — the
+  // regime where hashing grants the strongest anonymity.
+  auto dataset = gf::GeneratePaperDataset(gf::PaperDataset::kAmazonMovies,
+                                          0.04);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const std::size_t m = dataset->NumItems();
+  std::printf("dataset: %zu users, %zu items (AmazonMovies-shaped)\n\n",
+              dataset->NumUsers(), m);
+
+  // Exact reference graph for the quality column.
+  gf::KnnPipelineConfig config;
+  config.algorithm = gf::KnnAlgorithm::kBruteForce;
+  config.mode = gf::SimilarityMode::kNative;
+  config.greedy.k = 30;
+  auto exact = gf::BuildKnnGraph(*dataset, config);
+  if (!exact.ok()) return 1;
+  const double exact_avg = gf::AverageExactSimilarity(exact->graph, *dataset);
+
+  std::printf("%-8s %18s %14s %16s %10s\n", "bits",
+              "k-anonymity(log2)", "l-diversity", "empirical-l(min)",
+              "quality");
+  for (std::size_t bits : {256, 512, 1024, 2048, 4096}) {
+    gf::FingerprintConfig fp_config;
+    fp_config.num_bits = bits;
+
+    // Theorems 2-3 for the average user.
+    auto store = gf::FingerprintStore::Build(*dataset, fp_config);
+    if (!store.ok()) return 1;
+    double mean_card = 0;
+    for (gf::UserId u = 0; u < store->num_users(); ++u) {
+      mean_card += store->CardinalityOf(u);
+    }
+    mean_card /= static_cast<double>(store->num_users());
+    const auto theory = gf::TheoreticalPrivacy(
+        m, bits, static_cast<uint32_t>(mean_card));
+
+    // Empirical ℓ-diversity of the concrete hash: the weakest bit any
+    // user relies on.
+    auto analysis = gf::PreimageAnalysis::Compute(m, fp_config);
+    if (!analysis.ok()) return 1;
+    double worst_l = 1e300;
+    for (gf::UserId u = 0; u < store->num_users(); ++u) {
+      if (store->CardinalityOf(u) == 0) continue;
+      worst_l = std::min(worst_l,
+                         analysis->For(store->Extract(u)).l_diversity);
+    }
+
+    // Quality of the KNN graph built from these fingerprints.
+    config.mode = gf::SimilarityMode::kGoldFinger;
+    config.fingerprint = fp_config;
+    auto golfi = gf::BuildKnnGraph(*dataset, config);
+    if (!golfi.ok()) return 1;
+    const double q = gf::GraphQuality(
+        gf::AverageExactSimilarity(golfi->graph, *dataset), exact_avg);
+
+    std::printf("%-8zu %18.1f %14.1f %16.0f %10.3f\n", bits,
+                theory.k_anonymity_log2, theory.l_diversity, worst_l, q);
+  }
+  std::printf(
+      "\n(paper: 1024-bit SHFs on the full AmazonMovies give 2^167-"
+      "anonymity and 167-diversity — for free, since the fingerprints "
+      "are what the KNN service needs anyway; shorter SHFs give "
+      "stronger privacy but lower quality)\n");
+  return 0;
+}

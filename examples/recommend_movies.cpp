@@ -1,0 +1,88 @@
+// Item recommendation on a MovieLens-shaped workload — the paper's §4.3
+// case study. Builds native and GoldFinger KNN graphs over a train
+// split, recommends 30 movies per user, and scores recall on the
+// held-out fold: the recall loss from fingerprinting is negligible.
+//
+// Run:  ./recommend_movies [path/to/ratings.dat]
+// With a path, the real MovieLens file is loaded (userId::movieId::
+// rating::timestamp lines); without one a calibrated synthetic
+// stand-in is generated.
+
+#include <cstdio>
+#include <string>
+
+#include "dataset/cross_validation.h"
+#include "dataset/loader.h"
+#include "dataset/synthetic.h"
+#include "knn/builder.h"
+#include "recommender/evaluation.h"
+#include "recommender/recommender.h"
+
+namespace {
+
+gf::Result<gf::Dataset> LoadOrGenerate(int argc, char** argv) {
+  if (argc > 1) {
+    std::printf("loading MovieLens ratings from %s\n", argv[1]);
+    auto raw = gf::LoadMovieLensDat(argv[1]);
+    if (!raw.ok()) return raw.status();
+    return raw->Binarize(3.0);  // keep ratings > 3, the paper's rule
+  }
+  std::printf("no ratings file given; generating an ml1M-shaped dataset\n");
+  return gf::GeneratePaperDataset(gf::PaperDataset::kMovieLens1M, 0.4);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto dataset = LoadOrGenerate(argc, argv);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "load: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("dataset: %zu users, %zu items, %zu positive ratings\n\n",
+              dataset->NumUsers(), dataset->NumItems(),
+              dataset->NumEntries());
+
+  // 5-fold cross validation, as in the paper; one fold here for speed.
+  auto cv = gf::CrossValidation::Create(*dataset, 5, 2026);
+  if (!cv.ok()) return 1;
+  auto split = cv->Fold(0);
+  if (!split.ok()) return 1;
+
+  for (const auto mode :
+       {gf::SimilarityMode::kNative, gf::SimilarityMode::kGoldFinger}) {
+    gf::KnnPipelineConfig config;
+    config.algorithm = gf::KnnAlgorithm::kNNDescent;
+    config.mode = mode;
+    config.greedy.k = 30;
+    auto result = gf::BuildKnnGraph(split->train, config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "knn: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+
+    gf::RecommenderConfig rec_config;
+    rec_config.num_recommendations = 30;
+    auto recs = gf::RecommendAll(result->graph, split->train, rec_config);
+    if (!recs.ok()) return 1;
+    const double recall = gf::RecommendationRecall(*recs, split->test);
+
+    std::printf("%-7s NNDescent: prep %.3fs, build %.3fs, recall@30 = %.4f\n",
+                std::string(gf::SimilarityModeName(mode)).c_str(),
+                result->preparation_seconds, result->stats.seconds, recall);
+
+    // Show user 0's top recommendations.
+    if (!(*recs)[0].empty()) {
+      std::printf("        user 0 gets items:");
+      std::size_t shown = 0;
+      for (const auto& r : (*recs)[0]) {
+        if (shown++ == 8) break;
+        std::printf(" %u(%.2f)", r.item, r.score);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n(the paper's Figure 8: the GolFi and native bars are "
+              "indistinguishable on every dataset)\n");
+  return 0;
+}

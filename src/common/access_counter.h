@@ -1,0 +1,79 @@
+// Algorithmic memory-access accounting.
+//
+// The paper's Table 5 reports hardware L1 load/store counters (perf) for
+// native vs fingerprinted similarity pipelines. PMU counters are not
+// available in this environment, so we substitute an algorithm-level
+// model: the similarity kernels report how many 64-bit words of profile /
+// fingerprint data they read and write. This preserves the quantity the
+// paper's L1 numbers proxy (data traffic of the similarity phase) and in
+// particular the native/GolFi ratio; see DESIGN.md §5.
+
+#ifndef GF_COMMON_ACCESS_COUNTER_H_
+#define GF_COMMON_ACCESS_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace gf {
+
+/// Global tallies of modelled word-sized loads and stores performed on
+/// dataset payloads (profiles, fingerprints, signatures). Thread-safe;
+/// counting is relaxed-atomic and negligible next to the counted work.
+class AccessCounter {
+ public:
+  /// Singleton accessor: there is one account per process, mirroring the
+  /// process-wide view `perf stat` gives.
+  static AccessCounter& Instance() {
+    static AccessCounter counter;
+    return counter;
+  }
+
+  void CountLoads(uint64_t n) { loads_.fetch_add(n, std::memory_order_relaxed); }
+  void CountStores(uint64_t n) {
+    stores_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t loads() const { return loads_.load(std::memory_order_relaxed); }
+  uint64_t stores() const { return stores_.load(std::memory_order_relaxed); }
+
+  void Reset() {
+    loads_.store(0, std::memory_order_relaxed);
+    stores_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Enables/disables counting globally. Disabled by default so the hot
+  /// kernels pay nothing in normal runs.
+  static void Enable(bool on) { enabled_ = on; }
+  static bool enabled() { return enabled_; }
+
+ private:
+  AccessCounter() = default;
+
+  std::atomic<uint64_t> loads_{0};
+  std::atomic<uint64_t> stores_{0};
+  static inline std::atomic<bool> enabled_{false};
+};
+
+/// Convenience snapshot of the two tallies.
+struct AccessSnapshot {
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+};
+
+inline AccessSnapshot TakeAccessSnapshot() {
+  return {AccessCounter::Instance().loads(), AccessCounter::Instance().stores()};
+}
+
+/// Records `n` modelled loads if counting is enabled.
+inline void CountLoads(uint64_t n) {
+  if (AccessCounter::enabled()) AccessCounter::Instance().CountLoads(n);
+}
+
+/// Records `n` modelled stores if counting is enabled.
+inline void CountStores(uint64_t n) {
+  if (AccessCounter::enabled()) AccessCounter::Instance().CountStores(n);
+}
+
+}  // namespace gf
+
+#endif  // GF_COMMON_ACCESS_COUNTER_H_

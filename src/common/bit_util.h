@@ -1,0 +1,81 @@
+// Word-level bit manipulation kernels shared by the fingerprint (SHF) code
+// and the theory module. All bit arrays in the library are arrays of
+// uint64_t words, least-significant bit first within a word.
+
+#ifndef GF_COMMON_BIT_UTIL_H_
+#define GF_COMMON_BIT_UTIL_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace gf::bits {
+
+/// Number of 64-bit words needed to hold `nbits` bits.
+constexpr std::size_t WordsForBits(std::size_t nbits) {
+  return (nbits + 63) / 64;
+}
+
+/// True when `nbits` is a supported fingerprint length: a positive
+/// multiple of 64. (The paper uses powers of two from 64 to 8192; we
+/// accept any multiple of 64 so sweeps are not artificially restricted.)
+constexpr bool IsValidBitLength(std::size_t nbits) {
+  return nbits > 0 && nbits % 64 == 0;
+}
+
+/// Sets bit `pos` in the word array `words`.
+inline void SetBit(uint64_t* words, std::size_t pos) {
+  words[pos >> 6] |= (uint64_t{1} << (pos & 63));
+}
+
+/// Clears bit `pos` in the word array `words`.
+inline void ClearBit(uint64_t* words, std::size_t pos) {
+  words[pos >> 6] &= ~(uint64_t{1} << (pos & 63));
+}
+
+/// Returns bit `pos` of the word array `words`.
+inline bool TestBit(const uint64_t* words, std::size_t pos) {
+  return (words[pos >> 6] >> (pos & 63)) & 1;
+}
+
+/// Population count of a word span.
+inline uint32_t PopCount(std::span<const uint64_t> words) {
+  uint32_t total = 0;
+  for (uint64_t w : words) total += static_cast<uint32_t>(std::popcount(w));
+  return total;
+}
+
+/// popcount(a AND b) over two equal-length word spans. This is the hot
+/// kernel of the whole library: one AND and one popcount per word
+/// (Eq. 4 of the paper needs exactly this plus two cached cardinalities).
+inline uint32_t AndPopCount(const uint64_t* a, const uint64_t* b,
+                            std::size_t n_words) {
+  uint32_t total = 0;
+  for (std::size_t i = 0; i < n_words; ++i) {
+    total += static_cast<uint32_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+/// popcount(a OR b) over two equal-length word spans (û in the paper's
+/// Theorem-1 notation).
+inline uint32_t OrPopCount(const uint64_t* a, const uint64_t* b,
+                           std::size_t n_words) {
+  uint32_t total = 0;
+  for (std::size_t i = 0; i < n_words; ++i) {
+    total += static_cast<uint32_t>(std::popcount(a[i] | b[i]));
+  }
+  return total;
+}
+
+/// Index (0-based) of the `rank`-th set bit of `w` (rank 0 = lowest set
+/// bit). Precondition: popcount(w) > rank.
+inline unsigned SelectBit(uint64_t w, unsigned rank) {
+  for (unsigned i = 0; i < rank; ++i) w &= w - 1;  // clear lowest set bits
+  return static_cast<unsigned>(std::countr_zero(w));
+}
+
+}  // namespace gf::bits
+
+#endif  // GF_COMMON_BIT_UTIL_H_

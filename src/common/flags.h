@@ -1,0 +1,98 @@
+// Minimal command-line flag parsing for the CLI tool and ad-hoc
+// binaries: `--key=value`, `--key value`, bare `--switch`, and
+// positional arguments. No registry, no globals — parse into a map and
+// query with typed accessors.
+
+#ifndef GF_COMMON_FLAGS_H_
+#define GF_COMMON_FLAGS_H_
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gf {
+
+/// Parsed command line.
+class Flags {
+ public:
+  /// Parses argv[1..). A token `--k v` consumes the next token as its
+  /// value unless that token also starts with `--` (then `--k` is a
+  /// boolean switch with value "true"). Fails on duplicate flags.
+  static Result<Flags> Parse(int argc, const char* const* argv);
+
+  /// Positional (non-flag) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  /// String value or `fallback`.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  /// Integer value or `fallback`; returns fallback on parse failure.
+  long GetInt(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    char* end = nullptr;
+    const long v = std::strtol(it->second.c_str(), &end, 10);
+    return (end == nullptr || *end != '\0') ? fallback : v;
+  }
+
+  /// Double value or `fallback`.
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    return (end == nullptr || *end != '\0') ? fallback : v;
+  }
+
+  /// True when the flag is present and not "false"/"0".
+  bool GetBool(const std::string& key, bool fallback = false) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return it->second != "false" && it->second != "0";
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+inline Result<Flags> Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      flags.positional_.push_back(token);
+      continue;
+    }
+    std::string key = token.substr(2);
+    std::string value;
+    const std::size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    } else if (i + 1 < argc &&
+               std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    } else {
+      value = "true";
+    }
+    if (key.empty()) return Status::InvalidArgument("empty flag name");
+    if (!flags.values_.emplace(key, value).second) {
+      return Status::InvalidArgument("duplicate flag --" + key);
+    }
+  }
+  return flags;
+}
+
+}  // namespace gf
+
+#endif  // GF_COMMON_FLAGS_H_

@@ -1,0 +1,70 @@
+// Result<T>: value-or-Status, in the style of absl::StatusOr. Used by
+// factory functions and loaders so that library code never throws.
+
+#ifndef GF_COMMON_RESULT_H_
+#define GF_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace gf {
+
+/// Holds either a T (status OK) or a non-OK Status explaining why the T
+/// could not be produced. Accessing value() on an error result aborts in
+/// debug builds; callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: the success path reads naturally
+  /// (`return MyObject{...};`).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit from a non-OK status: `return Status::InvalidArgument(...)`.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace gf
+
+/// Evaluates a Result<T> expression; on error propagates the Status,
+/// otherwise assigns the value to `lhs` (which must be declared by caller).
+#define GF_ASSIGN_OR_RETURN(lhs, expr)               \
+  do {                                               \
+    auto _gf_result = (expr);                        \
+    if (!_gf_result.ok()) return _gf_result.status(); \
+    lhs = std::move(_gf_result).value();             \
+  } while (false)
+
+#endif  // GF_COMMON_RESULT_H_

@@ -1,0 +1,33 @@
+// Wall-clock stopwatch used by the benchmark harnesses and by the
+// algorithms' self-reported construction statistics.
+
+#ifndef GF_COMMON_TIMER_H_
+#define GF_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace gf {
+
+/// Monotonic stopwatch. Starts at construction; Restart() rewinds.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedNanos() const { return ElapsedSeconds() * 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gf
+
+#endif  // GF_COMMON_TIMER_H_

@@ -1,0 +1,85 @@
+#include "core/blip.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace gf {
+
+double BlipFlipProbability(double epsilon) {
+  return 1.0 / (1.0 + std::exp(epsilon));
+}
+
+Result<BlipStore> BlipStore::Build(const FingerprintStore& store,
+                                   const BlipConfig& config,
+                                   ThreadPool* pool) {
+  if (!(config.epsilon > 0.0) || !std::isfinite(config.epsilon)) {
+    return Status::InvalidArgument(
+        "epsilon must be positive and finite, got " +
+        std::to_string(config.epsilon));
+  }
+
+  BlipStore out(config, store.num_bits(), store.num_users());
+  const double p = out.flip_probability_;
+  const std::size_t words = out.words_per_shf_;
+  const std::size_t tail_bits = store.num_bits() % 64;
+  const uint64_t tail_mask =
+      tail_bits == 0 ? ~uint64_t{0} : ((uint64_t{1} << tail_bits) - 1);
+
+  ParallelFor(pool, store.num_users(), [&](std::size_t begin,
+                                           std::size_t end) {
+    for (std::size_t u = begin; u < end; ++u) {
+      // Per-user deterministic stream so parallel and sequential builds
+      // publish identical noise.
+      Rng rng(SplitMix64(config.seed ^ (0x9E3779B97F4A7C15ULL * (u + 1))));
+      const auto src = store.WordsOf(static_cast<UserId>(u));
+      uint64_t* dst = out.words_.data() + u * words;
+      uint32_t card = 0;
+      for (std::size_t w = 0; w < words; ++w) {
+        uint64_t flips = 0;
+        for (unsigned bit = 0; bit < 64; ++bit) {
+          flips |= static_cast<uint64_t>(rng.Bernoulli(p)) << bit;
+        }
+        uint64_t noisy = src[w] ^ flips;
+        if (w == words - 1) noisy &= tail_mask;  // keep bits < num_bits
+        dst[w] = noisy;
+        card += static_cast<uint32_t>(std::popcount(noisy));
+      }
+      out.observed_cardinalities_[u] = card;
+    }
+  });
+  return out;
+}
+
+double BlipStore::EstimateCardinality(UserId u) const {
+  const double p = flip_probability_;
+  const double b = static_cast<double>(num_bits_);
+  return (static_cast<double>(observed_cardinalities_[u]) - b * p) /
+         (1.0 - 2.0 * p);
+}
+
+double BlipStore::EstimateJaccard(UserId a, UserId b) const {
+  const double p = flip_probability_;
+  const double nb = static_cast<double>(num_bits_);
+  const double one_m2p = 1.0 - 2.0 * p;
+
+  const uint64_t* wa =
+      words_.data() + static_cast<std::size_t>(a) * words_per_shf_;
+  const uint64_t* wb =
+      words_.data() + static_cast<std::size_t>(b) * words_per_shf_;
+  const double and_obs =
+      static_cast<double>(bits::AndPopCount(wa, wb, words_per_shf_));
+
+  const double c1 = EstimateCardinality(a);
+  const double c2 = EstimateCardinality(b);
+  // Invert E[and_obs] = t (1-2p)^2 + (c1+c2) p (1-2p) + b p^2.
+  const double t =
+      (and_obs - (c1 + c2) * p * one_m2p - nb * p * p) / (one_m2p * one_m2p);
+
+  const double uni = c1 + c2 - t;
+  if (!(uni > 0.0)) return 0.0;
+  return std::clamp(t / uni, 0.0, 1.0);
+}
+
+}  // namespace gf

@@ -1,0 +1,109 @@
+// BLIP-style differential privacy for SHFs.
+//
+// The paper (§2.5) notes that its hashing is deterministic, so
+// GoldFinger gives k-anonymity and ℓ-diversity but not differential
+// privacy — and that DP "can be easily obtained by inserting random
+// noise to the SHF", citing BLIP (Alaggan, Gambs, Kermarrec, SSS 2012).
+// This module implements that extension: each published bit is flipped
+// independently with probability p = 1 / (1 + e^ε), which makes the
+// released fingerprint ε-differentially private per item, and corrects
+// the Jaccard estimator for the flip noise:
+//
+//   E[ĉ_obs]   = c (1-2p) + b p
+//   E[and_obs] = t (1-2p)^2 + (c1 + c2) p (1-2p) + b p^2
+//
+// inverted to unbiased estimates of the true cardinalities and AND
+// count before applying Eq. 4.
+
+#ifndef GF_CORE_BLIP_H_
+#define GF_CORE_BLIP_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/fingerprint_store.h"
+
+namespace gf {
+
+/// Parameters of the bit-flipping mechanism.
+struct BlipConfig {
+  /// Differential-privacy budget per item; larger = less noise. Must be
+  /// positive and finite.
+  double epsilon = 3.0;
+  uint64_t seed = 0xB11F;
+};
+
+/// Flip probability of the mechanism: p = 1 / (1 + e^ε) ∈ (0, 0.5).
+double BlipFlipProbability(double epsilon);
+
+/// A dataset's SHFs after randomized response, with the noise-corrected
+/// Jaccard estimator. Built FROM a FingerprintStore — the flipping
+/// happens once, at publication time, exactly as a privacy-conscious
+/// client would do before uploading.
+class BlipStore {
+ public:
+  /// Applies randomized response to every fingerprint of `store`.
+  /// Fails if epsilon is not positive and finite.
+  static Result<BlipStore> Build(const FingerprintStore& store,
+                                 const BlipConfig& config,
+                                 ThreadPool* pool = nullptr);
+
+  std::size_t num_users() const { return observed_cardinalities_.size(); }
+  std::size_t num_bits() const { return num_bits_; }
+  double flip_probability() const { return flip_probability_; }
+  const BlipConfig& config() const { return config_; }
+
+  /// The noisy published bits of user `u`.
+  std::span<const uint64_t> WordsOf(UserId u) const {
+    return {words_.data() + static_cast<std::size_t>(u) * words_per_shf_,
+            words_per_shf_};
+  }
+
+  /// popcount of the published array (NOT the true cardinality).
+  uint32_t ObservedCardinalityOf(UserId u) const {
+    return observed_cardinalities_[u];
+  }
+
+  /// Unbiased estimate of the true cardinality from the noisy bits.
+  double EstimateCardinality(UserId u) const;
+
+  /// Noise-corrected Eq. 4 estimate, clamped to [0, 1].
+  double EstimateJaccard(UserId a, UserId b) const;
+
+ private:
+  BlipStore(const BlipConfig& config, std::size_t num_bits,
+            std::size_t num_users)
+      : config_(config),
+        flip_probability_(BlipFlipProbability(config.epsilon)),
+        num_bits_(num_bits),
+        words_per_shf_(bits::WordsForBits(num_bits)),
+        words_(num_users * bits::WordsForBits(num_bits), 0),
+        observed_cardinalities_(num_users, 0) {}
+
+  BlipConfig config_;
+  double flip_probability_;
+  std::size_t num_bits_;
+  std::size_t words_per_shf_;
+  std::vector<uint64_t> words_;
+  std::vector<uint32_t> observed_cardinalities_;
+};
+
+/// Similarity provider over BLIPed fingerprints (plugs into any KNN
+/// algorithm like the other providers).
+class BlipProvider {
+ public:
+  explicit BlipProvider(const BlipStore& store) : store_(&store) {}
+
+  std::size_t num_users() const { return store_->num_users(); }
+  double operator()(UserId a, UserId b) const {
+    return store_->EstimateJaccard(a, b);
+  }
+
+ private:
+  const BlipStore* store_;
+};
+
+}  // namespace gf
+
+#endif  // GF_CORE_BLIP_H_

@@ -1,0 +1,72 @@
+#include "core/counting_shf.h"
+
+#include <limits>
+
+namespace gf {
+
+namespace {
+constexpr uint8_t kSaturated = std::numeric_limits<uint8_t>::max();
+}  // namespace
+
+Result<CountingShf> CountingShf::Create(const FingerprintConfig& config) {
+  // Reuse the fingerprinter's validation (bit length, hashes >= 1).
+  auto fp = Fingerprinter::Create(config);
+  if (!fp.ok()) return fp.status();
+  return CountingShf(config);
+}
+
+std::size_t CountingShf::BitFor(ItemId item, std::size_t k) const {
+  return hash::HashKey(config_.hash, item, config_.seed + 0x1000003 * k) %
+         config_.num_bits;
+}
+
+void CountingShf::Add(ItemId item) {
+  for (std::size_t k = 0; k < config_.hashes_per_item; ++k) {
+    const std::size_t pos = BitFor(item, k);
+    uint8_t& counter = counters_[pos];
+    if (counter == 0) {
+      bits::SetBit(words_.data(), pos);
+      ++cardinality_;
+    }
+    if (counter != kSaturated) ++counter;
+  }
+}
+
+bool CountingShf::Remove(ItemId item) {
+  // First pass: verify every bit of the item is present, so a bogus
+  // removal never partially decrements.
+  for (std::size_t k = 0; k < config_.hashes_per_item; ++k) {
+    if (counters_[BitFor(item, k)] == 0) return false;
+  }
+  for (std::size_t k = 0; k < config_.hashes_per_item; ++k) {
+    const std::size_t pos = BitFor(item, k);
+    uint8_t& counter = counters_[pos];
+    if (counter == kSaturated) continue;  // sticky, never under-count
+    if (--counter == 0) {
+      bits::ClearBit(words_.data(), pos);
+      --cardinality_;
+    }
+  }
+  return true;
+}
+
+Shf CountingShf::ToShf() const {
+  Shf shf = *Shf::Create(config_.num_bits);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      shf.SetBit(w * 64 + static_cast<std::size_t>(std::countr_zero(word)));
+      word &= word - 1;
+    }
+  }
+  return shf;
+}
+
+double CountingShf::EstimateJaccard(const CountingShf& a,
+                                    const CountingShf& b) {
+  const uint32_t inter =
+      bits::AndPopCount(a.words_.data(), b.words_.data(), a.words_.size());
+  return JaccardFromCounts(a.cardinality_, b.cardinality_, inter);
+}
+
+}  // namespace gf

@@ -1,0 +1,80 @@
+// CountingShf: an updatable fingerprint for dynamic profiles.
+//
+// The paper motivates GoldFinger with real-time web workloads that
+// "must regularly recompute their suggestions in short intervals on
+// fresh data" (§1.2). A plain SHF supports item insertion (set a bit)
+// but not removal — clearing a bit is wrong if another item collides
+// into it. CountingShf keeps a small saturating counter per bit
+// (counting-Bloom-filter style): Add increments, Remove decrements, and
+// the (B, c) pair of the equivalent SHF is maintained incrementally, so
+// similarity estimation stays the cheap AND+popcount kernel on a
+// materialized bit view.
+//
+// Counters saturate at 255; a saturated counter never decrements (the
+// standard counting-filter compromise: after ~255 colliding inserts the
+// bit becomes sticky rather than ever under-counting).
+
+#ifndef GF_CORE_COUNTING_SHF_H_
+#define GF_CORE_COUNTING_SHF_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/result.h"
+#include "core/fingerprinter.h"
+#include "core/shf.h"
+#include "dataset/types.h"
+
+namespace gf {
+
+/// A fingerprint over b bits with one 8-bit counter per bit position.
+class CountingShf {
+ public:
+  /// Empty counting fingerprint; same length validation as Shf.
+  static Result<CountingShf> Create(const FingerprintConfig& config);
+
+  std::size_t num_bits() const { return config_.num_bits; }
+  uint32_t cardinality() const { return cardinality_; }
+  const FingerprintConfig& config() const { return config_; }
+
+  /// Adds one occurrence of `item` to the profile.
+  void Add(ItemId item);
+
+  /// Removes one occurrence of `item`. Returns false (and does
+  /// nothing) if the item's bit is already empty — removing an item
+  /// that was never added is a caller bug this surfaces gently.
+  bool Remove(ItemId item);
+
+  /// Counter value at bit position `pos`.
+  uint8_t CounterAt(std::size_t pos) const { return counters_[pos]; }
+
+  /// The current bit view (counter > 0), identical in layout to
+  /// Shf::words().
+  std::span<const uint64_t> words() const { return words_; }
+
+  /// Snapshot as an immutable Shf (for storage or the standard
+  /// estimator API).
+  Shf ToShf() const;
+
+  /// Eq. 4 on the live bit views of two counting fingerprints.
+  static double EstimateJaccard(const CountingShf& a, const CountingShf& b);
+
+ private:
+  explicit CountingShf(const FingerprintConfig& config)
+      : config_(config),
+        counters_(config.num_bits, 0),
+        words_(bits::WordsForBits(config.num_bits), 0) {}
+
+  std::size_t BitFor(ItemId item, std::size_t k) const;
+
+  FingerprintConfig config_;
+  std::vector<uint8_t> counters_;
+  std::vector<uint64_t> words_;  // materialized counter>0 view
+  uint32_t cardinality_ = 0;
+};
+
+}  // namespace gf
+
+#endif  // GF_CORE_COUNTING_SHF_H_

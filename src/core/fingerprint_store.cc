@@ -1,0 +1,76 @@
+#include "core/fingerprint_store.h"
+
+namespace gf {
+
+Result<FingerprintStore> FingerprintStore::Build(
+    const Dataset& dataset, const FingerprintConfig& config,
+    ThreadPool* pool) {
+  auto fp_result = Fingerprinter::Create(config);
+  if (!fp_result.ok()) return fp_result.status();
+  const Fingerprinter& fingerprinter = fp_result.value();
+
+  FingerprintStore store(config, dataset.NumUsers());
+  ParallelFor(pool, dataset.NumUsers(), [&](std::size_t begin,
+                                            std::size_t end) {
+    for (std::size_t u = begin; u < end; ++u) {
+      uint64_t* words = store.words_.data() + u * store.words_per_shf_;
+      uint32_t card = 0;
+      for (ItemId item : dataset.Profile(static_cast<UserId>(u))) {
+        for (std::size_t k = 0; k < config.hashes_per_item; ++k) {
+          const std::size_t pos = fingerprinter.BitFor(item, k);
+          if (!bits::TestBit(words, pos)) {
+            bits::SetBit(words, pos);
+            ++card;
+          }
+        }
+      }
+      store.cardinalities_[u] = card;
+    }
+  });
+  return store;
+}
+
+Result<FingerprintStore> FingerprintStore::FromRaw(
+    const FingerprintConfig& config, std::size_t num_users,
+    std::vector<uint64_t> words, std::vector<uint32_t> cardinalities) {
+  auto fp = Fingerprinter::Create(config);  // validates the config
+  if (!fp.ok()) return fp.status();
+  const std::size_t words_per_shf = bits::WordsForBits(config.num_bits);
+  if (words.size() != num_users * words_per_shf) {
+    return Status::InvalidArgument(
+        "words size " + std::to_string(words.size()) + " != num_users * " +
+        std::to_string(words_per_shf));
+  }
+  if (cardinalities.size() != num_users) {
+    return Status::InvalidArgument("cardinalities size mismatch");
+  }
+  for (std::size_t u = 0; u < num_users; ++u) {
+    const uint32_t popcount = bits::PopCount(
+        {words.data() + u * words_per_shf, words_per_shf});
+    if (popcount != cardinalities[u]) {
+      return Status::Corruption(
+          "cardinality of user " + std::to_string(u) +
+          " does not match its bit array");
+    }
+  }
+  FingerprintStore store(config, num_users);
+  store.words_ = std::move(words);
+  store.cardinalities_ = std::move(cardinalities);
+  return store;
+}
+
+Shf FingerprintStore::Extract(UserId u) const {
+  Shf shf = *Shf::Create(num_bits_);
+  const auto words = WordsOf(u);
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    uint64_t word = words[w];
+    while (word != 0) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(word));
+      shf.SetBit(w * 64 + bit);
+      word &= word - 1;
+    }
+  }
+  return shf;
+}
+
+}  // namespace gf

@@ -1,0 +1,102 @@
+// FingerprintStore: all of a dataset's SHFs in one flat allocation
+// (row-major: user u's words at [u * words_per_shf, ...)), plus the
+// cardinality array. This is the representation the KNN algorithms run
+// on — the whole point of fingerprinting is that this array is small and
+// the per-pair kernel touches only 2 * words_per_shf contiguous words.
+
+#ifndef GF_CORE_FINGERPRINT_STORE_H_
+#define GF_CORE_FINGERPRINT_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/access_counter.h"
+#include "common/bit_util.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/fingerprinter.h"
+#include "core/shf.h"
+#include "dataset/dataset.h"
+
+namespace gf {
+
+/// Immutable per-dataset fingerprint table.
+class FingerprintStore {
+ public:
+  /// Fingerprints every profile of `dataset` (in parallel when `pool` is
+  /// non-null). This is GoldFinger's whole preparation phase.
+  static Result<FingerprintStore> Build(const Dataset& dataset,
+                                        const FingerprintConfig& config,
+                                        ThreadPool* pool = nullptr);
+
+  /// Reassembles a store from raw parts (the deserialization path).
+  /// Validates the bit length and that `words` / `cardinalities` have
+  /// the sizes implied by config and num_users, and that each stored
+  /// cardinality matches its bit array.
+  static Result<FingerprintStore> FromRaw(
+      const FingerprintConfig& config, std::size_t num_users,
+      std::vector<uint64_t> words, std::vector<uint32_t> cardinalities);
+
+  std::size_t num_users() const { return cardinalities_.size(); }
+  std::size_t num_bits() const { return num_bits_; }
+  std::size_t words_per_shf() const { return words_per_shf_; }
+  const FingerprintConfig& config() const { return config_; }
+
+  std::span<const uint64_t> WordsOf(UserId u) const {
+    return {words_.data() + static_cast<std::size_t>(u) * words_per_shf_,
+            words_per_shf_};
+  }
+
+  uint32_t CardinalityOf(UserId u) const { return cardinalities_[u]; }
+
+  /// Eq. 4 estimator between two users' fingerprints.
+  double EstimateJaccard(UserId a, UserId b) const {
+    const uint64_t* wa =
+        words_.data() + static_cast<std::size_t>(a) * words_per_shf_;
+    const uint64_t* wb =
+        words_.data() + static_cast<std::size_t>(b) * words_per_shf_;
+    CountLoads(2 * words_per_shf_ + 2);  // modelled traffic (Table 5)
+    const uint32_t inter = bits::AndPopCount(wa, wb, words_per_shf_);
+    return JaccardFromCounts(cardinalities_[a], cardinalities_[b], inter);
+  }
+
+  /// Cosine analogue of EstimateJaccard (same kernel, CosineFromCounts).
+  double EstimateCosine(UserId a, UserId b) const {
+    const uint64_t* wa =
+        words_.data() + static_cast<std::size_t>(a) * words_per_shf_;
+    const uint64_t* wb =
+        words_.data() + static_cast<std::size_t>(b) * words_per_shf_;
+    CountLoads(2 * words_per_shf_ + 2);
+    const uint32_t inter = bits::AndPopCount(wa, wb, words_per_shf_);
+    return CosineFromCounts(cardinalities_[a], cardinalities_[b], inter);
+  }
+
+  /// Copies user `u`'s fingerprint out as a standalone Shf.
+  Shf Extract(UserId u) const;
+
+  /// Total payload bytes (bit arrays + cardinalities) — the memory the
+  /// KNN phase works over.
+  std::size_t PayloadBytes() const {
+    return words_.size() * sizeof(uint64_t) +
+           cardinalities_.size() * sizeof(uint32_t);
+  }
+
+ private:
+  FingerprintStore(const FingerprintConfig& config, std::size_t num_users)
+      : config_(config),
+        num_bits_(config.num_bits),
+        words_per_shf_(bits::WordsForBits(config.num_bits)),
+        words_(num_users * bits::WordsForBits(config.num_bits), 0),
+        cardinalities_(num_users, 0) {}
+
+  FingerprintConfig config_;
+  std::size_t num_bits_;
+  std::size_t words_per_shf_;
+  std::vector<uint64_t> words_;
+  std::vector<uint32_t> cardinalities_;
+};
+
+}  // namespace gf
+
+#endif  // GF_CORE_FINGERPRINT_STORE_H_

@@ -1,0 +1,27 @@
+#include "core/fingerprinter.h"
+
+namespace gf {
+
+Result<Fingerprinter> Fingerprinter::Create(const FingerprintConfig& config) {
+  if (!bits::IsValidBitLength(config.num_bits)) {
+    return Status::InvalidArgument(
+        "SHF length must be a positive multiple of 64, got " +
+        std::to_string(config.num_bits));
+  }
+  if (config.hashes_per_item == 0) {
+    return Status::InvalidArgument("hashes_per_item must be >= 1");
+  }
+  return Fingerprinter(config);
+}
+
+Shf Fingerprinter::Fingerprint(std::span<const ItemId> profile) const {
+  Shf shf = *Shf::Create(config_.num_bits);
+  for (ItemId item : profile) {
+    for (std::size_t k = 0; k < config_.hashes_per_item; ++k) {
+      shf.SetBit(BitFor(item, k));
+    }
+  }
+  return shf;
+}
+
+}  // namespace gf

@@ -1,0 +1,46 @@
+#include "core/privacy.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace gf {
+
+Result<PreimageAnalysis> PreimageAnalysis::Compute(
+    std::size_t num_items, const FingerprintConfig& config) {
+  if (config.hashes_per_item != 1) {
+    return Status::InvalidArgument(
+        "preimage analysis requires hashes_per_item == 1");
+  }
+  auto fp = Fingerprinter::Create(config);
+  if (!fp.ok()) return fp.status();
+
+  std::vector<uint32_t> sizes(config.num_bits, 0);
+  for (std::size_t item = 0; item < num_items; ++item) {
+    ++sizes[fp->BitFor(static_cast<ItemId>(item))];
+  }
+  return PreimageAnalysis(std::move(sizes));
+}
+
+PrivacyGuarantees PreimageAnalysis::For(const Shf& shf) const {
+  PrivacyGuarantees g;
+  double min_preimage = std::numeric_limits<double>::infinity();
+  bool any = false;
+  const auto words = shf.words();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    uint64_t word = words[w];
+    while (word != 0) {
+      const std::size_t bit =
+          w * 64 + static_cast<std::size_t>(std::countr_zero(word));
+      word &= word - 1;
+      any = true;
+      g.k_anonymity_log2 += PreimageSize(bit);
+      min_preimage = std::min(min_preimage, double(PreimageSize(bit)));
+    }
+  }
+  g.l_diversity = any ? min_preimage : 0.0;
+  if (!any) g.k_anonymity_log2 = 0.0;
+  return g;
+}
+
+}  // namespace gf

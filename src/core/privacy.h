@@ -1,0 +1,72 @@
+// Privacy guarantees of GoldFinger (paper §2.5): hashing m items into b
+// bits makes each set bit's preimage ~m/b items, so an SHF of
+// cardinality c is indistinguishable from (2^(m/b))^c profiles
+// (Theorem 2, k-anonymity) and from m/b pairwise-disjoint profiles
+// (Theorem 3, ℓ-diversity). This module computes both the theorems'
+// idealized values and the *empirical* guarantees of a concrete hash
+// function (using the actual preimage sizes), which is what a deployment
+// should report.
+
+#ifndef GF_CORE_PRIVACY_H_
+#define GF_CORE_PRIVACY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/fingerprinter.h"
+#include "core/shf.h"
+
+namespace gf {
+
+/// Privacy levels of one SHF. Anonymity is reported in bits
+/// (log2 of the anonymity set size) because the set size itself
+/// overflows any integer type for realistic datasets (2^167 for
+/// AmazonMovies at b=1024).
+struct PrivacyGuarantees {
+  /// log2(k) of the k-anonymity guarantee.
+  double k_anonymity_log2 = 0.0;
+  /// ℓ of the ℓ-diversity guarantee.
+  double l_diversity = 0.0;
+};
+
+/// Theorem 2/3 idealized guarantees: k = (2^(m/b))^c, ℓ = m/b, assuming
+/// perfectly uniform preimages.
+inline PrivacyGuarantees TheoreticalPrivacy(std::size_t num_items,
+                                            std::size_t num_bits,
+                                            uint32_t cardinality) {
+  const double per_bit =
+      static_cast<double>(num_items) / static_cast<double>(num_bits);
+  return {.k_anonymity_log2 = per_bit * cardinality, .l_diversity = per_bit};
+}
+
+/// Empirical preimage analysis of a concrete fingerprinting scheme over
+/// an item universe of size `num_items`: computes |H_x| = |h^{-1}(x)|
+/// for every bit position x.
+class PreimageAnalysis {
+ public:
+  /// Hashes every item in [0, num_items) through `config`'s item hash.
+  /// Requires hashes_per_item == 1 (the theorems assume one hash).
+  static Result<PreimageAnalysis> Compute(std::size_t num_items,
+                                          const FingerprintConfig& config);
+
+  /// |H_x| for bit position x.
+  uint32_t PreimageSize(std::size_t bit) const { return sizes_[bit]; }
+  const std::vector<uint32_t>& sizes() const { return sizes_; }
+
+  /// Empirical guarantees for a concrete fingerprint: k-anonymity is the
+  /// product over set bits of 2^|H_x| (log2 = sum of |H_x|), ℓ-diversity
+  /// the minimum |H_x| over set bits. An SHF with no set bits gets zero
+  /// guarantees (no such SHF exists for non-empty profiles).
+  PrivacyGuarantees For(const Shf& shf) const;
+
+ private:
+  explicit PreimageAnalysis(std::vector<uint32_t> sizes)
+      : sizes_(std::move(sizes)) {}
+
+  std::vector<uint32_t> sizes_;
+};
+
+}  // namespace gf
+
+#endif  // GF_CORE_PRIVACY_H_

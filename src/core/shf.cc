@@ -1,0 +1,34 @@
+#include <cmath>
+
+#include "core/shf.h"
+
+namespace gf {
+
+Result<Shf> Shf::Create(std::size_t num_bits) {
+  if (!bits::IsValidBitLength(num_bits)) {
+    return Status::InvalidArgument(
+        "SHF length must be a positive multiple of 64, got " +
+        std::to_string(num_bits));
+  }
+  return Shf(num_bits);
+}
+
+double Shf::EstimateJaccard(const Shf& a, const Shf& b) {
+  return JaccardFromCounts(a.cardinality_, b.cardinality_,
+                           a.IntersectionCardinality(b));
+}
+
+double Shf::EstimateCosine(const Shf& a, const Shf& b) {
+  return CosineFromCounts(a.cardinality_, b.cardinality_,
+                          a.IntersectionCardinality(b));
+}
+
+double CosineFromCounts(uint32_t card_a, uint32_t card_b,
+                        uint32_t and_popcount) {
+  if (card_a == 0 || card_b == 0) return 0.0;
+  return static_cast<double>(and_popcount) /
+         std::sqrt(static_cast<double>(card_a) *
+                   static_cast<double>(card_b));
+}
+
+}  // namespace gf

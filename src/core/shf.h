@@ -1,0 +1,102 @@
+// Single Hash Fingerprint (SHF) — the paper's central data structure
+// (§2.3). An SHF is a pair (B, c): a b-bit array where each profile item
+// sets the bit h(item) mod b, plus the cached cardinality c = ||B||_1.
+// Jaccard's index between two profiles is estimated from their SHFs with
+// one bitwise AND and popcounts (Eq. 4):
+//
+//   Ĵ = |B1 AND B2| / (c1 + c2 - |B1 AND B2|)
+
+#ifndef GF_CORE_SHF_H_
+#define GF_CORE_SHF_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/result.h"
+
+namespace gf {
+
+/// A single fingerprint that owns its bit array. For whole-dataset
+/// workloads prefer FingerprintStore (one flat allocation, better
+/// locality); Shf is the value type of the public API.
+class Shf {
+ public:
+  /// An empty (all-zero) fingerprint of `num_bits` bits. Fails unless
+  /// num_bits is a positive multiple of 64.
+  static Result<Shf> Create(std::size_t num_bits);
+
+  std::size_t num_bits() const { return num_bits_; }
+  /// Cached number of set bits (the `c` of the pair; maintained
+  /// incrementally, always consistent with the array).
+  uint32_t cardinality() const { return cardinality_; }
+  std::span<const uint64_t> words() const { return words_; }
+
+  /// Sets bit `pos` (pos < num_bits). Idempotent.
+  void SetBit(std::size_t pos) {
+    if (!bits::TestBit(words_.data(), pos)) {
+      bits::SetBit(words_.data(), pos);
+      ++cardinality_;
+    }
+  }
+
+  bool TestBit(std::size_t pos) const {
+    return bits::TestBit(words_.data(), pos);
+  }
+
+  /// popcount(this AND other). Precondition: same num_bits.
+  uint32_t IntersectionCardinality(const Shf& other) const {
+    return bits::AndPopCount(words_.data(), other.words_.data(),
+                             words_.size());
+  }
+
+  /// popcount(this OR other). Precondition: same num_bits.
+  uint32_t UnionCardinality(const Shf& other) const {
+    return bits::OrPopCount(words_.data(), other.words_.data(),
+                            words_.size());
+  }
+
+  /// The paper's Eq. 4 estimator. Returns 0 when both fingerprints are
+  /// empty. Precondition: same num_bits.
+  static double EstimateJaccard(const Shf& a, const Shf& b);
+
+  /// Binary-cosine analogue of Eq. 4: |B1 AND B2| / sqrt(c1 c2). The
+  /// paper's fsim framework (§2.1) admits any intersection-driven
+  /// similarity; the same AND+popcount kernel estimates cosine too.
+  static double EstimateCosine(const Shf& a, const Shf& b);
+
+  /// Estimated size of the underlying profile (Eq. 5): |P| ≈ c.
+  uint32_t EstimateProfileSize() const { return cardinality_; }
+
+  friend bool operator==(const Shf& a, const Shf& b) {
+    return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;
+  }
+
+ private:
+  explicit Shf(std::size_t num_bits)
+      : num_bits_(num_bits), words_(bits::WordsForBits(num_bits), 0) {}
+
+  std::size_t num_bits_;
+  std::vector<uint64_t> words_;
+  uint32_t cardinality_ = 0;
+};
+
+/// Core arithmetic of Eq. 4, shared by Shf and FingerprintStore: given
+/// the two cached cardinalities and the AND-popcount, returns the
+/// Jaccard estimate (0 when the union estimate is empty).
+inline double JaccardFromCounts(uint32_t card_a, uint32_t card_b,
+                                uint32_t and_popcount) {
+  const uint32_t union_estimate = card_a + card_b - and_popcount;
+  if (union_estimate == 0) return 0.0;
+  return static_cast<double>(and_popcount) /
+         static_cast<double>(union_estimate);
+}
+
+/// Cosine analogue of JaccardFromCounts (0 when either side is empty).
+double CosineFromCounts(uint32_t card_a, uint32_t card_b,
+                        uint32_t and_popcount);
+
+}  // namespace gf
+
+#endif  // GF_CORE_SHF_H_

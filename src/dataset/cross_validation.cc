@@ -1,0 +1,56 @@
+#include "dataset/cross_validation.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/random.h"
+
+namespace gf {
+
+Result<CrossValidation> CrossValidation::Create(const Dataset& dataset,
+                                                std::size_t n_folds,
+                                                uint64_t seed) {
+  if (n_folds < 2) {
+    return Status::InvalidArgument("cross-validation needs >= 2 folds");
+  }
+  return CrossValidation(&dataset, n_folds, seed);
+}
+
+Result<FoldSplit> CrossValidation::Fold(std::size_t f) const {
+  if (f >= n_folds_) {
+    return Status::OutOfRange("fold " + std::to_string(f) + " of " +
+                              std::to_string(n_folds_));
+  }
+
+  const std::size_t n = dataset_->NumUsers();
+  std::vector<std::vector<ItemId>> train_profiles(n);
+  std::vector<std::vector<ItemId>> test(n);
+
+  for (UserId u = 0; u < n; ++u) {
+    const auto profile = dataset_->Profile(u);
+    // Deterministic per-user shuffle so each fold is a fixed partition
+    // independent of which fold is materialized first.
+    std::vector<std::size_t> order(profile.size());
+    std::iota(order.begin(), order.end(), 0);
+    Rng rng(SplitMix64(seed_ ^ (0x9E3779B97F4A7C15ULL * (u + 1))));
+    rng.Shuffle(order);
+
+    for (std::size_t idx = 0; idx < order.size(); ++idx) {
+      const ItemId item = profile[order[idx]];
+      if (idx % n_folds_ == f) {
+        test[u].push_back(item);
+      } else {
+        train_profiles[u].push_back(item);
+      }
+    }
+    std::sort(test[u].begin(), test[u].end());
+  }
+
+  Dataset train;
+  GF_ASSIGN_OR_RETURN(
+      train, Dataset::FromProfiles(std::move(train_profiles),
+                                   dataset_->NumItems(), dataset_->name()));
+  return FoldSplit{std::move(train), std::move(test)};
+}
+
+}  // namespace gf

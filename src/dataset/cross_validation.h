@@ -1,0 +1,48 @@
+// K-fold cross-validation splitter (the paper uses 5-fold CV for the
+// recommendation study, §3.4): each user's profile entries are
+// partitioned into k folds; fold f's split trains on the other k-1
+// folds and hides fold f as the test set.
+
+#ifndef GF_DATASET_CROSS_VALIDATION_H_
+#define GF_DATASET_CROSS_VALIDATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+
+namespace gf {
+
+/// One train/test split.
+struct FoldSplit {
+  Dataset train;
+  /// test[u] = the hidden (positively rated) items of user u, sorted.
+  std::vector<std::vector<ItemId>> test;
+};
+
+/// Deterministic per-user k-fold partition of a binarized dataset.
+class CrossValidation {
+ public:
+  /// Fails if n_folds < 2.
+  static Result<CrossValidation> Create(const Dataset& dataset,
+                                        std::size_t n_folds, uint64_t seed);
+
+  std::size_t num_folds() const { return n_folds_; }
+
+  /// Materializes fold `f` (0-based). Users with fewer entries than
+  /// folds may have empty test sets in some folds.
+  Result<FoldSplit> Fold(std::size_t f) const;
+
+ private:
+  CrossValidation(const Dataset* dataset, std::size_t n_folds, uint64_t seed)
+      : dataset_(dataset), n_folds_(n_folds), seed_(seed) {}
+
+  const Dataset* dataset_;  // not owned; must outlive the splitter
+  std::size_t n_folds_;
+  uint64_t seed_;
+};
+
+}  // namespace gf
+
+#endif  // GF_DATASET_CROSS_VALIDATION_H_

@@ -1,0 +1,120 @@
+#include "dataset/dataset.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <unordered_map>
+
+namespace gf {
+
+Result<Dataset> Dataset::FromProfiles(
+    std::vector<std::vector<ItemId>> profiles, std::size_t num_items,
+    std::string name) {
+  Dataset d;
+  d.num_items_ = num_items;
+  d.name_ = std::move(name);
+  d.offsets_.reserve(profiles.size() + 1);
+  d.offsets_.push_back(0);
+  std::size_t total = 0;
+  for (const auto& p : profiles) total += p.size();
+  d.items_.reserve(total);
+  for (auto& p : profiles) {
+    std::sort(p.begin(), p.end());
+    p.erase(std::unique(p.begin(), p.end()), p.end());
+    if (!p.empty() && p.back() >= num_items) {
+      return Status::InvalidArgument(
+          "profile contains item id " + std::to_string(p.back()) +
+          " >= num_items " + std::to_string(num_items));
+    }
+    d.items_.insert(d.items_.end(), p.begin(), p.end());
+    d.offsets_.push_back(d.items_.size());
+  }
+  return d;
+}
+
+double Dataset::MeanProfileSize() const {
+  const std::size_t n = NumUsers();
+  if (n == 0) return 0.0;
+  return static_cast<double>(items_.size()) / static_cast<double>(n);
+}
+
+std::vector<uint32_t> Dataset::ItemDegrees() const {
+  std::vector<uint32_t> deg(num_items_, 0);
+  for (ItemId it : items_) ++deg[it];
+  return deg;
+}
+
+double Dataset::MeanItemDegree() const {
+  const auto deg = ItemDegrees();
+  std::size_t rated = 0;
+  for (uint32_t d : deg) rated += (d > 0);
+  if (rated == 0) return 0.0;
+  return static_cast<double>(items_.size()) / static_cast<double>(rated);
+}
+
+double Dataset::Density() const {
+  const std::size_t n = NumUsers();
+  if (n == 0 || num_items_ == 0) return 0.0;
+  return static_cast<double>(items_.size()) /
+         (static_cast<double>(n) * static_cast<double>(num_items_));
+}
+
+RatingDataset RatingDataset::FilterUsersWithMinRatings(
+    std::size_t min_ratings) const {
+  std::vector<std::size_t> counts(num_users_, 0);
+  for (const Rating& r : ratings_) ++counts[r.user];
+
+  std::vector<UserId> remap(num_users_, kInvalidUser);
+  UserId next = 0;
+  for (UserId u = 0; u < num_users_; ++u) {
+    if (counts[u] >= min_ratings) remap[u] = next++;
+  }
+
+  std::vector<Rating> kept;
+  kept.reserve(ratings_.size());
+  for (const Rating& r : ratings_) {
+    if (remap[r.user] != kInvalidUser) {
+      kept.push_back({remap[r.user], r.item, r.value});
+    }
+  }
+  return RatingDataset(std::move(kept), next, num_items_, name_);
+}
+
+Result<Dataset> RatingDataset::Binarize(double threshold) const {
+  std::vector<std::vector<ItemId>> profiles(num_users_);
+  for (const Rating& r : ratings_) {
+    if (r.value > threshold) profiles[r.user].push_back(r.item);
+  }
+  return Dataset::FromProfiles(std::move(profiles), num_items_, name_);
+}
+
+DatasetStats ComputeStats(const Dataset& d) {
+  DatasetStats s;
+  s.name = d.name();
+  s.users = d.NumUsers();
+  s.items = d.NumItems();
+  s.entries = d.NumEntries();
+  s.mean_profile_size = d.MeanProfileSize();
+  s.mean_item_degree = d.MeanItemDegree();
+  s.density = d.Density();
+  return s;
+}
+
+std::string FormatStatsTable(const std::vector<DatasetStats>& rows) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-16s %9s %9s %12s %8s %8s %9s\n",
+                "Dataset", "Users", "Items", "Ratings>3", "|Pu|", "|Pi|",
+                "Density");
+  out += line;
+  for (const auto& r : rows) {
+    std::snprintf(line, sizeof(line),
+                  "%-16s %9zu %9zu %12zu %8.2f %8.2f %8.3f%%\n",
+                  r.name.c_str(), r.users, r.items, r.entries,
+                  r.mean_profile_size, r.mean_item_degree, r.density * 100.0);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace gf

@@ -1,0 +1,89 @@
+#include "dataset/histograms.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace gf {
+
+DistributionSummary Summarize(std::vector<uint32_t> values) {
+  DistributionSummary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  uint64_t total = 0;
+  for (uint32_t v : values) total += v;
+  s.mean = static_cast<double>(total) / static_cast<double>(values.size());
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(values.size() - 1));
+    return values[idx];
+  };
+  s.min = values.front();
+  s.p10 = at(0.10);
+  s.p50 = at(0.50);
+  s.p90 = at(0.90);
+  s.p99 = at(0.99);
+  s.max = values.back();
+  return s;
+}
+
+DistributionSummary ProfileSizeSummary(const Dataset& dataset) {
+  std::vector<uint32_t> sizes;
+  sizes.reserve(dataset.NumUsers());
+  for (UserId u = 0; u < dataset.NumUsers(); ++u) {
+    sizes.push_back(static_cast<uint32_t>(dataset.ProfileSize(u)));
+  }
+  return Summarize(std::move(sizes));
+}
+
+DistributionSummary ItemDegreeSummary(const Dataset& dataset) {
+  std::vector<uint32_t> degrees;
+  for (uint32_t d : dataset.ItemDegrees()) {
+    if (d > 0) degrees.push_back(d);
+  }
+  return Summarize(std::move(degrees));
+}
+
+std::string FormatLogHistogram(const std::vector<uint32_t>& values,
+                               std::size_t max_bar_width) {
+  // Bucket i holds values v with bit_width(v) == i+1, i.e. [2^i, 2^(i+1));
+  // zeros get their own bucket.
+  std::size_t zeros = 0;
+  std::vector<std::size_t> buckets;
+  for (uint32_t v : values) {
+    if (v == 0) {
+      ++zeros;
+      continue;
+    }
+    const auto bucket = static_cast<std::size_t>(std::bit_width(v) - 1);
+    if (buckets.size() <= bucket) buckets.resize(bucket + 1, 0);
+    ++buckets[bucket];
+  }
+  std::size_t peak = zeros;
+  for (std::size_t c : buckets) peak = std::max(peak, c);
+  if (peak == 0) return "(empty)\n";
+
+  std::string out;
+  char line[160];
+  const auto emit = [&](const std::string& label, std::size_t count) {
+    const auto width = static_cast<std::size_t>(
+        static_cast<double>(count) / static_cast<double>(peak) *
+        static_cast<double>(max_bar_width));
+    std::snprintf(line, sizeof(line), "%12s %9zu  %s\n", label.c_str(),
+                  count, std::string(width, '#').c_str());
+    out += line;
+  };
+  if (zeros > 0) emit("0", zeros);
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t lo = uint64_t{1} << i;
+    const uint64_t hi = (uint64_t{1} << (i + 1)) - 1;
+    emit(lo == hi ? std::to_string(lo)
+                  : std::to_string(lo) + "-" + std::to_string(hi),
+         buckets[i]);
+  }
+  return out;
+}
+
+}  // namespace gf

@@ -1,0 +1,49 @@
+// Distribution summaries of a dataset beyond Table 2's means: profile
+// sizes and item degrees are heavy-tailed in real rating data, and the
+// tails drive both the exact-Jaccard cost (big profiles) and the SHF
+// estimation error (small profiles collide less — Fig 11's diagonal
+// mass). These helpers quantify the shape the synthetic generators
+// must reproduce.
+
+#ifndef GF_DATASET_HISTOGRAMS_H_
+#define GF_DATASET_HISTOGRAMS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.h"
+
+namespace gf {
+
+/// Quantile summary of a non-negative integer sample.
+struct DistributionSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  uint32_t min = 0;
+  uint32_t p10 = 0;
+  uint32_t p50 = 0;
+  uint32_t p90 = 0;
+  uint32_t p99 = 0;
+  uint32_t max = 0;
+};
+
+/// Summary of an arbitrary sample (sorted internally).
+DistributionSummary Summarize(std::vector<uint32_t> values);
+
+/// Sizes |P_u| across users.
+DistributionSummary ProfileSizeSummary(const Dataset& dataset);
+
+/// Degrees |P_i| across items WITH at least one rating (unrated items
+/// are excluded, matching Table 2's |Pi| convention).
+DistributionSummary ItemDegreeSummary(const Dataset& dataset);
+
+/// Log-2-bucketed histogram ("1", "2-3", "4-7", ...) of a sample;
+/// bucket i counts values in [2^i, 2^(i+1)). Rendered as aligned text
+/// rows "range count bar".
+std::string FormatLogHistogram(const std::vector<uint32_t>& values,
+                               std::size_t max_bar_width = 40);
+
+}  // namespace gf
+
+#endif  // GF_DATASET_HISTOGRAMS_H_

@@ -1,0 +1,215 @@
+#include "dataset/loader.h"
+
+#include <charconv>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gf {
+
+namespace {
+
+// Maps arbitrary external ids to dense ids in first-seen order.
+template <typename Key>
+class IdCompactor {
+ public:
+  uint32_t Get(const Key& key) {
+    auto [it, inserted] = map_.try_emplace(key, next_);
+    if (inserted) ++next_;
+    return it->second;
+  }
+  std::size_t size() const { return next_; }
+
+ private:
+  std::unordered_map<Key, uint32_t> map_;
+  uint32_t next_ = 0;
+};
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed on " + path);
+  return ss.str();
+}
+
+bool ParseU64(std::string_view tok, uint64_t* out) {
+  const char* begin = tok.data();
+  const char* end = tok.data() + tok.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool ParseDouble(std::string_view tok, double* out) {
+  // std::from_chars<double> is available in libstdc++ >= 11.
+  const char* begin = tok.data();
+  const char* end = tok.data() + tok.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+// Splits `line` on a separator that may be multi-character ("::") or a
+// single char.
+std::vector<std::string_view> Split(std::string_view line,
+                                    std::string_view sep) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (pos <= line.size()) {
+    const std::size_t next = line.find(sep, pos);
+    if (next == std::string_view::npos) {
+      out.push_back(line.substr(pos));
+      break;
+    }
+    out.push_back(line.substr(pos, next - pos));
+    pos = next + sep.size();
+  }
+  return out;
+}
+
+std::string_view StripCr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+// Shared triplet parser: separator + whether the first line is a header
+// + whether ids are strings (Amazon) or integers.
+Result<RatingDataset> ParseTriplets(const std::string& content,
+                                    std::string_view sep, bool skip_header,
+                                    bool string_ids, std::string name,
+                                    const LoaderOptions& options) {
+  IdCompactor<std::string> user_names;
+  IdCompactor<std::string> item_names;
+  IdCompactor<uint64_t> user_ids;
+  IdCompactor<uint64_t> item_ids;
+
+  std::vector<Rating> ratings;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    std::string_view line = StripCr(
+        std::string_view(content).substr(pos, eol - pos));
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+    if (skip_header && line_no == 1) continue;
+
+    const auto fields = Split(line, sep);
+    if (fields.size() < 3) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": expected at least 3 fields, got " +
+                                std::to_string(fields.size()));
+    }
+    double value = 0.0;
+    if (!ParseDouble(fields[2], &value)) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": bad rating value '" +
+                                std::string(fields[2]) + "'");
+    }
+    uint32_t u, i;
+    if (string_ids) {
+      u = user_names.Get(std::string(fields[0]));
+      i = item_names.Get(std::string(fields[1]));
+    } else {
+      uint64_t uraw, iraw;
+      if (!ParseU64(fields[0], &uraw) || !ParseU64(fields[1], &iraw)) {
+        return Status::Corruption("line " + std::to_string(line_no) +
+                                  ": bad integer id");
+      }
+      u = user_ids.Get(uraw);
+      i = item_ids.Get(iraw);
+    }
+    ratings.push_back({u, i, static_cast<float>(value)});
+  }
+
+  const std::size_t n_users = string_ids ? user_names.size() : user_ids.size();
+  const std::size_t n_items = string_ids ? item_names.size() : item_ids.size();
+  RatingDataset raw(std::move(ratings), n_users, n_items, std::move(name));
+  return raw.FilterUsersWithMinRatings(options.min_ratings_per_user);
+}
+
+}  // namespace
+
+Result<RatingDataset> ParseMovieLensDat(const std::string& content,
+                                        const LoaderOptions& options) {
+  return ParseTriplets(content, "::", /*skip_header=*/false,
+                       /*string_ids=*/false, "movielens", options);
+}
+
+Result<RatingDataset> LoadMovieLensDat(const std::string& path,
+                                       const LoaderOptions& options) {
+  std::string content;
+  GF_ASSIGN_OR_RETURN(content, ReadWholeFile(path));
+  return ParseMovieLensDat(content, options);
+}
+
+Result<RatingDataset> LoadMovieLensCsv(const std::string& path,
+                                       const LoaderOptions& options) {
+  std::string content;
+  GF_ASSIGN_OR_RETURN(content, ReadWholeFile(path));
+  return ParseTriplets(content, ",", /*skip_header=*/true,
+                       /*string_ids=*/false, "movielens", options);
+}
+
+Result<RatingDataset> LoadAmazonRatings(const std::string& path,
+                                        const LoaderOptions& options) {
+  std::string content;
+  GF_ASSIGN_OR_RETURN(content, ReadWholeFile(path));
+  return ParseTriplets(content, ",", /*skip_header=*/false,
+                       /*string_ids=*/true, "amazon", options);
+}
+
+Result<RatingDataset> LoadEdgeList(const std::string& path,
+                                   const LoaderOptions& options) {
+  std::string content;
+  GF_ASSIGN_OR_RETURN(content, ReadWholeFile(path));
+
+  // Edge lists become symmetric ratings: u rates v and v rates u with 5
+  // (the paper's DBLP / Gowalla construction). Users and items share the
+  // node id space.
+  IdCompactor<uint64_t> nodes;
+  std::vector<Rating> ratings;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    std::string_view line = StripCr(
+        std::string_view(content).substr(pos, eol - pos));
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+
+    // Accept tab or space separation.
+    std::size_t cut = line.find_first_of("\t ");
+    if (cut == std::string_view::npos) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": expected two node ids");
+    }
+    uint64_t a_raw, b_raw;
+    std::string_view rest = line.substr(cut + 1);
+    const std::size_t rest_start = rest.find_first_not_of("\t ");
+    if (rest_start == std::string_view::npos ||
+        !ParseU64(line.substr(0, cut), &a_raw) ||
+        !ParseU64(rest.substr(rest_start), &b_raw)) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": bad node id");
+    }
+    const uint32_t a = nodes.Get(a_raw);
+    const uint32_t b = nodes.Get(b_raw);
+    if (a == b) continue;  // self-loops carry no similarity signal
+    ratings.push_back({a, b, 5.0f});
+    ratings.push_back({b, a, 5.0f});
+  }
+
+  RatingDataset raw(std::move(ratings), nodes.size(), nodes.size(),
+                    "edgelist");
+  return raw.FilterUsersWithMinRatings(options.min_ratings_per_user);
+}
+
+}  // namespace gf

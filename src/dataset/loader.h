@@ -1,0 +1,52 @@
+// Parsers for the on-disk formats of the paper's six datasets. These are
+// the "real data" path: if you download MovieLens / AmazonMovies / DBLP /
+// Gowalla, these loaders reproduce the paper's preprocessing exactly
+// (users with >= 20 ratings, ratings > 3 kept). The benchmark harnesses
+// fall back to calibrated synthetic datasets when the files are absent
+// (see synthetic.h and DESIGN.md §5).
+
+#ifndef GF_DATASET_LOADER_H_
+#define GF_DATASET_LOADER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+
+namespace gf {
+
+/// Options shared by all loaders.
+struct LoaderOptions {
+  /// Users with fewer raw ratings are dropped (paper: 20).
+  std::size_t min_ratings_per_user = 20;
+};
+
+/// Loads a MovieLens `ratings.dat` file: `userId::movieId::rating::ts`
+/// lines. External ids are compacted to dense ids in first-seen order.
+Result<RatingDataset> LoadMovieLensDat(const std::string& path,
+                                       const LoaderOptions& options = {});
+
+/// Loads a MovieLens `ratings.csv` file: header line then
+/// `userId,movieId,rating,timestamp` rows.
+Result<RatingDataset> LoadMovieLensCsv(const std::string& path,
+                                       const LoaderOptions& options = {});
+
+/// Loads an undirected edge list (`u<TAB>v` or `u v` per line, `#`
+/// comments allowed) as a rating dataset where both endpoints rate each
+/// other 5 — the paper's DBLP / Gowalla construction.
+Result<RatingDataset> LoadEdgeList(const std::string& path,
+                                   const LoaderOptions& options = {});
+
+/// Loads an Amazon ratings CSV: `user,item,rating[,timestamp]` with
+/// string ids (the SNAP `ratings only` export).
+Result<RatingDataset> LoadAmazonRatings(const std::string& path,
+                                        const LoaderOptions& options = {});
+
+/// Parses rating triplets from an in-memory string in the `.dat` format;
+/// exposed for tests and tooling.
+Result<RatingDataset> ParseMovieLensDat(const std::string& content,
+                                        const LoaderOptions& options = {});
+
+}  // namespace gf
+
+#endif  // GF_DATASET_LOADER_H_

@@ -1,0 +1,60 @@
+#include "dataset/profile_sampling.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace gf {
+
+Result<Dataset> SampleProfiles(const Dataset& dataset,
+                               std::size_t max_profile_size,
+                               SamplingPolicy policy, uint64_t seed) {
+  if (max_profile_size == 0) {
+    return Status::InvalidArgument("max_profile_size must be >= 1");
+  }
+  const auto degrees = dataset.ItemDegrees();
+  Rng rng(seed);
+
+  std::vector<std::vector<ItemId>> profiles(dataset.NumUsers());
+  std::vector<ItemId> scratch;
+  for (UserId u = 0; u < dataset.NumUsers(); ++u) {
+    const auto profile = dataset.Profile(u);
+    if (profile.size() <= max_profile_size) {
+      profiles[u].assign(profile.begin(), profile.end());
+      continue;
+    }
+    scratch.assign(profile.begin(), profile.end());
+    switch (policy) {
+      case SamplingPolicy::kLeastPopular:
+        std::nth_element(scratch.begin(),
+                         scratch.begin() + static_cast<long>(max_profile_size),
+                         scratch.end(), [&](ItemId a, ItemId b) {
+                           if (degrees[a] != degrees[b]) {
+                             return degrees[a] < degrees[b];
+                           }
+                           return a < b;  // deterministic ties
+                         });
+        break;
+      case SamplingPolicy::kMostPopular:
+        std::nth_element(scratch.begin(),
+                         scratch.begin() + static_cast<long>(max_profile_size),
+                         scratch.end(), [&](ItemId a, ItemId b) {
+                           if (degrees[a] != degrees[b]) {
+                             return degrees[a] > degrees[b];
+                           }
+                           return a < b;
+                         });
+        break;
+      case SamplingPolicy::kRandom:
+        rng.Shuffle(scratch);
+        break;
+    }
+    scratch.resize(max_profile_size);
+    profiles[u] = scratch;
+  }
+  return Dataset::FromProfiles(std::move(profiles), dataset.NumItems(),
+                               dataset.name() + "-sampled");
+}
+
+}  // namespace gf

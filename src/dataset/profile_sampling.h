@@ -1,0 +1,36 @@
+// Popularity-based profile sampling — the second compaction strategy
+// the paper's related work discusses (§6, [30] "Nobody cares if you
+// liked Star Wars", Euro-Par 2018): truncate every profile to its s
+// LEAST popular items. Rationale: blockbuster items carry almost no
+// similarity signal (everyone has them); rare items discriminate.
+// GoldFinger is reported to beat this baseline; the
+// bench_ablation_sampling harness reproduces the comparison.
+
+#ifndef GF_DATASET_PROFILE_SAMPLING_H_
+#define GF_DATASET_PROFILE_SAMPLING_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "dataset/dataset.h"
+
+namespace gf {
+
+/// How a truncated profile's items are selected.
+enum class SamplingPolicy {
+  kLeastPopular,   // keep the s rarest items (the [30] heuristic)
+  kMostPopular,    // keep the s most popular (the obviously-bad control)
+  kRandom,         // keep s uniform items (the neutral control)
+};
+
+/// Returns a dataset whose profiles are truncated to at most
+/// `max_profile_size` items under `policy`. Profiles already small
+/// enough are untouched. Fails on max_profile_size == 0.
+Result<Dataset> SampleProfiles(const Dataset& dataset,
+                               std::size_t max_profile_size,
+                               SamplingPolicy policy,
+                               uint64_t seed = 42);
+
+}  // namespace gf
+
+#endif  // GF_DATASET_PROFILE_SAMPLING_H_

@@ -1,0 +1,267 @@
+#include "dataset/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace gf {
+
+namespace {
+
+Status ValidateSpec(const SyntheticSpec& spec) {
+  if (spec.num_users == 0) return Status::InvalidArgument("num_users == 0");
+  if (spec.num_items == 0) return Status::InvalidArgument("num_items == 0");
+  if (spec.mean_profile_size <= 0) {
+    return Status::InvalidArgument("mean_profile_size must be positive");
+  }
+  if (spec.mean_profile_size > static_cast<double>(spec.num_items) / 2) {
+    return Status::InvalidArgument(
+        "mean_profile_size exceeds half the item universe");
+  }
+  if (spec.community_affinity < 0 || spec.community_affinity > 1) {
+    return Status::InvalidArgument("community_affinity must be in [0,1]");
+  }
+  if (spec.zipf_exponent <= 0) {
+    return Status::InvalidArgument("zipf_exponent must be positive");
+  }
+  return Status::OK();
+}
+
+// Draws a profile size from a log-normal with the spec's target mean,
+// clipped to [min_profile_size, num_items/2].
+std::size_t DrawProfileSize(const SyntheticSpec& spec, Rng& rng) {
+  const double sigma = spec.profile_size_sigma;
+  const double mu = std::log(spec.mean_profile_size) - sigma * sigma / 2;
+  const double raw = std::exp(mu + sigma * rng.NextGaussian());
+  const auto lo = spec.min_profile_size;
+  const auto hi = std::max<std::size_t>(lo + 1, spec.num_items / 2);
+  return std::clamp<std::size_t>(static_cast<std::size_t>(std::lround(raw)),
+                                 lo, hi);
+}
+
+// Community item pools: item ids are partitioned round-robin so that
+// every community contains items across the whole popularity spectrum.
+std::vector<std::vector<ItemId>> BuildCommunityPools(std::size_t num_items,
+                                                     std::size_t n_comm) {
+  std::vector<std::vector<ItemId>> pools(n_comm);
+  for (std::size_t i = 0; i < num_items; ++i) {
+    pools[i % n_comm].push_back(static_cast<ItemId>(i));
+  }
+  return pools;
+}
+
+}  // namespace
+
+Result<Dataset> GenerateZipfDataset(const SyntheticSpec& spec) {
+  GF_RETURN_IF_ERROR(ValidateSpec(spec));
+
+  Rng rng(spec.seed);
+  // Item id == global popularity rank, so one global Zipf sampler and
+  // one per-community Zipf sampler (over the pool's local ranks) suffice.
+  const ZipfSampler global_zipf(spec.num_items, spec.zipf_exponent);
+
+  const std::size_t n_comm =
+      std::min(spec.num_communities, spec.num_items);  // no empty pools
+  const bool communities = n_comm > 1;
+  std::vector<std::vector<ItemId>> pools;
+  std::vector<ZipfSampler> pool_zipf;
+  if (communities) {
+    pools = BuildCommunityPools(spec.num_items, n_comm);
+    pool_zipf.reserve(n_comm);
+    for (const auto& pool : pools) {
+      pool_zipf.emplace_back(pool.size(), spec.zipf_exponent);
+    }
+  }
+
+  std::vector<std::vector<ItemId>> profiles(spec.num_users);
+  std::unordered_set<ItemId> chosen;
+  for (std::size_t u = 0; u < spec.num_users; ++u) {
+    const std::size_t size = DrawProfileSize(spec, rng);
+    const std::size_t comm = communities ? rng.Below(n_comm) : 0;
+    chosen.clear();
+    // Rejection sampling without replacement; the clip to half the item
+    // universe (or pool) bounds the expected number of rejections.
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = 50 * size + 1000;
+    while (chosen.size() < size && attempts < max_attempts) {
+      ++attempts;
+      ItemId item;
+      if (communities && rng.NextDouble() < spec.community_affinity) {
+        const auto& pool = pools[comm];
+        item = pool[pool_zipf[comm].Sample(rng)];
+      } else {
+        item = static_cast<ItemId>(global_zipf.Sample(rng));
+      }
+      chosen.insert(item);
+    }
+    profiles[u].assign(chosen.begin(), chosen.end());
+  }
+  return Dataset::FromProfiles(std::move(profiles), spec.num_items,
+                               spec.name);
+}
+
+Result<RatingDataset> GenerateZipfRatings(const SyntheticSpec& spec) {
+  Dataset positives;
+  GF_ASSIGN_OR_RETURN(positives, GenerateZipfDataset(spec));
+
+  // The binarized profile becomes the >3 part; add ~45/55 negative
+  // ratings on extra items so Binarize() has something to cut.
+  Rng rng(SplitMix64(spec.seed ^ 0xFEEDFACEULL));
+  const ZipfSampler zipf(spec.num_items, spec.zipf_exponent);
+  std::vector<Rating> ratings;
+  ratings.reserve(positives.NumEntries() * 2);
+  for (UserId u = 0; u < positives.NumUsers(); ++u) {
+    const auto profile = positives.Profile(u);
+    for (ItemId it : profile) {
+      // Positive ratings: 4 or 5.
+      ratings.push_back({u, it, rng.Bernoulli(0.5) ? 4.0f : 5.0f});
+    }
+    // Negatives: ~80% as many as positives, rated 1-3.
+    const std::size_t n_neg = static_cast<std::size_t>(
+        std::llround(0.8 * static_cast<double>(profile.size())));
+    for (std::size_t j = 0; j < n_neg; ++j) {
+      const auto item = static_cast<ItemId>(zipf.Sample(rng));
+      ratings.push_back(
+          {u, item, static_cast<float>(1 + rng.Below(3))});
+    }
+  }
+  return RatingDataset(std::move(ratings), positives.NumUsers(),
+                       spec.num_items, spec.name);
+}
+
+Result<Dataset> GenerateSocialGraphDataset(const SocialGraphSpec& spec) {
+  if (spec.num_nodes < 2) return Status::InvalidArgument("num_nodes < 2");
+  if (spec.edges_per_node == 0) {
+    return Status::InvalidArgument("edges_per_node == 0");
+  }
+
+  Rng rng(spec.seed);
+  // Barabasi-Albert preferential attachment via the repeated-endpoints
+  // trick: sampling a uniform position in the edge-endpoint log is
+  // proportional to degree.
+  std::vector<std::unordered_set<ItemId>> adj(spec.num_nodes);
+  std::vector<ItemId> endpoints;
+  endpoints.reserve(2 * spec.num_nodes * spec.edges_per_node);
+
+  const std::size_t seed_nodes = std::max<std::size_t>(
+      2, std::min(spec.edges_per_node + 1, spec.num_nodes));
+  for (std::size_t v = 1; v < seed_nodes; ++v) {
+    adj[v].insert(static_cast<ItemId>(v - 1));
+    adj[v - 1].insert(static_cast<ItemId>(v));
+    endpoints.push_back(static_cast<ItemId>(v));
+    endpoints.push_back(static_cast<ItemId>(v - 1));
+  }
+  for (std::size_t v = seed_nodes; v < spec.num_nodes; ++v) {
+    std::size_t added = 0;
+    std::size_t attempts = 0;
+    while (added < spec.edges_per_node && attempts < 100 * spec.edges_per_node) {
+      ++attempts;
+      const ItemId target = endpoints[rng.Below(endpoints.size())];
+      if (target == static_cast<ItemId>(v)) continue;
+      if (!adj[v].insert(target).second) continue;
+      adj[target].insert(static_cast<ItemId>(v));
+      endpoints.push_back(static_cast<ItemId>(v));
+      endpoints.push_back(target);
+      ++added;
+    }
+  }
+
+  // Users are the nodes with enough neighbors; every node stays an item.
+  std::vector<std::vector<ItemId>> profiles;
+  profiles.reserve(spec.num_nodes);
+  for (std::size_t v = 0; v < spec.num_nodes; ++v) {
+    if (adj[v].size() >= spec.min_degree) {
+      profiles.emplace_back(adj[v].begin(), adj[v].end());
+    }
+  }
+  return Dataset::FromProfiles(std::move(profiles), spec.num_nodes,
+                               spec.name);
+}
+
+std::string PaperDatasetName(PaperDataset d) {
+  switch (d) {
+    case PaperDataset::kMovieLens1M: return "ml1M";
+    case PaperDataset::kMovieLens10M: return "ml10M";
+    case PaperDataset::kMovieLens20M: return "ml20M";
+    case PaperDataset::kAmazonMovies: return "AM";
+    case PaperDataset::kDblp: return "DBLP";
+    case PaperDataset::kGowalla: return "GW";
+  }
+  return "unknown";
+}
+
+SyntheticSpec PaperSpec(PaperDataset d, double scale) {
+  // Calibration targets from Table 2 of the paper.
+  SyntheticSpec spec;
+  switch (d) {
+    case PaperDataset::kMovieLens1M:
+      spec = {.name = "ml1M", .num_users = 6038, .num_items = 3533,
+              .mean_profile_size = 95.28, .profile_size_sigma = 1.05,
+              .zipf_exponent = 0.95, .num_communities = 24,
+              .community_affinity = 0.6, .min_profile_size = 8,
+              .seed = 1001};
+      break;
+    case PaperDataset::kMovieLens10M:
+      spec = {.name = "ml10M", .num_users = 69816, .num_items = 10472,
+              .mean_profile_size = 84.30, .profile_size_sigma = 1.1,
+              .zipf_exponent = 0.95, .num_communities = 48,
+              .community_affinity = 0.6, .min_profile_size = 8,
+              .seed = 1010};
+      break;
+    case PaperDataset::kMovieLens20M:
+      spec = {.name = "ml20M", .num_users = 138362, .num_items = 22884,
+              .mean_profile_size = 88.14, .profile_size_sigma = 1.1,
+              .zipf_exponent = 0.95, .num_communities = 64,
+              .community_affinity = 0.6, .min_profile_size = 8,
+              .seed = 1020};
+      break;
+    case PaperDataset::kAmazonMovies:
+      spec = {.name = "AM", .num_users = 57430, .num_items = 171356,
+              .mean_profile_size = 56.82, .profile_size_sigma = 1.2,
+              .zipf_exponent = 1.05, .num_communities = 256,
+              .community_affinity = 0.75, .min_profile_size = 5,
+              .seed = 1030};
+      break;
+    case PaperDataset::kDblp:
+      spec = {.name = "DBLP", .num_users = 18889, .num_items = 203030,
+              .mean_profile_size = 36.67, .profile_size_sigma = 1.0,
+              .zipf_exponent = 1.0, .num_communities = 512,
+              .community_affinity = 0.85, .min_profile_size = 5,
+              .seed = 1040};
+      break;
+    case PaperDataset::kGowalla:
+      spec = {.name = "GW", .num_users = 20270, .num_items = 135540,
+              .mean_profile_size = 54.64, .profile_size_sigma = 1.1,
+              .zipf_exponent = 1.0, .num_communities = 384,
+              .community_affinity = 0.8, .min_profile_size = 5,
+              .seed = 1050};
+      break;
+  }
+  if (scale != 1.0) {
+    spec.num_users = std::max<std::size_t>(
+        64, static_cast<std::size_t>(spec.num_users * scale));
+    spec.num_items = std::max<std::size_t>(
+        static_cast<std::size_t>(4 * spec.mean_profile_size),
+        static_cast<std::size_t>(spec.num_items * scale));
+    spec.num_communities = std::max<std::size_t>(
+        4, static_cast<std::size_t>(spec.num_communities * scale));
+  }
+  return spec;
+}
+
+Result<Dataset> GeneratePaperDataset(PaperDataset d, double scale,
+                                     uint64_t seed) {
+  SyntheticSpec spec = PaperSpec(d, scale);
+  spec.seed = SplitMix64(spec.seed ^ seed);
+  return GenerateZipfDataset(spec);
+}
+
+std::vector<PaperDataset> AllPaperDatasets() {
+  return {PaperDataset::kMovieLens1M,  PaperDataset::kMovieLens10M,
+          PaperDataset::kMovieLens20M, PaperDataset::kAmazonMovies,
+          PaperDataset::kDblp,         PaperDataset::kGowalla};
+}
+
+}  // namespace gf

@@ -1,0 +1,31 @@
+// Fundamental identifiers and records of the bipartite user-item model
+// (paper §2.1): users U, items I, profiles P_u ⊆ I.
+
+#ifndef GF_DATASET_TYPES_H_
+#define GF_DATASET_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace gf {
+
+/// Dense user index in [0, |U|).
+using UserId = uint32_t;
+/// Dense item index in [0, |I|).
+using ItemId = uint32_t;
+
+constexpr UserId kInvalidUser = std::numeric_limits<UserId>::max();
+constexpr ItemId kInvalidItem = std::numeric_limits<ItemId>::max();
+
+/// One (user, item, rating) record of a raw rating dataset.
+struct Rating {
+  UserId user = 0;
+  ItemId item = 0;
+  float value = 0.0f;
+
+  friend bool operator==(const Rating&, const Rating&) = default;
+};
+
+}  // namespace gf
+
+#endif  // GF_DATASET_TYPES_H_

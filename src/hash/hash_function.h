@@ -1,0 +1,51 @@
+// Named item-hash selection for the fingerprinter. GoldFinger hashes each
+// item ID once into [0, b); the choice of underlying hash is an ablation
+// axis (the paper uses Jenkins').
+
+#ifndef GF_HASH_HASH_FUNCTION_H_
+#define GF_HASH_HASH_FUNCTION_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/random.h"
+#include "hash/jenkins.h"
+#include "hash/murmur3.h"
+#include "hash/xxhash.h"
+
+namespace gf::hash {
+
+/// Hash algorithms available to the fingerprinter. kXxHash must remain
+/// the last enumerator (the serialization layer range-checks on it).
+enum class HashKind {
+  kJenkins,    // lookup3 (the paper's choice)
+  kMurmur3,    // fmix64-based
+  kSplitMix,   // SplitMix64 mixer
+  kXxHash,     // XXH64
+};
+
+/// Returns the canonical name of a hash kind.
+constexpr std::string_view HashKindName(HashKind kind) {
+  switch (kind) {
+    case HashKind::kJenkins: return "jenkins";
+    case HashKind::kMurmur3: return "murmur3";
+    case HashKind::kSplitMix: return "splitmix";
+    case HashKind::kXxHash: return "xxhash";
+  }
+  return "unknown";
+}
+
+/// Hashes a 64-bit key with the given algorithm and seed.
+inline uint64_t HashKey(HashKind kind, uint64_t key, uint64_t seed) {
+  switch (kind) {
+    case HashKind::kJenkins: return JenkinsHash64(key, seed);
+    case HashKind::kMurmur3: return Murmur3Hash64(key, seed);
+    case HashKind::kSplitMix: return SplitMix64(key ^ SplitMix64(seed));
+    case HashKind::kXxHash: return Xxh64Key(key, seed);
+  }
+  return 0;
+}
+
+}  // namespace gf::hash
+
+#endif  // GF_HASH_HASH_FUNCTION_H_

@@ -1,0 +1,114 @@
+#include "hash/jenkins.h"
+
+#include <cstring>
+
+namespace gf::hash {
+
+uint32_t JenkinsOneAtATime(const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t h = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    h += bytes[i];
+    h += h << 10;
+    h ^= h >> 6;
+  }
+  h += h << 3;
+  h ^= h >> 11;
+  h += h << 15;
+  return h;
+}
+
+namespace {
+
+constexpr uint32_t Rot(uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+
+// lookup3 mixing steps, verbatim from Jenkins' reference code.
+void Mix(uint32_t& a, uint32_t& b, uint32_t& c) {
+  a -= c; a ^= Rot(c, 4);  c += b;
+  b -= a; b ^= Rot(a, 6);  a += c;
+  c -= b; c ^= Rot(b, 8);  b += a;
+  a -= c; a ^= Rot(c, 16); c += b;
+  b -= a; b ^= Rot(a, 19); a += c;
+  c -= b; c ^= Rot(b, 4);  b += a;
+}
+
+void Final(uint32_t& a, uint32_t& b, uint32_t& c) {
+  c ^= b; c -= Rot(b, 14);
+  a ^= c; a -= Rot(c, 11);
+  b ^= a; b -= Rot(a, 25);
+  c ^= b; c -= Rot(b, 16);
+  a ^= c; a -= Rot(c, 4);
+  b ^= a; b -= Rot(a, 14);
+  c ^= b; c -= Rot(b, 24);
+}
+
+// hashlittle2: produces two 32-bit results (pc, pb). Reads the buffer
+// byte-wise for portability (no unaligned loads, no endianness games).
+void HashLittle2(const void* data, std::size_t length, uint32_t* pc,
+                 uint32_t* pb) {
+  const auto* k = static_cast<const unsigned char*>(data);
+  uint32_t a = 0xdeadbeef + static_cast<uint32_t>(length) + *pc;
+  uint32_t b = a;
+  uint32_t c = a + *pb;
+
+  auto load32 = [](const unsigned char* p) {
+    return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+  };
+
+  while (length > 12) {
+    a += load32(k);
+    b += load32(k + 4);
+    c += load32(k + 8);
+    Mix(a, b, c);
+    length -= 12;
+    k += 12;
+  }
+
+  // Tail: fall-through switch over the remaining bytes, as in the
+  // reference implementation.
+  switch (length) {
+    case 12: c += static_cast<uint32_t>(k[11]) << 24; [[fallthrough]];
+    case 11: c += static_cast<uint32_t>(k[10]) << 16; [[fallthrough]];
+    case 10: c += static_cast<uint32_t>(k[9]) << 8; [[fallthrough]];
+    case 9:  c += k[8]; [[fallthrough]];
+    case 8:  b += static_cast<uint32_t>(k[7]) << 24; [[fallthrough]];
+    case 7:  b += static_cast<uint32_t>(k[6]) << 16; [[fallthrough]];
+    case 6:  b += static_cast<uint32_t>(k[5]) << 8; [[fallthrough]];
+    case 5:  b += k[4]; [[fallthrough]];
+    case 4:  a += static_cast<uint32_t>(k[3]) << 24; [[fallthrough]];
+    case 3:  a += static_cast<uint32_t>(k[2]) << 16; [[fallthrough]];
+    case 2:  a += static_cast<uint32_t>(k[1]) << 8; [[fallthrough]];
+    case 1:  a += k[0]; break;
+    case 0:
+      *pc = c;
+      *pb = b;
+      return;
+  }
+  Final(a, b, c);
+  *pc = c;
+  *pb = b;
+}
+
+}  // namespace
+
+uint32_t JenkinsLookup3(const void* data, std::size_t len, uint32_t seed) {
+  uint32_t pc = seed;
+  uint32_t pb = 0;
+  HashLittle2(data, len, &pc, &pb);
+  return pc;
+}
+
+uint64_t JenkinsHash64(uint64_t key, uint64_t seed) {
+  unsigned char buf[8];
+  std::memcpy(buf, &key, sizeof(buf));
+  uint32_t pc = static_cast<uint32_t>(seed);
+  uint32_t pb = static_cast<uint32_t>(seed >> 32);
+  HashLittle2(buf, sizeof(buf), &pc, &pb);
+  return (static_cast<uint64_t>(pb) << 32) | pc;
+}
+
+}  // namespace gf::hash

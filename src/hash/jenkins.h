@@ -1,0 +1,29 @@
+// Bob Jenkins' hash functions. The paper computes SHFs "with Jenkins'
+// hash function [28]" (Dr Dobbs 1997); we provide both the classic
+// one-at-a-time function from that article and the stronger lookup3
+// (hashlittle) revision, plus 64-bit-key conveniences. lookup3 is the
+// library default for fingerprinting.
+
+#ifndef GF_HASH_JENKINS_H_
+#define GF_HASH_JENKINS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gf::hash {
+
+/// Jenkins one-at-a-time hash over a byte buffer (Dr Dobbs, 1997).
+uint32_t JenkinsOneAtATime(const void* data, std::size_t len);
+
+/// Jenkins lookup3 `hashlittle` over a byte buffer, with a 32-bit seed.
+uint32_t JenkinsLookup3(const void* data, std::size_t len,
+                        uint32_t seed = 0);
+
+/// lookup3 applied to a 64-bit key, returning 64 bits (hashlittle2's two
+/// 32-bit outputs concatenated). This is the item -> bit mapping used by
+/// the fingerprinter.
+uint64_t JenkinsHash64(uint64_t key, uint64_t seed = 0);
+
+}  // namespace gf::hash
+
+#endif  // GF_HASH_JENKINS_H_

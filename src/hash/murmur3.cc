@@ -1,0 +1,56 @@
+#include "hash/murmur3.h"
+
+namespace gf::hash {
+
+namespace {
+constexpr uint32_t Rotl32(uint32_t x, int r) {
+  return (x << r) | (x >> (32 - r));
+}
+}  // namespace
+
+uint32_t Murmur3x86_32(const void* data, std::size_t len, uint32_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const std::size_t n_blocks = len / 4;
+  uint32_t h1 = seed;
+  constexpr uint32_t c1 = 0xcc9e2d51;
+  constexpr uint32_t c2 = 0x1b873593;
+
+  auto load32 = [](const unsigned char* p) {
+    return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+  };
+
+  for (std::size_t i = 0; i < n_blocks; ++i) {
+    uint32_t k1 = load32(bytes + i * 4);
+    k1 *= c1;
+    k1 = Rotl32(k1, 15);
+    k1 *= c2;
+    h1 ^= k1;
+    h1 = Rotl32(h1, 13);
+    h1 = h1 * 5 + 0xe6546b64;
+  }
+
+  const unsigned char* tail = bytes + n_blocks * 4;
+  uint32_t k1 = 0;
+  switch (len & 3) {
+    case 3: k1 ^= static_cast<uint32_t>(tail[2]) << 16; [[fallthrough]];
+    case 2: k1 ^= static_cast<uint32_t>(tail[1]) << 8; [[fallthrough]];
+    case 1:
+      k1 ^= tail[0];
+      k1 *= c1;
+      k1 = Rotl32(k1, 15);
+      k1 *= c2;
+      h1 ^= k1;
+  }
+
+  h1 ^= static_cast<uint32_t>(len);
+  h1 ^= h1 >> 16;
+  h1 *= 0x85ebca6b;
+  h1 ^= h1 >> 13;
+  h1 *= 0xc2b2ae35;
+  h1 ^= h1 >> 16;
+  return h1;
+}
+
+}  // namespace gf::hash

@@ -1,0 +1,35 @@
+// MurmurHash3 (Austin Appleby, public domain): the x64 finalizer for
+// 64-bit keys and the x86_32 variant for byte buffers. Provided as an
+// alternative fingerprinting hash so the hash-sensitivity of GoldFinger
+// can be measured (ablation bench).
+
+#ifndef GF_HASH_MURMUR3_H_
+#define GF_HASH_MURMUR3_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gf::hash {
+
+/// MurmurHash3's 64-bit finalizer (fmix64): a fast bijective mixer, a
+/// good standalone integer hash.
+constexpr uint64_t Murmur3Fmix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Seeded 64-bit key hash built from fmix64.
+constexpr uint64_t Murmur3Hash64(uint64_t key, uint64_t seed = 0) {
+  return Murmur3Fmix64(key ^ Murmur3Fmix64(seed));
+}
+
+/// MurmurHash3_x86_32 over a byte buffer.
+uint32_t Murmur3x86_32(const void* data, std::size_t len, uint32_t seed = 0);
+
+}  // namespace gf::hash
+
+#endif  // GF_HASH_MURMUR3_H_

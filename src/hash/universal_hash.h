@@ -1,0 +1,70 @@
+// 2-universal hash family over the Mersenne prime p = 2^61 - 1:
+// h_{a,b}(x) = ((a*x + b) mod p) mod m. Used as min-wise hash functions
+// by LSH and as the permutation generators of b-bit minwise hashing.
+
+#ifndef GF_HASH_UNIVERSAL_HASH_H_
+#define GF_HASH_UNIVERSAL_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace gf::hash {
+
+/// The Mersenne prime 2^61 - 1.
+constexpr uint64_t kMersenne61 = (uint64_t{1} << 61) - 1;
+
+/// Reduces a 128-bit product modulo 2^61 - 1 using the Mersenne identity
+/// (2^61 ≡ 1 mod p), without division.
+constexpr uint64_t ModMersenne61(__uint128_t x) {
+  uint64_t lo = static_cast<uint64_t>(x & kMersenne61);
+  uint64_t hi = static_cast<uint64_t>(x >> 61);
+  uint64_t r = lo + hi;
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+/// One member h(x) = ((a*x + b) mod p) of the 2-universal family, with
+/// a in [1, p), b in [0, p). Output is in [0, p).
+class UniversalHash {
+ public:
+  /// Draws (a, b) from `rng`.
+  explicit UniversalHash(Rng& rng)
+      : a_(1 + rng.Below(kMersenne61 - 1)), b_(rng.Below(kMersenne61)) {}
+
+  /// Fixed coefficients (for tests and serialization).
+  UniversalHash(uint64_t a, uint64_t b) : a_(a % kMersenne61), b_(b % kMersenne61) {}
+
+  uint64_t operator()(uint64_t x) const {
+    return ModMersenne61(static_cast<__uint128_t>(a_) * (x % kMersenne61) + b_);
+  }
+
+  uint64_t a() const { return a_; }
+  uint64_t b() const { return b_; }
+
+ private:
+  uint64_t a_;
+  uint64_t b_;
+};
+
+/// A family of `count` independent universal hash functions, the
+/// signature machinery shared by MinHash and LSH.
+class UniversalHashFamily {
+ public:
+  UniversalHashFamily(std::size_t count, uint64_t seed) {
+    Rng rng(seed);
+    fns_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) fns_.emplace_back(rng);
+  }
+
+  std::size_t size() const { return fns_.size(); }
+  const UniversalHash& operator[](std::size_t i) const { return fns_[i]; }
+
+ private:
+  std::vector<UniversalHash> fns_;
+};
+
+}  // namespace gf::hash
+
+#endif  // GF_HASH_UNIVERSAL_HASH_H_

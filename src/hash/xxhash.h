@@ -1,0 +1,21 @@
+// XXH64 (Yann Collet, BSD): a modern high-throughput 64-bit hash,
+// provided as a fourth fingerprinting hash option and validated against
+// the official test vectors. Implemented from the xxHash specification.
+
+#ifndef GF_HASH_XXHASH_H_
+#define GF_HASH_XXHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gf::hash {
+
+/// XXH64 of a byte buffer.
+uint64_t Xxh64(const void* data, std::size_t len, uint64_t seed = 0);
+
+/// XXH64 of a 64-bit key (hashes its 8 little-endian bytes).
+uint64_t Xxh64Key(uint64_t key, uint64_t seed = 0);
+
+}  // namespace gf::hash
+
+#endif  // GF_HASH_XXHASH_H_

@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib convention) used by the
+// serialization container to detect corruption.
+
+#ifndef GF_IO_CRC32_H_
+#define GF_IO_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gf::io {
+
+/// CRC-32 of `len` bytes, continuing from `seed` (pass 0 to start; the
+/// standard init/finalize inversions are handled internally, so chained
+/// calls compose: Crc32(b, n2, Crc32(a, n1)) == CRC of a||b).
+uint32_t Crc32(const void* data, std::size_t len, uint32_t seed = 0);
+
+}  // namespace gf::io
+
+#endif  // GF_IO_CRC32_H_

@@ -1,0 +1,358 @@
+#include "io/serialization.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "io/crc32.h"
+
+namespace gf::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'F', 'S', 'Z'};
+constexpr uint32_t kFormatVersion = 1;
+
+enum class PayloadKind : uint32_t {
+  kDataset = 1,
+  kFingerprintStore = 2,
+  kKnnGraph = 3,
+};
+
+// ---- little-endian primitives -----------------------------------------
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutF32(std::string& out, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(out, bits);
+}
+
+void PutString(std::string& out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+// Bounds-checked cursor over a byte buffer.
+class Reader {
+ public:
+  explicit Reader(std::string_view buffer) : buffer_(buffer) {}
+
+  Status ReadU32(uint32_t* out) {
+    if (pos_ + 4 > buffer_.size()) return Truncated("u32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(
+               static_cast<unsigned char>(buffer_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status ReadU64(uint64_t* out) {
+    if (pos_ + 8 > buffer_.size()) return Truncated("u64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(
+               static_cast<unsigned char>(buffer_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status ReadF32(float* out) {
+    uint32_t bits = 0;
+    GF_RETURN_IF_ERROR(ReadU32(&bits));
+    std::memcpy(out, &bits, sizeof(*out));
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* out) {
+    uint32_t len = 0;
+    GF_RETURN_IF_ERROR(ReadU32(&len));
+    if (pos_ + len > buffer_.size()) return Truncated("string body");
+    out->assign(buffer_.data() + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return buffer_.size() - pos_; }
+
+ private:
+  Status Truncated(const char* what) const {
+    return Status::Corruption(std::string("buffer truncated reading ") +
+                              what + " at offset " + std::to_string(pos_));
+  }
+
+  std::string_view buffer_;
+  std::size_t pos_ = 0;
+};
+
+// ---- container ---------------------------------------------------------
+
+std::string WrapContainer(PayloadKind kind, std::string payload) {
+  std::string out;
+  out.reserve(payload.size() + 24);
+  out.append(kMagic, 4);
+  PutU32(out, kFormatVersion);
+  PutU32(out, static_cast<uint32_t>(kind));
+  PutU64(out, payload.size());
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  out += payload;
+  PutU32(out, crc);
+  return out;
+}
+
+Result<std::string_view> UnwrapContainer(std::string_view buffer,
+                                         PayloadKind expected_kind) {
+  if (buffer.size() < 24) {
+    return Status::Corruption("buffer smaller than the container header");
+  }
+  if (std::memcmp(buffer.data(), kMagic, 4) != 0) {
+    return Status::Corruption("bad magic (not a GFSZ container)");
+  }
+  Reader header(buffer.substr(4));
+  uint32_t version = 0, kind = 0;
+  uint64_t length = 0;
+  GF_RETURN_IF_ERROR(header.ReadU32(&version));
+  GF_RETURN_IF_ERROR(header.ReadU32(&kind));
+  GF_RETURN_IF_ERROR(header.ReadU64(&length));
+  if (version != kFormatVersion) {
+    return Status::Corruption("unsupported format version " +
+                              std::to_string(version));
+  }
+  if (kind != static_cast<uint32_t>(expected_kind)) {
+    return Status::InvalidArgument(
+        "container holds payload kind " + std::to_string(kind) +
+        ", expected " +
+        std::to_string(static_cast<uint32_t>(expected_kind)));
+  }
+  if (buffer.size() != 20 + length + 4) {
+    return Status::Corruption("container length mismatch");
+  }
+  const std::string_view payload = buffer.substr(20, length);
+  Reader crc_reader(buffer.substr(20 + length));
+  uint32_t stored_crc = 0;
+  GF_RETURN_IF_ERROR(crc_reader.ReadU32(&stored_crc));
+  const uint32_t actual_crc = Crc32(payload.data(), payload.size());
+  if (stored_crc != actual_crc) {
+    return Status::Corruption("payload CRC mismatch");
+  }
+  return payload;
+}
+
+// ---- file helpers ------------------------------------------------------
+
+Status WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::IOError("write failed on " + path);
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed on " + path);
+  return ss.str();
+}
+
+}  // namespace
+
+// ---- Dataset -----------------------------------------------------------
+
+std::string SerializeDataset(const Dataset& dataset) {
+  std::string payload;
+  PutString(payload, dataset.name());
+  PutU64(payload, dataset.NumUsers());
+  PutU64(payload, dataset.NumItems());
+  PutU64(payload, dataset.NumEntries());
+  for (UserId u = 0; u < dataset.NumUsers(); ++u) {
+    const auto profile = dataset.Profile(u);
+    PutU32(payload, static_cast<uint32_t>(profile.size()));
+    for (ItemId it : profile) PutU32(payload, it);
+  }
+  return WrapContainer(PayloadKind::kDataset, std::move(payload));
+}
+
+Result<Dataset> DeserializeDataset(std::string_view buffer) {
+  std::string_view payload;
+  GF_ASSIGN_OR_RETURN(payload,
+                      UnwrapContainer(buffer, PayloadKind::kDataset));
+  Reader reader(payload);
+  std::string name;
+  uint64_t users = 0, items = 0, entries = 0;
+  GF_RETURN_IF_ERROR(reader.ReadString(&name));
+  GF_RETURN_IF_ERROR(reader.ReadU64(&users));
+  GF_RETURN_IF_ERROR(reader.ReadU64(&items));
+  GF_RETURN_IF_ERROR(reader.ReadU64(&entries));
+
+  std::vector<std::vector<ItemId>> profiles(users);
+  uint64_t total = 0;
+  for (uint64_t u = 0; u < users; ++u) {
+    uint32_t size = 0;
+    GF_RETURN_IF_ERROR(reader.ReadU32(&size));
+    profiles[u].reserve(size);
+    for (uint32_t i = 0; i < size; ++i) {
+      uint32_t item = 0;
+      GF_RETURN_IF_ERROR(reader.ReadU32(&item));
+      profiles[u].push_back(item);
+    }
+    total += size;
+  }
+  if (total != entries) {
+    return Status::Corruption("entry count mismatch: header says " +
+                              std::to_string(entries) + ", profiles hold " +
+                              std::to_string(total));
+  }
+  return Dataset::FromProfiles(std::move(profiles), items, std::move(name));
+}
+
+// ---- FingerprintStore ----------------------------------------------------
+
+std::string SerializeFingerprintStore(const FingerprintStore& store) {
+  std::string payload;
+  const FingerprintConfig& config = store.config();
+  PutU64(payload, config.num_bits);
+  PutU32(payload, static_cast<uint32_t>(config.hash));
+  PutU64(payload, config.seed);
+  PutU64(payload, config.hashes_per_item);
+  PutU64(payload, store.num_users());
+  for (UserId u = 0; u < store.num_users(); ++u) {
+    PutU32(payload, store.CardinalityOf(u));
+  }
+  for (UserId u = 0; u < store.num_users(); ++u) {
+    for (uint64_t word : store.WordsOf(u)) PutU64(payload, word);
+  }
+  return WrapContainer(PayloadKind::kFingerprintStore, std::move(payload));
+}
+
+Result<FingerprintStore> DeserializeFingerprintStore(
+    std::string_view buffer) {
+  std::string_view payload;
+  GF_ASSIGN_OR_RETURN(
+      payload, UnwrapContainer(buffer, PayloadKind::kFingerprintStore));
+  Reader reader(payload);
+  FingerprintConfig config;
+  uint64_t num_bits = 0, seed = 0, hashes = 0, users = 0;
+  uint32_t hash_kind = 0;
+  GF_RETURN_IF_ERROR(reader.ReadU64(&num_bits));
+  GF_RETURN_IF_ERROR(reader.ReadU32(&hash_kind));
+  GF_RETURN_IF_ERROR(reader.ReadU64(&seed));
+  GF_RETURN_IF_ERROR(reader.ReadU64(&hashes));
+  GF_RETURN_IF_ERROR(reader.ReadU64(&users));
+  if (hash_kind > static_cast<uint32_t>(hash::HashKind::kXxHash)) {
+    return Status::Corruption("unknown hash kind " +
+                              std::to_string(hash_kind));
+  }
+  config.num_bits = num_bits;
+  config.hash = static_cast<hash::HashKind>(hash_kind);
+  config.seed = seed;
+  config.hashes_per_item = hashes;
+
+  std::vector<uint32_t> cardinalities(users);
+  for (uint64_t u = 0; u < users; ++u) {
+    GF_RETURN_IF_ERROR(reader.ReadU32(&cardinalities[u]));
+  }
+  const std::size_t words_per = bits::WordsForBits(num_bits);
+  std::vector<uint64_t> words(users * words_per);
+  for (auto& w : words) GF_RETURN_IF_ERROR(reader.ReadU64(&w));
+  return FingerprintStore::FromRaw(config, users, std::move(words),
+                                   std::move(cardinalities));
+}
+
+// ---- KnnGraph ------------------------------------------------------------
+
+std::string SerializeKnnGraph(const KnnGraph& graph) {
+  std::string payload;
+  PutU64(payload, graph.NumUsers());
+  PutU64(payload, graph.k());
+  for (UserId u = 0; u < graph.NumUsers(); ++u) {
+    const auto neighbors = graph.NeighborsOf(u);
+    PutU32(payload, static_cast<uint32_t>(neighbors.size()));
+    for (const Neighbor& nb : neighbors) {
+      PutU32(payload, nb.id);
+      PutF32(payload, nb.similarity);
+    }
+  }
+  return WrapContainer(PayloadKind::kKnnGraph, std::move(payload));
+}
+
+Result<KnnGraph> DeserializeKnnGraph(std::string_view buffer) {
+  std::string_view payload;
+  GF_ASSIGN_OR_RETURN(payload,
+                      UnwrapContainer(buffer, PayloadKind::kKnnGraph));
+  Reader reader(payload);
+  uint64_t users = 0, k = 0;
+  GF_RETURN_IF_ERROR(reader.ReadU64(&users));
+  GF_RETURN_IF_ERROR(reader.ReadU64(&k));
+  std::vector<Neighbor> edges(users * k);
+  std::vector<uint32_t> counts(users, 0);
+  for (uint64_t u = 0; u < users; ++u) {
+    uint32_t size = 0;
+    GF_RETURN_IF_ERROR(reader.ReadU32(&size));
+    if (size > k) {
+      return Status::Corruption("user " + std::to_string(u) + " lists " +
+                                std::to_string(size) +
+                                " neighbors but k = " + std::to_string(k));
+    }
+    counts[u] = size;
+    for (uint32_t i = 0; i < size; ++i) {
+      Neighbor nb;
+      GF_RETURN_IF_ERROR(reader.ReadU32(&nb.id));
+      GF_RETURN_IF_ERROR(reader.ReadF32(&nb.similarity));
+      edges[u * k + i] = nb;
+    }
+  }
+  return KnnGraph(users, k, std::move(edges), std::move(counts));
+}
+
+// ---- files ----------------------------------------------------------------
+
+Status WriteDataset(const Dataset& dataset, const std::string& path) {
+  return WriteFile(path, SerializeDataset(dataset));
+}
+
+Result<Dataset> ReadDataset(const std::string& path) {
+  std::string bytes;
+  GF_ASSIGN_OR_RETURN(bytes, ReadFile(path));
+  return DeserializeDataset(bytes);
+}
+
+Status WriteFingerprintStore(const FingerprintStore& store,
+                             const std::string& path) {
+  return WriteFile(path, SerializeFingerprintStore(store));
+}
+
+Result<FingerprintStore> ReadFingerprintStore(const std::string& path) {
+  std::string bytes;
+  GF_ASSIGN_OR_RETURN(bytes, ReadFile(path));
+  return DeserializeFingerprintStore(bytes);
+}
+
+Status WriteKnnGraph(const KnnGraph& graph, const std::string& path) {
+  return WriteFile(path, SerializeKnnGraph(graph));
+}
+
+Result<KnnGraph> ReadKnnGraph(const std::string& path) {
+  std::string bytes;
+  GF_ASSIGN_OR_RETURN(bytes, ReadFile(path));
+  return DeserializeKnnGraph(bytes);
+}
+
+}  // namespace gf::io

@@ -1,0 +1,55 @@
+// Binary serialization of the library's heavyweight artifacts: datasets,
+// fingerprint stores and KNN graphs. Motivated by the paper's §1
+// deployment story — fingerprints are computed locally and shipped to a
+// KNN service, and graphs are recomputed "in short intervals", so both
+// cross the wire / hit disk routinely.
+//
+// Container format (explicit little-endian, host-independent):
+//
+//   offset  size  field
+//   0       4     magic "GFSZ"
+//   4       4     format version (u32, currently 1)
+//   8       4     payload kind  (u32: 1=Dataset, 2=FingerprintStore,
+//                                3=KnnGraph)
+//   12      8     payload length in bytes (u64)
+//   20      N     payload (kind-specific, see the .cc)
+//   20+N    4     CRC-32 of the payload
+//
+// All readers validate magic, version, kind, length and CRC and return
+// Status::Corruption with a precise message on any mismatch.
+
+#ifndef GF_IO_SERIALIZATION_H_
+#define GF_IO_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/fingerprint_store.h"
+#include "dataset/dataset.h"
+#include "knn/graph.h"
+
+namespace gf::io {
+
+/// Serializes to an in-memory buffer (the file functions wrap these).
+std::string SerializeDataset(const Dataset& dataset);
+std::string SerializeFingerprintStore(const FingerprintStore& store);
+std::string SerializeKnnGraph(const KnnGraph& graph);
+
+/// Parses from an in-memory buffer.
+Result<Dataset> DeserializeDataset(std::string_view buffer);
+Result<FingerprintStore> DeserializeFingerprintStore(
+    std::string_view buffer);
+Result<KnnGraph> DeserializeKnnGraph(std::string_view buffer);
+
+/// File convenience wrappers.
+Status WriteDataset(const Dataset& dataset, const std::string& path);
+Result<Dataset> ReadDataset(const std::string& path);
+Status WriteFingerprintStore(const FingerprintStore& store,
+                             const std::string& path);
+Result<FingerprintStore> ReadFingerprintStore(const std::string& path);
+Status WriteKnnGraph(const KnnGraph& graph, const std::string& path);
+Result<KnnGraph> ReadKnnGraph(const std::string& path);
+
+}  // namespace gf::io
+
+#endif  // GF_IO_SERIALIZATION_H_

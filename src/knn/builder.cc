@@ -1,0 +1,166 @@
+#include "knn/builder.h"
+
+#include "common/timer.h"
+#include "core/fingerprint_store.h"
+#include "knn/brute_force.h"
+#include "knn/hyrec.h"
+#include "knn/kiff.h"
+#include "knn/nndescent.h"
+#include "knn/similarity_provider.h"
+
+namespace gf {
+
+std::string_view KnnAlgorithmName(KnnAlgorithm algorithm) {
+  switch (algorithm) {
+    case KnnAlgorithm::kBruteForce: return "BruteForce";
+    case KnnAlgorithm::kHyrec: return "Hyrec";
+    case KnnAlgorithm::kNNDescent: return "NNDescent";
+    case KnnAlgorithm::kLsh: return "LSH";
+    case KnnAlgorithm::kKiff: return "KIFF";
+    case KnnAlgorithm::kBandedLsh: return "BandedLSH";
+    case KnnAlgorithm::kBisection: return "Bisection";
+  }
+  return "unknown";
+}
+
+std::string_view SimilarityModeName(SimilarityMode mode) {
+  switch (mode) {
+    case SimilarityMode::kNative: return "native";
+    case SimilarityMode::kGoldFinger: return "GolFi";
+    case SimilarityMode::kBbitMinHash: return "MinHash";
+  }
+  return "unknown";
+}
+
+std::string_view SimilarityMetricName(SimilarityMetric metric) {
+  switch (metric) {
+    case SimilarityMetric::kJaccard: return "jaccard";
+    case SimilarityMetric::kCosine: return "cosine";
+  }
+  return "unknown";
+}
+
+namespace {
+
+template <typename Provider>
+KnnGraph RunAlgorithm(const Dataset& dataset, const Provider& provider,
+                      const KnnPipelineConfig& config, ThreadPool* pool,
+                      KnnBuildStats* stats) {
+  switch (config.algorithm) {
+    case KnnAlgorithm::kBruteForce:
+      return BruteForceKnn(provider, config.greedy.k, pool, stats);
+    case KnnAlgorithm::kHyrec:
+      return HyrecKnn(provider, config.greedy, pool, stats);
+    case KnnAlgorithm::kNNDescent:
+      return NNDescentKnn(provider, config.greedy, pool, stats);
+    case KnnAlgorithm::kLsh: {
+      LshConfig lsh = config.lsh;
+      lsh.k = config.greedy.k;
+      return LshKnn(dataset, provider, lsh, pool, stats);
+    }
+    case KnnAlgorithm::kKiff: {
+      KiffConfig kiff;
+      kiff.k = config.greedy.k;
+      return KiffKnn(dataset, provider, kiff, pool, stats);
+    }
+    case KnnAlgorithm::kBandedLsh: {
+      BandedLshConfig banded = config.banded_lsh;
+      banded.k = config.greedy.k;
+      return BandedLshKnn(dataset, provider, banded, pool, stats);
+    }
+    case KnnAlgorithm::kBisection: {
+      BisectionConfig bisection = config.bisection;
+      bisection.k = config.greedy.k;
+      return RecursiveBisectionKnn(provider, bisection, stats);
+    }
+  }
+  return KnnGraph();
+}
+
+}  // namespace
+
+Result<KnnResult> BuildKnnGraph(const Dataset& dataset,
+                                const KnnPipelineConfig& config,
+                                ThreadPool* pool) {
+  if (config.greedy.k == 0) {
+    return Status::InvalidArgument("neighborhood size k must be >= 1");
+  }
+  if (dataset.NumUsers() == 0) {
+    return Status::InvalidArgument("dataset has no users");
+  }
+  if ((config.algorithm == KnnAlgorithm::kHyrec ||
+       config.algorithm == KnnAlgorithm::kNNDescent)) {
+    if (config.greedy.max_iterations == 0) {
+      return Status::InvalidArgument("max_iterations must be >= 1");
+    }
+    if (config.greedy.sample_rate <= 0.0) {
+      return Status::InvalidArgument("sample_rate must be positive");
+    }
+  }
+  if (config.algorithm == KnnAlgorithm::kLsh &&
+      config.lsh.num_functions == 0) {
+    return Status::InvalidArgument("LSH needs >= 1 hash function");
+  }
+  if (config.algorithm == KnnAlgorithm::kBandedLsh &&
+      (config.banded_lsh.bands == 0 || config.banded_lsh.rows == 0)) {
+    return Status::InvalidArgument("banded LSH needs bands, rows >= 1");
+  }
+  if (config.algorithm == KnnAlgorithm::kBisection) {
+    if (config.bisection.leaf_size == 0) {
+      return Status::InvalidArgument("bisection leaf_size must be >= 1");
+    }
+    if (config.bisection.overlap < 0.0 || config.bisection.overlap >= 1.0) {
+      return Status::InvalidArgument("bisection overlap must be in [0, 1)");
+    }
+  }
+
+  KnnResult result;
+  switch (config.mode) {
+    case SimilarityMode::kNative: {
+      if (config.metric == SimilarityMetric::kCosine) {
+        CosineProvider provider(dataset);
+        result.graph = RunAlgorithm(dataset, provider, config, pool,
+                                    &result.stats);
+      } else {
+        ExactJaccardProvider provider(dataset);
+        result.graph = RunAlgorithm(dataset, provider, config, pool,
+                                    &result.stats);
+      }
+      break;
+    }
+    case SimilarityMode::kGoldFinger: {
+      WallTimer prep;
+      auto store = FingerprintStore::Build(dataset, config.fingerprint, pool);
+      if (!store.ok()) return store.status();
+      result.preparation_seconds = prep.ElapsedSeconds();
+      if (config.metric == SimilarityMetric::kCosine) {
+        GoldFingerCosineProvider provider(store.value());
+        result.graph = RunAlgorithm(dataset, provider, config, pool,
+                                    &result.stats);
+      } else {
+        GoldFingerProvider provider(store.value());
+        result.graph = RunAlgorithm(dataset, provider, config, pool,
+                                    &result.stats);
+      }
+      break;
+    }
+    case SimilarityMode::kBbitMinHash: {
+      if (config.metric == SimilarityMetric::kCosine) {
+        return Status::InvalidArgument(
+            "b-bit MinHash only estimates Jaccard; use native or "
+            "GoldFinger mode for cosine");
+      }
+      WallTimer prep;
+      auto store = BbitMinHashStore::Build(dataset, config.minhash, pool);
+      if (!store.ok()) return store.status();
+      result.preparation_seconds = prep.ElapsedSeconds();
+      BbitMinHashProvider provider(store.value());
+      result.graph = RunAlgorithm(dataset, provider, config, pool,
+                                  &result.stats);
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace gf

@@ -1,0 +1,91 @@
+// High-level facade: one call builds a KNN graph from a binarized
+// dataset with any of the paper's four algorithms, natively or through
+// GoldFinger (or b-bit MinHash). This is the API the examples and the
+// Table-4 harness use; the algorithm templates in brute_force.h /
+// hyrec.h / nndescent.h / lsh.h remain available for custom providers.
+
+#ifndef GF_KNN_BUILDER_H_
+#define GF_KNN_BUILDER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/fingerprinter.h"
+#include "dataset/dataset.h"
+#include "knn/graph.h"
+#include "knn/banded_lsh.h"
+#include "knn/bisection.h"
+#include "knn/greedy_config.h"
+#include "knn/lsh.h"
+#include "knn/stats.h"
+#include "minhash/bbit_minhash.h"
+
+namespace gf {
+
+/// The four KNN graph construction algorithms of the paper (§3.2),
+/// plus the related-work/extension algorithms (§6): KIFF, banded
+/// MinHash LSH, recursive bisection.
+enum class KnnAlgorithm {
+  kBruteForce,
+  kHyrec,
+  kNNDescent,
+  kLsh,
+  kKiff,
+  kBandedLsh,
+  kBisection,
+};
+
+/// How pair similarities are evaluated.
+enum class SimilarityMode {
+  kNative,       // exact Jaccard on raw profiles
+  kGoldFinger,   // SHF-estimated Jaccard (the paper's contribution)
+  kBbitMinHash,  // b-bit minwise sketches (comparator, §3.2.1)
+};
+
+/// Which set similarity plays fsim (§2.1 admits any
+/// intersection-driven similarity; the paper evaluates Jaccard).
+enum class SimilarityMetric {
+  kJaccard,
+  kCosine,
+};
+
+std::string_view KnnAlgorithmName(KnnAlgorithm algorithm);
+std::string_view SimilarityModeName(SimilarityMode mode);
+std::string_view SimilarityMetricName(SimilarityMetric metric);
+
+/// Full pipeline configuration. `greedy.k` is the neighborhood size for
+/// every algorithm (lsh.k is kept in sync by the builder).
+struct KnnPipelineConfig {
+  KnnAlgorithm algorithm = KnnAlgorithm::kBruteForce;
+  SimilarityMode mode = SimilarityMode::kNative;
+  /// fsim; cosine is available for native and GoldFinger modes (b-bit
+  /// MinHash only estimates Jaccard).
+  SimilarityMetric metric = SimilarityMetric::kJaccard;
+  GreedyConfig greedy;
+  LshConfig lsh;
+  BandedLshConfig banded_lsh;
+  BisectionConfig bisection;
+  FingerprintConfig fingerprint;     // GoldFinger mode
+  BbitMinHashConfig minhash;         // MinHash mode
+};
+
+/// Result of a pipeline run. `preparation_seconds` is the cost of
+/// building the similarity substrate (fingerprints / signatures; 0 for
+/// native), reported separately as in Table 3; `stats.seconds` is the
+/// construction time, as in Table 4.
+struct KnnResult {
+  KnnGraph graph;
+  KnnBuildStats stats;
+  double preparation_seconds = 0.0;
+};
+
+/// Runs the configured pipeline. Fails on invalid configurations
+/// (k == 0, bad fingerprint length, ...).
+Result<KnnResult> BuildKnnGraph(const Dataset& dataset,
+                                const KnnPipelineConfig& config,
+                                ThreadPool* pool = nullptr);
+
+}  // namespace gf
+
+#endif  // GF_KNN_BUILDER_H_

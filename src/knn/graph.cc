@@ -1,0 +1,82 @@
+#include "knn/graph.h"
+
+#include <algorithm>
+
+namespace gf {
+
+std::size_t KnnGraph::NumEdges() const {
+  std::size_t total = 0;
+  for (uint32_t c : counts_) total += c;
+  return total;
+}
+
+double KnnGraph::AverageStoredSimilarity() const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (UserId u = 0; u < num_users_; ++u) {
+    for (const Neighbor& nb : NeighborsOf(u)) {
+      sum += nb.similarity;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+NeighborLists::NeighborLists(std::size_t num_users, std::size_t k)
+    : num_users_(num_users),
+      k_(k),
+      entries_(num_users * k),
+      sizes_(num_users, 0),
+      locks_(num_users) {}
+
+bool NeighborLists::Insert(UserId u, UserId v, double sim) {
+  Entry* row = entries_.data() + static_cast<std::size_t>(u) * k_;
+  const uint32_t size = sizes_[u];
+  // One pass: reject duplicates, remember the worst entry.
+  std::size_t worst = 0;
+  float worst_sim = 2.0f;  // above any similarity
+  for (std::size_t i = 0; i < size; ++i) {
+    if (row[i].id == v) return false;
+    if (row[i].similarity < worst_sim) {
+      worst_sim = row[i].similarity;
+      worst = i;
+    }
+  }
+  const auto fsim = static_cast<float>(sim);
+  if (size < k_) {
+    row[size] = {v, fsim, true};
+    ++sizes_[u];
+    return true;
+  }
+  if (fsim <= worst_sim) return false;
+  row[worst] = {v, fsim, true};
+  return true;
+}
+
+bool NeighborLists::InsertLocked(UserId u, UserId v, double sim) {
+  while (locks_[u].test_and_set(std::memory_order_acquire)) {
+  }
+  const bool changed = Insert(u, v, sim);
+  locks_[u].clear(std::memory_order_release);
+  return changed;
+}
+
+KnnGraph NeighborLists::Finalize() const {
+  std::vector<Neighbor> edges(num_users_ * k_);
+  std::vector<uint32_t> counts(num_users_, 0);
+  std::vector<Neighbor> row;
+  for (UserId u = 0; u < num_users_; ++u) {
+    row.clear();
+    for (const Entry& e : Of(u)) row.push_back({e.id, e.similarity});
+    std::sort(row.begin(), row.end(), [](const Neighbor& a, const Neighbor& b) {
+      if (a.similarity != b.similarity) return a.similarity > b.similarity;
+      return a.id < b.id;  // deterministic tie-break
+    });
+    std::copy(row.begin(), row.end(),
+              edges.begin() + static_cast<std::size_t>(u) * k_);
+    counts[u] = static_cast<uint32_t>(row.size());
+  }
+  return KnnGraph(num_users_, k_, std::move(edges), std::move(counts));
+}
+
+}  // namespace gf

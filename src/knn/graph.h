@@ -1,0 +1,128 @@
+// KNN graph containers: the immutable result graph handed to callers,
+// and the bounded mutable neighbor lists the construction algorithms
+// refine (paper Eq. 1: each user keeps its k most similar peers).
+
+#ifndef GF_KNN_GRAPH_H_
+#define GF_KNN_GRAPH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "dataset/types.h"
+
+namespace gf {
+
+/// One directed KNN edge endpoint.
+struct Neighbor {
+  UserId id = kInvalidUser;
+  float similarity = -1.0f;
+};
+
+/// Immutable KNN graph: up to k neighbors per user, sorted by
+/// decreasing similarity.
+class KnnGraph {
+ public:
+  KnnGraph() = default;
+  KnnGraph(std::size_t num_users, std::size_t k,
+           std::vector<Neighbor> edges, std::vector<uint32_t> counts)
+      : num_users_(num_users),
+        k_(k),
+        edges_(std::move(edges)),
+        counts_(std::move(counts)) {}
+
+  std::size_t NumUsers() const { return num_users_; }
+  std::size_t k() const { return k_; }
+
+  /// The (validly filled) neighbors of `u`, most similar first.
+  std::span<const Neighbor> NeighborsOf(UserId u) const {
+    return {edges_.data() + static_cast<std::size_t>(u) * k_, counts_[u]};
+  }
+
+  /// Total number of directed edges.
+  std::size_t NumEdges() const;
+
+  /// Mean of the stored edge similarities (whatever metric built the
+  /// graph). For the paper's quality metric use knn/quality.h, which
+  /// re-scores edges with the exact similarity.
+  double AverageStoredSimilarity() const;
+
+ private:
+  std::size_t num_users_ = 0;
+  std::size_t k_ = 0;
+  std::vector<Neighbor> edges_;    // num_users * k, row-major
+  std::vector<uint32_t> counts_;   // valid entries per user
+};
+
+/// Mutable bounded neighbor lists used while constructing a graph.
+/// Each user owns a fixed-capacity array of k entries; Insert() keeps
+/// the best k seen so far, rejecting duplicates. Thread-safety: callers
+/// either partition users (each thread writes only its own rows) or use
+/// the spinlocked InsertLocked() (NNDescent's local joins update
+/// arbitrary rows).
+class NeighborLists {
+ public:
+  struct Entry {
+    UserId id = kInvalidUser;
+    float similarity = -1.0f;
+    /// NNDescent's "new" flag: set when the entry has not yet taken
+    /// part in a local join.
+    bool is_new = true;
+  };
+
+  NeighborLists(std::size_t num_users, std::size_t k);
+
+  std::size_t num_users() const { return num_users_; }
+  std::size_t k() const { return k_; }
+
+  std::span<const Entry> Of(UserId u) const {
+    return {entries_.data() + static_cast<std::size_t>(u) * k_, sizes_[u]};
+  }
+  std::span<Entry> MutableOf(UserId u) {
+    return {entries_.data() + static_cast<std::size_t>(u) * k_, sizes_[u]};
+  }
+
+  /// Offers (v, sim) to u's list. Returns true when the list changed
+  /// (v was absent and either the list had room or sim beats the
+  /// current worst entry). Not thread-safe for the same `u`.
+  bool Insert(UserId u, UserId v, double sim);
+
+  /// Insert() under u's spinlock.
+  bool InsertLocked(UserId u, UserId v, double sim);
+
+  /// Empties u's list (incremental maintenance: a user whose profile
+  /// changed re-scores its neighborhood from scratch).
+  void ClearRow(UserId u) { sizes_[u] = 0; }
+
+  /// Fills every list with `k` distinct random neighbors != u, scored
+  /// by `score` (signature: double(UserId u, UserId v)). The standard
+  /// random initialization of the greedy algorithms.
+  template <typename Score>
+  void InitRandom(Rng& rng, Score&& score) {
+    for (UserId u = 0; u < num_users_; ++u) {
+      const std::size_t want = std::min(k_, num_users_ - 1);
+      std::size_t guard = 0;
+      while (sizes_[u] < want && guard++ < 100 * k_ + 100) {
+        const auto v = static_cast<UserId>(rng.Below(num_users_));
+        if (v == u) continue;
+        Insert(u, v, score(u, v));
+      }
+    }
+  }
+
+  /// Sorts each list by decreasing similarity and freezes the result.
+  KnnGraph Finalize() const;
+
+ private:
+  std::size_t num_users_;
+  std::size_t k_;
+  std::vector<Entry> entries_;                    // num_users * k
+  std::vector<uint32_t> sizes_;                   // valid entries per user
+  std::vector<std::atomic_flag> locks_;           // per-user spinlocks
+};
+
+}  // namespace gf
+
+#endif  // GF_KNN_GRAPH_H_

@@ -1,0 +1,102 @@
+#include "knn/graph_metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gf {
+
+std::vector<uint32_t> InDegrees(const KnnGraph& graph) {
+  std::vector<uint32_t> in(graph.NumUsers(), 0);
+  for (UserId u = 0; u < graph.NumUsers(); ++u) {
+    for (const Neighbor& nb : graph.NeighborsOf(u)) ++in[nb.id];
+  }
+  return in;
+}
+
+double EdgeReciprocity(const KnnGraph& graph) {
+  std::size_t edges = 0;
+  std::size_t reciprocal = 0;
+  std::vector<UserId> row;
+  for (UserId u = 0; u < graph.NumUsers(); ++u) {
+    for (const Neighbor& nb : graph.NeighborsOf(u)) {
+      ++edges;
+      // Is u in nb.id's list?
+      for (const Neighbor& back : graph.NeighborsOf(nb.id)) {
+        if (back.id == u) {
+          ++reciprocal;
+          break;
+        }
+      }
+    }
+  }
+  return edges == 0 ? 0.0
+                    : static_cast<double>(reciprocal) /
+                          static_cast<double>(edges);
+}
+
+ComponentStats ConnectedComponents(const KnnGraph& graph) {
+  const std::size_t n = graph.NumUsers();
+  // Union-find over the symmetrized edge set.
+  std::vector<UserId> parent(n);
+  std::iota(parent.begin(), parent.end(), 0u);
+  std::vector<uint32_t> rank(n, 0);
+  std::vector<bool> has_edge(n, false);
+
+  auto find = [&](UserId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](UserId a, UserId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (rank[a] < rank[b]) std::swap(a, b);
+    parent[b] = a;
+    if (rank[a] == rank[b]) ++rank[a];
+  };
+
+  for (UserId u = 0; u < n; ++u) {
+    for (const Neighbor& nb : graph.NeighborsOf(u)) {
+      unite(u, nb.id);
+      has_edge[u] = true;
+      has_edge[nb.id] = true;
+    }
+  }
+
+  std::vector<std::size_t> sizes(n, 0);
+  ComponentStats stats;
+  for (UserId u = 0; u < n; ++u) {
+    if (!has_edge[u]) {
+      ++stats.isolated_users;
+      continue;
+    }
+    ++sizes[find(u)];
+  }
+  for (std::size_t s : sizes) {
+    if (s > 0) {
+      ++stats.num_components;
+      stats.largest = std::max(stats.largest, s);
+    }
+  }
+  return stats;
+}
+
+double InDegreeGini(const KnnGraph& graph) {
+  std::vector<uint32_t> in = InDegrees(graph);
+  if (in.empty()) return 0.0;
+  std::sort(in.begin(), in.end());
+  const double n = static_cast<double>(in.size());
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * in[i];
+    total += in[i];
+  }
+  if (total == 0.0) return 0.0;
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+}  // namespace gf

@@ -1,0 +1,41 @@
+// Structural metrics of KNN graphs, beyond Eq. 2-3's similarity
+// quality: in-degree distribution (who gets chosen), edge reciprocity
+// (the "similarity topology" §5.2 invokes to explain Hyrec's
+// convergence), and weakly-connected components (greedy algorithms
+// navigate neighbor-of-neighbor chains, so fragmentation hurts them).
+
+#ifndef GF_KNN_GRAPH_METRICS_H_
+#define GF_KNN_GRAPH_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "knn/graph.h"
+
+namespace gf {
+
+/// In-degree of every user (number of KNN lists it appears in).
+std::vector<uint32_t> InDegrees(const KnnGraph& graph);
+
+/// Fraction of directed edges (u, v) whose reverse (v, u) also exists.
+double EdgeReciprocity(const KnnGraph& graph);
+
+/// Summary of the undirected (symmetrized) component structure.
+struct ComponentStats {
+  std::size_t num_components = 0;
+  std::size_t largest = 0;       // users in the giant component
+  std::size_t isolated_users = 0;  // users with no edges at all
+};
+
+/// Weakly-connected components of the graph.
+ComponentStats ConnectedComponents(const KnnGraph& graph);
+
+/// Gini coefficient of the in-degree distribution in [0, 1): 0 = every
+/// user equally popular, ->1 = a few hubs absorb all edges. High
+/// in-degree concentration is the hubness pathology of high-dimensional
+/// KNN graphs.
+double InDegreeGini(const KnnGraph& graph);
+
+}  // namespace gf
+
+#endif  // GF_KNN_GRAPH_METRICS_H_

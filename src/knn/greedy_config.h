@@ -1,0 +1,27 @@
+// Shared configuration of the greedy refinement algorithms (Hyrec and
+// NNDescent). The paper's settings: k = 30, δ = 0.001, at most 30
+// iterations (§3.3).
+
+#ifndef GF_KNN_GREEDY_CONFIG_H_
+#define GF_KNN_GREEDY_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gf {
+
+struct GreedyConfig {
+  std::size_t k = 30;
+  /// Termination: stop when an iteration performs fewer than
+  /// delta * k * n neighbor-list updates.
+  double delta = 0.001;
+  std::size_t max_iterations = 30;
+  /// NNDescent's sample rate ρ: fraction of k new/reverse entries that
+  /// join each round (1.0 = the full local join; Hyrec ignores this).
+  double sample_rate = 1.0;
+  uint64_t seed = 0x5EED;
+};
+
+}  // namespace gf
+
+#endif  // GF_KNN_GREEDY_CONFIG_H_

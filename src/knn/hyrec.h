@@ -1,0 +1,117 @@
+// Hyrec (Boutet et al., Middleware 2014; paper §3.2.4): greedy KNN
+// refinement by neighbors-of-neighbors. Starting from a random graph,
+// each iteration compares every user u with its neighbors' neighbors
+// and keeps the best k; unlike NNDescent it does not reverse the graph
+// and only updates u's own list. Stops after max_iterations or when an
+// iteration changes fewer than δ·k·n entries.
+
+#ifndef GF_KNN_HYREC_H_
+#define GF_KNN_HYREC_H_
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "knn/graph.h"
+#include "knn/greedy_config.h"
+#include "knn/stats.h"
+
+namespace gf {
+
+template <typename Provider>
+KnnGraph HyrecKnn(const Provider& provider, const GreedyConfig& config,
+                  ThreadPool* pool = nullptr,
+                  KnnBuildStats* stats = nullptr) {
+  WallTimer timer;
+  const std::size_t n = provider.num_users();
+  const std::size_t k = config.k;
+  NeighborLists lists(n, k);
+  std::atomic<uint64_t> computations{0};
+
+  {
+    Rng rng(config.seed);
+    lists.InitRandom(rng, [&](UserId a, UserId b) {
+      computations.fetch_add(1, std::memory_order_relaxed);
+      return provider(a, b);
+    });
+  }
+
+  std::vector<uint64_t> updates_history;
+  // Snapshot of neighbor ids read during an iteration while live lists
+  // are updated (each thread writes only its own rows).
+  std::vector<UserId> snap_ids(n * k);
+  std::vector<uint32_t> snap_sizes(n);
+
+  const auto threshold = static_cast<uint64_t>(
+      config.delta * static_cast<double>(k) * static_cast<double>(n));
+  std::size_t iterations = 0;
+  while (iterations < config.max_iterations) {
+    ++iterations;
+    for (UserId u = 0; u < n; ++u) {
+      const auto row = lists.Of(u);
+      snap_sizes[u] = static_cast<uint32_t>(row.size());
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        snap_ids[static_cast<std::size_t>(u) * k + i] = row[i].id;
+      }
+    }
+
+    std::atomic<uint64_t> updates{0};
+    ParallelFor(pool, n, [&](std::size_t begin, std::size_t end) {
+      std::vector<UserId> candidates;
+      std::vector<UserId> current;
+      for (std::size_t uu = begin; uu < end; ++uu) {
+        const auto u = static_cast<UserId>(uu);
+        candidates.clear();
+        const std::size_t base = uu * k;
+        for (std::size_t i = 0; i < snap_sizes[uu]; ++i) {
+          const UserId v = snap_ids[base + i];
+          const std::size_t vbase = static_cast<std::size_t>(v) * k;
+          for (std::size_t j = 0; j < snap_sizes[v]; ++j) {
+            const UserId w = snap_ids[vbase + j];
+            if (w != u) candidates.push_back(w);
+          }
+        }
+        std::sort(candidates.begin(), candidates.end());
+        candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                         candidates.end());
+        // Skip users already in u's snapshot list: their similarity is
+        // already stored.
+        current.assign(snap_ids.begin() + static_cast<long>(base),
+                       snap_ids.begin() +
+                           static_cast<long>(base + snap_sizes[uu]));
+        std::sort(current.begin(), current.end());
+
+        uint64_t local_updates = 0;
+        uint64_t local_computations = 0;
+        for (UserId w : candidates) {
+          if (std::binary_search(current.begin(), current.end(), w)) {
+            continue;
+          }
+          ++local_computations;
+          if (lists.Insert(u, w, provider(u, w))) ++local_updates;
+        }
+        updates.fetch_add(local_updates, std::memory_order_relaxed);
+        computations.fetch_add(local_computations,
+                               std::memory_order_relaxed);
+      }
+    });
+
+    updates_history.push_back(updates.load());
+    if (updates.load() < std::max<uint64_t>(threshold, 1)) break;
+  }
+
+  KnnGraph graph = lists.Finalize();
+  if (stats != nullptr) {
+    stats->seconds = timer.ElapsedSeconds();
+    stats->similarity_computations = computations.load();
+    stats->iterations = iterations;
+    stats->updates_per_iteration = std::move(updates_history);
+  }
+  return graph;
+}
+
+}  // namespace gf
+
+#endif  // GF_KNN_HYREC_H_

@@ -1,0 +1,91 @@
+#include "knn/quality.h"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "core/similarity.h"
+
+namespace gf {
+
+double AverageExactSimilarity(const KnnGraph& graph, const Dataset& dataset,
+                              ThreadPool* pool) {
+  const std::size_t n = graph.NumUsers();
+  std::vector<double> partial_sums(n, 0.0);
+  std::vector<std::size_t> partial_counts(n, 0);
+  ParallelFor(pool, n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t u = begin; u < end; ++u) {
+      double sum = 0.0;
+      std::size_t count = 0;
+      for (const Neighbor& nb : graph.NeighborsOf(static_cast<UserId>(u))) {
+        sum += ExactJaccard(dataset.Profile(static_cast<UserId>(u)),
+                            dataset.Profile(nb.id));
+        ++count;
+      }
+      partial_sums[u] = sum;
+      partial_counts[u] = count;
+    }
+  });
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    sum += partial_sums[u];
+    count += partial_counts[u];
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+PerUserQuality ComputePerUserQuality(const KnnGraph& approx,
+                                     const KnnGraph& exact,
+                                     const Dataset& dataset) {
+  PerUserQuality out;
+  const std::size_t n = std::min(approx.NumUsers(), exact.NumUsers());
+  out.values.reserve(n);
+  for (UserId u = 0; u < n; ++u) {
+    const auto avg_of = [&](const KnnGraph& g) {
+      double sum = 0;
+      std::size_t count = 0;
+      for (const Neighbor& nb : g.NeighborsOf(u)) {
+        sum += ExactJaccard(dataset.Profile(u), dataset.Profile(nb.id));
+        ++count;
+      }
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    };
+    const double denom = avg_of(exact);
+    if (denom <= 0.0) continue;  // no meaningful exact neighborhood
+    out.values.push_back(avg_of(approx) / denom);
+  }
+  if (out.values.empty()) return out;
+  std::vector<double> sorted = out.values;
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0;
+  for (double v : sorted) total += v;
+  out.mean = total / static_cast<double>(sorted.size());
+  out.min = sorted.front();
+  out.p10 = sorted[sorted.size() / 10];
+  out.p50 = sorted[sorted.size() / 2];
+  return out;
+}
+
+double NeighborRecall(const KnnGraph& approx, const KnnGraph& exact) {
+  std::size_t hits = 0;
+  std::size_t total = 0;
+  std::vector<UserId> approx_ids;
+  for (UserId u = 0; u < exact.NumUsers(); ++u) {
+    approx_ids.clear();
+    for (const Neighbor& nb : approx.NeighborsOf(u)) {
+      approx_ids.push_back(nb.id);
+    }
+    std::sort(approx_ids.begin(), approx_ids.end());
+    for (const Neighbor& nb : exact.NeighborsOf(u)) {
+      ++total;
+      if (std::binary_search(approx_ids.begin(), approx_ids.end(), nb.id)) {
+        ++hits;
+      }
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                static_cast<double>(total);
+}
+
+}  // namespace gf

@@ -1,0 +1,53 @@
+// Graph quality metrics (paper Eq. 2-3): the average *exact* similarity
+// of an approximate graph's edges, normalized by that of the exact KNN
+// graph. Note edges are always re-scored with the exact Jaccard on raw
+// profiles — a GoldFinger-built graph is judged by true similarities,
+// not by its own estimates.
+
+#ifndef GF_KNN_QUALITY_H_
+#define GF_KNN_QUALITY_H_
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "dataset/dataset.h"
+#include "knn/graph.h"
+
+namespace gf {
+
+/// avg_sim(G) of Eq. 2: mean exact Jaccard over all directed edges.
+double AverageExactSimilarity(const KnnGraph& graph, const Dataset& dataset,
+                              ThreadPool* pool = nullptr);
+
+/// quality(G) of Eq. 3: avg_sim(graph) / avg_sim(exact_graph).
+/// `exact_avg_sim` is the value AverageExactSimilarity() returned for
+/// the brute-force exact graph (cache it: it is the expensive half).
+inline double GraphQuality(double approx_avg_sim, double exact_avg_sim) {
+  return exact_avg_sim == 0.0 ? 0.0 : approx_avg_sim / exact_avg_sim;
+}
+
+/// Fraction of the exact graph's directed edges present in `approx`
+/// (complementary metric; the paper's quality can exceed recall when
+/// different-but-equally-similar neighbors are found).
+double NeighborRecall(const KnnGraph& approx, const KnnGraph& exact);
+
+/// Distribution of PER-USER quality: the paper reports the global
+/// average (Eq. 3), which can hide users whose neighborhoods collapsed.
+/// quality[u] = avg exact sim of u's approx neighbors / avg exact sim
+/// of u's exact neighbors (clamped denominator: users whose exact
+/// neighborhood has zero similarity are skipped).
+struct PerUserQuality {
+  std::vector<double> values;  // one entry per scored user, unsorted
+  double mean = 0.0;
+  double p10 = 0.0;  // 10th percentile — the under-served users
+  double p50 = 0.0;
+  double min = 0.0;
+};
+
+PerUserQuality ComputePerUserQuality(const KnnGraph& approx,
+                                     const KnnGraph& exact,
+                                     const Dataset& dataset);
+
+}  // namespace gf
+
+#endif  // GF_KNN_QUALITY_H_

@@ -1,0 +1,147 @@
+#include "knn/query.h"
+
+#include "core/similarity.h"
+
+namespace gf {
+
+namespace {
+
+// Keeps the best k (id, sim) pairs, then sorts descending.
+class TopK {
+ public:
+  explicit TopK(std::size_t k) : k_(k) {}
+
+  void Offer(UserId id, double sim) {
+    if (entries_.size() < k_) {
+      entries_.push_back({id, static_cast<float>(sim)});
+      if (entries_.size() == k_) RebuildWorst();
+      return;
+    }
+    if (sim <= entries_[worst_].similarity) return;
+    entries_[worst_] = {id, static_cast<float>(sim)};
+    RebuildWorst();
+  }
+
+  std::vector<Neighbor> Take() {
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                if (a.similarity != b.similarity) {
+                  return a.similarity > b.similarity;
+                }
+                return a.id < b.id;
+              });
+    return std::move(entries_);
+  }
+
+ private:
+  void RebuildWorst() {
+    worst_ = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].similarity < entries_[worst_].similarity) worst_ = i;
+    }
+  }
+
+  std::size_t k_;
+  std::size_t worst_ = 0;
+  std::vector<Neighbor> entries_;
+};
+
+}  // namespace
+
+Result<std::vector<Neighbor>> ScanQueryEngine::Query(const Shf& query,
+                                                     std::size_t k) const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (query.num_bits() != store_->num_bits()) {
+    return Status::InvalidArgument(
+        "query fingerprint has " + std::to_string(query.num_bits()) +
+        " bits, store uses " + std::to_string(store_->num_bits()));
+  }
+  TopK top(k);
+  const std::size_t words = store_->words_per_shf();
+  for (UserId u = 0; u < store_->num_users(); ++u) {
+    const uint32_t inter = bits::AndPopCount(
+        query.words().data(), store_->WordsOf(u).data(), words);
+    top.Offer(u, JaccardFromCounts(query.cardinality(),
+                                   store_->CardinalityOf(u), inter));
+  }
+  return top.Take();
+}
+
+Result<std::vector<Neighbor>> ScanQueryEngine::QueryProfile(
+    std::span<const ItemId> profile, std::size_t k) const {
+  auto fp = Fingerprinter::Create(store_->config());
+  if (!fp.ok()) return fp.status();
+  return Query(fp->Fingerprint(profile), k);
+}
+
+Result<LshQueryEngine> LshQueryEngine::Build(const Dataset& dataset,
+                                             const Options& options) {
+  if (options.num_functions == 0) {
+    return Status::InvalidArgument("need >= 1 min-wise function");
+  }
+  if (dataset.NumItems() == 0) {
+    return Status::InvalidArgument("empty item universe");
+  }
+  Rng rng(options.seed);
+  std::vector<MinwiseFunction> fns;
+  fns.reserve(options.num_functions);
+  for (std::size_t f = 0; f < options.num_functions; ++f) {
+    fns.push_back(options.kind == MinwiseKind::kExplicitPermutation
+                      ? MinwiseFunction::Permutation(dataset.NumItems(), rng)
+                      : MinwiseFunction::Universal(dataset.NumItems(), rng));
+  }
+  LshQueryEngine engine(&dataset, std::move(fns));
+  for (std::size_t f = 0; f < engine.functions_.size(); ++f) {
+    auto& table = engine.tables_[f];
+    for (UserId u = 0; u < dataset.NumUsers(); ++u) {
+      if (dataset.ProfileSize(u) == 0) continue;
+      table[engine.functions_[f].MinRank(dataset.Profile(u))].push_back(u);
+    }
+  }
+  return engine;
+}
+
+Result<std::vector<Neighbor>> LshQueryEngine::QueryProfile(
+    std::span<const ItemId> profile, std::size_t k) const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (profile.empty()) {
+    return Status::InvalidArgument("query profile is empty");
+  }
+  // Items outside the indexed universe cannot hash consistently.
+  for (ItemId it : profile) {
+    if (it >= dataset_->NumItems()) {
+      return Status::OutOfRange("query item " + std::to_string(it) +
+                                " outside the indexed universe");
+    }
+  }
+
+  std::vector<UserId> candidates;
+  for (std::size_t f = 0; f < functions_.size(); ++f) {
+    const auto it = tables_[f].find(functions_[f].MinRank(profile));
+    if (it == tables_[f].end()) continue;
+    candidates.insert(candidates.end(), it->second.begin(),
+                      it->second.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  TopK top(k);
+  for (UserId u : candidates) {
+    top.Offer(u, ExactJaccard(profile, dataset_->Profile(u)));
+  }
+  return top.Take();
+}
+
+std::size_t LshQueryEngine::IndexedEntries() const {
+  std::size_t total = 0;
+  for (const auto& table : tables_) {
+    for (const auto& [key, bucket] : table) {
+      (void)key;
+      total += bucket.size();
+    }
+  }
+  return total;
+}
+
+}  // namespace gf

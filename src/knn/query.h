@@ -1,0 +1,92 @@
+// KNN queries for external profiles.
+//
+// The paper computes complete KNN graphs and notes (footnote 1) that
+// this "is related but different from answering a sequence of KNN
+// queries". Downstream users need both: once a service holds a
+// fingerprint store, a fresh client can ship its own SHF and ask for
+// its k nearest users without joining the graph. Two engines:
+//
+//  * ScanQueryEngine — exhaustive scan of the fingerprint store with
+//    the Eq. 4 kernel: exact (w.r.t. the estimator), O(n) per query,
+//    and fast in practice because the scan is a linear pass over the
+//    flat store.
+//  * LshQueryEngine — min-wise bucket index over the raw profiles:
+//    sublinear candidate generation, same trade-off as §3.2.5.
+
+#ifndef GF_KNN_QUERY_H_
+#define GF_KNN_QUERY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fingerprint_store.h"
+#include "dataset/dataset.h"
+#include "knn/graph.h"
+#include "minhash/permutation.h"
+
+namespace gf {
+
+/// Answers queries by scanning every fingerprint in the store.
+class ScanQueryEngine {
+ public:
+  /// The store must outlive the engine.
+  explicit ScanQueryEngine(const FingerprintStore& store) : store_(&store) {}
+
+  /// The k users most similar to `query` under the SHF Jaccard
+  /// estimate. `query` must have the store's bit length (checked).
+  Result<std::vector<Neighbor>> Query(const Shf& query,
+                                      std::size_t k) const;
+
+  /// Convenience: fingerprints `profile` with the store's own config
+  /// and queries.
+  Result<std::vector<Neighbor>> QueryProfile(
+      std::span<const ItemId> profile, std::size_t k) const;
+
+ private:
+  const FingerprintStore* store_;
+};
+
+/// Answers queries from min-wise buckets over the indexed dataset.
+class LshQueryEngine {
+ public:
+  struct Options {
+    std::size_t num_functions = 10;
+    MinwiseKind kind = MinwiseKind::kUniversalHash;
+    uint64_t seed = 0x10E;
+  };
+
+  /// Indexes `dataset` (which must outlive the engine). The one-arg
+  /// overload (below the class) uses default Options.
+  static Result<LshQueryEngine> Build(const Dataset& dataset,
+                                      const Options& options);
+  static Result<LshQueryEngine> Build(const Dataset& dataset);
+
+  /// The k most similar users to an external profile, scored with the
+  /// exact Jaccard between the query profile and candidate profiles.
+  /// May return fewer than k when few candidates share a bucket.
+  Result<std::vector<Neighbor>> QueryProfile(
+      std::span<const ItemId> profile, std::size_t k) const;
+
+  /// Total bucket entries (diagnostics).
+  std::size_t IndexedEntries() const;
+
+ private:
+  LshQueryEngine(const Dataset* dataset, std::vector<MinwiseFunction> fns)
+      : dataset_(dataset), functions_(std::move(fns)),
+        tables_(functions_.size()) {}
+
+  const Dataset* dataset_;
+  std::vector<MinwiseFunction> functions_;
+  std::vector<std::unordered_map<uint64_t, std::vector<UserId>>> tables_;
+};
+
+inline Result<LshQueryEngine> LshQueryEngine::Build(const Dataset& dataset) {
+  return Build(dataset, Options{});
+}
+
+}  // namespace gf
+
+#endif  // GF_KNN_QUERY_H_

@@ -1,0 +1,121 @@
+// Similarity providers: the pluggable scoring functions the KNN
+// algorithms are generic over. "Native" providers score raw profiles;
+// the GoldFinger provider scores fingerprints (the paper's headline
+// swap); the MinHash provider scores b-bit signatures. A counting
+// wrapper tallies how many pair similarities an algorithm computed
+// (the scan rate of Figure 12).
+//
+// A provider P must expose:
+//   std::size_t num_users() const;
+//   double operator()(UserId a, UserId b) const;
+
+#ifndef GF_KNN_SIMILARITY_PROVIDER_H_
+#define GF_KNN_SIMILARITY_PROVIDER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/fingerprint_store.h"
+#include "core/similarity.h"
+#include "dataset/dataset.h"
+#include "minhash/bbit_minhash.h"
+
+namespace gf {
+
+/// Exact Jaccard on raw profiles — the paper's "native" mode.
+class ExactJaccardProvider {
+ public:
+  explicit ExactJaccardProvider(const Dataset& dataset)
+      : dataset_(&dataset) {}
+
+  std::size_t num_users() const { return dataset_->NumUsers(); }
+  double operator()(UserId a, UserId b) const {
+    return ExactJaccard(dataset_->Profile(a), dataset_->Profile(b));
+  }
+
+ private:
+  const Dataset* dataset_;
+};
+
+/// Binary cosine on raw profiles (alternative fsim, §2.1).
+class CosineProvider {
+ public:
+  explicit CosineProvider(const Dataset& dataset) : dataset_(&dataset) {}
+
+  std::size_t num_users() const { return dataset_->NumUsers(); }
+  double operator()(UserId a, UserId b) const {
+    return BinaryCosine(dataset_->Profile(a), dataset_->Profile(b));
+  }
+
+ private:
+  const Dataset* dataset_;
+};
+
+/// SHF-estimated Jaccard — GoldFinger mode.
+class GoldFingerProvider {
+ public:
+  explicit GoldFingerProvider(const FingerprintStore& store)
+      : store_(&store) {}
+
+  std::size_t num_users() const { return store_->num_users(); }
+  double operator()(UserId a, UserId b) const {
+    return store_->EstimateJaccard(a, b);
+  }
+
+ private:
+  const FingerprintStore* store_;
+};
+
+/// SHF-estimated binary cosine — GoldFinger with the alternative fsim.
+class GoldFingerCosineProvider {
+ public:
+  explicit GoldFingerCosineProvider(const FingerprintStore& store)
+      : store_(&store) {}
+
+  std::size_t num_users() const { return store_->num_users(); }
+  double operator()(UserId a, UserId b) const {
+    return store_->EstimateCosine(a, b);
+  }
+
+ private:
+  const FingerprintStore* store_;
+};
+
+/// b-bit-minwise-estimated Jaccard.
+class BbitMinHashProvider {
+ public:
+  explicit BbitMinHashProvider(const BbitMinHashStore& store)
+      : store_(&store) {}
+
+  std::size_t num_users() const { return store_->num_users(); }
+  double operator()(UserId a, UserId b) const {
+    return store_->EstimateJaccard(a, b);
+  }
+
+ private:
+  const BbitMinHashStore* store_;
+};
+
+/// Wraps a provider and counts invocations (thread-safe).
+template <typename Provider>
+class CountingProvider {
+ public:
+  explicit CountingProvider(const Provider& inner) : inner_(&inner) {}
+
+  std::size_t num_users() const { return inner_->num_users(); }
+  double operator()(UserId a, UserId b) const {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    return (*inner_)(a, b);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset() { count_.store(0, std::memory_order_relaxed); }
+
+ private:
+  const Provider* inner_;
+  mutable std::atomic<uint64_t> count_{0};
+};
+
+}  // namespace gf
+
+#endif  // GF_KNN_SIMILARITY_PROVIDER_H_

@@ -1,0 +1,38 @@
+// Construction statistics reported by every KNN algorithm: wall time,
+// similarity computations (→ Figure 12's scan rate), iterations and
+// per-iteration updates (→ the δ-termination diagnostics).
+
+#ifndef GF_KNN_STATS_H_
+#define GF_KNN_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gf {
+
+/// Filled by the construction functions in brute_force.h / hyrec.h /
+/// nndescent.h / lsh.h.
+struct KnnBuildStats {
+  /// Wall-clock seconds of the construction (excludes dataset /
+  /// fingerprint preparation, matching the paper's §3.4 methodology).
+  double seconds = 0.0;
+  /// Number of pair similarities evaluated.
+  uint64_t similarity_computations = 0;
+  /// Greedy iterations executed (1 for Brute Force / LSH).
+  std::size_t iterations = 0;
+  /// Neighbor-list updates per iteration (greedy algorithms).
+  std::vector<uint64_t> updates_per_iteration;
+
+  /// Scan rate relative to the n(n-1)/2 comparisons of an exhaustive
+  /// (unordered-pair) search — Figure 12b's y-axis.
+  double ScanRate(std::size_t num_users) const {
+    const double denom = 0.5 * static_cast<double>(num_users) *
+                         static_cast<double>(num_users - 1);
+    return denom == 0.0 ? 0.0
+                        : static_cast<double>(similarity_computations) / denom;
+  }
+};
+
+}  // namespace gf
+
+#endif  // GF_KNN_STATS_H_

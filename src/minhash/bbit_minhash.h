@@ -1,0 +1,82 @@
+// b-bit minwise hashing (Li & König, CACM 2011) — the binary-sketch
+// comparator of the paper (§3.2.1, Table 3). Each of t permutations
+// contributes the lowest b bits of the profile's minimal rank; Jaccard
+// is estimated from the fraction of matching b-bit values, corrected
+// for accidental collisions.
+
+#ifndef GF_MINHASH_BBIT_MINHASH_H_
+#define GF_MINHASH_BBIT_MINHASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "dataset/dataset.h"
+#include "minhash/permutation.h"
+
+namespace gf {
+
+/// Configuration of the b-bit minwise scheme. The paper's Table 3 uses
+/// b = 4 and 256 permutations ("the best trade-off between time and KNN
+/// quality").
+struct BbitMinHashConfig {
+  std::size_t num_permutations = 256;  // t
+  std::size_t bits_per_hash = 4;       // b; must divide 64
+  MinwiseKind kind = MinwiseKind::kExplicitPermutation;
+  uint64_t seed = 0;
+};
+
+/// All users' packed b-bit signatures (t·b bits each, row-major words).
+class BbitMinHashStore {
+ public:
+  /// Runs the full (expensive) preparation: builds `t` permutations and
+  /// takes per-user minima. Fails on invalid configs (b not dividing 64,
+  /// t == 0).
+  static Result<BbitMinHashStore> Build(const Dataset& dataset,
+                                        const BbitMinHashConfig& config,
+                                        ThreadPool* pool = nullptr);
+
+  std::size_t num_users() const { return num_users_; }
+  const BbitMinHashConfig& config() const { return config_; }
+  std::size_t words_per_signature() const { return words_per_sig_; }
+
+  /// Fraction of the t b-bit values that match between users a and b.
+  double MatchFraction(UserId a, UserId b) const;
+
+  /// Jaccard estimate with the Li-König collision correction:
+  ///   R̂ = (P̂ - C) / (1 - C),  C ≈ 2^-b
+  /// (the large-universe limit of their C1/C2 terms), clamped to [0, 1].
+  double EstimateJaccard(UserId a, UserId b) const;
+
+  /// Raw b-bit value of permutation `perm` for user `u` (for tests).
+  uint64_t ValueOf(UserId u, std::size_t perm) const;
+
+  /// Signature payload bytes.
+  std::size_t PayloadBytes() const {
+    return words_.size() * sizeof(uint64_t);
+  }
+
+ private:
+  BbitMinHashStore(const BbitMinHashConfig& config, std::size_t num_users)
+      : config_(config),
+        num_users_(num_users),
+        values_per_word_(64 / config.bits_per_hash),
+        words_per_sig_((config.num_permutations + values_per_word_ - 1) /
+                       values_per_word_),
+        words_(num_users * words_per_sig_, 0) {}
+
+  const uint64_t* SignatureOf(UserId u) const {
+    return words_.data() + static_cast<std::size_t>(u) * words_per_sig_;
+  }
+
+  BbitMinHashConfig config_;
+  std::size_t num_users_;
+  std::size_t values_per_word_;
+  std::size_t words_per_sig_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace gf
+
+#endif  // GF_MINHASH_BBIT_MINHASH_H_

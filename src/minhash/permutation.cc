@@ -1,0 +1,21 @@
+#include "minhash/permutation.h"
+
+#include <numeric>
+
+namespace gf {
+
+MinwiseFunction MinwiseFunction::Permutation(std::size_t universe,
+                                             Rng& rng) {
+  std::vector<uint32_t> perm(universe);
+  std::iota(perm.begin(), perm.end(), 0u);
+  rng.Shuffle(perm);
+  return MinwiseFunction(MinwiseKind::kExplicitPermutation, universe,
+                         std::move(perm), hash::UniversalHash(rng));
+}
+
+MinwiseFunction MinwiseFunction::Universal(std::size_t universe, Rng& rng) {
+  return MinwiseFunction(MinwiseKind::kUniversalHash, universe, {},
+                         hash::UniversalHash(rng));
+}
+
+}  // namespace gf

@@ -1,0 +1,74 @@
+// Min-wise hashing machinery shared by the MinHash baseline and LSH:
+// explicit random permutations of the item universe (the paper's — and
+// the original MinHash paper's — construction, whose O(#permutations ×
+// |I|) preparation cost Table 3 measures) and a cheaper 2-universal
+// min-wise approximation for the ablation path.
+
+#ifndef GF_MINHASH_PERMUTATION_H_
+#define GF_MINHASH_PERMUTATION_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "dataset/types.h"
+#include "hash/universal_hash.h"
+
+namespace gf {
+
+/// How min-wise hash values are produced.
+enum class MinwiseKind {
+  /// Explicit Fisher-Yates permutation of [0, |I|): exact min-wise
+  /// independence, O(|I|) setup and memory per function.
+  kExplicitPermutation,
+  /// h(x) = ((a x + b) mod p): approximate min-wise, O(1) setup.
+  kUniversalHash,
+};
+
+/// One min-wise hash function over the item universe.
+class MinwiseFunction {
+ public:
+  /// Builds an explicit permutation of `universe` items.
+  static MinwiseFunction Permutation(std::size_t universe, Rng& rng);
+  /// Builds a universal-hash function (universe recorded for Rank()).
+  static MinwiseFunction Universal(std::size_t universe, Rng& rng);
+
+  /// Rank of `item` under this function (lower = earlier in the
+  /// permutation order).
+  uint64_t Rank(ItemId item) const {
+    if (kind_ == MinwiseKind::kExplicitPermutation) return perm_[item];
+    return universal_(item);
+  }
+
+  /// min over `profile` of Rank(); max-uint64 for an empty profile.
+  uint64_t MinRank(std::span<const ItemId> profile) const {
+    uint64_t best = std::numeric_limits<uint64_t>::max();
+    for (ItemId it : profile) {
+      const uint64_t r = Rank(it);
+      if (r < best) best = r;
+    }
+    return best;
+  }
+
+  MinwiseKind kind() const { return kind_; }
+  std::size_t universe() const { return universe_; }
+
+ private:
+  MinwiseFunction(MinwiseKind kind, std::size_t universe,
+                  std::vector<uint32_t> perm, hash::UniversalHash universal)
+      : kind_(kind),
+        universe_(universe),
+        perm_(std::move(perm)),
+        universal_(universal) {}
+
+  MinwiseKind kind_;
+  std::size_t universe_;
+  std::vector<uint32_t> perm_;       // explicit permutation only
+  hash::UniversalHash universal_;    // universal-hash only
+};
+
+}  // namespace gf
+
+#endif  // GF_MINHASH_PERMUTATION_H_

@@ -1,0 +1,26 @@
+#include "recommender/evaluation.h"
+
+#include <algorithm>
+
+namespace gf {
+
+double RecommendationRecall(
+    const std::vector<std::vector<Recommendation>>& recommendations,
+    const std::vector<std::vector<ItemId>>& test) {
+  std::size_t hits = 0;
+  std::size_t hidden = 0;
+  const std::size_t n = std::min(recommendations.size(), test.size());
+  for (std::size_t u = 0; u < n; ++u) {
+    hidden += test[u].size();
+    for (const Recommendation& rec : recommendations[u]) {
+      if (std::binary_search(test[u].begin(), test[u].end(), rec.item)) {
+        ++hits;
+      }
+    }
+  }
+  return hidden == 0 ? 0.0
+                     : static_cast<double>(hits) /
+                           static_cast<double>(hidden);
+}
+
+}  // namespace gf

@@ -1,0 +1,32 @@
+// Recommendation evaluation (paper §3.4 / Figure 8): 5-fold cross
+// validation; a recommendation is successful when the user positively
+// rated the item in the held-out fold; recall = successes / number of
+// hidden positive items.
+
+#ifndef GF_RECOMMENDER_EVALUATION_H_
+#define GF_RECOMMENDER_EVALUATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/types.h"
+#include "recommender/recommender.h"
+
+namespace gf {
+
+/// Recall of one fold: |recommended ∩ hidden| / |hidden|, aggregated
+/// over all users. `test[u]` must be sorted (CrossValidation provides
+/// this).
+double RecommendationRecall(
+    const std::vector<std::vector<Recommendation>>& recommendations,
+    const std::vector<std::vector<ItemId>>& test);
+
+/// Per-fold recalls plus their mean, as reported by the harness.
+struct RecallReport {
+  std::vector<double> fold_recalls;
+  double mean = 0.0;
+};
+
+}  // namespace gf
+
+#endif  // GF_RECOMMENDER_EVALUATION_H_

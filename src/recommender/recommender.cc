@@ -1,0 +1,71 @@
+#include "recommender/recommender.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace gf {
+
+namespace {
+
+// Scores candidates for `user` into `scores` and returns the top-N.
+std::vector<Recommendation> TopNForUser(const KnnGraph& graph,
+                                        const Dataset& train, UserId user,
+                                        std::size_t top_n) {
+  const auto own = train.Profile(user);
+  double sim_total = 0.0;
+  std::unordered_map<ItemId, double> scores;
+  for (const Neighbor& nb : graph.NeighborsOf(user)) {
+    // Similarity 0 neighbors carry no vote; skip to keep scores finite.
+    if (nb.similarity <= 0.0f) continue;
+    sim_total += nb.similarity;
+    for (ItemId item : train.Profile(nb.id)) {
+      // Items the user already rated are not recommended.
+      if (std::binary_search(own.begin(), own.end(), item)) continue;
+      scores[item] += nb.similarity;
+    }
+  }
+  std::vector<Recommendation> recs;
+  recs.reserve(scores.size());
+  for (const auto& [item, score] : scores) {
+    recs.push_back({item, sim_total == 0.0 ? 0.0 : score / sim_total});
+  }
+  const std::size_t keep = std::min(top_n, recs.size());
+  std::partial_sort(recs.begin(), recs.begin() + static_cast<long>(keep),
+                    recs.end(),
+                    [](const Recommendation& a, const Recommendation& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.item < b.item;  // deterministic ties
+                    });
+  recs.resize(keep);
+  return recs;
+}
+
+}  // namespace
+
+std::vector<Recommendation> RecommendForUser(const KnnGraph& graph,
+                                             const Dataset& train,
+                                             UserId user,
+                                             const RecommenderConfig& config) {
+  return TopNForUser(graph, train, user, config.num_recommendations);
+}
+
+Result<std::vector<std::vector<Recommendation>>> RecommendAll(
+    const KnnGraph& graph, const Dataset& train,
+    const RecommenderConfig& config, ThreadPool* pool) {
+  if (graph.NumUsers() != train.NumUsers()) {
+    return Status::InvalidArgument(
+        "graph covers " + std::to_string(graph.NumUsers()) +
+        " users but dataset has " + std::to_string(train.NumUsers()));
+  }
+  std::vector<std::vector<Recommendation>> all(train.NumUsers());
+  ParallelFor(pool, train.NumUsers(), [&](std::size_t begin,
+                                          std::size_t end) {
+    for (std::size_t u = begin; u < end; ++u) {
+      all[u] = TopNForUser(graph, train, static_cast<UserId>(u),
+                           config.num_recommendations);
+    }
+  });
+  return all;
+}
+
+}  // namespace gf

@@ -1,0 +1,50 @@
+// KNN-based item recommendation (paper §4.3): each user receives the N
+// items of its neighborhood it does not already know, ranked by the
+// similarity-weighted average of its neighbors' ratings
+//
+//   score(u, i) = Σ_{v ∈ knn(u)} r(v, i) · sim(u, v)
+//               / Σ_{v ∈ knn(u)} sim(u, v).
+//
+// On binarized data r(v, i) is 1 when i ∈ P_v, so the score reduces to
+// (Σ of similarities of neighbors holding i) / (Σ of all neighbor
+// similarities) — a similarity-weighted vote.
+
+#ifndef GF_RECOMMENDER_RECOMMENDER_H_
+#define GF_RECOMMENDER_RECOMMENDER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "dataset/dataset.h"
+#include "knn/graph.h"
+
+namespace gf {
+
+/// One recommended item with its predicted score.
+struct Recommendation {
+  ItemId item = kInvalidItem;
+  double score = 0.0;
+};
+
+struct RecommenderConfig {
+  /// Items recommended per user (the paper recommends 30).
+  std::size_t num_recommendations = 30;
+};
+
+/// Computes top-N recommendations for every user from a KNN graph over
+/// the (train) dataset. Result is indexed by user; each list is sorted
+/// by decreasing score. Fails when graph and dataset sizes disagree.
+Result<std::vector<std::vector<Recommendation>>> RecommendAll(
+    const KnnGraph& graph, const Dataset& train,
+    const RecommenderConfig& config, ThreadPool* pool = nullptr);
+
+/// Recommendations for a single user (same scoring; exposed for the
+/// quickstart/example path and tests).
+std::vector<Recommendation> RecommendForUser(
+    const KnnGraph& graph, const Dataset& train, UserId user,
+    const RecommenderConfig& config);
+
+}  // namespace gf
+
+#endif  // GF_RECOMMENDER_RECOMMENDER_H_

@@ -1,0 +1,36 @@
+#include "theory/approximation.h"
+
+#include <cmath>
+
+namespace gf::theory {
+
+double ExpectedCardinality(std::size_t profile_size, std::size_t num_bits) {
+  if (num_bits == 0) return 0.0;
+  const double b = static_cast<double>(num_bits);
+  const double q = 1.0 - 1.0 / b;
+  return b * (1.0 - std::pow(q, static_cast<double>(profile_size)));
+}
+
+double ApproximateExpectedEstimate(const EstimatorScenario& s) {
+  if (s.num_bits == 0) return 0.0;
+  const std::size_t total = s.common + s.only1 + s.only2;
+  if (total == 0) return 0.0;
+  const double b = static_cast<double>(s.num_bits);
+  const double q = 1.0 - 1.0 / b;
+
+  const double alpha_hat =
+      b * (1.0 - std::pow(q, static_cast<double>(s.common)));
+  const double beta_hat =
+      b * (1.0 - std::pow(q, static_cast<double>(s.only1))) *
+      (1.0 - std::pow(q, static_cast<double>(s.only2))) *
+      std::pow(q, static_cast<double>(s.common));
+  const double u_hat = b * (1.0 - std::pow(q, static_cast<double>(total)));
+  if (u_hat <= 0.0) return 0.0;
+  return (alpha_hat + beta_hat) / u_hat;
+}
+
+double ApproximateBias(const EstimatorScenario& s) {
+  return ApproximateExpectedEstimate(s) - s.TrueJaccard();
+}
+
+}  // namespace gf::theory

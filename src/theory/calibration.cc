@@ -1,0 +1,50 @@
+#include "theory/calibration.h"
+
+namespace gf::theory {
+
+double MisorderingAt(const CalibrationTarget& target, std::size_t num_bits) {
+  const auto reference = ScenarioForJaccard(
+      target.profile_size, target.profile_size, target.reference_jaccard,
+      num_bits);
+  const auto competitor = ScenarioForJaccard(
+      target.profile_size, target.profile_size, target.competitor_jaccard,
+      num_bits);
+  const auto d_ref =
+      SampleDistribution(reference, target.num_samples, target.seed);
+  const auto d_comp =
+      SampleDistribution(competitor, target.num_samples, target.seed + 1);
+  return d_comp.ProbabilityExceeds(d_ref);
+}
+
+Result<CalibrationResult> CalibrateShfSize(const CalibrationTarget& target,
+                                           std::size_t max_bits) {
+  if (target.profile_size == 0) {
+    return Status::InvalidArgument("profile_size must be >= 1");
+  }
+  if (!(target.reference_jaccard > target.competitor_jaccard)) {
+    return Status::InvalidArgument(
+        "reference_jaccard must exceed competitor_jaccard");
+  }
+  if (target.reference_jaccard >= 1.0 || target.competitor_jaccard < 0.0) {
+    return Status::InvalidArgument("jaccard levels must lie in [0, 1)");
+  }
+  if (!(target.max_misordering > 0.0) || target.max_misordering >= 1.0) {
+    return Status::InvalidArgument("max_misordering must lie in (0, 1)");
+  }
+  if (max_bits < 64) {
+    return Status::InvalidArgument("max_bits must be >= 64");
+  }
+
+  for (std::size_t bits = 64; bits <= max_bits; bits *= 2) {
+    const double misordering = MisorderingAt(target, bits);
+    if (misordering <= target.max_misordering) {
+      return CalibrationResult{bits, misordering};
+    }
+  }
+  return Status::NotFound(
+      "no SHF length up to " + std::to_string(max_bits) +
+      " bits meets the misordering target of " +
+      std::to_string(target.max_misordering));
+}
+
+}  // namespace gf::theory

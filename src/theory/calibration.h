@@ -1,0 +1,57 @@
+// SHF size calibration — turning §2.4's analysis into a sizing tool.
+//
+// The paper fixes b = 1024 empirically and notes the compactness /
+// accuracy trade-off (Figures 5 and 10). This module closes the loop:
+// given the profile sizes of a dataset and an accuracy target expressed
+// as the maximum tolerated misordering probability between two
+// reference similarity levels (Figure 4's quantity), it searches the
+// power-of-two SHF lengths for the smallest b that meets the target.
+// The misordering probability is evaluated with the Monte-Carlo
+// estimator law at the dataset's typical profile size.
+
+#ifndef GF_THEORY_CALIBRATION_H_
+#define GF_THEORY_CALIBRATION_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "theory/estimator_distribution.h"
+
+namespace gf::theory {
+
+/// Accuracy target for calibration.
+struct CalibrationTarget {
+  /// The neighborhood similarity level to protect (the paper's example:
+  /// an exact neighbor at J = 0.25).
+  double reference_jaccard = 0.25;
+  /// The similarity of the would-be impostor (paper example: 0.17).
+  double competitor_jaccard = 0.17;
+  /// Maximum tolerated P(impostor estimated above reference).
+  double max_misordering = 0.02;
+  /// Representative profile size (use the dataset's mean |P_u|).
+  std::size_t profile_size = 100;
+  /// Monte-Carlo samples per candidate b.
+  std::size_t num_samples = 20000;
+  uint64_t seed = 0xCA11B;
+};
+
+/// Result of a calibration run.
+struct CalibrationResult {
+  std::size_t num_bits = 0;       // chosen SHF length
+  double misordering = 0.0;       // achieved misordering at that length
+};
+
+/// Searches b in {64, 128, ..., max_bits} for the smallest length whose
+/// misordering probability meets the target. Fails when the target is
+/// infeasible even at max_bits, or on malformed targets (reference <=
+/// competitor, probabilities outside (0,1), zero profile size).
+Result<CalibrationResult> CalibrateShfSize(const CalibrationTarget& target,
+                                           std::size_t max_bits = 8192);
+
+/// The misordering probability at one specific length (the quantity the
+/// search thresholds); exposed for diagnostics and tests.
+double MisorderingAt(const CalibrationTarget& target, std::size_t num_bits);
+
+}  // namespace gf::theory
+
+#endif  // GF_THEORY_CALIBRATION_H_

@@ -1,0 +1,192 @@
+#include "theory/estimator_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/bit_util.h"
+#include "common/random.h"
+#include "theory/log_combinatorics.h"
+
+namespace gf::theory {
+
+EstimatorScenario ScenarioForJaccard(std::size_t size1, std::size_t size2,
+                                     double jaccard, std::size_t num_bits) {
+  // J = α / (size1 + size2 - α)  =>  α = J (size1 + size2) / (1 + J).
+  const double alpha_real =
+      jaccard * static_cast<double>(size1 + size2) / (1.0 + jaccard);
+  std::size_t alpha = static_cast<std::size_t>(std::llround(alpha_real));
+  alpha = std::min({alpha, size1, size2});
+  return {.common = alpha,
+          .only1 = size1 - alpha,
+          .only2 = size2 - alpha,
+          .num_bits = num_bits};
+}
+
+EstimatorDistribution::EstimatorDistribution(
+    std::vector<std::pair<double, double>> atoms) {
+  std::sort(atoms.begin(), atoms.end());
+  double total = 0.0;
+  for (const auto& [v, p] : atoms) total += p;
+  atoms_.reserve(atoms.size());
+  for (const auto& [v, p] : atoms) {
+    if (p <= 0.0) continue;
+    if (!atoms_.empty() && atoms_.back().first == v) {
+      atoms_.back().second += p / total;
+    } else {
+      atoms_.emplace_back(v, p / total);
+    }
+  }
+}
+
+double EstimatorDistribution::Mean() const {
+  double m = 0.0;
+  for (const auto& [v, p] : atoms_) m += v * p;
+  return m;
+}
+
+double EstimatorDistribution::Variance() const {
+  const double m = Mean();
+  double v2 = 0.0;
+  for (const auto& [v, p] : atoms_) v2 += (v - m) * (v - m) * p;
+  return v2;
+}
+
+double EstimatorDistribution::Cdf(double x) const {
+  double acc = 0.0;
+  for (const auto& [v, p] : atoms_) {
+    if (v > x) break;
+    acc += p;
+  }
+  return acc;
+}
+
+double EstimatorDistribution::Quantile(double p) const {
+  double acc = 0.0;
+  for (const auto& [v, prob] : atoms_) {
+    acc += prob;
+    if (acc >= p) return v;
+  }
+  return atoms_.empty() ? 0.0 : atoms_.back().first;
+}
+
+double EstimatorDistribution::ProbabilityExceeds(
+    const EstimatorDistribution& other) const {
+  // P(X > Y) for independent X ~ this, Y ~ other: sweep this's atoms in
+  // ascending order while accumulating other's CDF strictly below.
+  double prob = 0.0;
+  double other_cdf = 0.0;  // P(Y < v) accumulated so far
+  std::size_t j = 0;
+  for (const auto& [v, p] : atoms_) {
+    while (j < other.atoms_.size() && other.atoms_[j].first < v) {
+      other_cdf += other.atoms_[j].second;
+      ++j;
+    }
+    prob += p * other_cdf;
+  }
+  return prob;
+}
+
+Result<EstimatorDistribution> ExactDistribution(
+    const EstimatorScenario& s) {
+  if (s.num_bits == 0) return Status::InvalidArgument("num_bits == 0");
+  const std::size_t total_items = s.common + s.only1 + s.only2;
+  if (total_items == 0) {
+    return Status::InvalidArgument("scenario has no items");
+  }
+  const std::size_t b = s.num_bits;
+  const long double log_denominator =
+      static_cast<long double>(total_items) *
+      std::log(static_cast<long double>(b));
+
+  // Enumerate the feasible quadruples (α̂, η̂1, η̂2, β̂); û follows.
+  // Theorem 1:
+  //   Card_h = C(b,û) C(û,α̂) C(û-α̂,β̂) C(û-α̂-β̂,η̂1-β̂)
+  //            · Surj(α → α̂) · ξ(γ1, η̂1+α̂, η̂1) · ξ(γ2, η̂2+α̂, η̂2)
+  std::vector<std::pair<double, double>> atoms;
+  const std::size_t alpha_max = std::min(s.common, b);
+  const std::size_t alpha_min = s.common == 0 ? 0 : 1;
+  for (std::size_t ah = alpha_min; ah <= std::max<std::size_t>(alpha_max, 0);
+       ++ah) {
+    if (s.common == 0 && ah > 0) break;
+    const long double log_surj_common =
+        s.common == 0 ? 0.0L : LogSurjections(s.common, ah);
+    if (std::isinf(log_surj_common)) continue;
+    // η̂1 may be 0 even when γ1 > 0 (all of P∆1 collides into B∩).
+    for (std::size_t e1 = 0; e1 <= s.only1; ++e1) {
+      // ξ(γ1, η̂1+α̂, η̂1): γ1 items land in B∆1 ⊆ Bη̂1 ∪ B∩ and must
+      // cover the η̂1 bits outside B∩.
+      const long double log_xi1 =
+          s.only1 == 0 ? 0.0L : LogXi(s.only1, e1 + ah, e1);
+      if (std::isinf(log_xi1)) continue;
+      for (std::size_t e2 = 0; e2 <= s.only2; ++e2) {
+        const long double log_xi2 =
+            s.only2 == 0 ? 0.0L : LogXi(s.only2, e2 + ah, e2);
+        if (std::isinf(log_xi2)) continue;
+        const std::size_t beta_max = std::min(e1, e2);
+        for (std::size_t bh = 0; bh <= beta_max; ++bh) {
+          const std::size_t u = ah + e1 + e2 - bh;
+          if (u > b) continue;
+          const long double log_card =
+              LogBinomial(b, u) + LogBinomial(u, ah) +
+              LogBinomial(u - ah, bh) +
+              LogBinomial(u - ah - bh, e1 - bh) + log_surj_common +
+              log_xi1 + log_xi2;
+          if (std::isinf(log_card)) continue;
+          const long double log_p = log_card - log_denominator;
+          // Ĵ = (α̂ + β̂) / û  (Eq. 7).
+          const double value =
+              u == 0 ? 0.0
+                     : static_cast<double>(ah + bh) / static_cast<double>(u);
+          atoms.emplace_back(value,
+                             static_cast<double>(ExpOrZero(log_p)));
+        }
+      }
+    }
+  }
+  // Degenerate all-empty-profile case handled above; probabilities from
+  // the enumeration sum to 1 up to floating error — the constructor
+  // renormalizes.
+  if (atoms.empty()) {
+    return Status::Internal("estimator enumeration produced no atoms");
+  }
+  return EstimatorDistribution(std::move(atoms));
+}
+
+EstimatorDistribution SampleDistribution(const EstimatorScenario& s,
+                                         std::size_t num_samples,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n_words =
+      std::max<std::size_t>(1, bits::WordsForBits(s.num_bits));
+  std::vector<uint64_t> b1(n_words), b2(n_words);
+  std::map<double, double> hist;
+  const double w = 1.0 / static_cast<double>(num_samples);
+  for (std::size_t it = 0; it < num_samples; ++it) {
+    std::fill(b1.begin(), b1.end(), 0);
+    std::fill(b2.begin(), b2.end(), 0);
+    for (std::size_t i = 0; i < s.common; ++i) {
+      const std::size_t pos = rng.Below(s.num_bits);
+      bits::SetBit(b1.data(), pos);
+      bits::SetBit(b2.data(), pos);
+    }
+    for (std::size_t i = 0; i < s.only1; ++i) {
+      bits::SetBit(b1.data(), rng.Below(s.num_bits));
+    }
+    for (std::size_t i = 0; i < s.only2; ++i) {
+      bits::SetBit(b2.data(), rng.Below(s.num_bits));
+    }
+    const uint32_t c1 = bits::PopCount(b1);
+    const uint32_t c2 = bits::PopCount(b2);
+    const uint32_t inter = bits::AndPopCount(b1.data(), b2.data(), n_words);
+    const uint32_t uni = c1 + c2 - inter;
+    const double value =
+        uni == 0 ? 0.0
+                 : static_cast<double>(inter) / static_cast<double>(uni);
+    hist[value] += w;
+  }
+  std::vector<std::pair<double, double>> atoms(hist.begin(), hist.end());
+  return EstimatorDistribution(std::move(atoms));
+}
+
+}  // namespace gf::theory

@@ -1,0 +1,113 @@
+#include "theory/log_combinatorics.h"
+
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+namespace gf::theory {
+
+namespace {
+constexpr long double kNegInf = -std::numeric_limits<long double>::infinity();
+}  // namespace
+
+long double LogFactorial(std::size_t n) {
+  return lgammal(static_cast<long double>(n) + 1.0L);
+}
+
+long double LogBinomial(std::size_t n, std::size_t k) {
+  if (k > n) return kNegInf;
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+namespace {
+
+// Cached triangular table of ln S(n, k), grown on demand. Guarded by a
+// mutex: the theory module is called from benches and tests, sometimes
+// concurrently.
+class StirlingCache {
+ public:
+  long double Get(std::size_t n, std::size_t k) {
+    if (k > n) return kNegInf;
+    if (n == 0) return k == 0 ? 0.0L : kNegInf;  // S(0,0)=1
+    if (k == 0) return kNegInf;                  // S(n,0)=0 for n>0
+    std::lock_guard<std::mutex> lock(mu_);
+    Grow(n);
+    return rows_[n][k];
+  }
+
+ private:
+  void Grow(std::size_t n) {
+    if (rows_.size() > n) return;
+    if (rows_.empty()) rows_.push_back({0.0L});  // row 0: S(0,0)=1
+    for (std::size_t r = rows_.size(); r <= n; ++r) {
+      std::vector<long double> row(r + 1, kNegInf);
+      // S(r,k) = k S(r-1,k) + S(r-1,k-1), done in log space.
+      for (std::size_t k = 1; k <= r; ++k) {
+        const long double a =
+            (k < rows_[r - 1].size())
+                ? rows_[r - 1][k] + std::log(static_cast<long double>(k))
+                : kNegInf;
+        const long double b = rows_[r - 1][k - 1];
+        if (a == kNegInf && b == kNegInf) {
+          row[k] = kNegInf;
+        } else if (a == kNegInf) {
+          row[k] = b;
+        } else if (b == kNegInf) {
+          row[k] = a;
+        } else {
+          const long double m = a > b ? a : b;
+          row[k] = m + std::log(std::exp(a - m) + std::exp(b - m));
+        }
+      }
+      rows_.push_back(std::move(row));
+    }
+  }
+
+  std::mutex mu_;
+  std::vector<std::vector<long double>> rows_;
+};
+
+StirlingCache& GetStirlingCache() {
+  static StirlingCache* cache = new StirlingCache();  // never destroyed
+  return *cache;
+}
+
+}  // namespace
+
+long double LogStirling2(std::size_t n, std::size_t k) {
+  return GetStirlingCache().Get(n, k);
+}
+
+long double LogSurjections(std::size_t n, std::size_t k) {
+  const long double s = LogStirling2(n, k);
+  if (s == kNegInf) return kNegInf;
+  return LogFactorial(k) + s;
+}
+
+long double LogXi(std::size_t x, std::size_t y, std::size_t z) {
+  if (z > y || z > x) return kNegInf;  // cannot cover z cells
+  if (x == 0) return z == 0 ? 0.0L : kNegInf;
+  // Signed log-sum-exp of (-1)^k C(z,k) (y-k)^x, anchored at the largest
+  // term (k = 0).
+  const long double anchor =
+      x * std::log(static_cast<long double>(y));  // k=0 term, log scale
+  long double sum = 0.0L;  // Σ terms / exp(anchor), signed
+  for (std::size_t k = 0; k <= z && k < y; ++k) {
+    const long double log_term =
+        LogBinomial(z, k) +
+        static_cast<long double>(x) *
+            std::log(static_cast<long double>(y - k));
+    const long double scaled = std::exp(log_term - anchor);
+    sum += (k % 2 == 0) ? scaled : -scaled;
+  }
+  if (sum <= 0.0L) return kNegInf;  // fully cancelled: count is 0
+  return anchor + std::log(sum);
+}
+
+long double ExpOrZero(long double log_value) {
+  if (log_value == kNegInf) return 0.0L;
+  return std::exp(log_value);
+}
+
+}  // namespace gf::theory

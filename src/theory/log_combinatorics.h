@@ -1,0 +1,43 @@
+// Log-space combinatorics used by the exact analysis of the Ĵ estimator
+// (paper §2.4, Theorem 1). All quantities are natural logs in long
+// double: the counts involved (e.g. C(1024, 500), Stirling numbers of
+// 300 elements) overflow every machine integer and even double's
+// exponent range for large parameters.
+
+#ifndef GF_THEORY_LOG_COMBINATORICS_H_
+#define GF_THEORY_LOG_COMBINATORICS_H_
+
+#include <cstddef>
+
+namespace gf::theory {
+
+/// ln(n!) via lgammal.
+long double LogFactorial(std::size_t n);
+
+/// ln C(n, k); returns -infinity when k > n.
+long double LogBinomial(std::size_t n, std::size_t k);
+
+/// ln of Stirling's number of the second kind S(n, k): the number of
+/// ways to partition n elements into k non-empty unlabeled cells.
+/// Computed by a cached DP on ln-space (S(n,k) = k*S(n-1,k) + S(n-1,k-1)).
+/// Returns -infinity when the number is zero (k > n, or k == 0 != n).
+long double LogStirling2(std::size_t n, std::size_t k);
+
+/// ln of the number of surjections from an n-set onto a k-set:
+/// k! * S(n, k).
+long double LogSurjections(std::size_t n, std::size_t k);
+
+/// ln ξ(x, y, z): the number of functions f from an x-set to a y-set
+/// whose image covers a fixed z-subset of the codomain (paper §2.4):
+///   ξ(x,y,z) = Σ_{k=0}^{z} (-1)^k C(z,k) (y-k)^x.
+/// Returns -infinity when the count is zero (z > y, or z > x, or
+/// x == 0 != z...). Uses signed log-sum-exp; accurate for the parameter
+/// ranges of the paper (x ≤ a few hundred, y ≤ 8192).
+long double LogXi(std::size_t x, std::size_t y, std::size_t z);
+
+/// exp() clamped so that -infinity maps to 0 exactly.
+long double ExpOrZero(long double log_value);
+
+}  // namespace gf::theory
+
+#endif  // GF_THEORY_LOG_COMBINATORICS_H_

@@ -1,0 +1,64 @@
+#include "theory/occupancy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "theory/log_combinatorics.h"
+
+namespace gf::theory {
+
+Result<OccupancyDistribution> OccupancyDistribution::Compute(
+    std::size_t num_items, std::size_t num_bits) {
+  if (num_bits == 0) return Status::InvalidArgument("num_bits == 0");
+
+  const std::size_t max_j = std::min(num_items, num_bits);
+  std::vector<double> pmf(max_j + 1, 0.0);
+  if (num_items == 0) {
+    pmf[0] = 1.0;
+    return OccupancyDistribution(num_items, num_bits, std::move(pmf));
+  }
+
+  const long double log_total =
+      static_cast<long double>(num_items) *
+      std::log(static_cast<long double>(num_bits));
+  long double total = 0.0L;
+  for (std::size_t j = 1; j <= max_j; ++j) {
+    const long double log_p = LogBinomial(num_bits, j) +
+                              LogSurjections(num_items, j) - log_total;
+    const long double p = ExpOrZero(log_p);
+    pmf[j] = static_cast<double>(p);
+    total += p;
+  }
+  // Counting identity: Σ_j C(b,j) Surj(s,j) = b^s, so total == 1 up to
+  // floating error; renormalize to keep the invariant exact.
+  if (total > 0.0L) {
+    for (double& p : pmf) p = static_cast<double>(p / total);
+  }
+  return OccupancyDistribution(num_items, num_bits, std::move(pmf));
+}
+
+double OccupancyDistribution::Cdf(std::size_t j) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i <= j && i < pmf_.size(); ++i) acc += pmf_[i];
+  return std::min(1.0, acc);
+}
+
+double OccupancyDistribution::Mean() const {
+  double mean = 0.0;
+  for (std::size_t j = 0; j < pmf_.size(); ++j) {
+    mean += static_cast<double>(j) * pmf_[j];
+  }
+  return mean;
+}
+
+double OccupancyDistribution::Variance() const {
+  const double mean = Mean();
+  double var = 0.0;
+  for (std::size_t j = 0; j < pmf_.size(); ++j) {
+    var += (static_cast<double>(j) - mean) *
+           (static_cast<double>(j) - mean) * pmf_[j];
+  }
+  return var;
+}
+
+}  // namespace gf::theory

@@ -1,0 +1,59 @@
+// Exact occupancy law of the SHF cardinality (paper §2.3, Eq. 5).
+//
+// Hashing s distinct items into b bits sets a random number ĉ of bits:
+//
+//   P(ĉ = j) = C(b, j) · Surj(s, j) / b^s
+//
+// (choose the occupied bits, count the surjections onto them). The
+// cached cardinality c is the estimator of |P| in Eq. 5; this module
+// quantifies exactly how much it under-counts, which in turn drives the
+// estimator bias of §2.4.
+
+#ifndef GF_THEORY_OCCUPANCY_H_
+#define GF_THEORY_OCCUPANCY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gf::theory {
+
+/// The exact distribution of the number of occupied bits after hashing
+/// `num_items` distinct items into `num_bits` bits.
+class OccupancyDistribution {
+ public:
+  /// Fails on num_bits == 0.
+  static Result<OccupancyDistribution> Compute(std::size_t num_items,
+                                               std::size_t num_bits);
+
+  /// P(ĉ = j); zero outside [min(1, s), min(s, b)].
+  double Pmf(std::size_t j) const {
+    return j < pmf_.size() ? pmf_[j] : 0.0;
+  }
+
+  /// P(ĉ <= j).
+  double Cdf(std::size_t j) const;
+
+  double Mean() const;
+  double Variance() const;
+
+  /// Expected number of items "lost" to collisions: s - E[ĉ].
+  double ExpectedCollisions() const { return items_ - Mean(); }
+
+  std::size_t num_items() const { return items_; }
+  std::size_t num_bits() const { return bits_; }
+
+ private:
+  OccupancyDistribution(std::size_t items, std::size_t bits,
+                        std::vector<double> pmf)
+      : items_(items), bits_(bits), pmf_(std::move(pmf)) {}
+
+  std::size_t items_;
+  std::size_t bits_;
+  std::vector<double> pmf_;  // index j = occupied bits
+};
+
+}  // namespace gf::theory
+
+#endif  // GF_THEORY_OCCUPANCY_H_

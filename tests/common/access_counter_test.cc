@@ -1,0 +1,53 @@
+#include "common/access_counter.h"
+
+#include <gtest/gtest.h>
+
+namespace gf {
+namespace {
+
+class AccessCounterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AccessCounter::Instance().Reset();
+    AccessCounter::Enable(false);
+  }
+  void TearDown() override {
+    AccessCounter::Enable(false);
+    AccessCounter::Instance().Reset();
+  }
+};
+
+TEST_F(AccessCounterTest, DisabledByDefaultCountsNothing) {
+  CountLoads(10);
+  CountStores(5);
+  EXPECT_EQ(AccessCounter::Instance().loads(), 0u);
+  EXPECT_EQ(AccessCounter::Instance().stores(), 0u);
+}
+
+TEST_F(AccessCounterTest, EnabledCountsAccesses) {
+  AccessCounter::Enable(true);
+  CountLoads(10);
+  CountLoads(7);
+  CountStores(3);
+  EXPECT_EQ(AccessCounter::Instance().loads(), 17u);
+  EXPECT_EQ(AccessCounter::Instance().stores(), 3u);
+}
+
+TEST_F(AccessCounterTest, ResetClears) {
+  AccessCounter::Enable(true);
+  CountLoads(4);
+  AccessCounter::Instance().Reset();
+  EXPECT_EQ(AccessCounter::Instance().loads(), 0u);
+}
+
+TEST_F(AccessCounterTest, SnapshotReflectsCurrentTallies) {
+  AccessCounter::Enable(true);
+  CountLoads(2);
+  CountStores(9);
+  const AccessSnapshot snap = TakeAccessSnapshot();
+  EXPECT_EQ(snap.loads, 2u);
+  EXPECT_EQ(snap.stores, 9u);
+}
+
+}  // namespace
+}  // namespace gf

@@ -1,0 +1,99 @@
+#include "common/bit_util.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace gf::bits {
+namespace {
+
+TEST(BitUtilTest, WordsForBits) {
+  EXPECT_EQ(WordsForBits(0), 0u);
+  EXPECT_EQ(WordsForBits(1), 1u);
+  EXPECT_EQ(WordsForBits(64), 1u);
+  EXPECT_EQ(WordsForBits(65), 2u);
+  EXPECT_EQ(WordsForBits(1024), 16u);
+  EXPECT_EQ(WordsForBits(8192), 128u);
+}
+
+TEST(BitUtilTest, IsValidBitLength) {
+  EXPECT_FALSE(IsValidBitLength(0));
+  EXPECT_FALSE(IsValidBitLength(63));
+  EXPECT_FALSE(IsValidBitLength(100));
+  EXPECT_TRUE(IsValidBitLength(64));
+  EXPECT_TRUE(IsValidBitLength(128));
+  EXPECT_TRUE(IsValidBitLength(4096));
+}
+
+TEST(BitUtilTest, SetTestClearRoundTrip) {
+  std::vector<uint64_t> words(4, 0);
+  for (std::size_t pos : {0u, 1u, 63u, 64u, 127u, 255u}) {
+    EXPECT_FALSE(TestBit(words.data(), pos));
+    SetBit(words.data(), pos);
+    EXPECT_TRUE(TestBit(words.data(), pos));
+  }
+  EXPECT_EQ(PopCount(words), 6u);
+  ClearBit(words.data(), 64);
+  EXPECT_FALSE(TestBit(words.data(), 64));
+  EXPECT_EQ(PopCount(words), 5u);
+}
+
+TEST(BitUtilTest, SetBitIsIdempotentOnWordValue) {
+  std::vector<uint64_t> words(1, 0);
+  SetBit(words.data(), 7);
+  const uint64_t once = words[0];
+  SetBit(words.data(), 7);
+  EXPECT_EQ(words[0], once);
+}
+
+TEST(BitUtilTest, AndOrPopCountAgainstReference) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<uint64_t> a(8), b(8);
+    for (auto& w : a) w = rng.Next();
+    for (auto& w : b) w = rng.Next();
+    uint32_t and_ref = 0, or_ref = 0;
+    for (std::size_t pos = 0; pos < 512; ++pos) {
+      const bool in_a = TestBit(a.data(), pos);
+      const bool in_b = TestBit(b.data(), pos);
+      and_ref += (in_a && in_b);
+      or_ref += (in_a || in_b);
+    }
+    EXPECT_EQ(AndPopCount(a.data(), b.data(), 8), and_ref);
+    EXPECT_EQ(OrPopCount(a.data(), b.data(), 8), or_ref);
+  }
+}
+
+TEST(BitUtilTest, InclusionExclusionHolds) {
+  // popcount(a) + popcount(b) == and + or, for random words.
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<uint64_t> a(2), b(2);
+    for (auto& w : a) w = rng.Next();
+    for (auto& w : b) w = rng.Next();
+    EXPECT_EQ(PopCount(a) + PopCount(b),
+              AndPopCount(a.data(), b.data(), 2) +
+                  OrPopCount(a.data(), b.data(), 2));
+  }
+}
+
+TEST(BitUtilTest, SelectBitFindsKthSetBit) {
+  const uint64_t w = (uint64_t{1} << 3) | (uint64_t{1} << 17) |
+                     (uint64_t{1} << 40) | (uint64_t{1} << 63);
+  EXPECT_EQ(SelectBit(w, 0), 3u);
+  EXPECT_EQ(SelectBit(w, 1), 17u);
+  EXPECT_EQ(SelectBit(w, 2), 40u);
+  EXPECT_EQ(SelectBit(w, 3), 63u);
+}
+
+TEST(BitUtilTest, PopCountEmptySpanIsZero) {
+  std::vector<uint64_t> empty;
+  EXPECT_EQ(PopCount(empty), 0u);
+  EXPECT_EQ(AndPopCount(nullptr, nullptr, 0), 0u);
+}
+
+}  // namespace
+}  // namespace gf::bits

@@ -1,0 +1,96 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace gf {
+namespace {
+
+Result<Flags> ParseArgs(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EmptyCommandLine) {
+  auto flags = ParseArgs({});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags->positional().empty());
+  EXPECT_FALSE(flags->Has("anything"));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  auto flags = ParseArgs({"knn", "extra"});
+  ASSERT_TRUE(flags.ok());
+  ASSERT_EQ(flags->positional().size(), 2u);
+  EXPECT_EQ(flags->positional()[0], "knn");
+  EXPECT_EQ(flags->positional()[1], "extra");
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  auto flags = ParseArgs({"--k=30", "--mode=golfi"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetInt("k", 0), 30);
+  EXPECT_EQ(flags->GetString("mode"), "golfi");
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  auto flags = ParseArgs({"--k", "30", "--out", "file.gfsz"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetInt("k", 0), 30);
+  EXPECT_EQ(flags->GetString("out"), "file.gfsz");
+}
+
+TEST(FlagsTest, BareSwitchIsTrue) {
+  auto flags = ParseArgs({"--verbose", "--full"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags->GetBool("verbose"));
+  EXPECT_TRUE(flags->GetBool("full"));
+  EXPECT_FALSE(flags->GetBool("absent"));
+}
+
+TEST(FlagsTest, SwitchFollowedByFlagDoesNotConsumeIt) {
+  auto flags = ParseArgs({"--dry-run", "--k", "5"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetString("dry-run"), "true");
+  EXPECT_EQ(flags->GetInt("k", 0), 5);
+}
+
+TEST(FlagsTest, ExplicitFalse) {
+  auto flags = ParseArgs({"--feature=false", "--other=0"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_FALSE(flags->GetBool("feature", true));
+  EXPECT_FALSE(flags->GetBool("other", true));
+}
+
+TEST(FlagsTest, DuplicateFlagRejected) {
+  auto flags = ParseArgs({"--k=1", "--k=2"});
+  EXPECT_FALSE(flags.ok());
+  EXPECT_EQ(flags.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, EmptyFlagNameRejected) {
+  auto flags = ParseArgs({"--=3"});
+  EXPECT_FALSE(flags.ok());
+}
+
+TEST(FlagsTest, TypedFallbacks) {
+  auto flags = ParseArgs({"--scale=0.25", "--bad=xyz"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_DOUBLE_EQ(flags->GetDouble("scale", 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(flags->GetDouble("missing", 1.5), 1.5);
+  EXPECT_EQ(flags->GetInt("bad", -7), -7);  // unparsable -> fallback
+  EXPECT_EQ(flags->GetString("missing", "dflt"), "dflt");
+}
+
+TEST(FlagsTest, MixedPositionalAndFlags) {
+  auto flags = ParseArgs({"knn", "--k=3", "target", "--mode", "native"});
+  ASSERT_TRUE(flags.ok());
+  ASSERT_EQ(flags->positional().size(), 2u);
+  EXPECT_EQ(flags->positional()[0], "knn");
+  EXPECT_EQ(flags->positional()[1], "target");
+  EXPECT_EQ(flags->GetInt("k", 0), 3);
+  EXPECT_EQ(flags->GetString("mode"), "native");
+}
+
+}  // namespace
+}  // namespace gf

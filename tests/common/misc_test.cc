@@ -1,0 +1,51 @@
+// Odds and ends: flag edge cases and the formatted stats table.
+
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+#include "dataset/dataset.h"
+#include "testing/test_util.h"
+
+namespace gf {
+namespace {
+
+TEST(FlagsEdgeTest, EmptyValueAfterEquals) {
+  const char* argv[] = {"prog", "--name="};
+  auto flags = Flags::Parse(2, argv);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags->Has("name"));
+  EXPECT_EQ(flags->GetString("name", "fallback"), "");
+}
+
+TEST(FlagsEdgeTest, NegativeNumberAsValue) {
+  const char* argv[] = {"prog", "--offset", "-5"};
+  auto flags = Flags::Parse(3, argv);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetInt("offset", 0), -5);
+}
+
+TEST(FlagsEdgeTest, ValueContainingEquals) {
+  const char* argv[] = {"prog", "--expr=a=b"};
+  auto flags = Flags::Parse(2, argv);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetString("expr"), "a=b");
+}
+
+TEST(StatsTableTest, MultipleRowsAligned) {
+  const Dataset a = testing::TinyDataset();
+  const Dataset b = testing::SmallSynthetic(50);
+  const std::string table =
+      FormatStatsTable({ComputeStats(a), ComputeStats(b)});
+  // One header + two data rows.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 3);
+  EXPECT_NE(table.find("tiny"), std::string::npos);
+  EXPECT_NE(table.find("small"), std::string::npos);
+}
+
+TEST(StatsTableTest, EmptyRowListPrintsHeaderOnly) {
+  const std::string table = FormatStatsTable({});
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 1);
+}
+
+}  // namespace
+}  // namespace gf

@@ -1,0 +1,66 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace gf {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("no such user"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOrFallsBackOnError) {
+  Result<int> err(Status::Internal("x"));
+  EXPECT_EQ(err.value_or(-1), -1);
+  Result<int> val(5);
+  EXPECT_EQ(val.value_or(-1), 5);
+}
+
+TEST(ResultTest, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> taken = std::move(r).value();
+  EXPECT_EQ(*taken, 9);
+}
+
+TEST(ResultTest, ArrowOperatorReachesMembers) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+Status ConsumeAssignOrReturn(bool fail, int* out) {
+  auto make = [&]() -> Result<int> {
+    if (fail) return Status::OutOfRange("nope");
+    return 7;
+  };
+  GF_ASSIGN_OR_RETURN(*out, make());
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnAssignsOnSuccess) {
+  int out = 0;
+  ASSERT_TRUE(ConsumeAssignOrReturn(false, &out).ok());
+  EXPECT_EQ(out, 7);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  int out = 0;
+  const Status s = ConsumeAssignOrReturn(true, &out);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(out, 0);
+}
+
+}  // namespace
+}  // namespace gf

@@ -1,0 +1,185 @@
+#include "core/blip.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/similarity.h"
+#include "testing/test_util.h"
+
+namespace gf {
+namespace {
+
+FingerprintConfig FpConfig(std::size_t bits = 1024) {
+  FingerprintConfig c;
+  c.num_bits = bits;
+  return c;
+}
+
+FingerprintStore BuildStore(const Dataset& d, std::size_t bits = 1024) {
+  return FingerprintStore::Build(d, FpConfig(bits)).value();
+}
+
+TEST(BlipTest, FlipProbabilityFormula) {
+  // p = 1 / (1 + e^eps): eps=0 -> 0.5 (full noise), eps→inf -> 0.
+  EXPECT_NEAR(BlipFlipProbability(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(BlipFlipProbability(std::log(3.0)), 0.25, 1e-12);
+  EXPECT_LT(BlipFlipProbability(10.0), 1e-4);
+  EXPECT_GT(BlipFlipProbability(0.1), 0.45);
+}
+
+TEST(BlipTest, BuildValidatesEpsilon) {
+  const Dataset d = testing::TinyDataset();
+  const auto store = BuildStore(d, 64);
+  BlipConfig config;
+  config.epsilon = 0.0;
+  EXPECT_FALSE(BlipStore::Build(store, config).ok());
+  config.epsilon = -1.0;
+  EXPECT_FALSE(BlipStore::Build(store, config).ok());
+  config.epsilon = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(BlipStore::Build(store, config).ok());
+  config.epsilon = 2.0;
+  EXPECT_TRUE(BlipStore::Build(store, config).ok());
+}
+
+TEST(BlipTest, FlipRateMatchesProbability) {
+  const Dataset d = testing::SmallSynthetic(100);
+  const auto store = BuildStore(d, 1024);
+  BlipConfig config;
+  config.epsilon = 1.0;  // p ≈ 0.269
+  auto blip = BlipStore::Build(store, config);
+  ASSERT_TRUE(blip.ok());
+
+  // Count flipped bits across all users.
+  uint64_t flipped = 0, total = 0;
+  for (UserId u = 0; u < store.num_users(); ++u) {
+    const auto orig = store.WordsOf(u);
+    const auto noisy = blip->WordsOf(u);
+    for (std::size_t w = 0; w < orig.size(); ++w) {
+      flipped += std::popcount(orig[w] ^ noisy[w]);
+      total += 64;
+    }
+  }
+  const double p = BlipFlipProbability(1.0);
+  EXPECT_NEAR(static_cast<double>(flipped) / static_cast<double>(total), p,
+              0.01);
+}
+
+TEST(BlipTest, DeterministicGivenSeedAndParallelSafe) {
+  const Dataset d = testing::SmallSynthetic(80);
+  const auto store = BuildStore(d, 512);
+  BlipConfig config;
+  config.epsilon = 2.0;
+  ThreadPool pool(4);
+  auto seq = BlipStore::Build(store, config, nullptr);
+  auto par = BlipStore::Build(store, config, &pool);
+  ASSERT_TRUE(seq.ok() && par.ok());
+  for (UserId u = 0; u < store.num_users(); ++u) {
+    const auto a = seq->WordsOf(u);
+    const auto b = par->WordsOf(u);
+    for (std::size_t w = 0; w < a.size(); ++w) EXPECT_EQ(a[w], b[w]);
+  }
+}
+
+TEST(BlipTest, CardinalityEstimateIsUnbiased) {
+  const Dataset d = testing::SmallSynthetic(200);
+  const auto store = BuildStore(d, 1024);
+  BlipConfig config;
+  config.epsilon = 1.5;
+  auto blip = BlipStore::Build(store, config);
+  ASSERT_TRUE(blip.ok());
+  double total_true = 0, total_est = 0;
+  for (UserId u = 0; u < store.num_users(); ++u) {
+    total_true += store.CardinalityOf(u);
+    total_est += blip->EstimateCardinality(u);
+  }
+  EXPECT_NEAR(total_est / total_true, 1.0, 0.05);
+}
+
+TEST(BlipTest, HighEpsilonRecoversPlainEstimate) {
+  const Dataset d = testing::SmallSynthetic(60);
+  const auto store = BuildStore(d, 1024);
+  BlipConfig config;
+  config.epsilon = 12.0;  // essentially no noise
+  auto blip = BlipStore::Build(store, config);
+  ASSERT_TRUE(blip.ok());
+  for (UserId a = 0; a < 15; ++a) {
+    for (UserId b = a + 1; b < 15; ++b) {
+      EXPECT_NEAR(blip->EstimateJaccard(a, b), store.EstimateJaccard(a, b),
+                  0.02);
+    }
+  }
+}
+
+TEST(BlipTest, NoisyEstimateTracksTruthOnAverage) {
+  const Dataset d = testing::SmallSynthetic(150, 99);
+  const auto store = BuildStore(d, 2048);
+  BlipConfig config;
+  config.epsilon = 3.0;
+  auto blip = BlipStore::Build(store, config);
+  ASSERT_TRUE(blip.ok());
+  double err_sum = 0;
+  int pairs = 0;
+  for (UserId a = 0; a < 30; ++a) {
+    for (UserId b = a + 1; b < 30; ++b) {
+      err_sum += blip->EstimateJaccard(a, b) -
+                 ExactJaccard(d.Profile(a), d.Profile(b));
+      ++pairs;
+    }
+  }
+  // Signed mean error near zero: the correction removes the noise bias.
+  EXPECT_NEAR(err_sum / pairs, 0.0, 0.05);
+}
+
+TEST(BlipTest, MoreNoiseMoreSpread) {
+  const Dataset d = testing::SmallSynthetic(100, 3);
+  const auto store = BuildStore(d, 1024);
+  const auto mean_abs_err = [&](double eps) {
+    BlipConfig config;
+    config.epsilon = eps;
+    auto blip = BlipStore::Build(store, config);
+    double err = 0;
+    int pairs = 0;
+    for (UserId a = 0; a < 25; ++a) {
+      for (UserId b = a + 1; b < 25; ++b) {
+        err += std::abs(blip->EstimateJaccard(a, b) -
+                        store.EstimateJaccard(a, b));
+        ++pairs;
+      }
+    }
+    return err / pairs;
+  };
+  EXPECT_GT(mean_abs_err(0.5), mean_abs_err(2.0));
+  EXPECT_GT(mean_abs_err(2.0), mean_abs_err(6.0));
+}
+
+TEST(BlipTest, EstimateClampedToUnitInterval) {
+  const Dataset d = testing::SmallSynthetic(50);
+  const auto store = BuildStore(d, 256);
+  BlipConfig config;
+  config.epsilon = 0.3;  // heavy noise
+  auto blip = BlipStore::Build(store, config);
+  ASSERT_TRUE(blip.ok());
+  for (UserId a = 0; a < d.NumUsers(); ++a) {
+    for (UserId b = 0; b < 10; ++b) {
+      const double e = blip->EstimateJaccard(a, b);
+      EXPECT_GE(e, 0.0);
+      EXPECT_LE(e, 1.0);
+    }
+  }
+}
+
+TEST(BlipTest, ProviderPlugsIntoKnn) {
+  const Dataset d = testing::SmallSynthetic(60);
+  const auto store = BuildStore(d, 1024);
+  BlipConfig config;
+  config.epsilon = 4.0;
+  auto blip = BlipStore::Build(store, config);
+  ASSERT_TRUE(blip.ok());
+  BlipProvider provider(*blip);
+  EXPECT_EQ(provider.num_users(), d.NumUsers());
+  EXPECT_GE(provider(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace gf

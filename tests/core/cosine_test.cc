@@ -1,0 +1,112 @@
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/fingerprint_store.h"
+#include "core/similarity.h"
+#include "knn/similarity_provider.h"
+#include "testing/test_util.h"
+
+namespace gf {
+namespace {
+
+TEST(ShfCosineTest, HandValues) {
+  Shf a = *Shf::Create(64);
+  Shf b = *Shf::Create(64);
+  for (std::size_t i : {0u, 1u}) a.SetBit(i);
+  for (std::size_t i : {1u, 2u}) b.SetBit(i);
+  // AND = 1, c1 = c2 = 2 -> 1/2.
+  EXPECT_DOUBLE_EQ(Shf::EstimateCosine(a, b), 0.5);
+}
+
+TEST(ShfCosineTest, IdenticalIsOneEmptyIsZero) {
+  Shf a = *Shf::Create(64);
+  a.SetBit(5);
+  a.SetBit(9);
+  EXPECT_DOUBLE_EQ(Shf::EstimateCosine(a, a), 1.0);
+  const Shf empty = *Shf::Create(64);
+  EXPECT_DOUBLE_EQ(Shf::EstimateCosine(a, empty), 0.0);
+  EXPECT_DOUBLE_EQ(Shf::EstimateCosine(empty, empty), 0.0);
+}
+
+TEST(CosineFromCountsTest, MatchesFormula) {
+  EXPECT_DOUBLE_EQ(CosineFromCounts(4, 9, 3), 3.0 / 6.0);
+  EXPECT_DOUBLE_EQ(CosineFromCounts(0, 5, 0), 0.0);
+}
+
+TEST(ShfCosineTest, EstimateConvergesToExactCosine) {
+  FingerprintConfig config;
+  config.num_bits = 4096;
+  auto fp = Fingerprinter::Create(config);
+  ASSERT_TRUE(fp.ok());
+  Rng rng(17);
+  double total_err = 0;
+  const int kPairs = 30;
+  for (int trial = 0; trial < kPairs; ++trial) {
+    std::set<ItemId> sa, sb;
+    while (sa.size() < 50) sa.insert(static_cast<ItemId>(rng.Below(100000)));
+    for (ItemId x : sa) {
+      if (sb.size() < 25) sb.insert(x);
+    }
+    while (sb.size() < 50) sb.insert(static_cast<ItemId>(rng.Below(100000)));
+    const std::vector<ItemId> a(sa.begin(), sa.end());
+    const std::vector<ItemId> b(sb.begin(), sb.end());
+    total_err += std::abs(
+        Shf::EstimateCosine(fp->Fingerprint(a), fp->Fingerprint(b)) -
+        BinaryCosine(a, b));
+  }
+  EXPECT_LT(total_err / kPairs, 0.03);
+}
+
+TEST(CosineProviderTest, StoreAndProviderAgree) {
+  const Dataset d = testing::SmallSynthetic(40);
+  FingerprintConfig config;
+  config.num_bits = 512;
+  auto store = FingerprintStore::Build(d, config);
+  ASSERT_TRUE(store.ok());
+  GoldFingerCosineProvider provider(*store);
+  EXPECT_EQ(provider.num_users(), d.NumUsers());
+  for (UserId a = 0; a < 10; ++a) {
+    for (UserId b = 0; b < 10; ++b) {
+      EXPECT_DOUBLE_EQ(provider(a, b), store->EstimateCosine(a, b));
+      const Shf sa = store->Extract(a);
+      const Shf sb = store->Extract(b);
+      EXPECT_DOUBLE_EQ(store->EstimateCosine(a, b),
+                       Shf::EstimateCosine(sa, sb));
+    }
+  }
+}
+
+TEST(CosineProviderTest, CosineKnnGraphIsReasonable) {
+  // A KNN graph under estimated cosine should largely agree with one
+  // under exact cosine.
+  const Dataset d = testing::SmallSynthetic(150);
+  FingerprintConfig config;
+  config.num_bits = 2048;
+  auto store = FingerprintStore::Build(d, config);
+  ASSERT_TRUE(store.ok());
+  GoldFingerCosineProvider approx(*store);
+  CosineProvider exact(d);
+
+  // Compare similarity orderings on sampled triples.
+  Rng rng(9);
+  int agreements = 0, comparisons = 0;
+  for (int t = 0; t < 500; ++t) {
+    const auto u = static_cast<UserId>(rng.Below(d.NumUsers()));
+    const auto v = static_cast<UserId>(rng.Below(d.NumUsers()));
+    const auto w = static_cast<UserId>(rng.Below(d.NumUsers()));
+    if (u == v || u == w || v == w) continue;
+    const double ev = exact(u, v), ew = exact(u, w);
+    if (std::abs(ev - ew) < 0.05) continue;  // too close to call
+    ++comparisons;
+    agreements += ((ev > ew) == (approx(u, v) > approx(u, w)));
+  }
+  ASSERT_GT(comparisons, 100);
+  EXPECT_GT(static_cast<double>(agreements) / comparisons, 0.9);
+}
+
+}  // namespace
+}  // namespace gf

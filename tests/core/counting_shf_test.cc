@@ -1,0 +1,147 @@
+#include "core/counting_shf.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace gf {
+namespace {
+
+FingerprintConfig Config(std::size_t bits = 256) {
+  FingerprintConfig c;
+  c.num_bits = bits;
+  return c;
+}
+
+TEST(CountingShfTest, CreateValidatesConfig) {
+  EXPECT_FALSE(CountingShf::Create(Config(0)).ok());
+  EXPECT_FALSE(CountingShf::Create(Config(100)).ok());
+  EXPECT_TRUE(CountingShf::Create(Config(64)).ok());
+}
+
+TEST(CountingShfTest, AddSetsBitsLikeFingerprinter) {
+  const FingerprintConfig config = Config(512);
+  auto counting = CountingShf::Create(config);
+  ASSERT_TRUE(counting.ok());
+  auto fp = Fingerprinter::Create(config);
+  ASSERT_TRUE(fp.ok());
+
+  std::vector<ItemId> profile = {3, 17, 99, 1234, 777};
+  for (ItemId it : profile) counting->Add(it);
+  EXPECT_EQ(counting->ToShf(), fp->Fingerprint(profile));
+  EXPECT_EQ(counting->cardinality(),
+            fp->Fingerprint(profile).cardinality());
+}
+
+TEST(CountingShfTest, AddRemoveRoundTrip) {
+  auto c = CountingShf::Create(Config());
+  ASSERT_TRUE(c.ok());
+  c->Add(42);
+  c->Add(43);
+  EXPECT_EQ(c->cardinality(), 2u);
+  EXPECT_TRUE(c->Remove(42));
+  EXPECT_EQ(c->cardinality(), 1u);
+  EXPECT_TRUE(c->Remove(43));
+  EXPECT_EQ(c->cardinality(), 0u);
+  EXPECT_EQ(c->ToShf(), *Shf::Create(256));
+}
+
+TEST(CountingShfTest, RemoveAbsentItemFailsGently) {
+  auto c = CountingShf::Create(Config());
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(c->Remove(42));
+  c->Add(42);
+  EXPECT_TRUE(c->Remove(42));
+  EXPECT_FALSE(c->Remove(42));
+}
+
+TEST(CountingShfTest, CollidingItemsKeepBitAlive) {
+  // Find two items that collide into the same bit of a 64-bit array.
+  const FingerprintConfig config = Config(64);
+  auto fp = Fingerprinter::Create(config);
+  ASSERT_TRUE(fp.ok());
+  ItemId a = 0, b = 1;
+  bool found = false;
+  for (ItemId i = 1; i < 5000 && !found; ++i) {
+    if (fp->BitFor(i) == fp->BitFor(0)) {
+      b = i;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "no collision among 5000 items into 64 bits?!";
+
+  auto c = CountingShf::Create(config);
+  ASSERT_TRUE(c.ok());
+  c->Add(a);
+  c->Add(b);
+  EXPECT_EQ(c->cardinality(), 1u);  // same bit
+  EXPECT_TRUE(c->Remove(a));
+  // The bit must survive: b still maps there.
+  EXPECT_EQ(c->cardinality(), 1u);
+  EXPECT_TRUE(c->Remove(b));
+  EXPECT_EQ(c->cardinality(), 0u);
+}
+
+TEST(CountingShfTest, EstimateMatchesShfEstimate) {
+  const FingerprintConfig config = Config(1024);
+  auto ca = CountingShf::Create(config);
+  auto cb = CountingShf::Create(config);
+  ASSERT_TRUE(ca.ok() && cb.ok());
+  for (ItemId i = 0; i < 60; ++i) ca->Add(i);
+  for (ItemId i = 30; i < 90; ++i) cb->Add(i);
+  EXPECT_DOUBLE_EQ(CountingShf::EstimateJaccard(*ca, *cb),
+                   Shf::EstimateJaccard(ca->ToShf(), cb->ToShf()));
+}
+
+TEST(CountingShfTest, DynamicUpdateTracksRebuiltFingerprint) {
+  // Random add/remove churn: the live view must always equal a from-
+  // scratch fingerprint of the current multiset's support.
+  const FingerprintConfig config = Config(256);
+  auto counting = CountingShf::Create(config);
+  auto fp = Fingerprinter::Create(config);
+  ASSERT_TRUE(counting.ok() && fp.ok());
+
+  Rng rng(5);
+  std::vector<int> multiplicity(200, 0);
+  for (int step = 0; step < 2000; ++step) {
+    const auto item = static_cast<ItemId>(rng.Below(200));
+    if (rng.Bernoulli(0.55)) {
+      counting->Add(item);
+      ++multiplicity[item];
+    } else if (multiplicity[item] > 0) {
+      EXPECT_TRUE(counting->Remove(item));
+      --multiplicity[item];
+    }
+  }
+  std::vector<ItemId> support;
+  for (ItemId i = 0; i < 200; ++i) {
+    if (multiplicity[i] > 0) support.push_back(i);
+  }
+  EXPECT_EQ(counting->ToShf(), fp->Fingerprint(support));
+}
+
+TEST(CountingShfTest, SaturatedCounterIsSticky) {
+  auto c = CountingShf::Create(Config(64));
+  ASSERT_TRUE(c.ok());
+  for (int i = 0; i < 300; ++i) c->Add(7);  // saturates at 255
+  EXPECT_EQ(c->cardinality(), 1u);
+  for (int i = 0; i < 300; ++i) c->Remove(7);
+  // Saturation means the bit can never be cleared again: no under-count.
+  EXPECT_EQ(c->cardinality(), 1u);
+}
+
+TEST(CountingShfTest, MultiHashAddRemoveConsistent) {
+  FingerprintConfig config = Config(256);
+  config.hashes_per_item = 3;
+  auto c = CountingShf::Create(config);
+  ASSERT_TRUE(c.ok());
+  c->Add(11);
+  const uint32_t card_one = c->cardinality();
+  EXPECT_GE(card_one, 1u);
+  EXPECT_LE(card_one, 3u);
+  EXPECT_TRUE(c->Remove(11));
+  EXPECT_EQ(c->cardinality(), 0u);
+}
+
+}  // namespace
+}  // namespace gf

@@ -1,0 +1,103 @@
+#include "core/fingerprint_store.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace gf {
+namespace {
+
+FingerprintConfig Config(std::size_t bits) {
+  FingerprintConfig c;
+  c.num_bits = bits;
+  return c;
+}
+
+TEST(FingerprintStoreTest, BuildValidatesConfig) {
+  const Dataset d = testing::TinyDataset();
+  EXPECT_FALSE(FingerprintStore::Build(d, Config(0)).ok());
+  EXPECT_FALSE(FingerprintStore::Build(d, Config(65)).ok());
+  EXPECT_TRUE(FingerprintStore::Build(d, Config(64)).ok());
+}
+
+TEST(FingerprintStoreTest, MatchesPerProfileFingerprinter) {
+  const Dataset d = testing::SmallSynthetic(50);
+  const FingerprintConfig config = Config(256);
+  auto store = FingerprintStore::Build(d, config);
+  ASSERT_TRUE(store.ok());
+  auto fp = Fingerprinter::Create(config);
+  ASSERT_TRUE(fp.ok());
+  for (UserId u = 0; u < d.NumUsers(); ++u) {
+    const Shf expected = fp->Fingerprint(d.Profile(u));
+    EXPECT_EQ(store->Extract(u), expected) << "user " << u;
+    EXPECT_EQ(store->CardinalityOf(u), expected.cardinality());
+  }
+}
+
+TEST(FingerprintStoreTest, EstimateJaccardMatchesShfPath) {
+  const Dataset d = testing::SmallSynthetic(40);
+  auto store = FingerprintStore::Build(d, Config(512));
+  ASSERT_TRUE(store.ok());
+  for (UserId a = 0; a < 10; ++a) {
+    for (UserId b = 0; b < 10; ++b) {
+      const Shf sa = store->Extract(a);
+      const Shf sb = store->Extract(b);
+      EXPECT_DOUBLE_EQ(store->EstimateJaccard(a, b),
+                       Shf::EstimateJaccard(sa, sb));
+    }
+  }
+}
+
+TEST(FingerprintStoreTest, ParallelBuildMatchesSequential) {
+  const Dataset d = testing::SmallSynthetic(120);
+  ThreadPool pool(4);
+  auto seq = FingerprintStore::Build(d, Config(256), nullptr);
+  auto par = FingerprintStore::Build(d, Config(256), &pool);
+  ASSERT_TRUE(seq.ok() && par.ok());
+  for (UserId u = 0; u < d.NumUsers(); ++u) {
+    EXPECT_EQ(seq->Extract(u), par->Extract(u));
+  }
+}
+
+TEST(FingerprintStoreTest, PayloadBytesAreCompact) {
+  const Dataset d = testing::SmallSynthetic(100);
+  auto store = FingerprintStore::Build(d, Config(1024));
+  ASSERT_TRUE(store.ok());
+  // 1024 bits = 128 bytes + 4-byte cardinality per user.
+  EXPECT_EQ(store->PayloadBytes(), 100u * (128 + 4));
+}
+
+TEST(FingerprintStoreTest, EmptyProfileHasZeroCardinality) {
+  auto d = Dataset::FromProfiles({{}, {1, 2}}, 4);
+  ASSERT_TRUE(d.ok());
+  auto store = FingerprintStore::Build(*d, Config(64));
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->CardinalityOf(0), 0u);
+  EXPECT_GT(store->CardinalityOf(1), 0u);
+  EXPECT_DOUBLE_EQ(store->EstimateJaccard(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(store->EstimateJaccard(0, 1), 0.0);
+}
+
+TEST(FingerprintStoreTest, IdenticalProfilesGetIdenticalFingerprints) {
+  const Dataset d = testing::TinyDataset();  // u0 and u2 identical
+  auto store = FingerprintStore::Build(d, Config(128));
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->Extract(0), store->Extract(2));
+  EXPECT_DOUBLE_EQ(store->EstimateJaccard(0, 2), 1.0);
+}
+
+TEST(FingerprintStoreTest, ModelledAccessesAreCounted) {
+  const Dataset d = testing::TinyDataset();
+  auto store = FingerprintStore::Build(d, Config(1024));
+  ASSERT_TRUE(store.ok());
+  AccessCounter::Instance().Reset();
+  AccessCounter::Enable(true);
+  store->EstimateJaccard(0, 1);
+  AccessCounter::Enable(false);
+  // 2 * 16 words + 2 cardinalities.
+  EXPECT_EQ(AccessCounter::Instance().loads(), 34u);
+  AccessCounter::Instance().Reset();
+}
+
+}  // namespace
+}  // namespace gf

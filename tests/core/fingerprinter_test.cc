@@ -1,0 +1,134 @@
+#include "core/fingerprinter.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gf {
+namespace {
+
+FingerprintConfig Config(std::size_t bits,
+                         hash::HashKind kind = hash::HashKind::kJenkins,
+                         uint64_t seed = 0) {
+  FingerprintConfig c;
+  c.num_bits = bits;
+  c.hash = kind;
+  c.seed = seed;
+  return c;
+}
+
+TEST(FingerprinterTest, CreateValidates) {
+  EXPECT_FALSE(Fingerprinter::Create(Config(0)).ok());
+  EXPECT_FALSE(Fingerprinter::Create(Config(100)).ok());
+  FingerprintConfig c = Config(64);
+  c.hashes_per_item = 0;
+  EXPECT_FALSE(Fingerprinter::Create(c).ok());
+  EXPECT_TRUE(Fingerprinter::Create(Config(1024)).ok());
+}
+
+TEST(FingerprinterTest, BitForIsStableAndInRange) {
+  auto fp = Fingerprinter::Create(Config(256));
+  ASSERT_TRUE(fp.ok());
+  for (ItemId item = 0; item < 1000; ++item) {
+    const std::size_t bit = fp->BitFor(item);
+    EXPECT_LT(bit, 256u);
+    EXPECT_EQ(bit, fp->BitFor(item));
+  }
+}
+
+TEST(FingerprinterTest, EmptyProfileGivesEmptyFingerprint) {
+  auto fp = Fingerprinter::Create(Config(64));
+  ASSERT_TRUE(fp.ok());
+  const Shf shf = fp->Fingerprint({});
+  EXPECT_EQ(shf.cardinality(), 0u);
+}
+
+TEST(FingerprinterTest, CardinalityNeverExceedsProfileSize) {
+  auto fp = Fingerprinter::Create(Config(128));
+  ASSERT_TRUE(fp.ok());
+  std::vector<ItemId> profile;
+  for (ItemId i = 0; i < 300; ++i) profile.push_back(i);
+  const Shf shf = fp->Fingerprint(profile);
+  EXPECT_LE(shf.cardinality(), 300u);
+  EXPECT_LE(shf.cardinality(), 128u);
+  EXPECT_GT(shf.cardinality(), 0u);
+}
+
+TEST(FingerprinterTest, FingerprintIsOrderInvariant) {
+  auto fp = Fingerprinter::Create(Config(512));
+  ASSERT_TRUE(fp.ok());
+  const std::vector<ItemId> fwd = {1, 2, 3, 4, 5};
+  const std::vector<ItemId> rev = {5, 4, 3, 2, 1};
+  EXPECT_EQ(fp->Fingerprint(fwd), fp->Fingerprint(rev));
+}
+
+TEST(FingerprinterTest, SeedChangesBitAssignment) {
+  auto fp0 = Fingerprinter::Create(Config(1024, hash::HashKind::kJenkins, 0));
+  auto fp1 = Fingerprinter::Create(Config(1024, hash::HashKind::kJenkins, 1));
+  ASSERT_TRUE(fp0.ok() && fp1.ok());
+  int moved = 0;
+  for (ItemId item = 0; item < 200; ++item) {
+    moved += (fp0->BitFor(item) != fp1->BitFor(item));
+  }
+  EXPECT_GT(moved, 150);
+}
+
+TEST(FingerprinterTest, HashKindsProduceDifferentLayouts) {
+  auto jenkins = Fingerprinter::Create(Config(1024, hash::HashKind::kJenkins));
+  auto murmur = Fingerprinter::Create(Config(1024, hash::HashKind::kMurmur3));
+  auto splitmix =
+      Fingerprinter::Create(Config(1024, hash::HashKind::kSplitMix));
+  ASSERT_TRUE(jenkins.ok() && murmur.ok() && splitmix.ok());
+  int jm = 0, js = 0;
+  for (ItemId item = 0; item < 200; ++item) {
+    jm += (jenkins->BitFor(item) != murmur->BitFor(item));
+    js += (jenkins->BitFor(item) != splitmix->BitFor(item));
+  }
+  EXPECT_GT(jm, 150);
+  EXPECT_GT(js, 150);
+}
+
+TEST(FingerprinterTest, MultipleHashesSetMoreBits) {
+  FingerprintConfig one = Config(1024);
+  FingerprintConfig three = Config(1024);
+  three.hashes_per_item = 3;
+  auto fp1 = Fingerprinter::Create(one);
+  auto fp3 = Fingerprinter::Create(three);
+  ASSERT_TRUE(fp1.ok() && fp3.ok());
+  std::vector<ItemId> profile;
+  for (ItemId i = 0; i < 50; ++i) profile.push_back(i * 13);
+  EXPECT_GT(fp3->Fingerprint(profile).cardinality(),
+            fp1->Fingerprint(profile).cardinality());
+}
+
+// Property sweep over SHF sizes: expected fill matches the classic
+// occupancy formula E[c] = b(1 - (1 - 1/b)^n).
+class FingerprinterFillTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FingerprinterFillTest, OccupancyMatchesTheory) {
+  const std::size_t bits = GetParam();
+  auto fp = Fingerprinter::Create(Config(bits));
+  ASSERT_TRUE(fp.ok());
+  const std::size_t n = 80;  // items per profile (Fig 1 / Table 1 size)
+  double total_cardinality = 0;
+  const int kProfiles = 50;
+  for (int p = 0; p < kProfiles; ++p) {
+    std::vector<ItemId> profile;
+    for (std::size_t i = 0; i < n; ++i) {
+      profile.push_back(static_cast<ItemId>(p * 10000 + i * 17 + 3));
+    }
+    total_cardinality += fp->Fingerprint(profile).cardinality();
+  }
+  const double b = static_cast<double>(bits);
+  const double expected =
+      b * (1.0 - std::pow(1.0 - 1.0 / b, static_cast<double>(n)));
+  const double mean = total_cardinality / kProfiles;
+  EXPECT_NEAR(mean, expected, 0.08 * expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FingerprinterFillTest,
+                         ::testing::Values(64, 128, 256, 1024, 4096));
+
+}  // namespace
+}  // namespace gf

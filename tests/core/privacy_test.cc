@@ -1,0 +1,111 @@
+#include "core/privacy.h"
+
+#include <gtest/gtest.h>
+
+namespace gf {
+namespace {
+
+TEST(TheoreticalPrivacyTest, AmazonMoviesHeadlineNumbers) {
+  // Paper §2.5.1: AmazonMovies (171,356 items) with 1024-bit SHFs gives
+  // 2^167-anonymity per set bit and 167-diversity.
+  const auto g = TheoreticalPrivacy(171356, 1024, 1);
+  EXPECT_NEAR(g.k_anonymity_log2, 167.34, 0.05);
+  EXPECT_NEAR(g.l_diversity, 167.34, 0.05);
+}
+
+TEST(TheoreticalPrivacyTest, AnonymityScalesWithCardinality) {
+  const auto g1 = TheoreticalPrivacy(100000, 1000, 1);
+  const auto g50 = TheoreticalPrivacy(100000, 1000, 50);
+  EXPECT_DOUBLE_EQ(g50.k_anonymity_log2, 50 * g1.k_anonymity_log2);
+  EXPECT_DOUBLE_EQ(g50.l_diversity, g1.l_diversity);
+}
+
+TEST(TheoreticalPrivacyTest, LongerFingerprintsWeakenGuarantees) {
+  const auto small_b = TheoreticalPrivacy(100000, 256, 10);
+  const auto large_b = TheoreticalPrivacy(100000, 4096, 10);
+  EXPECT_GT(small_b.k_anonymity_log2, large_b.k_anonymity_log2);
+  EXPECT_GT(small_b.l_diversity, large_b.l_diversity);
+}
+
+TEST(PreimageAnalysisTest, SizesSumToUniverse) {
+  FingerprintConfig config;
+  config.num_bits = 256;
+  auto analysis = PreimageAnalysis::Compute(10000, config);
+  ASSERT_TRUE(analysis.ok());
+  uint64_t total = 0;
+  for (uint32_t s : analysis->sizes()) total += s;
+  EXPECT_EQ(total, 10000u);
+}
+
+TEST(PreimageAnalysisTest, PreimagesAreRoughlyUniform) {
+  FingerprintConfig config;
+  config.num_bits = 128;
+  auto analysis = PreimageAnalysis::Compute(128 * 100, config);
+  ASSERT_TRUE(analysis.ok());
+  // Expected 100 items per bit; a fair hash stays within a few sigma.
+  for (uint32_t s : analysis->sizes()) {
+    EXPECT_GT(s, 40u);
+    EXPECT_LT(s, 180u);
+  }
+}
+
+TEST(PreimageAnalysisTest, RequiresSingleHash) {
+  FingerprintConfig config;
+  config.num_bits = 128;
+  config.hashes_per_item = 2;
+  EXPECT_FALSE(PreimageAnalysis::Compute(1000, config).ok());
+}
+
+TEST(PreimageAnalysisTest, RejectsBadBitLength) {
+  FingerprintConfig config;
+  config.num_bits = 100;
+  EXPECT_FALSE(PreimageAnalysis::Compute(1000, config).ok());
+}
+
+TEST(PreimageAnalysisTest, EmpiricalGuaranteesForConcreteShf) {
+  FingerprintConfig config;
+  config.num_bits = 64;
+  const std::size_t universe = 6400;
+  auto analysis = PreimageAnalysis::Compute(universe, config);
+  ASSERT_TRUE(analysis.ok());
+
+  Shf shf = *Shf::Create(64);
+  shf.SetBit(3);
+  shf.SetBit(40);
+  const auto g = analysis->For(shf);
+  EXPECT_DOUBLE_EQ(
+      g.k_anonymity_log2,
+      analysis->PreimageSize(3) + analysis->PreimageSize(40));
+  EXPECT_DOUBLE_EQ(g.l_diversity,
+                   std::min(analysis->PreimageSize(3),
+                            analysis->PreimageSize(40)));
+}
+
+TEST(PreimageAnalysisTest, EmptyShfHasNoGuarantees) {
+  FingerprintConfig config;
+  config.num_bits = 64;
+  auto analysis = PreimageAnalysis::Compute(640, config);
+  ASSERT_TRUE(analysis.ok());
+  const Shf empty = *Shf::Create(64);
+  const auto g = analysis->For(empty);
+  EXPECT_DOUBLE_EQ(g.k_anonymity_log2, 0.0);
+  EXPECT_DOUBLE_EQ(g.l_diversity, 0.0);
+}
+
+TEST(PreimageAnalysisTest, EmpiricalTracksTheoreticalOnAverage) {
+  FingerprintConfig config;
+  config.num_bits = 256;
+  const std::size_t universe = 51200;  // 200 items per bit on average
+  auto analysis = PreimageAnalysis::Compute(universe, config);
+  ASSERT_TRUE(analysis.ok());
+
+  Shf shf = *Shf::Create(256);
+  for (std::size_t i = 0; i < 256; i += 8) shf.SetBit(i);  // 32 bits set
+  const auto empirical = analysis->For(shf);
+  const auto theoretical = TheoreticalPrivacy(universe, 256, 32);
+  EXPECT_NEAR(empirical.k_anonymity_log2, theoretical.k_anonymity_log2,
+              0.15 * theoretical.k_anonymity_log2);
+}
+
+}  // namespace
+}  // namespace gf

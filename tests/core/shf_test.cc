@@ -1,0 +1,148 @@
+#include "core/shf.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace gf {
+namespace {
+
+TEST(ShfTest, CreateValidatesBitLength) {
+  EXPECT_FALSE(Shf::Create(0).ok());
+  EXPECT_FALSE(Shf::Create(63).ok());
+  EXPECT_FALSE(Shf::Create(100).ok());
+  EXPECT_TRUE(Shf::Create(64).ok());
+  EXPECT_TRUE(Shf::Create(1024).ok());
+  EXPECT_TRUE(Shf::Create(8192).ok());
+}
+
+TEST(ShfTest, FreshFingerprintIsEmpty) {
+  const Shf shf = *Shf::Create(256);
+  EXPECT_EQ(shf.cardinality(), 0u);
+  EXPECT_EQ(shf.num_bits(), 256u);
+  for (std::size_t i = 0; i < 256; ++i) EXPECT_FALSE(shf.TestBit(i));
+}
+
+TEST(ShfTest, SetBitMaintainsCardinality) {
+  Shf shf = *Shf::Create(128);
+  shf.SetBit(0);
+  shf.SetBit(127);
+  shf.SetBit(64);
+  EXPECT_EQ(shf.cardinality(), 3u);
+  shf.SetBit(64);  // idempotent
+  EXPECT_EQ(shf.cardinality(), 3u);
+  EXPECT_TRUE(shf.TestBit(0));
+  EXPECT_TRUE(shf.TestBit(64));
+  EXPECT_TRUE(shf.TestBit(127));
+  EXPECT_FALSE(shf.TestBit(1));
+}
+
+TEST(ShfTest, IntersectionAndUnionCardinality) {
+  Shf a = *Shf::Create(64);
+  Shf b = *Shf::Create(64);
+  a.SetBit(1);
+  a.SetBit(2);
+  a.SetBit(3);
+  b.SetBit(2);
+  b.SetBit(3);
+  b.SetBit(4);
+  EXPECT_EQ(a.IntersectionCardinality(b), 2u);
+  EXPECT_EQ(a.UnionCardinality(b), 4u);
+}
+
+TEST(ShfTest, JaccardIdenticalFingerprintsIsOne) {
+  Shf a = *Shf::Create(64);
+  a.SetBit(5);
+  a.SetBit(10);
+  EXPECT_DOUBLE_EQ(Shf::EstimateJaccard(a, a), 1.0);
+}
+
+TEST(ShfTest, JaccardDisjointFingerprintsIsZero) {
+  Shf a = *Shf::Create(64);
+  Shf b = *Shf::Create(64);
+  a.SetBit(1);
+  b.SetBit(2);
+  EXPECT_DOUBLE_EQ(Shf::EstimateJaccard(a, b), 0.0);
+}
+
+TEST(ShfTest, JaccardBothEmptyIsZero) {
+  const Shf a = *Shf::Create(64);
+  const Shf b = *Shf::Create(64);
+  EXPECT_DOUBLE_EQ(Shf::EstimateJaccard(a, b), 0.0);
+}
+
+TEST(ShfTest, JaccardMatchesEquationFour) {
+  // Hand-check Eq. 4: |AND| / (c1 + c2 - |AND|).
+  Shf a = *Shf::Create(64);
+  Shf b = *Shf::Create(64);
+  for (std::size_t i : {0u, 1u, 2u, 3u}) a.SetBit(i);
+  for (std::size_t i : {2u, 3u, 4u, 5u, 6u}) b.SetBit(i);
+  // AND = 2, c1 = 4, c2 = 5 -> 2 / 7.
+  EXPECT_DOUBLE_EQ(Shf::EstimateJaccard(a, b), 2.0 / 7.0);
+}
+
+TEST(ShfTest, EqualityComparesBitsAndLength) {
+  Shf a = *Shf::Create(64);
+  Shf b = *Shf::Create(64);
+  EXPECT_EQ(a, b);
+  a.SetBit(3);
+  EXPECT_FALSE(a == b);
+  b.SetBit(3);
+  EXPECT_EQ(a, b);
+  const Shf longer = *Shf::Create(128);
+  EXPECT_FALSE(a == longer);
+}
+
+TEST(ShfTest, EstimateProfileSizeIsCardinality) {
+  Shf a = *Shf::Create(1024);
+  for (std::size_t i = 0; i < 50; ++i) a.SetBit(i * 7);
+  EXPECT_EQ(a.EstimateProfileSize(), a.cardinality());
+}
+
+TEST(JaccardFromCountsTest, ZeroUnionYieldsZero) {
+  EXPECT_DOUBLE_EQ(JaccardFromCounts(0, 0, 0), 0.0);
+}
+
+TEST(JaccardFromCountsTest, FullOverlapYieldsOne) {
+  EXPECT_DOUBLE_EQ(JaccardFromCounts(8, 8, 8), 1.0);
+}
+
+// Property sweep: the estimator is symmetric, bounded in [0, 1], and 1
+// for identical fingerprints, across SHF sizes.
+class ShfPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShfPropertyTest, EstimatorIsSymmetricAndBounded) {
+  const std::size_t bits = GetParam();
+  Rng rng(bits);
+  for (int trial = 0; trial < 20; ++trial) {
+    Shf a = *Shf::Create(bits);
+    Shf b = *Shf::Create(bits);
+    const std::size_t na = 1 + rng.Below(bits / 2);
+    const std::size_t nb = 1 + rng.Below(bits / 2);
+    for (std::size_t i = 0; i < na; ++i) a.SetBit(rng.Below(bits));
+    for (std::size_t i = 0; i < nb; ++i) b.SetBit(rng.Below(bits));
+    const double ab = Shf::EstimateJaccard(a, b);
+    const double ba = Shf::EstimateJaccard(b, a);
+    EXPECT_DOUBLE_EQ(ab, ba);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+    EXPECT_DOUBLE_EQ(Shf::EstimateJaccard(a, a), 1.0);
+  }
+}
+
+TEST_P(ShfPropertyTest, CardinalityMatchesPopCount) {
+  const std::size_t bits = GetParam();
+  Rng rng(bits * 31);
+  Shf a = *Shf::Create(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (rng.Bernoulli(0.3)) a.SetBit(i);
+  }
+  EXPECT_EQ(a.cardinality(), bits::PopCount(a.words()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, ShfPropertyTest,
+                         ::testing::Values(64, 128, 256, 512, 1024, 2048,
+                                           4096, 8192));
+
+}  // namespace
+}  // namespace gf

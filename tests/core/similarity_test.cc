@@ -1,0 +1,137 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/fingerprinter.h"
+
+namespace gf {
+namespace {
+
+std::vector<ItemId> V(std::initializer_list<ItemId> items) { return items; }
+
+TEST(SimilarityTest, IntersectionSizeBasic) {
+  EXPECT_EQ(IntersectionSize(V({1, 2, 3}), V({2, 3, 4})), 2u);
+  EXPECT_EQ(IntersectionSize(V({1, 2}), V({3, 4})), 0u);
+  EXPECT_EQ(IntersectionSize(V({1, 2, 3}), V({1, 2, 3})), 3u);
+}
+
+TEST(SimilarityTest, IntersectionWithEmpty) {
+  EXPECT_EQ(IntersectionSize(V({}), V({1, 2})), 0u);
+  EXPECT_EQ(IntersectionSize(V({1, 2}), V({})), 0u);
+  EXPECT_EQ(IntersectionSize(V({}), V({})), 0u);
+}
+
+TEST(SimilarityTest, ExactJaccardHandValues) {
+  EXPECT_DOUBLE_EQ(ExactJaccard(V({0, 1, 2, 3}), V({2, 3, 4, 5})), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(ExactJaccard(V({1}), V({1})), 1.0);
+  EXPECT_DOUBLE_EQ(ExactJaccard(V({1}), V({2})), 0.0);
+  EXPECT_DOUBLE_EQ(ExactJaccard(V({}), V({})), 0.0);
+  EXPECT_DOUBLE_EQ(ExactJaccard(V({}), V({1})), 0.0);
+}
+
+TEST(SimilarityTest, JaccardIsSymmetric) {
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::set<ItemId> sa, sb;
+    for (int i = 0; i < 20; ++i) {
+      sa.insert(static_cast<ItemId>(rng.Below(50)));
+      sb.insert(static_cast<ItemId>(rng.Below(50)));
+    }
+    const std::vector<ItemId> a(sa.begin(), sa.end());
+    const std::vector<ItemId> b(sb.begin(), sb.end());
+    EXPECT_DOUBLE_EQ(ExactJaccard(a, b), ExactJaccard(b, a));
+  }
+}
+
+TEST(SimilarityTest, JaccardAgainstSetReference) {
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::set<ItemId> sa, sb;
+    for (int i = 0; i < 30; ++i) {
+      sa.insert(static_cast<ItemId>(rng.Below(100)));
+      sb.insert(static_cast<ItemId>(rng.Below(100)));
+    }
+    std::vector<ItemId> inter, uni;
+    std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                          std::back_inserter(inter));
+    std::set_union(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                   std::back_inserter(uni));
+    const std::vector<ItemId> a(sa.begin(), sa.end());
+    const std::vector<ItemId> b(sb.begin(), sb.end());
+    const double expected =
+        uni.empty() ? 0.0
+                    : static_cast<double>(inter.size()) /
+                          static_cast<double>(uni.size());
+    EXPECT_DOUBLE_EQ(ExactJaccard(a, b), expected);
+  }
+}
+
+TEST(SimilarityTest, BinaryCosineHandValues) {
+  // |A∩B| / sqrt(|A||B|): {0,1} vs {1,2} -> 1/2.
+  EXPECT_DOUBLE_EQ(BinaryCosine(V({0, 1}), V({1, 2})), 0.5);
+  EXPECT_DOUBLE_EQ(BinaryCosine(V({1, 2, 3}), V({1, 2, 3})), 1.0);
+  EXPECT_DOUBLE_EQ(BinaryCosine(V({}), V({1})), 0.0);
+}
+
+TEST(SimilarityTest, CosineUpperBoundsJaccard) {
+  // For binary sets cosine >= Jaccard always.
+  Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::set<ItemId> sa, sb;
+    for (int i = 0; i < 15; ++i) {
+      sa.insert(static_cast<ItemId>(rng.Below(40)));
+      sb.insert(static_cast<ItemId>(rng.Below(40)));
+    }
+    const std::vector<ItemId> a(sa.begin(), sa.end());
+    const std::vector<ItemId> b(sb.begin(), sb.end());
+    EXPECT_GE(BinaryCosine(a, b) + 1e-12, ExactJaccard(a, b));
+  }
+}
+
+// Property: the SHF estimate converges to the exact Jaccard as b grows
+// (the compactness/accuracy trade-off of §2.4, Figure 5).
+class EstimatorConvergenceTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EstimatorConvergenceTest, ShfEstimateNearExactForLargeB) {
+  const std::size_t bits = GetParam();
+  FingerprintConfig config;
+  config.num_bits = bits;
+  auto fp = Fingerprinter::Create(config);
+  ASSERT_TRUE(fp.ok());
+
+  Rng rng(bits * 7 + 1);
+  double total_abs_error = 0;
+  const int kPairs = 40;
+  for (int trial = 0; trial < kPairs; ++trial) {
+    std::set<ItemId> sa, sb;
+    while (sa.size() < 60) sa.insert(static_cast<ItemId>(rng.Below(100000)));
+    // ~50% overlap.
+    for (ItemId x : sa) {
+      if (sb.size() < 30) sb.insert(x);
+    }
+    while (sb.size() < 60) sb.insert(static_cast<ItemId>(rng.Below(100000)));
+    const std::vector<ItemId> a(sa.begin(), sa.end());
+    const std::vector<ItemId> b(sb.begin(), sb.end());
+    const double exact = ExactJaccard(a, b);
+    const double estimate =
+        Shf::EstimateJaccard(fp->Fingerprint(a), fp->Fingerprint(b));
+    total_abs_error += std::abs(estimate - exact);
+  }
+  const double mean_error = total_abs_error / kPairs;
+  // Error tolerance shrinks with b: generous ceilings that still verify
+  // monotone convergence territory (Fig 5's message).
+  const double ceiling = bits <= 256 ? 0.30 : (bits <= 1024 ? 0.10 : 0.05);
+  EXPECT_LT(mean_error, ceiling) << "b = " << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EstimatorConvergenceTest,
+                         ::testing::Values(256, 1024, 4096, 8192));
+
+}  // namespace
+}  // namespace gf

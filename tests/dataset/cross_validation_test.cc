@@ -1,0 +1,137 @@
+#include "dataset/cross_validation.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace gf {
+namespace {
+
+TEST(CrossValidationTest, RejectsFewerThanTwoFolds) {
+  const Dataset d = testing::TinyDataset();
+  EXPECT_FALSE(CrossValidation::Create(d, 0, 1).ok());
+  EXPECT_FALSE(CrossValidation::Create(d, 1, 1).ok());
+  EXPECT_TRUE(CrossValidation::Create(d, 2, 1).ok());
+}
+
+TEST(CrossValidationTest, FoldOutOfRangeFails) {
+  const Dataset d = testing::TinyDataset();
+  auto cv = CrossValidation::Create(d, 5, 1);
+  ASSERT_TRUE(cv.ok());
+  EXPECT_FALSE(cv->Fold(5).ok());
+  EXPECT_EQ(cv->Fold(7).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(CrossValidationTest, FoldsPartitionEveryProfile) {
+  const Dataset d = testing::SmallSynthetic(100);
+  auto cv = CrossValidation::Create(d, 5, 42);
+  ASSERT_TRUE(cv.ok());
+
+  for (UserId u = 0; u < d.NumUsers(); ++u) {
+    std::multiset<ItemId> reassembled;
+    for (std::size_t f = 0; f < 5; ++f) {
+      auto split = cv->Fold(f);
+      ASSERT_TRUE(split.ok());
+      for (ItemId it : split->test[u]) reassembled.insert(it);
+    }
+    // The union of the 5 test folds is exactly the profile, each item
+    // exactly once.
+    const auto profile = d.Profile(u);
+    ASSERT_EQ(reassembled.size(), profile.size());
+    for (ItemId it : profile) EXPECT_EQ(reassembled.count(it), 1u);
+  }
+}
+
+TEST(CrossValidationTest, TrainAndTestAreDisjointAndComplete) {
+  const Dataset d = testing::SmallSynthetic(60);
+  auto cv = CrossValidation::Create(d, 5, 9);
+  ASSERT_TRUE(cv.ok());
+  auto split = cv->Fold(2);
+  ASSERT_TRUE(split.ok());
+
+  for (UserId u = 0; u < d.NumUsers(); ++u) {
+    const auto train = split->train.Profile(u);
+    const auto& test = split->test[u];
+    EXPECT_EQ(train.size() + test.size(), d.ProfileSize(u));
+    for (ItemId it : test) {
+      EXPECT_FALSE(std::binary_search(train.begin(), train.end(), it));
+    }
+  }
+}
+
+TEST(CrossValidationTest, FoldSizesAreBalanced) {
+  const Dataset d = testing::SmallSynthetic(100);
+  auto cv = CrossValidation::Create(d, 5, 3);
+  ASSERT_TRUE(cv.ok());
+  std::vector<std::size_t> fold_sizes;
+  for (std::size_t f = 0; f < 5; ++f) {
+    auto split = cv->Fold(f);
+    ASSERT_TRUE(split.ok());
+    std::size_t total = 0;
+    for (const auto& t : split->test) total += t.size();
+    fold_sizes.push_back(total);
+  }
+  const auto [mn, mx] =
+      std::minmax_element(fold_sizes.begin(), fold_sizes.end());
+  // Per-user round-robin keeps folds within one item per user.
+  EXPECT_LE(*mx - *mn, d.NumUsers());
+}
+
+TEST(CrossValidationTest, DeterministicAcrossCalls) {
+  const Dataset d = testing::SmallSynthetic(40);
+  auto cv = CrossValidation::Create(d, 5, 11);
+  ASSERT_TRUE(cv.ok());
+  auto a = cv->Fold(0);
+  auto b = cv->Fold(0);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (UserId u = 0; u < d.NumUsers(); ++u) {
+    EXPECT_EQ(a->test[u], b->test[u]);
+  }
+}
+
+TEST(CrossValidationTest, DifferentSeedsGiveDifferentPartitions) {
+  const Dataset d = testing::SmallSynthetic(40);
+  auto cv1 = CrossValidation::Create(d, 5, 1);
+  auto cv2 = CrossValidation::Create(d, 5, 2);
+  ASSERT_TRUE(cv1.ok() && cv2.ok());
+  auto a = cv1->Fold(0);
+  auto b = cv2->Fold(0);
+  ASSERT_TRUE(a.ok() && b.ok());
+  bool any_difference = false;
+  for (UserId u = 0; u < d.NumUsers() && !any_difference; ++u) {
+    any_difference = (a->test[u] != b->test[u]);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(CrossValidationTest, TestListsAreSorted) {
+  const Dataset d = testing::SmallSynthetic(30);
+  auto cv = CrossValidation::Create(d, 3, 5);
+  ASSERT_TRUE(cv.ok());
+  auto split = cv->Fold(1);
+  ASSERT_TRUE(split.ok());
+  for (const auto& t : split->test) {
+    EXPECT_TRUE(std::is_sorted(t.begin(), t.end()));
+  }
+}
+
+TEST(CrossValidationTest, UserWithFewerItemsThanFolds) {
+  auto d = Dataset::FromProfiles({{0, 1}}, 5);
+  ASSERT_TRUE(d.ok());
+  auto cv = CrossValidation::Create(*d, 5, 1);
+  ASSERT_TRUE(cv.ok());
+  std::size_t non_empty = 0;
+  for (std::size_t f = 0; f < 5; ++f) {
+    auto split = cv->Fold(f);
+    ASSERT_TRUE(split.ok());
+    non_empty += !split->test[0].empty();
+  }
+  EXPECT_EQ(non_empty, 2u);  // 2 items land in exactly 2 folds
+}
+
+}  // namespace
+}  // namespace gf

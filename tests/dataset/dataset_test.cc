@@ -1,0 +1,125 @@
+#include "dataset/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace gf {
+namespace {
+
+TEST(DatasetTest, FromProfilesSortsAndDeduplicates) {
+  auto d = Dataset::FromProfiles({{3, 1, 2, 1, 3}}, 4);
+  ASSERT_TRUE(d.ok());
+  const auto p = d->Profile(0);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0], 1u);
+  EXPECT_EQ(p[1], 2u);
+  EXPECT_EQ(p[2], 3u);
+}
+
+TEST(DatasetTest, FromProfilesRejectsOutOfRangeItem) {
+  auto d = Dataset::FromProfiles({{0, 5}}, 5);
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, EmptyDataset) {
+  auto d = Dataset::FromProfiles({}, 10);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->NumUsers(), 0u);
+  EXPECT_EQ(d->NumEntries(), 0u);
+  EXPECT_EQ(d->MeanProfileSize(), 0.0);
+  EXPECT_EQ(d->Density(), 0.0);
+}
+
+TEST(DatasetTest, EmptyProfilesAreKept) {
+  auto d = Dataset::FromProfiles({{}, {1}, {}}, 3);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->NumUsers(), 3u);
+  EXPECT_EQ(d->ProfileSize(0), 0u);
+  EXPECT_EQ(d->ProfileSize(1), 1u);
+}
+
+TEST(DatasetTest, StatsMatchHandComputation) {
+  const Dataset d = testing::TinyDataset();
+  EXPECT_EQ(d.NumUsers(), 4u);
+  EXPECT_EQ(d.NumItems(), 8u);
+  EXPECT_EQ(d.NumEntries(), 14u);
+  EXPECT_DOUBLE_EQ(d.MeanProfileSize(), 14.0 / 4.0);
+  EXPECT_DOUBLE_EQ(d.Density(), 14.0 / (4.0 * 8.0));
+}
+
+TEST(DatasetTest, ItemDegreesCountRatings) {
+  const Dataset d = testing::TinyDataset();
+  const auto deg = d.ItemDegrees();
+  // Item 2 appears in profiles of u0, u1, u2.
+  EXPECT_EQ(deg[2], 3u);
+  EXPECT_EQ(deg[6], 1u);
+}
+
+TEST(DatasetTest, MeanItemDegreeIgnoresUnratedItems) {
+  auto d = Dataset::FromProfiles({{0}, {0}}, 100);
+  ASSERT_TRUE(d.ok());
+  // Only item 0 is rated (twice): mean degree over rated items is 2.
+  EXPECT_DOUBLE_EQ(d->MeanItemDegree(), 2.0);
+}
+
+TEST(RatingDatasetTest, FilterUsersWithMinRatings) {
+  std::vector<Rating> ratings = {
+      {0, 0, 5}, {0, 1, 4}, {0, 2, 3},  // user 0: 3 ratings
+      {1, 0, 5},                        // user 1: 1 rating
+      {2, 1, 2}, {2, 2, 1},             // user 2: 2 ratings
+  };
+  RatingDataset raw(std::move(ratings), 3, 3, "t");
+  const RatingDataset filtered = raw.FilterUsersWithMinRatings(2);
+  EXPECT_EQ(filtered.NumUsers(), 2u);  // users 0 and 2 survive
+  EXPECT_EQ(filtered.ratings().size(), 5u);
+  // User ids are compacted: old user 2 becomes user 1.
+  bool saw_user1 = false;
+  for (const Rating& r : filtered.ratings()) {
+    EXPECT_LT(r.user, 2u);
+    saw_user1 |= (r.user == 1);
+  }
+  EXPECT_TRUE(saw_user1);
+}
+
+TEST(RatingDatasetTest, BinarizeKeepsOnlyPositiveRatings) {
+  std::vector<Rating> ratings = {
+      {0, 0, 5.0f}, {0, 1, 3.0f}, {0, 2, 3.5f}, {0, 3, 1.0f},
+  };
+  RatingDataset raw(std::move(ratings), 1, 4, "t");
+  auto d = raw.Binarize(3.0);
+  ASSERT_TRUE(d.ok());
+  const auto p = d->Profile(0);
+  // Kept: items rated > 3, i.e. 0 (5.0) and 2 (3.5). Rating == 3 is cut.
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], 0u);
+  EXPECT_EQ(p[1], 2u);
+}
+
+TEST(RatingDatasetTest, BinarizeCanEmptyAProfile) {
+  std::vector<Rating> ratings = {{0, 0, 1.0f}, {0, 1, 2.0f}};
+  RatingDataset raw(std::move(ratings), 1, 2, "t");
+  auto d = raw.Binarize(3.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->NumUsers(), 1u);
+  EXPECT_EQ(d->ProfileSize(0), 0u);
+}
+
+TEST(RatingDatasetTest, BinarizeCustomThreshold) {
+  std::vector<Rating> ratings = {{0, 0, 2.0f}, {0, 1, 5.0f}};
+  RatingDataset raw(std::move(ratings), 1, 2, "t");
+  auto d = raw.Binarize(1.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->ProfileSize(0), 2u);
+}
+
+TEST(DatasetStatsTest, FormatTableContainsRows) {
+  const Dataset d = testing::TinyDataset();
+  const std::string table = FormatStatsTable({ComputeStats(d)});
+  EXPECT_NE(table.find("tiny"), std::string::npos);
+  EXPECT_NE(table.find("Dataset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gf

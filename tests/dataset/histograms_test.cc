@@ -1,0 +1,92 @@
+#include "dataset/histograms.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace gf {
+namespace {
+
+TEST(SummarizeTest, EmptySample) {
+  const auto s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(SummarizeTest, SingleValue) {
+  const auto s = Summarize({7});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_EQ(s.min, 7u);
+  EXPECT_EQ(s.p50, 7u);
+  EXPECT_EQ(s.max, 7u);
+}
+
+TEST(SummarizeTest, KnownQuantiles) {
+  std::vector<uint32_t> v;
+  for (uint32_t i = 1; i <= 100; ++i) v.push_back(i);
+  const auto s = Summarize(std::move(v));
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_NEAR(s.p10, 10, 1);
+  EXPECT_NEAR(s.p50, 50, 1);
+  EXPECT_NEAR(s.p90, 90, 1);
+  EXPECT_NEAR(s.p99, 99, 1);
+  EXPECT_EQ(s.max, 100u);
+}
+
+TEST(SummarizeTest, OrderInvariant) {
+  const auto a = Summarize({5, 1, 9, 3});
+  const auto b = Summarize({9, 3, 5, 1});
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+}
+
+TEST(HistogramsTest, ProfileSizesOfTinyDataset) {
+  const auto s = ProfileSizeSummary(testing::TinyDataset());
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.min, 2u);   // u3 = {6,7}
+  EXPECT_EQ(s.max, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 14.0 / 4.0);
+}
+
+TEST(HistogramsTest, ItemDegreesExcludeUnratedItems) {
+  auto d = Dataset::FromProfiles({{0}, {0}}, 100).value();
+  const auto s = ItemDegreeSummary(d);
+  EXPECT_EQ(s.count, 1u);  // only item 0 is rated
+  EXPECT_EQ(s.max, 2u);
+}
+
+TEST(HistogramsTest, SyntheticProfilesAreHeavyTailed) {
+  // The calibrated generators use log-normal sizes: the p50 must sit
+  // clearly below the mean (right-skew), as in real rating data.
+  auto d = GeneratePaperDataset(PaperDataset::kMovieLens10M, 0.05).value();
+  const auto s = ProfileSizeSummary(d);
+  EXPECT_LT(static_cast<double>(s.p50), s.mean);
+  EXPECT_GT(s.p99, 3 * s.p50);
+}
+
+TEST(LogHistogramTest, BucketsByPowersOfTwo) {
+  const std::string h = FormatLogHistogram({0, 1, 2, 3, 4, 7, 8, 1000});
+  EXPECT_NE(h.find("           0         1"), std::string::npos);
+  EXPECT_NE(h.find("           1         1"), std::string::npos);
+  EXPECT_NE(h.find("         2-3         2"), std::string::npos);
+  EXPECT_NE(h.find("         4-7         2"), std::string::npos);
+  EXPECT_NE(h.find("        8-15         1"), std::string::npos);
+  EXPECT_NE(h.find("    512-1023         1"), std::string::npos);
+}
+
+TEST(LogHistogramTest, EmptyInput) {
+  EXPECT_EQ(FormatLogHistogram({}), "(empty)\n");
+}
+
+TEST(LogHistogramTest, BarScalesToPeak) {
+  const std::string h = FormatLogHistogram({1, 1, 1, 1, 2}, 8);
+  // The 4-count bucket gets the full 8-char bar; the 1-count bucket 2.
+  EXPECT_NE(h.find("########"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gf

@@ -1,0 +1,163 @@
+#include "dataset/loader.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace gf {
+namespace {
+
+LoaderOptions NoFilter() {
+  LoaderOptions o;
+  o.min_ratings_per_user = 0;
+  return o;
+}
+
+TEST(LoaderTest, ParseMovieLensDatBasic) {
+  const std::string content =
+      "1::10::5::978300760\n"
+      "1::20::3::978302109\n"
+      "2::10::4::978301968\n";
+  auto ds = ParseMovieLensDat(content, NoFilter());
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->NumUsers(), 2u);
+  EXPECT_EQ(ds->NumItems(), 2u);
+  EXPECT_EQ(ds->ratings().size(), 3u);
+}
+
+TEST(LoaderTest, ParseMovieLensDatBinarizePipeline) {
+  const std::string content =
+      "1::10::5::0\n1::20::3::0\n1::30::4::0\n2::10::2::0\n";
+  auto ds = ParseMovieLensDat(content, NoFilter());
+  ASSERT_TRUE(ds.ok());
+  auto bin = ds->Binarize(3.0);
+  ASSERT_TRUE(bin.ok());
+  EXPECT_EQ(bin->ProfileSize(0), 2u);  // items 10 and 30
+  EXPECT_EQ(bin->ProfileSize(1), 0u);  // 2 < 3 cut
+}
+
+TEST(LoaderTest, MinRatingsFilterApplied) {
+  std::string content;
+  // User 1: 20 ratings; user 2: 19 ratings.
+  for (int i = 0; i < 20; ++i) {
+    content += "1::" + std::to_string(100 + i) + "::5::0\n";
+  }
+  for (int i = 0; i < 19; ++i) {
+    content += "2::" + std::to_string(100 + i) + "::5::0\n";
+  }
+  auto ds = ParseMovieLensDat(content);  // default min 20
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->NumUsers(), 1u);
+}
+
+TEST(LoaderTest, HalfStarRatingsParse) {
+  const std::string content = "1::10::4.5::0\n1::20::0.5::0\n";
+  auto ds = ParseMovieLensDat(content, NoFilter());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_FLOAT_EQ(ds->ratings()[0].value, 4.5f);
+  EXPECT_FLOAT_EQ(ds->ratings()[1].value, 0.5f);
+}
+
+TEST(LoaderTest, MalformedLineIsCorruption) {
+  auto ds = ParseMovieLensDat("1::10\n", NoFilter());
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kCorruption);
+}
+
+TEST(LoaderTest, BadRatingValueIsCorruption) {
+  auto ds = ParseMovieLensDat("1::10::abc::0\n", NoFilter());
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kCorruption);
+}
+
+TEST(LoaderTest, BadUserIdIsCorruption) {
+  auto ds = ParseMovieLensDat("x::10::5::0\n", NoFilter());
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kCorruption);
+}
+
+TEST(LoaderTest, EmptyAndCommentLinesSkipped) {
+  auto ds = ParseMovieLensDat("# header comment\n\n1::10::5::0\n",
+                              NoFilter());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->ratings().size(), 1u);
+}
+
+TEST(LoaderTest, WindowsLineEndings) {
+  auto ds = ParseMovieLensDat("1::10::5::0\r\n1::20::4::0\r\n", NoFilter());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->ratings().size(), 2u);
+}
+
+TEST(LoaderTest, MissingFileIsIOError) {
+  auto ds = LoadMovieLensDat("/nonexistent/path/ratings.dat");
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kIOError);
+}
+
+class LoaderFileTest : public ::testing::Test {
+ protected:
+  std::string WriteTemp(const std::string& name, const std::string& content) {
+    const std::string path = ::testing::TempDir() + "/" + name;
+    std::ofstream out(path);
+    out << content;
+    return path;
+  }
+};
+
+TEST_F(LoaderFileTest, LoadMovieLensCsvSkipsHeader) {
+  const auto path = WriteTemp(
+      "ratings.csv", "userId,movieId,rating,timestamp\n1,10,5,0\n1,20,4,0\n");
+  auto ds = LoadMovieLensCsv(path, NoFilter());
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->ratings().size(), 2u);
+}
+
+TEST_F(LoaderFileTest, LoadAmazonStringIds) {
+  const auto path = WriteTemp(
+      "amazon.csv", "A1B2C3,B000XYZ,5.0\nA1B2C3,B000ABC,2.0\nZZZZZ,B000XYZ,4.0\n");
+  auto ds = LoadAmazonRatings(path, NoFilter());
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->NumUsers(), 2u);
+  EXPECT_EQ(ds->NumItems(), 2u);
+  EXPECT_EQ(ds->ratings().size(), 3u);
+}
+
+TEST_F(LoaderFileTest, LoadEdgeListSymmetrizes) {
+  const auto path = WriteTemp("edges.txt", "# comment\n0\t1\n1\t2\n");
+  auto ds = LoadEdgeList(path, NoFilter());
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  // Each edge becomes two ratings of value 5.
+  EXPECT_EQ(ds->ratings().size(), 4u);
+  for (const Rating& r : ds->ratings()) EXPECT_FLOAT_EQ(r.value, 5.0f);
+  // Binarized profile of node 1 contains nodes 0 and 2.
+  auto bin = ds->Binarize(3.0);
+  ASSERT_TRUE(bin.ok());
+  EXPECT_EQ(bin->ProfileSize(1), 2u);
+}
+
+TEST_F(LoaderFileTest, EdgeListIgnoresSelfLoops) {
+  const auto path = WriteTemp("loops.txt", "0 0\n0 1\n");
+  auto ds = LoadEdgeList(path, NoFilter());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->ratings().size(), 2u);  // only the 0-1 edge
+}
+
+TEST_F(LoaderFileTest, EdgeListSpaceSeparated) {
+  const auto path = WriteTemp("spaces.txt", "10 20\n20 30\n");
+  auto ds = LoadEdgeList(path, NoFilter());
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->NumUsers(), 3u);
+}
+
+TEST_F(LoaderFileTest, EdgeListMalformedLine) {
+  const auto path = WriteTemp("bad_edges.txt", "justoneid\n");
+  auto ds = LoadEdgeList(path, NoFilter());
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace gf

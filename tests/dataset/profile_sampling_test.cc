@@ -1,0 +1,113 @@
+#include "dataset/profile_sampling.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace gf {
+namespace {
+
+TEST(ProfileSamplingTest, RejectsZeroSize) {
+  const Dataset d = testing::TinyDataset();
+  EXPECT_FALSE(
+      SampleProfiles(d, 0, SamplingPolicy::kLeastPopular).ok());
+}
+
+TEST(ProfileSamplingTest, SmallProfilesUntouched) {
+  const Dataset d = testing::TinyDataset();  // profiles of size <= 4
+  auto sampled = SampleProfiles(d, 10, SamplingPolicy::kLeastPopular);
+  ASSERT_TRUE(sampled.ok());
+  for (UserId u = 0; u < d.NumUsers(); ++u) {
+    const auto orig = d.Profile(u);
+    const auto samp = sampled->Profile(u);
+    ASSERT_EQ(orig.size(), samp.size());
+    for (std::size_t i = 0; i < orig.size(); ++i) {
+      EXPECT_EQ(orig[i], samp[i]);
+    }
+  }
+}
+
+TEST(ProfileSamplingTest, TruncatesToMaxSize) {
+  const Dataset d = testing::SmallSynthetic(100);
+  auto sampled = SampleProfiles(d, 10, SamplingPolicy::kLeastPopular);
+  ASSERT_TRUE(sampled.ok());
+  for (UserId u = 0; u < d.NumUsers(); ++u) {
+    EXPECT_LE(sampled->ProfileSize(u), 10u);
+    EXPECT_EQ(sampled->ProfileSize(u),
+              std::min<std::size_t>(10, d.ProfileSize(u)));
+  }
+}
+
+TEST(ProfileSamplingTest, SampledItemsAreSubsetOfOriginal) {
+  const Dataset d = testing::SmallSynthetic(80);
+  for (auto policy : {SamplingPolicy::kLeastPopular,
+                      SamplingPolicy::kMostPopular, SamplingPolicy::kRandom}) {
+    auto sampled = SampleProfiles(d, 8, policy);
+    ASSERT_TRUE(sampled.ok());
+    for (UserId u = 0; u < d.NumUsers(); ++u) {
+      const auto orig = d.Profile(u);
+      for (ItemId it : sampled->Profile(u)) {
+        EXPECT_TRUE(std::binary_search(orig.begin(), orig.end(), it));
+      }
+    }
+  }
+}
+
+TEST(ProfileSamplingTest, LeastPopularKeepsRarestItems) {
+  // Hand-built: item 0 rated by everyone (popular), items 10.. unique.
+  auto d = Dataset::FromProfiles(
+               {{0, 10, 11}, {0, 12, 13}, {0, 14, 15}, {0, 16, 17}}, 20)
+               .value();
+  auto sampled = SampleProfiles(d, 2, SamplingPolicy::kLeastPopular);
+  ASSERT_TRUE(sampled.ok());
+  for (UserId u = 0; u < d.NumUsers(); ++u) {
+    // The popular item 0 must be the one dropped.
+    for (ItemId it : sampled->Profile(u)) EXPECT_NE(it, 0u);
+  }
+}
+
+TEST(ProfileSamplingTest, MostPopularKeepsPopularItems) {
+  auto d = Dataset::FromProfiles(
+               {{0, 1, 10}, {0, 1, 11}, {0, 1, 12}, {0, 1, 13}}, 20)
+               .value();
+  auto sampled = SampleProfiles(d, 2, SamplingPolicy::kMostPopular);
+  ASSERT_TRUE(sampled.ok());
+  for (UserId u = 0; u < d.NumUsers(); ++u) {
+    const auto p = sampled->Profile(u);
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p[0], 0u);
+    EXPECT_EQ(p[1], 1u);
+  }
+}
+
+TEST(ProfileSamplingTest, RandomPolicyIsDeterministicGivenSeed) {
+  const Dataset d = testing::SmallSynthetic(60);
+  auto a = SampleProfiles(d, 5, SamplingPolicy::kRandom, 7);
+  auto b = SampleProfiles(d, 5, SamplingPolicy::kRandom, 7);
+  auto c = SampleProfiles(d, 5, SamplingPolicy::kRandom, 8);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  bool differs_from_other_seed = false;
+  for (UserId u = 0; u < d.NumUsers(); ++u) {
+    const auto pa = a->Profile(u);
+    const auto pb = b->Profile(u);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]);
+    const auto pc = c->Profile(u);
+    if (!std::equal(pa.begin(), pa.end(), pc.begin(), pc.end())) {
+      differs_from_other_seed = true;
+    }
+  }
+  EXPECT_TRUE(differs_from_other_seed);
+}
+
+TEST(ProfileSamplingTest, NamePreservesProvenance) {
+  const Dataset d = testing::TinyDataset();
+  auto sampled = SampleProfiles(d, 2, SamplingPolicy::kLeastPopular);
+  ASSERT_TRUE(sampled.ok());
+  EXPECT_EQ(sampled->name(), "tiny-sampled");
+}
+
+}  // namespace
+}  // namespace gf

@@ -1,0 +1,200 @@
+#include "dataset/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace gf {
+namespace {
+
+TEST(SyntheticTest, GeneratesRequestedDimensions) {
+  SyntheticSpec spec;
+  spec.num_users = 500;
+  spec.num_items = 1000;
+  spec.mean_profile_size = 40;
+  auto d = GenerateZipfDataset(spec);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->NumUsers(), 500u);
+  EXPECT_EQ(d->NumItems(), 1000u);
+}
+
+TEST(SyntheticTest, MeanProfileSizeIsCalibrated) {
+  SyntheticSpec spec;
+  spec.num_users = 2000;
+  spec.num_items = 5000;
+  spec.mean_profile_size = 60;
+  spec.seed = 77;
+  auto d = GenerateZipfDataset(spec);
+  ASSERT_TRUE(d.ok());
+  // Log-normal clipping biases slightly; 15% tolerance.
+  EXPECT_NEAR(d->MeanProfileSize(), 60.0, 9.0);
+}
+
+TEST(SyntheticTest, DeterministicGivenSeed) {
+  SyntheticSpec spec;
+  spec.num_users = 100;
+  spec.num_items = 300;
+  spec.seed = 5;
+  auto d1 = GenerateZipfDataset(spec);
+  auto d2 = GenerateZipfDataset(spec);
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  ASSERT_EQ(d1->NumEntries(), d2->NumEntries());
+  for (UserId u = 0; u < d1->NumUsers(); ++u) {
+    const auto p1 = d1->Profile(u);
+    const auto p2 = d2->Profile(u);
+    ASSERT_EQ(p1.size(), p2.size());
+    for (std::size_t i = 0; i < p1.size(); ++i) EXPECT_EQ(p1[i], p2[i]);
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticSpec spec;
+  spec.num_users = 50;
+  spec.num_items = 300;
+  spec.seed = 1;
+  auto d1 = GenerateZipfDataset(spec);
+  spec.seed = 2;
+  auto d2 = GenerateZipfDataset(spec);
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  EXPECT_NE(d1->NumEntries(), d2->NumEntries());
+}
+
+TEST(SyntheticTest, ItemPopularityIsSkewed) {
+  SyntheticSpec spec;
+  spec.num_users = 1000;
+  spec.num_items = 500;
+  spec.mean_profile_size = 30;
+  spec.num_communities = 0;  // pure Zipf
+  auto d = GenerateZipfDataset(spec);
+  ASSERT_TRUE(d.ok());
+  const auto deg = d->ItemDegrees();
+  // Item 0 (rank 0) must be far more popular than the median item.
+  EXPECT_GT(deg[0], 10 * std::max<uint32_t>(1, deg[250]));
+}
+
+TEST(SyntheticTest, RejectsDegenerateSpecs) {
+  SyntheticSpec spec;
+  spec.num_users = 0;
+  EXPECT_FALSE(GenerateZipfDataset(spec).ok());
+
+  spec = SyntheticSpec{};
+  spec.num_items = 0;
+  EXPECT_FALSE(GenerateZipfDataset(spec).ok());
+
+  spec = SyntheticSpec{};
+  spec.mean_profile_size = 0;
+  EXPECT_FALSE(GenerateZipfDataset(spec).ok());
+
+  spec = SyntheticSpec{};
+  spec.num_items = 100;
+  spec.mean_profile_size = 90;  // > half the universe
+  EXPECT_FALSE(GenerateZipfDataset(spec).ok());
+
+  spec = SyntheticSpec{};
+  spec.community_affinity = 1.5;
+  EXPECT_FALSE(GenerateZipfDataset(spec).ok());
+
+  spec = SyntheticSpec{};
+  spec.zipf_exponent = 0.0;
+  EXPECT_FALSE(GenerateZipfDataset(spec).ok());
+}
+
+TEST(SyntheticTest, ProfilesRespectMinimumSize) {
+  SyntheticSpec spec;
+  spec.num_users = 200;
+  spec.num_items = 1000;
+  spec.mean_profile_size = 25;
+  spec.min_profile_size = 10;
+  auto d = GenerateZipfDataset(spec);
+  ASSERT_TRUE(d.ok());
+  for (UserId u = 0; u < d->NumUsers(); ++u) {
+    // Rejection sampling may fall slightly short of the requested size
+    // in pathological cases, but never by much.
+    EXPECT_GE(d->ProfileSize(u), 5u);
+  }
+}
+
+TEST(SyntheticRatingsTest, BinarizationRecoversPositivePart) {
+  SyntheticSpec spec;
+  spec.num_users = 100;
+  spec.num_items = 400;
+  spec.mean_profile_size = 20;
+  auto ratings = GenerateZipfRatings(spec);
+  ASSERT_TRUE(ratings.ok());
+  auto bin = ratings->Binarize(3.0);
+  ASSERT_TRUE(bin.ok());
+  // Positive entries (rated 4-5) survive; negatives (1-3) are cut, so
+  // the binarized dataset is strictly smaller than the rating count.
+  EXPECT_GT(bin->NumEntries(), 0u);
+  EXPECT_LT(bin->NumEntries(), ratings->ratings().size());
+  // Every kept rating is positive.
+  for (const Rating& r : ratings->ratings()) {
+    EXPECT_GE(r.value, 1.0f);
+    EXPECT_LE(r.value, 5.0f);
+  }
+}
+
+TEST(SocialGraphTest, ProfilesAreSymmetricNeighborSets) {
+  SocialGraphSpec spec;
+  spec.num_nodes = 500;
+  spec.edges_per_node = 25;
+  spec.min_degree = 20;
+  auto d = GenerateSocialGraphDataset(spec);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_GT(d->NumUsers(), 0u);
+  EXPECT_EQ(d->NumItems(), 500u);
+  for (UserId u = 0; u < d->NumUsers(); ++u) {
+    EXPECT_GE(d->ProfileSize(u), spec.min_degree);
+  }
+}
+
+TEST(SocialGraphTest, RejectsDegenerateSpecs) {
+  SocialGraphSpec spec;
+  spec.num_nodes = 1;
+  EXPECT_FALSE(GenerateSocialGraphDataset(spec).ok());
+  spec = SocialGraphSpec{};
+  spec.edges_per_node = 0;
+  EXPECT_FALSE(GenerateSocialGraphDataset(spec).ok());
+}
+
+TEST(PaperSpecTest, AllSixDatasetsHaveTable2Dimensions) {
+  const struct {
+    PaperDataset d;
+    std::size_t users, items;
+  } expected[] = {
+      {PaperDataset::kMovieLens1M, 6038, 3533},
+      {PaperDataset::kMovieLens10M, 69816, 10472},
+      {PaperDataset::kMovieLens20M, 138362, 22884},
+      {PaperDataset::kAmazonMovies, 57430, 171356},
+      {PaperDataset::kDblp, 18889, 203030},
+      {PaperDataset::kGowalla, 20270, 135540},
+  };
+  for (const auto& e : expected) {
+    const SyntheticSpec spec = PaperSpec(e.d);
+    EXPECT_EQ(spec.num_users, e.users) << PaperDatasetName(e.d);
+    EXPECT_EQ(spec.num_items, e.items) << PaperDatasetName(e.d);
+  }
+}
+
+TEST(PaperSpecTest, ScaleShrinksDimensions) {
+  const SyntheticSpec full = PaperSpec(PaperDataset::kMovieLens1M, 1.0);
+  const SyntheticSpec half = PaperSpec(PaperDataset::kMovieLens1M, 0.5);
+  EXPECT_NEAR(half.num_users, full.num_users / 2, 2);
+  EXPECT_NEAR(half.num_items, full.num_items / 2, 2);
+  EXPECT_DOUBLE_EQ(half.mean_profile_size, full.mean_profile_size);
+}
+
+TEST(PaperSpecTest, GeneratedScaledDatasetMatchesSpec) {
+  auto d = GeneratePaperDataset(PaperDataset::kDblp, 0.05);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(static_cast<double>(d->NumUsers()), 18889 * 0.05, 2);
+  EXPECT_NEAR(d->MeanProfileSize(), 36.67, 8.0);
+}
+
+TEST(PaperSpecTest, NamesAreStable) {
+  EXPECT_EQ(PaperDatasetName(PaperDataset::kMovieLens1M), "ml1M");
+  EXPECT_EQ(PaperDatasetName(PaperDataset::kAmazonMovies), "AM");
+  EXPECT_EQ(PaperDatasetName(PaperDataset::kGowalla), "GW");
+  EXPECT_EQ(AllPaperDatasets().size(), 6u);
+}
+
+}  // namespace
+}  // namespace gf

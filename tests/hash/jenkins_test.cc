@@ -1,0 +1,76 @@
+#include "hash/jenkins.h"
+
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gf::hash {
+namespace {
+
+TEST(JenkinsTest, OneAtATimeIsDeterministic) {
+  const std::string s = "hello world";
+  EXPECT_EQ(JenkinsOneAtATime(s.data(), s.size()),
+            JenkinsOneAtATime(s.data(), s.size()));
+}
+
+TEST(JenkinsTest, OneAtATimeKnownVector) {
+  // "a" under Jenkins one-at-a-time (widely published reference value).
+  EXPECT_EQ(JenkinsOneAtATime("a", 1), 0xca2e9442u);
+}
+
+TEST(JenkinsTest, Lookup3EmptyInput) {
+  // hashlittle("", 0, 0) == 0xdeadbeef in the reference implementation.
+  EXPECT_EQ(JenkinsLookup3(nullptr, 0, 0), 0xdeadbeefu);
+}
+
+TEST(JenkinsTest, Lookup3SeedChangesOutput) {
+  const std::string s = "GoldFinger";
+  EXPECT_NE(JenkinsLookup3(s.data(), s.size(), 0),
+            JenkinsLookup3(s.data(), s.size(), 1));
+}
+
+TEST(JenkinsTest, Lookup3DiffersAcrossLengths) {
+  // Exercise every tail-switch branch: lengths 1..13 must all produce
+  // distinct hashes for a fixed buffer.
+  const char buf[16] = {'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h',
+                        'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p'};
+  std::set<uint32_t> seen;
+  for (std::size_t len = 1; len <= 13; ++len) {
+    seen.insert(JenkinsLookup3(buf, len));
+  }
+  EXPECT_EQ(seen.size(), 13u);
+}
+
+TEST(JenkinsTest, Hash64IsDeterministic) {
+  EXPECT_EQ(JenkinsHash64(1234567, 9), JenkinsHash64(1234567, 9));
+  EXPECT_NE(JenkinsHash64(1234567, 9), JenkinsHash64(1234568, 9));
+  EXPECT_NE(JenkinsHash64(1234567, 9), JenkinsHash64(1234567, 10));
+}
+
+TEST(JenkinsTest, Hash64SpreadsLowBits) {
+  // Consecutive keys must not collide in their low 10 bits too often —
+  // this is exactly how the fingerprinter uses the hash (mod b).
+  constexpr int kKeys = 4096;
+  constexpr uint32_t kBuckets = 1024;
+  std::vector<int> counts(kBuckets, 0);
+  for (int key = 0; key < kKeys; ++key) {
+    ++counts[JenkinsHash64(static_cast<uint64_t>(key), 0) % kBuckets];
+  }
+  // Expected 4 per bucket; a fair hash stays below ~20 everywhere.
+  for (int c : counts) EXPECT_LT(c, 20);
+}
+
+TEST(JenkinsTest, Hash64UsesHighWord) {
+  // The two 32-bit halves must both carry entropy.
+  std::set<uint32_t> high_halves;
+  for (uint64_t key = 0; key < 64; ++key) {
+    high_halves.insert(static_cast<uint32_t>(JenkinsHash64(key, 0) >> 32));
+  }
+  EXPECT_GT(high_halves.size(), 60u);
+}
+
+}  // namespace
+}  // namespace gf::hash

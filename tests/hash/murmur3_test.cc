@@ -1,0 +1,48 @@
+#include "hash/murmur3.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace gf::hash {
+namespace {
+
+TEST(Murmur3Test, X86_32KnownVectors) {
+  // Reference vectors from the canonical MurmurHash3 test suite.
+  EXPECT_EQ(Murmur3x86_32(nullptr, 0, 0), 0u);
+  EXPECT_EQ(Murmur3x86_32(nullptr, 0, 1), 0x514E28B7u);
+  const std::string hello = "hello";
+  EXPECT_EQ(Murmur3x86_32(hello.data(), hello.size(), 0), 0x248BFA47u);
+  const std::string hw = "hello, world";
+  EXPECT_EQ(Murmur3x86_32(hw.data(), hw.size(), 0), 0x149BBB7Fu);
+}
+
+TEST(Murmur3Test, Fmix64IsBijectiveOnSamples) {
+  // fmix64 is invertible; distinct inputs must map to distinct outputs.
+  std::set<uint64_t> outputs;
+  for (uint64_t x = 0; x < 1000; ++x) outputs.insert(Murmur3Fmix64(x));
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(Murmur3Test, Fmix64KnownValues) {
+  EXPECT_EQ(Murmur3Fmix64(0), 0u);  // 0 is the fixed point of fmix64
+  EXPECT_NE(Murmur3Fmix64(1), 1u);
+}
+
+TEST(Murmur3Test, Hash64SeedSensitivity) {
+  EXPECT_NE(Murmur3Hash64(42, 0), Murmur3Hash64(42, 1));
+  EXPECT_EQ(Murmur3Hash64(42, 7), Murmur3Hash64(42, 7));
+}
+
+TEST(Murmur3Test, TailBranchesAllDiffer) {
+  const char buf[8] = {'x', 'y', 'z', 'w', 'a', 'b', 'c', 'd'};
+  std::set<uint32_t> seen;
+  for (std::size_t len = 1; len <= 8; ++len) {
+    seen.insert(Murmur3x86_32(buf, len, 0));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+}  // namespace
+}  // namespace gf::hash

@@ -1,0 +1,86 @@
+#include "hash/universal_hash.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gf::hash {
+namespace {
+
+TEST(UniversalHashTest, ModMersenneMatchesDivision) {
+  const __uint128_t samples[] = {
+      0, 1, kMersenne61 - 1, kMersenne61, kMersenne61 + 1,
+      (__uint128_t)0xFFFFFFFFFFFFFFFFULL * 12345,
+      ((__uint128_t)1 << 122) + 987654321};
+  for (__uint128_t x : samples) {
+    EXPECT_EQ(ModMersenne61(x),
+              static_cast<uint64_t>(x % kMersenne61));
+  }
+}
+
+TEST(UniversalHashTest, OutputBelowPrime) {
+  Rng rng(3);
+  UniversalHash h(rng);
+  for (uint64_t x = 0; x < 1000; ++x) EXPECT_LT(h(x), kMersenne61);
+}
+
+TEST(UniversalHashTest, FixedCoefficientsAreLinear) {
+  UniversalHash h(3, 10);
+  // h(x) = 3x + 10 mod p for small x.
+  EXPECT_EQ(h(0), 10u);
+  EXPECT_EQ(h(1), 13u);
+  EXPECT_EQ(h(100), 310u);
+}
+
+TEST(UniversalHashTest, DistinctKeysRarelyCollide) {
+  Rng rng(17);
+  UniversalHash h(rng);
+  std::map<uint64_t, int> seen;
+  int collisions = 0;
+  for (uint64_t x = 0; x < 20000; ++x) {
+    collisions += (seen[h(x) % 4096]++ > 10);
+  }
+  // 20000 keys in 4096 buckets: expected load ~5; a pairwise-independent
+  // family keeps the overflow count tiny.
+  EXPECT_LT(collisions, 300);
+}
+
+TEST(UniversalHashFamilyTest, MembersAreIndependentlySeeded) {
+  UniversalHashFamily family(8, 42);
+  ASSERT_EQ(family.size(), 8u);
+  for (std::size_t i = 1; i < family.size(); ++i) {
+    EXPECT_NE(family[i].a(), family[0].a());
+  }
+}
+
+TEST(UniversalHashFamilyTest, DeterministicGivenSeed) {
+  UniversalHashFamily f1(4, 7), f2(4, 7);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(f1[i].a(), f2[i].a());
+    EXPECT_EQ(f1[i].b(), f2[i].b());
+  }
+}
+
+TEST(UniversalHashTest, MinwisePropertyApproximatelyHolds) {
+  // For a 2-universal family used min-wise: over many functions, each
+  // element of a set should be the minimum roughly uniformly often.
+  Rng rng(23);
+  const std::vector<uint64_t> set = {5, 17, 99, 1234, 777};
+  std::map<uint64_t, int> min_counts;
+  constexpr int kTrials = 5000;
+  for (int t = 0; t < kTrials; ++t) {
+    UniversalHash h(rng);
+    uint64_t best = set[0];
+    for (uint64_t x : set) {
+      if (h(x) < h(best)) best = x;
+    }
+    ++min_counts[best];
+  }
+  for (uint64_t x : set) {
+    EXPECT_NEAR(min_counts[x], kTrials / 5, 150) << "element " << x;
+  }
+}
+
+}  // namespace
+}  // namespace gf::hash

@@ -1,0 +1,139 @@
+// Graph-invariant property suite: every algorithm x mode x k must
+// produce a structurally valid KNN graph — no self loops, no duplicate
+// neighbors, ids in range, rows sorted by decreasing similarity,
+// similarities within the metric's range, and row sizes == min(k, n-1)
+// for algorithms that guarantee full rows.
+
+#include <gtest/gtest.h>
+
+#include "knn/builder.h"
+#include "testing/test_util.h"
+
+namespace gf {
+namespace {
+
+struct InvariantCase {
+  KnnAlgorithm algorithm;
+  SimilarityMode mode;
+  std::size_t k;
+  bool full_rows;  // does the algorithm guarantee min(k, n-1) neighbors?
+};
+
+std::string CaseName(const ::testing::TestParamInfo<InvariantCase>& info) {
+  return std::string(KnnAlgorithmName(info.param.algorithm)) + "_" +
+         std::string(SimilarityModeName(info.param.mode)) + "_k" +
+         std::to_string(info.param.k);
+}
+
+class GraphInvariantsTest : public ::testing::TestWithParam<InvariantCase> {
+};
+
+TEST_P(GraphInvariantsTest, StructurallyValid) {
+  const auto& param = GetParam();
+  const Dataset d = testing::SmallSynthetic(180, 55);
+  KnnPipelineConfig config;
+  config.algorithm = param.algorithm;
+  config.mode = param.mode;
+  config.greedy.k = param.k;
+  config.minhash.num_permutations = 64;
+  auto result = BuildKnnGraph(d, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const KnnGraph& g = result->graph;
+
+  ASSERT_EQ(g.NumUsers(), d.NumUsers());
+  ASSERT_EQ(g.k(), param.k);
+  const std::size_t expected_full = std::min(param.k, d.NumUsers() - 1);
+
+  for (UserId u = 0; u < g.NumUsers(); ++u) {
+    const auto row = g.NeighborsOf(u);
+    ASSERT_LE(row.size(), param.k);
+    if (param.full_rows) {
+      EXPECT_EQ(row.size(), expected_full) << "user " << u;
+    }
+    std::vector<UserId> seen;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      EXPECT_NE(row[i].id, u) << "self loop at user " << u;
+      EXPECT_LT(row[i].id, g.NumUsers());
+      EXPECT_GE(row[i].similarity, 0.0f);
+      EXPECT_LE(row[i].similarity, 1.0f + 1e-6f);
+      if (i > 0) {
+        EXPECT_LE(row[i].similarity, row[i - 1].similarity)
+            << "row not sorted at user " << u;
+      }
+      seen.push_back(row[i].id);
+    }
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end())
+        << "duplicate neighbor at user " << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, GraphInvariantsTest,
+    ::testing::Values(
+        InvariantCase{KnnAlgorithm::kBruteForce, SimilarityMode::kNative, 1,
+                      true},
+        InvariantCase{KnnAlgorithm::kBruteForce, SimilarityMode::kNative, 5,
+                      true},
+        InvariantCase{KnnAlgorithm::kBruteForce, SimilarityMode::kNative,
+                      300, true},  // k > n
+        InvariantCase{KnnAlgorithm::kBruteForce,
+                      SimilarityMode::kGoldFinger, 10, true},
+        InvariantCase{KnnAlgorithm::kBruteForce,
+                      SimilarityMode::kBbitMinHash, 10, true},
+        InvariantCase{KnnAlgorithm::kHyrec, SimilarityMode::kNative, 10,
+                      true},
+        InvariantCase{KnnAlgorithm::kHyrec, SimilarityMode::kGoldFinger, 10,
+                      true},
+        InvariantCase{KnnAlgorithm::kNNDescent, SimilarityMode::kNative, 10,
+                      true},
+        InvariantCase{KnnAlgorithm::kNNDescent, SimilarityMode::kGoldFinger,
+                      10, true},
+        InvariantCase{KnnAlgorithm::kLsh, SimilarityMode::kNative, 10,
+                      false},
+        InvariantCase{KnnAlgorithm::kLsh, SimilarityMode::kGoldFinger, 10,
+                      false},
+        InvariantCase{KnnAlgorithm::kKiff, SimilarityMode::kNative, 10,
+                      false},
+        InvariantCase{KnnAlgorithm::kKiff, SimilarityMode::kGoldFinger, 10,
+                      false},
+        InvariantCase{KnnAlgorithm::kBandedLsh, SimilarityMode::kNative, 10,
+                      false},
+        InvariantCase{KnnAlgorithm::kBisection, SimilarityMode::kNative, 10,
+                      false},
+        InvariantCase{KnnAlgorithm::kBisection,
+                      SimilarityMode::kGoldFinger, 10, false}),
+    CaseName);
+
+// The same invariants must hold under the cosine metric.
+class CosineInvariantsTest : public ::testing::TestWithParam<KnnAlgorithm> {
+};
+
+TEST_P(CosineInvariantsTest, StructurallyValid) {
+  const Dataset d = testing::SmallSynthetic(120, 8);
+  KnnPipelineConfig config;
+  config.algorithm = GetParam();
+  config.mode = SimilarityMode::kGoldFinger;
+  config.metric = SimilarityMetric::kCosine;
+  config.greedy.k = 8;
+  auto result = BuildKnnGraph(d, config);
+  ASSERT_TRUE(result.ok());
+  for (UserId u = 0; u < result->graph.NumUsers(); ++u) {
+    for (const Neighbor& nb : result->graph.NeighborsOf(u)) {
+      EXPECT_NE(nb.id, u);
+      EXPECT_GE(nb.similarity, 0.0f);
+      EXPECT_LE(nb.similarity, 1.0f + 1e-6f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, CosineInvariantsTest,
+                         ::testing::Values(KnnAlgorithm::kBruteForce,
+                                           KnnAlgorithm::kHyrec,
+                                           KnnAlgorithm::kNNDescent,
+                                           KnnAlgorithm::kLsh,
+                                           KnnAlgorithm::kKiff,
+                                           KnnAlgorithm::kBisection));
+
+}  // namespace
+}  // namespace gf

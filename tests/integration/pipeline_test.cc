@@ -1,0 +1,152 @@
+// End-to-end integration tests: raw ratings -> filter -> binarize ->
+// fingerprint -> KNN graph -> recommendations -> recall, plus the
+// paper's headline comparisons at test scale.
+
+#include <gtest/gtest.h>
+
+#include "core/fingerprint_store.h"
+#include "core/privacy.h"
+#include "dataset/cross_validation.h"
+#include "dataset/synthetic.h"
+#include "knn/builder.h"
+#include "knn/quality.h"
+#include "recommender/evaluation.h"
+#include "recommender/recommender.h"
+#include "testing/test_util.h"
+
+namespace gf {
+namespace {
+
+TEST(PipelineTest, RatingsToRecommendationsEndToEnd) {
+  // Raw synthetic ratings through the full preprocessing pipeline.
+  SyntheticSpec spec;
+  spec.num_users = 150;
+  spec.num_items = 400;
+  spec.mean_profile_size = 25;
+  spec.seed = 404;
+  auto ratings = GenerateZipfRatings(spec);
+  ASSERT_TRUE(ratings.ok());
+
+  const RatingDataset filtered = ratings->FilterUsersWithMinRatings(10);
+  ASSERT_GT(filtered.NumUsers(), 50u);
+  auto dataset = filtered.Binarize(3.0);
+  ASSERT_TRUE(dataset.ok());
+
+  KnnPipelineConfig config;
+  config.algorithm = KnnAlgorithm::kHyrec;
+  config.mode = SimilarityMode::kGoldFinger;
+  config.greedy.k = 10;
+  auto result = BuildKnnGraph(*dataset, config);
+  ASSERT_TRUE(result.ok());
+
+  RecommenderConfig rec_config;
+  rec_config.num_recommendations = 10;
+  auto recs = RecommendAll(result->graph, *dataset, rec_config);
+  ASSERT_TRUE(recs.ok());
+  std::size_t users_with_recs = 0;
+  for (const auto& r : *recs) users_with_recs += !r.empty();
+  EXPECT_GT(users_with_recs, dataset->NumUsers() / 2);
+}
+
+TEST(PipelineTest, GoldFingerSpeedsUpBruteForce) {
+  // The headline claim at test scale: GolFi brute force beats native
+  // brute force wall-clock while keeping quality.
+  const Dataset d = testing::SmallSynthetic(500, 17);
+  KnnPipelineConfig config;
+  config.algorithm = KnnAlgorithm::kBruteForce;
+  config.greedy.k = 10;
+
+  config.mode = SimilarityMode::kNative;
+  auto native = BuildKnnGraph(d, config);
+  ASSERT_TRUE(native.ok());
+
+  config.mode = SimilarityMode::kGoldFinger;
+  auto golfi = BuildKnnGraph(d, config);
+  ASSERT_TRUE(golfi.ok());
+
+  EXPECT_LT(golfi->stats.seconds + golfi->preparation_seconds,
+            native->stats.seconds);
+
+  const double exact_avg = AverageExactSimilarity(native->graph, d);
+  const double golfi_avg = AverageExactSimilarity(golfi->graph, d);
+  EXPECT_GT(GraphQuality(golfi_avg, exact_avg), 0.85);
+}
+
+TEST(PipelineTest, CrossValidatedRecallGolFiVsNative) {
+  // Fig. 8's claim at test scale: recommendation recall with GolFi
+  // graphs is close to native recall.
+  const Dataset d = testing::SmallSynthetic(250, 23);
+  auto cv = CrossValidation::Create(d, 5, 9);
+  ASSERT_TRUE(cv.ok());
+  auto split = cv->Fold(0);
+  ASSERT_TRUE(split.ok());
+
+  RecommenderConfig rec_config;
+  rec_config.num_recommendations = 10;
+
+  const auto recall_with = [&](SimilarityMode mode) {
+    KnnPipelineConfig config;
+    config.algorithm = KnnAlgorithm::kBruteForce;
+    config.mode = mode;
+    config.greedy.k = 10;
+    auto result = BuildKnnGraph(split->train, config);
+    EXPECT_TRUE(result.ok());
+    auto recs = RecommendAll(result->graph, split->train, rec_config);
+    EXPECT_TRUE(recs.ok());
+    return RecommendationRecall(*recs, split->test);
+  };
+
+  const double native = recall_with(SimilarityMode::kNative);
+  const double golfi = recall_with(SimilarityMode::kGoldFinger);
+  EXPECT_GT(native, 0.02);  // the recommender actually works
+  EXPECT_GT(golfi, 0.8 * native);  // negligible loss (paper: ~none)
+}
+
+TEST(PipelineTest, PrivacyGuaranteesForFingerprintedDataset) {
+  const Dataset d = testing::SmallSynthetic(50);
+  FingerprintConfig config;
+  config.num_bits = 64;
+  auto store = FingerprintStore::Build(d, config);
+  ASSERT_TRUE(store.ok());
+  auto analysis = PreimageAnalysis::Compute(d.NumItems(), config);
+  ASSERT_TRUE(analysis.ok());
+
+  for (UserId u = 0; u < d.NumUsers(); ++u) {
+    if (store->CardinalityOf(u) == 0) continue;
+    const auto g = analysis->For(store->Extract(u));
+    // Every non-empty fingerprint enjoys non-trivial guarantees.
+    EXPECT_GT(g.k_anonymity_log2, 0.0);
+    EXPECT_GT(g.l_diversity, 0.0);
+  }
+}
+
+TEST(PipelineTest, ScanRateDropsAsShfGrows) {
+  // Fig. 12's effect: short SHFs distort the similarity topology and
+  // slow Hyrec's convergence (more iterations / higher scan rate).
+  const Dataset d = testing::SmallSynthetic(400, 31);
+  const auto scan_rate = [&](std::size_t bits) {
+    KnnPipelineConfig config;
+    config.algorithm = KnnAlgorithm::kHyrec;
+    config.mode = SimilarityMode::kGoldFinger;
+    config.greedy.k = 10;
+    config.fingerprint.num_bits = bits;
+    auto result = BuildKnnGraph(d, config);
+    EXPECT_TRUE(result.ok());
+    return result->stats.ScanRate(d.NumUsers());
+  };
+  // Generous inequality (randomness!): 64-bit SHFs should not converge
+  // faster than 4096-bit ones.
+  EXPECT_GE(scan_rate(64) + 0.05, scan_rate(4096));
+}
+
+TEST(PipelineTest, AllPaperDatasetsGenerateAtTinyScale) {
+  for (PaperDataset pd : AllPaperDatasets()) {
+    auto d = GeneratePaperDataset(pd, 0.02);
+    ASSERT_TRUE(d.ok()) << PaperDatasetName(pd);
+    EXPECT_GT(d->NumUsers(), 0u);
+    EXPECT_GT(d->NumEntries(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace gf

@@ -1,0 +1,143 @@
+// Failure-injection / fuzz-style robustness tests: parsers and
+// deserializers must survive arbitrary mutations of valid inputs with a
+// clean Status — never a crash, hang, or silent misparse of obviously
+// broken data.
+
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dataset/loader.h"
+#include "io/serialization.h"
+#include "testing/test_util.h"
+
+namespace gf {
+namespace {
+
+std::string ValidRatings() {
+  std::string content;
+  for (int u = 1; u <= 5; ++u) {
+    for (int i = 0; i < 25; ++i) {
+      content += std::to_string(u) + "::" + std::to_string(100 + i) +
+                 "::" + std::to_string(1 + (u + i) % 5) + "::123\n";
+    }
+  }
+  return content;
+}
+
+TEST(RobustnessTest, LoaderSurvivesRandomByteMutations) {
+  const std::string valid = ValidRatings();
+  Rng rng(1);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = valid;
+    const int flips = 1 + static_cast<int>(rng.Below(5));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.Below(mutated.size())] =
+          static_cast<char>(rng.Below(256));
+    }
+    // Must return (ok or error), never crash. If it parses, the result
+    // must be structurally sane.
+    auto ds = ParseMovieLensDat(mutated, {.min_ratings_per_user = 0});
+    if (ds.ok()) {
+      EXPECT_LE(ds->ratings().size(), valid.size());
+      for (const Rating& r : ds->ratings()) {
+        EXPECT_LT(r.user, ds->NumUsers());
+        EXPECT_LT(r.item, ds->NumItems());
+      }
+    }
+  }
+}
+
+TEST(RobustnessTest, LoaderSurvivesRandomTruncation) {
+  const std::string valid = ValidRatings();
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t cut = rng.Below(valid.size());
+    auto ds = ParseMovieLensDat(valid.substr(0, cut),
+                                {.min_ratings_per_user = 0});
+    (void)ds;  // any Status is fine; no crash is the property
+  }
+}
+
+TEST(RobustnessTest, LoaderSurvivesGarbageInput) {
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string garbage;
+    const std::size_t len = rng.Below(2000);
+    for (std::size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.Below(256)));
+    }
+    auto ds = ParseMovieLensDat(garbage, {.min_ratings_per_user = 0});
+    (void)ds;
+  }
+}
+
+TEST(RobustnessTest, DeserializerSurvivesRandomByteMutations) {
+  const std::string valid =
+      io::SerializeDataset(testing::SmallSynthetic(30));
+  Rng rng(4);
+  int rejected = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = valid;
+    mutated[rng.Below(mutated.size())] ^=
+        static_cast<char>(1 + rng.Below(255));
+    auto ds = io::DeserializeDataset(mutated);
+    // A single byte flip lands in the header (rejected by structure
+    // checks) or the payload (rejected by CRC): it must NEVER parse.
+    EXPECT_FALSE(ds.ok());
+    ++rejected;
+  }
+  EXPECT_EQ(rejected, 300);
+}
+
+TEST(RobustnessTest, DeserializerSurvivesGarbage) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage;
+    const std::size_t len = rng.Below(500);
+    for (std::size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.Below(256)));
+    }
+    EXPECT_FALSE(io::DeserializeDataset(garbage).ok());
+    EXPECT_FALSE(io::DeserializeKnnGraph(garbage).ok());
+    EXPECT_FALSE(io::DeserializeFingerprintStore(garbage).ok());
+  }
+}
+
+TEST(RobustnessTest, DeserializerSurvivesTruncationEverywhere) {
+  const std::string valid =
+      io::SerializeDataset(testing::SmallSynthetic(10));
+  for (std::size_t cut = 0; cut < valid.size(); cut += 7) {
+    EXPECT_FALSE(
+        io::DeserializeDataset(std::string_view(valid).substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(RobustnessTest, EdgeListLoaderSurvivesMutations) {
+  std::string valid;
+  for (int e = 0; e < 100; ++e) {
+    valid += std::to_string(e) + "\t" + std::to_string((e * 7) % 40) + "\n";
+  }
+  const std::string path = ::testing::TempDir() + "/fuzz_edges.txt";
+  Rng rng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string mutated = valid;
+    for (int f = 0; f < 3; ++f) {
+      mutated[rng.Below(mutated.size())] =
+          static_cast<char>(rng.Below(128));
+    }
+    std::ofstream(path) << mutated;
+    auto ds = LoadEdgeList(path, {.min_ratings_per_user = 0});
+    if (ds.ok()) {
+      for (const Rating& r : ds->ratings()) {
+        EXPECT_LT(r.user, ds->NumUsers());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gf

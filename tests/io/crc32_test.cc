@@ -1,0 +1,40 @@
+#include "io/crc32.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace gf::io {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // The canonical check value of CRC-32/IEEE: crc32("123456789").
+  const std::string check = "123456789";
+  EXPECT_EQ(Crc32(check.data(), check.size()), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+  const std::string a = "a";
+  EXPECT_EQ(Crc32(a.data(), 1), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, ChainedCallsCompose) {
+  const std::string whole = "hello, world";
+  const uint32_t full = Crc32(whole.data(), whole.size());
+  const uint32_t part1 = Crc32(whole.data(), 5);
+  const uint32_t chained = Crc32(whole.data() + 5, whole.size() - 5, part1);
+  EXPECT_EQ(chained, full);
+}
+
+TEST(Crc32Test, SensitiveToSingleBitFlip) {
+  std::string data = "some payload bytes";
+  const uint32_t before = Crc32(data.data(), data.size());
+  data[4] ^= 0x01;
+  EXPECT_NE(Crc32(data.data(), data.size()), before);
+}
+
+TEST(Crc32Test, SensitiveToLength) {
+  const std::string data = "abcdef";
+  EXPECT_NE(Crc32(data.data(), 5), Crc32(data.data(), 6));
+}
+
+}  // namespace
+}  // namespace gf::io

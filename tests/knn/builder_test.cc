@@ -1,0 +1,160 @@
+#include "knn/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "knn/quality.h"
+#include "testing/test_util.h"
+
+namespace gf {
+namespace {
+
+KnnPipelineConfig Config(KnnAlgorithm algo, SimilarityMode mode) {
+  KnnPipelineConfig c;
+  c.algorithm = algo;
+  c.mode = mode;
+  c.greedy.k = 8;
+  c.greedy.seed = 7;
+  c.minhash.num_permutations = 64;  // keep tests fast
+  return c;
+}
+
+TEST(BuilderTest, RejectsZeroK) {
+  const Dataset d = testing::TinyDataset();
+  KnnPipelineConfig c =
+      Config(KnnAlgorithm::kBruteForce, SimilarityMode::kNative);
+  c.greedy.k = 0;
+  EXPECT_FALSE(BuildKnnGraph(d, c).ok());
+}
+
+TEST(BuilderTest, RejectsEmptyDataset) {
+  auto d = Dataset::FromProfiles({}, 5);
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(
+      BuildKnnGraph(*d, Config(KnnAlgorithm::kBruteForce,
+                               SimilarityMode::kNative))
+          .ok());
+}
+
+TEST(BuilderTest, RejectsBadFingerprintConfig) {
+  const Dataset d = testing::TinyDataset();
+  KnnPipelineConfig c =
+      Config(KnnAlgorithm::kBruteForce, SimilarityMode::kGoldFinger);
+  c.fingerprint.num_bits = 63;
+  EXPECT_FALSE(BuildKnnGraph(d, c).ok());
+}
+
+TEST(BuilderTest, RejectsDegenerateAlgorithmConfigs) {
+  const Dataset d = testing::TinyDataset();
+  KnnPipelineConfig c = Config(KnnAlgorithm::kHyrec, SimilarityMode::kNative);
+  c.greedy.max_iterations = 0;
+  EXPECT_FALSE(BuildKnnGraph(d, c).ok());
+
+  c = Config(KnnAlgorithm::kNNDescent, SimilarityMode::kNative);
+  c.greedy.sample_rate = 0.0;
+  EXPECT_FALSE(BuildKnnGraph(d, c).ok());
+
+  c = Config(KnnAlgorithm::kLsh, SimilarityMode::kNative);
+  c.lsh.num_functions = 0;
+  EXPECT_FALSE(BuildKnnGraph(d, c).ok());
+
+  c = Config(KnnAlgorithm::kBandedLsh, SimilarityMode::kNative);
+  c.banded_lsh.bands = 0;
+  EXPECT_FALSE(BuildKnnGraph(d, c).ok());
+
+  c = Config(KnnAlgorithm::kBisection, SimilarityMode::kNative);
+  c.bisection.overlap = 1.0;
+  EXPECT_FALSE(BuildKnnGraph(d, c).ok());
+  c.bisection.overlap = 0.1;
+  c.bisection.leaf_size = 0;
+  EXPECT_FALSE(BuildKnnGraph(d, c).ok());
+}
+
+TEST(BuilderTest, RejectsBadMinHashConfig) {
+  const Dataset d = testing::TinyDataset();
+  KnnPipelineConfig c =
+      Config(KnnAlgorithm::kBruteForce, SimilarityMode::kBbitMinHash);
+  c.minhash.bits_per_hash = 5;
+  EXPECT_FALSE(BuildKnnGraph(d, c).ok());
+}
+
+TEST(BuilderTest, NamesAreStable) {
+  EXPECT_EQ(KnnAlgorithmName(KnnAlgorithm::kBruteForce), "BruteForce");
+  EXPECT_EQ(KnnAlgorithmName(KnnAlgorithm::kHyrec), "Hyrec");
+  EXPECT_EQ(KnnAlgorithmName(KnnAlgorithm::kNNDescent), "NNDescent");
+  EXPECT_EQ(KnnAlgorithmName(KnnAlgorithm::kLsh), "LSH");
+  EXPECT_EQ(KnnAlgorithmName(KnnAlgorithm::kKiff), "KIFF");
+  EXPECT_EQ(KnnAlgorithmName(KnnAlgorithm::kBandedLsh), "BandedLSH");
+  EXPECT_EQ(KnnAlgorithmName(KnnAlgorithm::kBisection), "Bisection");
+  EXPECT_EQ(SimilarityModeName(SimilarityMode::kNative), "native");
+  EXPECT_EQ(SimilarityModeName(SimilarityMode::kGoldFinger), "GolFi");
+  EXPECT_EQ(SimilarityModeName(SimilarityMode::kBbitMinHash), "MinHash");
+}
+
+TEST(BuilderTest, NativeModeHasNoPreparationCost) {
+  const Dataset d = testing::SmallSynthetic(60);
+  auto r = BuildKnnGraph(
+      d, Config(KnnAlgorithm::kBruteForce, SimilarityMode::kNative));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->preparation_seconds, 0.0);
+}
+
+TEST(BuilderTest, GoldFingerModeReportsPreparation) {
+  const Dataset d = testing::SmallSynthetic(60);
+  auto r = BuildKnnGraph(
+      d, Config(KnnAlgorithm::kBruteForce, SimilarityMode::kGoldFinger));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->preparation_seconds, 0.0);
+}
+
+// The full matrix: every algorithm x every mode must produce a graph
+// whose quality (vs the exact graph) is sane.
+struct MatrixCase {
+  KnnAlgorithm algorithm;
+  SimilarityMode mode;
+  double min_quality;
+};
+
+class BuilderMatrixTest : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(BuilderMatrixTest, ProducesQualityGraph) {
+  const auto& c = GetParam();
+  const Dataset d = testing::SmallSynthetic(200);
+  auto exact = BuildKnnGraph(
+      d, Config(KnnAlgorithm::kBruteForce, SimilarityMode::kNative));
+  ASSERT_TRUE(exact.ok());
+  const double exact_avg = AverageExactSimilarity(exact->graph, d);
+
+  auto r = BuildKnnGraph(d, Config(c.algorithm, c.mode));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->graph.NumUsers(), d.NumUsers());
+  const double q =
+      GraphQuality(AverageExactSimilarity(r->graph, d), exact_avg);
+  EXPECT_GE(q, c.min_quality)
+      << KnnAlgorithmName(c.algorithm) << "/" << SimilarityModeName(c.mode);
+  EXPECT_LE(q, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, BuilderMatrixTest,
+    ::testing::Values(
+        MatrixCase{KnnAlgorithm::kBruteForce, SimilarityMode::kNative, 0.999},
+        MatrixCase{KnnAlgorithm::kBruteForce, SimilarityMode::kGoldFinger,
+                   0.85},
+        MatrixCase{KnnAlgorithm::kBruteForce, SimilarityMode::kBbitMinHash,
+                   0.75},
+        MatrixCase{KnnAlgorithm::kHyrec, SimilarityMode::kNative, 0.9},
+        MatrixCase{KnnAlgorithm::kHyrec, SimilarityMode::kGoldFinger, 0.8},
+        MatrixCase{KnnAlgorithm::kNNDescent, SimilarityMode::kNative, 0.9},
+        MatrixCase{KnnAlgorithm::kNNDescent, SimilarityMode::kGoldFinger,
+                   0.8},
+        MatrixCase{KnnAlgorithm::kLsh, SimilarityMode::kNative, 0.8},
+        MatrixCase{KnnAlgorithm::kLsh, SimilarityMode::kGoldFinger, 0.75},
+        MatrixCase{KnnAlgorithm::kKiff, SimilarityMode::kNative, 0.999},
+        MatrixCase{KnnAlgorithm::kKiff, SimilarityMode::kGoldFinger, 0.85},
+        MatrixCase{KnnAlgorithm::kBandedLsh, SimilarityMode::kNative, 0.7},
+        MatrixCase{KnnAlgorithm::kBisection, SimilarityMode::kNative, 0.8},
+        MatrixCase{KnnAlgorithm::kBisection, SimilarityMode::kGoldFinger,
+                   0.75}));
+
+}  // namespace
+}  // namespace gf

@@ -1,0 +1,152 @@
+#include "knn/graph.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gf {
+namespace {
+
+TEST(NeighborListsTest, InsertFillsUpToK) {
+  NeighborLists lists(5, 3);
+  EXPECT_TRUE(lists.Insert(0, 1, 0.5));
+  EXPECT_TRUE(lists.Insert(0, 2, 0.1));
+  EXPECT_TRUE(lists.Insert(0, 3, 0.9));
+  EXPECT_EQ(lists.Of(0).size(), 3u);
+}
+
+TEST(NeighborListsTest, DuplicateInsertRejected) {
+  NeighborLists lists(5, 3);
+  EXPECT_TRUE(lists.Insert(0, 1, 0.5));
+  EXPECT_FALSE(lists.Insert(0, 1, 0.9));  // same neighbor id
+  EXPECT_EQ(lists.Of(0).size(), 1u);
+}
+
+TEST(NeighborListsTest, WorseThanWorstRejectedWhenFull) {
+  NeighborLists lists(5, 2);
+  lists.Insert(0, 1, 0.5);
+  lists.Insert(0, 2, 0.8);
+  EXPECT_FALSE(lists.Insert(0, 3, 0.4));
+  EXPECT_TRUE(lists.Insert(0, 4, 0.6));  // evicts 0.5
+  bool has_1 = false;
+  for (const auto& e : lists.Of(0)) has_1 |= (e.id == 1);
+  EXPECT_FALSE(has_1);
+}
+
+TEST(NeighborListsTest, EqualToWorstRejected) {
+  NeighborLists lists(2, 1);
+  lists.Insert(0, 1, 0.5);
+  EXPECT_FALSE(lists.Insert(0, 2, 0.5));  // ties keep the incumbent
+}
+
+TEST(NeighborListsTest, InsertMarksEntryNew) {
+  NeighborLists lists(3, 2);
+  lists.Insert(0, 1, 0.5);
+  EXPECT_TRUE(lists.Of(0)[0].is_new);
+  lists.MutableOf(0)[0].is_new = false;
+  EXPECT_FALSE(lists.Of(0)[0].is_new);
+}
+
+TEST(NeighborListsTest, InitRandomFillsDistinctNeighbors) {
+  NeighborLists lists(20, 5);
+  Rng rng(3);
+  lists.InitRandom(rng, [](UserId, UserId) { return 0.1; });
+  for (UserId u = 0; u < 20; ++u) {
+    const auto row = lists.Of(u);
+    ASSERT_EQ(row.size(), 5u);
+    std::vector<UserId> ids;
+    for (const auto& e : row) {
+      EXPECT_NE(e.id, u);
+      ids.push_back(e.id);
+    }
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+  }
+}
+
+TEST(NeighborListsTest, InitRandomWithFewerUsersThanK) {
+  NeighborLists lists(3, 10);
+  Rng rng(4);
+  lists.InitRandom(rng, [](UserId, UserId) { return 0.0; });
+  for (UserId u = 0; u < 3; ++u) {
+    EXPECT_EQ(lists.Of(u).size(), 2u);  // everyone else
+  }
+}
+
+TEST(NeighborListsTest, FinalizeSortsByDescendingSimilarity) {
+  NeighborLists lists(2, 4);
+  lists.Insert(0, 1, 0.3);
+  lists.Insert(0, 2, 0.9);
+  lists.Insert(0, 3, 0.6);
+  const KnnGraph g = lists.Finalize();
+  const auto nb = g.NeighborsOf(0);
+  ASSERT_EQ(nb.size(), 3u);
+  EXPECT_EQ(nb[0].id, 2u);
+  EXPECT_EQ(nb[1].id, 3u);
+  EXPECT_EQ(nb[2].id, 1u);
+}
+
+TEST(NeighborListsTest, FinalizeTieBreaksById) {
+  NeighborLists lists(2, 3);
+  lists.Insert(0, 5, 0.5);
+  lists.Insert(0, 3, 0.5);
+  const KnnGraph g = lists.Finalize();
+  EXPECT_EQ(g.NeighborsOf(0)[0].id, 3u);
+  EXPECT_EQ(g.NeighborsOf(0)[1].id, 5u);
+}
+
+TEST(NeighborListsTest, ConcurrentLockedInsertsOnSameRow) {
+  NeighborLists lists(1, 8);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&lists, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto v = static_cast<UserId>(1 + t * kPerThread + i);
+        lists.InsertLocked(0, v, static_cast<double>(v) / 10000.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // The 8 best are the 8 highest ids inserted.
+  const KnnGraph g = lists.Finalize();
+  const auto nb = g.NeighborsOf(0);
+  ASSERT_EQ(nb.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(nb[i].id, static_cast<UserId>(kThreads * kPerThread - i));
+  }
+}
+
+TEST(NeighborListsTest, ClearRowEmptiesOnlyThatRow) {
+  NeighborLists lists(3, 2);
+  lists.Insert(0, 1, 0.5);
+  lists.Insert(1, 2, 0.7);
+  lists.ClearRow(0);
+  EXPECT_EQ(lists.Of(0).size(), 0u);
+  EXPECT_EQ(lists.Of(1).size(), 1u);
+  // The row is reusable after clearing.
+  EXPECT_TRUE(lists.Insert(0, 2, 0.9));
+  EXPECT_EQ(lists.Of(0).size(), 1u);
+}
+
+TEST(KnnGraphTest, EmptyGraph) {
+  const KnnGraph g;
+  EXPECT_EQ(g.NumUsers(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_DOUBLE_EQ(g.AverageStoredSimilarity(), 0.0);
+}
+
+TEST(KnnGraphTest, AverageStoredSimilarity) {
+  NeighborLists lists(2, 2);
+  lists.Insert(0, 1, 0.4);
+  lists.Insert(1, 0, 0.6);
+  const KnnGraph g = lists.Finalize();
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_NEAR(g.AverageStoredSimilarity(), 0.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace gf

@@ -1,0 +1,129 @@
+#include "knn/nndescent.h"
+
+#include <gtest/gtest.h>
+
+#include "knn/brute_force.h"
+#include "knn/quality.h"
+#include "knn/similarity_provider.h"
+#include "testing/test_util.h"
+
+namespace gf {
+namespace {
+
+GreedyConfig Config(std::size_t k = 10) {
+  GreedyConfig c;
+  c.k = k;
+  c.seed = 123;
+  return c;
+}
+
+TEST(NNDescentTest, ConvergesToHighQualityGraph) {
+  const Dataset d = testing::SmallSynthetic(300);
+  ExactJaccardProvider provider(d);
+  KnnBuildStats stats;
+  const KnnGraph approx = NNDescentKnn(provider, Config(), nullptr, &stats);
+  const KnnGraph exact = BruteForceKnn(provider, 10);
+  const double q = GraphQuality(AverageExactSimilarity(approx, d),
+                                AverageExactSimilarity(exact, d));
+  // Paper Table 4: native NNDescent quality 0.98-1.0.
+  EXPECT_GT(q, 0.95);
+}
+
+TEST(NNDescentTest, HighNeighborRecallOnExactProvider) {
+  const Dataset d = testing::SmallSynthetic(250);
+  ExactJaccardProvider provider(d);
+  const KnnGraph approx = NNDescentKnn(provider, Config(), nullptr);
+  const KnnGraph exact = BruteForceKnn(provider, 10);
+  EXPECT_GT(NeighborRecall(approx, exact), 0.85);
+}
+
+TEST(NNDescentTest, ScanRateWellBelowExhaustive) {
+  // As for Hyrec: the scan-rate advantage needs n >> k^2.
+  const Dataset d = testing::SmallSynthetic(1600);
+  ExactJaccardProvider provider(d);
+  KnnBuildStats stats;
+  NNDescentKnn(provider, Config(8), nullptr, &stats);
+  EXPECT_LT(stats.ScanRate(d.NumUsers()), 1.0);
+}
+
+TEST(NNDescentTest, RespectsMaxIterations) {
+  const Dataset d = testing::SmallSynthetic(150);
+  ExactJaccardProvider provider(d);
+  GreedyConfig config = Config();
+  config.max_iterations = 3;
+  KnnBuildStats stats;
+  NNDescentKnn(provider, config, nullptr, &stats);
+  EXPECT_LE(stats.iterations, 3u);
+}
+
+TEST(NNDescentTest, DeltaStopsRefinement) {
+  const Dataset d = testing::SmallSynthetic(150);
+  ExactJaccardProvider provider(d);
+  GreedyConfig config = Config();
+  config.delta = 10.0;
+  KnnBuildStats stats;
+  NNDescentKnn(provider, config, nullptr, &stats);
+  EXPECT_EQ(stats.iterations, 1u);
+}
+
+TEST(NNDescentTest, SampleRateLimitsJoinSize) {
+  const Dataset d = testing::SmallSynthetic(250);
+  ExactJaccardProvider provider(d);
+  GreedyConfig full = Config();
+  GreedyConfig sampled = Config();
+  sampled.sample_rate = 0.3;
+  KnnBuildStats stats_full, stats_sampled;
+  NNDescentKnn(provider, full, nullptr, &stats_full);
+  NNDescentKnn(provider, sampled, nullptr, &stats_sampled);
+  EXPECT_LT(stats_sampled.similarity_computations,
+            stats_full.similarity_computations);
+}
+
+TEST(NNDescentTest, NewFlagsAreConsumed) {
+  // After convergence the final iteration performs few updates — the
+  // new/old machinery must not re-join the same pairs forever.
+  const Dataset d = testing::SmallSynthetic(200);
+  ExactJaccardProvider provider(d);
+  KnnBuildStats stats;
+  NNDescentKnn(provider, Config(), nullptr, &stats);
+  ASSERT_GE(stats.updates_per_iteration.size(), 2u);
+  EXPECT_LT(stats.updates_per_iteration.back(),
+            stats.updates_per_iteration.front());
+}
+
+TEST(NNDescentTest, ParallelRunReachesSameQuality) {
+  const Dataset d = testing::SmallSynthetic(250);
+  ExactJaccardProvider provider(d);
+  ThreadPool pool(4);
+  const KnnGraph exact = BruteForceKnn(provider, 10);
+  const KnnGraph par = NNDescentKnn(provider, Config(), &pool);
+  const double q = GraphQuality(AverageExactSimilarity(par, d),
+                                AverageExactSimilarity(exact, d));
+  EXPECT_GT(q, 0.95);
+}
+
+TEST(NNDescentTest, WorksWithGoldFingerProvider) {
+  const Dataset d = testing::SmallSynthetic(200);
+  FingerprintConfig fc;
+  fc.num_bits = 1024;
+  auto store = FingerprintStore::Build(d, fc);
+  ASSERT_TRUE(store.ok());
+  GoldFingerProvider provider(*store);
+  const KnnGraph g = NNDescentKnn(provider, Config(), nullptr);
+  ExactJaccardProvider exact_provider(d);
+  const KnnGraph exact = BruteForceKnn(exact_provider, 10);
+  const double q = GraphQuality(AverageExactSimilarity(g, d),
+                                AverageExactSimilarity(exact, d));
+  EXPECT_GT(q, 0.8);
+}
+
+TEST(NNDescentTest, TinyDatasetFindsIdenticalTwin) {
+  const Dataset d = testing::TinyDataset();
+  ExactJaccardProvider provider(d);
+  const KnnGraph g = NNDescentKnn(provider, Config(2), nullptr);
+  EXPECT_EQ(g.NeighborsOf(0)[0].id, 2u);
+  EXPECT_FLOAT_EQ(g.NeighborsOf(0)[0].similarity, 1.0f);
+}
+
+}  // namespace
+}  // namespace gf

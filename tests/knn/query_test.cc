@@ -1,0 +1,144 @@
+#include "knn/query.h"
+
+#include <gtest/gtest.h>
+
+#include "core/similarity.h"
+#include "testing/test_util.h"
+
+namespace gf {
+namespace {
+
+FingerprintStore BuildStore(const Dataset& d, std::size_t bits = 1024) {
+  FingerprintConfig config;
+  config.num_bits = bits;
+  return FingerprintStore::Build(d, config).value();
+}
+
+TEST(ScanQueryTest, ValidatesArguments) {
+  const Dataset d = testing::TinyDataset();
+  const auto store = BuildStore(d, 128);
+  ScanQueryEngine engine(store);
+  EXPECT_FALSE(engine.Query(*Shf::Create(64), 3).ok());  // wrong length
+  EXPECT_FALSE(engine.Query(*Shf::Create(128), 0).ok());  // k == 0
+}
+
+TEST(ScanQueryTest, FindsIdenticalUser) {
+  const Dataset d = testing::TinyDataset();  // u0 == u2
+  const auto store = BuildStore(d, 256);
+  ScanQueryEngine engine(store);
+  // Query with exactly u0's profile.
+  auto result = engine.QueryProfile(d.Profile(0), 2);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  // Both u0 and u2 match with estimate 1.
+  EXPECT_EQ((*result)[0].id, 0u);
+  EXPECT_EQ((*result)[1].id, 2u);
+  EXPECT_FLOAT_EQ((*result)[0].similarity, 1.0f);
+  EXPECT_FLOAT_EQ((*result)[1].similarity, 1.0f);
+}
+
+TEST(ScanQueryTest, MatchesBruteForceOrdering) {
+  const Dataset d = testing::SmallSynthetic(150);
+  const auto store = BuildStore(d);
+  ScanQueryEngine engine(store);
+  // Query with user 7's own profile: the top hit must be user 7.
+  auto result = engine.QueryProfile(d.Profile(7), 5);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->size(), 1u);
+  EXPECT_EQ((*result)[0].id, 7u);
+  // Results sorted descending.
+  for (std::size_t i = 1; i < result->size(); ++i) {
+    EXPECT_LE((*result)[i].similarity, (*result)[i - 1].similarity);
+  }
+}
+
+TEST(ScanQueryTest, ExternalProfileGetsPlausibleNeighbors) {
+  const Dataset d = testing::SmallSynthetic(200, 41);
+  const auto store = BuildStore(d);
+  ScanQueryEngine engine(store);
+  // A synthetic external visitor: half of user 3's profile.
+  const auto base = d.Profile(3);
+  std::vector<ItemId> visitor(base.begin(),
+                              base.begin() + static_cast<long>(base.size() / 2));
+  auto result = engine.QueryProfile(visitor, 10);
+  ASSERT_TRUE(result.ok());
+  // User 3 must rank highly.
+  bool found = false;
+  for (const auto& nb : *result) found |= (nb.id == 3);
+  EXPECT_TRUE(found);
+}
+
+TEST(ScanQueryTest, KLargerThanStore) {
+  const Dataset d = testing::TinyDataset();
+  const auto store = BuildStore(d, 128);
+  ScanQueryEngine engine(store);
+  auto result = engine.QueryProfile(d.Profile(0), 50);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 4u);  // everything in the store
+}
+
+TEST(LshQueryTest, BuildValidates) {
+  const Dataset d = testing::TinyDataset();
+  LshQueryEngine::Options options;
+  options.num_functions = 0;
+  EXPECT_FALSE(LshQueryEngine::Build(d, options).ok());
+  EXPECT_TRUE(LshQueryEngine::Build(d).ok());
+}
+
+TEST(LshQueryTest, QueryValidates) {
+  const Dataset d = testing::TinyDataset();
+  auto engine = LshQueryEngine::Build(d);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE(engine->QueryProfile({}, 3).ok());  // empty profile
+  const std::vector<ItemId> out_of_range = {99};
+  EXPECT_FALSE(engine->QueryProfile(out_of_range, 3).ok());
+  const std::vector<ItemId> query = {0, 1};
+  EXPECT_FALSE(engine->QueryProfile(query, 0).ok());
+}
+
+TEST(LshQueryTest, FindsIdenticalUserThroughBuckets) {
+  const Dataset d = testing::TinyDataset();
+  auto engine = LshQueryEngine::Build(d);
+  ASSERT_TRUE(engine.ok());
+  auto result = engine->QueryProfile(d.Profile(0), 2);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->size(), 1u);
+  // Identical profiles share every bucket; exact scoring puts them on
+  // top with similarity 1.
+  EXPECT_FLOAT_EQ((*result)[0].similarity, 1.0f);
+  EXPECT_TRUE((*result)[0].id == 0 || (*result)[0].id == 2);
+}
+
+TEST(LshQueryTest, AgreesWithScanOnTopHit) {
+  const Dataset d = testing::SmallSynthetic(200, 13);
+  const auto store = BuildStore(d, 4096);  // long SHF: near-exact scan
+  ScanQueryEngine scan(store);
+  auto lsh = LshQueryEngine::Build(d);
+  ASSERT_TRUE(lsh.ok());
+
+  int agreements = 0, trials = 0;
+  for (UserId u = 0; u < 30; ++u) {
+    auto s = scan.QueryProfile(d.Profile(u), 1);
+    auto l = lsh->QueryProfile(d.Profile(u), 1);
+    ASSERT_TRUE(s.ok() && l.ok());
+    if (s->empty() || l->empty()) continue;
+    ++trials;
+    agreements += ((*s)[0].id == (*l)[0].id);
+  }
+  ASSERT_GT(trials, 20);
+  // Both should put the user itself first almost always.
+  EXPECT_GT(agreements, trials * 8 / 10);
+}
+
+TEST(LshQueryTest, IndexedEntriesCountsBucketMembership) {
+  const Dataset d = testing::SmallSynthetic(50);
+  LshQueryEngine::Options options;
+  options.num_functions = 4;
+  auto engine = LshQueryEngine::Build(d, options);
+  ASSERT_TRUE(engine.ok());
+  // Every non-empty user lands in exactly one bucket per function.
+  EXPECT_EQ(engine->IndexedEntries(), 4u * d.NumUsers());
+}
+
+}  // namespace
+}  // namespace gf

@@ -1,0 +1,146 @@
+#include "minhash/bbit_minhash.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/similarity.h"
+#include "testing/test_util.h"
+
+namespace gf {
+namespace {
+
+BbitMinHashConfig Config(std::size_t perms = 128, std::size_t bits = 4) {
+  BbitMinHashConfig c;
+  c.num_permutations = perms;
+  c.bits_per_hash = bits;
+  c.seed = 11;
+  return c;
+}
+
+TEST(BbitMinHashTest, BuildValidatesConfig) {
+  const Dataset d = testing::TinyDataset();
+  BbitMinHashConfig c = Config();
+  c.bits_per_hash = 0;
+  EXPECT_FALSE(BbitMinHashStore::Build(d, c).ok());
+  c = Config();
+  c.bits_per_hash = 3;  // does not divide 64
+  EXPECT_FALSE(BbitMinHashStore::Build(d, c).ok());
+  c = Config();
+  c.num_permutations = 0;
+  EXPECT_FALSE(BbitMinHashStore::Build(d, c).ok());
+  EXPECT_TRUE(BbitMinHashStore::Build(d, Config()).ok());
+}
+
+TEST(BbitMinHashTest, IdenticalProfilesFullyMatch) {
+  const Dataset d = testing::TinyDataset();  // u0 == u2
+  auto store = BbitMinHashStore::Build(d, Config());
+  ASSERT_TRUE(store.ok());
+  EXPECT_DOUBLE_EQ(store->MatchFraction(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(store->EstimateJaccard(0, 2), 1.0);
+}
+
+TEST(BbitMinHashTest, ValueOfRoundTripsPackedLanes) {
+  const Dataset d = testing::TinyDataset();
+  for (std::size_t bits : {1u, 2u, 4u, 8u, 16u}) {
+    auto store = BbitMinHashStore::Build(d, Config(32, bits));
+    ASSERT_TRUE(store.ok());
+    for (std::size_t p = 0; p < 32; ++p) {
+      const uint64_t v = store->ValueOf(0, p);
+      EXPECT_LT(v, uint64_t{1} << bits);
+    }
+  }
+}
+
+TEST(BbitMinHashTest, MatchFractionCountsLaneEquality) {
+  const Dataset d = testing::TinyDataset();
+  auto store = BbitMinHashStore::Build(d, Config(64, 4));
+  ASSERT_TRUE(store.ok());
+  int manual = 0;
+  for (std::size_t p = 0; p < 64; ++p) {
+    manual += (store->ValueOf(0, p) == store->ValueOf(1, p));
+  }
+  EXPECT_DOUBLE_EQ(store->MatchFraction(0, 1), manual / 64.0);
+}
+
+TEST(BbitMinHashTest, EstimateTracksExactJaccard) {
+  const Dataset d = testing::SmallSynthetic(60);
+  auto store = BbitMinHashStore::Build(d, Config(256, 4));
+  ASSERT_TRUE(store.ok());
+  double total_err = 0;
+  int pairs = 0;
+  for (UserId a = 0; a < 20; ++a) {
+    for (UserId b = a + 1; b < 20; ++b) {
+      const double exact = ExactJaccard(d.Profile(a), d.Profile(b));
+      total_err += std::abs(store->EstimateJaccard(a, b) - exact);
+      ++pairs;
+    }
+  }
+  // 256 permutations: standard error ~ 1/sqrt(256) ≈ 0.06.
+  EXPECT_LT(total_err / pairs, 0.08);
+}
+
+TEST(BbitMinHashTest, MorePermutationsReduceError) {
+  const Dataset d = testing::SmallSynthetic(40);
+  const auto mean_error = [&](std::size_t perms) {
+    auto store = BbitMinHashStore::Build(d, Config(perms, 8));
+    double err = 0;
+    int pairs = 0;
+    for (UserId a = 0; a < 15; ++a) {
+      for (UserId b = a + 1; b < 15; ++b) {
+        err += std::abs(store->EstimateJaccard(a, b) -
+                        ExactJaccard(d.Profile(a), d.Profile(b)));
+        ++pairs;
+      }
+    }
+    return err / pairs;
+  };
+  EXPECT_LT(mean_error(512), mean_error(16) + 0.01);
+}
+
+TEST(BbitMinHashTest, UniversalKindWorksToo) {
+  const Dataset d = testing::SmallSynthetic(30);
+  BbitMinHashConfig c = Config(128, 4);
+  c.kind = MinwiseKind::kUniversalHash;
+  auto store = BbitMinHashStore::Build(d, c);
+  ASSERT_TRUE(store.ok());
+  EXPECT_DOUBLE_EQ(store->EstimateJaccard(3, 3), 1.0);
+}
+
+TEST(BbitMinHashTest, ParallelBuildMatchesSequential) {
+  const Dataset d = testing::SmallSynthetic(50);
+  ThreadPool pool(4);
+  auto seq = BbitMinHashStore::Build(d, Config(64, 4), nullptr);
+  auto par = BbitMinHashStore::Build(d, Config(64, 4), &pool);
+  ASSERT_TRUE(seq.ok() && par.ok());
+  for (UserId u = 0; u < d.NumUsers(); ++u) {
+    for (std::size_t p = 0; p < 64; ++p) {
+      ASSERT_EQ(seq->ValueOf(u, p), par->ValueOf(u, p));
+    }
+  }
+}
+
+TEST(BbitMinHashTest, PayloadIsCompact) {
+  const Dataset d = testing::SmallSynthetic(100);
+  auto store = BbitMinHashStore::Build(d, Config(256, 4));
+  ASSERT_TRUE(store.ok());
+  // 256 lanes x 4 bits = 1024 bits = 16 words per user.
+  EXPECT_EQ(store->PayloadBytes(), 100u * 16 * 8);
+}
+
+TEST(BbitMinHashTest, EstimateClampedToUnitInterval) {
+  const Dataset d = testing::TinyDataset();
+  auto store = BbitMinHashStore::Build(d, Config(16, 1));
+  ASSERT_TRUE(store.ok());
+  for (UserId a = 0; a < d.NumUsers(); ++a) {
+    for (UserId b = 0; b < d.NumUsers(); ++b) {
+      const double e = store->EstimateJaccard(a, b);
+      EXPECT_GE(e, 0.0);
+      EXPECT_LE(e, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gf

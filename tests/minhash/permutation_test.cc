@@ -1,0 +1,79 @@
+#include "minhash/permutation.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gf {
+namespace {
+
+TEST(MinwiseFunctionTest, ExplicitPermutationIsBijective) {
+  Rng rng(1);
+  const auto fn = MinwiseFunction::Permutation(500, rng);
+  std::set<uint64_t> ranks;
+  for (ItemId i = 0; i < 500; ++i) {
+    const uint64_t r = fn.Rank(i);
+    EXPECT_LT(r, 500u);
+    ranks.insert(r);
+  }
+  EXPECT_EQ(ranks.size(), 500u);
+}
+
+TEST(MinwiseFunctionTest, UniversalRanksAreDeterministic) {
+  Rng rng(2);
+  const auto fn = MinwiseFunction::Universal(1000, rng);
+  for (ItemId i = 0; i < 100; ++i) EXPECT_EQ(fn.Rank(i), fn.Rank(i));
+}
+
+TEST(MinwiseFunctionTest, MinRankOfEmptyProfileIsMax) {
+  Rng rng(3);
+  const auto fn = MinwiseFunction::Permutation(100, rng);
+  EXPECT_EQ(fn.MinRank({}), std::numeric_limits<uint64_t>::max());
+}
+
+TEST(MinwiseFunctionTest, MinRankIsTheMinimum) {
+  Rng rng(4);
+  const auto fn = MinwiseFunction::Permutation(100, rng);
+  const std::vector<ItemId> profile = {3, 17, 42, 99};
+  uint64_t expected = fn.Rank(3);
+  for (ItemId i : {17u, 42u, 99u}) expected = std::min(expected, fn.Rank(i));
+  EXPECT_EQ(fn.MinRank(profile), expected);
+}
+
+TEST(MinwiseFunctionTest, MinhashCollisionRateEstimatesJaccard) {
+  // The min-wise property: P(min rank of A == min rank of B) = J(A, B).
+  // Check empirically over many explicit permutations.
+  Rng rng(5);
+  std::vector<ItemId> a, b;
+  for (ItemId i = 0; i < 30; ++i) a.push_back(i);        // {0..29}
+  for (ItemId i = 15; i < 45; ++i) b.push_back(i);       // {15..44}
+  const double true_jaccard = 15.0 / 45.0;               // 1/3
+  int matches = 0;
+  constexpr int kTrials = 3000;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto fn = MinwiseFunction::Permutation(100, rng);
+    matches += (fn.MinRank(a) == fn.MinRank(b));
+  }
+  EXPECT_NEAR(static_cast<double>(matches) / kTrials, true_jaccard, 0.03);
+}
+
+TEST(MinwiseFunctionTest, UniversalApproximatesMinwiseProperty) {
+  Rng rng(6);
+  std::vector<ItemId> a, b;
+  for (ItemId i = 0; i < 20; ++i) a.push_back(i);
+  for (ItemId i = 10; i < 30; ++i) b.push_back(i);
+  const double true_jaccard = 10.0 / 30.0;
+  int matches = 0;
+  constexpr int kTrials = 3000;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto fn = MinwiseFunction::Universal(100, rng);
+    matches += (fn.MinRank(a) == fn.MinRank(b));
+  }
+  // 2-universal is only approximately min-wise independent: allow a
+  // wider band than the explicit-permutation test.
+  EXPECT_NEAR(static_cast<double>(matches) / kTrials, true_jaccard, 0.06);
+}
+
+}  // namespace
+}  // namespace gf

@@ -1,0 +1,59 @@
+#include "recommender/evaluation.h"
+
+#include <gtest/gtest.h>
+
+namespace gf {
+namespace {
+
+std::vector<Recommendation> Recs(std::initializer_list<ItemId> items) {
+  std::vector<Recommendation> out;
+  double score = 1.0;
+  for (ItemId i : items) out.push_back({i, score -= 0.01});
+  return out;
+}
+
+TEST(EvaluationTest, PerfectRecall) {
+  const std::vector<std::vector<Recommendation>> recs = {Recs({1, 2})};
+  const std::vector<std::vector<ItemId>> test = {{1, 2}};
+  EXPECT_DOUBLE_EQ(RecommendationRecall(recs, test), 1.0);
+}
+
+TEST(EvaluationTest, ZeroRecall) {
+  const std::vector<std::vector<Recommendation>> recs = {Recs({5, 6})};
+  const std::vector<std::vector<ItemId>> test = {{1, 2}};
+  EXPECT_DOUBLE_EQ(RecommendationRecall(recs, test), 0.0);
+}
+
+TEST(EvaluationTest, PartialRecallAcrossUsers) {
+  const std::vector<std::vector<Recommendation>> recs = {
+      Recs({1, 9}),   // hits 1 of {1, 2}
+      Recs({7}),      // hits 1 of {7}
+  };
+  const std::vector<std::vector<ItemId>> test = {{1, 2}, {7}};
+  // 2 hits / 3 hidden.
+  EXPECT_DOUBLE_EQ(RecommendationRecall(recs, test), 2.0 / 3.0);
+}
+
+TEST(EvaluationTest, EmptyTestSetsGiveZero) {
+  const std::vector<std::vector<Recommendation>> recs = {Recs({1})};
+  const std::vector<std::vector<ItemId>> test = {{}};
+  EXPECT_DOUBLE_EQ(RecommendationRecall(recs, test), 0.0);
+}
+
+TEST(EvaluationTest, UsersWithoutRecommendationsStillCountHidden) {
+  const std::vector<std::vector<Recommendation>> recs = {Recs({}), Recs({3})};
+  const std::vector<std::vector<ItemId>> test = {{5}, {3}};
+  EXPECT_DOUBLE_EQ(RecommendationRecall(recs, test), 0.5);
+}
+
+TEST(EvaluationTest, RecommendingAnItemTwiceDoesNotDoubleCount) {
+  // A recommendation list never contains duplicates by construction,
+  // but the metric must also stay bounded if it did.
+  std::vector<std::vector<Recommendation>> recs = {
+      {{1, 0.9}, {1, 0.8}}};
+  const std::vector<std::vector<ItemId>> test = {{1, 2}};
+  EXPECT_LE(RecommendationRecall(recs, test), 1.0);
+}
+
+}  // namespace
+}  // namespace gf

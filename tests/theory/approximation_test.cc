@@ -1,0 +1,73 @@
+#include "theory/approximation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace gf::theory {
+namespace {
+
+TEST(ApproximationTest, ExpectedCardinalityLimits) {
+  // Tiny profiles: almost no collisions, E[c] ≈ s.
+  EXPECT_NEAR(ExpectedCardinality(1, 1024), 1.0, 1e-9);
+  EXPECT_NEAR(ExpectedCardinality(10, 1024), 10.0, 0.06);
+  // Saturation: far more items than bits fills the array.
+  EXPECT_NEAR(ExpectedCardinality(100000, 64), 64.0, 1e-3);
+  EXPECT_EQ(ExpectedCardinality(5, 0), 0.0);
+}
+
+TEST(ApproximationTest, ExpectedCardinalityMonotone) {
+  for (std::size_t s = 1; s < 200; s += 10) {
+    EXPECT_LT(ExpectedCardinality(s, 1024),
+              ExpectedCardinality(s + 10, 1024));
+  }
+}
+
+TEST(ApproximationTest, DegenerateScenarios) {
+  EXPECT_EQ(ApproximateExpectedEstimate(
+                {.common = 0, .only1 = 0, .only2 = 0, .num_bits = 64}),
+            0.0);
+  // Identical profiles: Ĵ = 1 exactly (β̂ term vanishes, α̂ = û).
+  EXPECT_NEAR(ApproximateExpectedEstimate(
+                  {.common = 50, .only1 = 0, .only2 = 0, .num_bits = 256}),
+              1.0, 1e-9);
+}
+
+TEST(ApproximationTest, MatchesPaperAnchorPoint) {
+  // J = 0.25, |P| = 100, b = 1024: paper's exact mean 0.286.
+  const auto s = ScenarioForJaccard(100, 100, 0.25, 1024);
+  EXPECT_NEAR(ApproximateExpectedEstimate(s), 0.286, 0.01);
+}
+
+TEST(ApproximationTest, TracksMonteCarloAcrossScenarios) {
+  for (double j : {0.05, 0.2, 0.5, 0.8}) {
+    for (std::size_t bits : {256u, 1024u, 4096u}) {
+      const auto s = ScenarioForJaccard(100, 100, j, bits);
+      const auto mc = SampleDistribution(s, 20000, bits + 7);
+      EXPECT_NEAR(ApproximateExpectedEstimate(s), mc.Mean(), 0.02)
+          << "J=" << j << " b=" << bits;
+    }
+  }
+}
+
+TEST(ApproximationTest, BiasIsPositiveAndShrinksWithBits) {
+  const auto bias = [](std::size_t bits) {
+    return ApproximateBias(ScenarioForJaccard(100, 100, 0.25, bits));
+  };
+  EXPECT_GT(bias(256), 0.0);
+  EXPECT_GT(bias(256), bias(1024));
+  EXPECT_GT(bias(1024), bias(4096));
+  EXPECT_LT(bias(8192), 0.01);
+}
+
+TEST(ApproximationTest, BiasShrinksAsJaccardGrows) {
+  // Collisions over-estimate LOW similarities most (Fig 11's message).
+  const auto bias_at = [](double j) {
+    return ApproximateBias(ScenarioForJaccard(100, 100, j, 1024));
+  };
+  EXPECT_GT(bias_at(0.1), bias_at(0.5));
+  EXPECT_GT(bias_at(0.5), bias_at(0.9));
+}
+
+}  // namespace
+}  // namespace gf::theory

@@ -1,0 +1,99 @@
+#include "theory/calibration.h"
+
+#include <gtest/gtest.h>
+
+namespace gf::theory {
+namespace {
+
+CalibrationTarget Target() {
+  CalibrationTarget t;
+  t.num_samples = 8000;  // keep tests fast
+  return t;
+}
+
+TEST(CalibrationTest, ValidatesTarget) {
+  CalibrationTarget t = Target();
+  t.profile_size = 0;
+  EXPECT_FALSE(CalibrateShfSize(t).ok());
+
+  t = Target();
+  t.reference_jaccard = 0.1;
+  t.competitor_jaccard = 0.2;  // inverted
+  EXPECT_FALSE(CalibrateShfSize(t).ok());
+
+  t = Target();
+  t.max_misordering = 0.0;
+  EXPECT_FALSE(CalibrateShfSize(t).ok());
+
+  t = Target();
+  t.max_misordering = 1.0;
+  EXPECT_FALSE(CalibrateShfSize(t).ok());
+
+  EXPECT_FALSE(CalibrateShfSize(Target(), 32).ok());  // max_bits < 64
+}
+
+TEST(CalibrationTest, PaperScenarioPicksAround1024Bits) {
+  // Figure 4's regime: |P| = 100, protect J=0.25 against J=0.17 at 2%.
+  // The paper observes that 1024 bits achieve < 2% misordering.
+  auto r = CalibrateShfSize(Target());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_LE(r->num_bits, 1024u);
+  EXPECT_GE(r->num_bits, 256u);
+  EXPECT_LE(r->misordering, 0.02);
+}
+
+TEST(CalibrationTest, TighterTargetNeedsMoreBits) {
+  CalibrationTarget loose = Target();
+  loose.max_misordering = 0.2;
+  CalibrationTarget tight = Target();
+  tight.max_misordering = 0.005;
+  auto r_loose = CalibrateShfSize(loose);
+  auto r_tight = CalibrateShfSize(tight);
+  ASSERT_TRUE(r_loose.ok() && r_tight.ok());
+  EXPECT_LE(r_loose->num_bits, r_tight->num_bits);
+}
+
+TEST(CalibrationTest, CloserCompetitorsNeedMoreBits) {
+  CalibrationTarget far = Target();
+  far.competitor_jaccard = 0.10;
+  CalibrationTarget close = Target();
+  close.competitor_jaccard = 0.22;
+  auto r_far = CalibrateShfSize(far);
+  auto r_close = CalibrateShfSize(close);
+  ASSERT_TRUE(r_far.ok());
+  // The close-competitor case may be infeasible within 8192 bits; when
+  // feasible it must need at least as many bits.
+  if (r_close.ok()) {
+    EXPECT_LE(r_far->num_bits, r_close->num_bits);
+  }
+}
+
+TEST(CalibrationTest, InfeasibleTargetIsNotFound) {
+  CalibrationTarget t = Target();
+  t.competitor_jaccard = 0.249;  // virtually indistinguishable levels
+  t.max_misordering = 0.001;
+  auto r = CalibrateShfSize(t, 256);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CalibrationTest, MisorderingDecreasesWithBits) {
+  const CalibrationTarget t = Target();
+  const double m256 = MisorderingAt(t, 256);
+  const double m2048 = MisorderingAt(t, 2048);
+  EXPECT_GT(m256, m2048);
+}
+
+TEST(CalibrationTest, LargerProfilesNeedMoreBits) {
+  CalibrationTarget small = Target();
+  small.profile_size = 30;
+  CalibrationTarget large = Target();
+  large.profile_size = 300;
+  auto r_small = CalibrateShfSize(small);
+  auto r_large = CalibrateShfSize(large);
+  ASSERT_TRUE(r_small.ok() && r_large.ok());
+  EXPECT_LE(r_small->num_bits, r_large->num_bits);
+}
+
+}  // namespace
+}  // namespace gf::theory

@@ -1,0 +1,194 @@
+#include "theory/estimator_distribution.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace gf::theory {
+namespace {
+
+TEST(ScenarioTest, TrueJaccardComputation) {
+  EstimatorScenario s{.common = 8, .only1 = 12, .only2 = 12, .num_bits = 128};
+  EXPECT_DOUBLE_EQ(s.TrueJaccard(), 0.25);
+  EXPECT_EQ(s.Size1(), 20u);
+  EXPECT_EQ(s.Size2(), 20u);
+}
+
+TEST(ScenarioTest, ScenarioForJaccardInvertsCorrectly) {
+  const auto s = ScenarioForJaccard(100, 100, 0.25, 1024);
+  EXPECT_EQ(s.common, 40u);  // J = 40 / 160 = 0.25 exactly
+  EXPECT_EQ(s.Size1(), 100u);
+  EXPECT_EQ(s.Size2(), 100u);
+  EXPECT_NEAR(s.TrueJaccard(), 0.25, 1e-9);
+}
+
+TEST(ScenarioTest, ScenarioForJaccardUnequalSizes) {
+  const auto s = ScenarioForJaccard(100, 25, 0.2, 1024);
+  EXPECT_EQ(s.Size1(), 100u);
+  EXPECT_EQ(s.Size2(), 25u);
+  EXPECT_NEAR(s.TrueJaccard(), 0.2, 0.03);
+}
+
+TEST(ScenarioTest, JaccardOneMeansIdenticalProfiles) {
+  const auto s = ScenarioForJaccard(50, 50, 1.0, 256);
+  EXPECT_EQ(s.common, 50u);
+  EXPECT_EQ(s.only1, 0u);
+  EXPECT_EQ(s.only2, 0u);
+}
+
+TEST(DistributionTest, AtomsNormalizedAndSorted) {
+  EstimatorDistribution d({{0.5, 2.0}, {0.2, 1.0}, {0.5, 1.0}});
+  ASSERT_EQ(d.atoms().size(), 2u);
+  EXPECT_DOUBLE_EQ(d.atoms()[0].first, 0.2);
+  EXPECT_NEAR(d.atoms()[0].second, 0.25, 1e-12);
+  EXPECT_NEAR(d.atoms()[1].second, 0.75, 1e-12);
+}
+
+TEST(DistributionTest, MomentsOfTwoPointLaw) {
+  EstimatorDistribution d({{0.0, 0.5}, {1.0, 0.5}});
+  EXPECT_DOUBLE_EQ(d.Mean(), 0.5);
+  EXPECT_DOUBLE_EQ(d.Variance(), 0.25);
+  EXPECT_DOUBLE_EQ(d.Cdf(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.Cdf(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(d.Cdf(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.4), 0.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.6), 1.0);
+}
+
+TEST(DistributionTest, ProbabilityExceedsIndependentLaws) {
+  EstimatorDistribution x({{0.0, 0.5}, {1.0, 0.5}});
+  EstimatorDistribution y({{0.5, 1.0}});
+  // P(X > Y) = P(X = 1) = 0.5; P(Y > X) = P(X = 0) = 0.5.
+  EXPECT_DOUBLE_EQ(x.ProbabilityExceeds(y), 0.5);
+  EXPECT_DOUBLE_EQ(y.ProbabilityExceeds(x), 0.5);
+  // Identical atoms never strictly exceed themselves.
+  EXPECT_DOUBLE_EQ(y.ProbabilityExceeds(y), 0.0);
+}
+
+TEST(ExactDistributionTest, ValidatesInput) {
+  EXPECT_FALSE(
+      ExactDistribution({.common = 1, .only1 = 0, .only2 = 0, .num_bits = 0})
+          .ok());
+  EXPECT_FALSE(
+      ExactDistribution({.common = 0, .only1 = 0, .only2 = 0, .num_bits = 64})
+          .ok());
+}
+
+TEST(ExactDistributionTest, IdenticalProfilesEstimateOne) {
+  // With only common items, Ĵ = 1 regardless of collisions.
+  auto d = ExactDistribution(
+      {.common = 10, .only1 = 0, .only2 = 0, .num_bits = 64});
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->Mean(), 1.0, 1e-9);
+  EXPECT_NEAR(d->Variance(), 0.0, 1e-12);
+}
+
+TEST(ExactDistributionTest, DisjointSmallProfilesMostlyZero) {
+  // Disjoint profiles only get Ĵ > 0 through collisions; with b large
+  // relative to the profiles the mass at 0 dominates.
+  auto d = ExactDistribution(
+      {.common = 0, .only1 = 5, .only2 = 5, .num_bits = 1024});
+  ASSERT_TRUE(d.ok());
+  EXPECT_LT(d->Mean(), 0.01);
+  EXPECT_GT(d->Cdf(0.0), 0.95);
+}
+
+TEST(ExactDistributionTest, ProbabilitiesSumToOne) {
+  auto d = ExactDistribution(
+      {.common = 4, .only1 = 6, .only2 = 6, .num_bits = 128});
+  ASSERT_TRUE(d.ok());
+  double total = 0;
+  for (const auto& [v, p] : d->atoms()) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ExactDistributionTest, SingleItemPairExact) {
+  // One item each side, disjoint: Ĵ = 1 iff they collide (prob 1/b),
+  // else 0.
+  const std::size_t b = 64;
+  auto d =
+      ExactDistribution({.common = 0, .only1 = 1, .only2 = 1, .num_bits = b});
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->Mean(), 1.0 / b, 1e-12);
+}
+
+// The central validation: exact Theorem-1 law == Monte-Carlo law, over
+// a sweep of scenarios.
+struct ScenarioCase {
+  std::size_t common, only1, only2, bits;
+};
+
+class ExactVsMonteCarloTest : public ::testing::TestWithParam<ScenarioCase> {};
+
+TEST_P(ExactVsMonteCarloTest, MeansAndQuantilesAgree) {
+  const auto& c = GetParam();
+  const EstimatorScenario s{.common = c.common, .only1 = c.only1,
+                            .only2 = c.only2, .num_bits = c.bits};
+  auto exact = ExactDistribution(s);
+  ASSERT_TRUE(exact.ok());
+  const auto mc = SampleDistribution(s, 60000, 1234);
+  EXPECT_NEAR(exact->Mean(), mc.Mean(), 0.01);
+  EXPECT_NEAR(exact->Quantile(0.5), mc.Quantile(0.5), 0.05);
+  EXPECT_NEAR(std::sqrt(exact->Variance()), std::sqrt(mc.Variance()), 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, ExactVsMonteCarloTest,
+    ::testing::Values(ScenarioCase{8, 12, 12, 128},
+                      ScenarioCase{5, 5, 5, 64},
+                      ScenarioCase{10, 0, 10, 128},
+                      ScenarioCase{0, 8, 8, 256},
+                      ScenarioCase{15, 15, 15, 512},
+                      ScenarioCase{20, 10, 5, 256}));
+
+TEST(EstimatorBiasTest, EstimatorIsBiasedUpward) {
+  // Paper Fig. 3: at J = 0.25 with |P| = 100, b = 1024, E[Ĵ] ≈ 0.286.
+  const auto s = ScenarioForJaccard(100, 100, 0.25, 1024);
+  const auto mc = SampleDistribution(s, 50000, 99);
+  EXPECT_GT(mc.Mean(), s.TrueJaccard());
+  EXPECT_NEAR(mc.Mean(), 0.286, 0.01);
+}
+
+TEST(EstimatorBiasTest, OnePercentQuantileMatchesPaper) {
+  // Paper §2.4: Ĵ has 99% probability of exceeding 0.254 in the same
+  // scenario.
+  const auto s = ScenarioForJaccard(100, 100, 0.25, 1024);
+  const auto mc = SampleDistribution(s, 50000, 99);
+  EXPECT_NEAR(mc.Quantile(0.01), 0.254, 0.01);
+}
+
+TEST(EstimatorBiasTest, MisorderingProbabilityLowBelowCutoff) {
+  // Paper Fig. 4: a profile with true J = 0.17 overtakes one with
+  // J = 0.25 with probability < 2% (b = 1024, |P| = 100).
+  const auto s_high = ScenarioForJaccard(100, 100, 0.25, 1024);
+  const auto s_low = ScenarioForJaccard(100, 100, 0.17, 1024);
+  const auto d_high = SampleDistribution(s_high, 40000, 7);
+  const auto d_low = SampleDistribution(s_low, 40000, 8);
+  EXPECT_LT(d_low.ProbabilityExceeds(d_high), 0.02);
+}
+
+TEST(EstimatorSpreadTest, SpreadGrowsAsBitsShrink) {
+  // Paper Fig. 5: the interquantile spread widens as b decreases.
+  const auto spread = [](std::size_t b) {
+    const auto s = ScenarioForJaccard(100, 100, 0.25, b);
+    const auto d = SampleDistribution(s, 30000, b);
+    return d.Quantile(0.99) - d.Quantile(0.01);
+  };
+  const double s256 = spread(256);
+  const double s512 = spread(512);
+  const double s1024 = spread(1024);
+  EXPECT_GT(s256, s512);
+  EXPECT_GT(s512, s1024);
+}
+
+TEST(SampleDistributionTest, DeterministicGivenSeed) {
+  const EstimatorScenario s{.common = 5, .only1 = 5, .only2 = 5,
+                            .num_bits = 128};
+  const auto a = SampleDistribution(s, 5000, 42);
+  const auto b = SampleDistribution(s, 5000, 42);
+  EXPECT_EQ(a.atoms().size(), b.atoms().size());
+  EXPECT_DOUBLE_EQ(a.Mean(), b.Mean());
+}
+
+}  // namespace
+}  // namespace gf::theory

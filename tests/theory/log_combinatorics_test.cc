@@ -1,0 +1,131 @@
+#include "theory/log_combinatorics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace gf::theory {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+double Exp(long double x) { return static_cast<double>(ExpOrZero(x)); }
+
+TEST(LogCombinatoricsTest, FactorialSmallValues) {
+  EXPECT_NEAR(Exp(LogFactorial(0)), 1.0, kTol);
+  EXPECT_NEAR(Exp(LogFactorial(1)), 1.0, kTol);
+  EXPECT_NEAR(Exp(LogFactorial(5)), 120.0, 1e-6);
+  EXPECT_NEAR(Exp(LogFactorial(10)), 3628800.0, 1.0);
+}
+
+TEST(LogCombinatoricsTest, BinomialSmallValues) {
+  EXPECT_NEAR(Exp(LogBinomial(5, 2)), 10.0, 1e-6);
+  EXPECT_NEAR(Exp(LogBinomial(10, 5)), 252.0, 1e-5);
+  EXPECT_NEAR(Exp(LogBinomial(7, 0)), 1.0, kTol);
+  EXPECT_NEAR(Exp(LogBinomial(7, 7)), 1.0, kTol);
+}
+
+TEST(LogCombinatoricsTest, BinomialOutOfRangeIsZero) {
+  EXPECT_EQ(Exp(LogBinomial(3, 5)), 0.0);
+}
+
+TEST(LogCombinatoricsTest, BinomialSymmetry) {
+  for (std::size_t n : {10u, 100u, 1024u}) {
+    for (std::size_t k : {1u, 3u, 7u}) {
+      EXPECT_NEAR(static_cast<double>(LogBinomial(n, k)),
+                  static_cast<double>(LogBinomial(n, n - k)), 1e-10);
+    }
+  }
+}
+
+TEST(LogCombinatoricsTest, LargeBinomialDoesNotOverflow) {
+  // C(8192, 4096): log10 ~ 2463. Must be finite in log space.
+  const long double v = LogBinomial(8192, 4096);
+  EXPECT_TRUE(std::isfinite(static_cast<double>(v)));
+  EXPECT_GT(static_cast<double>(v), 5000.0);  // ln, not log10
+}
+
+TEST(StirlingTest, KnownSmallValues) {
+  // Classic table: S(4,2)=7, S(5,3)=25, S(6,3)=90, S(7,4)=350.
+  EXPECT_NEAR(Exp(LogStirling2(4, 2)), 7.0, 1e-6);
+  EXPECT_NEAR(Exp(LogStirling2(5, 3)), 25.0, 1e-6);
+  EXPECT_NEAR(Exp(LogStirling2(6, 3)), 90.0, 1e-5);
+  EXPECT_NEAR(Exp(LogStirling2(7, 4)), 350.0, 1e-4);
+}
+
+TEST(StirlingTest, BoundaryValues) {
+  EXPECT_NEAR(Exp(LogStirling2(0, 0)), 1.0, kTol);
+  EXPECT_EQ(Exp(LogStirling2(5, 0)), 0.0);
+  EXPECT_EQ(Exp(LogStirling2(3, 4)), 0.0);
+  EXPECT_NEAR(Exp(LogStirling2(6, 6)), 1.0, 1e-9);
+  EXPECT_NEAR(Exp(LogStirling2(6, 1)), 1.0, 1e-9);
+}
+
+TEST(StirlingTest, RowSumsToBellNumber) {
+  // Bell(6) = 203.
+  double total = 0;
+  for (std::size_t k = 0; k <= 6; ++k) total += Exp(LogStirling2(6, k));
+  EXPECT_NEAR(total, 203.0, 1e-4);
+}
+
+TEST(SurjectionsTest, KnownValues) {
+  // Surj(n, k) = k! S(n,k): Surj(3,2) = 6, Surj(4,2) = 14, Surj(4,4)=24.
+  EXPECT_NEAR(Exp(LogSurjections(3, 2)), 6.0, 1e-6);
+  EXPECT_NEAR(Exp(LogSurjections(4, 2)), 14.0, 1e-5);
+  EXPECT_NEAR(Exp(LogSurjections(4, 4)), 24.0, 1e-5);
+  EXPECT_EQ(Exp(LogSurjections(2, 3)), 0.0);
+}
+
+TEST(XiTest, ZeroCoveredSubsetCountsAllFunctions) {
+  // ξ(x, y, 0) = y^x.
+  EXPECT_NEAR(Exp(LogXi(3, 4, 0)), 64.0, 1e-5);
+  EXPECT_NEAR(Exp(LogXi(5, 2, 0)), 32.0, 1e-6);
+}
+
+TEST(XiTest, FullCoverageEqualsSurjections) {
+  // ξ(x, y, y) = Surj(x, y).
+  for (std::size_t x : {3u, 4u, 5u, 6u}) {
+    for (std::size_t y : {1u, 2u, 3u}) {
+      EXPECT_NEAR(Exp(LogXi(x, y, y)), Exp(LogSurjections(x, y)), 1e-4)
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST(XiTest, BruteForceCrossCheck) {
+  // Count functions f: [x] -> [y] covering cells {0..z-1} by
+  // enumeration, compare against the inclusion-exclusion formula.
+  const std::size_t x = 5, y = 4, z = 2;
+  std::size_t count = 0;
+  const std::size_t total = 1024;  // 4^5
+  for (std::size_t code = 0; code < total; ++code) {
+    std::size_t c = code;
+    bool hit[4] = {false, false, false, false};
+    for (std::size_t i = 0; i < x; ++i) {
+      hit[c % y] = true;
+      c /= y;
+    }
+    bool covers = true;
+    for (std::size_t j = 0; j < z; ++j) covers &= hit[j];
+    count += covers;
+  }
+  EXPECT_NEAR(Exp(LogXi(x, y, z)), static_cast<double>(count), 1e-3);
+}
+
+TEST(XiTest, ImpossibleCoverageIsZero) {
+  EXPECT_EQ(Exp(LogXi(2, 5, 3)), 0.0);  // 2 items cannot cover 3 cells
+  EXPECT_EQ(Exp(LogXi(4, 2, 3)), 0.0);  // subset larger than codomain
+  EXPECT_EQ(Exp(LogXi(0, 5, 1)), 0.0);
+  EXPECT_NEAR(Exp(LogXi(0, 5, 0)), 1.0, kTol);  // the empty function
+}
+
+TEST(XiTest, MonotoneInX) {
+  // More items, same coverage requirement: weakly more functions.
+  for (std::size_t x = 3; x < 10; ++x) {
+    EXPECT_LE(static_cast<double>(LogXi(x, 6, 3)),
+              static_cast<double>(LogXi(x + 1, 6, 3)));
+  }
+}
+
+}  // namespace
+}  // namespace gf::theory

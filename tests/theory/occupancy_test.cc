@@ -1,0 +1,111 @@
+#include "theory/occupancy.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/bit_util.h"
+#include "common/random.h"
+#include "theory/approximation.h"
+
+namespace gf::theory {
+namespace {
+
+TEST(OccupancyTest, ValidatesInput) {
+  EXPECT_FALSE(OccupancyDistribution::Compute(5, 0).ok());
+  EXPECT_TRUE(OccupancyDistribution::Compute(0, 64).ok());
+}
+
+TEST(OccupancyTest, ZeroItemsIsDeterministic) {
+  auto d = OccupancyDistribution::Compute(0, 64);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->Pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(d->Mean(), 0.0);
+}
+
+TEST(OccupancyTest, OneItemAlwaysOneBit) {
+  auto d = OccupancyDistribution::Compute(1, 128);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->Pmf(1), 1.0);
+  EXPECT_DOUBLE_EQ(d->Mean(), 1.0);
+  EXPECT_NEAR(d->Variance(), 0.0, 1e-12);
+}
+
+TEST(OccupancyTest, TwoItemsTwoBins) {
+  // 2 items in 2 bins: collide with prob 1/2.
+  auto d = OccupancyDistribution::Compute(2, 2);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->Pmf(1), 0.5, 1e-12);
+  EXPECT_NEAR(d->Pmf(2), 0.5, 1e-12);
+}
+
+TEST(OccupancyTest, PmfSumsToOne) {
+  for (std::size_t s : {5u, 20u, 64u, 100u}) {
+    auto d = OccupancyDistribution::Compute(s, 64);
+    ASSERT_TRUE(d.ok());
+    double total = 0;
+    for (std::size_t j = 0; j <= 64; ++j) total += d->Pmf(j);
+    EXPECT_NEAR(total, 1.0, 1e-12) << "s=" << s;
+    EXPECT_NEAR(d->Cdf(64), 1.0, 1e-12);
+  }
+}
+
+TEST(OccupancyTest, MeanMatchesClosedForm) {
+  // E[ĉ] = b (1 - (1-1/b)^s) — the approximation module's formula is
+  // exact for the mean.
+  for (std::size_t s : {10u, 50u, 200u}) {
+    for (std::size_t b : {64u, 256u, 1024u}) {
+      auto d = OccupancyDistribution::Compute(s, b);
+      ASSERT_TRUE(d.ok());
+      EXPECT_NEAR(d->Mean(), ExpectedCardinality(s, b), 1e-6)
+          << "s=" << s << " b=" << b;
+    }
+  }
+}
+
+TEST(OccupancyTest, MatchesSimulation) {
+  constexpr std::size_t kItems = 80;
+  constexpr std::size_t kBits = 256;
+  auto d = OccupancyDistribution::Compute(kItems, kBits);
+  ASSERT_TRUE(d.ok());
+
+  Rng rng(123);
+  constexpr int kTrials = 20000;
+  double mean = 0;
+  std::vector<int> counts(kBits + 1, 0);
+  std::vector<uint64_t> words(bits::WordsForBits(kBits));
+  for (int t = 0; t < kTrials; ++t) {
+    std::fill(words.begin(), words.end(), 0);
+    for (std::size_t i = 0; i < kItems; ++i) {
+      bits::SetBit(words.data(), rng.Below(kBits));
+    }
+    const uint32_t c = bits::PopCount(words);
+    mean += c;
+    ++counts[c];
+  }
+  mean /= kTrials;
+  EXPECT_NEAR(mean, d->Mean(), 0.1);
+  // Spot-check the pmf around the mode.
+  const auto mode = static_cast<std::size_t>(std::lround(d->Mean()));
+  for (std::size_t j = mode - 2; j <= mode + 2; ++j) {
+    EXPECT_NEAR(counts[j] / static_cast<double>(kTrials), d->Pmf(j), 0.02);
+  }
+}
+
+TEST(OccupancyTest, ExpectedCollisionsGrowWithLoad) {
+  auto light = OccupancyDistribution::Compute(20, 1024);
+  auto heavy = OccupancyDistribution::Compute(200, 1024);
+  ASSERT_TRUE(light.ok() && heavy.ok());
+  EXPECT_LT(light->ExpectedCollisions(), heavy->ExpectedCollisions());
+  EXPECT_GT(light->ExpectedCollisions(), 0.0);
+}
+
+TEST(OccupancyTest, SaturationAtManyItems) {
+  auto d = OccupancyDistribution::Compute(2000, 64);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->Mean(), 64.0, 1e-6);
+  EXPECT_NEAR(d->Pmf(64), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gf::theory

@@ -1,0 +1,295 @@
+// gfk — the GoldFinger command-line tool. Drives the whole pipeline
+// from the shell: generate or load datasets, fingerprint them, build
+// KNN graphs with any algorithm/mode, recommend, and report privacy
+// guarantees. Artifacts are exchanged as .gfsz containers (io/).
+//
+//   gfk generate  --dataset ml1M --scale 0.1 --out ds.gfsz
+//   gfk load      --ratings ratings.dat --format dat --out ds.gfsz
+//   gfk stats     --in ds.gfsz
+//   gfk knn       --in ds.gfsz --algorithm hyrec --mode golfi --k 30
+//                 --bits 1024 --out graph.gfsz
+//   gfk recommend --in ds.gfsz --graph graph.gfsz --user 0 --n 10
+//   gfk privacy   --in ds.gfsz --bits 1024
+//   gfk help
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "core/privacy.h"
+#include "theory/calibration.h"
+#include "dataset/loader.h"
+#include "dataset/synthetic.h"
+#include "io/serialization.h"
+#include "knn/builder.h"
+#include "knn/quality.h"
+#include "recommender/recommender.h"
+
+namespace gf::tools {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "gfk: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::printf(
+      "gfk — GoldFinger KNN toolbox\n\n"
+      "subcommands:\n"
+      "  generate  --dataset ml1M|ml10M|ml20M|AM|DBLP|GW [--scale S]\n"
+      "            [--seed N] --out ds.gfsz\n"
+      "  load      --ratings FILE --format dat|csv|amazon|edges\n"
+      "            [--min-ratings 20] [--threshold 3.0] --out ds.gfsz\n"
+      "  stats     --in ds.gfsz\n"
+      "  knn       --in ds.gfsz [--algorithm bruteforce|hyrec|nndescent|\n"
+      "            lsh|kiff|bandedlsh|bisection]\n"
+      "            [--mode native|golfi|minhash] [--k 30] [--bits 1024]\n"
+      "            [--out graph.gfsz]\n"
+      "  recommend --in ds.gfsz --graph graph.gfsz [--user U] [--n 30]\n"
+      "  privacy   --in ds.gfsz [--bits 1024]\n"
+      "  fingerprint --in ds.gfsz [--bits 1024] [--hash jenkins|murmur3|\n"
+      "            splitmix] [--seed N] --out fp.gfsz\n"
+      "  calibrate --in ds.gfsz [--reference 0.25] [--competitor 0.17]\n"
+      "            [--max-misordering 0.02]\n");
+  return 0;
+}
+
+Result<PaperDataset> ParseDatasetName(const std::string& name) {
+  for (PaperDataset d : AllPaperDatasets()) {
+    if (name == PaperDatasetName(d)) return d;
+  }
+  return Status::InvalidArgument("unknown dataset '" + name +
+                                 "' (ml1M|ml10M|ml20M|AM|DBLP|GW)");
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string out = flags.GetString("out");
+  if (out.empty()) return Fail(Status::InvalidArgument("--out required"));
+  auto which = ParseDatasetName(flags.GetString("dataset", "ml1M"));
+  if (!which.ok()) return Fail(which.status());
+  const double scale = flags.GetDouble("scale", 0.1);
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  auto dataset = GeneratePaperDataset(*which, scale, seed);
+  if (!dataset.ok()) return Fail(dataset.status());
+  if (const Status status = io::WriteDataset(*dataset, out); !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("wrote %s: %zu users, %zu items, %zu entries\n", out.c_str(),
+              dataset->NumUsers(), dataset->NumItems(),
+              dataset->NumEntries());
+  return 0;
+}
+
+int CmdLoad(const Flags& flags) {
+  const std::string path = flags.GetString("ratings");
+  const std::string out = flags.GetString("out");
+  if (path.empty() || out.empty()) {
+    return Fail(Status::InvalidArgument("--ratings and --out required"));
+  }
+  LoaderOptions options;
+  options.min_ratings_per_user =
+      static_cast<std::size_t>(flags.GetInt("min-ratings", 20));
+  const std::string format = flags.GetString("format", "dat");
+
+  Result<RatingDataset> raw = Status::InvalidArgument(
+      "unknown --format '" + format + "' (dat|csv|amazon|edges)");
+  if (format == "dat") raw = LoadMovieLensDat(path, options);
+  if (format == "csv") raw = LoadMovieLensCsv(path, options);
+  if (format == "amazon") raw = LoadAmazonRatings(path, options);
+  if (format == "edges") raw = LoadEdgeList(path, options);
+  if (!raw.ok()) return Fail(raw.status());
+
+  auto dataset = raw->Binarize(flags.GetDouble("threshold", 3.0));
+  if (!dataset.ok()) return Fail(dataset.status());
+  if (const Status status = io::WriteDataset(*dataset, out); !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("wrote %s: %zu users, %zu items, %zu positive entries\n",
+              out.c_str(), dataset->NumUsers(), dataset->NumItems(),
+              dataset->NumEntries());
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  auto dataset = io::ReadDataset(flags.GetString("in"));
+  if (!dataset.ok()) return Fail(dataset.status());
+  std::printf("%s", FormatStatsTable({ComputeStats(*dataset)}).c_str());
+  return 0;
+}
+
+int CmdKnn(const Flags& flags) {
+  auto dataset = io::ReadDataset(flags.GetString("in"));
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  KnnPipelineConfig config;
+  const std::string algo = flags.GetString("algorithm", "hyrec");
+  if (algo == "bruteforce") config.algorithm = KnnAlgorithm::kBruteForce;
+  else if (algo == "hyrec") config.algorithm = KnnAlgorithm::kHyrec;
+  else if (algo == "nndescent") config.algorithm = KnnAlgorithm::kNNDescent;
+  else if (algo == "lsh") config.algorithm = KnnAlgorithm::kLsh;
+  else if (algo == "kiff") config.algorithm = KnnAlgorithm::kKiff;
+  else if (algo == "bandedlsh") config.algorithm = KnnAlgorithm::kBandedLsh;
+  else if (algo == "bisection") config.algorithm = KnnAlgorithm::kBisection;
+  else return Fail(Status::InvalidArgument("unknown --algorithm " + algo));
+
+  const std::string mode = flags.GetString("mode", "golfi");
+  if (mode == "native") config.mode = SimilarityMode::kNative;
+  else if (mode == "golfi") config.mode = SimilarityMode::kGoldFinger;
+  else if (mode == "minhash") config.mode = SimilarityMode::kBbitMinHash;
+  else return Fail(Status::InvalidArgument("unknown --mode " + mode));
+
+  config.greedy.k = static_cast<std::size_t>(flags.GetInt("k", 30));
+  config.fingerprint.num_bits =
+      static_cast<std::size_t>(flags.GetInt("bits", 1024));
+
+  auto result = BuildKnnGraph(*dataset, config);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("%s/%s: prep %.3fs, build %.3fs, %zu iterations, %.2fM "
+              "similarities, avg stored sim %.4f\n",
+              std::string(KnnAlgorithmName(config.algorithm)).c_str(),
+              std::string(SimilarityModeName(config.mode)).c_str(),
+              result->preparation_seconds, result->stats.seconds,
+              result->stats.iterations,
+              result->stats.similarity_computations / 1e6,
+              result->graph.AverageStoredSimilarity());
+
+  const std::string out = flags.GetString("out");
+  if (!out.empty()) {
+    if (const Status status = io::WriteKnnGraph(result->graph, out);
+        !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int CmdRecommend(const Flags& flags) {
+  auto dataset = io::ReadDataset(flags.GetString("in"));
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto graph = io::ReadKnnGraph(flags.GetString("graph"));
+  if (!graph.ok()) return Fail(graph.status());
+  if (graph->NumUsers() != dataset->NumUsers()) {
+    return Fail(Status::InvalidArgument(
+        "graph and dataset disagree on the user count"));
+  }
+  RecommenderConfig config;
+  config.num_recommendations =
+      static_cast<std::size_t>(flags.GetInt("n", 30));
+  const auto user = static_cast<UserId>(flags.GetInt("user", 0));
+  if (user >= dataset->NumUsers()) {
+    return Fail(Status::OutOfRange("no such user"));
+  }
+  const auto recs = RecommendForUser(*graph, *dataset, user, config);
+  std::printf("user %u: %zu recommendations\n", user, recs.size());
+  for (const auto& rec : recs) {
+    std::printf("  item %u  score %.4f\n", rec.item, rec.score);
+  }
+  return 0;
+}
+
+int CmdPrivacy(const Flags& flags) {
+  auto dataset = io::ReadDataset(flags.GetString("in"));
+  if (!dataset.ok()) return Fail(dataset.status());
+  FingerprintConfig config;
+  config.num_bits = static_cast<std::size_t>(flags.GetInt("bits", 1024));
+  auto store = FingerprintStore::Build(*dataset, config);
+  if (!store.ok()) return Fail(store.status());
+  auto analysis = PreimageAnalysis::Compute(dataset->NumItems(), config);
+  if (!analysis.ok()) return Fail(analysis.status());
+
+  double mean_card = 0;
+  double worst_l = 1e300;
+  double best_l = 0;
+  for (UserId u = 0; u < store->num_users(); ++u) {
+    mean_card += store->CardinalityOf(u);
+    if (store->CardinalityOf(u) == 0) continue;
+    const double l = analysis->For(store->Extract(u)).l_diversity;
+    worst_l = std::min(worst_l, l);
+    best_l = std::max(best_l, l);
+  }
+  mean_card /= static_cast<double>(std::max<std::size_t>(1,
+                                                         store->num_users()));
+  const auto theory = TheoreticalPrivacy(
+      dataset->NumItems(), config.num_bits,
+      static_cast<uint32_t>(mean_card));
+  std::printf("items=%zu bits=%zu mean cardinality=%.1f\n",
+              dataset->NumItems(), config.num_bits, mean_card);
+  std::printf("theoretical (Thm 2-3): k-anonymity 2^%.1f, l-diversity %.1f\n",
+              theory.k_anonymity_log2, theory.l_diversity);
+  std::printf("empirical l-diversity across users: min %.0f, max %.0f\n",
+              worst_l, best_l);
+  return 0;
+}
+
+int CmdFingerprint(const Flags& flags) {
+  auto dataset = io::ReadDataset(flags.GetString("in"));
+  if (!dataset.ok()) return Fail(dataset.status());
+  const std::string out = flags.GetString("out");
+  if (out.empty()) return Fail(Status::InvalidArgument("--out required"));
+
+  FingerprintConfig config;
+  config.num_bits = static_cast<std::size_t>(flags.GetInt("bits", 1024));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 0));
+  const std::string hash = flags.GetString("hash", "jenkins");
+  if (hash == "jenkins") config.hash = hash::HashKind::kJenkins;
+  else if (hash == "murmur3") config.hash = hash::HashKind::kMurmur3;
+  else if (hash == "splitmix") config.hash = hash::HashKind::kSplitMix;
+  else return Fail(Status::InvalidArgument("unknown --hash " + hash));
+
+  auto store = FingerprintStore::Build(*dataset, config);
+  if (!store.ok()) return Fail(store.status());
+  if (const Status status = io::WriteFingerprintStore(*store, out);
+      !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("wrote %s: %zu fingerprints of %zu bits (%zu payload bytes)\n",
+              out.c_str(), store->num_users(), store->num_bits(),
+              store->PayloadBytes());
+  return 0;
+}
+
+int CmdCalibrate(const Flags& flags) {
+  auto dataset = io::ReadDataset(flags.GetString("in"));
+  if (!dataset.ok()) return Fail(dataset.status());
+  theory::CalibrationTarget target;
+  target.reference_jaccard = flags.GetDouble("reference", 0.25);
+  target.competitor_jaccard = flags.GetDouble("competitor", 0.17);
+  target.max_misordering = flags.GetDouble("max-misordering", 0.02);
+  target.profile_size = static_cast<std::size_t>(
+      std::lround(std::max(1.0, dataset->MeanProfileSize())));
+  std::printf(
+      "calibrating for |Pu| = %zu: protect J=%.2f against J=%.2f at "
+      "misordering <= %.3f\n",
+      target.profile_size, target.reference_jaccard,
+      target.competitor_jaccard, target.max_misordering);
+  auto result = theory::CalibrateShfSize(target);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("-> use %zu-bit SHFs (achieved misordering %.4f)\n",
+              result->num_bits, result->misordering);
+  return 0;
+}
+
+}  // namespace
+}  // namespace gf::tools
+
+int main(int argc, char** argv) {
+  auto flags = gf::Flags::Parse(argc, argv);
+  if (!flags.ok()) return gf::tools::Fail(flags.status());
+  if (flags->positional().empty()) return gf::tools::Usage();
+  const std::string& command = flags->positional()[0];
+  if (command == "help") return gf::tools::Usage();
+  if (command == "generate") return gf::tools::CmdGenerate(*flags);
+  if (command == "load") return gf::tools::CmdLoad(*flags);
+  if (command == "stats") return gf::tools::CmdStats(*flags);
+  if (command == "knn") return gf::tools::CmdKnn(*flags);
+  if (command == "recommend") return gf::tools::CmdRecommend(*flags);
+  if (command == "privacy") return gf::tools::CmdPrivacy(*flags);
+  if (command == "fingerprint") return gf::tools::CmdFingerprint(*flags);
+  if (command == "calibrate") return gf::tools::CmdCalibrate(*flags);
+  std::fprintf(stderr, "gfk: unknown subcommand '%s' (try gfk help)\n",
+               command.c_str());
+  return 1;
+}

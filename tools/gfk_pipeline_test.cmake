@@ -1,0 +1,36 @@
+# End-to-end smoke test of the gfk CLI, run by ctest:
+# generate -> stats -> calibrate -> fingerprint -> knn -> recommend ->
+# privacy, all through on-disk .gfsz artifacts.
+# Invoked as: cmake -DGFK=<path-to-gfk> -DWORK=<scratch-dir> -P this-file
+
+function(run_gfk)
+  execute_process(COMMAND ${GFK} ${ARGN} RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "gfk ${ARGN} failed (${code}):\n${out}\n${err}")
+  endif()
+endfunction()
+
+file(MAKE_DIRECTORY ${WORK})
+set(DS ${WORK}/ds.gfsz)
+set(FP ${WORK}/fp.gfsz)
+set(GRAPH ${WORK}/graph.gfsz)
+
+run_gfk(generate --dataset DBLP --scale 0.02 --out ${DS})
+run_gfk(stats --in ${DS})
+run_gfk(fingerprint --in ${DS} --bits 256 --out ${FP})
+run_gfk(knn --in ${DS} --algorithm kiff --mode native --k 5 --out ${GRAPH})
+run_gfk(recommend --in ${DS} --graph ${GRAPH} --user 0 --n 5)
+run_gfk(privacy --in ${DS} --bits 256)
+
+# Error paths must fail cleanly (non-zero exit, no crash).
+execute_process(COMMAND ${GFK} stats --in ${WORK}/missing.gfsz
+                RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "gfk stats on a missing file must fail")
+endif()
+execute_process(COMMAND ${GFK} knn --in ${DS} --algorithm bogus
+                RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "gfk knn with a bogus algorithm must fail")
+endif()
