@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_blip"
+  "../bench/bench_ablation_blip.pdb"
+  "CMakeFiles/bench_ablation_blip.dir/bench_ablation_blip.cc.o"
+  "CMakeFiles/bench_ablation_blip.dir/bench_ablation_blip.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_blip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

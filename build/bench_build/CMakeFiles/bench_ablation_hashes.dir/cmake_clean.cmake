@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_hashes"
+  "../bench/bench_ablation_hashes.pdb"
+  "CMakeFiles/bench_ablation_hashes.dir/bench_ablation_hashes.cc.o"
+  "CMakeFiles/bench_ablation_hashes.dir/bench_ablation_hashes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hashes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_multihash.cc" "bench_build/CMakeFiles/bench_ablation_multihash.dir/bench_ablation_multihash.cc.o" "gcc" "bench_build/CMakeFiles/bench_ablation_multihash.dir/bench_ablation_multihash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_build/CMakeFiles/gf_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/recommender/CMakeFiles/gf_recommender.dir/DependInfo.cmake"
+  "/root/repo/build/src/knn/CMakeFiles/gf_knn.dir/DependInfo.cmake"
+  "/root/repo/build/src/theory/CMakeFiles/gf_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/minhash/CMakeFiles/gf_minhash.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/gf_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gf_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_multihash"
+  "../bench/bench_ablation_multihash.pdb"
+  "CMakeFiles/bench_ablation_multihash.dir/bench_ablation_multihash.cc.o"
+  "CMakeFiles/bench_ablation_multihash.dir/bench_ablation_multihash.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multihash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_multihash.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_calibration"
+  "../bench/bench_extension_calibration.pdb"
+  "CMakeFiles/bench_extension_calibration.dir/bench_extension_calibration.cc.o"
+  "CMakeFiles/bench_extension_calibration.dir/bench_extension_calibration.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_incremental"
+  "../bench/bench_extension_incremental.pdb"
+  "CMakeFiles/bench_extension_incremental.dir/bench_extension_incremental.cc.o"
+  "CMakeFiles/bench_extension_incremental.dir/bench_extension_incremental.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_estimator_spread"
+  "../bench/bench_fig03_estimator_spread.pdb"
+  "CMakeFiles/bench_fig03_estimator_spread.dir/bench_fig03_estimator_spread.cc.o"
+  "CMakeFiles/bench_fig03_estimator_spread.dir/bench_fig03_estimator_spread.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_estimator_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_misordering"
+  "../bench/bench_fig04_misordering.pdb"
+  "CMakeFiles/bench_fig04_misordering.dir/bench_fig04_misordering.cc.o"
+  "CMakeFiles/bench_fig04_misordering.dir/bench_fig04_misordering.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_misordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_spread_vs_b"
+  "../bench/bench_fig05_spread_vs_b.pdb"
+  "CMakeFiles/bench_fig05_spread_vs_b.dir/bench_fig05_spread_vs_b.cc.o"
+  "CMakeFiles/bench_fig05_spread_vs_b.dir/bench_fig05_spread_vs_b.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_spread_vs_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_time_vs_quality"
+  "../bench/bench_fig10_time_vs_quality.pdb"
+  "CMakeFiles/bench_fig10_time_vs_quality.dir/bench_fig10_time_vs_quality.cc.o"
+  "CMakeFiles/bench_fig10_time_vs_quality.dir/bench_fig10_time_vs_quality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_time_vs_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_preparation"
+  "../bench/bench_table3_preparation.pdb"
+  "CMakeFiles/bench_table3_preparation.dir/bench_table3_preparation.cc.o"
+  "CMakeFiles/bench_table3_preparation.dir/bench_table3_preparation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_preparation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_bench_util.dir/util/bench_env.cc.o"
+  "CMakeFiles/gf_bench_util.dir/util/bench_env.cc.o.d"
+  "libgf_bench_util.a"
+  "libgf_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

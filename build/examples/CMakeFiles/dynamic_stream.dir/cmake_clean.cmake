@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_stream.dir/dynamic_stream.cpp.o"
+  "CMakeFiles/dynamic_stream.dir/dynamic_stream.cpp.o.d"
+  "dynamic_stream"
+  "dynamic_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_knn.dir/private_knn.cpp.o"
+  "CMakeFiles/private_knn.dir/private_knn.cpp.o.d"
+  "private_knn"
+  "private_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

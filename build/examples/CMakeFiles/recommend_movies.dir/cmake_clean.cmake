@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommend_movies.dir/recommend_movies.cpp.o"
+  "CMakeFiles/recommend_movies.dir/recommend_movies.cpp.o.d"
+  "recommend_movies"
+  "recommend_movies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommend_movies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visitor_query.dir/visitor_query.cpp.o"
+  "CMakeFiles/visitor_query.dir/visitor_query.cpp.o.d"
+  "visitor_query"
+  "visitor_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visitor_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_common.dir/status.cc.o"
+  "CMakeFiles/gf_common.dir/status.cc.o.d"
+  "CMakeFiles/gf_common.dir/thread_pool.cc.o"
+  "CMakeFiles/gf_common.dir/thread_pool.cc.o.d"
+  "libgf_common.a"
+  "libgf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/blip.cc" "src/core/CMakeFiles/gf_core.dir/blip.cc.o" "gcc" "src/core/CMakeFiles/gf_core.dir/blip.cc.o.d"
+  "/root/repo/src/core/counting_shf.cc" "src/core/CMakeFiles/gf_core.dir/counting_shf.cc.o" "gcc" "src/core/CMakeFiles/gf_core.dir/counting_shf.cc.o.d"
+  "/root/repo/src/core/fingerprint_store.cc" "src/core/CMakeFiles/gf_core.dir/fingerprint_store.cc.o" "gcc" "src/core/CMakeFiles/gf_core.dir/fingerprint_store.cc.o.d"
+  "/root/repo/src/core/fingerprinter.cc" "src/core/CMakeFiles/gf_core.dir/fingerprinter.cc.o" "gcc" "src/core/CMakeFiles/gf_core.dir/fingerprinter.cc.o.d"
+  "/root/repo/src/core/privacy.cc" "src/core/CMakeFiles/gf_core.dir/privacy.cc.o" "gcc" "src/core/CMakeFiles/gf_core.dir/privacy.cc.o.d"
+  "/root/repo/src/core/shf.cc" "src/core/CMakeFiles/gf_core.dir/shf.cc.o" "gcc" "src/core/CMakeFiles/gf_core.dir/shf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gf_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/gf_dataset.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_core.dir/blip.cc.o"
+  "CMakeFiles/gf_core.dir/blip.cc.o.d"
+  "CMakeFiles/gf_core.dir/counting_shf.cc.o"
+  "CMakeFiles/gf_core.dir/counting_shf.cc.o.d"
+  "CMakeFiles/gf_core.dir/fingerprint_store.cc.o"
+  "CMakeFiles/gf_core.dir/fingerprint_store.cc.o.d"
+  "CMakeFiles/gf_core.dir/fingerprinter.cc.o"
+  "CMakeFiles/gf_core.dir/fingerprinter.cc.o.d"
+  "CMakeFiles/gf_core.dir/privacy.cc.o"
+  "CMakeFiles/gf_core.dir/privacy.cc.o.d"
+  "CMakeFiles/gf_core.dir/shf.cc.o"
+  "CMakeFiles/gf_core.dir/shf.cc.o.d"
+  "libgf_core.a"
+  "libgf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

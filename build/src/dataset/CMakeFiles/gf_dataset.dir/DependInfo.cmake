@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/cross_validation.cc" "src/dataset/CMakeFiles/gf_dataset.dir/cross_validation.cc.o" "gcc" "src/dataset/CMakeFiles/gf_dataset.dir/cross_validation.cc.o.d"
+  "/root/repo/src/dataset/dataset.cc" "src/dataset/CMakeFiles/gf_dataset.dir/dataset.cc.o" "gcc" "src/dataset/CMakeFiles/gf_dataset.dir/dataset.cc.o.d"
+  "/root/repo/src/dataset/histograms.cc" "src/dataset/CMakeFiles/gf_dataset.dir/histograms.cc.o" "gcc" "src/dataset/CMakeFiles/gf_dataset.dir/histograms.cc.o.d"
+  "/root/repo/src/dataset/loader.cc" "src/dataset/CMakeFiles/gf_dataset.dir/loader.cc.o" "gcc" "src/dataset/CMakeFiles/gf_dataset.dir/loader.cc.o.d"
+  "/root/repo/src/dataset/profile_sampling.cc" "src/dataset/CMakeFiles/gf_dataset.dir/profile_sampling.cc.o" "gcc" "src/dataset/CMakeFiles/gf_dataset.dir/profile_sampling.cc.o.d"
+  "/root/repo/src/dataset/synthetic.cc" "src/dataset/CMakeFiles/gf_dataset.dir/synthetic.cc.o" "gcc" "src/dataset/CMakeFiles/gf_dataset.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

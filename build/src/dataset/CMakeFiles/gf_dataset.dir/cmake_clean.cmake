@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_dataset.dir/cross_validation.cc.o"
+  "CMakeFiles/gf_dataset.dir/cross_validation.cc.o.d"
+  "CMakeFiles/gf_dataset.dir/dataset.cc.o"
+  "CMakeFiles/gf_dataset.dir/dataset.cc.o.d"
+  "CMakeFiles/gf_dataset.dir/histograms.cc.o"
+  "CMakeFiles/gf_dataset.dir/histograms.cc.o.d"
+  "CMakeFiles/gf_dataset.dir/loader.cc.o"
+  "CMakeFiles/gf_dataset.dir/loader.cc.o.d"
+  "CMakeFiles/gf_dataset.dir/profile_sampling.cc.o"
+  "CMakeFiles/gf_dataset.dir/profile_sampling.cc.o.d"
+  "CMakeFiles/gf_dataset.dir/synthetic.cc.o"
+  "CMakeFiles/gf_dataset.dir/synthetic.cc.o.d"
+  "libgf_dataset.a"
+  "libgf_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

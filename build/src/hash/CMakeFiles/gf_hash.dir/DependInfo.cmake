@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/jenkins.cc" "src/hash/CMakeFiles/gf_hash.dir/jenkins.cc.o" "gcc" "src/hash/CMakeFiles/gf_hash.dir/jenkins.cc.o.d"
+  "/root/repo/src/hash/murmur3.cc" "src/hash/CMakeFiles/gf_hash.dir/murmur3.cc.o" "gcc" "src/hash/CMakeFiles/gf_hash.dir/murmur3.cc.o.d"
+  "/root/repo/src/hash/xxhash.cc" "src/hash/CMakeFiles/gf_hash.dir/xxhash.cc.o" "gcc" "src/hash/CMakeFiles/gf_hash.dir/xxhash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_hash.dir/jenkins.cc.o"
+  "CMakeFiles/gf_hash.dir/jenkins.cc.o.d"
+  "CMakeFiles/gf_hash.dir/murmur3.cc.o"
+  "CMakeFiles/gf_hash.dir/murmur3.cc.o.d"
+  "CMakeFiles/gf_hash.dir/xxhash.cc.o"
+  "CMakeFiles/gf_hash.dir/xxhash.cc.o.d"
+  "libgf_hash.a"
+  "libgf_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

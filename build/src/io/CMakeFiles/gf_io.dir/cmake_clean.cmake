@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_io.dir/crc32.cc.o"
+  "CMakeFiles/gf_io.dir/crc32.cc.o.d"
+  "CMakeFiles/gf_io.dir/serialization.cc.o"
+  "CMakeFiles/gf_io.dir/serialization.cc.o.d"
+  "libgf_io.a"
+  "libgf_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

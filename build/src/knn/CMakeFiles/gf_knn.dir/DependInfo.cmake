@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/knn/builder.cc" "src/knn/CMakeFiles/gf_knn.dir/builder.cc.o" "gcc" "src/knn/CMakeFiles/gf_knn.dir/builder.cc.o.d"
+  "/root/repo/src/knn/graph.cc" "src/knn/CMakeFiles/gf_knn.dir/graph.cc.o" "gcc" "src/knn/CMakeFiles/gf_knn.dir/graph.cc.o.d"
+  "/root/repo/src/knn/graph_metrics.cc" "src/knn/CMakeFiles/gf_knn.dir/graph_metrics.cc.o" "gcc" "src/knn/CMakeFiles/gf_knn.dir/graph_metrics.cc.o.d"
+  "/root/repo/src/knn/quality.cc" "src/knn/CMakeFiles/gf_knn.dir/quality.cc.o" "gcc" "src/knn/CMakeFiles/gf_knn.dir/quality.cc.o.d"
+  "/root/repo/src/knn/query.cc" "src/knn/CMakeFiles/gf_knn.dir/query.cc.o" "gcc" "src/knn/CMakeFiles/gf_knn.dir/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/gf_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/minhash/CMakeFiles/gf_minhash.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gf_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

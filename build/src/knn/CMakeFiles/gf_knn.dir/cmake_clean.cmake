@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_knn.dir/builder.cc.o"
+  "CMakeFiles/gf_knn.dir/builder.cc.o.d"
+  "CMakeFiles/gf_knn.dir/graph.cc.o"
+  "CMakeFiles/gf_knn.dir/graph.cc.o.d"
+  "CMakeFiles/gf_knn.dir/graph_metrics.cc.o"
+  "CMakeFiles/gf_knn.dir/graph_metrics.cc.o.d"
+  "CMakeFiles/gf_knn.dir/quality.cc.o"
+  "CMakeFiles/gf_knn.dir/quality.cc.o.d"
+  "CMakeFiles/gf_knn.dir/query.cc.o"
+  "CMakeFiles/gf_knn.dir/query.cc.o.d"
+  "libgf_knn.a"
+  "libgf_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minhash/bbit_minhash.cc" "src/minhash/CMakeFiles/gf_minhash.dir/bbit_minhash.cc.o" "gcc" "src/minhash/CMakeFiles/gf_minhash.dir/bbit_minhash.cc.o.d"
+  "/root/repo/src/minhash/permutation.cc" "src/minhash/CMakeFiles/gf_minhash.dir/permutation.cc.o" "gcc" "src/minhash/CMakeFiles/gf_minhash.dir/permutation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gf_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/gf_dataset.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

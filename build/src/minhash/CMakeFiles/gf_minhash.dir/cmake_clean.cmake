@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_minhash.dir/bbit_minhash.cc.o"
+  "CMakeFiles/gf_minhash.dir/bbit_minhash.cc.o.d"
+  "CMakeFiles/gf_minhash.dir/permutation.cc.o"
+  "CMakeFiles/gf_minhash.dir/permutation.cc.o.d"
+  "libgf_minhash.a"
+  "libgf_minhash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_minhash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

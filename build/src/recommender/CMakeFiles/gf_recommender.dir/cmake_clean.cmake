@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_recommender.dir/evaluation.cc.o"
+  "CMakeFiles/gf_recommender.dir/evaluation.cc.o.d"
+  "CMakeFiles/gf_recommender.dir/recommender.cc.o"
+  "CMakeFiles/gf_recommender.dir/recommender.cc.o.d"
+  "libgf_recommender.a"
+  "libgf_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/theory/approximation.cc" "src/theory/CMakeFiles/gf_theory.dir/approximation.cc.o" "gcc" "src/theory/CMakeFiles/gf_theory.dir/approximation.cc.o.d"
+  "/root/repo/src/theory/calibration.cc" "src/theory/CMakeFiles/gf_theory.dir/calibration.cc.o" "gcc" "src/theory/CMakeFiles/gf_theory.dir/calibration.cc.o.d"
+  "/root/repo/src/theory/estimator_distribution.cc" "src/theory/CMakeFiles/gf_theory.dir/estimator_distribution.cc.o" "gcc" "src/theory/CMakeFiles/gf_theory.dir/estimator_distribution.cc.o.d"
+  "/root/repo/src/theory/log_combinatorics.cc" "src/theory/CMakeFiles/gf_theory.dir/log_combinatorics.cc.o" "gcc" "src/theory/CMakeFiles/gf_theory.dir/log_combinatorics.cc.o.d"
+  "/root/repo/src/theory/occupancy.cc" "src/theory/CMakeFiles/gf_theory.dir/occupancy.cc.o" "gcc" "src/theory/CMakeFiles/gf_theory.dir/occupancy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_theory.dir/approximation.cc.o"
+  "CMakeFiles/gf_theory.dir/approximation.cc.o.d"
+  "CMakeFiles/gf_theory.dir/calibration.cc.o"
+  "CMakeFiles/gf_theory.dir/calibration.cc.o.d"
+  "CMakeFiles/gf_theory.dir/estimator_distribution.cc.o"
+  "CMakeFiles/gf_theory.dir/estimator_distribution.cc.o.d"
+  "CMakeFiles/gf_theory.dir/log_combinatorics.cc.o"
+  "CMakeFiles/gf_theory.dir/log_combinatorics.cc.o.d"
+  "CMakeFiles/gf_theory.dir/occupancy.cc.o"
+  "CMakeFiles/gf_theory.dir/occupancy.cc.o.d"
+  "libgf_theory.a"
+  "libgf_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

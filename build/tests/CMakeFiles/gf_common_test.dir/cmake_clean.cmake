@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_common_test.dir/common/access_counter_test.cc.o"
+  "CMakeFiles/gf_common_test.dir/common/access_counter_test.cc.o.d"
+  "CMakeFiles/gf_common_test.dir/common/bit_util_test.cc.o"
+  "CMakeFiles/gf_common_test.dir/common/bit_util_test.cc.o.d"
+  "CMakeFiles/gf_common_test.dir/common/flags_test.cc.o"
+  "CMakeFiles/gf_common_test.dir/common/flags_test.cc.o.d"
+  "CMakeFiles/gf_common_test.dir/common/misc_test.cc.o"
+  "CMakeFiles/gf_common_test.dir/common/misc_test.cc.o.d"
+  "CMakeFiles/gf_common_test.dir/common/random_test.cc.o"
+  "CMakeFiles/gf_common_test.dir/common/random_test.cc.o.d"
+  "CMakeFiles/gf_common_test.dir/common/result_test.cc.o"
+  "CMakeFiles/gf_common_test.dir/common/result_test.cc.o.d"
+  "CMakeFiles/gf_common_test.dir/common/status_test.cc.o"
+  "CMakeFiles/gf_common_test.dir/common/status_test.cc.o.d"
+  "CMakeFiles/gf_common_test.dir/common/thread_pool_test.cc.o"
+  "CMakeFiles/gf_common_test.dir/common/thread_pool_test.cc.o.d"
+  "gf_common_test"
+  "gf_common_test.pdb"
+  "gf_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/blip_test.cc" "tests/CMakeFiles/gf_core_test.dir/core/blip_test.cc.o" "gcc" "tests/CMakeFiles/gf_core_test.dir/core/blip_test.cc.o.d"
+  "/root/repo/tests/core/cosine_test.cc" "tests/CMakeFiles/gf_core_test.dir/core/cosine_test.cc.o" "gcc" "tests/CMakeFiles/gf_core_test.dir/core/cosine_test.cc.o.d"
+  "/root/repo/tests/core/counting_shf_test.cc" "tests/CMakeFiles/gf_core_test.dir/core/counting_shf_test.cc.o" "gcc" "tests/CMakeFiles/gf_core_test.dir/core/counting_shf_test.cc.o.d"
+  "/root/repo/tests/core/fingerprint_store_test.cc" "tests/CMakeFiles/gf_core_test.dir/core/fingerprint_store_test.cc.o" "gcc" "tests/CMakeFiles/gf_core_test.dir/core/fingerprint_store_test.cc.o.d"
+  "/root/repo/tests/core/fingerprinter_test.cc" "tests/CMakeFiles/gf_core_test.dir/core/fingerprinter_test.cc.o" "gcc" "tests/CMakeFiles/gf_core_test.dir/core/fingerprinter_test.cc.o.d"
+  "/root/repo/tests/core/privacy_test.cc" "tests/CMakeFiles/gf_core_test.dir/core/privacy_test.cc.o" "gcc" "tests/CMakeFiles/gf_core_test.dir/core/privacy_test.cc.o.d"
+  "/root/repo/tests/core/shf_test.cc" "tests/CMakeFiles/gf_core_test.dir/core/shf_test.cc.o" "gcc" "tests/CMakeFiles/gf_core_test.dir/core/shf_test.cc.o.d"
+  "/root/repo/tests/core/similarity_test.cc" "tests/CMakeFiles/gf_core_test.dir/core/similarity_test.cc.o" "gcc" "tests/CMakeFiles/gf_core_test.dir/core/similarity_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/recommender/CMakeFiles/gf_recommender.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/gf_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/knn/CMakeFiles/gf_knn.dir/DependInfo.cmake"
+  "/root/repo/build/src/theory/CMakeFiles/gf_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/minhash/CMakeFiles/gf_minhash.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/gf_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gf_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_core_test.dir/core/blip_test.cc.o"
+  "CMakeFiles/gf_core_test.dir/core/blip_test.cc.o.d"
+  "CMakeFiles/gf_core_test.dir/core/cosine_test.cc.o"
+  "CMakeFiles/gf_core_test.dir/core/cosine_test.cc.o.d"
+  "CMakeFiles/gf_core_test.dir/core/counting_shf_test.cc.o"
+  "CMakeFiles/gf_core_test.dir/core/counting_shf_test.cc.o.d"
+  "CMakeFiles/gf_core_test.dir/core/fingerprint_store_test.cc.o"
+  "CMakeFiles/gf_core_test.dir/core/fingerprint_store_test.cc.o.d"
+  "CMakeFiles/gf_core_test.dir/core/fingerprinter_test.cc.o"
+  "CMakeFiles/gf_core_test.dir/core/fingerprinter_test.cc.o.d"
+  "CMakeFiles/gf_core_test.dir/core/privacy_test.cc.o"
+  "CMakeFiles/gf_core_test.dir/core/privacy_test.cc.o.d"
+  "CMakeFiles/gf_core_test.dir/core/shf_test.cc.o"
+  "CMakeFiles/gf_core_test.dir/core/shf_test.cc.o.d"
+  "CMakeFiles/gf_core_test.dir/core/similarity_test.cc.o"
+  "CMakeFiles/gf_core_test.dir/core/similarity_test.cc.o.d"
+  "gf_core_test"
+  "gf_core_test.pdb"
+  "gf_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

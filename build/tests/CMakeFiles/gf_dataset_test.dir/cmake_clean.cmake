@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_dataset_test.dir/dataset/cross_validation_test.cc.o"
+  "CMakeFiles/gf_dataset_test.dir/dataset/cross_validation_test.cc.o.d"
+  "CMakeFiles/gf_dataset_test.dir/dataset/dataset_test.cc.o"
+  "CMakeFiles/gf_dataset_test.dir/dataset/dataset_test.cc.o.d"
+  "CMakeFiles/gf_dataset_test.dir/dataset/histograms_test.cc.o"
+  "CMakeFiles/gf_dataset_test.dir/dataset/histograms_test.cc.o.d"
+  "CMakeFiles/gf_dataset_test.dir/dataset/loader_test.cc.o"
+  "CMakeFiles/gf_dataset_test.dir/dataset/loader_test.cc.o.d"
+  "CMakeFiles/gf_dataset_test.dir/dataset/profile_sampling_test.cc.o"
+  "CMakeFiles/gf_dataset_test.dir/dataset/profile_sampling_test.cc.o.d"
+  "CMakeFiles/gf_dataset_test.dir/dataset/synthetic_test.cc.o"
+  "CMakeFiles/gf_dataset_test.dir/dataset/synthetic_test.cc.o.d"
+  "gf_dataset_test"
+  "gf_dataset_test.pdb"
+  "gf_dataset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

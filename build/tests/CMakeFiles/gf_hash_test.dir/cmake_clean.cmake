@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_hash_test.dir/hash/jenkins_test.cc.o"
+  "CMakeFiles/gf_hash_test.dir/hash/jenkins_test.cc.o.d"
+  "CMakeFiles/gf_hash_test.dir/hash/murmur3_test.cc.o"
+  "CMakeFiles/gf_hash_test.dir/hash/murmur3_test.cc.o.d"
+  "CMakeFiles/gf_hash_test.dir/hash/universal_hash_test.cc.o"
+  "CMakeFiles/gf_hash_test.dir/hash/universal_hash_test.cc.o.d"
+  "CMakeFiles/gf_hash_test.dir/hash/xxhash_test.cc.o"
+  "CMakeFiles/gf_hash_test.dir/hash/xxhash_test.cc.o.d"
+  "gf_hash_test"
+  "gf_hash_test.pdb"
+  "gf_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_integration_test.dir/integration/invariants_test.cc.o"
+  "CMakeFiles/gf_integration_test.dir/integration/invariants_test.cc.o.d"
+  "CMakeFiles/gf_integration_test.dir/integration/pipeline_test.cc.o"
+  "CMakeFiles/gf_integration_test.dir/integration/pipeline_test.cc.o.d"
+  "CMakeFiles/gf_integration_test.dir/integration/robustness_test.cc.o"
+  "CMakeFiles/gf_integration_test.dir/integration/robustness_test.cc.o.d"
+  "gf_integration_test"
+  "gf_integration_test.pdb"
+  "gf_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_io_test.dir/io/crc32_test.cc.o"
+  "CMakeFiles/gf_io_test.dir/io/crc32_test.cc.o.d"
+  "CMakeFiles/gf_io_test.dir/io/serialization_test.cc.o"
+  "CMakeFiles/gf_io_test.dir/io/serialization_test.cc.o.d"
+  "gf_io_test"
+  "gf_io_test.pdb"
+  "gf_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

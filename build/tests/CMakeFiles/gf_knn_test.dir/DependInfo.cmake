@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/knn/banded_lsh_test.cc" "tests/CMakeFiles/gf_knn_test.dir/knn/banded_lsh_test.cc.o" "gcc" "tests/CMakeFiles/gf_knn_test.dir/knn/banded_lsh_test.cc.o.d"
+  "/root/repo/tests/knn/bisection_test.cc" "tests/CMakeFiles/gf_knn_test.dir/knn/bisection_test.cc.o" "gcc" "tests/CMakeFiles/gf_knn_test.dir/knn/bisection_test.cc.o.d"
+  "/root/repo/tests/knn/brute_force_test.cc" "tests/CMakeFiles/gf_knn_test.dir/knn/brute_force_test.cc.o" "gcc" "tests/CMakeFiles/gf_knn_test.dir/knn/brute_force_test.cc.o.d"
+  "/root/repo/tests/knn/builder_metric_test.cc" "tests/CMakeFiles/gf_knn_test.dir/knn/builder_metric_test.cc.o" "gcc" "tests/CMakeFiles/gf_knn_test.dir/knn/builder_metric_test.cc.o.d"
+  "/root/repo/tests/knn/builder_test.cc" "tests/CMakeFiles/gf_knn_test.dir/knn/builder_test.cc.o" "gcc" "tests/CMakeFiles/gf_knn_test.dir/knn/builder_test.cc.o.d"
+  "/root/repo/tests/knn/graph_metrics_test.cc" "tests/CMakeFiles/gf_knn_test.dir/knn/graph_metrics_test.cc.o" "gcc" "tests/CMakeFiles/gf_knn_test.dir/knn/graph_metrics_test.cc.o.d"
+  "/root/repo/tests/knn/graph_test.cc" "tests/CMakeFiles/gf_knn_test.dir/knn/graph_test.cc.o" "gcc" "tests/CMakeFiles/gf_knn_test.dir/knn/graph_test.cc.o.d"
+  "/root/repo/tests/knn/hyrec_test.cc" "tests/CMakeFiles/gf_knn_test.dir/knn/hyrec_test.cc.o" "gcc" "tests/CMakeFiles/gf_knn_test.dir/knn/hyrec_test.cc.o.d"
+  "/root/repo/tests/knn/incremental_test.cc" "tests/CMakeFiles/gf_knn_test.dir/knn/incremental_test.cc.o" "gcc" "tests/CMakeFiles/gf_knn_test.dir/knn/incremental_test.cc.o.d"
+  "/root/repo/tests/knn/kiff_test.cc" "tests/CMakeFiles/gf_knn_test.dir/knn/kiff_test.cc.o" "gcc" "tests/CMakeFiles/gf_knn_test.dir/knn/kiff_test.cc.o.d"
+  "/root/repo/tests/knn/lsh_test.cc" "tests/CMakeFiles/gf_knn_test.dir/knn/lsh_test.cc.o" "gcc" "tests/CMakeFiles/gf_knn_test.dir/knn/lsh_test.cc.o.d"
+  "/root/repo/tests/knn/nndescent_test.cc" "tests/CMakeFiles/gf_knn_test.dir/knn/nndescent_test.cc.o" "gcc" "tests/CMakeFiles/gf_knn_test.dir/knn/nndescent_test.cc.o.d"
+  "/root/repo/tests/knn/quality_test.cc" "tests/CMakeFiles/gf_knn_test.dir/knn/quality_test.cc.o" "gcc" "tests/CMakeFiles/gf_knn_test.dir/knn/quality_test.cc.o.d"
+  "/root/repo/tests/knn/query_test.cc" "tests/CMakeFiles/gf_knn_test.dir/knn/query_test.cc.o" "gcc" "tests/CMakeFiles/gf_knn_test.dir/knn/query_test.cc.o.d"
+  "/root/repo/tests/knn/stats_test.cc" "tests/CMakeFiles/gf_knn_test.dir/knn/stats_test.cc.o" "gcc" "tests/CMakeFiles/gf_knn_test.dir/knn/stats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/recommender/CMakeFiles/gf_recommender.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/gf_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/knn/CMakeFiles/gf_knn.dir/DependInfo.cmake"
+  "/root/repo/build/src/theory/CMakeFiles/gf_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/minhash/CMakeFiles/gf_minhash.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/gf_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/gf_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_minhash_test.dir/minhash/bbit_minhash_test.cc.o"
+  "CMakeFiles/gf_minhash_test.dir/minhash/bbit_minhash_test.cc.o.d"
+  "CMakeFiles/gf_minhash_test.dir/minhash/permutation_test.cc.o"
+  "CMakeFiles/gf_minhash_test.dir/minhash/permutation_test.cc.o.d"
+  "gf_minhash_test"
+  "gf_minhash_test.pdb"
+  "gf_minhash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_minhash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

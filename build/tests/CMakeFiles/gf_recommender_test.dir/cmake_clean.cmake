@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_recommender_test.dir/recommender/evaluation_test.cc.o"
+  "CMakeFiles/gf_recommender_test.dir/recommender/evaluation_test.cc.o.d"
+  "CMakeFiles/gf_recommender_test.dir/recommender/recommender_test.cc.o"
+  "CMakeFiles/gf_recommender_test.dir/recommender/recommender_test.cc.o.d"
+  "gf_recommender_test"
+  "gf_recommender_test.pdb"
+  "gf_recommender_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_recommender_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_theory_test.dir/theory/approximation_test.cc.o"
+  "CMakeFiles/gf_theory_test.dir/theory/approximation_test.cc.o.d"
+  "CMakeFiles/gf_theory_test.dir/theory/calibration_test.cc.o"
+  "CMakeFiles/gf_theory_test.dir/theory/calibration_test.cc.o.d"
+  "CMakeFiles/gf_theory_test.dir/theory/estimator_distribution_test.cc.o"
+  "CMakeFiles/gf_theory_test.dir/theory/estimator_distribution_test.cc.o.d"
+  "CMakeFiles/gf_theory_test.dir/theory/log_combinatorics_test.cc.o"
+  "CMakeFiles/gf_theory_test.dir/theory/log_combinatorics_test.cc.o.d"
+  "CMakeFiles/gf_theory_test.dir/theory/occupancy_test.cc.o"
+  "CMakeFiles/gf_theory_test.dir/theory/occupancy_test.cc.o.d"
+  "gf_theory_test"
+  "gf_theory_test.pdb"
+  "gf_theory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_theory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

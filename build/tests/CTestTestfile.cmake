@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gf_common_test[1]_include.cmake")
+include("/root/repo/build/tests/gf_hash_test[1]_include.cmake")
+include("/root/repo/build/tests/gf_dataset_test[1]_include.cmake")
+include("/root/repo/build/tests/gf_core_test[1]_include.cmake")
+include("/root/repo/build/tests/gf_theory_test[1]_include.cmake")
+include("/root/repo/build/tests/gf_minhash_test[1]_include.cmake")
+include("/root/repo/build/tests/gf_knn_test[1]_include.cmake")
+include("/root/repo/build/tests/gf_recommender_test[1]_include.cmake")
+include("/root/repo/build/tests/gf_io_test[1]_include.cmake")
+include("/root/repo/build/tests/gf_integration_test[1]_include.cmake")

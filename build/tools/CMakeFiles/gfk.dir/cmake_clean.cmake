@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfk.dir/gfk.cc.o"
+  "CMakeFiles/gfk.dir/gfk.cc.o.d"
+  "gfk"
+  "gfk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
