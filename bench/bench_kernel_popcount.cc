@@ -1,0 +1,120 @@
+// Kernel microbenchmark: throughput of the Eq. 4 AND+popcount hot path
+// in its three shapes — per-pair scalar (bits::AndPopCount, the
+// original inner loop), batched scalar, and batched SIMD (the
+// runtime-dispatched backend) — at b in {64, 1024, 4096}, for both the
+// contiguous-tile layout (BruteForceKnn's scan) and the gathered-id
+// layout (Hyrec / NNDescent candidate sets). The headline number is the
+// batched-SIMD vs per-pair-scalar speedup at b = 1024.
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/random.h"
+#include "common/simd_popcount.h"
+#include "common/timer.h"
+#include "util/bench_env.h"
+
+namespace {
+
+using gf::Rng;
+using gf::WallTimer;
+
+constexpr std::size_t kRows = 4096;  // candidate fingerprints per pass
+
+struct Workload {
+  std::size_t words = 0;
+  std::vector<uint64_t> query;
+  std::vector<uint64_t> rows;      // kRows x words, row-major
+  std::vector<uint32_t> gather;    // shuffled id list over the rows
+};
+
+Workload MakeWorkload(std::size_t bits, Rng& rng) {
+  Workload w;
+  w.words = gf::bits::WordsForBits(bits);
+  w.query.resize(w.words);
+  w.rows.resize(kRows * w.words);
+  for (auto& word : w.query) word = rng.Next();
+  for (auto& word : w.rows) word = rng.Next();
+  w.gather.resize(kRows);
+  for (std::size_t i = 0; i < kRows; ++i) {
+    w.gather[i] = static_cast<uint32_t>(i);
+  }
+  rng.Shuffle(w.gather);
+  return w;
+}
+
+// Runs `fn` (one full pass over kRows candidates, returning a checksum)
+// until ~0.2 s elapsed; returns mean ns per candidate pair.
+template <typename Fn>
+double MeasureNsPerPair(Fn&& fn) {
+  uint64_t sink = 0;
+  std::size_t passes = 0;
+  WallTimer timer;
+  do {
+    sink += fn();
+    ++passes;
+  } while (timer.ElapsedSeconds() < 0.2);
+  const double ns = timer.ElapsedNanos() /
+                    (static_cast<double>(passes) * static_cast<double>(kRows));
+  if (sink == 0x13) std::printf("?");  // defeat dead-code elimination
+  return ns;
+}
+
+}  // namespace
+
+int main() {
+  gf::bench::PrintHeader(
+      "Kernel: batched SIMD AND+popcount vs per-pair scalar (Eq. 4)",
+      "acceptance: batched SIMD >= 2x per-pair scalar at b = 1024; "
+      "all backends are bit-exact, only throughput differs");
+
+  std::printf("dispatched backend: %s\n\n",
+              gf::bits::PopcountBackendName(gf::bits::ActivePopcountBackend()));
+  std::printf("%-8s %14s %14s %14s %14s %10s\n", "b", "per-pair ns",
+              "tile-scalar ns", "tile-simd ns", "gather-simd ns", "speedup");
+
+  Rng rng(2026);
+  std::vector<uint32_t> counts(kRows);
+  for (const std::size_t bits : {64ul, 1024ul, 4096ul}) {
+    const Workload w = MakeWorkload(bits, rng);
+
+    const double per_pair_ns = MeasureNsPerPair([&] {
+      uint64_t sum = 0;
+      for (std::size_t r = 0; r < kRows; ++r) {
+        sum += gf::bits::AndPopCount(w.query.data(),
+                                     w.rows.data() + r * w.words, w.words);
+      }
+      return sum;
+    });
+
+    const double tile_scalar_ns = MeasureNsPerPair([&] {
+      gf::bits::detail::AndPopCountTileScalar(w.query.data(), w.rows.data(),
+                                              kRows, w.words, counts.data());
+      return static_cast<uint64_t>(counts[kRows - 1]);
+    });
+
+    const double tile_simd_ns = MeasureNsPerPair([&] {
+      gf::bits::AndPopCountTile(w.query.data(), w.rows.data(), kRows,
+                                w.words, counts.data());
+      return static_cast<uint64_t>(counts[kRows - 1]);
+    });
+
+    const double gather_simd_ns = MeasureNsPerPair([&] {
+      gf::bits::AndPopCountBatch(w.query.data(), w.rows.data(), w.words,
+                                 w.gather.data(), kRows, counts.data());
+      return static_cast<uint64_t>(counts[kRows - 1]);
+    });
+
+    std::printf("%-8zu %14.2f %14.2f %14.2f %14.2f %9.1fx\n", bits,
+                per_pair_ns, tile_scalar_ns, tile_simd_ns, gather_simd_ns,
+                per_pair_ns / tile_simd_ns);
+  }
+
+  std::printf(
+      "\nspeedup column = per-pair scalar / batched SIMD tile; the same\n"
+      "kernel backs FingerprintStore::EstimateJaccardBatch/Tile and the\n"
+      "ScoreBatch/ScoreTile provider interface the KNN algorithms use.\n");
+  return 0;
+}

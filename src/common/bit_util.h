@@ -6,6 +6,7 @@
 #define GF_COMMON_BIT_UTIL_H_
 
 #include <bit>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -70,8 +71,13 @@ inline uint32_t OrPopCount(const uint64_t* a, const uint64_t* b,
 }
 
 /// Index (0-based) of the `rank`-th set bit of `w` (rank 0 = lowest set
-/// bit). Precondition: popcount(w) > rank.
+/// bit). Precondition: popcount(w) > rank — violations trip this debug
+/// assert; release builds return 64, which is out of range for any bit
+/// index, so callers must never use the result without honouring the
+/// precondition.
 inline unsigned SelectBit(uint64_t w, unsigned rank) {
+  assert(rank < static_cast<unsigned>(std::popcount(w)) &&
+         "SelectBit: rank must be < popcount(w)");
   for (unsigned i = 0; i < rank; ++i) w &= w - 1;  // clear lowest set bits
   return static_cast<unsigned>(std::countr_zero(w));
 }

@@ -1,0 +1,247 @@
+#include "common/simd_popcount.h"
+
+#include <bit>
+
+// The AVX2 backend is compiled with per-function target attributes (no
+// global -mavx2), so the library still runs on pre-AVX2 machines: the
+// dispatcher simply never takes the AVX2 branch there. Non-x86 builds
+// compile only the scalar backend.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define GF_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define GF_SIMD_X86 0
+#endif
+
+namespace gf::bits {
+namespace detail {
+
+namespace {
+
+inline uint32_t AndPopCountRowScalar(const uint64_t* a, const uint64_t* b,
+                                     std::size_t words) {
+  uint32_t total = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    total += static_cast<uint32_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+}  // namespace
+
+void AndPopCountTileScalar(const uint64_t* query, const uint64_t* tile,
+                           std::size_t n_rows, std::size_t words_per_row,
+                           uint32_t* out_counts) {
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    out_counts[r] =
+        AndPopCountRowScalar(query, tile + r * words_per_row, words_per_row);
+  }
+}
+
+void AndPopCountBatchScalar(const uint64_t* query, const uint64_t* base,
+                            std::size_t words_per_row,
+                            const uint32_t* row_ids, std::size_t n_rows,
+                            uint32_t* out_counts) {
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    const uint64_t* row =
+        base + static_cast<std::size_t>(row_ids[r]) * words_per_row;
+    out_counts[r] = AndPopCountRowScalar(query, row, words_per_row);
+  }
+}
+
+#if GF_SIMD_X86
+
+namespace {
+
+// Per-byte popcount of a 32-byte vector via the classic vpshufb nibble
+// LUT (each nibble indexes its popcount in the table).
+__attribute__((target("avx2"))) inline __m256i PopcountBytes(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+// popcount(a AND b) over one row of `words` words. Byte counters are
+// accumulated across up to 31 vectors (31 * 8 = 248 < 255, no overflow)
+// before widening with vpsadbw; the <4-word tail is scalar.
+__attribute__((target("avx2"))) inline uint32_t AndPopCountRowAvx2(
+    const uint64_t* a, const uint64_t* b, std::size_t words) {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc64 = zero;
+  std::size_t i = 0;
+  while (i + 4 <= words) {
+    std::size_t vectors = (words - i) / 4;
+    if (vectors > 31) vectors = 31;
+    __m256i acc8 = zero;
+    for (std::size_t v = 0; v < vectors; ++v, i += 4) {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+      acc8 = _mm256_add_epi8(acc8, PopcountBytes(_mm256_and_si256(va, vb)));
+    }
+    acc64 = _mm256_add_epi64(acc64, _mm256_sad_epu8(acc8, zero));
+  }
+  uint64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc64);
+  uint32_t total =
+      static_cast<uint32_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+  for (; i < words; ++i) {
+    total += static_cast<uint32_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+// words_per_row == 1 tile specialization (b = 64): four consecutive
+// rows fit one vector, and vpsadbw's per-64-bit-lane sums are exactly
+// the four per-row counts.
+__attribute__((target("avx2"))) void AndPopCountTileAvx2Words1(
+    const uint64_t* query, const uint64_t* tile, std::size_t n_rows,
+    uint32_t* out_counts) {
+  const __m256i q = _mm256_set1_epi64x(static_cast<long long>(query[0]));
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t r = 0;
+  for (; r + 4 <= n_rows; r += 4) {
+    const __m256i rows =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tile + r));
+    const __m256i sums =
+        _mm256_sad_epu8(PopcountBytes(_mm256_and_si256(rows, q)), zero);
+    uint64_t lanes[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), sums);
+    out_counts[r] = static_cast<uint32_t>(lanes[0]);
+    out_counts[r + 1] = static_cast<uint32_t>(lanes[1]);
+    out_counts[r + 2] = static_cast<uint32_t>(lanes[2]);
+    out_counts[r + 3] = static_cast<uint32_t>(lanes[3]);
+  }
+  for (; r < n_rows; ++r) {
+    out_counts[r] = static_cast<uint32_t>(std::popcount(query[0] & tile[r]));
+  }
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) void AndPopCountTileAvx2(
+    const uint64_t* query, const uint64_t* tile, std::size_t n_rows,
+    std::size_t words_per_row, uint32_t* out_counts) {
+  if (words_per_row == 1) {
+    AndPopCountTileAvx2Words1(query, tile, n_rows, out_counts);
+    return;
+  }
+  if (words_per_row < 4) {
+    // 2-3 word rows don't fill a vector; scalar popcnt wins.
+    AndPopCountTileScalar(query, tile, n_rows, words_per_row, out_counts);
+    return;
+  }
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    out_counts[r] =
+        AndPopCountRowAvx2(query, tile + r * words_per_row, words_per_row);
+  }
+}
+
+__attribute__((target("avx2"))) void AndPopCountBatchAvx2(
+    const uint64_t* query, const uint64_t* base, std::size_t words_per_row,
+    const uint32_t* row_ids, std::size_t n_rows, uint32_t* out_counts) {
+  if (words_per_row < 4) {
+    AndPopCountBatchScalar(query, base, words_per_row, row_ids, n_rows,
+                           out_counts);
+    return;
+  }
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    if (r + 1 < n_rows) {
+      // Gathered rows defeat the hardware prefetcher; hint the next one.
+      __builtin_prefetch(
+          base + static_cast<std::size_t>(row_ids[r + 1]) * words_per_row);
+    }
+    const uint64_t* row =
+        base + static_cast<std::size_t>(row_ids[r]) * words_per_row;
+    out_counts[r] = AndPopCountRowAvx2(query, row, words_per_row);
+  }
+}
+
+#else  // !GF_SIMD_X86
+
+void AndPopCountTileAvx2(const uint64_t* query, const uint64_t* tile,
+                         std::size_t n_rows, std::size_t words_per_row,
+                         uint32_t* out_counts) {
+  AndPopCountTileScalar(query, tile, n_rows, words_per_row, out_counts);
+}
+
+void AndPopCountBatchAvx2(const uint64_t* query, const uint64_t* base,
+                          std::size_t words_per_row, const uint32_t* row_ids,
+                          std::size_t n_rows, uint32_t* out_counts) {
+  AndPopCountBatchScalar(query, base, words_per_row, row_ids, n_rows,
+                         out_counts);
+}
+
+#endif  // GF_SIMD_X86
+
+}  // namespace detail
+
+bool Avx2Available() {
+#if GF_SIMD_X86
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+using TileFn = void (*)(const uint64_t*, const uint64_t*, std::size_t,
+                        std::size_t, uint32_t*);
+using BatchFn = void (*)(const uint64_t*, const uint64_t*, std::size_t,
+                         const uint32_t*, std::size_t, uint32_t*);
+
+struct Dispatch {
+  PopcountBackend backend;
+  TileFn tile;
+  BatchFn batch;
+};
+
+// Resolved once (thread-safe static init) from CPUID; every later call
+// is one indirect jump.
+const Dispatch& ActiveDispatch() {
+  static const Dispatch dispatch = [] {
+    if (Avx2Available()) {
+      return Dispatch{PopcountBackend::kAvx2, &detail::AndPopCountTileAvx2,
+                      &detail::AndPopCountBatchAvx2};
+    }
+    return Dispatch{PopcountBackend::kScalar, &detail::AndPopCountTileScalar,
+                    &detail::AndPopCountBatchScalar};
+  }();
+  return dispatch;
+}
+
+}  // namespace
+
+PopcountBackend ActivePopcountBackend() { return ActiveDispatch().backend; }
+
+const char* PopcountBackendName(PopcountBackend backend) {
+  switch (backend) {
+    case PopcountBackend::kScalar:
+      return "scalar";
+    case PopcountBackend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+void AndPopCountTile(const uint64_t* query, const uint64_t* tile,
+                     std::size_t n_rows, std::size_t words_per_row,
+                     uint32_t* out_counts) {
+  ActiveDispatch().tile(query, tile, n_rows, words_per_row, out_counts);
+}
+
+void AndPopCountBatch(const uint64_t* query, const uint64_t* base,
+                      std::size_t words_per_row, const uint32_t* row_ids,
+                      std::size_t n_rows, uint32_t* out_counts) {
+  ActiveDispatch().batch(query, base, words_per_row, row_ids, n_rows,
+                         out_counts);
+}
+
+}  // namespace gf::bits

@@ -1,0 +1,82 @@
+// Batched AND+popcount kernels — the vectorized form of the Eq. 4 hot
+// path. Where bit_util.h scores one fingerprint pair at a time, these
+// kernels score one query fingerprint against many candidate rows laid
+// out the way FingerprintStore stores them (row-major, words_per_row
+// contiguous uint64_t words per candidate). Batching amortizes call
+// overhead, keeps the query words hot, and opens the door to SIMD
+// popcount (AVX2 vpshufb nibble-LUT).
+//
+// Backends: a portable scalar implementation and an AVX2 one. The
+// backend is selected once, at first use, from CPUID (via
+// __builtin_cpu_supports) and is bit-exact with scalar: both compute
+// sums of per-word integer popcounts, so every backend returns
+// identical uint32_t counts on identical inputs — results never depend
+// on the machine the library runs on.
+//
+// The two entry points cover the two candidate layouts the KNN
+// algorithms produce:
+//   AndPopCountTile  — candidates are a contiguous range of rows
+//                      (BruteForceKnn's cache-blocked scan);
+//   AndPopCountBatch — candidates are an arbitrary id list gathered
+//                      from a common base (Hyrec / NNDescent candidate
+//                      sets, FingerprintStore::EstimateJaccardBatch).
+
+#ifndef GF_COMMON_SIMD_POPCOUNT_H_
+#define GF_COMMON_SIMD_POPCOUNT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gf::bits {
+
+/// Kernel backends, in dispatch-preference order.
+enum class PopcountBackend { kScalar, kAvx2 };
+
+/// The backend the dispatched entry points use on this machine.
+PopcountBackend ActivePopcountBackend();
+
+/// Human-readable backend name ("scalar", "avx2") for logs and benches.
+const char* PopcountBackendName(PopcountBackend backend);
+
+/// True when the CPU (and compiler) support the AVX2 backend.
+bool Avx2Available();
+
+/// out_counts[i] = popcount(query AND row_i) for the `n_rows` contiguous
+/// rows starting at `tile` (row i at tile + i * words_per_row). `query`
+/// holds words_per_row words.
+void AndPopCountTile(const uint64_t* query, const uint64_t* tile,
+                     std::size_t n_rows, std::size_t words_per_row,
+                     uint32_t* out_counts);
+
+/// out_counts[i] = popcount(query AND row_{ids[i]}) where row r lives at
+/// base + r * words_per_row. Ids may repeat and appear in any order.
+void AndPopCountBatch(const uint64_t* query, const uint64_t* base,
+                      std::size_t words_per_row, const uint32_t* row_ids,
+                      std::size_t n_rows, uint32_t* out_counts);
+
+// Fixed-backend implementations, exposed so tests can assert that every
+// backend agrees bit-exactly and benches can compare them. The Avx2
+// variants require Avx2Available(); on other hardware they fall back to
+// scalar (so calling them is always safe, just not meaningful to bench).
+namespace detail {
+
+void AndPopCountTileScalar(const uint64_t* query, const uint64_t* tile,
+                           std::size_t n_rows, std::size_t words_per_row,
+                           uint32_t* out_counts);
+void AndPopCountBatchScalar(const uint64_t* query, const uint64_t* base,
+                            std::size_t words_per_row,
+                            const uint32_t* row_ids, std::size_t n_rows,
+                            uint32_t* out_counts);
+
+void AndPopCountTileAvx2(const uint64_t* query, const uint64_t* tile,
+                         std::size_t n_rows, std::size_t words_per_row,
+                         uint32_t* out_counts);
+void AndPopCountBatchAvx2(const uint64_t* query, const uint64_t* base,
+                          std::size_t words_per_row, const uint32_t* row_ids,
+                          std::size_t n_rows, uint32_t* out_counts);
+
+}  // namespace detail
+
+}  // namespace gf::bits
+
+#endif  // GF_COMMON_SIMD_POPCOUNT_H_

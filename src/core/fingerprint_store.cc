@@ -1,6 +1,92 @@
 #include "core/fingerprint_store.h"
 
+#include <algorithm>
+#include <type_traits>
+
+#include "common/simd_popcount.h"
+
 namespace gf {
+
+namespace {
+
+// The gather kernel takes raw uint32_t row ids; UserId spans are passed
+// through without copying.
+static_assert(std::is_same_v<UserId, uint32_t>,
+              "AndPopCountBatch consumes UserId spans directly");
+
+// Batch scoring runs through a fixed stack scratch of AND-popcounts so
+// arbitrarily large candidate lists allocate nothing. 256 counts = 1 KiB,
+// and at b=1024 a 256-row tile of fingerprints is 32 KiB — L1/L2 sized.
+constexpr std::size_t kScoreChunk = 256;
+
+}  // namespace
+
+template <typename CountsToSim>
+void FingerprintStore::ScoreBatchImpl(UserId u,
+                                      std::span<const UserId> candidates,
+                                      std::span<double> out,
+                                      CountsToSim&& to_sim) const {
+  const uint64_t* query =
+      words_.data() + static_cast<std::size_t>(u) * words_per_shf_;
+  const uint32_t card_u = cardinalities_[u];
+  uint32_t counts[kScoreChunk];
+  for (std::size_t done = 0; done < candidates.size(); done += kScoreChunk) {
+    const std::size_t m = std::min(kScoreChunk, candidates.size() - done);
+    bits::AndPopCountBatch(query, words_.data(), words_per_shf_,
+                           candidates.data() + done, m, counts);
+    for (std::size_t i = 0; i < m; ++i) {
+      out[done + i] =
+          to_sim(card_u, cardinalities_[candidates[done + i]], counts[i]);
+    }
+  }
+  CountLoads(candidates.size() * (2 * words_per_shf_ + 2));
+}
+
+template <typename CountsToSim>
+void FingerprintStore::ScoreTileImpl(UserId u, UserId first,
+                                     std::size_t count, std::span<double> out,
+                                     CountsToSim&& to_sim) const {
+  const uint64_t* query =
+      words_.data() + static_cast<std::size_t>(u) * words_per_shf_;
+  const uint32_t card_u = cardinalities_[u];
+  uint32_t counts[kScoreChunk];
+  for (std::size_t done = 0; done < count; done += kScoreChunk) {
+    const std::size_t m = std::min(kScoreChunk, count - done);
+    const uint64_t* tile =
+        words_.data() +
+        (static_cast<std::size_t>(first) + done) * words_per_shf_;
+    bits::AndPopCountTile(query, tile, m, words_per_shf_, counts);
+    for (std::size_t i = 0; i < m; ++i) {
+      out[done + i] =
+          to_sim(card_u, cardinalities_[first + done + i], counts[i]);
+    }
+  }
+  CountLoads(count * (2 * words_per_shf_ + 2));
+}
+
+void FingerprintStore::EstimateJaccardBatch(UserId u,
+                                            std::span<const UserId> candidates,
+                                            std::span<double> out) const {
+  ScoreBatchImpl(u, candidates, out, &JaccardFromCounts);
+}
+
+void FingerprintStore::EstimateCosineBatch(UserId u,
+                                           std::span<const UserId> candidates,
+                                           std::span<double> out) const {
+  ScoreBatchImpl(u, candidates, out, &CosineFromCounts);
+}
+
+void FingerprintStore::EstimateJaccardTile(UserId u, UserId first,
+                                           std::size_t count,
+                                           std::span<double> out) const {
+  ScoreTileImpl(u, first, count, out, &JaccardFromCounts);
+}
+
+void FingerprintStore::EstimateCosineTile(UserId u, UserId first,
+                                          std::size_t count,
+                                          std::span<double> out) const {
+  ScoreTileImpl(u, first, count, out, &CosineFromCounts);
+}
 
 Result<FingerprintStore> FingerprintStore::Build(
     const Dataset& dataset, const FingerprintConfig& config,

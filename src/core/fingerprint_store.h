@@ -61,6 +61,30 @@ class FingerprintStore {
     return JaccardFromCounts(cardinalities_[a], cardinalities_[b], inter);
   }
 
+  /// Eq. 4 estimator of `u` against a batch of candidates, through the
+  /// runtime-dispatched kernels of common/simd_popcount.h. Bit-exact
+  /// with calling EstimateJaccard(u, candidates[i]) pair by pair (the
+  /// kernels sum the same integer popcounts; only the throughput
+  /// differs), and counts the same modelled traffic per pair.
+  /// out[i] scores candidates[i]; out must hold candidates.size().
+  void EstimateJaccardBatch(UserId u, std::span<const UserId> candidates,
+                            std::span<double> out) const;
+
+  /// Cosine analogue of EstimateJaccardBatch.
+  void EstimateCosineBatch(UserId u, std::span<const UserId> candidates,
+                           std::span<double> out) const;
+
+  /// Tile variant: scores `u` against the contiguous user range
+  /// [first, first + count). Candidate rows are adjacent in the flat
+  /// array, so this is the fastest path — BruteForceKnn's cache-blocked
+  /// scan runs entirely on it. out must hold `count`.
+  void EstimateJaccardTile(UserId u, UserId first, std::size_t count,
+                           std::span<double> out) const;
+
+  /// Cosine analogue of EstimateJaccardTile.
+  void EstimateCosineTile(UserId u, UserId first, std::size_t count,
+                          std::span<double> out) const;
+
   /// Cosine analogue of EstimateJaccard (same kernel, CosineFromCounts).
   double EstimateCosine(UserId a, UserId b) const {
     const uint64_t* wa =
@@ -83,6 +107,15 @@ class FingerprintStore {
   }
 
  private:
+  // Shared bodies of the four batch entry points (defined in the .cc,
+  // instantiated there for JaccardFromCounts / CosineFromCounts).
+  template <typename CountsToSim>
+  void ScoreBatchImpl(UserId u, std::span<const UserId> candidates,
+                      std::span<double> out, CountsToSim&& to_sim) const;
+  template <typename CountsToSim>
+  void ScoreTileImpl(UserId u, UserId first, std::size_t count,
+                     std::span<double> out, CountsToSim&& to_sim) const;
+
   FingerprintStore(const FingerprintConfig& config, std::size_t num_users)
       : config_(config),
         num_bits_(config.num_bits),

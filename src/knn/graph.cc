@@ -54,10 +54,16 @@ bool NeighborLists::Insert(UserId u, UserId v, double sim) {
 }
 
 bool NeighborLists::InsertLocked(UserId u, UserId v, double sim) {
-  while (locks_[u].test_and_set(std::memory_order_acquire)) {
+  std::atomic_flag& lock = locks_[u];
+  // TTAS: contended waiters spin on a plain read (line stays shared)
+  // and only retry the RMW once the holder clears the flag — a bare
+  // test_and_set loop ping-pongs the cache line between waiters.
+  while (lock.test_and_set(std::memory_order_acquire)) {
+    while (lock.test(std::memory_order_relaxed)) {
+    }
   }
   const bool changed = Insert(u, v, sim);
-  locks_[u].clear(std::memory_order_release);
+  lock.clear(std::memory_order_release);
   return changed;
 }
 

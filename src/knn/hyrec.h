@@ -16,6 +16,7 @@
 #include "common/timer.h"
 #include "knn/graph.h"
 #include "knn/greedy_config.h"
+#include "knn/provider_concepts.h"
 #include "knn/stats.h"
 
 namespace gf {
@@ -61,6 +62,8 @@ KnnGraph HyrecKnn(const Provider& provider, const GreedyConfig& config,
     ParallelFor(pool, n, [&](std::size_t begin, std::size_t end) {
       std::vector<UserId> candidates;
       std::vector<UserId> current;
+      std::vector<UserId> to_score;
+      std::vector<double> sims;
       for (std::size_t uu = begin; uu < end; ++uu) {
         const auto u = static_cast<UserId>(uu);
         candidates.clear();
@@ -83,14 +86,28 @@ KnnGraph HyrecKnn(const Provider& provider, const GreedyConfig& config,
                            static_cast<long>(base + snap_sizes[uu]));
         std::sort(current.begin(), current.end());
 
-        uint64_t local_updates = 0;
-        uint64_t local_computations = 0;
+        to_score.clear();
         for (UserId w : candidates) {
           if (std::binary_search(current.begin(), current.end(), w)) {
             continue;
           }
-          ++local_computations;
-          if (lists.Insert(u, w, provider(u, w))) ++local_updates;
+          to_score.push_back(w);
+        }
+
+        uint64_t local_updates = 0;
+        const uint64_t local_computations = to_score.size();
+        if constexpr (BatchSimilarityProvider<Provider>) {
+          // Score the whole surviving candidate set in one batched
+          // kernel call, then apply the same inserts in the same order.
+          sims.resize(to_score.size());
+          provider.ScoreBatch(u, to_score, sims);
+          for (std::size_t i = 0; i < to_score.size(); ++i) {
+            if (lists.Insert(u, to_score[i], sims[i])) ++local_updates;
+          }
+        } else {
+          for (UserId w : to_score) {
+            if (lists.Insert(u, w, provider(u, w))) ++local_updates;
+          }
         }
         updates.fetch_add(local_updates, std::memory_order_relaxed);
         computations.fetch_add(local_computations,

@@ -16,6 +16,7 @@
 #include "common/timer.h"
 #include "knn/graph.h"
 #include "knn/greedy_config.h"
+#include "knn/provider_concepts.h"
 #include "knn/stats.h"
 
 namespace gf {
@@ -102,6 +103,8 @@ KnnGraph NNDescentKnn(const Provider& provider, const GreedyConfig& config,
     std::atomic<uint64_t> updates{0};
     ParallelFor(pool, n, [&](std::size_t begin, std::size_t end) {
       std::vector<UserId> join_new, join_old;
+      std::vector<UserId> partners;
+      std::vector<double> sims;
       for (std::size_t uu = begin; uu < end; ++uu) {
         const auto u = static_cast<UserId>(uu);
         join_new = new_fwd[u];
@@ -119,20 +122,34 @@ KnnGraph NNDescentKnn(const Provider& provider, const GreedyConfig& config,
 
         uint64_t local_updates = 0;
         uint64_t local_computations = 0;
-        auto join = [&](UserId p, UserId q) {
-          ++local_computations;
-          const double sim = provider(p, q);
+        auto commit = [&](UserId p, UserId q, double sim) {
           if (lists.InsertLocked(p, q, sim)) ++local_updates;
           if (lists.InsertLocked(q, p, sim)) ++local_updates;
         };
         for (std::size_t i = 0; i < join_new.size(); ++i) {
-          // new x new: each unordered pair once (ordering on ids).
+          const UserId p = join_new[i];
+          // p's join partners: new x new as each unordered pair once
+          // (ordering on ids), plus new x old.
+          partners.clear();
           for (std::size_t j = i + 1; j < join_new.size(); ++j) {
-            join(join_new[i], join_new[j]);
+            partners.push_back(join_new[j]);
           }
-          // new x old.
           for (UserId q : join_old) {
-            if (q != join_new[i]) join(join_new[i], q);
+            if (q != p) partners.push_back(q);
+          }
+          local_computations += partners.size();
+          if constexpr (BatchSimilarityProvider<Provider>) {
+            // One batched kernel call per join source, then the same
+            // two-sided inserts in the same order.
+            sims.resize(partners.size());
+            provider.ScoreBatch(p, partners, sims);
+            for (std::size_t j = 0; j < partners.size(); ++j) {
+              commit(p, partners[j], sims[j]);
+            }
+          } else {
+            for (UserId q : partners) {
+              commit(p, q, provider(p, q));
+            }
           }
         }
         updates.fetch_add(local_updates, std::memory_order_relaxed);

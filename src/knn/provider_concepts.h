@@ -1,0 +1,49 @@
+// Optional batch-scoring interfaces a similarity provider may expose on
+// top of the required per-pair `double operator()(UserId, UserId)`:
+//
+//   void ScoreBatch(UserId u, std::span<const UserId> candidates,
+//                   std::span<double> out) const;
+//       out[i] = sim(u, candidates[i]) — arbitrary candidate lists
+//       (Hyrec / NNDescent candidate sets).
+//
+//   void ScoreTile(UserId u, UserId first, std::size_t count,
+//                  std::span<double> out) const;
+//       out[i] = sim(u, first + i) — contiguous ranges (BruteForceKnn's
+//       cache-blocked scan).
+//
+// Both must be bit-exact with the per-pair operator: the KNN algorithms
+// pick the batch path purely by `if constexpr` on these concepts, and
+// the produced graphs must not depend on which path ran. Kept in this
+// small header (not similarity_provider.h) so the algorithm headers can
+// test for the interface without pulling in every provider's
+// dependencies.
+
+#ifndef GF_KNN_PROVIDER_CONCEPTS_H_
+#define GF_KNN_PROVIDER_CONCEPTS_H_
+
+#include <cstddef>
+#include <span>
+
+#include "dataset/types.h"
+
+namespace gf {
+
+/// Provider with batched scoring of an arbitrary candidate id list.
+template <typename P>
+concept BatchSimilarityProvider =
+    requires(const P& p, UserId u, std::span<const UserId> candidates,
+             std::span<double> out) {
+      p.ScoreBatch(u, candidates, out);
+    };
+
+/// Provider with batched scoring of a contiguous candidate range.
+template <typename P>
+concept TiledSimilarityProvider =
+    requires(const P& p, UserId u, UserId first, std::size_t count,
+             std::span<double> out) {
+      p.ScoreTile(u, first, count, out);
+    };
+
+}  // namespace gf
+
+#endif  // GF_KNN_PROVIDER_CONCEPTS_H_

@@ -8,16 +8,24 @@
 // A provider P must expose:
 //   std::size_t num_users() const;
 //   double operator()(UserId a, UserId b) const;
+// and may additionally expose the batch interface of
+// knn/provider_concepts.h (ScoreBatch / ScoreTile); the fingerprint
+// providers do, routing through FingerprintStore's SIMD-dispatched
+// kernels, and the KNN algorithms then score candidate batches in one
+// call instead of one pair at a time.
 
 #ifndef GF_KNN_SIMILARITY_PROVIDER_H_
 #define GF_KNN_SIMILARITY_PROVIDER_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <span>
 
 #include "core/fingerprint_store.h"
 #include "core/similarity.h"
 #include "dataset/dataset.h"
+#include "knn/provider_concepts.h"
 #include "minhash/bbit_minhash.h"
 
 namespace gf {
@@ -61,6 +69,14 @@ class GoldFingerProvider {
   double operator()(UserId a, UserId b) const {
     return store_->EstimateJaccard(a, b);
   }
+  void ScoreBatch(UserId u, std::span<const UserId> candidates,
+                  std::span<double> out) const {
+    store_->EstimateJaccardBatch(u, candidates, out);
+  }
+  void ScoreTile(UserId u, UserId first, std::size_t count,
+                 std::span<double> out) const {
+    store_->EstimateJaccardTile(u, first, count, out);
+  }
 
  private:
   const FingerprintStore* store_;
@@ -75,6 +91,14 @@ class GoldFingerCosineProvider {
   std::size_t num_users() const { return store_->num_users(); }
   double operator()(UserId a, UserId b) const {
     return store_->EstimateCosine(a, b);
+  }
+  void ScoreBatch(UserId u, std::span<const UserId> candidates,
+                  std::span<double> out) const {
+    store_->EstimateCosineBatch(u, candidates, out);
+  }
+  void ScoreTile(UserId u, UserId first, std::size_t count,
+                 std::span<double> out) const {
+    store_->EstimateCosineTile(u, first, count, out);
   }
 
  private:
@@ -106,6 +130,24 @@ class CountingProvider {
   double operator()(UserId a, UserId b) const {
     count_.fetch_add(1, std::memory_order_relaxed);
     return (*inner_)(a, b);
+  }
+
+  // The batch interface is forwarded (and counted per pair) only when
+  // the wrapped provider has it, so wrapping never changes which path
+  // the KNN algorithms take.
+  void ScoreBatch(UserId u, std::span<const UserId> candidates,
+                  std::span<double> out) const
+    requires BatchSimilarityProvider<Provider>
+  {
+    count_.fetch_add(candidates.size(), std::memory_order_relaxed);
+    inner_->ScoreBatch(u, candidates, out);
+  }
+  void ScoreTile(UserId u, UserId first, std::size_t count,
+                 std::span<double> out) const
+    requires TiledSimilarityProvider<Provider>
+  {
+    count_.fetch_add(count, std::memory_order_relaxed);
+    inner_->ScoreTile(u, first, count, out);
   }
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }

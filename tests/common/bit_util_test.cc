@@ -89,6 +89,41 @@ TEST(BitUtilTest, SelectBitFindsKthSetBit) {
   EXPECT_EQ(SelectBit(w, 3), 63u);
 }
 
+TEST(BitUtilTest, SelectBitBoundaryRanks) {
+  // The highest valid rank on dense and sparse words, including the
+  // extremes of the bit range.
+  EXPECT_EQ(SelectBit(~uint64_t{0}, 63), 63u);
+  EXPECT_EQ(SelectBit(uint64_t{1}, 0), 0u);
+  EXPECT_EQ(SelectBit(uint64_t{1} << 63, 0), 63u);
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint64_t w = rng.Next();
+    const auto pc = static_cast<unsigned>(std::popcount(w));
+    if (pc == 0) continue;
+    // Every valid rank round-trips: the selected bit is set and has
+    // exactly `rank` set bits below it.
+    for (unsigned rank = 0; rank < pc; ++rank) {
+      const unsigned pos = SelectBit(w, rank);
+      ASSERT_LT(pos, 64u);
+      ASSERT_TRUE((w >> pos) & 1);
+      const uint64_t below = pos == 0 ? 0 : (w & ((uint64_t{1} << pos) - 1));
+      ASSERT_EQ(static_cast<unsigned>(std::popcount(below)), rank);
+    }
+  }
+}
+
+TEST(BitUtilTest, SelectBitRankOutOfRangeAsserts) {
+  // rank >= popcount(w) violates the precondition: debug builds die on
+  // the assert; release builds return the out-of-range sentinel 64,
+  // which callers must never index with.
+  const uint64_t w = 0b1011;  // popcount = 3
+  EXPECT_DEBUG_DEATH(SelectBit(w, 3), "rank must be < popcount");
+#ifdef NDEBUG
+  EXPECT_EQ(SelectBit(w, 3), 64u);
+  EXPECT_EQ(SelectBit(0, 0), 64u);
+#endif
+}
+
 TEST(BitUtilTest, PopCountEmptySpanIsZero) {
   std::vector<uint64_t> empty;
   EXPECT_EQ(PopCount(empty), 0u);

@@ -1,0 +1,141 @@
+#include "common/simd_popcount.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bit_util.h"
+#include "common/random.h"
+
+namespace gf::bits {
+namespace {
+
+// Random row-major candidate table (n_rows x words) plus a query row.
+struct KernelInput {
+  std::vector<uint64_t> query;
+  std::vector<uint64_t> rows;
+  std::size_t n_rows = 0;
+  std::size_t words = 0;
+};
+
+KernelInput RandomInput(std::size_t n_rows, std::size_t words, Rng& rng) {
+  KernelInput in;
+  in.n_rows = n_rows;
+  in.words = words;
+  in.query.resize(words);
+  in.rows.resize(n_rows * words);
+  for (auto& w : in.query) w = rng.Next();
+  for (auto& w : in.rows) w = rng.Next();
+  return in;
+}
+
+// Sizes chosen to hit every kernel regime: words < 4 (scalar inside
+// AVX2), the 4-word vector width, non-multiple-of-4 tails, and rows
+// crossing the 31-vector byte-accumulator flush (words >= 128). Row
+// counts cover the words==1 four-rows-per-vector tail and the 256-row
+// chunking of FingerprintStore.
+constexpr std::size_t kWordSizes[] = {1, 2, 3, 4, 5, 7, 8, 16, 17, 64, 130};
+constexpr std::size_t kRowCounts[] = {1, 2, 3, 4, 5, 31, 64, 255, 256, 257};
+
+TEST(SimdPopcountTest, ScalarTileMatchesPerPairKernel) {
+  Rng rng(11);
+  for (std::size_t words : kWordSizes) {
+    for (std::size_t n_rows : kRowCounts) {
+      const KernelInput in = RandomInput(n_rows, words, rng);
+      std::vector<uint32_t> got(n_rows, 0xdeadbeef);
+      detail::AndPopCountTileScalar(in.query.data(), in.rows.data(), n_rows,
+                                    words, got.data());
+      for (std::size_t r = 0; r < n_rows; ++r) {
+        EXPECT_EQ(got[r], AndPopCount(in.query.data(),
+                                      in.rows.data() + r * words, words))
+            << "words=" << words << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(SimdPopcountTest, Avx2TileAgreesWithScalarBitExactly) {
+  if (!Avx2Available()) GTEST_SKIP() << "no AVX2 on this machine";
+  Rng rng(12);
+  for (std::size_t words : kWordSizes) {
+    for (std::size_t n_rows : kRowCounts) {
+      const KernelInput in = RandomInput(n_rows, words, rng);
+      std::vector<uint32_t> scalar(n_rows, 0), avx2(n_rows, 0);
+      detail::AndPopCountTileScalar(in.query.data(), in.rows.data(), n_rows,
+                                    words, scalar.data());
+      detail::AndPopCountTileAvx2(in.query.data(), in.rows.data(), n_rows,
+                                  words, avx2.data());
+      EXPECT_EQ(scalar, avx2) << "words=" << words << " n_rows=" << n_rows;
+    }
+  }
+}
+
+TEST(SimdPopcountTest, Avx2BatchAgreesWithScalarBitExactly) {
+  if (!Avx2Available()) GTEST_SKIP() << "no AVX2 on this machine";
+  Rng rng(13);
+  for (std::size_t words : kWordSizes) {
+    for (std::size_t n_ids : kRowCounts) {
+      const KernelInput in = RandomInput(64, words, rng);
+      // Gather list with repeats and arbitrary order.
+      std::vector<uint32_t> ids(n_ids);
+      for (auto& id : ids) id = static_cast<uint32_t>(rng.Below(in.n_rows));
+      std::vector<uint32_t> scalar(n_ids, 0), avx2(n_ids, 0);
+      detail::AndPopCountBatchScalar(in.query.data(), in.rows.data(), words,
+                                     ids.data(), n_ids, scalar.data());
+      detail::AndPopCountBatchAvx2(in.query.data(), in.rows.data(), words,
+                                   ids.data(), n_ids, avx2.data());
+      EXPECT_EQ(scalar, avx2) << "words=" << words << " n_ids=" << n_ids;
+    }
+  }
+}
+
+TEST(SimdPopcountTest, DispatchedEntryPointsMatchScalar) {
+  Rng rng(14);
+  const std::size_t words = 16;  // b = 1024, the paper's headline length
+  const KernelInput in = RandomInput(100, words, rng);
+  std::vector<uint32_t> ids = {0, 99, 7, 7, 42, 3};
+  std::vector<uint32_t> want_tile(in.n_rows), got_tile(in.n_rows);
+  std::vector<uint32_t> want_batch(ids.size()), got_batch(ids.size());
+
+  detail::AndPopCountTileScalar(in.query.data(), in.rows.data(), in.n_rows,
+                                words, want_tile.data());
+  AndPopCountTile(in.query.data(), in.rows.data(), in.n_rows, words,
+                  got_tile.data());
+  EXPECT_EQ(want_tile, got_tile);
+
+  detail::AndPopCountBatchScalar(in.query.data(), in.rows.data(), words,
+                                 ids.data(), ids.size(), want_batch.data());
+  AndPopCountBatch(in.query.data(), in.rows.data(), words, ids.data(),
+                   ids.size(), got_batch.data());
+  EXPECT_EQ(want_batch, got_batch);
+}
+
+TEST(SimdPopcountTest, BackendReportingIsConsistent) {
+  const PopcountBackend backend = ActivePopcountBackend();
+  if (Avx2Available()) {
+    EXPECT_EQ(backend, PopcountBackend::kAvx2);
+    EXPECT_STREQ(PopcountBackendName(backend), "avx2");
+  } else {
+    EXPECT_EQ(backend, PopcountBackend::kScalar);
+    EXPECT_STREQ(PopcountBackendName(backend), "scalar");
+  }
+}
+
+TEST(SimdPopcountTest, AllOnesAndDisjointPatterns) {
+  // Degenerate inputs with known answers: full overlap and no overlap.
+  const std::size_t words = 5;
+  std::vector<uint64_t> ones(words, ~uint64_t{0});
+  std::vector<uint64_t> rows(2 * words);
+  for (std::size_t i = 0; i < words; ++i) {
+    rows[i] = ~uint64_t{0};           // row 0: all ones
+    rows[words + i] = 0;              // row 1: empty
+  }
+  uint32_t out[2] = {123, 456};
+  AndPopCountTile(ones.data(), rows.data(), 2, words, out);
+  EXPECT_EQ(out[0], 64u * words);
+  EXPECT_EQ(out[1], 0u);
+}
+
+}  // namespace
+}  // namespace gf::bits

@@ -99,5 +99,67 @@ TEST(FingerprintStoreTest, ModelledAccessesAreCounted) {
   AccessCounter::Instance().Reset();
 }
 
+TEST(FingerprintStoreTest, BatchEstimatesEqualPerPairForAllPairs) {
+  // Bit-exact equality (not just closeness) between the batched SIMD
+  // path and the per-pair scalar path, over every pair of a synthetic
+  // dataset and at several fingerprint lengths. 300 users also makes
+  // the candidate list longer than the 256-entry kernel chunk.
+  const Dataset d = testing::SmallSynthetic(300);
+  for (std::size_t bits : {64ul, 192ul, 1024ul}) {
+    auto store = FingerprintStore::Build(d, Config(bits));
+    ASSERT_TRUE(store.ok());
+    const std::size_t n = store->num_users();
+    std::vector<UserId> all(n);
+    for (UserId v = 0; v < n; ++v) all[v] = v;
+    std::vector<double> jac(n), cos(n);
+    for (UserId u = 0; u < n; ++u) {
+      store->EstimateJaccardBatch(u, all, jac);
+      store->EstimateCosineBatch(u, all, cos);
+      for (UserId v = 0; v < n; ++v) {
+        ASSERT_EQ(jac[v], store->EstimateJaccard(u, v))
+            << "b=" << bits << " pair (" << u << "," << v << ")";
+        ASSERT_EQ(cos[v], store->EstimateCosine(u, v))
+            << "b=" << bits << " pair (" << u << "," << v << ")";
+      }
+    }
+  }
+}
+
+TEST(FingerprintStoreTest, TileEstimatesEqualPerPair) {
+  const Dataset d = testing::SmallSynthetic(300);
+  auto store = FingerprintStore::Build(d, Config(1024));
+  ASSERT_TRUE(store.ok());
+  const std::size_t n = store->num_users();
+  // A range that is neither aligned to nor a multiple of the kernel
+  // chunk: [17, 17 + 271).
+  const UserId first = 17;
+  const std::size_t count = 271;
+  std::vector<double> jac(count), cos(count);
+  for (UserId u : {UserId{0}, UserId{150}, static_cast<UserId>(n - 1)}) {
+    store->EstimateJaccardTile(u, first, count, jac);
+    store->EstimateCosineTile(u, first, count, cos);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto v = static_cast<UserId>(first + i);
+      ASSERT_EQ(jac[i], store->EstimateJaccard(u, v)) << "pair " << u << "," << v;
+      ASSERT_EQ(cos[i], store->EstimateCosine(u, v)) << "pair " << u << "," << v;
+    }
+  }
+}
+
+TEST(FingerprintStoreTest, BatchCountsSameModelledTrafficAsPerPair) {
+  const Dataset d = testing::TinyDataset();
+  auto store = FingerprintStore::Build(d, Config(1024));
+  ASSERT_TRUE(store.ok());
+  const std::vector<UserId> candidates = {1, 2, 3};
+  std::vector<double> out(candidates.size());
+  AccessCounter::Instance().Reset();
+  AccessCounter::Enable(true);
+  store->EstimateJaccardBatch(0, candidates, out);
+  AccessCounter::Enable(false);
+  // Same 2 * words + 2 model per pair as EstimateJaccard.
+  EXPECT_EQ(AccessCounter::Instance().loads(), 3u * 34u);
+  AccessCounter::Instance().Reset();
+}
+
 }  // namespace
 }  // namespace gf

@@ -49,6 +49,68 @@ TEST(BruteForceTest, MatchesReferenceArgTopK) {
   }
 }
 
+// GoldFingerProvider stripped of its batch interface, to force the
+// per-pair scan for comparison against the tiled one.
+class PerPairGoldFingerProvider {
+ public:
+  explicit PerPairGoldFingerProvider(const FingerprintStore& store)
+      : store_(&store) {}
+  std::size_t num_users() const { return store_->num_users(); }
+  double operator()(UserId a, UserId b) const {
+    return store_->EstimateJaccard(a, b);
+  }
+
+ private:
+  const FingerprintStore* store_;
+};
+
+TEST(BruteForceTest, TiledScanProducesIdenticalGraphToPerPair) {
+  static_assert(TiledSimilarityProvider<GoldFingerProvider>);
+  static_assert(!TiledSimilarityProvider<PerPairGoldFingerProvider>);
+  static_assert(!TiledSimilarityProvider<ExactJaccardProvider>);
+
+  // 400 users spans multiple 256-user tiles with a partial tail tile.
+  const Dataset d = testing::SmallSynthetic(400);
+  FingerprintConfig config;
+  config.num_bits = 256;
+  auto store = FingerprintStore::Build(d, config);
+  ASSERT_TRUE(store.ok());
+
+  GoldFingerProvider tiled(*store);
+  PerPairGoldFingerProvider per_pair(*store);
+  const std::size_t k = 7;
+  const KnnGraph gt = BruteForceKnn(tiled, k);
+  const KnnGraph gp = BruteForceKnn(per_pair, k);
+
+  // Identical graphs: same edges in the same order, same similarities,
+  // same tie-breaks — bitwise, not approximately.
+  ASSERT_EQ(gt.NumUsers(), gp.NumUsers());
+  for (UserId u = 0; u < gt.NumUsers(); ++u) {
+    const auto nt = gt.NeighborsOf(u);
+    const auto np = gp.NeighborsOf(u);
+    ASSERT_EQ(nt.size(), np.size()) << "user " << u;
+    for (std::size_t i = 0; i < nt.size(); ++i) {
+      ASSERT_EQ(nt[i].id, np[i].id) << "user " << u << " slot " << i;
+      ASSERT_EQ(nt[i].similarity, np[i].similarity)
+          << "user " << u << " slot " << i;
+    }
+  }
+
+  // The parallel tiled scan agrees too (rows are thread-partitioned, so
+  // the result is deterministic).
+  ThreadPool pool(4);
+  const KnnGraph gt_par = BruteForceKnn(tiled, k, &pool);
+  for (UserId u = 0; u < gt.NumUsers(); ++u) {
+    const auto a = gt.NeighborsOf(u);
+    const auto b = gt_par.NeighborsOf(u);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].id, b[i].id);
+      ASSERT_EQ(a[i].similarity, b[i].similarity);
+    }
+  }
+}
+
 TEST(BruteForceTest, StatsReportOrderedPairCount) {
   const Dataset d = testing::SmallSynthetic(50);
   ExactJaccardProvider provider(d);

@@ -41,6 +41,50 @@ TEST(NeighborListsTest, EqualToWorstRejected) {
   EXPECT_FALSE(lists.Insert(0, 2, 0.5));  // ties keep the incumbent
 }
 
+TEST(NeighborListsTest, ConcurrentInsertLockedKeepsExactTopK) {
+  // Hammer one row (and a few others) from several threads through the
+  // TTAS spinlock. With all-distinct similarities the bounded list is
+  // order-independent: whatever the interleaving, the surviving entries
+  // must be exactly the k best offered.
+  constexpr std::size_t kK = 8;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 250;
+  NeighborLists lists(4, kK);
+
+  // Distinct similarities: sim(v) strictly increasing in v.
+  const auto sim_of = [](UserId v) {
+    return 0.001 * static_cast<double>(v + 1);
+  };
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const auto v = static_cast<UserId>(10 + t * kPerThread + i);
+        lists.InsertLocked(0, v, sim_of(v));
+        lists.InsertLocked(1 + (v % 3), v, sim_of(v));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const UserId max_v = 10 + kThreads * kPerThread - 1;
+  for (UserId row = 0; row < 2; ++row) {
+    std::vector<UserId> got;
+    for (const auto& e : lists.Of(row)) got.push_back(e.id);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got.size(), kK) << "row " << row;
+    if (row == 0) {
+      // Row 0 saw every v in [10, max_v]; top-k = the k largest ids.
+      for (std::size_t i = 0; i < kK; ++i) {
+        EXPECT_EQ(got[i], max_v - (kK - 1) + i);
+      }
+    }
+    for (const auto& e : lists.Of(row)) {
+      EXPECT_DOUBLE_EQ(e.similarity, static_cast<float>(sim_of(e.id)));
+    }
+  }
+}
+
 TEST(NeighborListsTest, InsertMarksEntryNew) {
   NeighborLists lists(3, 2);
   lists.Insert(0, 1, 0.5);

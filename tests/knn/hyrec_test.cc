@@ -126,5 +126,46 @@ TEST(HyrecTest, WorksWithGoldFingerProvider) {
   EXPECT_GT(q, 0.8);  // paper Table 4: Hyrec+GolFi quality ~0.78-0.93
 }
 
+TEST(HyrecTest, BatchScoringMatchesPerPairScoringExactly) {
+  // Same store, same seed: the ScoreBatch path must walk the identical
+  // refinement trajectory as the per-pair path (batch scores are
+  // bit-exact and applied in the same order), so the final graphs are
+  // identical down to tie-breaks.
+  const Dataset d = testing::SmallSynthetic(200);
+  FingerprintConfig fc;
+  fc.num_bits = 256;
+  auto store = FingerprintStore::Build(d, fc);
+  ASSERT_TRUE(store.ok());
+
+  struct PerPairProvider {
+    const FingerprintStore* store;
+    std::size_t num_users() const { return store->num_users(); }
+    double operator()(UserId a, UserId b) const {
+      return store->EstimateJaccard(a, b);
+    }
+  };
+  static_assert(BatchSimilarityProvider<GoldFingerProvider>);
+  static_assert(!BatchSimilarityProvider<PerPairProvider>);
+
+  GoldFingerProvider batched(*store);
+  PerPairProvider per_pair{&*store};
+  KnnBuildStats bs, ps;
+  const KnnGraph gb = HyrecKnn(batched, Config(), nullptr, &bs);
+  const KnnGraph gp = HyrecKnn(per_pair, Config(), nullptr, &ps);
+
+  EXPECT_EQ(bs.similarity_computations, ps.similarity_computations);
+  EXPECT_EQ(bs.iterations, ps.iterations);
+  ASSERT_EQ(gb.NumUsers(), gp.NumUsers());
+  for (UserId u = 0; u < gb.NumUsers(); ++u) {
+    const auto a = gb.NeighborsOf(u);
+    const auto b = gp.NeighborsOf(u);
+    ASSERT_EQ(a.size(), b.size()) << "user " << u;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].id, b[i].id) << "user " << u << " slot " << i;
+      ASSERT_EQ(a[i].similarity, b[i].similarity);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace gf

@@ -117,6 +117,43 @@ TEST(NNDescentTest, WorksWithGoldFingerProvider) {
   EXPECT_GT(q, 0.8);
 }
 
+TEST(NNDescentTest, BatchScoringMatchesPerPairScoringExactly) {
+  // Sequential runs with the same seed walk identical join schedules;
+  // the batched local joins must reproduce the per-pair graph exactly
+  // (bit-exact scores, inserts applied in the same order).
+  const Dataset d = testing::SmallSynthetic(200);
+  FingerprintConfig fc;
+  fc.num_bits = 256;
+  auto store = FingerprintStore::Build(d, fc);
+  ASSERT_TRUE(store.ok());
+
+  struct PerPairProvider {
+    const FingerprintStore* store;
+    std::size_t num_users() const { return store->num_users(); }
+    double operator()(UserId a, UserId b) const {
+      return store->EstimateJaccard(a, b);
+    }
+  };
+  GoldFingerProvider batched(*store);
+  PerPairProvider per_pair{&*store};
+  KnnBuildStats bs, ps;
+  const KnnGraph gb = NNDescentKnn(batched, Config(), nullptr, &bs);
+  const KnnGraph gp = NNDescentKnn(per_pair, Config(), nullptr, &ps);
+
+  EXPECT_EQ(bs.similarity_computations, ps.similarity_computations);
+  EXPECT_EQ(bs.iterations, ps.iterations);
+  ASSERT_EQ(gb.NumUsers(), gp.NumUsers());
+  for (UserId u = 0; u < gb.NumUsers(); ++u) {
+    const auto a = gb.NeighborsOf(u);
+    const auto b = gp.NeighborsOf(u);
+    ASSERT_EQ(a.size(), b.size()) << "user " << u;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].id, b[i].id) << "user " << u << " slot " << i;
+      ASSERT_EQ(a[i].similarity, b[i].similarity);
+    }
+  }
+}
+
 TEST(NNDescentTest, TinyDatasetFindsIdenticalTwin) {
   const Dataset d = testing::TinyDataset();
   ExactJaccardProvider provider(d);
