@@ -1,0 +1,62 @@
+// Bounded retry with exponential backoff for transient I/O failures.
+// Only StatusCode::kIOError is considered transient: NotFound means the
+// data is not there, Corruption means retrying would re-read the same
+// bad bytes — neither can succeed on a second attempt, so neither is
+// ever retried. Delays come from an injected Clock so tests can verify
+// the exact schedule without sleeping (common/clock.h).
+
+#ifndef GF_COMMON_BACKOFF_H_
+#define GF_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace gf {
+
+/// Exponential backoff schedule: attempt i (0-based) is retried after
+/// min(initial * multiplier^i, max_delay) microseconds.
+struct BackoffPolicy {
+  /// Total attempts, including the first (1 = no retries).
+  std::size_t max_attempts = 3;
+  uint64_t initial_delay_micros = 1000;
+  double multiplier = 2.0;
+  uint64_t max_delay_micros = 100000;
+
+  /// Delay before retry number `retry` (0-based: the delay between the
+  /// first and second attempt is DelayMicros(0)).
+  uint64_t DelayMicros(std::size_t retry) const {
+    double delay = static_cast<double>(initial_delay_micros);
+    for (std::size_t i = 0; i < retry; ++i) delay *= multiplier;
+    return static_cast<uint64_t>(
+        std::min(delay, static_cast<double>(max_delay_micros)));
+  }
+};
+
+/// Whether a failed I/O operation is worth retrying. Corruption,
+/// NotFound, InvalidArgument etc. are deterministic: the same call
+/// yields the same answer, so only kIOError qualifies.
+inline bool IsRetryableIo(const Status& status) {
+  return status.code() == StatusCode::kIOError;
+}
+
+/// Runs `op` (signature: Status()) up to policy.max_attempts times,
+/// sleeping on `clock` between attempts. Returns the first OK or
+/// non-retryable status, or the last error when attempts run out.
+template <typename Op>
+Status RetryWithBackoff(const BackoffPolicy& policy, Clock* clock, Op&& op) {
+  const std::size_t attempts = std::max<std::size_t>(1, policy.max_attempts);
+  Status status;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) clock->SleepMicros(policy.DelayMicros(attempt - 1));
+    status = op();
+    if (status.ok() || !IsRetryableIo(status)) return status;
+  }
+  return status;
+}
+
+}  // namespace gf
+
+#endif  // GF_COMMON_BACKOFF_H_

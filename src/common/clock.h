@@ -1,0 +1,75 @@
+// Injectable time source. Production code sleeps and reads wall time
+// through a Clock* so that retry/backoff schedules (common/backoff.h)
+// and injected I/O latency (io/fault_env.h) are testable without real
+// sleeps: tests pass a FakeClock and assert on the recorded schedule.
+
+#ifndef GF_COMMON_CLOCK_H_
+#define GF_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace gf {
+
+/// Abstract monotonic time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Microseconds since an arbitrary (monotonic) epoch.
+  virtual uint64_t NowMicros() = 0;
+
+  /// Blocks the calling thread for `micros` microseconds.
+  virtual void SleepMicros(uint64_t micros) = 0;
+
+  /// Process-wide real clock (steady_clock + sleep_for).
+  static Clock* System();
+};
+
+/// The real clock.
+class SystemClock : public Clock {
+ public:
+  uint64_t NowMicros() override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  void SleepMicros(uint64_t micros) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+};
+
+inline Clock* Clock::System() {
+  static SystemClock clock;
+  return &clock;
+}
+
+/// Deterministic clock for tests: time only moves when advanced or
+/// slept; every sleep is recorded so tests can assert on the exact
+/// backoff schedule. Not thread-safe (single-threaded tests only).
+class FakeClock : public Clock {
+ public:
+  uint64_t NowMicros() override { return now_micros_; }
+
+  void SleepMicros(uint64_t micros) override {
+    now_micros_ += micros;
+    sleeps_.push_back(micros);
+  }
+
+  void Advance(uint64_t micros) { now_micros_ += micros; }
+
+  /// Every SleepMicros() duration, in call order.
+  const std::vector<uint64_t>& sleeps() const { return sleeps_; }
+
+ private:
+  uint64_t now_micros_ = 0;
+  std::vector<uint64_t> sleeps_;
+};
+
+}  // namespace gf
+
+#endif  // GF_COMMON_CLOCK_H_

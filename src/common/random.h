@@ -5,6 +5,7 @@
 #ifndef GF_COMMON_RANDOM_H_
 #define GF_COMMON_RANDOM_H_
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -112,6 +113,25 @@ class Rng {
     for (std::size_t i = v.size(); i > 1; --i) {
       std::swap(v[i - 1], v[Below(i)]);
     }
+  }
+
+  /// Full generator state, for checkpoint/resume: a generator restored
+  /// with LoadState produces the exact sequence the saved one would
+  /// have (including a buffered Gaussian spare).
+  struct State {
+    std::array<uint64_t, 4> lanes{};
+    double spare = 0.0;
+    bool has_spare = false;
+  };
+
+  State SaveState() const {
+    return State{{s_[0], s_[1], s_[2], s_[3]}, spare_, has_spare_};
+  }
+
+  void LoadState(const State& state) {
+    for (std::size_t i = 0; i < 4; ++i) s_[i] = state.lanes[i];
+    spare_ = state.spare;
+    has_spare_ = state.has_spare;
   }
 
  private:

@@ -2,11 +2,11 @@
 
 #include <charconv>
 #include <cstdint>
-#include <fstream>
-#include <sstream>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "io/env.h"
 
 namespace gf {
 
@@ -28,13 +28,11 @@ class IdCompactor {
   uint32_t next_ = 0;
 };
 
+// Reads through the Env seam, so missing files surface as NotFound
+// (not a generic IOError) and transient read failures get the default
+// retry/backoff — the same taxonomy as the .gfsz readers in io/.
 Result<std::string> ReadWholeFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  if (in.bad()) return Status::IOError("read failed on " + path);
-  return ss.str();
+  return io::Env::Default()->ReadFile(path);
 }
 
 bool ParseU64(std::string_view tok, uint64_t* out) {

@@ -1,0 +1,168 @@
+#include "io/container.h"
+
+#include <cstring>
+
+#include "io/crc32.h"
+
+namespace gf::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'F', 'S', 'Z'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr std::size_t kHeaderBytes = 20;
+constexpr std::size_t kTrailerBytes = 4;
+
+}  // namespace
+
+void PutU8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutF32(std::string& out, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(out, bits);
+}
+
+void PutF64(std::string& out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string& out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+Status Reader::ReadU8(uint8_t* out) {
+  if (pos_ + 1 > buffer_.size()) return Truncated("u8");
+  *out = static_cast<uint8_t>(buffer_[pos_]);
+  pos_ += 1;
+  return Status::OK();
+}
+
+Status Reader::ReadU32(uint32_t* out) {
+  if (pos_ + 4 > buffer_.size()) return Truncated("u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(buffer_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  *out = v;
+  return Status::OK();
+}
+
+Status Reader::ReadU64(uint64_t* out) {
+  if (pos_ + 8 > buffer_.size()) return Truncated("u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(buffer_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  *out = v;
+  return Status::OK();
+}
+
+Status Reader::ReadF32(float* out) {
+  uint32_t bits = 0;
+  GF_RETURN_IF_ERROR(ReadU32(&bits));
+  std::memcpy(out, &bits, sizeof(*out));
+  return Status::OK();
+}
+
+Status Reader::ReadF64(double* out) {
+  uint64_t bits = 0;
+  GF_RETURN_IF_ERROR(ReadU64(&bits));
+  std::memcpy(out, &bits, sizeof(*out));
+  return Status::OK();
+}
+
+Status Reader::ReadString(std::string* out) {
+  uint32_t len = 0;
+  GF_RETURN_IF_ERROR(ReadU32(&len));
+  if (pos_ + len > buffer_.size()) return Truncated("string body");
+  out->assign(buffer_.data() + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status Reader::Truncated(const char* what) const {
+  return Status::Corruption(std::string("buffer truncated reading ") + what +
+                            " at offset " + std::to_string(pos_));
+}
+
+std::string WrapContainer(PayloadKind kind, std::string payload) {
+  std::string out;
+  out.reserve(payload.size() + kHeaderBytes + kTrailerBytes);
+  out.append(kMagic, 4);
+  PutU32(out, kFormatVersion);
+  PutU32(out, static_cast<uint32_t>(kind));
+  PutU64(out, payload.size());
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  out += payload;
+  PutU32(out, crc);
+  return out;
+}
+
+Result<std::string_view> UnwrapContainer(std::string_view buffer,
+                                         PayloadKind expected_kind) {
+  if (buffer.size() < kHeaderBytes + kTrailerBytes) {
+    return Status::Corruption("buffer smaller than the container header");
+  }
+  if (std::memcmp(buffer.data(), kMagic, 4) != 0) {
+    return Status::Corruption("bad magic (not a GFSZ container)");
+  }
+  Reader header(buffer.substr(4));
+  uint32_t version = 0, kind = 0;
+  uint64_t length = 0;
+  GF_RETURN_IF_ERROR(header.ReadU32(&version));
+  GF_RETURN_IF_ERROR(header.ReadU32(&kind));
+  GF_RETURN_IF_ERROR(header.ReadU64(&length));
+  if (version != kFormatVersion) {
+    return Status::Corruption("unsupported format version " +
+                              std::to_string(version));
+  }
+  if (kind != static_cast<uint32_t>(expected_kind)) {
+    return Status::InvalidArgument(
+        "container holds payload kind " + std::to_string(kind) +
+        ", expected " + std::to_string(static_cast<uint32_t>(expected_kind)));
+  }
+  // Distinguish a truncated container (short read / torn write) from
+  // trailing garbage: both are corruption, but the messages differ so
+  // operators can tell a partial file from a concatenation bug.
+  const uint64_t expected_size =
+      static_cast<uint64_t>(kHeaderBytes + kTrailerBytes) + length;
+  if (buffer.size() < expected_size || expected_size < length) {
+    return Status::Corruption(
+        "container truncated: header promises " + std::to_string(length) +
+        " payload bytes, buffer holds " + std::to_string(buffer.size()));
+  }
+  if (buffer.size() > expected_size) {
+    return Status::Corruption(
+        "trailing bytes after the container (" +
+        std::to_string(buffer.size() - expected_size) + ")");
+  }
+  const std::string_view payload = buffer.substr(kHeaderBytes, length);
+  Reader crc_reader(buffer.substr(kHeaderBytes + length));
+  uint32_t stored_crc = 0;
+  GF_RETURN_IF_ERROR(crc_reader.ReadU32(&stored_crc));
+  const uint32_t actual_crc = Crc32(payload.data(), payload.size());
+  if (stored_crc != actual_crc) {
+    return Status::Corruption("payload CRC mismatch");
+  }
+  return payload;
+}
+
+}  // namespace gf::io

@@ -1,0 +1,82 @@
+// The GFSZ container and its little-endian wire primitives, shared by
+// every serialized artifact (io/serialization.cc) and by the build
+// checkpoints (knn/checkpoint.cc).
+//
+// Container format (explicit little-endian, host-independent):
+//
+//   offset  size  field
+//   0       4     magic "GFSZ"
+//   4       4     format version (u32, currently 1)
+//   8       4     payload kind  (u32: 1=Dataset, 2=FingerprintStore,
+//                                3=KnnGraph, 4=Checkpoint)
+//   12      8     payload length in bytes (u64)
+//   20      N     payload (kind-specific)
+//   20+N    4     CRC-32 of the payload
+//
+// UnwrapContainer validates magic, version, kind, length and CRC and
+// returns Status::Corruption with a precise message on any mismatch
+// (Status::InvalidArgument when the container is valid but holds a
+// different payload kind than expected).
+
+#ifndef GF_IO_CONTAINER_H_
+#define GF_IO_CONTAINER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace gf::io {
+
+enum class PayloadKind : uint32_t {
+  kDataset = 1,
+  kFingerprintStore = 2,
+  kKnnGraph = 3,
+  kCheckpoint = 4,
+};
+
+// ---- little-endian primitives -----------------------------------------
+
+void PutU8(std::string& out, uint8_t v);
+void PutU32(std::string& out, uint32_t v);
+void PutU64(std::string& out, uint64_t v);
+void PutF32(std::string& out, float v);
+void PutF64(std::string& out, double v);
+void PutString(std::string& out, std::string_view s);
+
+/// Bounds-checked cursor over a byte buffer. Every overrun returns
+/// Status::Corruption naming the offset, never reads past the end.
+class Reader {
+ public:
+  explicit Reader(std::string_view buffer) : buffer_(buffer) {}
+
+  Status ReadU8(uint8_t* out);
+  Status ReadU32(uint32_t* out);
+  Status ReadU64(uint64_t* out);
+  Status ReadF32(float* out);
+  Status ReadF64(double* out);
+  Status ReadString(std::string* out);
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return buffer_.size() - pos_; }
+
+ private:
+  Status Truncated(const char* what) const;
+
+  std::string_view buffer_;
+  std::size_t pos_ = 0;
+};
+
+// ---- container ---------------------------------------------------------
+
+/// Frames `payload` in a GFSZ container (header + CRC-32 trailer).
+std::string WrapContainer(PayloadKind kind, std::string payload);
+
+/// Validates the container and returns a view of the payload.
+Result<std::string_view> UnwrapContainer(std::string_view buffer,
+                                         PayloadKind expected_kind);
+
+}  // namespace gf::io
+
+#endif  // GF_IO_CONTAINER_H_

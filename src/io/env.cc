@@ -1,0 +1,257 @@
+#include "io/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace gf::io {
+
+namespace {
+
+Status ErrnoStatus(const char* op, const std::string& path, int err) {
+  const std::string message = std::string(op) + " " + path + ": " +
+                              std::strerror(err);
+  if (err == ENOENT || err == ENOTDIR) return Status::NotFound(message);
+  return Status::IOError(message);
+}
+
+// close() preserving errno of an earlier failure.
+void CloseQuietly(int fd) {
+  const int saved = errno;
+  ::close(fd);
+  errno = saved;
+}
+
+Status WriteAll(int fd, const char* data, std::size_t size,
+                const std::string& path) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path, errno);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+// Best-effort fsync of the directory containing `path`, so the rename
+// that published a file survives a crash.
+void SyncParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, std::max<std::size_t>(slash, 1));
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+std::string JoinPath(const std::string& path, const std::string& name) {
+  if (path.empty()) return name;
+  if (path.back() == '/') return path + name;
+  return path + "/" + name;
+}
+
+// ---- PosixEnv ----------------------------------------------------------
+
+Result<std::string> PosixEnv::ReadFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = ErrnoStatus("stat", path, errno);
+    CloseQuietly(fd);
+    return status;
+  }
+  if (S_ISDIR(st.st_mode)) {
+    CloseQuietly(fd);
+    return Status::IOError("read " + path + ": is a directory");
+  }
+
+  std::string out;
+  if (st.st_size > 0) out.reserve(static_cast<std::size_t>(st.st_size));
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = ErrnoStatus("read", path, errno);
+      CloseQuietly(fd);
+      return status;
+    }
+    if (n == 0) break;
+    out.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status PosixEnv::WriteFileAtomic(const std::string& path,
+                                 std::string_view data) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoStatus("open", tmp, errno);
+
+  Status status = WriteAll(fd, data.data(), data.size(), tmp);
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = ErrnoStatus("fsync", tmp, errno);
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status = ErrnoStatus("close", tmp, errno);
+  }
+  if (status.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = ErrnoStatus("rename", tmp + " -> " + path, errno);
+  }
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());  // best effort; the target is untouched
+    return status;
+  }
+  SyncParentDir(path);
+  return Status::OK();
+}
+
+Result<bool> PosixEnv::FileExists(const std::string& path) {
+  if (::access(path.c_str(), F_OK) == 0) return true;
+  if (errno == ENOENT || errno == ENOTDIR) return false;
+  return ErrnoStatus("access", path, errno);
+}
+
+Status PosixEnv::DeleteFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) return ErrnoStatus("unlink", path, errno);
+  return Status::OK();
+}
+
+Status PosixEnv::RenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename", from + " -> " + to, errno);
+  }
+  return Status::OK();
+}
+
+Status PosixEnv::CreateDirs(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("empty directory path");
+  std::string prefix;
+  prefix.reserve(path.size());
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    const std::size_t slash = path.find('/', pos);
+    const std::size_t end = slash == std::string::npos ? path.size() : slash;
+    prefix.assign(path, 0, end);
+    pos = end + 1;
+    if (prefix.empty()) continue;  // leading '/'
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoStatus("mkdir", prefix, errno);
+    }
+    if (slash == std::string::npos) break;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> PosixEnv::ListDirectory(
+    const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return ErrnoStatus("opendir", path, errno);
+  std::vector<std::string> names;
+  for (;;) {
+    errno = 0;
+    const dirent* entry = ::readdir(dir);
+    if (entry == nullptr) {
+      if (errno != 0) {
+        const Status status = ErrnoStatus("readdir", path, errno);
+        ::closedir(dir);
+        return status;
+      }
+      break;
+    }
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// ---- RetryingEnv -------------------------------------------------------
+
+namespace {
+
+// RetryWithBackoff for Result<T>-returning operations.
+template <typename T, typename Op>
+Result<T> RetryResult(const BackoffPolicy& policy, Clock* clock, Op&& op) {
+  Result<T> result = op();
+  Status status = result.ok() ? Status::OK() : result.status();
+  std::size_t retry = 0;
+  const std::size_t attempts = std::max<std::size_t>(1, policy.max_attempts);
+  while (!status.ok() && IsRetryableIo(status) && retry + 1 < attempts) {
+    clock->SleepMicros(policy.DelayMicros(retry));
+    ++retry;
+    result = op();
+    status = result.ok() ? Status::OK() : result.status();
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<std::string> RetryingEnv::ReadFile(const std::string& path) {
+  return RetryResult<std::string>(policy_, clock_,
+                                  [&] { return base_->ReadFile(path); });
+}
+
+Status RetryingEnv::WriteFileAtomic(const std::string& path,
+                                    std::string_view data) {
+  return RetryWithBackoff(policy_, clock_,
+                          [&] { return base_->WriteFileAtomic(path, data); });
+}
+
+Result<bool> RetryingEnv::FileExists(const std::string& path) {
+  return RetryResult<bool>(policy_, clock_,
+                           [&] { return base_->FileExists(path); });
+}
+
+Status RetryingEnv::DeleteFile(const std::string& path) {
+  return RetryWithBackoff(policy_, clock_,
+                          [&] { return base_->DeleteFile(path); });
+}
+
+Status RetryingEnv::RenameFile(const std::string& from,
+                               const std::string& to) {
+  return RetryWithBackoff(policy_, clock_,
+                          [&] { return base_->RenameFile(from, to); });
+}
+
+Status RetryingEnv::CreateDirs(const std::string& path) {
+  return RetryWithBackoff(policy_, clock_,
+                          [&] { return base_->CreateDirs(path); });
+}
+
+Result<std::vector<std::string>> RetryingEnv::ListDirectory(
+    const std::string& path) {
+  return RetryResult<std::vector<std::string>>(
+      policy_, clock_, [&] { return base_->ListDirectory(path); });
+}
+
+// ---- default env -------------------------------------------------------
+
+Env* Env::Default() {
+  static PosixEnv posix;
+  static RetryingEnv retrying(&posix);
+  return &retrying;
+}
+
+}  // namespace gf::io

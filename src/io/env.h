@@ -1,0 +1,111 @@
+// Env: the file-system seam (RocksDB idiom). Every read and write the
+// library performs goes through an Env*, so production code runs on
+// PosixEnv (durable atomic writes, precise errno mapping) while tests
+// swap in FaultInjectingEnv (io/fault_env.h) to script torn writes,
+// short reads, bit-flips and transient errors deterministically.
+//
+// Error taxonomy, enforced by every implementation:
+//   NotFound    — the path does not exist (ENOENT/ENOTDIR). Never used
+//                 for a file that exists but cannot be read.
+//   IOError     — the environment failed (permissions, disk, EIO, a
+//                 directory where a file was expected). Retryable.
+//   Corruption  — never produced here: an Env moves bytes; deciding the
+//                 bytes are bad is the parser's job (io/container.h).
+
+#ifndef GF_IO_ENV_H_
+#define GF_IO_ENV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace gf::io {
+
+/// Abstract file-system environment.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Reads the whole file. NotFound when the path does not exist.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Atomically replaces `path` with `data`: readers observe either the
+  /// previous content or all of `data`, never a prefix (write to a
+  /// temporary sibling, flush, rename over the target).
+  virtual Status WriteFileAtomic(const std::string& path,
+                                 std::string_view data) = 0;
+
+  virtual Result<bool> FileExists(const std::string& path) = 0;
+
+  /// NotFound when the path does not exist.
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  /// mkdir -p.
+  virtual Status CreateDirs(const std::string& path) = 0;
+
+  /// Entry names (not paths) of a directory, sorted, without "."/"..".
+  virtual Result<std::vector<std::string>> ListDirectory(
+      const std::string& path) = 0;
+
+  /// Process-wide default: PosixEnv wrapped in RetryingEnv with the
+  /// default BackoffPolicy on the system clock.
+  static Env* Default();
+};
+
+/// Direct POSIX implementation. No retries of its own (beyond EINTR);
+/// wrap in RetryingEnv for resilience against transient errors.
+class PosixEnv : public Env {
+ public:
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status WriteFileAtomic(const std::string& path,
+                         std::string_view data) override;
+  Result<bool> FileExists(const std::string& path) override;
+  Status DeleteFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status CreateDirs(const std::string& path) override;
+  Result<std::vector<std::string>> ListDirectory(
+      const std::string& path) override;
+};
+
+/// Decorator adding bounded retry with exponential backoff to every
+/// operation of a base Env. Only retryable statuses (IsRetryableIo:
+/// kIOError) are retried; NotFound and anything deterministic pass
+/// through on the first attempt.
+class RetryingEnv : public Env {
+ public:
+  /// Does not own `base`. `clock == nullptr` means the system clock.
+  explicit RetryingEnv(Env* base, BackoffPolicy policy = {},
+                       Clock* clock = nullptr)
+      : base_(base),
+        policy_(policy),
+        clock_(clock != nullptr ? clock : Clock::System()) {}
+
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status WriteFileAtomic(const std::string& path,
+                         std::string_view data) override;
+  Result<bool> FileExists(const std::string& path) override;
+  Status DeleteFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status CreateDirs(const std::string& path) override;
+  Result<std::vector<std::string>> ListDirectory(
+      const std::string& path) override;
+
+ private:
+  Env* base_;
+  BackoffPolicy policy_;
+  Clock* clock_;
+};
+
+/// `path` joined with `name` by exactly one '/'.
+std::string JoinPath(const std::string& path, const std::string& name);
+
+}  // namespace gf::io
+
+#endif  // GF_IO_ENV_H_

@@ -1,0 +1,167 @@
+#include "io/fault_env.h"
+
+#include <string>
+
+namespace gf::io {
+
+void FaultInjectingEnv::InjectReadFault(uint64_t nth_read, Fault fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  read_faults_[nth_read] = fault;
+}
+
+void FaultInjectingEnv::InjectWriteFault(uint64_t nth_write, Fault fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  write_faults_[nth_write] = fault;
+}
+
+void FaultInjectingEnv::FailFrom(uint64_t nth_op, StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_from_ = nth_op;
+  fail_code_ = code;
+}
+
+void FaultInjectingEnv::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  read_faults_.clear();
+  write_faults_.clear();
+  fail_from_ = 0;
+}
+
+uint64_t FaultInjectingEnv::op_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+uint64_t FaultInjectingEnv::read_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reads_;
+}
+
+uint64_t FaultInjectingEnv::write_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writes_;
+}
+
+Status FaultInjectingEnv::CountOp() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++ops_;
+  if (fail_from_ != 0 && ops_ >= fail_from_) {
+    return Status(fail_code_,
+                  "injected failure at op " + std::to_string(ops_));
+  }
+  return Status::OK();
+}
+
+bool FaultInjectingEnv::TakeFault(std::map<uint64_t, Fault>& faults,
+                                  uint64_t index, Fault* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = faults.find(index);
+  if (it == faults.end()) return false;
+  *out = it->second;
+  faults.erase(it);
+  return true;
+}
+
+Result<std::string> FaultInjectingEnv::ReadFile(const std::string& path) {
+  GF_RETURN_IF_ERROR(CountOp());
+  uint64_t index;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    index = ++reads_;
+  }
+  Fault fault;
+  if (!TakeFault(read_faults_, index, &fault)) {
+    return base_->ReadFile(path);
+  }
+  switch (fault.kind) {
+    case Fault::Kind::kLatency:
+      clock_->SleepMicros(fault.latency_micros);
+      return base_->ReadFile(path);
+    case Fault::Kind::kShortRead: {
+      std::string data;
+      GF_ASSIGN_OR_RETURN(data, base_->ReadFile(path));
+      data.resize(std::min(data.size(), fault.keep_bytes));
+      return data;
+    }
+    case Fault::Kind::kBitFlip: {
+      std::string data;
+      GF_ASSIGN_OR_RETURN(data, base_->ReadFile(path));
+      if (!data.empty()) {
+        const std::size_t bit = fault.bit_index % (data.size() * 8);
+        data[bit / 8] = static_cast<char>(
+            static_cast<unsigned char>(data[bit / 8]) ^ (1u << (bit % 8)));
+      }
+      return data;
+    }
+    case Fault::Kind::kError:
+    case Fault::Kind::kTornWrite:  // meaningless on a read: plain error
+      break;
+  }
+  return Status(fault.code,
+                "injected fault on read #" + std::to_string(index) + " (" +
+                    path + ")");
+}
+
+Status FaultInjectingEnv::WriteFileAtomic(const std::string& path,
+                                          std::string_view data) {
+  GF_RETURN_IF_ERROR(CountOp());
+  uint64_t index;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    index = ++writes_;
+  }
+  Fault fault;
+  if (!TakeFault(write_faults_, index, &fault)) {
+    return base_->WriteFileAtomic(path, data);
+  }
+  switch (fault.kind) {
+    case Fault::Kind::kLatency:
+      clock_->SleepMicros(fault.latency_micros);
+      return base_->WriteFileAtomic(path, data);
+    case Fault::Kind::kTornWrite: {
+      // The torn prefix lands on the TARGET path, as if a non-atomic
+      // writer died mid-flush; the caller still sees a failure.
+      const std::string_view prefix =
+          data.substr(0, std::min(data.size(), fault.keep_bytes));
+      (void)base_->WriteFileAtomic(path, prefix);
+      return Status::IOError("injected torn write on write #" +
+                             std::to_string(index) + " (" + path + ")");
+    }
+    case Fault::Kind::kError:
+    case Fault::Kind::kShortRead:  // meaningless on a write: plain error
+    case Fault::Kind::kBitFlip:
+      break;
+  }
+  return Status(fault.code,
+                "injected fault on write #" + std::to_string(index) + " (" +
+                    path + ")");
+}
+
+Result<bool> FaultInjectingEnv::FileExists(const std::string& path) {
+  GF_RETURN_IF_ERROR(CountOp());
+  return base_->FileExists(path);
+}
+
+Status FaultInjectingEnv::DeleteFile(const std::string& path) {
+  GF_RETURN_IF_ERROR(CountOp());
+  return base_->DeleteFile(path);
+}
+
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  GF_RETURN_IF_ERROR(CountOp());
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectingEnv::CreateDirs(const std::string& path) {
+  GF_RETURN_IF_ERROR(CountOp());
+  return base_->CreateDirs(path);
+}
+
+Result<std::vector<std::string>> FaultInjectingEnv::ListDirectory(
+    const std::string& path) {
+  GF_RETURN_IF_ERROR(CountOp());
+  return base_->ListDirectory(path);
+}
+
+}  // namespace gf::io

@@ -1,0 +1,107 @@
+// Deterministic fault injection behind the Env seam. Tests script a
+// sequence of faults keyed on per-kind operation indices ("fail the 3rd
+// write", "tear the 2nd write after 17 bytes", "flip bit 123 of the 1st
+// read") and the wrapped environment executes them exactly once,
+// regardless of threading or timing. This is how the crash-recovery
+// and corruption suites reproduce torn checkpoints, short reads and
+// flaky disks byte-for-byte on every run.
+
+#ifndef GF_IO_FAULT_ENV_H_
+#define GF_IO_FAULT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "io/env.h"
+
+namespace gf::io {
+
+/// Env decorator that injects scripted faults. Operations are counted
+/// per kind (reads = ReadFile, writes = WriteFileAtomic, 1-based);
+/// every other operation passes through to the base env untouched
+/// unless the global kill switch (FailFrom) has tripped.
+class FaultInjectingEnv : public Env {
+ public:
+  struct Fault {
+    enum class Kind {
+      /// The operation fails with `code` without touching the disk.
+      kError,
+      /// Writes: only the first `keep_bytes` of the data reach the
+      /// TARGET path (bypassing the temp-file dance), simulating a
+      /// non-atomic writer dying mid-flush; the call reports IOError.
+      kTornWrite,
+      /// Reads: only the first `keep_bytes` of the file are returned,
+      /// as if the file had been truncated under the reader.
+      kShortRead,
+      /// Reads: bit `bit_index` (mod file size) of the returned bytes
+      /// is flipped; the call itself reports success.
+      kBitFlip,
+      /// The operation succeeds after `latency_micros` on the clock.
+      kLatency,
+    };
+
+    Kind kind = Kind::kError;
+    StatusCode code = StatusCode::kIOError;  // kError
+    std::size_t keep_bytes = 0;              // kTornWrite / kShortRead
+    std::size_t bit_index = 0;               // kBitFlip
+    uint64_t latency_micros = 0;             // kLatency
+  };
+
+  /// Does not own `base`. `clock == nullptr` means the system clock
+  /// (pass a FakeClock to observe injected latency without sleeping).
+  explicit FaultInjectingEnv(Env* base, Clock* clock = nullptr)
+      : base_(base), clock_(clock != nullptr ? clock : Clock::System()) {}
+
+  /// Scripts `fault` for the nth ReadFile (1-based).
+  void InjectReadFault(uint64_t nth_read, Fault fault);
+
+  /// Scripts `fault` for the nth WriteFileAtomic (1-based).
+  void InjectWriteFault(uint64_t nth_write, Fault fault);
+
+  /// Simulated crash: every operation (of any kind) from global index
+  /// `nth_op` (1-based) on fails with `code`. 0 disables.
+  void FailFrom(uint64_t nth_op, StatusCode code = StatusCode::kIOError);
+
+  void ClearFaults();
+
+  uint64_t op_count() const;
+  uint64_t read_count() const;
+  uint64_t write_count() const;
+
+  // Env:
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status WriteFileAtomic(const std::string& path,
+                         std::string_view data) override;
+  Result<bool> FileExists(const std::string& path) override;
+  Status DeleteFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status CreateDirs(const std::string& path) override;
+  Result<std::vector<std::string>> ListDirectory(
+      const std::string& path) override;
+
+ private:
+  /// Bumps the global counter; non-OK when the kill switch tripped.
+  Status CountOp();
+  /// Fetches-and-removes the fault scripted for this read/write index.
+  bool TakeFault(std::map<uint64_t, Fault>& faults, uint64_t index,
+                 Fault* out);
+
+  Env* base_;
+  Clock* clock_;
+
+  mutable std::mutex mu_;
+  uint64_t ops_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t fail_from_ = 0;  // 0 = kill switch off
+  StatusCode fail_code_ = StatusCode::kIOError;
+  std::map<uint64_t, Fault> read_faults_;
+  std::map<uint64_t, Fault> write_faults_;
+};
+
+}  // namespace gf::io
+
+#endif  // GF_IO_FAULT_ENV_H_

@@ -1,176 +1,12 @@
 #include "io/serialization.h"
 
-#include <cstring>
-#include <fstream>
-#include <sstream>
-
-#include "io/crc32.h"
+#include "io/container.h"
 
 namespace gf::io {
 
 namespace {
 
-constexpr char kMagic[4] = {'G', 'F', 'S', 'Z'};
-constexpr uint32_t kFormatVersion = 1;
-
-enum class PayloadKind : uint32_t {
-  kDataset = 1,
-  kFingerprintStore = 2,
-  kKnnGraph = 3,
-};
-
-// ---- little-endian primitives -----------------------------------------
-
-void PutU32(std::string& out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
-}
-
-void PutU64(std::string& out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
-}
-
-void PutF32(std::string& out, float v) {
-  uint32_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  PutU32(out, bits);
-}
-
-void PutString(std::string& out, std::string_view s) {
-  PutU32(out, static_cast<uint32_t>(s.size()));
-  out.append(s.data(), s.size());
-}
-
-// Bounds-checked cursor over a byte buffer.
-class Reader {
- public:
-  explicit Reader(std::string_view buffer) : buffer_(buffer) {}
-
-  Status ReadU32(uint32_t* out) {
-    if (pos_ + 4 > buffer_.size()) return Truncated("u32");
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<uint32_t>(
-               static_cast<unsigned char>(buffer_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 4;
-    *out = v;
-    return Status::OK();
-  }
-
-  Status ReadU64(uint64_t* out) {
-    if (pos_ + 8 > buffer_.size()) return Truncated("u64");
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<uint64_t>(
-               static_cast<unsigned char>(buffer_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 8;
-    *out = v;
-    return Status::OK();
-  }
-
-  Status ReadF32(float* out) {
-    uint32_t bits = 0;
-    GF_RETURN_IF_ERROR(ReadU32(&bits));
-    std::memcpy(out, &bits, sizeof(*out));
-    return Status::OK();
-  }
-
-  Status ReadString(std::string* out) {
-    uint32_t len = 0;
-    GF_RETURN_IF_ERROR(ReadU32(&len));
-    if (pos_ + len > buffer_.size()) return Truncated("string body");
-    out->assign(buffer_.data() + pos_, len);
-    pos_ += len;
-    return Status::OK();
-  }
-
-  std::size_t position() const { return pos_; }
-  std::size_t remaining() const { return buffer_.size() - pos_; }
-
- private:
-  Status Truncated(const char* what) const {
-    return Status::Corruption(std::string("buffer truncated reading ") +
-                              what + " at offset " + std::to_string(pos_));
-  }
-
-  std::string_view buffer_;
-  std::size_t pos_ = 0;
-};
-
-// ---- container ---------------------------------------------------------
-
-std::string WrapContainer(PayloadKind kind, std::string payload) {
-  std::string out;
-  out.reserve(payload.size() + 24);
-  out.append(kMagic, 4);
-  PutU32(out, kFormatVersion);
-  PutU32(out, static_cast<uint32_t>(kind));
-  PutU64(out, payload.size());
-  const uint32_t crc = Crc32(payload.data(), payload.size());
-  out += payload;
-  PutU32(out, crc);
-  return out;
-}
-
-Result<std::string_view> UnwrapContainer(std::string_view buffer,
-                                         PayloadKind expected_kind) {
-  if (buffer.size() < 24) {
-    return Status::Corruption("buffer smaller than the container header");
-  }
-  if (std::memcmp(buffer.data(), kMagic, 4) != 0) {
-    return Status::Corruption("bad magic (not a GFSZ container)");
-  }
-  Reader header(buffer.substr(4));
-  uint32_t version = 0, kind = 0;
-  uint64_t length = 0;
-  GF_RETURN_IF_ERROR(header.ReadU32(&version));
-  GF_RETURN_IF_ERROR(header.ReadU32(&kind));
-  GF_RETURN_IF_ERROR(header.ReadU64(&length));
-  if (version != kFormatVersion) {
-    return Status::Corruption("unsupported format version " +
-                              std::to_string(version));
-  }
-  if (kind != static_cast<uint32_t>(expected_kind)) {
-    return Status::InvalidArgument(
-        "container holds payload kind " + std::to_string(kind) +
-        ", expected " +
-        std::to_string(static_cast<uint32_t>(expected_kind)));
-  }
-  if (buffer.size() != 20 + length + 4) {
-    return Status::Corruption("container length mismatch");
-  }
-  const std::string_view payload = buffer.substr(20, length);
-  Reader crc_reader(buffer.substr(20 + length));
-  uint32_t stored_crc = 0;
-  GF_RETURN_IF_ERROR(crc_reader.ReadU32(&stored_crc));
-  const uint32_t actual_crc = Crc32(payload.data(), payload.size());
-  if (stored_crc != actual_crc) {
-    return Status::Corruption("payload CRC mismatch");
-  }
-  return payload;
-}
-
-// ---- file helpers ------------------------------------------------------
-
-Status WriteFile(const std::string& path, const std::string& bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) return Status::IOError("write failed on " + path);
-  return Status::OK();
-}
-
-Result<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  if (in.bad()) return Status::IOError("read failed on " + path);
-  return ss.str();
-}
+Env* OrDefault(Env* env) { return env != nullptr ? env : Env::Default(); }
 
 }  // namespace
 
@@ -324,34 +160,38 @@ Result<KnnGraph> DeserializeKnnGraph(std::string_view buffer) {
 
 // ---- files ----------------------------------------------------------------
 
-Status WriteDataset(const Dataset& dataset, const std::string& path) {
-  return WriteFile(path, SerializeDataset(dataset));
+Status WriteDataset(const Dataset& dataset, const std::string& path,
+                    Env* env) {
+  return OrDefault(env)->WriteFileAtomic(path, SerializeDataset(dataset));
 }
 
-Result<Dataset> ReadDataset(const std::string& path) {
+Result<Dataset> ReadDataset(const std::string& path, Env* env) {
   std::string bytes;
-  GF_ASSIGN_OR_RETURN(bytes, ReadFile(path));
+  GF_ASSIGN_OR_RETURN(bytes, OrDefault(env)->ReadFile(path));
   return DeserializeDataset(bytes);
 }
 
 Status WriteFingerprintStore(const FingerprintStore& store,
-                             const std::string& path) {
-  return WriteFile(path, SerializeFingerprintStore(store));
+                             const std::string& path, Env* env) {
+  return OrDefault(env)->WriteFileAtomic(path,
+                                         SerializeFingerprintStore(store));
 }
 
-Result<FingerprintStore> ReadFingerprintStore(const std::string& path) {
+Result<FingerprintStore> ReadFingerprintStore(const std::string& path,
+                                              Env* env) {
   std::string bytes;
-  GF_ASSIGN_OR_RETURN(bytes, ReadFile(path));
+  GF_ASSIGN_OR_RETURN(bytes, OrDefault(env)->ReadFile(path));
   return DeserializeFingerprintStore(bytes);
 }
 
-Status WriteKnnGraph(const KnnGraph& graph, const std::string& path) {
-  return WriteFile(path, SerializeKnnGraph(graph));
+Status WriteKnnGraph(const KnnGraph& graph, const std::string& path,
+                     Env* env) {
+  return OrDefault(env)->WriteFileAtomic(path, SerializeKnnGraph(graph));
 }
 
-Result<KnnGraph> ReadKnnGraph(const std::string& path) {
+Result<KnnGraph> ReadKnnGraph(const std::string& path, Env* env) {
   std::string bytes;
-  GF_ASSIGN_OR_RETURN(bytes, ReadFile(path));
+  GF_ASSIGN_OR_RETURN(bytes, OrDefault(env)->ReadFile(path));
   return DeserializeKnnGraph(bytes);
 }
 

@@ -4,19 +4,14 @@
 // KNN service, and graphs are recomputed "in short intervals", so both
 // cross the wire / hit disk routinely.
 //
-// Container format (explicit little-endian, host-independent):
+// All artifacts travel in the GFSZ container (io/container.h): magic,
+// version, payload kind, length, CRC-32. Readers validate all of it and
+// return Status::Corruption with a precise message on any mismatch.
 //
-//   offset  size  field
-//   0       4     magic "GFSZ"
-//   4       4     format version (u32, currently 1)
-//   8       4     payload kind  (u32: 1=Dataset, 2=FingerprintStore,
-//                                3=KnnGraph)
-//   12      8     payload length in bytes (u64)
-//   20      N     payload (kind-specific, see the .cc)
-//   20+N    4     CRC-32 of the payload
-//
-// All readers validate magic, version, kind, length and CRC and return
-// Status::Corruption with a precise message on any mismatch.
+// The file wrappers route every byte through an Env (io/env.h), so the
+// error taxonomy is consistent: a missing file is NotFound, a failing
+// disk is IOError, and a truncated or bit-flipped container is
+// Corruption — callers can retry, recreate or alert accordingly.
 
 #ifndef GF_IO_SERIALIZATION_H_
 #define GF_IO_SERIALIZATION_H_
@@ -26,6 +21,7 @@
 #include "common/result.h"
 #include "core/fingerprint_store.h"
 #include "dataset/dataset.h"
+#include "io/env.h"
 #include "knn/graph.h"
 
 namespace gf::io {
@@ -41,14 +37,18 @@ Result<FingerprintStore> DeserializeFingerprintStore(
     std::string_view buffer);
 Result<KnnGraph> DeserializeKnnGraph(std::string_view buffer);
 
-/// File convenience wrappers.
-Status WriteDataset(const Dataset& dataset, const std::string& path);
-Result<Dataset> ReadDataset(const std::string& path);
+/// File convenience wrappers. `env == nullptr` means Env::Default();
+/// writes are atomic (write-to-temp-then-rename, see Env).
+Status WriteDataset(const Dataset& dataset, const std::string& path,
+                    Env* env = nullptr);
+Result<Dataset> ReadDataset(const std::string& path, Env* env = nullptr);
 Status WriteFingerprintStore(const FingerprintStore& store,
-                             const std::string& path);
-Result<FingerprintStore> ReadFingerprintStore(const std::string& path);
-Status WriteKnnGraph(const KnnGraph& graph, const std::string& path);
-Result<KnnGraph> ReadKnnGraph(const std::string& path);
+                             const std::string& path, Env* env = nullptr);
+Result<FingerprintStore> ReadFingerprintStore(const std::string& path,
+                                              Env* env = nullptr);
+Status WriteKnnGraph(const KnnGraph& graph, const std::string& path,
+                     Env* env = nullptr);
+Result<KnnGraph> ReadKnnGraph(const std::string& path, Env* env = nullptr);
 
 }  // namespace gf::io
 

@@ -19,6 +19,11 @@
 // (u, u) self pair (discarded below) since skipping it would split the
 // tile; reported similarity_computations keeps the n(n-1) ordered-pair
 // convention either way.
+//
+// The scan is exposed as BruteForceScoreRows over a row range so the
+// checkpointed build (knn/checkpointed_build.h) can run it one chunk
+// at a time and snapshot between chunks; every row's result depends
+// only on the provider, so any chunking yields the identical graph.
 
 #ifndef GF_KNN_BRUTE_FORCE_H_
 #define GF_KNN_BRUTE_FORCE_H_
@@ -40,33 +45,37 @@ namespace gf {
 /// row stays resident.
 inline constexpr std::size_t kBruteForceTileUsers = 256;
 
+/// Fills rows [begin_user, end_user) of `lists` with the exact top-k
+/// over all n candidates. Rows are independent: each is written by one
+/// thread, in ascending candidate order, so the result is identical for
+/// any partition of the row range.
 template <typename Provider>
-KnnGraph BruteForceKnn(const Provider& provider, std::size_t k,
-                       ThreadPool* pool = nullptr,
-                       KnnBuildStats* stats = nullptr) {
-  WallTimer timer;
+void BruteForceScoreRows(const Provider& provider, NeighborLists& lists,
+                         std::size_t begin_user, std::size_t end_user,
+                         ThreadPool* pool = nullptr) {
   const std::size_t n = provider.num_users();
-  NeighborLists lists(n, k);
-
-  ParallelFor(pool, n, [&](std::size_t begin, std::size_t end) {
+  ParallelFor(pool, end_user - begin_user, [&](std::size_t begin,
+                                               std::size_t end) {
     if constexpr (TiledSimilarityProvider<Provider>) {
       std::vector<double> sims(kBruteForceTileUsers);
-      for (std::size_t u = begin; u < end; ++u) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::size_t u = begin_user + i;
         for (std::size_t v0 = 0; v0 < n; v0 += kBruteForceTileUsers) {
           const std::size_t count = std::min(kBruteForceTileUsers, n - v0);
           provider.ScoreTile(static_cast<UserId>(u),
                              static_cast<UserId>(v0), count,
                              {sims.data(), count});
-          for (std::size_t i = 0; i < count; ++i) {
-            const std::size_t v = v0 + i;
+          for (std::size_t j = 0; j < count; ++j) {
+            const std::size_t v = v0 + j;
             if (v == u) continue;
             lists.Insert(static_cast<UserId>(u), static_cast<UserId>(v),
-                         sims[i]);
+                         sims[j]);
           }
         }
       }
     } else {
-      for (std::size_t u = begin; u < end; ++u) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::size_t u = begin_user + i;
         for (std::size_t v = 0; v < n; ++v) {
           if (v == u) continue;
           lists.Insert(static_cast<UserId>(u), static_cast<UserId>(v),
@@ -76,6 +85,16 @@ KnnGraph BruteForceKnn(const Provider& provider, std::size_t k,
       }
     }
   });
+}
+
+template <typename Provider>
+KnnGraph BruteForceKnn(const Provider& provider, std::size_t k,
+                       ThreadPool* pool = nullptr,
+                       KnnBuildStats* stats = nullptr) {
+  WallTimer timer;
+  const std::size_t n = provider.num_users();
+  NeighborLists lists(n, k);
+  BruteForceScoreRows(provider, lists, 0, n, pool);
 
   KnnGraph graph = lists.Finalize();
   if (stats != nullptr) {

@@ -3,6 +3,7 @@
 #include "common/timer.h"
 #include "core/fingerprint_store.h"
 #include "knn/brute_force.h"
+#include "knn/checkpointed_build.h"
 #include "knn/hyrec.h"
 #include "knn/kiff.h"
 #include "knn/nndescent.h"
@@ -43,15 +44,29 @@ std::string_view SimilarityMetricName(SimilarityMetric metric) {
 namespace {
 
 template <typename Provider>
-KnnGraph RunAlgorithm(const Dataset& dataset, const Provider& provider,
-                      const KnnPipelineConfig& config, ThreadPool* pool,
-                      KnnBuildStats* stats) {
+Result<KnnGraph> RunAlgorithm(const Dataset& dataset,
+                              const Provider& provider,
+                              const KnnPipelineConfig& config,
+                              ThreadPool* pool, KnnBuildStats* stats) {
+  const bool checkpointed = !config.checkpoint.dir.empty();
   switch (config.algorithm) {
     case KnnAlgorithm::kBruteForce:
+      if (checkpointed) {
+        return CheckpointedBruteForceKnn(provider, config.greedy.k,
+                                         config.checkpoint, pool, stats);
+      }
       return BruteForceKnn(provider, config.greedy.k, pool, stats);
     case KnnAlgorithm::kHyrec:
+      if (checkpointed) {
+        return CheckpointedHyrecKnn(provider, config.greedy,
+                                    config.checkpoint, pool, stats);
+      }
       return HyrecKnn(provider, config.greedy, pool, stats);
     case KnnAlgorithm::kNNDescent:
+      if (checkpointed) {
+        return CheckpointedNNDescentKnn(provider, config.greedy,
+                                        config.checkpoint, pool, stats);
+      }
       return NNDescentKnn(provider, config.greedy, pool, stats);
     case KnnAlgorithm::kLsh: {
       LshConfig lsh = config.lsh;
@@ -75,6 +90,17 @@ KnnGraph RunAlgorithm(const Dataset& dataset, const Provider& provider,
     }
   }
   return KnnGraph();
+}
+
+template <typename Provider>
+Status RunInto(const Dataset& dataset, const Provider& provider,
+               const KnnPipelineConfig& config, ThreadPool* pool,
+               KnnResult& result) {
+  Result<KnnGraph> graph =
+      RunAlgorithm(dataset, provider, config, pool, &result.stats);
+  if (!graph.ok()) return graph.status();
+  result.graph = std::move(graph).value();
+  return Status::OK();
 }
 
 }  // namespace
@@ -113,18 +139,24 @@ Result<KnnResult> BuildKnnGraph(const Dataset& dataset,
       return Status::InvalidArgument("bisection overlap must be in [0, 1)");
     }
   }
+  if (!config.checkpoint.dir.empty() &&
+      config.algorithm != KnnAlgorithm::kBruteForce &&
+      config.algorithm != KnnAlgorithm::kHyrec &&
+      config.algorithm != KnnAlgorithm::kNNDescent) {
+    return Status::InvalidArgument(
+        "checkpointing is only supported for BruteForce, Hyrec and "
+        "NNDescent");
+  }
 
   KnnResult result;
   switch (config.mode) {
     case SimilarityMode::kNative: {
       if (config.metric == SimilarityMetric::kCosine) {
         CosineProvider provider(dataset);
-        result.graph = RunAlgorithm(dataset, provider, config, pool,
-                                    &result.stats);
+        GF_RETURN_IF_ERROR(RunInto(dataset, provider, config, pool, result));
       } else {
         ExactJaccardProvider provider(dataset);
-        result.graph = RunAlgorithm(dataset, provider, config, pool,
-                                    &result.stats);
+        GF_RETURN_IF_ERROR(RunInto(dataset, provider, config, pool, result));
       }
       break;
     }
@@ -135,12 +167,10 @@ Result<KnnResult> BuildKnnGraph(const Dataset& dataset,
       result.preparation_seconds = prep.ElapsedSeconds();
       if (config.metric == SimilarityMetric::kCosine) {
         GoldFingerCosineProvider provider(store.value());
-        result.graph = RunAlgorithm(dataset, provider, config, pool,
-                                    &result.stats);
+        GF_RETURN_IF_ERROR(RunInto(dataset, provider, config, pool, result));
       } else {
         GoldFingerProvider provider(store.value());
-        result.graph = RunAlgorithm(dataset, provider, config, pool,
-                                    &result.stats);
+        GF_RETURN_IF_ERROR(RunInto(dataset, provider, config, pool, result));
       }
       break;
     }
@@ -155,8 +185,7 @@ Result<KnnResult> BuildKnnGraph(const Dataset& dataset,
       if (!store.ok()) return store.status();
       result.preparation_seconds = prep.ElapsedSeconds();
       BbitMinHashProvider provider(store.value());
-      result.graph = RunAlgorithm(dataset, provider, config, pool,
-                                  &result.stats);
+      GF_RETURN_IF_ERROR(RunInto(dataset, provider, config, pool, result));
       break;
     }
   }

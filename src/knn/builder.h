@@ -16,6 +16,7 @@
 #include "knn/graph.h"
 #include "knn/banded_lsh.h"
 #include "knn/bisection.h"
+#include "knn/checkpoint.h"
 #include "knn/greedy_config.h"
 #include "knn/lsh.h"
 #include "knn/stats.h"
@@ -68,6 +69,11 @@ struct KnnPipelineConfig {
   BisectionConfig bisection;
   FingerprintConfig fingerprint;     // GoldFinger mode
   BbitMinHashConfig minhash;         // MinHash mode
+  /// Checkpoint/resume policy (knn/checkpoint.h). An empty dir (the
+  /// default) disables checkpointing; a non-empty dir is supported for
+  /// BruteForce, Hyrec and NNDescent and rejected with InvalidArgument
+  /// for the other algorithms.
+  CheckpointConfig checkpoint;
 };
 
 /// Result of a pipeline run. `preparation_seconds` is the cost of

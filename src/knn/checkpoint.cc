@@ -1,0 +1,294 @@
+#include "knn/checkpoint.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "io/container.h"
+
+namespace gf {
+
+namespace {
+
+using io::PayloadKind;
+using io::Reader;
+
+constexpr char kFilePrefix[] = "checkpoint-";
+constexpr char kFileSuffix[] = ".gfsz";
+
+// Parses "checkpoint-NNNNNN.gfsz" into NNNNNN; false for other names.
+bool ParseCheckpointName(const std::string& name, uint64_t* seq) {
+  const std::string_view prefix(kFilePrefix);
+  const std::string_view suffix(kFileSuffix);
+  if (name.size() <= prefix.size() + suffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (std::size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *seq = value;
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeCheckpoint(const BuildCheckpoint& checkpoint) {
+  std::string payload;
+  io::PutU32(payload, static_cast<uint32_t>(checkpoint.algorithm));
+  io::PutU64(payload, checkpoint.num_users);
+  io::PutU64(payload, checkpoint.k);
+  io::PutU64(payload, checkpoint.seed);
+  io::PutU64(payload, checkpoint.next_user);
+  io::PutU64(payload, checkpoint.iterations);
+  io::PutU64(payload, checkpoint.computations);
+  io::PutU32(payload,
+             static_cast<uint32_t>(checkpoint.updates_per_iteration.size()));
+  for (uint64_t updates : checkpoint.updates_per_iteration) {
+    io::PutU64(payload, updates);
+  }
+  for (uint64_t lane : checkpoint.rng.lanes) io::PutU64(payload, lane);
+  io::PutF64(payload, checkpoint.rng.spare);
+  io::PutU8(payload, checkpoint.rng.has_spare ? 1 : 0);
+  for (uint64_t u = 0; u < checkpoint.num_users; ++u) {
+    const uint32_t size = checkpoint.row_sizes[u];
+    io::PutU32(payload, size);
+    const NeighborLists::Entry* row = checkpoint.rows.data() + u * checkpoint.k;
+    for (uint32_t i = 0; i < size; ++i) {
+      io::PutU32(payload, row[i].id);
+      io::PutF32(payload, row[i].similarity);
+      io::PutU8(payload, row[i].is_new ? 1 : 0);
+    }
+  }
+  return io::WrapContainer(PayloadKind::kCheckpoint, std::move(payload));
+}
+
+Result<BuildCheckpoint> DeserializeCheckpoint(std::string_view buffer) {
+  std::string_view payload;
+  GF_ASSIGN_OR_RETURN(payload,
+                      io::UnwrapContainer(buffer, PayloadKind::kCheckpoint));
+  Reader reader(payload);
+  BuildCheckpoint out;
+  uint32_t algorithm = 0;
+  GF_RETURN_IF_ERROR(reader.ReadU32(&algorithm));
+  if (algorithm < static_cast<uint32_t>(CheckpointAlgorithm::kBruteForce) ||
+      algorithm > static_cast<uint32_t>(CheckpointAlgorithm::kNNDescent)) {
+    return Status::Corruption("unknown checkpoint algorithm " +
+                              std::to_string(algorithm));
+  }
+  out.algorithm = static_cast<CheckpointAlgorithm>(algorithm);
+  GF_RETURN_IF_ERROR(reader.ReadU64(&out.num_users));
+  GF_RETURN_IF_ERROR(reader.ReadU64(&out.k));
+  GF_RETURN_IF_ERROR(reader.ReadU64(&out.seed));
+  GF_RETURN_IF_ERROR(reader.ReadU64(&out.next_user));
+  GF_RETURN_IF_ERROR(reader.ReadU64(&out.iterations));
+  GF_RETURN_IF_ERROR(reader.ReadU64(&out.computations));
+  if (out.next_user > out.num_users) {
+    return Status::Corruption("checkpoint progress past the end: next_user " +
+                              std::to_string(out.next_user) + " of " +
+                              std::to_string(out.num_users));
+  }
+  // A checkpoint always fits in memory (it was written from one), but a
+  // corrupt header must not drive a huge allocation: the remaining
+  // payload bounds every count below, entries being >= 1 byte each.
+  uint32_t history = 0;
+  GF_RETURN_IF_ERROR(reader.ReadU32(&history));
+  if (history > reader.remaining() / 8) {
+    return Status::Corruption("updates history longer than the payload");
+  }
+  out.updates_per_iteration.resize(history);
+  for (auto& updates : out.updates_per_iteration) {
+    GF_RETURN_IF_ERROR(reader.ReadU64(&updates));
+  }
+  for (auto& lane : out.rng.lanes) GF_RETURN_IF_ERROR(reader.ReadU64(&lane));
+  GF_RETURN_IF_ERROR(reader.ReadF64(&out.rng.spare));
+  uint8_t has_spare = 0;
+  GF_RETURN_IF_ERROR(reader.ReadU8(&has_spare));
+  out.rng.has_spare = has_spare != 0;
+
+  if (out.num_users > reader.remaining() / 4 || out.k > (1ull << 32) ||
+      (out.k != 0 && out.num_users > (1ull << 40) / out.k)) {
+    return Status::Corruption("checkpoint dimensions exceed the payload");
+  }
+  out.row_sizes.assign(out.num_users, 0);
+  out.rows.assign(out.num_users * out.k, NeighborLists::Entry{});
+  for (uint64_t u = 0; u < out.num_users; ++u) {
+    uint32_t size = 0;
+    GF_RETURN_IF_ERROR(reader.ReadU32(&size));
+    if (size > out.k) {
+      return Status::Corruption(
+          "user " + std::to_string(u) + " lists " + std::to_string(size) +
+          " neighbors but k = " + std::to_string(out.k));
+    }
+    out.row_sizes[u] = size;
+    NeighborLists::Entry* row = out.rows.data() + u * out.k;
+    for (uint32_t i = 0; i < size; ++i) {
+      uint32_t id = 0;
+      uint8_t is_new = 0;
+      GF_RETURN_IF_ERROR(reader.ReadU32(&id));
+      GF_RETURN_IF_ERROR(reader.ReadF32(&row[i].similarity));
+      GF_RETURN_IF_ERROR(reader.ReadU8(&is_new));
+      if (id >= out.num_users) {
+        return Status::Corruption("neighbor id " + std::to_string(id) +
+                                  " out of range for " +
+                                  std::to_string(out.num_users) + " users");
+      }
+      row[i].id = id;
+      row[i].is_new = is_new != 0;
+    }
+  }
+  if (reader.remaining() != 0) {
+    return Status::Corruption("trailing bytes in checkpoint payload");
+  }
+  return out;
+}
+
+void CaptureLists(const NeighborLists& lists, BuildCheckpoint* checkpoint) {
+  const std::size_t n = lists.num_users();
+  const std::size_t k = lists.k();
+  checkpoint->num_users = n;
+  checkpoint->k = k;
+  checkpoint->row_sizes.assign(n, 0);
+  checkpoint->rows.assign(n * k, NeighborLists::Entry{});
+  for (UserId u = 0; u < n; ++u) {
+    const auto row = lists.Of(u);
+    checkpoint->row_sizes[u] = static_cast<uint32_t>(row.size());
+    std::copy(row.begin(), row.end(),
+              checkpoint->rows.begin() + static_cast<std::size_t>(u) * k);
+  }
+}
+
+Status RestoreLists(const BuildCheckpoint& checkpoint, NeighborLists* lists) {
+  if (checkpoint.num_users != lists->num_users() ||
+      checkpoint.k != lists->k()) {
+    return Status::FailedPrecondition(
+        "checkpoint shape (" + std::to_string(checkpoint.num_users) + " x " +
+        std::to_string(checkpoint.k) + ") does not match the build (" +
+        std::to_string(lists->num_users()) + " x " +
+        std::to_string(lists->k()) + ")");
+  }
+  for (UserId u = 0; u < checkpoint.num_users; ++u) {
+    lists->RestoreRow(
+        u, {checkpoint.rows.data() + static_cast<std::size_t>(u) * checkpoint.k,
+            checkpoint.row_sizes[u]});
+  }
+  return Status::OK();
+}
+
+Status ValidateCheckpoint(const BuildCheckpoint& checkpoint,
+                          CheckpointAlgorithm algorithm, uint64_t num_users,
+                          uint64_t k, uint64_t seed) {
+  if (checkpoint.algorithm != algorithm) {
+    return Status::FailedPrecondition(
+        "checkpoint was written by algorithm " +
+        std::to_string(static_cast<uint32_t>(checkpoint.algorithm)) +
+        ", this build runs algorithm " +
+        std::to_string(static_cast<uint32_t>(algorithm)));
+  }
+  if (checkpoint.num_users != num_users || checkpoint.k != k) {
+    return Status::FailedPrecondition(
+        "checkpoint shape (" + std::to_string(checkpoint.num_users) + " x " +
+        std::to_string(checkpoint.k) + ") does not match the build (" +
+        std::to_string(num_users) + " x " + std::to_string(k) + ")");
+  }
+  if (checkpoint.seed != seed) {
+    return Status::FailedPrecondition(
+        "checkpoint seed " + std::to_string(checkpoint.seed) +
+        " does not match the build seed " + std::to_string(seed) +
+        " (resuming would diverge from the original run)");
+  }
+  return Status::OK();
+}
+
+// ---- CheckpointStore ---------------------------------------------------
+
+CheckpointStore::CheckpointStore(std::string dir, io::Env* env,
+                                 std::size_t keep)
+    : dir_(std::move(dir)),
+      env_(env != nullptr ? env : io::Env::Default()),
+      keep_(std::max<std::size_t>(1, keep)) {}
+
+std::string CheckpointStore::FilePath(uint64_t seq) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%s%06" PRIu64 "%s", kFilePrefix, seq,
+                kFileSuffix);
+  return io::JoinPath(dir_, name);
+}
+
+Status CheckpointStore::Init() { return env_->CreateDirs(dir_); }
+
+Status CheckpointStore::Reset() {
+  auto names = env_->ListDirectory(dir_);
+  if (!names.ok()) return names.status();
+  Status status;
+  for (const std::string& name : *names) {
+    uint64_t seq = 0;
+    if (!ParseCheckpointName(name, &seq)) continue;
+    const Status s = env_->DeleteFile(io::JoinPath(dir_, name));
+    if (!s.ok() && status.ok()) status = s;
+  }
+  next_seq_ = 0;
+  return status;
+}
+
+Status CheckpointStore::Save(const BuildCheckpoint& checkpoint) {
+  const uint64_t seq = next_seq_;
+  GF_RETURN_IF_ERROR(
+      env_->WriteFileAtomic(FilePath(seq), SerializeCheckpoint(checkpoint)));
+  next_seq_ = seq + 1;
+  // Prune: drop everything older than the newest `keep_` files. Best
+  // effort — a failed delete must not fail the build.
+  if (seq + 1 > keep_) {
+    auto names = env_->ListDirectory(dir_);
+    if (names.ok()) {
+      const uint64_t cutoff = seq + 1 - keep_;
+      for (const std::string& name : *names) {
+        uint64_t old = 0;
+        if (ParseCheckpointName(name, &old) && old < cutoff) {
+          (void)env_->DeleteFile(io::JoinPath(dir_, name));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<BuildCheckpoint> CheckpointStore::LoadLatest() {
+  auto names = env_->ListDirectory(dir_);
+  if (!names.ok()) {
+    if (names.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound("no checkpoint directory at " + dir_);
+    }
+    return names.status();
+  }
+  std::vector<uint64_t> seqs;
+  for (const std::string& name : *names) {
+    uint64_t seq = 0;
+    if (ParseCheckpointName(name, &seq)) seqs.push_back(seq);
+  }
+  std::sort(seqs.rbegin(), seqs.rend());
+  std::size_t skipped = 0;
+  for (uint64_t seq : seqs) {
+    auto bytes = env_->ReadFile(FilePath(seq));
+    if (!bytes.ok()) {
+      // A vanished or unreadable file is treated like a torn one: fall
+      // back to the next older checkpoint.
+      ++skipped;
+      continue;
+    }
+    auto checkpoint = DeserializeCheckpoint(*bytes);
+    if (!checkpoint.ok()) {
+      ++skipped;
+      continue;
+    }
+    next_seq_ = seq + 1;
+    return checkpoint;
+  }
+  return Status::NotFound("no usable checkpoint in " + dir_ + " (" +
+                          std::to_string(skipped) + " unreadable/corrupt)");
+}
+
+}  // namespace gf

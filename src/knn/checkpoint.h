@@ -1,0 +1,145 @@
+// Checkpoint/resume for long KNN builds. The paper's deployment story
+// (§1.2) recomputes graphs "in short intervals on fresh data"; a build
+// that dies near the end of an interval must not forfeit the whole
+// similarity budget. A BuildCheckpoint captures the complete mutable
+// state of a construction at a deterministic boundary (a brute-force
+// row chunk or a greedy iteration): the partial neighbor lists
+// (including NNDescent's is_new flags), the sampling RNG, and the
+// progress counters. Because the algorithms are deterministic given
+// that state, a resumed build replays the remaining work and provably
+// converges to the same graph — edge-for-edge, tie-break-for-tie-break
+// — as an uninterrupted run (test-enforced in tests/integration).
+//
+// Checkpoints travel in the GFSZ container (io/container.h, payload
+// kind 4 = Checkpoint), CRC-validated like every other artifact, and
+// reach disk through the Env seam so crash-recovery tests can script
+// torn writes at exact operation indices.
+//
+// Checkpoint payload layout (little-endian, after the GFSZ header):
+//
+//   u32  algorithm       (1=BruteForce, 2=Hyrec, 3=NNDescent)
+//   u64  num_users
+//   u64  k
+//   u64  seed            (GreedyConfig::seed; 0 for brute force)
+//   u64  next_user       (brute force: rows [0, next_user) are final)
+//   u64  iterations      (greedy iterations completed)
+//   u64  computations    (similarity computations so far)
+//   u32  |updates_per_iteration|, then that many u64
+//   4x u64 RNG lanes, f64 RNG spare, u8 RNG has_spare
+//   per user: u32 size, then size x (u32 id, f32 similarity, u8 is_new)
+
+#ifndef GF_KNN_CHECKPOINT_H_
+#define GF_KNN_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "io/env.h"
+#include "knn/graph.h"
+
+namespace gf {
+
+/// Which construction wrote the checkpoint. Stable wire values —
+/// intentionally NOT KnnAlgorithm (whose enumerators may be reordered).
+enum class CheckpointAlgorithm : uint32_t {
+  kBruteForce = 1,
+  kHyrec = 2,
+  kNNDescent = 3,
+};
+
+/// Complete resumable state of an in-progress KNN build.
+struct BuildCheckpoint {
+  CheckpointAlgorithm algorithm = CheckpointAlgorithm::kBruteForce;
+  uint64_t num_users = 0;
+  uint64_t k = 0;
+  uint64_t seed = 0;
+  uint64_t next_user = 0;
+  uint64_t iterations = 0;
+  uint64_t computations = 0;
+  std::vector<uint64_t> updates_per_iteration;
+  Rng::State rng;
+  std::vector<uint32_t> row_sizes;              // num_users
+  std::vector<NeighborLists::Entry> rows;       // num_users * k, row-major
+};
+
+/// Checkpointing policy for the resumable builds
+/// (knn/checkpointed_build.h) and the pipeline facade (knn/builder.h).
+struct CheckpointConfig {
+  /// Directory holding checkpoint-NNNNNN.gfsz files. Empty disables
+  /// checkpointing entirely.
+  std::string dir;
+  /// Snapshot every `every` progress units (greedy iterations, or
+  /// brute-force chunks of `chunk_users` rows).
+  std::size_t every = 1;
+  std::size_t chunk_users = 256;
+  /// Resume from the newest valid checkpoint in `dir` (falling back to
+  /// older ones past torn/corrupt files); a fresh build otherwise.
+  bool resume = false;
+  /// Checkpoint files retained after each snapshot. At least 2, so a
+  /// crash during the newest write always leaves a valid predecessor.
+  std::size_t keep = 2;
+  /// nullptr means io::Env::Default().
+  io::Env* env = nullptr;
+};
+
+/// GFSZ (de)serialization, payload kind 4. Deserialize validates
+/// internal consistency (row sizes <= k, ids < num_users, exact
+/// payload length) and returns Corruption on any violation.
+std::string SerializeCheckpoint(const BuildCheckpoint& checkpoint);
+Result<BuildCheckpoint> DeserializeCheckpoint(std::string_view buffer);
+
+/// Snapshots every row of `lists` into `checkpoint` (sets num_users, k,
+/// row_sizes, rows; the caller fills the rest).
+void CaptureLists(const NeighborLists& lists, BuildCheckpoint* checkpoint);
+
+/// Restores every row captured by CaptureLists. Fails with
+/// FailedPrecondition when the shapes disagree.
+Status RestoreLists(const BuildCheckpoint& checkpoint, NeighborLists* lists);
+
+/// Verifies a loaded checkpoint belongs to this build configuration.
+Status ValidateCheckpoint(const BuildCheckpoint& checkpoint,
+                          CheckpointAlgorithm algorithm, uint64_t num_users,
+                          uint64_t k, uint64_t seed);
+
+/// Rotating on-disk checkpoint sequence: checkpoint-000000.gfsz,
+/// checkpoint-000001.gfsz, ... in a directory, written atomically
+/// through the Env, pruned to the newest `keep`.
+class CheckpointStore {
+ public:
+  /// Does not own `env`; nullptr means io::Env::Default().
+  CheckpointStore(std::string dir, io::Env* env = nullptr,
+                  std::size_t keep = 2);
+
+  /// Creates the directory.
+  Status Init();
+
+  /// Deletes every checkpoint file (a fresh build invalidates whatever
+  /// an earlier run left behind). Best effort on individual files.
+  Status Reset();
+
+  /// Writes the next checkpoint in the sequence and prunes old ones.
+  Status Save(const BuildCheckpoint& checkpoint);
+
+  /// Loads the newest checkpoint that deserializes cleanly, skipping
+  /// torn or corrupt files. NotFound when the directory holds no usable
+  /// checkpoint. Subsequent Save() calls continue the sequence past the
+  /// loaded file.
+  Result<BuildCheckpoint> LoadLatest();
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string FilePath(uint64_t seq) const;
+
+  std::string dir_;
+  io::Env* env_;
+  std::size_t keep_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace gf
+
+#endif  // GF_KNN_CHECKPOINT_H_

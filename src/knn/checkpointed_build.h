@@ -1,0 +1,267 @@
+// Checkpointed variants of the KNN constructions (paper §3.2): the same
+// algorithms as brute_force.h / hyrec.h / nndescent.h, periodically
+// snapshotting their state through a CheckpointStore so an interrupted
+// build resumes instead of restarting.
+//
+// Determinism contract (test-enforced in tests/integration): a build
+// that crashes at ANY point and resumes from its newest valid
+// checkpoint produces the exact graph — edge-for-edge, including
+// tie-breaks — of an uninterrupted build with the same configuration.
+// Three properties make this hold:
+//
+//  1. Snapshots are taken only at deterministic boundaries: between
+//     brute-force row chunks, or after a greedy iteration. Everything
+//     the remaining work depends on (lists with is_new flags, sampling
+//     RNG, counters) is captured.
+//  2. A snapshot is never taken after the build's last unit of work
+//     (converged iteration, final row chunk). Otherwise a resumed run
+//     would re-enter the loop and perform work the uninterrupted run
+//     never did.
+//  3. The uncheckpointed entry points run exactly the same
+//     init-then-step sequence, so cadence never changes the result —
+//     only where a crash can resume from.
+//
+// NNDescent's local joins update arbitrary rows through InsertLocked,
+// so its result is only deterministic single-threaded: pass a nullptr
+// pool when bitwise reproducibility across runs matters (the other two
+// are deterministic under any pool because threads write disjoint
+// rows).
+//
+// A failed checkpoint write aborts the build with the write's error:
+// silently continuing would let a "checkpointed" build lose arbitrary
+// progress, which is exactly what the caller asked to prevent.
+
+#ifndef GF_KNN_CHECKPOINTED_BUILD_H_
+#define GF_KNN_CHECKPOINTED_BUILD_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "knn/brute_force.h"
+#include "knn/checkpoint.h"
+#include "knn/graph.h"
+#include "knn/greedy_config.h"
+#include "knn/hyrec.h"
+#include "knn/nndescent.h"
+#include "knn/stats.h"
+
+namespace gf {
+
+namespace internal {
+
+/// Opens the store and either loads the newest resumable checkpoint
+/// (validated against this build's configuration) or clears stale files
+/// left by an earlier run. Returns a loaded checkpoint, or nullopt for
+/// a fresh start, or an error.
+inline Result<std::optional<BuildCheckpoint>> OpenCheckpointStore(
+    CheckpointStore& store, const CheckpointConfig& config,
+    CheckpointAlgorithm algorithm, uint64_t num_users, uint64_t k,
+    uint64_t seed) {
+  GF_RETURN_IF_ERROR(store.Init());
+  if (config.resume) {
+    Result<BuildCheckpoint> loaded = store.LoadLatest();
+    if (loaded.ok()) {
+      GF_RETURN_IF_ERROR(ValidateCheckpoint(loaded.value(), algorithm,
+                                            num_users, k, seed));
+      return std::optional<BuildCheckpoint>(std::move(loaded).value());
+    }
+    if (loaded.status().code() != StatusCode::kNotFound) {
+      return loaded.status();
+    }
+    // No usable checkpoint: fall through to a fresh build.
+  }
+  // A fresh build invalidates whatever a previous run left behind;
+  // keeping those files around would let a later --resume silently mix
+  // builds.
+  GF_RETURN_IF_ERROR(store.Reset());
+  return std::optional<BuildCheckpoint>();
+}
+
+}  // namespace internal
+
+/// Brute force with snapshots every `every` chunks of `chunk_users`
+/// rows. Rows are mutually independent, so any chunking (and any crash
+/// point) yields the identical graph.
+template <typename Provider>
+Result<KnnGraph> CheckpointedBruteForceKnn(const Provider& provider,
+                                           std::size_t k,
+                                           const CheckpointConfig& config,
+                                           ThreadPool* pool = nullptr,
+                                           KnnBuildStats* stats = nullptr) {
+  WallTimer timer;
+  const std::size_t n = provider.num_users();
+  const std::size_t chunk = std::max<std::size_t>(config.chunk_users, 1);
+  const std::size_t every = std::max<std::size_t>(config.every, 1);
+
+  CheckpointStore store(config.dir, config.env,
+                        std::max<std::size_t>(config.keep, 2));
+  NeighborLists lists(n, k);
+  std::size_t next_user = 0;
+
+  std::optional<BuildCheckpoint> loaded;
+  GF_ASSIGN_OR_RETURN(
+      loaded,
+      internal::OpenCheckpointStore(store, config,
+                                    CheckpointAlgorithm::kBruteForce, n, k,
+                                    /*seed=*/0));
+  if (loaded.has_value()) {
+    GF_RETURN_IF_ERROR(RestoreLists(*loaded, &lists));
+    next_user = static_cast<std::size_t>(loaded->next_user);
+  }
+
+  std::size_t chunks_since_save = 0;
+  while (next_user < n) {
+    const std::size_t end = std::min(next_user + chunk, n);
+    BruteForceScoreRows(provider, lists, next_user, end, pool);
+    next_user = end;
+    ++chunks_since_save;
+    if (next_user < n && chunks_since_save >= every) {
+      BuildCheckpoint checkpoint;
+      checkpoint.algorithm = CheckpointAlgorithm::kBruteForce;
+      checkpoint.seed = 0;
+      checkpoint.next_user = next_user;
+      checkpoint.iterations = 0;
+      checkpoint.computations =
+          static_cast<uint64_t>(next_user) * (n < 2 ? 0 : n - 1);
+      CaptureLists(lists, &checkpoint);
+      GF_RETURN_IF_ERROR(store.Save(checkpoint));
+      chunks_since_save = 0;
+    }
+  }
+
+  KnnGraph graph = lists.Finalize();
+  if (stats != nullptr) {
+    stats->seconds = timer.ElapsedSeconds();
+    stats->similarity_computations =
+        n < 2 ? 0 : static_cast<uint64_t>(n) * (n - 1);
+    stats->iterations = 1;
+    stats->updates_per_iteration.clear();
+  }
+  return graph;
+}
+
+/// Hyrec with a snapshot after every `every`-th non-converged
+/// iteration.
+template <typename Provider>
+Result<KnnGraph> CheckpointedHyrecKnn(const Provider& provider,
+                                      const GreedyConfig& config,
+                                      const CheckpointConfig& checkpointing,
+                                      ThreadPool* pool = nullptr,
+                                      KnnBuildStats* stats = nullptr) {
+  WallTimer timer;
+  const std::size_t n = provider.num_users();
+  const std::size_t every = std::max<std::size_t>(checkpointing.every, 1);
+
+  CheckpointStore store(checkpointing.dir, checkpointing.env,
+                        std::max<std::size_t>(checkpointing.keep, 2));
+  HyrecState state(n, config.k);
+
+  std::optional<BuildCheckpoint> loaded;
+  GF_ASSIGN_OR_RETURN(
+      loaded,
+      internal::OpenCheckpointStore(store, checkpointing,
+                                    CheckpointAlgorithm::kHyrec, n, config.k,
+                                    config.seed));
+  if (loaded.has_value()) {
+    GF_RETURN_IF_ERROR(RestoreLists(*loaded, &state.lists));
+    state.iterations = static_cast<std::size_t>(loaded->iterations);
+    state.computations = loaded->computations;
+    state.updates_per_iteration = loaded->updates_per_iteration;
+  } else {
+    HyrecInit(provider, config, state);
+  }
+
+  while (state.iterations < config.max_iterations) {
+    const bool converged = HyrecStep(provider, config, state, pool);
+    if (converged) break;
+    if (state.iterations < config.max_iterations &&
+        state.iterations % every == 0) {
+      BuildCheckpoint checkpoint;
+      checkpoint.algorithm = CheckpointAlgorithm::kHyrec;
+      checkpoint.seed = config.seed;
+      checkpoint.iterations = state.iterations;
+      checkpoint.computations = state.computations;
+      checkpoint.updates_per_iteration = state.updates_per_iteration;
+      CaptureLists(state.lists, &checkpoint);
+      GF_RETURN_IF_ERROR(store.Save(checkpoint));
+    }
+  }
+
+  KnnGraph graph = state.lists.Finalize();
+  if (stats != nullptr) {
+    stats->seconds = timer.ElapsedSeconds();
+    stats->similarity_computations = state.computations;
+    stats->iterations = state.iterations;
+    stats->updates_per_iteration = std::move(state.updates_per_iteration);
+  }
+  return graph;
+}
+
+/// NNDescent with a snapshot after every `every`-th non-converged
+/// iteration. The snapshot additionally carries the sampling RNG and
+/// the per-entry is_new flags, which the next iteration's sampling
+/// depends on.
+template <typename Provider>
+Result<KnnGraph> CheckpointedNNDescentKnn(
+    const Provider& provider, const GreedyConfig& config,
+    const CheckpointConfig& checkpointing, ThreadPool* pool = nullptr,
+    KnnBuildStats* stats = nullptr) {
+  WallTimer timer;
+  const std::size_t n = provider.num_users();
+  const std::size_t every = std::max<std::size_t>(checkpointing.every, 1);
+
+  CheckpointStore store(checkpointing.dir, checkpointing.env,
+                        std::max<std::size_t>(checkpointing.keep, 2));
+  NNDescentState state(n, config.k, config.seed);
+
+  std::optional<BuildCheckpoint> loaded;
+  GF_ASSIGN_OR_RETURN(
+      loaded,
+      internal::OpenCheckpointStore(store, checkpointing,
+                                    CheckpointAlgorithm::kNNDescent, n,
+                                    config.k, config.seed));
+  if (loaded.has_value()) {
+    GF_RETURN_IF_ERROR(RestoreLists(*loaded, &state.lists));
+    state.sample_rng.LoadState(loaded->rng);
+    state.iterations = static_cast<std::size_t>(loaded->iterations);
+    state.computations = loaded->computations;
+    state.updates_per_iteration = loaded->updates_per_iteration;
+  } else {
+    NNDescentInit(provider, config, state);
+  }
+
+  while (state.iterations < config.max_iterations) {
+    const bool converged = NNDescentStep(provider, config, state, pool);
+    if (converged) break;
+    if (state.iterations < config.max_iterations &&
+        state.iterations % every == 0) {
+      BuildCheckpoint checkpoint;
+      checkpoint.algorithm = CheckpointAlgorithm::kNNDescent;
+      checkpoint.seed = config.seed;
+      checkpoint.iterations = state.iterations;
+      checkpoint.computations = state.computations;
+      checkpoint.updates_per_iteration = state.updates_per_iteration;
+      checkpoint.rng = state.sample_rng.SaveState();
+      CaptureLists(state.lists, &checkpoint);
+      GF_RETURN_IF_ERROR(store.Save(checkpoint));
+    }
+  }
+
+  KnnGraph graph = state.lists.Finalize();
+  if (stats != nullptr) {
+    stats->seconds = timer.ElapsedSeconds();
+    stats->similarity_computations = state.computations;
+    stats->iterations = state.iterations;
+    stats->updates_per_iteration = std::move(state.updates_per_iteration);
+  }
+  return graph;
+}
+
+}  // namespace gf
+
+#endif  // GF_KNN_CHECKPOINTED_BUILD_H_

@@ -53,6 +53,13 @@ bool NeighborLists::Insert(UserId u, UserId v, double sim) {
   return true;
 }
 
+void NeighborLists::RestoreRow(UserId u, std::span<const Entry> entries) {
+  Entry* row = entries_.data() + static_cast<std::size_t>(u) * k_;
+  const std::size_t count = std::min(entries.size(), k_);
+  std::copy(entries.begin(), entries.begin() + static_cast<long>(count), row);
+  sizes_[u] = static_cast<uint32_t>(count);
+}
+
 bool NeighborLists::InsertLocked(UserId u, UserId v, double sim) {
   std::atomic_flag& lock = locks_[u];
   // TTAS: contended waiters spin on a plain read (line stays shared)

@@ -96,6 +96,11 @@ class NeighborLists {
   /// changed re-scores its neighborhood from scratch).
   void ClearRow(UserId u) { sizes_[u] = 0; }
 
+  /// Overwrites u's list with `entries` verbatim (at most k), including
+  /// the is_new flags. Checkpoint/resume support: restoring every row
+  /// from a snapshot reproduces the exact mutable state of the build.
+  void RestoreRow(UserId u, std::span<const Entry> entries);
+
   /// Fills every list with `k` distinct random neighbors != u, scored
   /// by `score` (signature: double(UserId u, UserId v)). The standard
   /// random initialization of the greedy algorithms.

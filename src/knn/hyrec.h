@@ -4,6 +4,11 @@
 // and keeps the best k; unlike NNDescent it does not reverse the graph
 // and only updates u's own list. Stops after max_iterations or when an
 // iteration changes fewer than δ·k·n entries.
+//
+// The build is decomposed into HyrecInit + HyrecStep over an explicit
+// HyrecState so the checkpointed build (knn/checkpointed_build.h) can
+// snapshot between iterations; HyrecKnn runs exactly the same
+// init-then-step sequence, so both paths produce identical graphs.
 
 #ifndef GF_KNN_HYREC_H_
 #define GF_KNN_HYREC_H_
@@ -21,110 +26,143 @@
 
 namespace gf {
 
+/// Complete mutable state of a Hyrec build between iterations. The
+/// snap_* members are per-iteration scratch (rebuilt at the top of
+/// every step; kept here only to reuse their allocations) — the
+/// resumable state is lists + the counters.
+struct HyrecState {
+  NeighborLists lists;
+  std::size_t iterations = 0;
+  uint64_t computations = 0;
+  std::vector<uint64_t> updates_per_iteration;
+  // scratch
+  std::vector<UserId> snap_ids;
+  std::vector<uint32_t> snap_sizes;
+
+  HyrecState(std::size_t num_users, std::size_t k)
+      : lists(num_users, k),
+        snap_ids(num_users * k),
+        snap_sizes(num_users) {}
+};
+
+/// Random-graph initialization (iteration 0).
+template <typename Provider>
+void HyrecInit(const Provider& provider, const GreedyConfig& config,
+               HyrecState& state) {
+  (void)provider;
+  Rng rng(config.seed);
+  state.lists.InitRandom(rng, [&](UserId a, UserId b) {
+    ++state.computations;
+    return provider(a, b);
+  });
+}
+
+/// One Hyrec iteration: snapshot the lists, compare every user with its
+/// snapshot's neighbors-of-neighbors, keep improvements. Returns true
+/// when the iteration converged (updates below the δ·k·n threshold).
+template <typename Provider>
+bool HyrecStep(const Provider& provider, const GreedyConfig& config,
+               HyrecState& state, ThreadPool* pool = nullptr) {
+  const std::size_t n = state.lists.num_users();
+  const std::size_t k = state.lists.k();
+  NeighborLists& lists = state.lists;
+  std::vector<UserId>& snap_ids = state.snap_ids;
+  std::vector<uint32_t>& snap_sizes = state.snap_sizes;
+
+  ++state.iterations;
+  // Snapshot of neighbor ids read during the iteration while live
+  // lists are updated (each thread writes only its own rows).
+  for (UserId u = 0; u < n; ++u) {
+    const auto row = lists.Of(u);
+    snap_sizes[u] = static_cast<uint32_t>(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      snap_ids[static_cast<std::size_t>(u) * k + i] = row[i].id;
+    }
+  }
+
+  std::atomic<uint64_t> updates{0};
+  std::atomic<uint64_t> computations{0};
+  ParallelFor(pool, n, [&](std::size_t begin, std::size_t end) {
+    std::vector<UserId> candidates;
+    std::vector<UserId> current;
+    std::vector<UserId> to_score;
+    std::vector<double> sims;
+    for (std::size_t uu = begin; uu < end; ++uu) {
+      const auto u = static_cast<UserId>(uu);
+      candidates.clear();
+      const std::size_t base = uu * k;
+      for (std::size_t i = 0; i < snap_sizes[uu]; ++i) {
+        const UserId v = snap_ids[base + i];
+        const std::size_t vbase = static_cast<std::size_t>(v) * k;
+        for (std::size_t j = 0; j < snap_sizes[v]; ++j) {
+          const UserId w = snap_ids[vbase + j];
+          if (w != u) candidates.push_back(w);
+        }
+      }
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+      // Skip users already in u's snapshot list: their similarity is
+      // already stored.
+      current.assign(snap_ids.begin() + static_cast<long>(base),
+                     snap_ids.begin() +
+                         static_cast<long>(base + snap_sizes[uu]));
+      std::sort(current.begin(), current.end());
+
+      to_score.clear();
+      for (UserId w : candidates) {
+        if (std::binary_search(current.begin(), current.end(), w)) {
+          continue;
+        }
+        to_score.push_back(w);
+      }
+
+      uint64_t local_updates = 0;
+      const uint64_t local_computations = to_score.size();
+      if constexpr (BatchSimilarityProvider<Provider>) {
+        // Score the whole surviving candidate set in one batched
+        // kernel call, then apply the same inserts in the same order.
+        sims.resize(to_score.size());
+        provider.ScoreBatch(u, to_score, sims);
+        for (std::size_t i = 0; i < to_score.size(); ++i) {
+          if (lists.Insert(u, to_score[i], sims[i])) ++local_updates;
+        }
+      } else {
+        for (UserId w : to_score) {
+          if (lists.Insert(u, w, provider(u, w))) ++local_updates;
+        }
+      }
+      updates.fetch_add(local_updates, std::memory_order_relaxed);
+      computations.fetch_add(local_computations,
+                             std::memory_order_relaxed);
+    }
+  });
+
+  state.computations += computations.load();
+  state.updates_per_iteration.push_back(updates.load());
+
+  const auto threshold = static_cast<uint64_t>(
+      config.delta * static_cast<double>(k) * static_cast<double>(n));
+  return updates.load() < std::max<uint64_t>(threshold, 1);
+}
+
 template <typename Provider>
 KnnGraph HyrecKnn(const Provider& provider, const GreedyConfig& config,
                   ThreadPool* pool = nullptr,
                   KnnBuildStats* stats = nullptr) {
   WallTimer timer;
-  const std::size_t n = provider.num_users();
-  const std::size_t k = config.k;
-  NeighborLists lists(n, k);
-  std::atomic<uint64_t> computations{0};
-
-  {
-    Rng rng(config.seed);
-    lists.InitRandom(rng, [&](UserId a, UserId b) {
-      computations.fetch_add(1, std::memory_order_relaxed);
-      return provider(a, b);
-    });
+  HyrecState state(provider.num_users(), config.k);
+  HyrecInit(provider, config, state);
+  while (state.iterations < config.max_iterations &&
+         !HyrecStep(provider, config, state, pool)) {
   }
 
-  std::vector<uint64_t> updates_history;
-  // Snapshot of neighbor ids read during an iteration while live lists
-  // are updated (each thread writes only its own rows).
-  std::vector<UserId> snap_ids(n * k);
-  std::vector<uint32_t> snap_sizes(n);
-
-  const auto threshold = static_cast<uint64_t>(
-      config.delta * static_cast<double>(k) * static_cast<double>(n));
-  std::size_t iterations = 0;
-  while (iterations < config.max_iterations) {
-    ++iterations;
-    for (UserId u = 0; u < n; ++u) {
-      const auto row = lists.Of(u);
-      snap_sizes[u] = static_cast<uint32_t>(row.size());
-      for (std::size_t i = 0; i < row.size(); ++i) {
-        snap_ids[static_cast<std::size_t>(u) * k + i] = row[i].id;
-      }
-    }
-
-    std::atomic<uint64_t> updates{0};
-    ParallelFor(pool, n, [&](std::size_t begin, std::size_t end) {
-      std::vector<UserId> candidates;
-      std::vector<UserId> current;
-      std::vector<UserId> to_score;
-      std::vector<double> sims;
-      for (std::size_t uu = begin; uu < end; ++uu) {
-        const auto u = static_cast<UserId>(uu);
-        candidates.clear();
-        const std::size_t base = uu * k;
-        for (std::size_t i = 0; i < snap_sizes[uu]; ++i) {
-          const UserId v = snap_ids[base + i];
-          const std::size_t vbase = static_cast<std::size_t>(v) * k;
-          for (std::size_t j = 0; j < snap_sizes[v]; ++j) {
-            const UserId w = snap_ids[vbase + j];
-            if (w != u) candidates.push_back(w);
-          }
-        }
-        std::sort(candidates.begin(), candidates.end());
-        candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                         candidates.end());
-        // Skip users already in u's snapshot list: their similarity is
-        // already stored.
-        current.assign(snap_ids.begin() + static_cast<long>(base),
-                       snap_ids.begin() +
-                           static_cast<long>(base + snap_sizes[uu]));
-        std::sort(current.begin(), current.end());
-
-        to_score.clear();
-        for (UserId w : candidates) {
-          if (std::binary_search(current.begin(), current.end(), w)) {
-            continue;
-          }
-          to_score.push_back(w);
-        }
-
-        uint64_t local_updates = 0;
-        const uint64_t local_computations = to_score.size();
-        if constexpr (BatchSimilarityProvider<Provider>) {
-          // Score the whole surviving candidate set in one batched
-          // kernel call, then apply the same inserts in the same order.
-          sims.resize(to_score.size());
-          provider.ScoreBatch(u, to_score, sims);
-          for (std::size_t i = 0; i < to_score.size(); ++i) {
-            if (lists.Insert(u, to_score[i], sims[i])) ++local_updates;
-          }
-        } else {
-          for (UserId w : to_score) {
-            if (lists.Insert(u, w, provider(u, w))) ++local_updates;
-          }
-        }
-        updates.fetch_add(local_updates, std::memory_order_relaxed);
-        computations.fetch_add(local_computations,
-                               std::memory_order_relaxed);
-      }
-    });
-
-    updates_history.push_back(updates.load());
-    if (updates.load() < std::max<uint64_t>(threshold, 1)) break;
-  }
-
-  KnnGraph graph = lists.Finalize();
+  KnnGraph graph = state.lists.Finalize();
   if (stats != nullptr) {
     stats->seconds = timer.ElapsedSeconds();
-    stats->similarity_computations = computations.load();
-    stats->iterations = iterations;
-    stats->updates_per_iteration = std::move(updates_history);
+    stats->similarity_computations = state.computations;
+    stats->iterations = state.iterations;
+    stats->updates_per_iteration = std::move(state.updates_per_iteration);
   }
   return graph;
 }

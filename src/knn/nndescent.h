@@ -4,6 +4,13 @@
 // pairs (new x new, new x old) — updating both endpoints' lists.
 // Terminates when an iteration performs fewer than δ·k·n updates or
 // after max_iterations.
+//
+// The build is decomposed into NNDescentInit + NNDescentStep over an
+// explicit NNDescentState so the checkpointed build
+// (knn/checkpointed_build.h) can snapshot between iterations. The
+// state captures everything the next iteration depends on: the lists
+// (including the is_new flags) and the sampling RNG — restoring it
+// replays the exact remaining iterations.
 
 #ifndef GF_KNN_NNDESCENT_H_
 #define GF_KNN_NNDESCENT_H_
@@ -21,153 +28,189 @@
 
 namespace gf {
 
+/// Complete mutable state of an NNDescent build between iterations.
+/// The *_fwd / *_rev members are per-iteration scratch (cleared at the
+/// top of every step; kept here only to reuse their allocations) — the
+/// resumable state is lists + sample_rng + the counters.
+struct NNDescentState {
+  NeighborLists lists;
+  Rng sample_rng;
+  std::size_t iterations = 0;
+  uint64_t computations = 0;
+  std::vector<uint64_t> updates_per_iteration;
+  // scratch
+  std::vector<std::vector<UserId>> old_fwd, new_fwd, old_rev, new_rev;
+
+  NNDescentState(std::size_t num_users, std::size_t k, uint64_t seed)
+      : lists(num_users, k),
+        sample_rng(SplitMix64(seed ^ 0xDE5CE27ULL)),
+        old_fwd(num_users),
+        new_fwd(num_users),
+        old_rev(num_users),
+        new_rev(num_users) {}
+};
+
+/// Random-graph initialization (iteration 0).
+template <typename Provider>
+void NNDescentInit(const Provider& provider, const GreedyConfig& config,
+                   NNDescentState& state) {
+  Rng rng(config.seed);
+  state.lists.InitRandom(rng, [&](UserId a, UserId b) {
+    ++state.computations;
+    return provider(a, b);
+  });
+}
+
+/// One NNDescent iteration (sample / reverse / local joins). Returns
+/// true when the iteration converged (updates below δ·k·n).
+template <typename Provider>
+bool NNDescentStep(const Provider& provider, const GreedyConfig& config,
+                   NNDescentState& state, ThreadPool* pool = nullptr) {
+  const std::size_t n = state.lists.num_users();
+  const std::size_t k = state.lists.k();
+  NeighborLists& lists = state.lists;
+  Rng& sample_rng = state.sample_rng;
+  auto& old_fwd = state.old_fwd;
+  auto& new_fwd = state.new_fwd;
+  auto& old_rev = state.old_rev;
+  auto& new_rev = state.new_rev;
+
+  const auto sample_limit = static_cast<std::size_t>(
+      std::max(1.0, config.sample_rate * static_cast<double>(k)));
+
+  ++state.iterations;
+
+  // Phase 1 (sequential, O(nk)): split every list into old entries
+  // and a ρk-sample of new entries; sampled entries lose their flag.
+  for (UserId u = 0; u < n; ++u) {
+    old_fwd[u].clear();
+    new_fwd[u].clear();
+    old_rev[u].clear();
+    new_rev[u].clear();
+  }
+  for (UserId u = 0; u < n; ++u) {
+    auto row = lists.MutableOf(u);
+    // Reservoir-sample indices of new entries up to sample_limit.
+    std::vector<std::size_t> new_idx;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i].is_new) {
+        new_idx.push_back(i);
+      } else {
+        old_fwd[u].push_back(row[i].id);
+      }
+    }
+    if (new_idx.size() > sample_limit) {
+      sample_rng.Shuffle(new_idx);
+      new_idx.resize(sample_limit);
+    }
+    for (std::size_t i : new_idx) {
+      new_fwd[u].push_back(row[i].id);
+      row[i].is_new = false;
+    }
+  }
+
+  // Phase 2: reverse lists, then cap them at the sample limit.
+  for (UserId u = 0; u < n; ++u) {
+    for (UserId v : old_fwd[u]) old_rev[v].push_back(u);
+    for (UserId v : new_fwd[u]) new_rev[v].push_back(u);
+  }
+  for (UserId u = 0; u < n; ++u) {
+    if (old_rev[u].size() > sample_limit) {
+      sample_rng.Shuffle(old_rev[u]);
+      old_rev[u].resize(sample_limit);
+    }
+    if (new_rev[u].size() > sample_limit) {
+      sample_rng.Shuffle(new_rev[u]);
+      new_rev[u].resize(sample_limit);
+    }
+  }
+
+  // Phase 3: local joins (parallel; lists updated under per-user
+  // spinlocks since a join touches arbitrary rows).
+  std::atomic<uint64_t> updates{0};
+  std::atomic<uint64_t> computations{0};
+  ParallelFor(pool, n, [&](std::size_t begin, std::size_t end) {
+    std::vector<UserId> join_new, join_old;
+    std::vector<UserId> partners;
+    std::vector<double> sims;
+    for (std::size_t uu = begin; uu < end; ++uu) {
+      const auto u = static_cast<UserId>(uu);
+      join_new = new_fwd[u];
+      join_new.insert(join_new.end(), new_rev[u].begin(),
+                      new_rev[u].end());
+      std::sort(join_new.begin(), join_new.end());
+      join_new.erase(std::unique(join_new.begin(), join_new.end()),
+                     join_new.end());
+      join_old = old_fwd[u];
+      join_old.insert(join_old.end(), old_rev[u].begin(),
+                      old_rev[u].end());
+      std::sort(join_old.begin(), join_old.end());
+      join_old.erase(std::unique(join_old.begin(), join_old.end()),
+                     join_old.end());
+
+      uint64_t local_updates = 0;
+      uint64_t local_computations = 0;
+      auto commit = [&](UserId p, UserId q, double sim) {
+        if (lists.InsertLocked(p, q, sim)) ++local_updates;
+        if (lists.InsertLocked(q, p, sim)) ++local_updates;
+      };
+      for (std::size_t i = 0; i < join_new.size(); ++i) {
+        const UserId p = join_new[i];
+        // p's join partners: new x new as each unordered pair once
+        // (ordering on ids), plus new x old.
+        partners.clear();
+        for (std::size_t j = i + 1; j < join_new.size(); ++j) {
+          partners.push_back(join_new[j]);
+        }
+        for (UserId q : join_old) {
+          if (q != p) partners.push_back(q);
+        }
+        local_computations += partners.size();
+        if constexpr (BatchSimilarityProvider<Provider>) {
+          // One batched kernel call per join source, then the same
+          // two-sided inserts in the same order.
+          sims.resize(partners.size());
+          provider.ScoreBatch(p, partners, sims);
+          for (std::size_t j = 0; j < partners.size(); ++j) {
+            commit(p, partners[j], sims[j]);
+          }
+        } else {
+          for (UserId q : partners) {
+            commit(p, q, provider(p, q));
+          }
+        }
+      }
+      updates.fetch_add(local_updates, std::memory_order_relaxed);
+      computations.fetch_add(local_computations,
+                             std::memory_order_relaxed);
+    }
+  });
+
+  state.computations += computations.load();
+  state.updates_per_iteration.push_back(updates.load());
+
+  const auto threshold = static_cast<uint64_t>(
+      config.delta * static_cast<double>(k) * static_cast<double>(n));
+  return updates.load() < std::max<uint64_t>(threshold, 1);
+}
+
 template <typename Provider>
 KnnGraph NNDescentKnn(const Provider& provider, const GreedyConfig& config,
                       ThreadPool* pool = nullptr,
                       KnnBuildStats* stats = nullptr) {
   WallTimer timer;
-  const std::size_t n = provider.num_users();
-  const std::size_t k = config.k;
-  NeighborLists lists(n, k);
-  std::atomic<uint64_t> computations{0};
-
-  {
-    Rng rng(config.seed);
-    lists.InitRandom(rng, [&](UserId a, UserId b) {
-      computations.fetch_add(1, std::memory_order_relaxed);
-      return provider(a, b);
-    });
+  NNDescentState state(provider.num_users(), config.k, config.seed);
+  NNDescentInit(provider, config, state);
+  while (state.iterations < config.max_iterations &&
+         !NNDescentStep(provider, config, state, pool)) {
   }
 
-  const auto sample_limit = static_cast<std::size_t>(
-      std::max(1.0, config.sample_rate * static_cast<double>(k)));
-  const auto threshold = static_cast<uint64_t>(
-      config.delta * static_cast<double>(k) * static_cast<double>(n));
-
-  std::vector<std::vector<UserId>> old_fwd(n), new_fwd(n);
-  std::vector<std::vector<UserId>> old_rev(n), new_rev(n);
-  std::vector<uint64_t> updates_history;
-  Rng sample_rng(SplitMix64(config.seed ^ 0xDE5CE27ULL));
-
-  std::size_t iterations = 0;
-  while (iterations < config.max_iterations) {
-    ++iterations;
-
-    // Phase 1 (sequential, O(nk)): split every list into old entries
-    // and a ρk-sample of new entries; sampled entries lose their flag.
-    for (UserId u = 0; u < n; ++u) {
-      old_fwd[u].clear();
-      new_fwd[u].clear();
-      old_rev[u].clear();
-      new_rev[u].clear();
-    }
-    for (UserId u = 0; u < n; ++u) {
-      auto row = lists.MutableOf(u);
-      // Reservoir-sample indices of new entries up to sample_limit.
-      std::vector<std::size_t> new_idx;
-      for (std::size_t i = 0; i < row.size(); ++i) {
-        if (row[i].is_new) {
-          new_idx.push_back(i);
-        } else {
-          old_fwd[u].push_back(row[i].id);
-        }
-      }
-      if (new_idx.size() > sample_limit) {
-        sample_rng.Shuffle(new_idx);
-        new_idx.resize(sample_limit);
-      }
-      for (std::size_t i : new_idx) {
-        new_fwd[u].push_back(row[i].id);
-        row[i].is_new = false;
-      }
-    }
-
-    // Phase 2: reverse lists, then cap them at the sample limit.
-    for (UserId u = 0; u < n; ++u) {
-      for (UserId v : old_fwd[u]) old_rev[v].push_back(u);
-      for (UserId v : new_fwd[u]) new_rev[v].push_back(u);
-    }
-    for (UserId u = 0; u < n; ++u) {
-      if (old_rev[u].size() > sample_limit) {
-        sample_rng.Shuffle(old_rev[u]);
-        old_rev[u].resize(sample_limit);
-      }
-      if (new_rev[u].size() > sample_limit) {
-        sample_rng.Shuffle(new_rev[u]);
-        new_rev[u].resize(sample_limit);
-      }
-    }
-
-    // Phase 3: local joins (parallel; lists updated under per-user
-    // spinlocks since a join touches arbitrary rows).
-    std::atomic<uint64_t> updates{0};
-    ParallelFor(pool, n, [&](std::size_t begin, std::size_t end) {
-      std::vector<UserId> join_new, join_old;
-      std::vector<UserId> partners;
-      std::vector<double> sims;
-      for (std::size_t uu = begin; uu < end; ++uu) {
-        const auto u = static_cast<UserId>(uu);
-        join_new = new_fwd[u];
-        join_new.insert(join_new.end(), new_rev[u].begin(),
-                        new_rev[u].end());
-        std::sort(join_new.begin(), join_new.end());
-        join_new.erase(std::unique(join_new.begin(), join_new.end()),
-                       join_new.end());
-        join_old = old_fwd[u];
-        join_old.insert(join_old.end(), old_rev[u].begin(),
-                        old_rev[u].end());
-        std::sort(join_old.begin(), join_old.end());
-        join_old.erase(std::unique(join_old.begin(), join_old.end()),
-                       join_old.end());
-
-        uint64_t local_updates = 0;
-        uint64_t local_computations = 0;
-        auto commit = [&](UserId p, UserId q, double sim) {
-          if (lists.InsertLocked(p, q, sim)) ++local_updates;
-          if (lists.InsertLocked(q, p, sim)) ++local_updates;
-        };
-        for (std::size_t i = 0; i < join_new.size(); ++i) {
-          const UserId p = join_new[i];
-          // p's join partners: new x new as each unordered pair once
-          // (ordering on ids), plus new x old.
-          partners.clear();
-          for (std::size_t j = i + 1; j < join_new.size(); ++j) {
-            partners.push_back(join_new[j]);
-          }
-          for (UserId q : join_old) {
-            if (q != p) partners.push_back(q);
-          }
-          local_computations += partners.size();
-          if constexpr (BatchSimilarityProvider<Provider>) {
-            // One batched kernel call per join source, then the same
-            // two-sided inserts in the same order.
-            sims.resize(partners.size());
-            provider.ScoreBatch(p, partners, sims);
-            for (std::size_t j = 0; j < partners.size(); ++j) {
-              commit(p, partners[j], sims[j]);
-            }
-          } else {
-            for (UserId q : partners) {
-              commit(p, q, provider(p, q));
-            }
-          }
-        }
-        updates.fetch_add(local_updates, std::memory_order_relaxed);
-        computations.fetch_add(local_computations,
-                               std::memory_order_relaxed);
-      }
-    });
-
-    updates_history.push_back(updates.load());
-    if (updates.load() < std::max<uint64_t>(threshold, 1)) break;
-  }
-
-  KnnGraph graph = lists.Finalize();
+  KnnGraph graph = state.lists.Finalize();
   if (stats != nullptr) {
     stats->seconds = timer.ElapsedSeconds();
-    stats->similarity_computations = computations.load();
-    stats->iterations = iterations;
-    stats->updates_per_iteration = std::move(updates_history);
+    stats->similarity_computations = state.computations;
+    stats->iterations = state.iterations;
+    stats->updates_per_iteration = std::move(state.updates_per_iteration);
   }
   return graph;
 }

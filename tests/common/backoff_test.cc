@@ -1,0 +1,114 @@
+#include "common/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace gf {
+namespace {
+
+TEST(BackoffPolicyTest, ExponentialSchedule) {
+  BackoffPolicy policy;
+  policy.initial_delay_micros = 1000;
+  policy.multiplier = 2.0;
+  policy.max_delay_micros = 100000;
+  EXPECT_EQ(policy.DelayMicros(0), 1000u);
+  EXPECT_EQ(policy.DelayMicros(1), 2000u);
+  EXPECT_EQ(policy.DelayMicros(2), 4000u);
+  EXPECT_EQ(policy.DelayMicros(3), 8000u);
+}
+
+TEST(BackoffPolicyTest, DelayIsCapped) {
+  BackoffPolicy policy;
+  policy.initial_delay_micros = 1000;
+  policy.multiplier = 10.0;
+  policy.max_delay_micros = 5000;
+  EXPECT_EQ(policy.DelayMicros(0), 1000u);
+  EXPECT_EQ(policy.DelayMicros(1), 5000u);
+  EXPECT_EQ(policy.DelayMicros(10), 5000u);
+}
+
+TEST(RetryTest, SuccessOnFirstAttemptDoesNotSleep) {
+  FakeClock clock;
+  int calls = 0;
+  const Status status = RetryWithBackoff(BackoffPolicy{}, &clock, [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(clock.sleeps().empty());
+}
+
+TEST(RetryTest, TransientErrorRetriedWithExponentialSleeps) {
+  BackoffPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_delay_micros = 100;
+  policy.multiplier = 2.0;
+  policy.max_delay_micros = 100000;
+  FakeClock clock;
+  int calls = 0;
+  const Status status = RetryWithBackoff(policy, &clock, [&] {
+    ++calls;
+    return calls < 3 ? Status::IOError("flaky") : Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  ASSERT_EQ(clock.sleeps().size(), 2u);
+  EXPECT_EQ(clock.sleeps()[0], 100u);
+  EXPECT_EQ(clock.sleeps()[1], 200u);
+}
+
+TEST(RetryTest, AttemptsAreBounded) {
+  BackoffPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_delay_micros = 10;
+  FakeClock clock;
+  int calls = 0;
+  const Status status = RetryWithBackoff(policy, &clock, [&] {
+    ++calls;
+    return Status::IOError("always failing");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(clock.sleeps().size(), 2u);
+}
+
+TEST(RetryTest, CorruptionIsNeverRetried) {
+  FakeClock clock;
+  int calls = 0;
+  const Status status = RetryWithBackoff(BackoffPolicy{}, &clock, [&] {
+    ++calls;
+    return Status::Corruption("bad bytes");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(clock.sleeps().empty());
+}
+
+TEST(RetryTest, NotFoundIsNeverRetried) {
+  FakeClock clock;
+  int calls = 0;
+  const Status status = RetryWithBackoff(BackoffPolicy{}, &clock, [&] {
+    ++calls;
+    return Status::NotFound("no such file");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(clock.sleeps().empty());
+}
+
+TEST(RetryTest, ZeroMaxAttemptsStillRunsOnce) {
+  BackoffPolicy policy;
+  policy.max_attempts = 0;
+  FakeClock clock;
+  int calls = 0;
+  (void)RetryWithBackoff(policy, &clock, [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace gf

@@ -91,10 +91,13 @@ TEST(LoaderTest, WindowsLineEndings) {
   EXPECT_EQ(ds->ratings().size(), 2u);
 }
 
-TEST(LoaderTest, MissingFileIsIOError) {
+// Regression: a missing input used to surface as a generic IOError;
+// the Env seam distinguishes it so callers can tell "wrong path" from
+// "flaky disk" (only the latter is retryable).
+TEST(LoaderTest, MissingFileIsNotFound) {
   auto ds = LoadMovieLensDat("/nonexistent/path/ratings.dat");
   EXPECT_FALSE(ds.ok());
-  EXPECT_EQ(ds.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(ds.status().code(), StatusCode::kNotFound);
 }
 
 class LoaderFileTest : public ::testing::Test {

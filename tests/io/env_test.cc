@@ -1,0 +1,258 @@
+#include "io/env.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/clock.h"
+#include "io/fault_env.h"
+
+namespace gf::io {
+namespace {
+
+using Fault = FaultInjectingEnv::Fault;
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/env_test_" + name;
+  EXPECT_TRUE(PosixEnv().CreateDirs(dir).ok());
+  return dir;
+}
+
+TEST(JoinPathTest, ExactlyOneSeparator) {
+  EXPECT_EQ(JoinPath("a", "b"), "a/b");
+  EXPECT_EQ(JoinPath("a/", "b"), "a/b");
+  EXPECT_EQ(JoinPath("", "b"), "b");
+}
+
+TEST(PosixEnvTest, WriteReadRoundTrip) {
+  PosixEnv env;
+  const std::string path = TempDir("roundtrip") + "/file.bin";
+  const std::string data("hello\0world", 11);
+  ASSERT_TRUE(env.WriteFileAtomic(path, data).ok());
+  auto read = env.ReadFile(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, data);
+}
+
+TEST(PosixEnvTest, MissingFileIsNotFound) {
+  PosixEnv env;
+  auto read = env.ReadFile("/nonexistent/definitely/missing");
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PosixEnvTest, ReadingADirectoryIsIOError) {
+  PosixEnv env;
+  const std::string dir = TempDir("isdir");
+  auto read = env.ReadFile(dir);
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+}
+
+TEST(PosixEnvTest, AtomicWriteReplacesExistingContent) {
+  PosixEnv env;
+  const std::string path = TempDir("replace") + "/file.bin";
+  ASSERT_TRUE(env.WriteFileAtomic(path, "old content").ok());
+  ASSERT_TRUE(env.WriteFileAtomic(path, "new").ok());
+  EXPECT_EQ(env.ReadFile(path).value(), "new");
+}
+
+TEST(PosixEnvTest, AtomicWriteLeavesNoTemporaryBehind) {
+  PosixEnv env;
+  const std::string dir = TempDir("notmp");
+  ASSERT_TRUE(env.WriteFileAtomic(JoinPath(dir, "file.bin"), "data").ok());
+  auto names = env.ListDirectory(dir);
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), 1u);
+  EXPECT_EQ((*names)[0], "file.bin");
+}
+
+TEST(PosixEnvTest, FileExists) {
+  PosixEnv env;
+  const std::string path = TempDir("exists") + "/file.bin";
+  if (env.FileExists(path).value()) {  // leftover from a previous run
+    ASSERT_TRUE(env.DeleteFile(path).ok());
+  }
+  EXPECT_FALSE(env.FileExists(path).value());
+  ASSERT_TRUE(env.WriteFileAtomic(path, "x").ok());
+  EXPECT_TRUE(env.FileExists(path).value());
+}
+
+TEST(PosixEnvTest, DeleteFile) {
+  PosixEnv env;
+  const std::string path = TempDir("delete") + "/file.bin";
+  ASSERT_TRUE(env.WriteFileAtomic(path, "x").ok());
+  EXPECT_TRUE(env.DeleteFile(path).ok());
+  EXPECT_FALSE(env.FileExists(path).value());
+  EXPECT_EQ(env.DeleteFile(path).code(), StatusCode::kNotFound);
+}
+
+TEST(PosixEnvTest, CreateDirsIsRecursiveAndIdempotent) {
+  PosixEnv env;
+  const std::string dir = TempDir("mkdirs") + "/a/b/c";
+  ASSERT_TRUE(env.CreateDirs(dir).ok());
+  ASSERT_TRUE(env.CreateDirs(dir).ok());
+  EXPECT_TRUE(env.WriteFileAtomic(JoinPath(dir, "f"), "x").ok());
+}
+
+TEST(PosixEnvTest, ListDirectoryIsSorted) {
+  PosixEnv env;
+  const std::string dir = TempDir("list");
+  ASSERT_TRUE(env.WriteFileAtomic(JoinPath(dir, "b"), "1").ok());
+  ASSERT_TRUE(env.WriteFileAtomic(JoinPath(dir, "a"), "2").ok());
+  ASSERT_TRUE(env.WriteFileAtomic(JoinPath(dir, "c"), "3").ok());
+  auto names = env.ListDirectory(dir);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(PosixEnvTest, RenameFile) {
+  PosixEnv env;
+  const std::string dir = TempDir("rename");
+  const std::string from = JoinPath(dir, "from");
+  const std::string to = JoinPath(dir, "to");
+  ASSERT_TRUE(env.WriteFileAtomic(from, "payload").ok());
+  ASSERT_TRUE(env.RenameFile(from, to).ok());
+  EXPECT_FALSE(env.FileExists(from).value());
+  EXPECT_EQ(env.ReadFile(to).value(), "payload");
+}
+
+// ---- fault injection ---------------------------------------------------
+
+TEST(FaultInjectingEnvTest, ErrorOnNthRead) {
+  PosixEnv base;
+  FaultInjectingEnv env(&base);
+  const std::string path = TempDir("nthread") + "/file.bin";
+  ASSERT_TRUE(env.WriteFileAtomic(path, "data").ok());
+  env.InjectReadFault(2, {.kind = Fault::Kind::kError,
+                          .code = StatusCode::kIOError});
+  EXPECT_TRUE(env.ReadFile(path).ok());
+  auto second = env.ReadFile(path);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kIOError);
+  // The fault fires exactly once.
+  EXPECT_TRUE(env.ReadFile(path).ok());
+  EXPECT_EQ(env.read_count(), 3u);
+  EXPECT_EQ(env.write_count(), 1u);
+}
+
+TEST(FaultInjectingEnvTest, TornWriteLeavesPrefixOnTarget) {
+  PosixEnv base;
+  FaultInjectingEnv env(&base);
+  const std::string path = TempDir("torn") + "/file.bin";
+  env.InjectWriteFault(1, {.kind = Fault::Kind::kTornWrite,
+                           .keep_bytes = 3});
+  const Status status = env.WriteFileAtomic(path, "abcdef");
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(base.ReadFile(path).value(), "abc");
+}
+
+TEST(FaultInjectingEnvTest, ShortReadTruncates) {
+  PosixEnv base;
+  FaultInjectingEnv env(&base);
+  const std::string path = TempDir("short") + "/file.bin";
+  ASSERT_TRUE(env.WriteFileAtomic(path, "abcdef").ok());
+  env.InjectReadFault(1, {.kind = Fault::Kind::kShortRead,
+                          .keep_bytes = 2});
+  EXPECT_EQ(env.ReadFile(path).value(), "ab");
+  EXPECT_EQ(env.ReadFile(path).value(), "abcdef");
+}
+
+TEST(FaultInjectingEnvTest, BitFlipCorruptsOneBit) {
+  PosixEnv base;
+  FaultInjectingEnv env(&base);
+  const std::string path = TempDir("flip") + "/file.bin";
+  ASSERT_TRUE(env.WriteFileAtomic(path, std::string(1, '\0')).ok());
+  env.InjectReadFault(1, {.kind = Fault::Kind::kBitFlip, .bit_index = 3});
+  auto read = env.ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ((*read)[0], static_cast<char>(1 << 3));
+}
+
+TEST(FaultInjectingEnvTest, LatencySleepsOnTheClock) {
+  PosixEnv base;
+  FakeClock clock;
+  FaultInjectingEnv env(&base, &clock);
+  const std::string path = TempDir("latency") + "/file.bin";
+  ASSERT_TRUE(env.WriteFileAtomic(path, "data").ok());
+  env.InjectReadFault(1, {.kind = Fault::Kind::kLatency,
+                          .latency_micros = 12345});
+  EXPECT_EQ(env.ReadFile(path).value(), "data");
+  ASSERT_EQ(clock.sleeps().size(), 1u);
+  EXPECT_EQ(clock.sleeps()[0], 12345u);
+}
+
+TEST(FaultInjectingEnvTest, KillSwitchFailsEveryOperationFromN) {
+  PosixEnv base;
+  FaultInjectingEnv env(&base);
+  const std::string dir = TempDir("kill");
+  const std::string path = JoinPath(dir, "file.bin");
+  ASSERT_TRUE(env.WriteFileAtomic(path, "data").ok());  // op 1
+  env.FailFrom(3);
+  EXPECT_TRUE(env.ReadFile(path).ok());                 // op 2
+  EXPECT_FALSE(env.ReadFile(path).ok());                // op 3: dead
+  EXPECT_FALSE(env.WriteFileAtomic(path, "x").ok());
+  EXPECT_FALSE(env.ListDirectory(dir).ok());
+  EXPECT_FALSE(env.FileExists(path).ok());
+  env.ClearFaults();
+  EXPECT_TRUE(env.ReadFile(path).ok());
+  EXPECT_EQ(env.ReadFile(path).value(), "data");
+}
+
+// ---- retrying decorator ------------------------------------------------
+
+TEST(RetryingEnvTest, TransientReadFailureIsRetried) {
+  PosixEnv posix;
+  FaultInjectingEnv flaky(&posix);
+  FakeClock clock;
+  BackoffPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_delay_micros = 50;
+  RetryingEnv env(&flaky, policy, &clock);
+
+  const std::string path = TempDir("retry") + "/file.bin";
+  ASSERT_TRUE(env.WriteFileAtomic(path, "data").ok());
+  flaky.InjectReadFault(1, {.kind = Fault::Kind::kError,
+                            .code = StatusCode::kIOError});
+  auto read = env.ReadFile(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, "data");
+  ASSERT_EQ(clock.sleeps().size(), 1u);
+  EXPECT_EQ(clock.sleeps()[0], 50u);
+}
+
+TEST(RetryingEnvTest, NotFoundPassesThroughWithoutRetry) {
+  PosixEnv posix;
+  FaultInjectingEnv counting(&posix);
+  FakeClock clock;
+  RetryingEnv env(&counting, BackoffPolicy{}, &clock);
+  auto read = env.ReadFile("/nonexistent/nope");
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(counting.read_count(), 1u);
+  EXPECT_TRUE(clock.sleeps().empty());
+}
+
+TEST(RetryingEnvTest, GivesUpAfterMaxAttempts) {
+  PosixEnv posix;
+  FaultInjectingEnv flaky(&posix);
+  FakeClock clock;
+  BackoffPolicy policy;
+  policy.max_attempts = 2;
+  policy.initial_delay_micros = 10;
+  RetryingEnv env(&flaky, policy, &clock);
+  const std::string path = TempDir("giveup") + "/file.bin";
+  ASSERT_TRUE(env.WriteFileAtomic(path, "data").ok());
+  flaky.InjectReadFault(1, {.kind = Fault::Kind::kError});
+  flaky.InjectReadFault(2, {.kind = Fault::Kind::kError});
+  auto read = env.ReadFile(path);
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(flaky.read_count(), 2u);
+}
+
+TEST(DefaultEnvTest, IsProcessWideSingleton) {
+  EXPECT_NE(Env::Default(), nullptr);
+  EXPECT_EQ(Env::Default(), Env::Default());
+}
+
+}  // namespace
+}  // namespace gf::io

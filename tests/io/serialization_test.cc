@@ -85,10 +85,13 @@ TEST(SerializationTest, FileRoundTrip) {
   ExpectDatasetsEqual(original, *loaded);
 }
 
-TEST(SerializationTest, MissingFileIsIOError) {
+// Regression: a missing artifact used to surface as a generic
+// IOError; the Env seam maps ENOENT to NotFound so callers can tell
+// "wrong path" from "flaky disk" (only the latter is retryable).
+TEST(SerializationTest, MissingFileIsNotFound) {
   auto r = ReadDataset("/nonexistent/nothing.gfsz");
   EXPECT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
 }
 
 TEST(SerializationTest, BadMagicRejected) {

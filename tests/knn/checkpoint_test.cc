@@ -1,0 +1,267 @@
+#include "knn/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "io/env.h"
+#include "io/fault_env.h"
+
+namespace gf {
+namespace {
+
+using io::JoinPath;
+using io::PosixEnv;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/checkpoint_test_" + name;
+  PosixEnv env;
+  auto names = env.ListDirectory(dir);
+  if (names.ok()) {
+    for (const std::string& entry : *names) {
+      EXPECT_TRUE(env.DeleteFile(JoinPath(dir, entry)).ok());
+    }
+  }
+  EXPECT_TRUE(env.CreateDirs(dir).ok());
+  return dir;
+}
+
+BuildCheckpoint MakeCheckpoint(uint64_t iterations = 3) {
+  BuildCheckpoint checkpoint;
+  checkpoint.algorithm = CheckpointAlgorithm::kNNDescent;
+  checkpoint.num_users = 4;
+  checkpoint.k = 2;
+  checkpoint.seed = 42;
+  checkpoint.iterations = iterations;
+  checkpoint.computations = 1234;
+  checkpoint.updates_per_iteration = {17, 9, 3};
+  checkpoint.rng = {{1, 2, 3, 4}, 0.5, true};
+  checkpoint.row_sizes = {2, 2, 1, 0};
+  checkpoint.rows.assign(4 * 2, NeighborLists::Entry{});
+  checkpoint.rows[0] = {1, 0.5f, true};
+  checkpoint.rows[1] = {2, 0.25f, false};
+  checkpoint.rows[2] = {0, 0.5f, false};
+  checkpoint.rows[3] = {3, 0.1f, true};
+  checkpoint.rows[4] = {1, 0.75f, true};
+  return checkpoint;
+}
+
+void ExpectCheckpointsEqual(const BuildCheckpoint& a,
+                            const BuildCheckpoint& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.num_users, b.num_users);
+  EXPECT_EQ(a.k, b.k);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.next_user, b.next_user);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.computations, b.computations);
+  EXPECT_EQ(a.updates_per_iteration, b.updates_per_iteration);
+  EXPECT_EQ(a.rng.lanes, b.rng.lanes);
+  EXPECT_EQ(a.rng.spare, b.rng.spare);
+  EXPECT_EQ(a.rng.has_spare, b.rng.has_spare);
+  ASSERT_EQ(a.row_sizes, b.row_sizes);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (uint64_t u = 0; u < a.num_users; ++u) {
+    for (uint32_t i = 0; i < a.row_sizes[u]; ++i) {
+      const auto& ea = a.rows[u * a.k + i];
+      const auto& eb = b.rows[u * b.k + i];
+      EXPECT_EQ(ea.id, eb.id);
+      EXPECT_EQ(ea.similarity, eb.similarity);
+      EXPECT_EQ(ea.is_new, eb.is_new);
+    }
+  }
+}
+
+TEST(CheckpointSerializationTest, RoundTrip) {
+  const BuildCheckpoint original = MakeCheckpoint();
+  auto loaded = DeserializeCheckpoint(SerializeCheckpoint(original));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectCheckpointsEqual(original, *loaded);
+}
+
+TEST(CheckpointSerializationTest, RowSizeAboveKIsCorruption) {
+  BuildCheckpoint checkpoint = MakeCheckpoint();
+  checkpoint.row_sizes[0] = 3;  // k = 2
+  checkpoint.rows.resize(checkpoint.num_users * checkpoint.k + 1);
+  auto loaded = DeserializeCheckpoint(SerializeCheckpoint(checkpoint));
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CheckpointSerializationTest, NeighborIdOutOfRangeIsCorruption) {
+  BuildCheckpoint checkpoint = MakeCheckpoint();
+  checkpoint.rows[0].id = 1000;  // num_users = 4
+  auto loaded = DeserializeCheckpoint(SerializeCheckpoint(checkpoint));
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CheckpointSerializationTest, ProgressPastTheEndIsCorruption) {
+  BuildCheckpoint checkpoint = MakeCheckpoint();
+  checkpoint.next_user = checkpoint.num_users + 1;
+  auto loaded = DeserializeCheckpoint(SerializeCheckpoint(checkpoint));
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CheckpointValidationTest, AcceptsMatchingConfiguration) {
+  const BuildCheckpoint checkpoint = MakeCheckpoint();
+  EXPECT_TRUE(ValidateCheckpoint(checkpoint, CheckpointAlgorithm::kNNDescent,
+                                 4, 2, 42)
+                  .ok());
+}
+
+TEST(CheckpointValidationTest, RejectsMismatches) {
+  const BuildCheckpoint checkpoint = MakeCheckpoint();
+  EXPECT_EQ(ValidateCheckpoint(checkpoint, CheckpointAlgorithm::kHyrec, 4, 2,
+                               42)
+                .code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ValidateCheckpoint(checkpoint, CheckpointAlgorithm::kNNDescent, 5,
+                               2, 42)
+                .code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ValidateCheckpoint(checkpoint, CheckpointAlgorithm::kNNDescent, 4,
+                               3, 42)
+                .code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ValidateCheckpoint(checkpoint, CheckpointAlgorithm::kNNDescent, 4,
+                               2, 43)
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointListsTest, CaptureRestoreRoundTrip) {
+  NeighborLists lists(3, 2);
+  lists.Insert(0, 1, 0.5);
+  lists.Insert(0, 2, 0.25);
+  lists.Insert(1, 0, 0.5);
+  lists.MutableOf(0)[1].is_new = false;
+
+  BuildCheckpoint checkpoint;
+  CaptureLists(lists, &checkpoint);
+  NeighborLists restored(3, 2);
+  ASSERT_TRUE(RestoreLists(checkpoint, &restored).ok());
+  for (UserId u = 0; u < 3; ++u) {
+    const auto a = lists.Of(u);
+    const auto b = restored.Of(u);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_EQ(a[i].similarity, b[i].similarity);
+      EXPECT_EQ(a[i].is_new, b[i].is_new);
+    }
+  }
+}
+
+TEST(CheckpointListsTest, RestoreRejectsShapeMismatch) {
+  BuildCheckpoint checkpoint = MakeCheckpoint();  // 4 x 2
+  NeighborLists lists(4, 3);
+  EXPECT_EQ(RestoreLists(checkpoint, &lists).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---- CheckpointStore ---------------------------------------------------
+
+TEST(CheckpointStoreTest, EmptyDirectoryIsNotFound) {
+  PosixEnv env;
+  CheckpointStore store(FreshDir("empty"), &env);
+  ASSERT_TRUE(store.Init().ok());
+  EXPECT_EQ(store.LoadLatest().status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointStoreTest, MissingDirectoryIsNotFound) {
+  PosixEnv env;
+  CheckpointStore store("/nonexistent/checkpoints", &env);
+  EXPECT_EQ(store.LoadLatest().status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointStoreTest, SaveThenLoadLatestReturnsNewest) {
+  PosixEnv env;
+  CheckpointStore store(FreshDir("latest"), &env, /*keep=*/3);
+  ASSERT_TRUE(store.Init().ok());
+  for (uint64_t i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(store.Save(MakeCheckpoint(i)).ok());
+  }
+  auto loaded = store.LoadLatest();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->iterations, 3u);
+}
+
+TEST(CheckpointStoreTest, PrunesToKeepNewest) {
+  PosixEnv env;
+  const std::string dir = FreshDir("prune");
+  CheckpointStore store(dir, &env, /*keep=*/2);
+  ASSERT_TRUE(store.Init().ok());
+  for (uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(store.Save(MakeCheckpoint(i)).ok());
+  }
+  auto names = env.ListDirectory(dir);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"checkpoint-000003.gfsz",
+                                              "checkpoint-000004.gfsz"}));
+}
+
+TEST(CheckpointStoreTest, LoadLatestFallsBackPastCorruptFile) {
+  PosixEnv env;
+  const std::string dir = FreshDir("fallback");
+  CheckpointStore store(dir, &env, /*keep=*/3);
+  ASSERT_TRUE(store.Init().ok());
+  ASSERT_TRUE(store.Save(MakeCheckpoint(1)).ok());
+  ASSERT_TRUE(store.Save(MakeCheckpoint(2)).ok());
+  // Tear the newest file: a crashed writer left a prefix.
+  const std::string newest = JoinPath(dir, "checkpoint-000001.gfsz");
+  const std::string bytes = env.ReadFile(newest).value();
+  ASSERT_TRUE(env.WriteFileAtomic(newest, bytes.substr(0, 10)).ok());
+
+  auto loaded = store.LoadLatest();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->iterations, 1u);
+}
+
+TEST(CheckpointStoreTest, AllFilesCorruptIsNotFound) {
+  PosixEnv env;
+  const std::string dir = FreshDir("allcorrupt");
+  CheckpointStore store(dir, &env);
+  ASSERT_TRUE(store.Init().ok());
+  ASSERT_TRUE(store.Save(MakeCheckpoint(1)).ok());
+  ASSERT_TRUE(
+      env.WriteFileAtomic(JoinPath(dir, "checkpoint-000000.gfsz"), "junk")
+          .ok());
+  EXPECT_EQ(store.LoadLatest().status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointStoreTest, SaveContinuesSequencePastLoadedCheckpoint) {
+  PosixEnv env;
+  const std::string dir = FreshDir("continue");
+  {
+    CheckpointStore store(dir, &env, /*keep=*/4);
+    ASSERT_TRUE(store.Init().ok());
+    ASSERT_TRUE(store.Save(MakeCheckpoint(1)).ok());
+    ASSERT_TRUE(store.Save(MakeCheckpoint(2)).ok());
+  }
+  CheckpointStore resumed(dir, &env, /*keep=*/4);
+  ASSERT_TRUE(resumed.Init().ok());
+  ASSERT_TRUE(resumed.LoadLatest().ok());
+  ASSERT_TRUE(resumed.Save(MakeCheckpoint(3)).ok());
+  auto names = env.ListDirectory(dir);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"checkpoint-000000.gfsz",
+                                              "checkpoint-000001.gfsz",
+                                              "checkpoint-000002.gfsz"}));
+}
+
+TEST(CheckpointStoreTest, ResetDeletesEveryCheckpoint) {
+  PosixEnv env;
+  const std::string dir = FreshDir("reset");
+  CheckpointStore store(dir, &env, /*keep=*/4);
+  ASSERT_TRUE(store.Init().ok());
+  ASSERT_TRUE(store.Save(MakeCheckpoint(1)).ok());
+  ASSERT_TRUE(store.Save(MakeCheckpoint(2)).ok());
+  // An unrelated file in the directory survives the reset.
+  ASSERT_TRUE(env.WriteFileAtomic(JoinPath(dir, "notes.txt"), "keep").ok());
+  ASSERT_TRUE(store.Reset().ok());
+  auto names = env.ListDirectory(dir);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"notes.txt"}));
+}
+
+}  // namespace
+}  // namespace gf

@@ -1,0 +1,218 @@
+// The determinism contract of the checkpointed builds: with an empty or
+// populated checkpoint directory, crashes or not, a checkpointed build
+// must produce the exact graph of the plain entry point — same edges,
+// same similarities, same tie-breaks. (Crash/resume scenarios live in
+// tests/integration/crash_recovery_test.cc; this file covers the
+// no-fault paths and configuration validation.)
+
+#include "knn/checkpointed_build.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "io/env.h"
+#include "knn/builder.h"
+#include "knn/similarity_provider.h"
+#include "testing/test_util.h"
+
+namespace gf {
+namespace {
+
+using io::JoinPath;
+using io::PosixEnv;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      ::testing::TempDir() + "/checkpointed_build_test_" + name;
+  PosixEnv env;
+  auto names = env.ListDirectory(dir);
+  if (names.ok()) {
+    for (const std::string& entry : *names) {
+      EXPECT_TRUE(env.DeleteFile(JoinPath(dir, entry)).ok());
+    }
+  }
+  EXPECT_TRUE(env.CreateDirs(dir).ok());
+  return dir;
+}
+
+void ExpectGraphsIdentical(const KnnGraph& a, const KnnGraph& b) {
+  ASSERT_EQ(a.NumUsers(), b.NumUsers());
+  ASSERT_EQ(a.k(), b.k());
+  for (UserId u = 0; u < a.NumUsers(); ++u) {
+    const auto na = a.NeighborsOf(u);
+    const auto nb = b.NeighborsOf(u);
+    ASSERT_EQ(na.size(), nb.size()) << "user " << u;
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i].id, nb[i].id) << "user " << u << " rank " << i;
+      EXPECT_EQ(na[i].similarity, nb[i].similarity)
+          << "user " << u << " rank " << i;
+    }
+  }
+}
+
+GreedyConfig SmallGreedy() {
+  GreedyConfig config;
+  config.k = 6;
+  config.max_iterations = 8;
+  config.seed = 99;
+  return config;
+}
+
+TEST(CheckpointedBuildTest, BruteForceMatchesPlainBuild) {
+  const Dataset d = testing::SmallSynthetic(120);
+  ExactJaccardProvider provider(d);
+  const KnnGraph plain = BruteForceKnn(provider, 6);
+
+  CheckpointConfig checkpointing;
+  checkpointing.dir = FreshDir("bf");
+  checkpointing.chunk_users = 32;
+  auto checkpointed =
+      CheckpointedBruteForceKnn(provider, 6, checkpointing);
+  ASSERT_TRUE(checkpointed.ok()) << checkpointed.status().ToString();
+  ExpectGraphsIdentical(plain, *checkpointed);
+}
+
+TEST(CheckpointedBuildTest, BruteForceChunkingDoesNotChangeTheGraph) {
+  const Dataset d = testing::SmallSynthetic(90);
+  ExactJaccardProvider provider(d);
+  const KnnGraph plain = BruteForceKnn(provider, 5);
+  for (std::size_t chunk : {1u, 7u, 64u, 1000u}) {
+    CheckpointConfig checkpointing;
+    checkpointing.dir = FreshDir("bf_chunk_" + std::to_string(chunk));
+    checkpointing.chunk_users = chunk;
+    auto graph = CheckpointedBruteForceKnn(provider, 5, checkpointing);
+    ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+    ExpectGraphsIdentical(plain, *graph);
+  }
+}
+
+TEST(CheckpointedBuildTest, HyrecMatchesPlainBuild) {
+  const Dataset d = testing::SmallSynthetic(120);
+  ExactJaccardProvider provider(d);
+  const GreedyConfig config = SmallGreedy();
+  const KnnGraph plain = HyrecKnn(provider, config);
+
+  CheckpointConfig checkpointing;
+  checkpointing.dir = FreshDir("hyrec");
+  auto checkpointed = CheckpointedHyrecKnn(provider, config, checkpointing);
+  ASSERT_TRUE(checkpointed.ok()) << checkpointed.status().ToString();
+  ExpectGraphsIdentical(plain, *checkpointed);
+}
+
+TEST(CheckpointedBuildTest, NNDescentMatchesPlainBuild) {
+  const Dataset d = testing::SmallSynthetic(120);
+  ExactJaccardProvider provider(d);
+  const GreedyConfig config = SmallGreedy();
+  const KnnGraph plain = NNDescentKnn(provider, config);
+
+  CheckpointConfig checkpointing;
+  checkpointing.dir = FreshDir("nndescent");
+  auto checkpointed =
+      CheckpointedNNDescentKnn(provider, config, checkpointing);
+  ASSERT_TRUE(checkpointed.ok()) << checkpointed.status().ToString();
+  ExpectGraphsIdentical(plain, *checkpointed);
+}
+
+TEST(CheckpointedBuildTest, StatsMatchThePlainBuild) {
+  const Dataset d = testing::SmallSynthetic(80);
+  ExactJaccardProvider provider(d);
+  const GreedyConfig config = SmallGreedy();
+  KnnBuildStats plain_stats;
+  (void)HyrecKnn(provider, config, nullptr, &plain_stats);
+
+  CheckpointConfig checkpointing;
+  checkpointing.dir = FreshDir("stats");
+  KnnBuildStats stats;
+  auto graph =
+      CheckpointedHyrecKnn(provider, config, checkpointing, nullptr, &stats);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(stats.iterations, plain_stats.iterations);
+  EXPECT_EQ(stats.similarity_computations,
+            plain_stats.similarity_computations);
+  EXPECT_EQ(stats.updates_per_iteration, plain_stats.updates_per_iteration);
+}
+
+TEST(CheckpointedBuildTest, FreshBuildIgnoresStaleCheckpoints) {
+  const Dataset d = testing::SmallSynthetic(80);
+  ExactJaccardProvider provider(d);
+  const GreedyConfig config = SmallGreedy();
+  const std::string dir = FreshDir("stale");
+
+  // A previous run with a different seed leaves checkpoints behind.
+  CheckpointConfig checkpointing;
+  checkpointing.dir = dir;
+  GreedyConfig other = config;
+  other.seed = 1234;
+  ASSERT_TRUE(CheckpointedHyrecKnn(provider, other, checkpointing).ok());
+
+  // A fresh (resume = false) build must not pick them up.
+  const KnnGraph plain = HyrecKnn(provider, config);
+  auto graph = CheckpointedHyrecKnn(provider, config, checkpointing);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  ExpectGraphsIdentical(plain, *graph);
+}
+
+TEST(CheckpointedBuildTest, ResumeRejectsMismatchedConfiguration) {
+  const Dataset d = testing::SmallSynthetic(80);
+  ExactJaccardProvider provider(d);
+  const GreedyConfig config = SmallGreedy();
+  const std::string dir = FreshDir("mismatch");
+
+  CheckpointConfig checkpointing;
+  checkpointing.dir = dir;
+  ASSERT_TRUE(CheckpointedHyrecKnn(provider, config, checkpointing).ok());
+
+  checkpointing.resume = true;
+  GreedyConfig other = config;
+  other.seed = config.seed + 1;
+  auto resumed = CheckpointedHyrecKnn(provider, other, checkpointing);
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointedBuildTest, ResumeWithEmptyDirectoryRunsFresh) {
+  const Dataset d = testing::SmallSynthetic(80);
+  ExactJaccardProvider provider(d);
+  const GreedyConfig config = SmallGreedy();
+  const KnnGraph plain = NNDescentKnn(provider, config);
+
+  CheckpointConfig checkpointing;
+  checkpointing.dir = FreshDir("resume_empty");
+  checkpointing.resume = true;
+  auto graph = CheckpointedNNDescentKnn(provider, config, checkpointing);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  ExpectGraphsIdentical(plain, *graph);
+}
+
+TEST(CheckpointedBuildTest, BuilderFacadeRoutesToCheckpointedBuild) {
+  const Dataset d = testing::SmallSynthetic(60);
+  KnnPipelineConfig config;
+  config.algorithm = KnnAlgorithm::kHyrec;
+  config.mode = SimilarityMode::kNative;
+  config.greedy = SmallGreedy();
+
+  auto plain = BuildKnnGraph(d, config);
+  ASSERT_TRUE(plain.ok());
+  config.checkpoint.dir = FreshDir("facade");
+  auto checkpointed = BuildKnnGraph(d, config);
+  ASSERT_TRUE(checkpointed.ok()) << checkpointed.status().ToString();
+  ExpectGraphsIdentical(plain->graph, checkpointed->graph);
+
+  // Checkpoint files were actually written.
+  PosixEnv env;
+  auto names = env.ListDirectory(config.checkpoint.dir);
+  ASSERT_TRUE(names.ok());
+  EXPECT_FALSE(names->empty());
+}
+
+TEST(CheckpointedBuildTest, BuilderRejectsCheckpointingForOtherAlgorithms) {
+  const Dataset d = testing::SmallSynthetic(60);
+  KnnPipelineConfig config;
+  config.algorithm = KnnAlgorithm::kLsh;
+  config.checkpoint.dir = FreshDir("reject");
+  auto result = BuildKnnGraph(d, config);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace gf

@@ -46,7 +46,8 @@ int Usage() {
       "  knn       --in ds.gfsz [--algorithm bruteforce|hyrec|nndescent|\n"
       "            lsh|kiff|bandedlsh|bisection]\n"
       "            [--mode native|golfi|minhash] [--k 30] [--bits 1024]\n"
-      "            [--out graph.gfsz]\n"
+      "            [--checkpoint-dir DIR] [--checkpoint-every N]\n"
+      "            [--resume] [--out graph.gfsz]\n"
       "  recommend --in ds.gfsz --graph graph.gfsz [--user U] [--n 30]\n"
       "  privacy   --in ds.gfsz [--bits 1024]\n"
       "  fingerprint --in ds.gfsz [--bits 1024] [--hash jenkins|murmur3|\n"
@@ -143,6 +144,18 @@ int CmdKnn(const Flags& flags) {
   config.greedy.k = static_cast<std::size_t>(flags.GetInt("k", 30));
   config.fingerprint.num_bits =
       static_cast<std::size_t>(flags.GetInt("bits", 1024));
+
+  // Checkpoint/resume: long builds snapshot into --checkpoint-dir every
+  // --checkpoint-every progress units (greedy iterations, brute-force
+  // chunks); --resume continues from the newest valid snapshot instead
+  // of starting over.
+  config.checkpoint.dir = flags.GetString("checkpoint-dir");
+  config.checkpoint.every =
+      static_cast<std::size_t>(flags.GetInt("checkpoint-every", 1));
+  config.checkpoint.resume = flags.GetBool("resume", false);
+  if (config.checkpoint.resume && config.checkpoint.dir.empty()) {
+    return Fail(Status::InvalidArgument("--resume needs --checkpoint-dir"));
+  }
 
   auto result = BuildKnnGraph(*dataset, config);
   if (!result.ok()) return Fail(result.status());
