@@ -10,10 +10,15 @@
 
 #include <cstdio>
 #include <optional>
+#include <string>
 
 #include "knn/builder.h"
 #include "knn/quality.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_context.h"
+#include "obs/trace.h"
 #include "util/bench_env.h"
+#include "util/bench_report.h"
 
 namespace {
 
@@ -82,6 +87,10 @@ int main() {
       "paper: GolFi fastest everywhere, gains up to 78.9%, quality loss "
       "<= 0.22");
 
+  // Per-run pipeline metrics (per-phase wall times, similarity counts)
+  // collected into BENCH_pipeline.json — see util/bench_report.h.
+  gf::bench::BenchReport report("bench_table4_time_quality");
+
   const auto datasets = gf::bench::LoadBenchDatasets();
   for (const auto& b : datasets) {
     const int pi = PaperIndex(b.id);
@@ -97,24 +106,39 @@ int main() {
       config.algorithm = Algo(a);
       config.greedy.k = 30;
 
+      const PaperRow& p = kPaperRows[pi][a];
+
       config.mode = gf::SimilarityMode::kNative;
-      auto native = gf::BuildKnnGraph(b.dataset, config);
+      gf::obs::MetricRegistry native_registry;
+      gf::obs::TraceRecorder native_tracer;
+      gf::obs::PipelineContext native_ctx;
+      native_ctx.metrics = &native_registry;
+      native_ctx.tracer = &native_tracer;
+      auto native = gf::BuildKnnGraph(b.dataset, config, native_ctx);
       if (!native.ok()) return 1;
-      const double native_avg =
-          gf::AverageExactSimilarity(native->graph, b.dataset);
+      const double native_avg = gf::AverageExactSimilarity(
+          native->graph, b.dataset, nullptr, &native_ctx);
+      report.AddRun(b.name + "/" + p.algo + "/native", native_registry,
+                    &native_tracer);
       if (a == 0) exact_avg = native_avg;  // BF native = exact reference
 
       config.mode = gf::SimilarityMode::kGoldFinger;
-      auto golfi = gf::BuildKnnGraph(b.dataset, config);
+      gf::obs::MetricRegistry golfi_registry;
+      gf::obs::TraceRecorder golfi_tracer;
+      gf::obs::PipelineContext golfi_ctx;
+      golfi_ctx.metrics = &golfi_registry;
+      golfi_ctx.tracer = &golfi_tracer;
+      auto golfi = gf::BuildKnnGraph(b.dataset, config, golfi_ctx);
       if (!golfi.ok()) return 1;
-      const double golfi_avg =
-          gf::AverageExactSimilarity(golfi->graph, b.dataset);
+      const double golfi_avg = gf::AverageExactSimilarity(
+          golfi->graph, b.dataset, nullptr, &golfi_ctx);
+      report.AddRun(b.name + "/" + p.algo + "/golfi", golfi_registry,
+                    &golfi_tracer);
 
       const double q_native = gf::GraphQuality(native_avg, *exact_avg);
       const double q_golfi = gf::GraphQuality(golfi_avg, *exact_avg);
       const double gain = 100.0 * (1.0 - golfi->stats.seconds /
                                              native->stats.seconds);
-      const PaperRow& p = kPaperRows[pi][a];
       const double paper_gain =
           100.0 * (1.0 - p.golfi_time / p.native_time);
       std::printf(
@@ -129,5 +153,7 @@ int main() {
       "\n(BruteForce here evaluates ordered pairs — n(n-1) similarity "
       "calls — so its absolute time is ~2x the unordered minimum; the "
       "native/GolFi gains are unaffected.)\n");
+  if (!report.Write()) return 1;
+  std::printf("wrote pipeline metrics to %s\n", report.path().c_str());
   return 0;
 }

@@ -1,0 +1,56 @@
+#include "util/bench_report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/json_export.h"
+
+namespace gf::bench {
+
+namespace {
+
+std::string ResolvePath() {
+  const char* env = std::getenv("GF_BENCH_OUT");
+  if (env != nullptr && env[0] != '\0') return env;
+  return "BENCH_pipeline.json";
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string bench_name)
+    : bench_name_(std::move(bench_name)), path_(ResolvePath()) {}
+
+void BenchReport::AddRun(const std::string& label,
+                         const obs::MetricRegistry& registry,
+                         const obs::TraceRecorder* tracer) {
+  std::string run = "{\"label\":\"";
+  run += obs::JsonEscape(label);
+  run += "\",\"metrics\":";
+  run += obs::ExportJson(registry, tracer);
+  run += "}";
+  runs_.push_back(std::move(run));
+}
+
+bool BenchReport::Write() const {
+  std::string out = "{\"schema_version\":1,\"bench\":\"";
+  out += obs::JsonEscape(bench_name_);
+  out += "\",\"runs\":[";
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += runs_[i];
+  }
+  out += "]}\n";
+
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench report: cannot open %s\n", path_.c_str());
+    return false;
+  }
+  const std::size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == out.size();
+  if (!ok) std::fprintf(stderr, "bench report: short write %s\n", path_.c_str());
+  return ok;
+}
+
+}  // namespace gf::bench

@@ -1,0 +1,57 @@
+// Shared pipeline-metrics emitter for the bench harnesses: collects one
+// serialized metrics snapshot per benchmark run and writes them as a
+// single JSON report, so CI (and humans) can diff per-phase wall times
+// and counter totals across runs without scraping stdout tables.
+//
+// Report schema (schema_version 1):
+//
+//   {
+//     "schema_version": 1,
+//     "bench": "<harness name>",
+//     "runs": [
+//       {"label": "<dataset/algo/mode>", "metrics": { ...obs::ExportJson }}
+//     ]
+//   }
+//
+// The default output path is BENCH_pipeline.json in the working
+// directory; GF_BENCH_OUT overrides it. Only one harness per process
+// should write a given path (the canonical pipeline report is emitted
+// by bench_table4, the load -> fingerprint -> build -> evaluate bench).
+
+#ifndef GF_BENCH_UTIL_BENCH_REPORT_H_
+#define GF_BENCH_UTIL_BENCH_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gf::bench {
+
+class BenchReport {
+ public:
+  /// `bench_name` labels the report (the harness name).
+  explicit BenchReport(std::string bench_name);
+
+  /// Snapshots `registry` (and `tracer`'s spans when non-null) as one
+  /// run labelled `label`.
+  void AddRun(const std::string& label, const obs::MetricRegistry& registry,
+              const obs::TraceRecorder* tracer = nullptr);
+
+  /// Writes the report to path(). Returns false (and prints to stderr)
+  /// on I/O failure.
+  bool Write() const;
+
+  /// $GF_BENCH_OUT when set, else "BENCH_pipeline.json".
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  std::vector<std::string> runs_;  // pre-serialized run objects
+};
+
+}  // namespace gf::bench
+
+#endif  // GF_BENCH_UTIL_BENCH_REPORT_H_

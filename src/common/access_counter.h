@@ -1,12 +1,20 @@
-// Algorithmic memory-access accounting.
+// Algorithmic memory-access accounting — a thin view over the metrics
+// registry (obs/metrics.h).
 //
-// The paper's Table 5 reports hardware L1 load/store counters (perf) for
-// native vs fingerprinted similarity pipelines. PMU counters are not
-// available in this environment, so we substitute an algorithm-level
-// model: the similarity kernels report how many 64-bit words of profile /
-// fingerprint data they read and write. This preserves the quantity the
-// paper's L1 numbers proxy (data traffic of the similarity phase) and in
-// particular the native/GolFi ratio; see DESIGN.md §5.
+// The paper's Table 5 reports hardware L1 load/store counters (perf)
+// for native vs fingerprinted similarity pipelines. PMU counters are
+// not available in this environment, so we substitute an
+// algorithm-level model: the similarity kernels report how many 64-bit
+// words of profile / fingerprint data they read and write. This
+// preserves the quantity the paper's L1 numbers proxy (data traffic of
+// the similarity phase) and in particular the native/GolFi ratio; see
+// DESIGN.md §5.
+//
+// The tallies themselves live in obs::GlobalRegistry() under
+// "mem.loads" / "mem.stores" — this header only keeps the historical
+// query surface (Instance()/CountLoads()/loads()/Enable()) so the
+// similarity kernels, Table-5 bench and existing tests compile
+// unchanged while the registry stays the one source of truth.
 
 #ifndef GF_COMMON_ACCESS_COUNTER_H_
 #define GF_COMMON_ACCESS_COUNTER_H_
@@ -14,31 +22,31 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/metrics.h"
+
 namespace gf {
 
-/// Global tallies of modelled word-sized loads and stores performed on
-/// dataset payloads (profiles, fingerprints, signatures). Thread-safe;
-/// counting is relaxed-atomic and negligible next to the counted work.
+/// Registry-backed adapter over the process-wide modelled load/store
+/// tallies. Thread-safe; counting is relaxed-atomic and negligible next
+/// to the counted work.
 class AccessCounter {
  public:
-  /// Singleton accessor: there is one account per process, mirroring the
-  /// process-wide view `perf stat` gives.
+  /// Singleton accessor: one account per process, mirroring the
+  /// process-wide view `perf stat` gives (and obs::GlobalRegistry()).
   static AccessCounter& Instance() {
     static AccessCounter counter;
     return counter;
   }
 
-  void CountLoads(uint64_t n) { loads_.fetch_add(n, std::memory_order_relaxed); }
-  void CountStores(uint64_t n) {
-    stores_.fetch_add(n, std::memory_order_relaxed);
-  }
+  void CountLoads(uint64_t n) { loads_->Add(n); }
+  void CountStores(uint64_t n) { stores_->Add(n); }
 
-  uint64_t loads() const { return loads_.load(std::memory_order_relaxed); }
-  uint64_t stores() const { return stores_.load(std::memory_order_relaxed); }
+  uint64_t loads() const { return loads_->value(); }
+  uint64_t stores() const { return stores_->value(); }
 
   void Reset() {
-    loads_.store(0, std::memory_order_relaxed);
-    stores_.store(0, std::memory_order_relaxed);
+    loads_->Reset();
+    stores_->Reset();
   }
 
   /// Enables/disables counting globally. Disabled by default so the hot
@@ -47,10 +55,12 @@ class AccessCounter {
   static bool enabled() { return enabled_; }
 
  private:
-  AccessCounter() = default;
+  AccessCounter()
+      : loads_(obs::GlobalRegistry().GetCounter("mem.loads")),
+        stores_(obs::GlobalRegistry().GetCounter("mem.stores")) {}
 
-  std::atomic<uint64_t> loads_{0};
-  std::atomic<uint64_t> stores_{0};
+  obs::Counter* loads_;
+  obs::Counter* stores_;
   static inline std::atomic<bool> enabled_{false};
 };
 
@@ -61,7 +71,8 @@ struct AccessSnapshot {
 };
 
 inline AccessSnapshot TakeAccessSnapshot() {
-  return {AccessCounter::Instance().loads(), AccessCounter::Instance().stores()};
+  return {AccessCounter::Instance().loads(),
+          AccessCounter::Instance().stores()};
 }
 
 /// Records `n` modelled loads if counting is enabled.

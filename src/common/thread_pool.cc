@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace gf {
 
@@ -50,7 +51,15 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    const auto start = std::chrono::steady_clock::now();
     task();
+    busy_micros_.fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()),
+        std::memory_order_relaxed);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (--in_flight_ == 0) all_done_.notify_all();

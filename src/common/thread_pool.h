@@ -9,6 +9,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -30,6 +31,18 @@ class ThreadPool {
 
   std::size_t num_threads() const { return workers_.size(); }
 
+  /// Tasks completed since construction (relaxed; exact once quiescent).
+  uint64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
+  /// Total wall time workers spent inside tasks, in microseconds. With
+  /// the pool's wall time and thread count this yields the utilization
+  /// gauge the pipeline exports: busy / (threads * elapsed).
+  uint64_t busy_micros() const {
+    return busy_micros_.load(std::memory_order_relaxed);
+  }
+
   /// Enqueues a task for asynchronous execution.
   void Submit(std::function<void()> task);
 
@@ -47,6 +60,8 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> busy_micros_{0};
   std::queue<std::function<void()>> tasks_;
   std::mutex mu_;
   std::condition_variable task_available_;

@@ -90,7 +90,8 @@ void FingerprintStore::EstimateCosineTile(UserId u, UserId first,
 
 Result<FingerprintStore> FingerprintStore::Build(
     const Dataset& dataset, const FingerprintConfig& config,
-    ThreadPool* pool) {
+    ThreadPool* pool, const obs::PipelineContext* obs) {
+  obs::ScopedPhase phase(obs, "fingerprint.build");
   auto fp_result = Fingerprinter::Create(config);
   if (!fp_result.ok()) return fp_result.status();
   const Fingerprinter& fingerprinter = fp_result.value();
@@ -113,6 +114,10 @@ Result<FingerprintStore> FingerprintStore::Build(
       store.cardinalities_[u] = card;
     }
   });
+  if (obs != nullptr) {
+    obs->Count("fingerprint.users", store.num_users());
+    obs->Count("fingerprint.payload_bytes", store.PayloadBytes());
+  }
   return store;
 }
 

@@ -18,6 +18,7 @@
 #include "core/fingerprinter.h"
 #include "core/shf.h"
 #include "dataset/dataset.h"
+#include "obs/pipeline_context.h"
 
 namespace gf {
 
@@ -25,10 +26,12 @@ namespace gf {
 class FingerprintStore {
  public:
   /// Fingerprints every profile of `dataset` (in parallel when `pool` is
-  /// non-null). This is GoldFinger's whole preparation phase.
-  static Result<FingerprintStore> Build(const Dataset& dataset,
-                                        const FingerprintConfig& config,
-                                        ThreadPool* pool = nullptr);
+  /// non-null). This is GoldFinger's whole preparation phase. With an
+  /// observability context, records a "fingerprint.build" span plus the
+  /// fingerprint.users / fingerprint.payload_bytes counters.
+  static Result<FingerprintStore> Build(
+      const Dataset& dataset, const FingerprintConfig& config,
+      ThreadPool* pool = nullptr, const obs::PipelineContext* obs = nullptr);
 
   /// Reassembles a store from raw parts (the deserialization path).
   /// Validates the bit length and that `words` / `cardinalities` have

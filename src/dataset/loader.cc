@@ -73,6 +73,18 @@ std::string_view StripCr(std::string_view line) {
   return line;
 }
 
+// Load counters (no-op without a metrics sink): raw bytes and lines
+// consumed, plus what survived the min-ratings filter.
+void RecordLoadMetrics(const LoaderOptions& options, std::size_t bytes,
+                       std::size_t lines, const RatingDataset& filtered) {
+  const obs::PipelineContext* obs = options.obs;
+  if (obs == nullptr) return;
+  obs->Count("dataset.bytes_read", bytes);
+  obs->Count("dataset.lines_parsed", lines);
+  obs->Count("dataset.ratings_kept", filtered.ratings().size());
+  obs->Count("dataset.users_kept", filtered.NumUsers());
+}
+
 // Shared triplet parser: separator + whether the first line is a header
 // + whether ids are strings (Amazon) or integers.
 Result<RatingDataset> ParseTriplets(const std::string& content,
@@ -127,8 +139,12 @@ Result<RatingDataset> ParseTriplets(const std::string& content,
 
   const std::size_t n_users = string_ids ? user_names.size() : user_ids.size();
   const std::size_t n_items = string_ids ? item_names.size() : item_ids.size();
+  const std::size_t lines_parsed = line_no;
   RatingDataset raw(std::move(ratings), n_users, n_items, std::move(name));
-  return raw.FilterUsersWithMinRatings(options.min_ratings_per_user);
+  RatingDataset filtered =
+      raw.FilterUsersWithMinRatings(options.min_ratings_per_user);
+  RecordLoadMetrics(options, content.size(), lines_parsed, filtered);
+  return filtered;
 }
 
 }  // namespace
@@ -141,6 +157,7 @@ Result<RatingDataset> ParseMovieLensDat(const std::string& content,
 
 Result<RatingDataset> LoadMovieLensDat(const std::string& path,
                                        const LoaderOptions& options) {
+  obs::ScopedPhase phase(options.obs, "dataset.load", "dataset.load_seconds");
   std::string content;
   GF_ASSIGN_OR_RETURN(content, ReadWholeFile(path));
   return ParseMovieLensDat(content, options);
@@ -148,6 +165,7 @@ Result<RatingDataset> LoadMovieLensDat(const std::string& path,
 
 Result<RatingDataset> LoadMovieLensCsv(const std::string& path,
                                        const LoaderOptions& options) {
+  obs::ScopedPhase phase(options.obs, "dataset.load", "dataset.load_seconds");
   std::string content;
   GF_ASSIGN_OR_RETURN(content, ReadWholeFile(path));
   return ParseTriplets(content, ",", /*skip_header=*/true,
@@ -156,6 +174,7 @@ Result<RatingDataset> LoadMovieLensCsv(const std::string& path,
 
 Result<RatingDataset> LoadAmazonRatings(const std::string& path,
                                         const LoaderOptions& options) {
+  obs::ScopedPhase phase(options.obs, "dataset.load", "dataset.load_seconds");
   std::string content;
   GF_ASSIGN_OR_RETURN(content, ReadWholeFile(path));
   return ParseTriplets(content, ",", /*skip_header=*/false,
@@ -164,6 +183,7 @@ Result<RatingDataset> LoadAmazonRatings(const std::string& path,
 
 Result<RatingDataset> LoadEdgeList(const std::string& path,
                                    const LoaderOptions& options) {
+  obs::ScopedPhase phase(options.obs, "dataset.load", "dataset.load_seconds");
   std::string content;
   GF_ASSIGN_OR_RETURN(content, ReadWholeFile(path));
 
@@ -207,7 +227,10 @@ Result<RatingDataset> LoadEdgeList(const std::string& path,
 
   RatingDataset raw(std::move(ratings), nodes.size(), nodes.size(),
                     "edgelist");
-  return raw.FilterUsersWithMinRatings(options.min_ratings_per_user);
+  RatingDataset filtered =
+      raw.FilterUsersWithMinRatings(options.min_ratings_per_user);
+  RecordLoadMetrics(options, content.size(), line_no, filtered);
+  return filtered;
 }
 
 }  // namespace gf

@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "dataset/dataset.h"
+#include "obs/pipeline_context.h"
 
 namespace gf {
 
@@ -19,6 +20,10 @@ namespace gf {
 struct LoaderOptions {
   /// Users with fewer raw ratings are dropped (paper: 20).
   std::size_t min_ratings_per_user = 20;
+  /// Optional observability context: loaders then run under a
+  /// "dataset.load" span and record dataset.bytes_read /
+  /// dataset.lines_parsed / dataset.ratings_kept / dataset.users_kept.
+  const obs::PipelineContext* obs = nullptr;
 };
 
 /// Loads a MovieLens `ratings.dat` file: `userId::movieId::rating::ts`

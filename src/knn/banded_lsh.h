@@ -24,6 +24,7 @@
 #include "knn/graph.h"
 #include "knn/stats.h"
 #include "minhash/permutation.h"
+#include "obs/pipeline_context.h"
 
 namespace gf {
 
@@ -48,7 +49,8 @@ template <typename Provider>
 KnnGraph BandedLshKnn(const Dataset& dataset, const Provider& provider,
                       const BandedLshConfig& config,
                       ThreadPool* pool = nullptr,
-                      KnnBuildStats* stats = nullptr) {
+                      KnnBuildStats* stats = nullptr,
+                      const obs::PipelineContext* obs = nullptr) {
   WallTimer timer;
   const std::size_t n = dataset.NumUsers();
   const std::size_t total_fns = config.bands * config.rows;
@@ -58,38 +60,47 @@ KnnGraph BandedLshKnn(const Dataset& dataset, const Provider& provider,
   // Signature matrix: n x (bands*rows) min-wise values.
   Rng rng(config.seed);
   std::vector<uint64_t> signatures(n * total_fns);
-  for (std::size_t f = 0; f < total_fns; ++f) {
-    const MinwiseFunction fn =
-        config.kind == MinwiseKind::kExplicitPermutation
-            ? MinwiseFunction::Permutation(dataset.NumItems(), rng)
-            : MinwiseFunction::Universal(dataset.NumItems(), rng);
-    ParallelFor(pool, n, [&](std::size_t begin, std::size_t end) {
-      for (std::size_t u = begin; u < end; ++u) {
-        signatures[u * total_fns + f] =
-            fn.MinRank(dataset.Profile(static_cast<UserId>(u)));
-      }
-    });
-  }
-
-  // Band tables: key = hash of the band's `rows` values.
   std::vector<std::unordered_map<uint64_t, std::vector<UserId>>> tables(
       config.bands);
   std::vector<uint64_t> keys(n * config.bands);
-  for (std::size_t band = 0; band < config.bands; ++band) {
-    for (UserId u = 0; u < n; ++u) {
-      if (dataset.ProfileSize(u) == 0) continue;
-      uint64_t key = 0x9E3779B97F4A7C15ULL + band;
-      for (std::size_t r = 0; r < config.rows; ++r) {
-        key = hash::Murmur3Hash64(
-            signatures[static_cast<std::size_t>(u) * total_fns +
-                       band * config.rows + r],
-            key);
+  {
+    obs::ScopedPhase sig_phase(obs, "bandedlsh.signatures");
+    for (std::size_t f = 0; f < total_fns; ++f) {
+      const MinwiseFunction fn =
+          config.kind == MinwiseKind::kExplicitPermutation
+              ? MinwiseFunction::Permutation(dataset.NumItems(), rng)
+              : MinwiseFunction::Universal(dataset.NumItems(), rng);
+      ParallelFor(pool, n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t u = begin; u < end; ++u) {
+          signatures[u * total_fns + f] =
+              fn.MinRank(dataset.Profile(static_cast<UserId>(u)));
+        }
+      });
+    }
+
+    // Band tables: key = hash of the band's `rows` values.
+    for (std::size_t band = 0; band < config.bands; ++band) {
+      for (UserId u = 0; u < n; ++u) {
+        if (dataset.ProfileSize(u) == 0) continue;
+        uint64_t key = 0x9E3779B97F4A7C15ULL + band;
+        for (std::size_t r = 0; r < config.rows; ++r) {
+          key = hash::Murmur3Hash64(
+              signatures[static_cast<std::size_t>(u) * total_fns +
+                         band * config.rows + r],
+              key);
+        }
+        keys[static_cast<std::size_t>(u) * config.bands + band] = key;
+        tables[band][key].push_back(u);
       }
-      keys[static_cast<std::size_t>(u) * config.bands + band] = key;
-      tables[band][key].push_back(u);
     }
   }
 
+  obs::ScopedPhase scoring(obs, "bandedlsh.scoring");
+  obs::Histogram* candidate_sizes =
+      obs != nullptr && obs->HasMetrics()
+          ? obs->metrics->GetHistogram("bandedlsh.candidate_set_size",
+                                       obs::kSizeBucketBoundaries)
+          : nullptr;
   ParallelFor(pool, n, [&](std::size_t begin, std::size_t end) {
     std::vector<UserId> candidates;
     for (std::size_t uu = begin; uu < end; ++uu) {
@@ -106,6 +117,9 @@ KnnGraph BandedLshKnn(const Dataset& dataset, const Provider& provider,
       std::sort(candidates.begin(), candidates.end());
       candidates.erase(std::unique(candidates.begin(), candidates.end()),
                        candidates.end());
+      if (candidate_sizes != nullptr) {
+        candidate_sizes->Observe(static_cast<double>(candidates.size()));
+      }
       uint64_t local = 0;
       for (UserId v : candidates) {
         ++local;

@@ -24,6 +24,7 @@
 #include "common/timer.h"
 #include "knn/graph.h"
 #include "knn/stats.h"
+#include "obs/pipeline_context.h"
 
 namespace gf {
 
@@ -130,7 +131,8 @@ void Solve(const Provider& provider, const BisectionConfig& config,
 template <typename Provider>
 KnnGraph RecursiveBisectionKnn(const Provider& provider,
                                const BisectionConfig& config,
-                               KnnBuildStats* stats = nullptr) {
+                               KnnBuildStats* stats = nullptr,
+                               const obs::PipelineContext* obs = nullptr) {
   WallTimer timer;
   const std::size_t n = provider.num_users();
   NeighborLists lists(n, config.k);
@@ -139,6 +141,7 @@ KnnGraph RecursiveBisectionKnn(const Provider& provider,
   std::vector<UserId> all(n);
   for (UserId u = 0; u < n; ++u) all[u] = u;
   if (n > 1) {
+    obs::ScopedPhase solve_phase(obs, "bisection.solve");
     bisection_internal::Solve(provider, config, all, lists, computations,
                               rng, 0);
   }

@@ -37,6 +37,7 @@
 #include "knn/graph.h"
 #include "knn/provider_concepts.h"
 #include "knn/stats.h"
+#include "obs/pipeline_context.h"
 
 namespace gf {
 
@@ -90,11 +91,15 @@ void BruteForceScoreRows(const Provider& provider, NeighborLists& lists,
 template <typename Provider>
 KnnGraph BruteForceKnn(const Provider& provider, std::size_t k,
                        ThreadPool* pool = nullptr,
-                       KnnBuildStats* stats = nullptr) {
+                       KnnBuildStats* stats = nullptr,
+                       const obs::PipelineContext* obs = nullptr) {
   WallTimer timer;
   const std::size_t n = provider.num_users();
   NeighborLists lists(n, k);
-  BruteForceScoreRows(provider, lists, 0, n, pool);
+  {
+    obs::ScopedPhase phase(obs, "bruteforce.scan");
+    BruteForceScoreRows(provider, lists, 0, n, pool);
+  }
 
   KnnGraph graph = lists.Finalize();
   if (stats != nullptr) {

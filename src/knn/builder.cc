@@ -1,5 +1,7 @@
 #include "knn/builder.h"
 
+#include <utility>
+
 #include "common/timer.h"
 #include "core/fingerprint_store.h"
 #include "knn/brute_force.h"
@@ -43,71 +45,181 @@ std::string_view SimilarityMetricName(SimilarityMetric metric) {
 
 namespace {
 
+/// One dispatch row per algorithm: how to run the construction plainly
+/// and — for the algorithms with an Init/Step decomposition — under
+/// checkpointing. This table is the single place that maps KnnAlgorithm
+/// to constructions; SupportsCheckpointing() and RunAlgorithm() both
+/// read it, so adding an algorithm is one new row.
+template <typename Provider>
+struct AlgorithmDispatch {
+  using RunFn = Result<KnnGraph> (*)(const Dataset&, const Provider&,
+                                     const KnnPipelineConfig&, ThreadPool*,
+                                     KnnBuildStats*,
+                                     const obs::PipelineContext*);
+  KnnAlgorithm algorithm;
+  RunFn plain;
+  RunFn checkpointed;  // nullptr: no checkpoint/resume decomposition
+};
+
+template <typename Provider>
+constexpr AlgorithmDispatch<Provider> kDispatchTable[] = {
+    {KnnAlgorithm::kBruteForce,
+     [](const Dataset&, const Provider& provider,
+        const KnnPipelineConfig& config, ThreadPool* pool,
+        KnnBuildStats* stats,
+        const obs::PipelineContext* obs) -> Result<KnnGraph> {
+       return BruteForceKnn(provider, config.greedy.k, pool, stats, obs);
+     },
+     [](const Dataset&, const Provider& provider,
+        const KnnPipelineConfig& config, ThreadPool* pool,
+        KnnBuildStats* stats,
+        const obs::PipelineContext* obs) -> Result<KnnGraph> {
+       return CheckpointedBruteForceKnn(provider, config.greedy.k,
+                                        config.checkpoint, pool, stats, obs);
+     }},
+    {KnnAlgorithm::kHyrec,
+     [](const Dataset&, const Provider& provider,
+        const KnnPipelineConfig& config, ThreadPool* pool,
+        KnnBuildStats* stats,
+        const obs::PipelineContext* obs) -> Result<KnnGraph> {
+       return HyrecKnn(provider, config.greedy, pool, stats, obs);
+     },
+     [](const Dataset&, const Provider& provider,
+        const KnnPipelineConfig& config, ThreadPool* pool,
+        KnnBuildStats* stats,
+        const obs::PipelineContext* obs) -> Result<KnnGraph> {
+       return CheckpointedHyrecKnn(provider, config.greedy, config.checkpoint,
+                                   pool, stats, obs);
+     }},
+    {KnnAlgorithm::kNNDescent,
+     [](const Dataset&, const Provider& provider,
+        const KnnPipelineConfig& config, ThreadPool* pool,
+        KnnBuildStats* stats,
+        const obs::PipelineContext* obs) -> Result<KnnGraph> {
+       return NNDescentKnn(provider, config.greedy, pool, stats, obs);
+     },
+     [](const Dataset&, const Provider& provider,
+        const KnnPipelineConfig& config, ThreadPool* pool,
+        KnnBuildStats* stats,
+        const obs::PipelineContext* obs) -> Result<KnnGraph> {
+       return CheckpointedNNDescentKnn(provider, config.greedy,
+                                       config.checkpoint, pool, stats, obs);
+     }},
+    {KnnAlgorithm::kLsh,
+     [](const Dataset& dataset, const Provider& provider,
+        const KnnPipelineConfig& config, ThreadPool* pool,
+        KnnBuildStats* stats,
+        const obs::PipelineContext* obs) -> Result<KnnGraph> {
+       LshConfig lsh = config.lsh;
+       lsh.k = config.greedy.k;
+       return LshKnn(dataset, provider, lsh, pool, stats, obs);
+     },
+     nullptr},
+    {KnnAlgorithm::kKiff,
+     [](const Dataset& dataset, const Provider& provider,
+        const KnnPipelineConfig& config, ThreadPool* pool,
+        KnnBuildStats* stats,
+        const obs::PipelineContext* obs) -> Result<KnnGraph> {
+       KiffConfig kiff;
+       kiff.k = config.greedy.k;
+       return KiffKnn(dataset, provider, kiff, pool, stats, obs);
+     },
+     nullptr},
+    {KnnAlgorithm::kBandedLsh,
+     [](const Dataset& dataset, const Provider& provider,
+        const KnnPipelineConfig& config, ThreadPool* pool,
+        KnnBuildStats* stats,
+        const obs::PipelineContext* obs) -> Result<KnnGraph> {
+       BandedLshConfig banded = config.banded_lsh;
+       banded.k = config.greedy.k;
+       return BandedLshKnn(dataset, provider, banded, pool, stats, obs);
+     },
+     nullptr},
+    {KnnAlgorithm::kBisection,
+     [](const Dataset&, const Provider& provider,
+        const KnnPipelineConfig& config, ThreadPool*, KnnBuildStats* stats,
+        const obs::PipelineContext* obs) -> Result<KnnGraph> {
+       BisectionConfig bisection = config.bisection;
+       bisection.k = config.greedy.k;
+       return RecursiveBisectionKnn(provider, bisection, stats, obs);
+     },
+     nullptr},
+};
+
 template <typename Provider>
 Result<KnnGraph> RunAlgorithm(const Dataset& dataset,
                               const Provider& provider,
                               const KnnPipelineConfig& config,
-                              ThreadPool* pool, KnnBuildStats* stats) {
+                              ThreadPool* pool, KnnBuildStats* stats,
+                              const obs::PipelineContext* obs) {
   const bool checkpointed = !config.checkpoint.dir.empty();
-  switch (config.algorithm) {
-    case KnnAlgorithm::kBruteForce:
-      if (checkpointed) {
-        return CheckpointedBruteForceKnn(provider, config.greedy.k,
-                                         config.checkpoint, pool, stats);
+  for (const auto& row : kDispatchTable<Provider>) {
+    if (row.algorithm != config.algorithm) continue;
+    if (checkpointed) {
+      if (row.checkpointed == nullptr) {
+        // Backstop; BuildKnnGraph validates this before dispatch.
+        return Status::InvalidArgument(
+            "checkpointing is not supported for " +
+            std::string(KnnAlgorithmName(config.algorithm)));
       }
-      return BruteForceKnn(provider, config.greedy.k, pool, stats);
-    case KnnAlgorithm::kHyrec:
-      if (checkpointed) {
-        return CheckpointedHyrecKnn(provider, config.greedy,
-                                    config.checkpoint, pool, stats);
+      return row.checkpointed(dataset, provider, config, pool, stats, obs);
+    }
+    return row.plain(dataset, provider, config, pool, stats, obs);
+  }
+  return Status::InvalidArgument("unknown KNN algorithm");
+}
+
+/// Constructs the similarity substrate for config.mode/metric and calls
+/// `fn(provider)` with the substrate still alive — the one place the
+/// five mode x metric provider combinations are spelled out.
+/// Preparation (fingerprints / signatures) runs under a "knn.prepare"
+/// span and its wall time lands in *preparation_seconds.
+template <typename Fn>
+Status VisitProvider(const Dataset& dataset, const KnnPipelineConfig& config,
+                     ThreadPool* pool, const obs::PipelineContext* obs,
+                     double* preparation_seconds, Fn&& fn) {
+  switch (config.mode) {
+    case SimilarityMode::kNative: {
+      if (config.metric == SimilarityMetric::kCosine) {
+        return fn(CosineProvider(dataset));
       }
-      return HyrecKnn(provider, config.greedy, pool, stats);
-    case KnnAlgorithm::kNNDescent:
-      if (checkpointed) {
-        return CheckpointedNNDescentKnn(provider, config.greedy,
-                                        config.checkpoint, pool, stats);
+      return fn(ExactJaccardProvider(dataset));
+    }
+    case SimilarityMode::kGoldFinger: {
+      WallTimer prep;
+      Result<FingerprintStore> store = [&] {
+        obs::ScopedPhase phase(obs, "knn.prepare", "knn.prepare_seconds");
+        return FingerprintStore::Build(dataset, config.fingerprint, pool,
+                                       obs);
+      }();
+      if (!store.ok()) return store.status();
+      *preparation_seconds = prep.ElapsedSeconds();
+      if (config.metric == SimilarityMetric::kCosine) {
+        return fn(GoldFingerCosineProvider(store.value()));
       }
-      return NNDescentKnn(provider, config.greedy, pool, stats);
-    case KnnAlgorithm::kLsh: {
-      LshConfig lsh = config.lsh;
-      lsh.k = config.greedy.k;
-      return LshKnn(dataset, provider, lsh, pool, stats);
+      return fn(GoldFingerProvider(store.value()));
     }
-    case KnnAlgorithm::kKiff: {
-      KiffConfig kiff;
-      kiff.k = config.greedy.k;
-      return KiffKnn(dataset, provider, kiff, pool, stats);
-    }
-    case KnnAlgorithm::kBandedLsh: {
-      BandedLshConfig banded = config.banded_lsh;
-      banded.k = config.greedy.k;
-      return BandedLshKnn(dataset, provider, banded, pool, stats);
-    }
-    case KnnAlgorithm::kBisection: {
-      BisectionConfig bisection = config.bisection;
-      bisection.k = config.greedy.k;
-      return RecursiveBisectionKnn(provider, bisection, stats);
+    case SimilarityMode::kBbitMinHash: {
+      if (config.metric == SimilarityMetric::kCosine) {
+        return Status::InvalidArgument(
+            "b-bit MinHash only estimates Jaccard; use native or "
+            "GoldFinger mode for cosine");
+      }
+      WallTimer prep;
+      Result<BbitMinHashStore> store = [&] {
+        obs::ScopedPhase phase(obs, "knn.prepare", "knn.prepare_seconds");
+        return BbitMinHashStore::Build(dataset, config.minhash, pool);
+      }();
+      if (!store.ok()) return store.status();
+      *preparation_seconds = prep.ElapsedSeconds();
+      return fn(BbitMinHashProvider(store.value()));
     }
   }
-  return KnnGraph();
+  return Status::InvalidArgument("unknown similarity mode");
 }
 
-template <typename Provider>
-Status RunInto(const Dataset& dataset, const Provider& provider,
-               const KnnPipelineConfig& config, ThreadPool* pool,
-               KnnResult& result) {
-  Result<KnnGraph> graph =
-      RunAlgorithm(dataset, provider, config, pool, &result.stats);
-  if (!graph.ok()) return graph.status();
-  result.graph = std::move(graph).value();
-  return Status::OK();
-}
-
-}  // namespace
-
-Result<KnnResult> BuildKnnGraph(const Dataset& dataset,
-                                const KnnPipelineConfig& config,
-                                ThreadPool* pool) {
+Status ValidateConfig(const Dataset& dataset,
+                      const KnnPipelineConfig& config) {
   if (config.greedy.k == 0) {
     return Status::InvalidArgument("neighborhood size k must be >= 1");
   }
@@ -140,56 +252,72 @@ Result<KnnResult> BuildKnnGraph(const Dataset& dataset,
     }
   }
   if (!config.checkpoint.dir.empty() &&
-      config.algorithm != KnnAlgorithm::kBruteForce &&
-      config.algorithm != KnnAlgorithm::kHyrec &&
-      config.algorithm != KnnAlgorithm::kNNDescent) {
+      !SupportsCheckpointing(config.algorithm)) {
     return Status::InvalidArgument(
         "checkpointing is only supported for BruteForce, Hyrec and "
         "NNDescent");
   }
+  return Status::OK();
+}
 
+}  // namespace
+
+bool SupportsCheckpointing(KnnAlgorithm algorithm) {
+  // The table's checkpointed entries are identical across provider
+  // instantiations; any one of them answers the question.
+  for (const auto& row : kDispatchTable<ExactJaccardProvider>) {
+    if (row.algorithm == algorithm) return row.checkpointed != nullptr;
+  }
+  return false;
+}
+
+Result<KnnResult> BuildKnnGraph(const Dataset& dataset,
+                                const KnnPipelineConfig& config,
+                                const obs::PipelineContext& ctx) {
+  GF_RETURN_IF_ERROR(ValidateConfig(dataset, config));
+
+  const obs::PipelineContext* obs = &ctx;
+  ThreadPool* pool = ctx.pool;
+  WallTimer total;
   KnnResult result;
-  switch (config.mode) {
-    case SimilarityMode::kNative: {
-      if (config.metric == SimilarityMetric::kCosine) {
-        CosineProvider provider(dataset);
-        GF_RETURN_IF_ERROR(RunInto(dataset, provider, config, pool, result));
-      } else {
-        ExactJaccardProvider provider(dataset);
-        GF_RETURN_IF_ERROR(RunInto(dataset, provider, config, pool, result));
-      }
-      break;
-    }
-    case SimilarityMode::kGoldFinger: {
-      WallTimer prep;
-      auto store = FingerprintStore::Build(dataset, config.fingerprint, pool);
-      if (!store.ok()) return store.status();
-      result.preparation_seconds = prep.ElapsedSeconds();
-      if (config.metric == SimilarityMetric::kCosine) {
-        GoldFingerCosineProvider provider(store.value());
-        GF_RETURN_IF_ERROR(RunInto(dataset, provider, config, pool, result));
-      } else {
-        GoldFingerProvider provider(store.value());
-        GF_RETURN_IF_ERROR(RunInto(dataset, provider, config, pool, result));
-      }
-      break;
-    }
-    case SimilarityMode::kBbitMinHash: {
-      if (config.metric == SimilarityMetric::kCosine) {
-        return Status::InvalidArgument(
-            "b-bit MinHash only estimates Jaccard; use native or "
-            "GoldFinger mode for cosine");
-      }
-      WallTimer prep;
-      auto store = BbitMinHashStore::Build(dataset, config.minhash, pool);
-      if (!store.ok()) return store.status();
-      result.preparation_seconds = prep.ElapsedSeconds();
-      BbitMinHashProvider provider(store.value());
-      GF_RETURN_IF_ERROR(RunInto(dataset, provider, config, pool, result));
-      break;
+  GF_RETURN_IF_ERROR(VisitProvider(
+      dataset, config, pool, obs, &result.preparation_seconds,
+      [&](const auto& provider) -> Status {
+        obs::ScopedPhase phase(obs, "knn.build");
+        Result<KnnGraph> graph = RunAlgorithm(dataset, provider, config,
+                                              pool, &result.stats, obs);
+        if (!graph.ok()) return graph.status();
+        result.graph = std::move(graph).value();
+        return Status::OK();
+      }));
+
+  if (ctx.HasMetrics()) {
+    // Publish, then re-derive: the registry is the source of truth for
+    // what the instrumented pipeline reports.
+    PublishBuildStats(ctx.metrics, result.stats);
+    result.stats = BuildStatsFromRegistry(*ctx.metrics);
+    if (pool != nullptr) {
+      const double threads = static_cast<double>(pool->num_threads());
+      const double elapsed_us = total.ElapsedSeconds() * 1e6;
+      ctx.SetGauge("pool.threads", threads);
+      ctx.SetGauge("pool.tasks_executed",
+                   static_cast<double>(pool->tasks_executed()));
+      const double denom = threads * elapsed_us;
+      ctx.SetGauge("pool.utilization",
+                   denom > 0.0
+                       ? static_cast<double>(pool->busy_micros()) / denom
+                       : 0.0);
     }
   }
   return result;
+}
+
+Result<KnnResult> BuildKnnGraph(const Dataset& dataset,
+                                const KnnPipelineConfig& config,
+                                ThreadPool* pool) {
+  obs::PipelineContext ctx;
+  ctx.pool = pool;
+  return BuildKnnGraph(dataset, config, ctx);
 }
 
 }  // namespace gf

@@ -3,6 +3,14 @@
 // GoldFinger (or b-bit MinHash). This is the API the examples and the
 // Table-4 harness use; the algorithm templates in brute_force.h /
 // hyrec.h / nndescent.h / lsh.h remain available for custom providers.
+//
+// The instrumented entry point takes an obs::PipelineContext: the
+// builder then runs preparation and construction under "knn.prepare" /
+// "knn.build" spans, publishes the build statistics into the context's
+// registry (knn/stats.h names) and re-derives the returned
+// KnnBuildStats from the registry — the registry is the source of
+// truth. The ThreadPool* overload is the uninstrumented path (a null
+// context; zero observability cost).
 
 #ifndef GF_KNN_BUILDER_H_
 #define GF_KNN_BUILDER_H_
@@ -21,6 +29,7 @@
 #include "knn/lsh.h"
 #include "knn/stats.h"
 #include "minhash/bbit_minhash.h"
+#include "obs/pipeline_context.h"
 
 namespace gf {
 
@@ -55,6 +64,10 @@ std::string_view KnnAlgorithmName(KnnAlgorithm algorithm);
 std::string_view SimilarityModeName(SimilarityMode mode);
 std::string_view SimilarityMetricName(SimilarityMetric metric);
 
+/// Whether the algorithm has a checkpoint/resume decomposition (derived
+/// from the builder's dispatch table, the single place that knows).
+bool SupportsCheckpointing(KnnAlgorithm algorithm);
+
 /// Full pipeline configuration. `greedy.k` is the neighborhood size for
 /// every algorithm (lsh.k is kept in sync by the builder).
 struct KnnPipelineConfig {
@@ -86,8 +99,16 @@ struct KnnResult {
   double preparation_seconds = 0.0;
 };
 
-/// Runs the configured pipeline. Fails on invalid configurations
-/// (k == 0, bad fingerprint length, ...).
+/// Runs the configured pipeline through the observability context: the
+/// build uses ctx.pool, opens spans on ctx.tracer and publishes stats /
+/// gauges into ctx.metrics (all optional; every sink may be null). The
+/// registry is assumed fresh for this build — counters accumulate, so
+/// reuse across builds folds their numbers together.
+Result<KnnResult> BuildKnnGraph(const Dataset& dataset,
+                                const KnnPipelineConfig& config,
+                                const obs::PipelineContext& ctx);
+
+/// Uninstrumented convenience overload: a null context with `pool`.
 Result<KnnResult> BuildKnnGraph(const Dataset& dataset,
                                 const KnnPipelineConfig& config,
                                 ThreadPool* pool = nullptr);

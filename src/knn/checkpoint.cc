@@ -218,6 +218,14 @@ std::string CheckpointStore::FilePath(uint64_t seq) const {
   return io::JoinPath(dir_, name);
 }
 
+void CheckpointStore::AttachMetrics(obs::MetricRegistry* metrics) {
+  metrics_ = metrics;
+}
+
+void CheckpointStore::Count(std::string_view name, uint64_t n) const {
+  if (metrics_ != nullptr) metrics_->GetCounter(name)->Add(n);
+}
+
 Status CheckpointStore::Init() { return env_->CreateDirs(dir_); }
 
 Status CheckpointStore::Reset() {
@@ -236,8 +244,10 @@ Status CheckpointStore::Reset() {
 
 Status CheckpointStore::Save(const BuildCheckpoint& checkpoint) {
   const uint64_t seq = next_seq_;
-  GF_RETURN_IF_ERROR(
-      env_->WriteFileAtomic(FilePath(seq), SerializeCheckpoint(checkpoint)));
+  const std::string bytes = SerializeCheckpoint(checkpoint);
+  GF_RETURN_IF_ERROR(env_->WriteFileAtomic(FilePath(seq), bytes));
+  Count(kStatCheckpointSaves, 1);
+  Count(kStatCheckpointBytesWritten, bytes.size());
   next_seq_ = seq + 1;
   // Prune: drop everything older than the newest `keep_` files. Best
   // effort — a failed delete must not fail the build.
@@ -248,7 +258,9 @@ Status CheckpointStore::Save(const BuildCheckpoint& checkpoint) {
       for (const std::string& name : *names) {
         uint64_t old = 0;
         if (ParseCheckpointName(name, &old) && old < cutoff) {
-          (void)env_->DeleteFile(io::JoinPath(dir_, name));
+          if (env_->DeleteFile(io::JoinPath(dir_, name)).ok()) {
+            Count(kStatCheckpointPruned, 1);
+          }
         }
       }
     }
@@ -277,14 +289,18 @@ Result<BuildCheckpoint> CheckpointStore::LoadLatest() {
       // A vanished or unreadable file is treated like a torn one: fall
       // back to the next older checkpoint.
       ++skipped;
+      Count(kStatCheckpointCorruptSkipped, 1);
       continue;
     }
     auto checkpoint = DeserializeCheckpoint(*bytes);
     if (!checkpoint.ok()) {
       ++skipped;
+      Count(kStatCheckpointCorruptSkipped, 1);
       continue;
     }
     next_seq_ = seq + 1;
+    Count(kStatCheckpointLoads, 1);
+    Count(kStatCheckpointBytesRead, bytes->size());
     return checkpoint;
   }
   return Status::NotFound("no usable checkpoint in " + dir_ + " (" +

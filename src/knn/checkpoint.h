@@ -39,6 +39,7 @@
 #include "common/result.h"
 #include "io/env.h"
 #include "knn/graph.h"
+#include "obs/metrics.h"
 
 namespace gf {
 
@@ -85,6 +86,18 @@ struct CheckpointConfig {
   io::Env* env = nullptr;
 };
 
+/// Registry names of the checkpoint I/O counters (AttachMetrics below).
+inline constexpr std::string_view kStatCheckpointSaves = "checkpoint.saves";
+inline constexpr std::string_view kStatCheckpointBytesWritten =
+    "checkpoint.bytes_written";
+inline constexpr std::string_view kStatCheckpointLoads = "checkpoint.loads";
+inline constexpr std::string_view kStatCheckpointBytesRead =
+    "checkpoint.bytes_read";
+inline constexpr std::string_view kStatCheckpointPruned =
+    "checkpoint.files_pruned";
+inline constexpr std::string_view kStatCheckpointCorruptSkipped =
+    "checkpoint.corrupt_skipped";
+
 /// GFSZ (de)serialization, payload kind 4. Deserialize validates
 /// internal consistency (row sizes <= k, ids < num_users, exact
 /// payload length) and returns Corruption on any violation.
@@ -129,15 +142,21 @@ class CheckpointStore {
   /// loaded file.
   Result<BuildCheckpoint> LoadLatest();
 
+  /// Routes checkpoint I/O counters (kStatCheckpoint*) into `metrics`.
+  /// nullptr detaches. The registry must outlive the store.
+  void AttachMetrics(obs::MetricRegistry* metrics);
+
   const std::string& dir() const { return dir_; }
 
  private:
   std::string FilePath(uint64_t seq) const;
+  void Count(std::string_view name, uint64_t n) const;
 
   std::string dir_;
   io::Env* env_;
   std::size_t keep_;
   uint64_t next_seq_ = 0;
+  obs::MetricRegistry* metrics_ = nullptr;
 };
 
 }  // namespace gf

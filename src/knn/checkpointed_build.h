@@ -49,10 +49,18 @@
 #include "knn/hyrec.h"
 #include "knn/nndescent.h"
 #include "knn/stats.h"
+#include "obs/pipeline_context.h"
 
 namespace gf {
 
 namespace internal {
+
+/// Wires the context's metric registry into the store (no-op without
+/// one) so checkpoint I/O counters land next to the build's metrics.
+inline void AttachStoreMetrics(CheckpointStore& store,
+                               const obs::PipelineContext* obs) {
+  if (obs != nullptr && obs->HasMetrics()) store.AttachMetrics(obs->metrics);
+}
 
 /// Opens the store and either loads the newest resumable checkpoint
 /// (validated against this build's configuration) or clears stale files
@@ -88,11 +96,10 @@ inline Result<std::optional<BuildCheckpoint>> OpenCheckpointStore(
 /// rows. Rows are mutually independent, so any chunking (and any crash
 /// point) yields the identical graph.
 template <typename Provider>
-Result<KnnGraph> CheckpointedBruteForceKnn(const Provider& provider,
-                                           std::size_t k,
-                                           const CheckpointConfig& config,
-                                           ThreadPool* pool = nullptr,
-                                           KnnBuildStats* stats = nullptr) {
+Result<KnnGraph> CheckpointedBruteForceKnn(
+    const Provider& provider, std::size_t k, const CheckpointConfig& config,
+    ThreadPool* pool = nullptr, KnnBuildStats* stats = nullptr,
+    const obs::PipelineContext* obs = nullptr) {
   WallTimer timer;
   const std::size_t n = provider.num_users();
   const std::size_t chunk = std::max<std::size_t>(config.chunk_users, 1);
@@ -100,6 +107,7 @@ Result<KnnGraph> CheckpointedBruteForceKnn(const Provider& provider,
 
   CheckpointStore store(config.dir, config.env,
                         std::max<std::size_t>(config.keep, 2));
+  internal::AttachStoreMetrics(store, obs);
   NeighborLists lists(n, k);
   std::size_t next_user = 0;
 
@@ -117,10 +125,16 @@ Result<KnnGraph> CheckpointedBruteForceKnn(const Provider& provider,
   std::size_t chunks_since_save = 0;
   while (next_user < n) {
     const std::size_t end = std::min(next_user + chunk, n);
-    BruteForceScoreRows(provider, lists, next_user, end, pool);
+    {
+      obs::ScopedSpan scan_span(obs != nullptr ? obs->tracer : nullptr,
+                                "bruteforce.scan");
+      BruteForceScoreRows(provider, lists, next_user, end, pool);
+    }
     next_user = end;
     ++chunks_since_save;
     if (next_user < n && chunks_since_save >= every) {
+      obs::ScopedSpan save_span(obs != nullptr ? obs->tracer : nullptr,
+                                "checkpoint.save");
       BuildCheckpoint checkpoint;
       checkpoint.algorithm = CheckpointAlgorithm::kBruteForce;
       checkpoint.seed = 0;
@@ -152,13 +166,15 @@ Result<KnnGraph> CheckpointedHyrecKnn(const Provider& provider,
                                       const GreedyConfig& config,
                                       const CheckpointConfig& checkpointing,
                                       ThreadPool* pool = nullptr,
-                                      KnnBuildStats* stats = nullptr) {
+                                      KnnBuildStats* stats = nullptr,
+                                      const obs::PipelineContext* obs = nullptr) {
   WallTimer timer;
   const std::size_t n = provider.num_users();
   const std::size_t every = std::max<std::size_t>(checkpointing.every, 1);
 
   CheckpointStore store(checkpointing.dir, checkpointing.env,
                         std::max<std::size_t>(checkpointing.keep, 2));
+  internal::AttachStoreMetrics(store, obs);
   HyrecState state(n, config.k);
 
   std::optional<BuildCheckpoint> loaded;
@@ -173,14 +189,18 @@ Result<KnnGraph> CheckpointedHyrecKnn(const Provider& provider,
     state.computations = loaded->computations;
     state.updates_per_iteration = loaded->updates_per_iteration;
   } else {
+    obs::ScopedSpan init_span(obs != nullptr ? obs->tracer : nullptr,
+                              "hyrec.init");
     HyrecInit(provider, config, state);
   }
 
   while (state.iterations < config.max_iterations) {
-    const bool converged = HyrecStep(provider, config, state, pool);
+    const bool converged = HyrecStep(provider, config, state, pool, obs);
     if (converged) break;
     if (state.iterations < config.max_iterations &&
         state.iterations % every == 0) {
+      obs::ScopedSpan save_span(obs != nullptr ? obs->tracer : nullptr,
+                                "checkpoint.save");
       BuildCheckpoint checkpoint;
       checkpoint.algorithm = CheckpointAlgorithm::kHyrec;
       checkpoint.seed = config.seed;
@@ -210,13 +230,15 @@ template <typename Provider>
 Result<KnnGraph> CheckpointedNNDescentKnn(
     const Provider& provider, const GreedyConfig& config,
     const CheckpointConfig& checkpointing, ThreadPool* pool = nullptr,
-    KnnBuildStats* stats = nullptr) {
+    KnnBuildStats* stats = nullptr,
+    const obs::PipelineContext* obs = nullptr) {
   WallTimer timer;
   const std::size_t n = provider.num_users();
   const std::size_t every = std::max<std::size_t>(checkpointing.every, 1);
 
   CheckpointStore store(checkpointing.dir, checkpointing.env,
                         std::max<std::size_t>(checkpointing.keep, 2));
+  internal::AttachStoreMetrics(store, obs);
   NNDescentState state(n, config.k, config.seed);
 
   std::optional<BuildCheckpoint> loaded;
@@ -232,14 +254,18 @@ Result<KnnGraph> CheckpointedNNDescentKnn(
     state.computations = loaded->computations;
     state.updates_per_iteration = loaded->updates_per_iteration;
   } else {
+    obs::ScopedSpan init_span(obs != nullptr ? obs->tracer : nullptr,
+                              "nndescent.init");
     NNDescentInit(provider, config, state);
   }
 
   while (state.iterations < config.max_iterations) {
-    const bool converged = NNDescentStep(provider, config, state, pool);
+    const bool converged = NNDescentStep(provider, config, state, pool, obs);
     if (converged) break;
     if (state.iterations < config.max_iterations &&
         state.iterations % every == 0) {
+      obs::ScopedSpan save_span(obs != nullptr ? obs->tracer : nullptr,
+                                "checkpoint.save");
       BuildCheckpoint checkpoint;
       checkpoint.algorithm = CheckpointAlgorithm::kNNDescent;
       checkpoint.seed = config.seed;

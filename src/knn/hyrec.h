@@ -23,6 +23,7 @@
 #include "knn/greedy_config.h"
 #include "knn/provider_concepts.h"
 #include "knn/stats.h"
+#include "obs/pipeline_context.h"
 
 namespace gf {
 
@@ -62,7 +63,17 @@ void HyrecInit(const Provider& provider, const GreedyConfig& config,
 /// when the iteration converged (updates below the δ·k·n threshold).
 template <typename Provider>
 bool HyrecStep(const Provider& provider, const GreedyConfig& config,
-               HyrecState& state, ThreadPool* pool = nullptr) {
+               HyrecState& state, ThreadPool* pool = nullptr,
+               const obs::PipelineContext* obs = nullptr) {
+  obs::ScopedSpan span(obs != nullptr ? obs->tracer : nullptr,
+                       "hyrec.iteration");
+  // Candidate-set size distribution: pointer fetched once per step so
+  // the per-user Observe is a lone atomic add (nothing when no sink).
+  obs::Histogram* candidate_sizes =
+      obs != nullptr && obs->HasMetrics()
+          ? obs->metrics->GetHistogram("hyrec.candidate_set_size",
+                                       obs::kSizeBucketBoundaries)
+          : nullptr;
   const std::size_t n = state.lists.num_users();
   const std::size_t k = state.lists.k();
   NeighborLists& lists = state.lists;
@@ -117,6 +128,9 @@ bool HyrecStep(const Provider& provider, const GreedyConfig& config,
         to_score.push_back(w);
       }
 
+      if (candidate_sizes != nullptr) {
+        candidate_sizes->Observe(static_cast<double>(to_score.size()));
+      }
       uint64_t local_updates = 0;
       const uint64_t local_computations = to_score.size();
       if constexpr (BatchSimilarityProvider<Provider>) {
@@ -149,12 +163,17 @@ bool HyrecStep(const Provider& provider, const GreedyConfig& config,
 template <typename Provider>
 KnnGraph HyrecKnn(const Provider& provider, const GreedyConfig& config,
                   ThreadPool* pool = nullptr,
-                  KnnBuildStats* stats = nullptr) {
+                  KnnBuildStats* stats = nullptr,
+                  const obs::PipelineContext* obs = nullptr) {
   WallTimer timer;
   HyrecState state(provider.num_users(), config.k);
-  HyrecInit(provider, config, state);
+  {
+    obs::ScopedSpan init_span(obs != nullptr ? obs->tracer : nullptr,
+                              "hyrec.init");
+    HyrecInit(provider, config, state);
+  }
   while (state.iterations < config.max_iterations &&
-         !HyrecStep(provider, config, state, pool)) {
+         !HyrecStep(provider, config, state, pool, obs)) {
   }
 
   KnnGraph graph = state.lists.Finalize();

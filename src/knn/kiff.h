@@ -29,6 +29,7 @@
 #include "dataset/dataset.h"
 #include "knn/graph.h"
 #include "knn/stats.h"
+#include "obs/pipeline_context.h"
 
 namespace gf {
 
@@ -56,13 +57,24 @@ inline std::vector<std::vector<UserId>> BuildInvertedIndex(
 /// similarity for candidate v with co-occurrence `count`.
 template <typename Score>
 KnnGraph Run(const Dataset& dataset, const KiffConfig& config,
-             ThreadPool* pool, KnnBuildStats* stats, Score&& score) {
+             ThreadPool* pool, KnnBuildStats* stats, Score&& score,
+             const obs::PipelineContext* obs = nullptr) {
   WallTimer timer;
   const std::size_t n = dataset.NumUsers();
   NeighborLists lists(n, config.k);
-  const auto postings = BuildInvertedIndex(dataset);
+  std::vector<std::vector<UserId>> postings;
+  {
+    obs::ScopedPhase index_phase(obs, "kiff.index");
+    postings = BuildInvertedIndex(dataset);
+  }
   std::atomic<uint64_t> computations{0};
 
+  obs::ScopedPhase scan_phase(obs, "kiff.scan");
+  obs::Histogram* candidate_sizes =
+      obs != nullptr && obs->HasMetrics()
+          ? obs->metrics->GetHistogram("kiff.candidate_set_size",
+                                       obs::kSizeBucketBoundaries)
+          : nullptr;
   ParallelFor(pool, n, [&](std::size_t begin, std::size_t end) {
     // Dense per-chunk scratch: co-occurrence count per candidate user.
     std::vector<uint32_t> counts(n, 0);
@@ -75,6 +87,9 @@ KnnGraph Run(const Dataset& dataset, const KiffConfig& config,
           if (v == u) continue;
           if (counts[v]++ == 0) touched.push_back(v);
         }
+      }
+      if (candidate_sizes != nullptr) {
+        candidate_sizes->Observe(static_cast<double>(touched.size()));
       }
       for (UserId v : touched) {
         lists.Insert(u, v, score(u, v, counts[v]));
@@ -99,7 +114,8 @@ KnnGraph Run(const Dataset& dataset, const KiffConfig& config,
 /// Counting KIFF: exact Jaccard from co-occurrence counts.
 inline KnnGraph KiffKnn(const Dataset& dataset, const KiffConfig& config,
                         ThreadPool* pool = nullptr,
-                        KnnBuildStats* stats = nullptr) {
+                        KnnBuildStats* stats = nullptr,
+                        const obs::PipelineContext* obs = nullptr) {
   return kiff_internal::Run(
       dataset, config, pool, stats,
       [&dataset](UserId u, UserId v, uint32_t count) {
@@ -108,7 +124,8 @@ inline KnnGraph KiffKnn(const Dataset& dataset, const KiffConfig& config,
         return uni == 0 ? 0.0
                         : static_cast<double>(count) /
                               static_cast<double>(uni);
-      });
+      },
+      obs);
 }
 
 /// Provider-scored KIFF: candidates from the inverted index, similarity
@@ -116,10 +133,12 @@ inline KnnGraph KiffKnn(const Dataset& dataset, const KiffConfig& config,
 template <typename Provider>
 KnnGraph KiffKnn(const Dataset& dataset, const Provider& provider,
                  const KiffConfig& config, ThreadPool* pool = nullptr,
-                 KnnBuildStats* stats = nullptr) {
+                 KnnBuildStats* stats = nullptr,
+                 const obs::PipelineContext* obs = nullptr) {
   return kiff_internal::Run(
       dataset, config, pool, stats,
-      [&provider](UserId u, UserId v, uint32_t) { return provider(u, v); });
+      [&provider](UserId u, UserId v, uint32_t) { return provider(u, v); },
+      obs);
 }
 
 }  // namespace gf

@@ -22,6 +22,7 @@
 #include "knn/graph.h"
 #include "knn/stats.h"
 #include "minhash/permutation.h"
+#include "obs/pipeline_context.h"
 
 namespace gf {
 
@@ -36,7 +37,8 @@ struct LshConfig {
 template <typename Provider>
 KnnGraph LshKnn(const Dataset& dataset, const Provider& provider,
                 const LshConfig& config, ThreadPool* pool = nullptr,
-                KnnBuildStats* stats = nullptr) {
+                KnnBuildStats* stats = nullptr,
+                const obs::PipelineContext* obs = nullptr) {
   WallTimer timer;
   const std::size_t n = dataset.NumUsers();
   const std::size_t t = config.num_functions;
@@ -50,26 +52,35 @@ KnnGraph LshKnn(const Dataset& dataset, const Provider& provider,
   Rng rng(config.seed);
   std::vector<std::unordered_map<uint64_t, std::vector<UserId>>> tables(t);
   std::vector<uint64_t> keys(n * t);
-  for (std::size_t f = 0; f < t; ++f) {
-    const MinwiseFunction fn =
-        config.kind == MinwiseKind::kExplicitPermutation
-            ? MinwiseFunction::Permutation(dataset.NumItems(), rng)
-            : MinwiseFunction::Universal(dataset.NumItems(), rng);
-    ParallelFor(pool, n, [&](std::size_t begin, std::size_t end) {
-      for (std::size_t u = begin; u < end; ++u) {
-        keys[u * t + f] =
-            fn.MinRank(dataset.Profile(static_cast<UserId>(u)));
+  {
+    obs::ScopedPhase bucketing(obs, "lsh.bucketing");
+    for (std::size_t f = 0; f < t; ++f) {
+      const MinwiseFunction fn =
+          config.kind == MinwiseKind::kExplicitPermutation
+              ? MinwiseFunction::Permutation(dataset.NumItems(), rng)
+              : MinwiseFunction::Universal(dataset.NumItems(), rng);
+      ParallelFor(pool, n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t u = begin; u < end; ++u) {
+          keys[u * t + f] =
+              fn.MinRank(dataset.Profile(static_cast<UserId>(u)));
+        }
+      });
+      auto& table = tables[f];
+      for (UserId u = 0; u < n; ++u) {
+        if (dataset.ProfileSize(u) == 0) continue;  // empty: no bucket
+        table[keys[static_cast<std::size_t>(u) * t + f]].push_back(u);
       }
-    });
-    auto& table = tables[f];
-    for (UserId u = 0; u < n; ++u) {
-      if (dataset.ProfileSize(u) == 0) continue;  // empty: no bucket
-      table[keys[static_cast<std::size_t>(u) * t + f]].push_back(u);
     }
   }
 
   // Neighbor selection: per user, the deduplicated union of its t
   // buckets, scored with the provider.
+  obs::ScopedPhase scoring(obs, "lsh.scoring");
+  obs::Histogram* bucket_sizes =
+      obs != nullptr && obs->HasMetrics()
+          ? obs->metrics->GetHistogram("lsh.candidate_set_size",
+                                       obs::kSizeBucketBoundaries)
+          : nullptr;
   ParallelFor(pool, n, [&](std::size_t begin, std::size_t end) {
     std::vector<UserId> candidates;
     for (std::size_t uu = begin; uu < end; ++uu) {
@@ -86,6 +97,9 @@ KnnGraph LshKnn(const Dataset& dataset, const Provider& provider,
       std::sort(candidates.begin(), candidates.end());
       candidates.erase(std::unique(candidates.begin(), candidates.end()),
                        candidates.end());
+      if (bucket_sizes != nullptr) {
+        bucket_sizes->Observe(static_cast<double>(candidates.size()));
+      }
       uint64_t local_computations = 0;
       for (UserId v : candidates) {
         ++local_computations;

@@ -25,6 +25,7 @@
 #include "knn/greedy_config.h"
 #include "knn/provider_concepts.h"
 #include "knn/stats.h"
+#include "obs/pipeline_context.h"
 
 namespace gf {
 
@@ -65,7 +66,15 @@ void NNDescentInit(const Provider& provider, const GreedyConfig& config,
 /// true when the iteration converged (updates below δ·k·n).
 template <typename Provider>
 bool NNDescentStep(const Provider& provider, const GreedyConfig& config,
-                   NNDescentState& state, ThreadPool* pool = nullptr) {
+                   NNDescentState& state, ThreadPool* pool = nullptr,
+                   const obs::PipelineContext* obs = nullptr) {
+  obs::ScopedSpan span(obs != nullptr ? obs->tracer : nullptr,
+                       "nndescent.iteration");
+  obs::Histogram* join_sizes =
+      obs != nullptr && obs->HasMetrics()
+          ? obs->metrics->GetHistogram("nndescent.join_partners",
+                                       obs::kSizeBucketBoundaries)
+          : nullptr;
   const std::size_t n = state.lists.num_users();
   const std::size_t k = state.lists.k();
   NeighborLists& lists = state.lists;
@@ -166,6 +175,9 @@ bool NNDescentStep(const Provider& provider, const GreedyConfig& config,
           if (q != p) partners.push_back(q);
         }
         local_computations += partners.size();
+        if (join_sizes != nullptr) {
+          join_sizes->Observe(static_cast<double>(partners.size()));
+        }
         if constexpr (BatchSimilarityProvider<Provider>) {
           // One batched kernel call per join source, then the same
           // two-sided inserts in the same order.
@@ -197,12 +209,17 @@ bool NNDescentStep(const Provider& provider, const GreedyConfig& config,
 template <typename Provider>
 KnnGraph NNDescentKnn(const Provider& provider, const GreedyConfig& config,
                       ThreadPool* pool = nullptr,
-                      KnnBuildStats* stats = nullptr) {
+                      KnnBuildStats* stats = nullptr,
+                      const obs::PipelineContext* obs = nullptr) {
   WallTimer timer;
   NNDescentState state(provider.num_users(), config.k, config.seed);
-  NNDescentInit(provider, config, state);
+  {
+    obs::ScopedSpan init_span(obs != nullptr ? obs->tracer : nullptr,
+                              "nndescent.init");
+    NNDescentInit(provider, config, state);
+  }
   while (state.iterations < config.max_iterations &&
-         !NNDescentStep(provider, config, state, pool)) {
+         !NNDescentStep(provider, config, state, pool, obs)) {
   }
 
   KnnGraph graph = state.lists.Finalize();

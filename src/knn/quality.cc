@@ -9,7 +9,9 @@
 namespace gf {
 
 double AverageExactSimilarity(const KnnGraph& graph, const Dataset& dataset,
-                              ThreadPool* pool) {
+                              ThreadPool* pool,
+                              const obs::PipelineContext* obs) {
+  obs::ScopedPhase phase(obs, "knn.evaluate", "evaluate.seconds");
   const std::size_t n = graph.NumUsers();
   std::vector<double> partial_sums(n, 0.0);
   std::vector<std::size_t> partial_counts(n, 0);
@@ -32,6 +34,7 @@ double AverageExactSimilarity(const KnnGraph& graph, const Dataset& dataset,
     sum += partial_sums[u];
     count += partial_counts[u];
   }
+  if (obs != nullptr) obs->Count("evaluate.edges_scored", count);
   return count == 0 ? 0.0 : sum / static_cast<double>(count);
 }
 

@@ -12,12 +12,16 @@
 #include "common/thread_pool.h"
 #include "dataset/dataset.h"
 #include "knn/graph.h"
+#include "obs/pipeline_context.h"
 
 namespace gf {
 
 /// avg_sim(G) of Eq. 2: mean exact Jaccard over all directed edges.
+/// With an observability context, runs under a "knn.evaluate" span and
+/// counts the re-scored edges into "evaluate.edges_scored".
 double AverageExactSimilarity(const KnnGraph& graph, const Dataset& dataset,
-                              ThreadPool* pool = nullptr);
+                              ThreadPool* pool = nullptr,
+                              const obs::PipelineContext* obs = nullptr);
 
 /// quality(G) of Eq. 3: avg_sim(graph) / avg_sim(exact_graph).
 /// `exact_avg_sim` is the value AverageExactSimilarity() returned for

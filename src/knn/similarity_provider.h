@@ -17,12 +17,12 @@
 #ifndef GF_KNN_SIMILARITY_PROVIDER_H_
 #define GF_KNN_SIMILARITY_PROVIDER_H_
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <span>
 
 #include "core/fingerprint_store.h"
+#include "obs/metrics.h"
 #include "core/similarity.h"
 #include "dataset/dataset.h"
 #include "knn/provider_concepts.h"
@@ -120,15 +120,24 @@ class BbitMinHashProvider {
   const BbitMinHashStore* store_;
 };
 
-/// Wraps a provider and counts invocations (thread-safe).
+/// Wraps a provider and counts invocations (thread-safe). The tally is
+/// an obs::Counter — the registry's counter when one is injected (the
+/// instrumented pipeline wires "knn.provider_calls"), a private counter
+/// of the same type otherwise — so Figure-12 benches and tests keep the
+/// count()/Reset() surface while the metrics layer stays the single
+/// counting implementation.
 template <typename Provider>
 class CountingProvider {
  public:
-  explicit CountingProvider(const Provider& inner) : inner_(&inner) {}
+  /// Counts into `counter` when non-null, else into an internal counter.
+  explicit CountingProvider(const Provider& inner,
+                            obs::Counter* counter = nullptr)
+      : inner_(&inner),
+        count_(counter != nullptr ? counter : &owned_count_) {}
 
   std::size_t num_users() const { return inner_->num_users(); }
   double operator()(UserId a, UserId b) const {
-    count_.fetch_add(1, std::memory_order_relaxed);
+    count_->Add(1);
     return (*inner_)(a, b);
   }
 
@@ -139,23 +148,24 @@ class CountingProvider {
                   std::span<double> out) const
     requires BatchSimilarityProvider<Provider>
   {
-    count_.fetch_add(candidates.size(), std::memory_order_relaxed);
+    count_->Add(candidates.size());
     inner_->ScoreBatch(u, candidates, out);
   }
   void ScoreTile(UserId u, UserId first, std::size_t count,
                  std::span<double> out) const
     requires TiledSimilarityProvider<Provider>
   {
-    count_.fetch_add(count, std::memory_order_relaxed);
+    count_->Add(count);
     inner_->ScoreTile(u, first, count, out);
   }
 
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  void Reset() { count_.store(0, std::memory_order_relaxed); }
+  uint64_t count() const { return count_->value(); }
+  void Reset() { count_->Reset(); }
 
  private:
   const Provider* inner_;
-  mutable std::atomic<uint64_t> count_{0};
+  mutable obs::Counter owned_count_;
+  obs::Counter* count_;
 };
 
 }  // namespace gf

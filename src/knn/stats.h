@@ -1,12 +1,26 @@
 // Construction statistics reported by every KNN algorithm: wall time,
 // similarity computations (→ Figure 12's scan rate), iterations and
 // per-iteration updates (→ the δ-termination diagnostics).
+//
+// Since the observability refactor (DESIGN.md §10) the metrics registry
+// is the source of truth: the instrumented pipeline engine
+// (knn/builder.h) publishes every build's numbers into its
+// PipelineContext registry via PublishBuildStats() and re-derives the
+// KnnBuildStats it returns through BuildStatsFromRegistry() — so the
+// struct below is a *view* of the registry, kept because every test,
+// bench and example queries construction results through it. Without a
+// metrics sink the algorithms fill the struct directly from their local
+// tallies (same numbers, no registry round-trip).
 
 #ifndef GF_KNN_STATS_H_
 #define GF_KNN_STATS_H_
 
 #include <cstdint>
+#include <cstdio>
+#include <string_view>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace gf {
 
@@ -32,6 +46,56 @@ struct KnnBuildStats {
                         : static_cast<double>(similarity_computations) / denom;
   }
 };
+
+/// Registry names of the build statistics. Per-iteration updates are
+/// zero-padded child counters ("knn.iteration_updates.007") so the
+/// registry's name order is iteration order.
+inline constexpr std::string_view kStatSimilarityComputations =
+    "knn.similarity_computations";
+inline constexpr std::string_view kStatIterations = "knn.iterations";
+inline constexpr std::string_view kStatBuildSeconds = "knn.build_seconds";
+inline constexpr std::string_view kStatIterationUpdatesPrefix =
+    "knn.iteration_updates.";
+
+/// Publishes `stats` into `registry` under the names above. Counters
+/// are set by delta (registry counters are monotonic), so publish once
+/// per build into a fresh-or-reset registry slice.
+inline void PublishBuildStats(obs::MetricRegistry* registry,
+                              const KnnBuildStats& stats) {
+  if (registry == nullptr) return;
+  registry->GetCounter(kStatSimilarityComputations)
+      ->Add(stats.similarity_computations);
+  registry->GetCounter(kStatIterations)->Add(stats.iterations);
+  registry->GetGauge(kStatBuildSeconds)->Set(stats.seconds);
+  for (std::size_t i = 0; i < stats.updates_per_iteration.size(); ++i) {
+    char name[48];
+    std::snprintf(name, sizeof(name), "knn.iteration_updates.%03zu", i);
+    registry->GetCounter(name)->Add(stats.updates_per_iteration[i]);
+  }
+}
+
+/// Reconstructs the stats view from a registry the engine published
+/// into — the numbers the caller sees ARE the registry's.
+inline KnnBuildStats BuildStatsFromRegistry(
+    const obs::MetricRegistry& registry) {
+  KnnBuildStats stats;
+  if (const obs::Counter* c =
+          registry.FindCounter(kStatSimilarityComputations)) {
+    stats.similarity_computations = c->value();
+  }
+  if (const obs::Counter* c = registry.FindCounter(kStatIterations)) {
+    stats.iterations = static_cast<std::size_t>(c->value());
+  }
+  if (const obs::Gauge* g = registry.FindGauge(kStatBuildSeconds)) {
+    stats.seconds = g->value();
+  }
+  for (const auto& [name, value] : registry.CounterEntries()) {
+    if (name.rfind(kStatIterationUpdatesPrefix, 0) == 0) {
+      stats.updates_per_iteration.push_back(value);  // name-sorted order
+    }
+  }
+  return stats;
+}
 
 }  // namespace gf
 

@@ -1,0 +1,123 @@
+#include "obs/json_export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace gf::obs {
+namespace {
+
+void AppendUint(std::string& out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
+  char buf[40];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+std::string ExportJson(const MetricRegistry& registry,
+                       const TraceRecorder* tracer) {
+  std::string out;
+  out += "{\n  \"schema_version\": 1,\n";
+
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : registry.CounterEntries()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": ";
+    AppendUint(out, value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : registry.GaugeEntries()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": " + JsonNumber(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : registry.HistogramEntries()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + JsonEscape(name) + "\": { \"boundaries\": [";
+    const auto& boundaries = histogram->boundaries();
+    for (std::size_t i = 0; i < boundaries.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += JsonNumber(boundaries[i]);
+    }
+    out += "], \"counts\": [";
+    const auto counts = histogram->BucketCounts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      AppendUint(out, counts[i]);
+    }
+    out += "], \"sum\": " + JsonNumber(histogram->sum()) + ", \"count\": ";
+    AppendUint(out, histogram->count());
+    out += " }";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"spans\": [";
+  first = true;
+  if (tracer != nullptr) {
+    for (const Span& span : tracer->Spans()) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    { \"id\": ";
+      AppendUint(out, span.id);
+      out += ", \"parent\": ";
+      AppendUint(out, span.parent);
+      out += ", \"name\": \"" + JsonEscape(span.name) + "\", \"start_us\": ";
+      AppendUint(out, span.start_us);
+      out += ", \"end_us\": ";
+      AppendUint(out, span.end_us);
+      out += ", \"duration_us\": ";
+      AppendUint(out, span.DurationMicros());
+      out += " }";
+    }
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace gf::obs

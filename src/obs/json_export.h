@@ -1,0 +1,44 @@
+// JSON exporter for the metrics registry and trace recorder. The
+// output is deterministic — instruments sorted by name, spans in Begin
+// order, integers emitted without a fractional part — so a golden-file
+// test can pin the schema (tests/obs/json_export_test.cc) and external
+// tooling can diff runs.
+//
+// Schema (schema_version 1):
+//   {
+//     "schema_version": 1,
+//     "counters":   { "<name>": <uint>, ... },
+//     "gauges":     { "<name>": <number>, ... },
+//     "histograms": { "<name>": { "boundaries": [...], "counts": [...],
+//                                 "sum": <number>, "count": <uint> } },
+//     "spans":      [ { "id": <uint>, "parent": <uint>,
+//                       "name": "<str>", "start_us": <uint>,
+//                       "end_us": <uint>, "duration_us": <uint> } ]
+//   }
+
+#ifndef GF_OBS_JSON_EXPORT_H_
+#define GF_OBS_JSON_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gf::obs {
+
+/// Serializes `registry` (and the spans of `tracer`, when non-null) to
+/// the schema above. `tracer == nullptr` emits an empty spans array.
+std::string ExportJson(const MetricRegistry& registry,
+                       const TraceRecorder* tracer = nullptr);
+
+/// JSON string escaping for the few places that build JSON by hand
+/// (this exporter, the bench report emitter).
+std::string JsonEscape(std::string_view s);
+
+/// Formats a double: integral values without a fractional part (stable
+/// golden files), everything else with enough digits to round-trip.
+std::string JsonNumber(double v);
+
+}  // namespace gf::obs
+
+#endif  // GF_OBS_JSON_EXPORT_H_

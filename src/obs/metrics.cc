@@ -1,0 +1,120 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace gf::obs {
+
+void Histogram::Observe(double v) {
+  const auto it =
+      std::lower_bound(boundaries_.begin(), boundaries_.end(), v);
+  const auto index = static_cast<std::size_t>(it - boundaries_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(std::string_view name,
+                                        std::span<const double> boundaries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(boundaries))
+             .first;
+  }
+  return it->second.get();
+}
+
+const Counter* MetricRegistry::FindCounter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricRegistry::FindGauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricRegistry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void MetricRegistry::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricRegistry::CounterEntries()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> entries;
+  entries.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    entries.emplace_back(name, counter->value());
+  }
+  return entries;
+}
+
+std::vector<std::pair<std::string, double>> MetricRegistry::GaugeEntries()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> entries;
+  entries.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    entries.emplace_back(name, gauge->value());
+  }
+  return entries;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricRegistry::HistogramEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> entries;
+  entries.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    entries.emplace_back(name, histogram.get());
+  }
+  return entries;
+}
+
+MetricRegistry& GlobalRegistry() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+}  // namespace gf::obs

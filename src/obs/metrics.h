@@ -1,0 +1,127 @@
+// Structured metrics registry — the one sink every pipeline phase
+// reports into (DESIGN.md §10). Three instrument kinds:
+//
+//   Counter    monotonic uint64, relaxed-atomic Add() — safe and cheap
+//              on hot paths (same discipline the old AccessCounter and
+//              CountingProvider tallies used; both are now thin views
+//              over these counters).
+//   Gauge      last-write-wins double (pool utilization, phase wall
+//              times, configuration echoes).
+//   Histogram  fixed upper-inclusive bucket boundaries with atomic
+//              bucket counts plus sum/count (per-iteration update
+//              distributions, candidate-set sizes).
+//
+// Instruments are registered by name on first use and live as long as
+// the registry; Get*() returns a stable pointer that callers cache
+// outside loops. Registration takes a mutex, increments do not.
+//
+// A process-wide GlobalRegistry() backs the global views (memory-access
+// accounting, the gfk CLI); library code receives a registry through
+// obs::PipelineContext instead of reaching for the global.
+
+#ifndef GF_OBS_METRICS_H_
+#define GF_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gf::obs {
+
+/// Monotonic counter. Add() is relaxed-atomic: increments from any
+/// number of threads sum exactly; readers see a consistent total once
+/// the writing threads are joined.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins double.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v with
+/// boundaries[i-1] < v <= boundaries[i] (upper-inclusive, Prometheus
+/// `le` convention); one overflow bucket counts v > boundaries.back().
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> boundaries)
+      : boundaries_(boundaries.begin(), boundaries.end()),
+        buckets_(boundaries.size() + 1) {}
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& boundaries() const { return boundaries_; }
+  /// boundaries().size() + 1 entries; the last is the overflow bucket.
+  std::vector<uint64_t> BucketCounts() const;
+
+ private:
+  std::vector<double> boundaries_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named instruments, one namespace per registry. Thread-safe.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Returns the counter registered under `name`, creating it on first
+  /// use. The pointer stays valid for the registry's lifetime.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// `boundaries` (sorted ascending) is honored on first creation and
+  /// ignored on later lookups of the same name.
+  Histogram* GetHistogram(std::string_view name,
+                          std::span<const double> boundaries);
+  /// Lookup without creation; nullptr when absent.
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  /// Zeroes every registered counter (benches reuse one registry across
+  /// runs); gauges are last-write-wins and get overwritten per run.
+  void ResetCounters();
+
+  /// Name-sorted snapshots for the exporter (and tests).
+  std::vector<std::pair<std::string, uint64_t>> CounterEntries() const;
+  std::vector<std::pair<std::string, double>> GaugeEntries() const;
+  std::vector<std::pair<std::string, const Histogram*>> HistogramEntries()
+      const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Process-wide default registry. The global views (the memory-access
+/// adapter in common/access_counter.h, the gfk CLI) report here.
+MetricRegistry& GlobalRegistry();
+
+}  // namespace gf::obs
+
+#endif  // GF_OBS_METRICS_H_

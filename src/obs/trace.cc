@@ -1,0 +1,37 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace gf::obs {
+
+uint32_t TraceRecorder::Begin(std::string_view name) {
+  const uint64_t now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  Span span;
+  span.id = static_cast<uint32_t>(spans_.size() + 1);
+  span.parent = open_.empty() ? 0 : open_.back();
+  span.name = std::string(name);
+  span.start_us = now;
+  spans_.push_back(std::move(span));
+  open_.push_back(spans_.back().id);
+  return spans_.back().id;
+}
+
+void TraceRecorder::End(uint32_t id) {
+  const uint64_t now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::find(open_.begin(), open_.end(), id);
+  if (it == open_.end()) return;  // unknown or already closed: ignore
+  // Close the span and every open descendant above it on the stack.
+  for (auto open = it; open != open_.end(); ++open) {
+    spans_[*open - 1].end_us = now;
+  }
+  open_.erase(it, open_.end());
+}
+
+std::vector<Span> TraceRecorder::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+}  // namespace gf::obs

@@ -1,0 +1,88 @@
+// Phase-scoped tracing spans. A TraceRecorder collects named spans with
+// monotonic microsecond timestamps from the injectable Clock
+// (common/clock.h) — tests drive a FakeClock and assert exact
+// durations. Spans nest: Begin() parents the new span under the
+// innermost still-open span, mirroring the pipeline's phase structure
+// (load → fingerprint → build → evaluate, with per-iteration child
+// spans inside the build).
+//
+// Threading: spans are opened and closed by the orchestrating thread
+// (phase boundaries), never from inside parallel workers, so the
+// recorder guards its state with a plain mutex and keeps the implicit
+// parent stack per recorder.
+
+#ifndef GF_OBS_TRACE_H_
+#define GF_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace gf::obs {
+
+/// One completed (or still open) span. Ids are 1-based per recorder;
+/// parent 0 means a root span.
+struct Span {
+  uint32_t id = 0;
+  uint32_t parent = 0;
+  std::string name;
+  uint64_t start_us = 0;
+  uint64_t end_us = 0;  // 0 while the span is open
+
+  uint64_t DurationMicros() const {
+    return end_us >= start_us ? end_us - start_us : 0;
+  }
+};
+
+class TraceRecorder {
+ public:
+  /// `clock == nullptr` means Clock::System().
+  explicit TraceRecorder(Clock* clock = nullptr)
+      : clock_(clock != nullptr ? clock : Clock::System()) {}
+
+  /// Opens a span under the innermost open span. Returns its id.
+  uint32_t Begin(std::string_view name);
+
+  /// Closes the span. Spans closed out of order close every still-open
+  /// descendant first (a phase that early-returns cannot leave orphan
+  /// children open).
+  void End(uint32_t id);
+
+  /// Every span begun so far, in Begin() order.
+  std::vector<Span> Spans() const;
+
+  Clock* clock() const { return clock_; }
+
+ private:
+  Clock* clock_;
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::vector<uint32_t> open_;  // stack of open span ids
+};
+
+/// RAII span; null-recorder safe (no-op), which is what makes
+/// instrumented code zero-cost when no tracer is attached.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* recorder, std::string_view name)
+      : recorder_(recorder),
+        id_(recorder != nullptr ? recorder->Begin(name) : 0) {}
+  ~ScopedSpan() {
+    if (recorder_ != nullptr) recorder_->End(id_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  uint32_t id_;
+};
+
+}  // namespace gf::obs
+
+#endif  // GF_OBS_TRACE_H_

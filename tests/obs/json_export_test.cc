@@ -1,0 +1,81 @@
+// JSON exporter tests. The schema is pinned by a golden file
+// (testdata/export_golden.json, located via the GF_OBS_TESTDATA_DIR
+// compile definition): a fixed registry + FakeClock trace must
+// serialize byte-for-byte identically, so any schema change is a
+// deliberate golden-file update.
+
+#include "obs/json_export.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/clock.h"
+#include "io/env.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gf::obs {
+namespace {
+
+TEST(JsonEscapeTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string("a\x01"
+                                   "b")),
+            "a\\u0001b");
+}
+
+TEST(JsonNumberTest, IntegralValuesHaveNoFraction) {
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(42.0), "42");
+  EXPECT_EQ(JsonNumber(-3.0), "-3");
+  EXPECT_EQ(JsonNumber(1.5), "1.5");
+}
+
+TEST(ExportJsonTest, EmptyRegistryShape) {
+  MetricRegistry registry;
+  EXPECT_EQ(ExportJson(registry),
+            "{\n"
+            "  \"schema_version\": 1,\n"
+            "  \"counters\": {},\n"
+            "  \"gauges\": {},\n"
+            "  \"histograms\": {},\n"
+            "  \"spans\": []\n"
+            "}\n");
+}
+
+TEST(ExportJsonTest, MatchesGoldenFile) {
+  MetricRegistry registry;
+  registry.GetCounter("pipeline.items")->Add(3);
+  registry.GetCounter("checkpoint.saves")->Add(1);
+  registry.GetGauge("build.seconds")->Set(1.5);
+  const double bounds[] = {1, 2, 4};
+  Histogram* h = registry.GetHistogram("candidate.sizes", bounds);
+  h->Observe(1);
+  h->Observe(2);
+  h->Observe(3);
+  h->Observe(9);  // overflow bucket
+
+  FakeClock clock;
+  TraceRecorder tracer(&clock);
+  const uint32_t root = tracer.Begin("build");
+  clock.Advance(5);
+  const uint32_t child = tracer.Begin("iteration");
+  clock.Advance(7);
+  tracer.End(child);
+  clock.Advance(3);
+  tracer.End(root);
+
+  const std::string golden_path =
+      std::string(GF_OBS_TESTDATA_DIR) + "/export_golden.json";
+  auto golden = io::Env::Default()->ReadFile(golden_path);
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+  EXPECT_EQ(ExportJson(registry, &tracer), *golden)
+      << "schema drifted from " << golden_path;
+}
+
+}  // namespace
+}  // namespace gf::obs

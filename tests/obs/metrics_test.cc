@@ -1,0 +1,166 @@
+// Metrics registry tests: exact totals under concurrent increments
+// (run under TSan in CI), upper-inclusive histogram bucket edges, and
+// the stable-pointer / name-sorted-snapshot contracts the pipeline
+// engine relies on.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace gf::obs {
+namespace {
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(1.25);
+  g.Set(-3.5);
+  EXPECT_EQ(g.value(), -3.5);
+}
+
+TEST(HistogramTest, BucketEdgesAreUpperInclusive) {
+  const double bounds[] = {1, 2, 4};
+  Histogram h(bounds);
+  h.Observe(0.5);  // <= 1        -> bucket 0
+  h.Observe(1.0);  // == boundary -> bucket 0 (le convention)
+  h.Observe(1.5);  //              -> bucket 1
+  h.Observe(2.0);  // == boundary -> bucket 1
+  h.Observe(4.0);  // == boundary -> bucket 2
+  h.Observe(4.5);  // > back()    -> overflow bucket
+  const std::vector<uint64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 4.5);
+}
+
+TEST(HistogramTest, ConcurrentObservationsSumExactly) {
+  const double bounds[] = {10};
+  Histogram h(bounds);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (uint64_t i = 0; i < kPerThread; ++i) h.Observe(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Integral observations stay exact in the CAS-looped double sum.
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads * kPerThread));
+  EXPECT_EQ(h.BucketCounts()[0], kThreads * kPerThread);
+}
+
+TEST(MetricRegistryTest, ReturnsStablePointersPerName) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("a");
+  EXPECT_EQ(a, registry.GetCounter("a"));
+  EXPECT_NE(a, registry.GetCounter("b"));
+  Gauge* g = registry.GetGauge("g");
+  EXPECT_EQ(g, registry.GetGauge("g"));
+  const double bounds[] = {1, 2};
+  Histogram* h = registry.GetHistogram("h", bounds);
+  EXPECT_EQ(h, registry.GetHistogram("h", bounds));
+}
+
+TEST(MetricRegistryTest, HistogramBoundariesHonoredOnFirstUseOnly) {
+  MetricRegistry registry;
+  const double first[] = {1, 2};
+  const double other[] = {5, 6, 7};
+  Histogram* h = registry.GetHistogram("h", first);
+  EXPECT_EQ(registry.GetHistogram("h", other), h);
+  EXPECT_EQ(h->boundaries().size(), 2u);
+}
+
+TEST(MetricRegistryTest, FindAbsentReturnsNull) {
+  MetricRegistry registry;
+  EXPECT_EQ(registry.FindCounter("missing"), nullptr);
+  EXPECT_EQ(registry.FindGauge("missing"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("missing"), nullptr);
+  registry.GetCounter("present");
+  EXPECT_NE(registry.FindCounter("present"), nullptr);
+}
+
+TEST(MetricRegistryTest, EntriesAreNameSorted) {
+  MetricRegistry registry;
+  registry.GetCounter("zebra")->Add(1);
+  registry.GetCounter("alpha")->Add(2);
+  registry.GetCounter("mid")->Add(3);
+  const auto entries = registry.CounterEntries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].first, "alpha");
+  EXPECT_EQ(entries[1].first, "mid");
+  EXPECT_EQ(entries[2].first, "zebra");
+}
+
+TEST(MetricRegistryTest, ResetCountersZeroesEveryCounter) {
+  MetricRegistry registry;
+  registry.GetCounter("a")->Add(10);
+  registry.GetCounter("b")->Add(20);
+  registry.GetGauge("g")->Set(1.5);
+  registry.ResetCounters();
+  EXPECT_EQ(registry.FindCounter("a")->value(), 0u);
+  EXPECT_EQ(registry.FindCounter("b")->value(), 0u);
+  // Gauges are last-write-wins and not reset.
+  EXPECT_EQ(registry.FindGauge("g")->value(), 1.5);
+}
+
+TEST(MetricRegistryTest, ConcurrentRegistrationAndIncrements) {
+  // Races first-use registration against increments on shared and
+  // per-thread counters; TSan validates the locking discipline.
+  MetricRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      Counter* shared = registry.GetCounter("shared");
+      Counter* own = registry.GetCounter("thread." + std::to_string(t));
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        shared->Add();
+        own->Add();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.FindCounter("shared")->value(), kThreads * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry.FindCounter("thread." + std::to_string(t))->value(),
+              kPerThread);
+  }
+}
+
+}  // namespace
+}  // namespace gf::obs

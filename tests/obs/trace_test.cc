@@ -1,0 +1,115 @@
+// TraceRecorder tests: span nesting through the implicit parent stack,
+// Begin-order reporting, exact FakeClock durations, and End() closing
+// still-open descendants (early-returning phases cannot leak children).
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace gf::obs {
+namespace {
+
+TEST(TraceRecorderTest, RecordsDurationsFromInjectedClock) {
+  FakeClock clock;
+  TraceRecorder recorder(&clock);
+  const uint32_t id = recorder.Begin("load");
+  clock.Advance(250);
+  recorder.End(id);
+
+  const std::vector<Span> spans = recorder.Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].id, 1u);
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[0].name, "load");
+  EXPECT_EQ(spans[0].start_us, 0u);
+  EXPECT_EQ(spans[0].end_us, 250u);
+  EXPECT_EQ(spans[0].DurationMicros(), 250u);
+}
+
+TEST(TraceRecorderTest, NestsUnderInnermostOpenSpan) {
+  FakeClock clock;
+  TraceRecorder recorder(&clock);
+  const uint32_t build = recorder.Begin("knn.build");
+  clock.Advance(10);
+  const uint32_t iter1 = recorder.Begin("iteration");
+  clock.Advance(5);
+  recorder.End(iter1);
+  const uint32_t iter2 = recorder.Begin("iteration");
+  clock.Advance(7);
+  recorder.End(iter2);
+  clock.Advance(1);
+  recorder.End(build);
+
+  const std::vector<Span> spans = recorder.Spans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Begin order, 1-based ids.
+  EXPECT_EQ(spans[0].name, "knn.build");
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].parent, spans[0].id);  // first iteration child
+  EXPECT_EQ(spans[2].parent, spans[0].id);  // sibling, not grandchild
+  EXPECT_EQ(spans[1].DurationMicros(), 5u);
+  EXPECT_EQ(spans[2].DurationMicros(), 7u);
+  EXPECT_EQ(spans[0].DurationMicros(), 23u);
+}
+
+TEST(TraceRecorderTest, EndClosesOpenDescendants) {
+  FakeClock clock;
+  TraceRecorder recorder(&clock);
+  const uint32_t root = recorder.Begin("root");
+  recorder.Begin("child");
+  recorder.Begin("grandchild");
+  clock.Advance(100);
+  recorder.End(root);  // child + grandchild must close too
+
+  const std::vector<Span> spans = recorder.Spans();
+  ASSERT_EQ(spans.size(), 3u);
+  for (const Span& span : spans) {
+    EXPECT_EQ(span.end_us, 100u) << span.name;
+  }
+  // A new span after the forced close is a root again.
+  const uint32_t next = recorder.Begin("next");
+  recorder.End(next);
+  EXPECT_EQ(recorder.Spans().back().parent, 0u);
+}
+
+TEST(TraceRecorderTest, DeepNestingParentsChain) {
+  FakeClock clock;
+  TraceRecorder recorder(&clock);
+  const uint32_t a = recorder.Begin("a");
+  const uint32_t b = recorder.Begin("b");
+  const uint32_t c = recorder.Begin("c");
+  recorder.End(c);
+  recorder.End(b);
+  recorder.End(a);
+  const std::vector<Span> spans = recorder.Spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[2].parent, spans[1].id);
+}
+
+TEST(ScopedSpanTest, RaiiOpensAndCloses) {
+  FakeClock clock;
+  TraceRecorder recorder(&clock);
+  {
+    ScopedSpan outer(&recorder, "outer");
+    clock.Advance(3);
+    { ScopedSpan inner(&recorder, "inner"); clock.Advance(4); }
+  }
+  const std::vector<Span> spans = recorder.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[0].DurationMicros(), 7u);
+  EXPECT_EQ(spans[1].DurationMicros(), 4u);
+}
+
+TEST(ScopedSpanTest, NullRecorderIsNoOp) {
+  ScopedSpan span(nullptr, "nothing");  // must not crash
+}
+
+}  // namespace
+}  // namespace gf::obs

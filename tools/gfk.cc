@@ -14,16 +14,23 @@
 
 #include <cmath>
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "common/flags.h"
+#include "common/thread_pool.h"
 #include "core/privacy.h"
 #include "theory/calibration.h"
 #include "dataset/loader.h"
 #include "dataset/synthetic.h"
+#include "io/env.h"
 #include "io/serialization.h"
 #include "knn/builder.h"
 #include "knn/quality.h"
+#include "obs/json_export.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_context.h"
+#include "obs/trace.h"
 #include "recommender/recommender.h"
 
 namespace gf::tools {
@@ -46,6 +53,7 @@ int Usage() {
       "  knn       --in ds.gfsz [--algorithm bruteforce|hyrec|nndescent|\n"
       "            lsh|kiff|bandedlsh|bisection]\n"
       "            [--mode native|golfi|minhash] [--k 30] [--bits 1024]\n"
+      "            [--threads N] [--metrics-out metrics.json]\n"
       "            [--checkpoint-dir DIR] [--checkpoint-every N]\n"
       "            [--resume] [--out graph.gfsz]\n"
       "  recommend --in ds.gfsz --graph graph.gfsz [--user U] [--n 30]\n"
@@ -121,7 +129,28 @@ int CmdStats(const Flags& flags) {
 }
 
 int CmdKnn(const Flags& flags) {
-  auto dataset = io::ReadDataset(flags.GetString("in"));
+  // Observability spine: --metrics-out attaches a registry + tracer to
+  // the pipeline context and dumps them as JSON at the end; --threads
+  // shares ONE pool across every phase (load excepted: it is I/O-bound).
+  obs::MetricRegistry registry;
+  obs::TraceRecorder tracer;
+  obs::PipelineContext ctx;
+  const std::string metrics_out = flags.GetString("metrics-out");
+  if (!metrics_out.empty()) {
+    ctx.metrics = &registry;
+    ctx.tracer = &tracer;
+  }
+  std::optional<ThreadPool> pool;
+  const int threads = flags.GetInt("threads", 0);
+  if (threads > 0) {
+    pool.emplace(static_cast<std::size_t>(threads));
+    ctx.pool = &*pool;
+  }
+
+  Result<Dataset> dataset = [&] {
+    obs::ScopedPhase phase(&ctx, "gfk.load", "dataset.load_seconds");
+    return io::ReadDataset(flags.GetString("in"));
+  }();
   if (!dataset.ok()) return Fail(dataset.status());
 
   KnnPipelineConfig config;
@@ -157,7 +186,7 @@ int CmdKnn(const Flags& flags) {
     return Fail(Status::InvalidArgument("--resume needs --checkpoint-dir"));
   }
 
-  auto result = BuildKnnGraph(*dataset, config);
+  auto result = BuildKnnGraph(*dataset, config, ctx);
   if (!result.ok()) return Fail(result.status());
   std::printf("%s/%s: prep %.3fs, build %.3fs, %zu iterations, %.2fM "
               "similarities, avg stored sim %.4f\n",
@@ -170,11 +199,22 @@ int CmdKnn(const Flags& flags) {
 
   const std::string out = flags.GetString("out");
   if (!out.empty()) {
+    obs::ScopedPhase phase(&ctx, "gfk.write", "graph.write_seconds");
     if (const Status status = io::WriteKnnGraph(result->graph, out);
         !status.ok()) {
       return Fail(status);
     }
     std::printf("wrote %s\n", out.c_str());
+  }
+
+  if (!metrics_out.empty()) {
+    const std::string json = obs::ExportJson(registry, &tracer);
+    if (const Status status =
+            io::Env::Default()->WriteFileAtomic(metrics_out, json);
+        !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("wrote metrics %s\n", metrics_out.c_str());
   }
   return 0;
 }
