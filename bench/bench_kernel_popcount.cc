@@ -3,18 +3,23 @@
 // original inner loop), batched scalar, and batched SIMD (the
 // runtime-dispatched backend) — at b in {64, 1024, 4096}, for both the
 // contiguous-tile layout (BruteForceKnn's scan) and the gathered-id
-// layout (Hyrec / NNDescent candidate sets). The headline number is the
-// batched-SIMD vs per-pair-scalar speedup at b = 1024.
+// layout (Hyrec / NNDescent candidate sets), plus the multi-query tile
+// kernel that backs batched query serving. The headline number is the
+// batched-SIMD vs per-pair-scalar speedup at b = 1024. Emits a
+// BENCH_kernel_popcount.json report (GF_BENCH_OUT overrides).
 
 #include <cstdint>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/bit_util.h"
 #include "common/random.h"
 #include "common/simd_popcount.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 #include "util/bench_env.h"
+#include "util/bench_report.h"
 
 namespace {
 
@@ -72,13 +77,24 @@ int main() {
 
   std::printf("dispatched backend: %s\n\n",
               gf::bits::PopcountBackendName(gf::bits::ActivePopcountBackend()));
-  std::printf("%-8s %14s %14s %14s %14s %10s\n", "b", "per-pair ns",
-              "tile-scalar ns", "tile-simd ns", "gather-simd ns", "speedup");
+  std::printf("%-8s %14s %14s %14s %14s %14s %10s\n", "b", "per-pair ns",
+              "tile-scalar ns", "tile-simd ns", "gather-simd ns",
+              "multi-tile ns", "speedup");
+
+  gf::bench::BenchReport report("kernel_popcount",
+                                "BENCH_kernel_popcount.json");
+
+  // The multi-query tile kernel scores a group of queries per tile
+  // pass; 16 matches FingerprintStore's query-group size.
+  constexpr std::size_t kMultiQueries = 16;
 
   Rng rng(2026);
   std::vector<uint32_t> counts(kRows);
+  std::vector<uint32_t> multi_counts(kMultiQueries * kRows);
   for (const std::size_t bits : {64ul, 1024ul, 4096ul}) {
     const Workload w = MakeWorkload(bits, rng);
+    std::vector<uint64_t> queries(kMultiQueries * w.words);
+    for (auto& word : queries) word = rng.Next();
 
     const double per_pair_ns = MeasureNsPerPair([&] {
       uint64_t sum = 0;
@@ -107,10 +123,37 @@ int main() {
       return static_cast<uint64_t>(counts[kRows - 1]);
     });
 
-    std::printf("%-8zu %14.2f %14.2f %14.2f %14.2f %9.1fx\n", bits,
+    // One pass scores kMultiQueries x kRows pairs; MeasureNsPerPair
+    // normalizes by kRows, so divide by the query count once more.
+    const double multi_tile_ns =
+        MeasureNsPerPair([&] {
+          gf::bits::AndPopCountTileMulti(queries.data(), kMultiQueries,
+                                         w.rows.data(), kRows, w.words,
+                                         multi_counts.data());
+          return static_cast<uint64_t>(multi_counts[kMultiQueries * kRows - 1]);
+        }) /
+        static_cast<double>(kMultiQueries);
+
+    std::printf("%-8zu %14.2f %14.2f %14.2f %14.2f %14.2f %9.1fx\n", bits,
                 per_pair_ns, tile_scalar_ns, tile_simd_ns, gather_simd_ns,
-                per_pair_ns / tile_simd_ns);
+                multi_tile_ns, per_pair_ns / tile_simd_ns);
+
+    gf::obs::MetricRegistry registry;
+    registry.GetGauge("kernel.per_pair_ns")->Set(per_pair_ns);
+    registry.GetGauge("kernel.tile_scalar_ns")->Set(tile_scalar_ns);
+    registry.GetGauge("kernel.tile_simd_ns")->Set(tile_simd_ns);
+    registry.GetGauge("kernel.gather_simd_ns")->Set(gather_simd_ns);
+    registry.GetGauge("kernel.multi_tile_ns")->Set(multi_tile_ns);
+    registry.GetGauge("kernel.speedup_vs_per_pair")
+        ->Set(per_pair_ns / tile_simd_ns);
+    // string::append sidesteps GCC 12's bogus -Wrestrict on
+    // `const char* + std::string&&` (PR105651).
+    std::string label = "b";
+    label.append(std::to_string(bits));
+    report.AddRun(label, registry);
   }
+  report.Write();
+  std::printf("report: %s\n", report.path().c_str());
 
   std::printf(
       "\nspeedup column = per-pair scalar / batched SIMD tile; the same\n"

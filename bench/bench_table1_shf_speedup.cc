@@ -3,17 +3,21 @@
 // values (Java): 0.011 ms / x253 (64b), 0.032 ms / x84 (256b),
 // 0.120 ms / x23 (1024b), 0.469 ms / x6 (4096b). The shape: SHF cost
 // linear in b and independent of profile size; large speedups that
-// shrink as b grows.
+// shrink as b grows. Emits a BENCH_table1.json report (GF_BENCH_OUT
+// overrides).
 
 #include <cstdio>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
 #include "common/timer.h"
 #include "core/fingerprinter.h"
 #include "core/similarity.h"
+#include "obs/metrics.h"
 #include "util/bench_env.h"
+#include "util/bench_report.h"
 
 namespace {
 
@@ -67,6 +71,7 @@ int main() {
               exact_ns);
   std::printf("%-12s %14s %10s %18s\n", "SHF bits", "time (ns)", "speedup",
               "paper speedup");
+  gf::bench::BenchReport report("table1_shf_speedup", "BENCH_table1.json");
   const struct {
     std::size_t bits;
     int paper_speedup;
@@ -87,6 +92,20 @@ int main() {
         kIters);
     std::printf("%-12zu %14.1f %9.1fx %17dx\n", row.bits, shf_ns,
                 exact_ns / shf_ns, row.paper_speedup);
+
+    gf::obs::MetricRegistry registry;
+    registry.GetGauge("table1.exact_ns")->Set(exact_ns);
+    registry.GetGauge("table1.shf_ns")->Set(shf_ns);
+    registry.GetGauge("table1.speedup")->Set(exact_ns / shf_ns);
+    registry.GetGauge("table1.paper_speedup")
+        ->Set(static_cast<double>(row.paper_speedup));
+    // string::append sidesteps GCC 12's bogus -Wrestrict on
+    // `const char* + std::string&&` (PR105651).
+    std::string label = "b";
+    label.append(std::to_string(row.bits));
+    report.AddRun(label, registry);
   }
+  report.Write();
+  std::printf("\nreport: %s\n", report.path().c_str());
   return 0;
 }

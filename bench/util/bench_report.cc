@@ -10,16 +10,17 @@ namespace gf::bench {
 
 namespace {
 
-std::string ResolvePath() {
+std::string ResolvePath(std::string default_filename) {
   const char* env = std::getenv("GF_BENCH_OUT");
   if (env != nullptr && env[0] != '\0') return env;
-  return "BENCH_pipeline.json";
+  return default_filename;
 }
 
 }  // namespace
 
-BenchReport::BenchReport(std::string bench_name)
-    : bench_name_(std::move(bench_name)), path_(ResolvePath()) {}
+BenchReport::BenchReport(std::string bench_name, std::string default_filename)
+    : bench_name_(std::move(bench_name)),
+      path_(ResolvePath(std::move(default_filename))) {}
 
 void BenchReport::AddRun(const std::string& label,
                          const obs::MetricRegistry& registry,

@@ -13,10 +13,11 @@
 //     ]
 //   }
 //
-// The default output path is BENCH_pipeline.json in the working
-// directory; GF_BENCH_OUT overrides it. Only one harness per process
-// should write a given path (the canonical pipeline report is emitted
-// by bench_table4, the load -> fingerprint -> build -> evaluate bench).
+// Each harness passes its own default output filename (BENCH_kernel_
+// popcount.json, BENCH_query.json, ...; BENCH_pipeline.json when
+// omitted — the canonical pipeline report emitted by bench_table4);
+// GF_BENCH_OUT overrides whichever default, so only one harness per
+// CI step should run with the override set.
 
 #ifndef GF_BENCH_UTIL_BENCH_REPORT_H_
 #define GF_BENCH_UTIL_BENCH_REPORT_H_
@@ -31,8 +32,10 @@ namespace gf::bench {
 
 class BenchReport {
  public:
-  /// `bench_name` labels the report (the harness name).
-  explicit BenchReport(std::string bench_name);
+  /// `bench_name` labels the report (the harness name);
+  /// `default_filename` is where it lands unless GF_BENCH_OUT is set.
+  explicit BenchReport(std::string bench_name,
+                       std::string default_filename = "BENCH_pipeline.json");
 
   /// Snapshots `registry` (and `tracer`'s spans when non-null) as one
   /// run labelled `label`.
@@ -43,7 +46,7 @@ class BenchReport {
   /// on I/O failure.
   bool Write() const;
 
-  /// $GF_BENCH_OUT when set, else "BENCH_pipeline.json".
+  /// $GF_BENCH_OUT when set, else the harness's default filename.
   const std::string& path() const { return path_; }
 
  private:

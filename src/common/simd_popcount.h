@@ -13,13 +13,20 @@
 // identical uint32_t counts on identical inputs — results never depend
 // on the machine the library runs on.
 //
-// The two entry points cover the two candidate layouts the KNN
-// algorithms produce:
-//   AndPopCountTile  — candidates are a contiguous range of rows
-//                      (BruteForceKnn's cache-blocked scan);
-//   AndPopCountBatch — candidates are an arbitrary id list gathered
-//                      from a common base (Hyrec / NNDescent candidate
-//                      sets, FingerprintStore::EstimateJaccardBatch).
+// The entry points cover the candidate layouts the KNN algorithms and
+// the query serving engine produce:
+//   AndPopCountTile      — one query against a contiguous range of rows
+//                          (BruteForceKnn's cache-blocked scan);
+//   AndPopCountBatch     — one query against an arbitrary id list
+//                          gathered from a common base (Hyrec /
+//                          NNDescent candidate sets, banded-LSH query
+//                          candidates);
+//   AndPopCountTileMulti — a batch of queries against one contiguous
+//                          tile (the serving engine's batched scan):
+//                          the tile is streamed once per PAIR of
+//                          queries (the AVX2 backend ANDs each row
+//                          vector against two query vectors), instead
+//                          of once per query.
 
 #ifndef GF_COMMON_SIMD_POPCOUNT_H_
 #define GF_COMMON_SIMD_POPCOUNT_H_
@@ -54,6 +61,15 @@ void AndPopCountBatch(const uint64_t* query, const uint64_t* base,
                       std::size_t words_per_row, const uint32_t* row_ids,
                       std::size_t n_rows, uint32_t* out_counts);
 
+/// out_counts[q * n_rows + r] = popcount(query_q AND row_r) for the
+/// `n_queries` queries packed at queries + q * words_per_row and the
+/// `n_rows` contiguous rows starting at `tile`. Bit-exact with calling
+/// AndPopCountTile once per query; faster because each tile row vector
+/// is loaded once and ANDed against two query fingerprints.
+void AndPopCountTileMulti(const uint64_t* queries, std::size_t n_queries,
+                          const uint64_t* tile, std::size_t n_rows,
+                          std::size_t words_per_row, uint32_t* out_counts);
+
 // Fixed-backend implementations, exposed so tests can assert that every
 // backend agrees bit-exactly and benches can compare them. The Avx2
 // variants require Avx2Available(); on other hardware they fall back to
@@ -67,6 +83,10 @@ void AndPopCountBatchScalar(const uint64_t* query, const uint64_t* base,
                             std::size_t words_per_row,
                             const uint32_t* row_ids, std::size_t n_rows,
                             uint32_t* out_counts);
+void AndPopCountTileMultiScalar(const uint64_t* queries,
+                                std::size_t n_queries, const uint64_t* tile,
+                                std::size_t n_rows, std::size_t words_per_row,
+                                uint32_t* out_counts);
 
 void AndPopCountTileAvx2(const uint64_t* query, const uint64_t* tile,
                          std::size_t n_rows, std::size_t words_per_row,
@@ -74,6 +94,9 @@ void AndPopCountTileAvx2(const uint64_t* query, const uint64_t* tile,
 void AndPopCountBatchAvx2(const uint64_t* query, const uint64_t* base,
                           std::size_t words_per_row, const uint32_t* row_ids,
                           std::size_t n_rows, uint32_t* out_counts);
+void AndPopCountTileMultiAvx2(const uint64_t* queries, std::size_t n_queries,
+                              const uint64_t* tile, std::size_t n_rows,
+                              std::size_t words_per_row, uint32_t* out_counts);
 
 }  // namespace detail
 

@@ -27,29 +27,41 @@ NeighborLists::NeighborLists(std::size_t num_users, std::size_t k)
       k_(k),
       entries_(num_users * k),
       sizes_(num_users, 0),
+      worst_sims_(num_users, kNoFloor),
       locks_(num_users) {}
 
 bool NeighborLists::Insert(UserId u, UserId v, double sim) {
-  Entry* row = entries_.data() + static_cast<std::size_t>(u) * k_;
+  const auto fsim = static_cast<float>(sim);
   const uint32_t size = sizes_[u];
-  // One pass: reject duplicates, remember the worst entry.
+  // A full row caches its worst similarity: offers at or below that
+  // floor cannot change the list (a duplicate would be rejected
+  // anyway), so they return without touching the row at all.
+  if (size == k_ && fsim <= worst_sims_[u]) return false;
+  Entry* row = entries_.data() + static_cast<std::size_t>(u) * k_;
+  // One pass: reject duplicates, remember the worst and second-worst
+  // entries (the second-worst seeds the new floor after a replacement).
   std::size_t worst = 0;
-  float worst_sim = 2.0f;  // above any similarity
+  float worst_sim = kNoFloor;  // above any similarity
+  float second_sim = kNoFloor;
   for (std::size_t i = 0; i < size; ++i) {
     if (row[i].id == v) return false;
     if (row[i].similarity < worst_sim) {
+      second_sim = worst_sim;
       worst_sim = row[i].similarity;
       worst = i;
+    } else if (row[i].similarity < second_sim) {
+      second_sim = row[i].similarity;
     }
   }
-  const auto fsim = static_cast<float>(sim);
   if (size < k_) {
     row[size] = {v, fsim, true};
     ++sizes_[u];
+    if (size + 1 == k_) worst_sims_[u] = std::min(worst_sim, fsim);
     return true;
   }
   if (fsim <= worst_sim) return false;
   row[worst] = {v, fsim, true};
+  worst_sims_[u] = std::min(second_sim, fsim);
   return true;
 }
 
@@ -58,6 +70,13 @@ void NeighborLists::RestoreRow(UserId u, std::span<const Entry> entries) {
   const std::size_t count = std::min(entries.size(), k_);
   std::copy(entries.begin(), entries.begin() + static_cast<long>(count), row);
   sizes_[u] = static_cast<uint32_t>(count);
+  float floor = kNoFloor;
+  if (count == k_) {
+    for (std::size_t i = 0; i < count; ++i) {
+      floor = std::min(floor, row[i].similarity);
+    }
+  }
+  worst_sims_[u] = floor;
 }
 
 bool NeighborLists::InsertLocked(UserId u, UserId v, double sim) {

@@ -80,13 +80,20 @@ class NeighborLists {
   std::span<const Entry> Of(UserId u) const {
     return {entries_.data() + static_cast<std::size_t>(u) * k_, sizes_[u]};
   }
+  /// Mutable view of u's entries. Callers may flip the is_new flags
+  /// (NNDescent's join bookkeeping) but must NOT rewrite ids or
+  /// similarities — Insert's worst-similarity floor is cached per row
+  /// and would go stale. Row rewrites go through ClearRow/RestoreRow.
   std::span<Entry> MutableOf(UserId u) {
     return {entries_.data() + static_cast<std::size_t>(u) * k_, sizes_[u]};
   }
 
   /// Offers (v, sim) to u's list. Returns true when the list changed
   /// (v was absent and either the list had room or sim beats the
-  /// current worst entry). Not thread-safe for the same `u`.
+  /// current worst entry). Not thread-safe for the same `u`. A full
+  /// row's cached worst similarity short-circuits offers at or below
+  /// the floor — the common case in the late iterations of the greedy
+  /// algorithms — without scanning the row for duplicates.
   bool Insert(UserId u, UserId v, double sim);
 
   /// Insert() under u's spinlock.
@@ -94,7 +101,10 @@ class NeighborLists {
 
   /// Empties u's list (incremental maintenance: a user whose profile
   /// changed re-scores its neighborhood from scratch).
-  void ClearRow(UserId u) { sizes_[u] = 0; }
+  void ClearRow(UserId u) {
+    sizes_[u] = 0;
+    worst_sims_[u] = kNoFloor;
+  }
 
   /// Overwrites u's list with `entries` verbatim (at most k), including
   /// the is_new flags. Checkpoint/resume support: restoring every row
@@ -121,10 +131,16 @@ class NeighborLists {
   KnnGraph Finalize() const;
 
  private:
+  /// Sentinel floor for a row that is not full yet (above any real
+  /// similarity, so the short-circuit never fires on it).
+  static constexpr float kNoFloor = 2.0f;
+
   std::size_t num_users_;
   std::size_t k_;
   std::vector<Entry> entries_;                    // num_users * k
   std::vector<uint32_t> sizes_;                   // valid entries per user
+  std::vector<float> worst_sims_;                 // per-row floor, kNoFloor
+                                                  // until the row fills
   std::vector<std::atomic_flag> locks_;           // per-user spinlocks
 };
 

@@ -1,52 +1,52 @@
 #include "knn/query.h"
 
+#include <mutex>
+
 #include "core/similarity.h"
+#include "hash/murmur3.h"
 
 namespace gf {
 
 namespace {
 
-// Keeps the best k (id, sim) pairs, then sorts descending.
-class TopK {
- public:
-  explicit TopK(std::size_t k) : k_(k) {}
+obs::Histogram* LatencyHistogram(const obs::PipelineContext* obs) {
+  return obs != nullptr && obs->HasMetrics()
+             ? obs->metrics->GetHistogram("query.latency",
+                                          obs::kLatencyBucketBoundariesMicros)
+             : nullptr;
+}
 
-  void Offer(UserId id, double sim) {
-    if (entries_.size() < k_) {
-      entries_.push_back({id, static_cast<float>(sim)});
-      if (entries_.size() == k_) RebuildWorst();
-      return;
-    }
-    if (sim <= entries_[worst_].similarity) return;
-    entries_[worst_] = {id, static_cast<float>(sim)};
-    RebuildWorst();
-  }
+obs::Counter* CounterOrNull(const obs::PipelineContext* obs,
+                            std::string_view name) {
+  return obs != nullptr && obs->HasMetrics() ? obs->metrics->GetCounter(name)
+                                             : nullptr;
+}
 
-  std::vector<Neighbor> Take() {
-    std::sort(entries_.begin(), entries_.end(),
-              [](const Neighbor& a, const Neighbor& b) {
-                if (a.similarity != b.similarity) {
-                  return a.similarity > b.similarity;
-                }
-                return a.id < b.id;
-              });
-    return std::move(entries_);
-  }
-
- private:
-  void RebuildWorst() {
-    worst_ = 0;
-    for (std::size_t i = 1; i < entries_.size(); ++i) {
-      if (entries_[i].similarity < entries_[worst_].similarity) worst_ = i;
-    }
-  }
-
-  std::size_t k_;
-  std::size_t worst_ = 0;
-  std::vector<Neighbor> entries_;
-};
+Clock* ClockOrNull(const obs::PipelineContext* obs) {
+  return obs != nullptr ? obs->EffectiveClock() : nullptr;
+}
 
 }  // namespace
+
+ScanQueryEngine::ScanQueryEngine(const FingerprintStore& store,
+                                 ThreadPool* pool,
+                                 const obs::PipelineContext* obs)
+    : ScanQueryEngine(store, pool, obs, Options{}) {}
+
+ScanQueryEngine::ScanQueryEngine(const FingerprintStore& store,
+                                 ThreadPool* pool,
+                                 const obs::PipelineContext* obs,
+                                 Options options)
+    : store_(&store),
+      pool_(pool),
+      obs_(obs),
+      options_(options),
+      latency_(LatencyHistogram(obs)),
+      candidates_(CounterOrNull(obs, "query.candidates")),
+      batches_(CounterOrNull(obs, "query.batches")),
+      queries_(CounterOrNull(obs, "query.scan.queries")) {
+  if (options_.tile_rows == 0) options_.tile_rows = 256;
+}
 
 Result<std::vector<Neighbor>> ScanQueryEngine::Query(const Shf& query,
                                                      std::size_t k) const {
@@ -56,7 +56,9 @@ Result<std::vector<Neighbor>> ScanQueryEngine::Query(const Shf& query,
         "query fingerprint has " + std::to_string(query.num_bits()) +
         " bits, store uses " + std::to_string(store_->num_bits()));
   }
-  TopK top(k);
+  Clock* clock = ClockOrNull(obs_);
+  const uint64_t t0 = latency_ != nullptr ? clock->NowMicros() : 0;
+  TopKSelector top(k);
   const std::size_t words = store_->words_per_shf();
   for (UserId u = 0; u < store_->num_users(); ++u) {
     const uint32_t inter = bits::AndPopCount(
@@ -64,7 +66,82 @@ Result<std::vector<Neighbor>> ScanQueryEngine::Query(const Shf& query,
     top.Offer(u, JaccardFromCounts(query.cardinality(),
                                    store_->CardinalityOf(u), inter));
   }
-  return top.Take();
+  auto result = top.Take();
+  if (queries_ != nullptr) {
+    queries_->Add(1);
+    candidates_->Add(store_->num_users());
+  }
+  if (latency_ != nullptr) {
+    latency_->Observe(static_cast<double>(clock->NowMicros() - t0));
+  }
+  return result;
+}
+
+Result<std::vector<std::vector<Neighbor>>> ScanQueryEngine::QueryBatch(
+    std::span<const Shf> queries, std::size_t k) const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  for (const Shf& query : queries) {
+    if (query.num_bits() != store_->num_bits()) {
+      return Status::InvalidArgument(
+          "batch query fingerprint has " + std::to_string(query.num_bits()) +
+          " bits, store uses " + std::to_string(store_->num_bits()));
+    }
+  }
+  const std::size_t nb = queries.size();
+  std::vector<std::vector<Neighbor>> results(nb);
+  if (nb == 0) return results;
+
+  Clock* clock = ClockOrNull(obs_);
+  const uint64_t t0 = latency_ != nullptr ? clock->NowMicros() : 0;
+
+  // Pack the batch contiguously — the multi-query kernel's layout.
+  const std::size_t words = store_->words_per_shf();
+  std::vector<uint64_t> query_words(nb * words);
+  std::vector<uint32_t> query_cards(nb);
+  for (std::size_t q = 0; q < nb; ++q) {
+    const auto w = queries[q].words();
+    std::copy(w.begin(), w.end(), query_words.begin() + q * words);
+    query_cards[q] = queries[q].cardinality();
+  }
+
+  const std::size_t n = store_->num_users();
+  std::vector<TopKSelector> global(nb, TopKSelector(k));
+  std::mutex merge_mu;
+  ParallelFor(pool_, n, [&](std::size_t begin, std::size_t end) {
+    const std::size_t tile_rows = options_.tile_rows;
+    std::vector<double> scores(nb * std::min(tile_rows, end - begin));
+    std::vector<TopKSelector> local(nb, TopKSelector(k));
+    for (std::size_t first = begin; first < end; first += tile_rows) {
+      const std::size_t m = std::min(tile_rows, end - first);
+      store_->EstimateJaccardTileMultiExternal(
+          query_words, query_cards, static_cast<UserId>(first), m,
+          {scores.data(), nb * m});
+      for (std::size_t q = 0; q < nb; ++q) {
+        const double* sims = scores.data() + q * m;
+        TopKSelector& sel = local[q];
+        for (std::size_t i = 0; i < m; ++i) {
+          sel.Offer(static_cast<UserId>(first + i), sims[i]);
+        }
+      }
+    }
+    // Total-order selection makes the merged result independent of both
+    // the partitioning and the merge order.
+    const std::lock_guard<std::mutex> lock(merge_mu);
+    for (std::size_t q = 0; q < nb; ++q) global[q].MergeFrom(local[q]);
+  });
+  for (std::size_t q = 0; q < nb; ++q) results[q] = global[q].Take();
+
+  if (batches_ != nullptr) {
+    batches_->Add(1);
+    queries_->Add(nb);
+    candidates_->Add(nb * n);
+  }
+  if (latency_ != nullptr) {
+    // Every query in the batch experienced the batch's wall time.
+    const auto elapsed = static_cast<double>(clock->NowMicros() - t0);
+    for (std::size_t q = 0; q < nb; ++q) latency_->Observe(elapsed);
+  }
+  return results;
 }
 
 Result<std::vector<Neighbor>> ScanQueryEngine::QueryProfile(
@@ -74,8 +151,180 @@ Result<std::vector<Neighbor>> ScanQueryEngine::QueryProfile(
   return Query(fp->Fingerprint(profile), k);
 }
 
+BandedShfQueryEngine::BandedShfQueryEngine(const FingerprintStore& store,
+                                           const Options& options,
+                                           ThreadPool* pool,
+                                           const obs::PipelineContext* obs)
+    : store_(&store),
+      pool_(pool),
+      band_bits_(options.band_bits),
+      bands_(store.num_bits() / options.band_bits),
+      seed_(options.seed),
+      tables_(bands_),
+      latency_(LatencyHistogram(obs)),
+      candidate_sizes_(obs != nullptr && obs->HasMetrics()
+                           ? obs->metrics->GetHistogram(
+                                 "query.banded.candidate_set_size",
+                                 obs::kSizeBucketBoundaries)
+                           : nullptr),
+      candidates_(CounterOrNull(obs, "query.candidates")),
+      queries_(CounterOrNull(obs, "query.banded.queries")) {
+  if (obs != nullptr) clock_ = obs->EffectiveClock();
+}
+
+uint64_t BandedShfQueryEngine::BandKey(std::size_t band,
+                                       uint64_t chunk) const {
+  return hash::Murmur3Hash64(chunk,
+                             seed_ ^ (0x9E3779B97F4A7C15ULL * (band + 1)));
+}
+
+uint64_t BandedShfQueryEngine::ChunkOf(std::span<const uint64_t> words,
+                                       std::size_t band) const {
+  const std::size_t bit = band * band_bits_;
+  const uint64_t word = words[bit >> 6];
+  const uint64_t shifted = word >> (bit & 63);
+  if (band_bits_ == 64) return shifted;
+  return shifted & ((uint64_t{1} << band_bits_) - 1);
+}
+
+Result<BandedShfQueryEngine> BandedShfQueryEngine::Build(
+    const FingerprintStore& store, const Options& options, ThreadPool* pool,
+    const obs::PipelineContext* obs) {
+  if (options.band_bits == 0 || 64 % options.band_bits != 0) {
+    return Status::InvalidArgument(
+        "band_bits must divide 64 (got " +
+        std::to_string(options.band_bits) + ")");
+  }
+  obs::ScopedPhase phase(obs, "query.banded.build");
+  BandedShfQueryEngine engine(store, options, pool, obs);
+
+  // Band chunks in parallel, table fill sequential (tables are not
+  // concurrent); chunk value 0 means "empty band, unindexed" — a zero
+  // chunk carries no profile evidence and would only build one giant
+  // bucket of sparse users.
+  const std::size_t n = store.num_users();
+  const std::size_t bands = engine.bands_;
+  std::vector<uint64_t> chunks(n * bands);
+  ParallelFor(pool, n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t u = begin; u < end; ++u) {
+      const auto words = store.WordsOf(static_cast<UserId>(u));
+      for (std::size_t band = 0; band < bands; ++band) {
+        chunks[u * bands + band] = engine.ChunkOf(words, band);
+      }
+    }
+  });
+  for (std::size_t band = 0; band < bands; ++band) {
+    auto& table = engine.tables_[band];
+    for (std::size_t u = 0; u < n; ++u) {
+      const uint64_t chunk = chunks[u * bands + band];
+      if (chunk == 0) continue;
+      table[engine.BandKey(band, chunk)].push_back(static_cast<UserId>(u));
+    }
+  }
+  if (obs != nullptr) {
+    obs->Count("query.banded.indexed_entries", engine.IndexedEntries());
+  }
+  return engine;
+}
+
+std::vector<Neighbor> BandedShfQueryEngine::QueryOne(const Shf& query,
+                                                     std::size_t k) const {
+  const uint64_t t0 =
+      latency_ != nullptr ? clock_->NowMicros() : 0;
+  std::vector<UserId> candidates;
+  for (std::size_t band = 0; band < bands_; ++band) {
+    const uint64_t chunk = ChunkOf(query.words(), band);
+    if (chunk == 0) continue;
+    const auto it = tables_[band].find(BandKey(band, chunk));
+    if (it == tables_[band].end()) continue;
+    candidates.insert(candidates.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  std::vector<double> sims(candidates.size());
+  store_->EstimateJaccardBatchExternal(query.words(), query.cardinality(),
+                                       candidates, sims);
+  TopKSelector top(k);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    top.Offer(candidates[i], sims[i]);
+  }
+  if (queries_ != nullptr) {
+    queries_->Add(1);
+    candidates_->Add(candidates.size());
+    candidate_sizes_->Observe(static_cast<double>(candidates.size()));
+  }
+  if (latency_ != nullptr) {
+    latency_->Observe(static_cast<double>(clock_->NowMicros() - t0));
+  }
+  return top.Take();
+}
+
+Result<std::vector<Neighbor>> BandedShfQueryEngine::Query(
+    const Shf& query, std::size_t k) const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (query.num_bits() != store_->num_bits()) {
+    return Status::InvalidArgument(
+        "query fingerprint has " + std::to_string(query.num_bits()) +
+        " bits, store uses " + std::to_string(store_->num_bits()));
+  }
+  return QueryOne(query, k);
+}
+
+Result<std::vector<std::vector<Neighbor>>> BandedShfQueryEngine::QueryBatch(
+    std::span<const Shf> queries, std::size_t k) const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  for (const Shf& query : queries) {
+    if (query.num_bits() != store_->num_bits()) {
+      return Status::InvalidArgument(
+          "batch query fingerprint has " + std::to_string(query.num_bits()) +
+          " bits, store uses " + std::to_string(store_->num_bits()));
+    }
+  }
+  std::vector<std::vector<Neighbor>> results(queries.size());
+  ParallelFor(pool_, queries.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t q = begin; q < end; ++q) {
+      results[q] = QueryOne(queries[q], k);
+    }
+  });
+  return results;
+}
+
+Result<std::vector<Neighbor>> BandedShfQueryEngine::QueryProfile(
+    std::span<const ItemId> profile, std::size_t k) const {
+  auto fp = Fingerprinter::Create(store_->config());
+  if (!fp.ok()) return fp.status();
+  return Query(fp->Fingerprint(profile), k);
+}
+
+std::size_t BandedShfQueryEngine::IndexedEntries() const {
+  std::size_t total = 0;
+  for (const auto& table : tables_) {
+    for (const auto& [key, bucket] : table) {
+      (void)key;
+      total += bucket.size();
+    }
+  }
+  return total;
+}
+
+LshQueryEngine::LshQueryEngine(const Dataset* dataset,
+                               std::vector<MinwiseFunction> fns,
+                               const obs::PipelineContext* obs)
+    : dataset_(dataset),
+      functions_(std::move(fns)),
+      tables_(functions_.size()),
+      latency_(LatencyHistogram(obs)),
+      candidates_(CounterOrNull(obs, "query.candidates")),
+      duplicates_(CounterOrNull(obs, "query.lsh.duplicates")),
+      queries_(CounterOrNull(obs, "query.lsh.queries")) {
+  if (obs != nullptr) clock_ = obs->EffectiveClock();
+}
+
 Result<LshQueryEngine> LshQueryEngine::Build(const Dataset& dataset,
-                                             const Options& options) {
+                                             const Options& options,
+                                             const obs::PipelineContext* obs) {
   if (options.num_functions == 0) {
     return Status::InvalidArgument("need >= 1 min-wise function");
   }
@@ -90,7 +339,7 @@ Result<LshQueryEngine> LshQueryEngine::Build(const Dataset& dataset,
                       ? MinwiseFunction::Permutation(dataset.NumItems(), rng)
                       : MinwiseFunction::Universal(dataset.NumItems(), rng));
   }
-  LshQueryEngine engine(&dataset, std::move(fns));
+  LshQueryEngine engine(&dataset, std::move(fns), obs);
   for (std::size_t f = 0; f < engine.functions_.size(); ++f) {
     auto& table = engine.tables_[f];
     for (UserId u = 0; u < dataset.NumUsers(); ++u) {
@@ -114,6 +363,7 @@ Result<std::vector<Neighbor>> LshQueryEngine::QueryProfile(
                                 " outside the indexed universe");
     }
   }
+  const uint64_t t0 = latency_ != nullptr ? clock_->NowMicros() : 0;
 
   std::vector<UserId> candidates;
   for (std::size_t f = 0; f < functions_.size(); ++f) {
@@ -122,13 +372,25 @@ Result<std::vector<Neighbor>> LshQueryEngine::QueryProfile(
     candidates.insert(candidates.end(), it->second.begin(),
                       it->second.end());
   }
+  // A candidate colliding in several tables must be scored once, not
+  // once per collision — exact Jaccard over raw profiles is the
+  // expensive step of this engine.
+  const std::size_t gathered = candidates.size();
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
 
-  TopK top(k);
+  TopKSelector top(k);
   for (UserId u : candidates) {
     top.Offer(u, ExactJaccard(profile, dataset_->Profile(u)));
+  }
+  if (queries_ != nullptr) {
+    queries_->Add(1);
+    candidates_->Add(candidates.size());
+    duplicates_->Add(gathered - candidates.size());
+  }
+  if (latency_ != nullptr) {
+    latency_->Observe(static_cast<double>(clock_->NowMicros() - t0));
   }
   return top.Take();
 }

@@ -1,17 +1,35 @@
-// KNN queries for external profiles.
+// KNN query serving engines for external fingerprints and profiles.
 //
 // The paper computes complete KNN graphs and notes (footnote 1) that
 // this "is related but different from answering a sequence of KNN
 // queries". Downstream users need both: once a service holds a
 // fingerprint store, a fresh client can ship its own SHF and ask for
-// its k nearest users without joining the graph. Two engines:
+// its k nearest users without joining the graph. Three engines:
 //
-//  * ScanQueryEngine — exhaustive scan of the fingerprint store with
-//    the Eq. 4 kernel: exact (w.r.t. the estimator), O(n) per query,
-//    and fast in practice because the scan is a linear pass over the
-//    flat store.
-//  * LshQueryEngine — min-wise bucket index over the raw profiles:
-//    sublinear candidate generation, same trade-off as §3.2.5.
+//  * ScanQueryEngine — the exhaustive path. Query() is the sequential
+//    per-pair reference scan (Eq. 4 pair kernel + bounded top-k);
+//    QueryBatch() is the serving path: a batch of B query SHFs is
+//    scored against the store tile by tile through the multi-query
+//    SIMD kernel (each tile streams through cache once per batch, not
+//    once per query), thread-parallel across store partitions, and
+//    bit-exact with B sequential Query() calls.
+//  * BandedShfQueryEngine — a banded LSH index built from the SHFs
+//    themselves (the bands x rows construction of knn/banded_lsh.h,
+//    applied to fingerprint bit-chunks instead of MinHash values):
+//    sublinear candidate generation from band collisions, candidates
+//    scored with the batched Eq. 4 kernel. Fingerprint-mode serving
+//    needs only the query SHF — no raw profile crosses the wire.
+//  * LshQueryEngine — the legacy min-wise bucket index over RAW
+//    profiles (§3.2.5): still the right tool when the caller has a
+//    profile and wants exact-Jaccard scoring, but obsolete for
+//    fingerprint-mode serving (use BandedShfQueryEngine).
+//
+// Observability: engines accept an obs::PipelineContext and export a
+// shared `query.latency` histogram (microseconds, p50/p99 derivable
+// from the buckets) plus `query.candidates` / `query.batches`
+// counters, alongside per-engine counters (`query.scan.queries`,
+// `query.banded.queries`, `query.lsh.queries`, ...). The context must
+// outlive the engine (instrument pointers are cached at construction).
 
 #ifndef GF_KNN_QUERY_H_
 #define GF_KNN_QUERY_H_
@@ -22,23 +40,110 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/fingerprint_store.h"
 #include "dataset/dataset.h"
 #include "knn/graph.h"
 #include "minhash/permutation.h"
+#include "obs/pipeline_context.h"
 
 namespace gf {
+
+/// Bounded top-k selection under the serving engines' total order:
+/// higher similarity first, ties broken toward the smaller id. The
+/// selected set is the first k candidates in that order REGARDLESS of
+/// offer order — which is what makes the thread-partitioned batch scan
+/// bit-exact with a sequential scan. Offer is O(1) for candidates that
+/// cannot enter (the common case once the heap warms up) and O(log k)
+/// otherwise; Take sorts only the k survivors — nothing ever sorts all
+/// n candidates.
+class TopKSelector {
+ public:
+  explicit TopKSelector(std::size_t k) : k_(k) { heap_.reserve(k); }
+
+  void Offer(UserId id, double similarity) {
+    if (heap_.size() < k_) {
+      heap_.push_back({id, similarity});
+      std::push_heap(heap_.begin(), heap_.end(), Better);
+      return;
+    }
+    // heap_ is ordered by Better, so heap_[0] is the worst survivor.
+    if (k_ == 0 || !Better({id, similarity}, heap_[0])) return;
+    std::pop_heap(heap_.begin(), heap_.end(), Better);
+    heap_.back() = {id, similarity};
+    std::push_heap(heap_.begin(), heap_.end(), Better);
+  }
+
+  /// Folds another selector's survivors in (the parallel scan merges
+  /// per-partition selectors; total-order selection makes the result
+  /// independent of merge order).
+  void MergeFrom(const TopKSelector& other) {
+    for (const Entry& e : other.heap_) Offer(e.id, e.similarity);
+  }
+
+  /// The survivors, best first. Leaves the selector empty.
+  std::vector<Neighbor> Take() {
+    std::sort(heap_.begin(), heap_.end(), Better);
+    std::vector<Neighbor> out;
+    out.reserve(heap_.size());
+    for (const Entry& e : heap_) {
+      out.push_back({e.id, static_cast<float>(e.similarity)});
+    }
+    heap_.clear();
+    return out;
+  }
+
+ private:
+  struct Entry {
+    UserId id;
+    double similarity;
+  };
+  // Strict weak order: "a ranks before b". Doubles (not the stored
+  // floats) decide, so selection matches the kernels bit for bit.
+  static bool Better(const Entry& a, const Entry& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.id < b.id;
+  }
+
+  std::size_t k_;
+  std::vector<Entry> heap_;
+};
 
 /// Answers queries by scanning every fingerprint in the store.
 class ScanQueryEngine {
  public:
-  /// The store must outlive the engine.
-  explicit ScanQueryEngine(const FingerprintStore& store) : store_(&store) {}
+  struct Options {
+    /// Store rows per cache tile of the batched scan. 256 rows at
+    /// b = 1024 is 32 KiB — the tile stays L1/L2-hot across the batch.
+    std::size_t tile_rows = 256;
+  };
+
+  /// The store (and the pool / context, when given) must outlive the
+  /// engine. `pool == nullptr` scans sequentially; metrics are only
+  /// recorded when `obs` carries a registry. The three-arg overload
+  /// uses default Options (defined out of line — a nested struct with
+  /// member initializers cannot be a `{}` default argument here).
+  explicit ScanQueryEngine(const FingerprintStore& store,
+                           ThreadPool* pool = nullptr,
+                           const obs::PipelineContext* obs = nullptr);
+  ScanQueryEngine(const FingerprintStore& store, ThreadPool* pool,
+                  const obs::PipelineContext* obs, Options options);
 
   /// The k users most similar to `query` under the SHF Jaccard
   /// estimate. `query` must have the store's bit length (checked).
+  /// This is the sequential per-pair reference path; QueryBatch is the
+  /// fast serving path and returns bit-identical results.
   Result<std::vector<Neighbor>> Query(const Shf& query,
                                       std::size_t k) const;
+
+  /// Answers a batch of queries in one pass over the store: tiles of
+  /// `Options::tile_rows` fingerprints are scored against every query
+  /// through the multi-query SIMD kernel, in parallel across store
+  /// partitions when the engine holds a pool. result[i] answers
+  /// queries[i] and is bit-exact (same ids, same similarities, same
+  /// tie-breaks) with Query(queries[i], k).
+  Result<std::vector<std::vector<Neighbor>>> QueryBatch(
+      std::span<const Shf> queries, std::size_t k) const;
 
   /// Convenience: fingerprints `profile` with the store's own config
   /// and queries.
@@ -47,9 +152,91 @@ class ScanQueryEngine {
 
  private:
   const FingerprintStore* store_;
+  ThreadPool* pool_;
+  const obs::PipelineContext* obs_;
+  Options options_;
+  // Cached instruments (registration locks a mutex; lookups here keep
+  // the per-query path lock-free). Null without a metrics sink.
+  obs::Histogram* latency_ = nullptr;
+  obs::Counter* candidates_ = nullptr;
+  obs::Counter* batches_ = nullptr;
+  obs::Counter* queries_ = nullptr;
 };
 
-/// Answers queries from min-wise buckets over the indexed dataset.
+/// Answers queries from a banded LSH index over the stored SHFs
+/// themselves (§3.2.5 extended with the bands x rows amplification of
+/// knn/banded_lsh.h). Each fingerprint's b bits are cut into
+/// b / band_bits contiguous chunks; a non-zero chunk value is one
+/// bucket key, and a stored user becomes a candidate when ANY band
+/// chunk matches the query's. Smaller band_bits boosts recall (more,
+/// easier-to-match bands), larger band_bits sharpens precision —
+/// candidates are then rescored exactly (w.r.t. the estimator) with
+/// the batched Eq. 4 kernel, so precision only affects cost, never
+/// correctness of the returned ranking over the candidate set.
+class BandedShfQueryEngine {
+ public:
+  struct Options {
+    /// Bits per band; must divide 64. The index holds
+    /// store.num_bits() / band_bits tables.
+    std::size_t band_bits = 32;
+    uint64_t seed = 0xB4D5;
+  };
+
+  /// Indexes `store` (which must outlive the engine, as must `obs`).
+  /// Band keys are computed in parallel when `pool` is non-null; the
+  /// same pool parallelizes QueryBatch across queries. The one-arg
+  /// overload (below the class) uses default Options.
+  static Result<BandedShfQueryEngine> Build(
+      const FingerprintStore& store, const Options& options,
+      ThreadPool* pool = nullptr, const obs::PipelineContext* obs = nullptr);
+  static Result<BandedShfQueryEngine> Build(const FingerprintStore& store);
+
+  /// The k most similar stored users among the band-collision
+  /// candidates of `query`. May return fewer than k (even zero — a
+  /// zero-cardinality query has no non-zero bands) when few candidates
+  /// collide.
+  Result<std::vector<Neighbor>> Query(const Shf& query, std::size_t k) const;
+
+  /// Batched Query, parallel across queries when the engine holds a
+  /// pool. result[i] is bit-exact with Query(queries[i], k).
+  Result<std::vector<std::vector<Neighbor>>> QueryBatch(
+      std::span<const Shf> queries, std::size_t k) const;
+
+  /// Convenience: fingerprints `profile` with the store's own config
+  /// and queries.
+  Result<std::vector<Neighbor>> QueryProfile(
+      std::span<const ItemId> profile, std::size_t k) const;
+
+  /// Total bucket entries across all band tables (diagnostics).
+  std::size_t IndexedEntries() const;
+
+  std::size_t num_bands() const { return bands_; }
+
+ private:
+  BandedShfQueryEngine(const FingerprintStore& store, const Options& options,
+                       ThreadPool* pool, const obs::PipelineContext* obs);
+
+  uint64_t BandKey(std::size_t band, uint64_t chunk) const;
+  uint64_t ChunkOf(std::span<const uint64_t> words, std::size_t band) const;
+  std::vector<Neighbor> QueryOne(const Shf& query, std::size_t k) const;
+
+  const FingerprintStore* store_;
+  ThreadPool* pool_;
+  std::size_t band_bits_;
+  std::size_t bands_;
+  uint64_t seed_;
+  std::vector<std::unordered_map<uint64_t, std::vector<UserId>>> tables_;
+  obs::Histogram* latency_ = nullptr;
+  obs::Histogram* candidate_sizes_ = nullptr;
+  obs::Counter* candidates_ = nullptr;
+  obs::Counter* queries_ = nullptr;
+  Clock* clock_ = nullptr;
+};
+
+/// Answers queries from min-wise buckets over the indexed dataset's
+/// raw profiles. Fingerprint-mode serving should prefer
+/// BandedShfQueryEngine; this engine remains for callers that hold
+/// clear-text profiles and want exact-Jaccard scoring.
 class LshQueryEngine {
  public:
   struct Options {
@@ -58,15 +245,18 @@ class LshQueryEngine {
     uint64_t seed = 0x10E;
   };
 
-  /// Indexes `dataset` (which must outlive the engine). The one-arg
-  /// overload (below the class) uses default Options.
-  static Result<LshQueryEngine> Build(const Dataset& dataset,
-                                      const Options& options);
+  /// Indexes `dataset` (which must outlive the engine, as must `obs`).
+  /// The one-arg overload (below the class) uses default Options.
+  static Result<LshQueryEngine> Build(
+      const Dataset& dataset, const Options& options,
+      const obs::PipelineContext* obs = nullptr);
   static Result<LshQueryEngine> Build(const Dataset& dataset);
 
   /// The k most similar users to an external profile, scored with the
   /// exact Jaccard between the query profile and candidate profiles.
-  /// May return fewer than k when few candidates share a bucket.
+  /// Candidates colliding in several tables are deduplicated before
+  /// scoring — each candidate is scored exactly once. May return fewer
+  /// than k when few candidates share a bucket.
   Result<std::vector<Neighbor>> QueryProfile(
       std::span<const ItemId> profile, std::size_t k) const;
 
@@ -74,17 +264,26 @@ class LshQueryEngine {
   std::size_t IndexedEntries() const;
 
  private:
-  LshQueryEngine(const Dataset* dataset, std::vector<MinwiseFunction> fns)
-      : dataset_(dataset), functions_(std::move(fns)),
-        tables_(functions_.size()) {}
+  LshQueryEngine(const Dataset* dataset, std::vector<MinwiseFunction> fns,
+                 const obs::PipelineContext* obs);
 
   const Dataset* dataset_;
   std::vector<MinwiseFunction> functions_;
   std::vector<std::unordered_map<uint64_t, std::vector<UserId>>> tables_;
+  obs::Histogram* latency_ = nullptr;
+  obs::Counter* candidates_ = nullptr;
+  obs::Counter* duplicates_ = nullptr;
+  obs::Counter* queries_ = nullptr;
+  Clock* clock_ = nullptr;
 };
 
 inline Result<LshQueryEngine> LshQueryEngine::Build(const Dataset& dataset) {
   return Build(dataset, Options{});
+}
+
+inline Result<BandedShfQueryEngine> BandedShfQueryEngine::Build(
+    const FingerprintStore& store) {
+  return Build(store, Options{});
 }
 
 }  // namespace gf

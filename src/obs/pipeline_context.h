@@ -72,6 +72,15 @@ struct PipelineContext {
 inline constexpr double kSizeBucketBoundaries[] = {
     0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096};
 
+/// Shared 1-2-5 bucket boundaries for latency histograms, in
+/// MICROSECONDS, upper-inclusive, spanning 1 us .. 1 s. Quantiles (p50
+/// / p99) are derivable from the exported bucket counts the usual
+/// Prometheus way.
+inline constexpr double kLatencyBucketBoundariesMicros[] = {
+    1,     2,     5,     10,     20,     50,     100,     200,     500,
+    1000,  2000,  5000,  10000,  20000,  50000,  100000,  200000,  500000,
+    1000000};
+
 /// RAII phase span on a context: opens a tracer span (when a tracer is
 /// attached) and, when `seconds_gauge` is non-empty, records the phase
 /// wall time into that gauge on destruction. Null-context safe.

@@ -122,6 +122,76 @@ TEST(SimdPopcountTest, BackendReportingIsConsistent) {
   }
 }
 
+TEST(SimdPopcountTest, ScalarTileMultiMatchesPerQueryTile) {
+  Rng rng(15);
+  // Odd and even query counts exercise the AVX2 query-pairing and its
+  // odd-tail fallback; 17 crosses FingerprintStore's 16-query group.
+  constexpr std::size_t kQueryCounts[] = {1, 2, 3, 5, 16, 17};
+  for (std::size_t words : kWordSizes) {
+    for (std::size_t n_queries : kQueryCounts) {
+      const KernelInput in = RandomInput(33, words, rng);
+      std::vector<uint64_t> queries(n_queries * words);
+      for (auto& w : queries) w = rng.Next();
+
+      std::vector<uint32_t> got(n_queries * in.n_rows, 0xdeadbeef);
+      detail::AndPopCountTileMultiScalar(queries.data(), n_queries,
+                                         in.rows.data(), in.n_rows, words,
+                                         got.data());
+      std::vector<uint32_t> want(in.n_rows);
+      for (std::size_t q = 0; q < n_queries; ++q) {
+        detail::AndPopCountTileScalar(queries.data() + q * words,
+                                      in.rows.data(), in.n_rows, words,
+                                      want.data());
+        for (std::size_t r = 0; r < in.n_rows; ++r) {
+          ASSERT_EQ(got[q * in.n_rows + r], want[r])
+              << "words=" << words << " q=" << q << " row " << r;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdPopcountTest, Avx2TileMultiAgreesWithScalarBitExactly) {
+  if (!Avx2Available()) GTEST_SKIP() << "no AVX2 on this machine";
+  Rng rng(16);
+  constexpr std::size_t kQueryCounts[] = {1, 2, 3, 5, 16, 17};
+  for (std::size_t words : kWordSizes) {
+    for (std::size_t n_queries : kQueryCounts) {
+      const KernelInput in = RandomInput(57, words, rng);
+      std::vector<uint64_t> queries(n_queries * words);
+      for (auto& w : queries) w = rng.Next();
+
+      std::vector<uint32_t> want(n_queries * in.n_rows, 0xaaaaaaaa);
+      std::vector<uint32_t> got(n_queries * in.n_rows, 0xdeadbeef);
+      detail::AndPopCountTileMultiScalar(queries.data(), n_queries,
+                                         in.rows.data(), in.n_rows, words,
+                                         want.data());
+      detail::AndPopCountTileMultiAvx2(queries.data(), n_queries,
+                                       in.rows.data(), in.n_rows, words,
+                                       got.data());
+      ASSERT_EQ(got, want) << "words=" << words << " queries=" << n_queries;
+    }
+  }
+}
+
+TEST(SimdPopcountTest, DispatchedTileMultiMatchesScalar) {
+  Rng rng(17);
+  const std::size_t words = 16;  // b = 1024
+  const KernelInput in = RandomInput(100, words, rng);
+  const std::size_t n_queries = 7;
+  std::vector<uint64_t> queries(n_queries * words);
+  for (auto& w : queries) w = rng.Next();
+
+  std::vector<uint32_t> want(n_queries * in.n_rows);
+  std::vector<uint32_t> got(n_queries * in.n_rows);
+  detail::AndPopCountTileMultiScalar(queries.data(), n_queries,
+                                     in.rows.data(), in.n_rows, words,
+                                     want.data());
+  AndPopCountTileMulti(queries.data(), n_queries, in.rows.data(), in.n_rows,
+                       words, got.data());
+  EXPECT_EQ(want, got);
+}
+
 TEST(SimdPopcountTest, AllOnesAndDisjointPatterns) {
   // Degenerate inputs with known answers: full overlap and no overlap.
   const std::size_t words = 5;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -174,6 +175,101 @@ TEST(NeighborListsTest, ClearRowEmptiesOnlyThatRow) {
   // The row is reusable after clearing.
   EXPECT_TRUE(lists.Insert(0, 2, 0.9));
   EXPECT_EQ(lists.Of(0).size(), 1u);
+}
+
+// Reference top-k bookkeeping for the floor-cache property test: a
+// plain map of the best-k (id, sim) offers with NeighborLists'
+// semantics (duplicates rejected, ties keep the incumbent).
+class NaiveRow {
+ public:
+  explicit NaiveRow(std::size_t k) : k_(k) {}
+
+  bool Insert(UserId v, float sim) {
+    for (const auto& e : entries_) {
+      if (e.first == v) return false;
+    }
+    if (entries_.size() < k_) {
+      entries_.push_back({v, sim});
+      return true;
+    }
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].second < entries_[worst].second) worst = i;
+    }
+    if (sim <= entries_[worst].second) return false;
+    entries_[worst] = {v, sim};
+    return true;
+  }
+
+  std::vector<std::pair<UserId, float>> Sorted() const {
+    auto out = entries_;
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    return out;
+  }
+
+ private:
+  std::size_t k_;
+  std::vector<std::pair<UserId, float>> entries_;
+};
+
+TEST(NeighborListsTest, FloorCacheMatchesNaiveReferenceUnderRandomOffers) {
+  // The worst-similarity fast path must be behavior-preserving: same
+  // accept/reject decisions and same surviving multiset as a naive
+  // reference, across random offer streams with many duplicates, ties,
+  // clears and restores.
+  Rng rng(99);
+  for (const std::size_t k : {1ul, 2ul, 5ul}) {
+    NeighborLists lists(3, k);
+    NaiveRow naive(k);
+    for (int step = 0; step < 3000; ++step) {
+      const auto v = static_cast<UserId>(rng.Below(30));
+      // Quantized sims produce frequent exact ties.
+      const double sim = static_cast<double>(rng.Below(8)) / 8.0;
+      ASSERT_EQ(lists.Insert(1, v, sim),
+                naive.Insert(v, static_cast<float>(sim)))
+          << "k=" << k << " step " << step;
+    }
+    // Same survivors (compare under the deterministic Finalize order).
+    const auto want = naive.Sorted();
+    const KnnGraph graph = lists.Finalize();
+    const auto got = graph.NeighborsOf(1);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].first) << "k=" << k << " rank " << i;
+      EXPECT_EQ(got[i].similarity, want[i].second) << "k=" << k;
+    }
+  }
+}
+
+TEST(NeighborListsTest, FloorCacheSurvivesClearAndRestore) {
+  NeighborLists lists(2, 2);
+  ASSERT_TRUE(lists.Insert(0, 1, 0.8));
+  ASSERT_TRUE(lists.Insert(0, 2, 0.6));
+  // Full row, floor 0.6: below-floor offers bounce.
+  EXPECT_FALSE(lists.Insert(0, 3, 0.5));
+  EXPECT_FALSE(lists.Insert(0, 3, 0.6));
+
+  // After ClearRow the floor must reset — low offers fill again.
+  lists.ClearRow(0);
+  EXPECT_TRUE(lists.Insert(0, 3, 0.1));
+  EXPECT_TRUE(lists.Insert(0, 4, 0.2));
+  EXPECT_FALSE(lists.Insert(0, 5, 0.05));  // new floor is 0.1
+  EXPECT_TRUE(lists.Insert(0, 5, 0.3));
+
+  // RestoreRow recomputes the floor from the restored entries.
+  const std::vector<NeighborLists::Entry> snapshot = {
+      {7, 0.9f, false}, {8, 0.4f, true}};
+  lists.RestoreRow(0, snapshot);
+  EXPECT_FALSE(lists.Insert(0, 9, 0.4));  // at the restored floor
+  EXPECT_TRUE(lists.Insert(0, 9, 0.45));
+
+  // A partial restore (row no longer full) must drop the floor.
+  const std::vector<NeighborLists::Entry> partial = {{7, 0.9f, false}};
+  lists.RestoreRow(1, partial);
+  EXPECT_TRUE(lists.Insert(1, 9, 0.01));  // room left: anything enters
 }
 
 TEST(KnnGraphTest, EmptyGraph) {

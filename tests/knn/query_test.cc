@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/bit_util.h"
+#include "common/random.h"
 #include "core/similarity.h"
+#include "obs/json_export.h"
 #include "testing/test_util.h"
 
 namespace gf {
@@ -12,6 +15,24 @@ FingerprintStore BuildStore(const Dataset& d, std::size_t bits = 1024) {
   FingerprintConfig config;
   config.num_bits = bits;
   return FingerprintStore::Build(d, config).value();
+}
+
+// A store of `users` random fingerprints at ~1/4 bit density (the AND
+// of two random words), built through the FromRaw deserialization path.
+FingerprintStore RandomStore(std::size_t users, std::size_t bits, Rng& rng) {
+  const std::size_t words_per_shf = bits::WordsForBits(bits);
+  std::vector<uint64_t> words(users * words_per_shf);
+  for (auto& w : words) w = rng.Next() & rng.Next();
+  std::vector<uint32_t> cards(users);
+  for (std::size_t u = 0; u < users; ++u) {
+    cards[u] =
+        bits::PopCount({words.data() + u * words_per_shf, words_per_shf});
+  }
+  FingerprintConfig config;
+  config.num_bits = bits;
+  return FingerprintStore::FromRaw(config, users, std::move(words),
+                                   std::move(cards))
+      .value();
 }
 
 TEST(ScanQueryTest, ValidatesArguments) {
@@ -75,6 +96,295 @@ TEST(ScanQueryTest, KLargerThanStore) {
   auto result = engine.QueryProfile(d.Profile(0), 50);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->size(), 4u);  // everything in the store
+}
+
+// The tentpole contract: QueryBatch is bit-exact with sequential
+// Query — same ids, same float similarities, same tie-breaks — across
+// bit lengths, batch sizes, k (including k > n), thread counts, and a
+// tile size that forces several tile boundaries per partition.
+TEST(ScanQueryTest, QueryBatchBitExactWithSequentialQuery) {
+  Rng rng(77);
+  ThreadPool pool(4);
+  for (const std::size_t bits : {64ul, 256ul, 1024ul}) {
+    const FingerprintStore store = RandomStore(113, bits, rng);
+    std::vector<Shf> queries;
+    for (std::size_t q = 0; q < 17; ++q) {
+      queries.push_back(store.Extract(static_cast<UserId>(rng.Below(113))));
+    }
+    for (const std::size_t batch : {1ul, 3ul, 17ul}) {
+      for (const std::size_t k : {1ul, 5ul, 1000ul}) {
+        for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+          ScanQueryEngine::Options options;
+          options.tile_rows = 16;  // several tiles per thread partition
+          const ScanQueryEngine engine(store, p, nullptr, options);
+          const std::span<const Shf> q_span(queries.data(), batch);
+          auto got = engine.QueryBatch(q_span, k);
+          ASSERT_TRUE(got.ok());
+          ASSERT_EQ(got->size(), batch);
+          for (std::size_t q = 0; q < batch; ++q) {
+            auto want = engine.Query(queries[q], k);
+            ASSERT_TRUE(want.ok());
+            const auto& got_q = (*got)[q];
+            ASSERT_EQ(got_q.size(), want->size())
+                << "bits=" << bits << " batch=" << batch << " k=" << k;
+            for (std::size_t i = 0; i < got_q.size(); ++i) {
+              ASSERT_EQ(got_q[i].id, (*want)[i].id)
+                  << "bits=" << bits << " k=" << k << " q=" << q
+                  << " rank " << i;
+              ASSERT_EQ(got_q[i].similarity, (*want)[i].similarity)
+                  << "bits=" << bits << " k=" << k << " q=" << q
+                  << " rank " << i;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ScanQueryTest, QueryBatchValidatesArguments) {
+  const Dataset d = testing::TinyDataset();
+  const auto store = BuildStore(d, 128);
+  const ScanQueryEngine engine(store);
+  std::vector<Shf> wrong;
+  wrong.push_back(*Shf::Create(64));
+  EXPECT_FALSE(engine.QueryBatch(wrong, 3).ok());
+  std::vector<Shf> right;
+  right.push_back(*Shf::Create(128));
+  EXPECT_FALSE(engine.QueryBatch(right, 0).ok());
+  EXPECT_TRUE(engine.QueryBatch(right, 3).ok());
+}
+
+TEST(ScanQueryTest, QueryBatchOnEmptyStoreAndEmptyBatch) {
+  FingerprintConfig config;
+  config.num_bits = 128;
+  const FingerprintStore store =
+      FingerprintStore::FromRaw(config, 0, {}, {}).value();
+  const ScanQueryEngine engine(store);
+
+  auto empty_batch = engine.QueryBatch({}, 3);
+  ASSERT_TRUE(empty_batch.ok());
+  EXPECT_TRUE(empty_batch->empty());
+
+  std::vector<Shf> queries;
+  queries.push_back(*Shf::Create(128));
+  auto result = engine.QueryBatch(queries, 3);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_TRUE((*result)[0].empty());
+}
+
+TEST(ScanQueryTest, ZeroCardinalityQueryScoresZeroEverywhere) {
+  Rng rng(5);
+  const FingerprintStore store = RandomStore(20, 128, rng);
+  const ScanQueryEngine engine(store);
+  std::vector<Shf> queries;
+  queries.push_back(*Shf::Create(128));  // no bits set
+  auto batch = engine.QueryBatch(queries, 5);
+  ASSERT_TRUE(batch.ok());
+  auto single = engine.Query(queries[0], 5);
+  ASSERT_TRUE(single.ok());
+  ASSERT_EQ((*batch)[0].size(), single->size());
+  for (std::size_t i = 0; i < single->size(); ++i) {
+    EXPECT_EQ((*batch)[0][i].id, (*single)[i].id);
+    EXPECT_EQ((*batch)[0][i].similarity, 0.0f);
+  }
+}
+
+TEST(BandedShfQueryTest, BuildValidatesBandBits) {
+  const Dataset d = testing::TinyDataset();
+  const auto store = BuildStore(d, 128);
+  BandedShfQueryEngine::Options options;
+  options.band_bits = 0;
+  EXPECT_FALSE(BandedShfQueryEngine::Build(store, options).ok());
+  options.band_bits = 7;  // does not divide 64
+  EXPECT_FALSE(BandedShfQueryEngine::Build(store, options).ok());
+  options.band_bits = 16;
+  auto engine = BandedShfQueryEngine::Build(store, options);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->num_bands(), 128u / 16u);
+}
+
+TEST(BandedShfQueryTest, ValidatesArguments) {
+  const Dataset d = testing::TinyDataset();
+  const auto store = BuildStore(d, 128);
+  auto engine = BandedShfQueryEngine::Build(store);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE(engine->Query(*Shf::Create(64), 3).ok());
+  EXPECT_FALSE(engine->Query(*Shf::Create(128), 0).ok());
+  std::vector<Shf> wrong;
+  wrong.push_back(*Shf::Create(64));
+  EXPECT_FALSE(engine->QueryBatch(wrong, 3).ok());
+}
+
+TEST(BandedShfQueryTest, FindsIdenticalUserThroughBands) {
+  const Dataset d = testing::SmallSynthetic(150);
+  const auto store = BuildStore(d);
+  auto engine = BandedShfQueryEngine::Build(store);
+  ASSERT_TRUE(engine.ok());
+  // A stored user's own fingerprint collides with itself in every
+  // non-zero band, so the user must come back on top with estimate 1.
+  for (UserId u : {UserId{0}, UserId{42}, UserId{149}}) {
+    auto result = engine->Query(store.Extract(u), 3);
+    ASSERT_TRUE(result.ok());
+    ASSERT_GE(result->size(), 1u);
+    EXPECT_EQ((*result)[0].id, u);
+    EXPECT_FLOAT_EQ((*result)[0].similarity, 1.0f);
+  }
+}
+
+TEST(BandedShfQueryTest, AgreesWithScanTopHitAtSmallBands) {
+  const Dataset d = testing::SmallSynthetic(200, 13);
+  const auto store = BuildStore(d);
+  const ScanQueryEngine scan(store);
+  BandedShfQueryEngine::Options options;
+  options.band_bits = 16;  // high recall
+  auto banded = BandedShfQueryEngine::Build(store, options);
+  ASSERT_TRUE(banded.ok());
+
+  int agreements = 0;
+  for (UserId u = 0; u < 30; ++u) {
+    const Shf query = store.Extract(u);
+    auto s = scan.Query(query, 1);
+    auto b = banded->Query(query, 1);
+    ASSERT_TRUE(s.ok() && b.ok());
+    ASSERT_FALSE(s->empty());
+    if (!b->empty() && (*s)[0].id == (*b)[0].id) ++agreements;
+  }
+  EXPECT_GT(agreements, 24);  // sublinear index, near-exhaustive recall
+}
+
+TEST(BandedShfQueryTest, QueryBatchMatchesQuery) {
+  Rng rng(31);
+  const FingerprintStore store = RandomStore(80, 256, rng);
+  ThreadPool pool(3);
+  auto engine = BandedShfQueryEngine::Build(
+      store, BandedShfQueryEngine::Options{}, &pool);
+  ASSERT_TRUE(engine.ok());
+  std::vector<Shf> queries;
+  for (std::size_t q = 0; q < 9; ++q) {
+    queries.push_back(store.Extract(static_cast<UserId>(rng.Below(80))));
+  }
+  auto batch = engine->QueryBatch(queries, 4);
+  ASSERT_TRUE(batch.ok());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    auto single = engine->Query(queries[q], 4);
+    ASSERT_TRUE(single.ok());
+    ASSERT_EQ((*batch)[q].size(), single->size());
+    for (std::size_t i = 0; i < single->size(); ++i) {
+      EXPECT_EQ((*batch)[q][i].id, (*single)[i].id);
+      EXPECT_EQ((*batch)[q][i].similarity, (*single)[i].similarity);
+    }
+  }
+}
+
+TEST(BandedShfQueryTest, ZeroCardinalityQueryHasNoCandidates) {
+  const Dataset d = testing::SmallSynthetic(60);
+  const auto store = BuildStore(d, 256);
+  auto engine = BandedShfQueryEngine::Build(store);
+  ASSERT_TRUE(engine.ok());
+  // Every band chunk of the all-zeros SHF is zero, so no table lookup
+  // happens and the candidate set is empty.
+  auto result = engine->Query(*Shf::Create(256), 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(BandedShfQueryTest, IndexedEntriesCountNonZeroChunks) {
+  const Dataset d = testing::SmallSynthetic(50);
+  const auto store = BuildStore(d, 256);
+  BandedShfQueryEngine::Options options;
+  options.band_bits = 32;
+  auto engine = BandedShfQueryEngine::Build(store, options);
+  ASSERT_TRUE(engine.ok());
+  // Exactly one entry per (user, band) whose chunk is non-zero.
+  std::size_t want = 0;
+  for (UserId u = 0; u < store.num_users(); ++u) {
+    const auto words = store.WordsOf(u);
+    for (std::size_t band = 0; band < engine->num_bands(); ++band) {
+      const std::size_t bit = band * 32;
+      if (((words[bit / 64] >> (bit % 64)) & 0xFFFFFFFFull) != 0) ++want;
+    }
+  }
+  EXPECT_EQ(engine->IndexedEntries(), want);
+  EXPECT_GT(engine->IndexedEntries(), 0u);
+}
+
+TEST(QueryMetricsTest, EnginesExportLatencyAndCandidateMetrics) {
+  const Dataset d = testing::SmallSynthetic(60);
+  const auto store = BuildStore(d, 256);
+  obs::MetricRegistry registry;
+  obs::PipelineContext ctx;
+  ctx.metrics = &registry;
+
+  const ScanQueryEngine scan(store, nullptr, &ctx);
+  std::vector<Shf> queries;
+  queries.push_back(store.Extract(7));
+  queries.push_back(store.Extract(8));
+  ASSERT_TRUE(scan.Query(queries[0], 3).ok());
+  ASSERT_TRUE(scan.QueryBatch(queries, 3).ok());
+
+  auto banded = BandedShfQueryEngine::Build(
+      store, BandedShfQueryEngine::Options{}, nullptr, &ctx);
+  ASSERT_TRUE(banded.ok());
+  ASSERT_TRUE(banded->Query(queries[0], 3).ok());
+
+  // Counters: 1 sequential + 2 batched scan queries, 1 banded query;
+  // the scan visits all 60 users per query.
+  EXPECT_EQ(registry.GetCounter("query.scan.queries")->value(), 3u);
+  EXPECT_EQ(registry.GetCounter("query.banded.queries")->value(), 1u);
+  EXPECT_EQ(registry.GetCounter("query.batches")->value(), 1u);
+  EXPECT_GE(registry.GetCounter("query.candidates")->value(), 3u * 60u);
+
+  // Latency histogram: one observation per query, shared across
+  // engines; candidate-set sizes recorded for the banded engine.
+  const obs::Histogram* latency = registry.FindHistogram("query.latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), 4u);
+  const obs::Histogram* sizes =
+      registry.FindHistogram("query.banded.candidate_set_size");
+  ASSERT_NE(sizes, nullptr);
+  EXPECT_EQ(sizes->count(), 1u);
+
+  // The exported JSON carries the histogram buckets and counters the
+  // acceptance criteria name.
+  const std::string json = obs::ExportJson(registry);
+  EXPECT_NE(json.find("query.latency"), std::string::npos);
+  EXPECT_NE(json.find("query.candidates"), std::string::npos);
+  EXPECT_NE(json.find("boundaries"), std::string::npos);
+}
+
+TEST(LshQueryTest, CountsDeduplicatedCandidatesAcrossTables) {
+  // TinyDataset has u0 == u2: a query with u0's profile collides with
+  // both users in EVERY table, so the gathered list holds each of them
+  // num_functions times — the dedup must collapse that to one scoring
+  // per candidate, and the duplicates counter records what it removed.
+  const Dataset d = testing::TinyDataset();
+  obs::MetricRegistry registry;
+  obs::PipelineContext ctx;
+  ctx.metrics = &registry;
+  LshQueryEngine::Options options;
+  options.num_functions = 6;
+  auto engine = LshQueryEngine::Build(d, options, &ctx);
+  ASSERT_TRUE(engine.ok());
+
+  auto result = engine->QueryProfile(d.Profile(0), 4);
+  ASSERT_TRUE(result.ok());
+  const uint64_t scored = registry.GetCounter("query.candidates")->value();
+  const uint64_t duplicates =
+      registry.GetCounter("query.lsh.duplicates")->value();
+  EXPECT_EQ(registry.GetCounter("query.lsh.queries")->value(), 1u);
+  // u0 and u2 both gathered 6 times -> at least 10 duplicates removed.
+  EXPECT_GE(duplicates, 10u);
+  // Every scored candidate is unique, so at most NumUsers of them.
+  EXPECT_LE(scored, d.NumUsers());
+  EXPECT_GE(scored, 2u);
+  // The result itself holds no duplicate ids.
+  for (std::size_t i = 0; i < result->size(); ++i) {
+    for (std::size_t j = i + 1; j < result->size(); ++j) {
+      EXPECT_NE((*result)[i].id, (*result)[j].id);
+    }
+  }
 }
 
 TEST(LshQueryTest, BuildValidates) {

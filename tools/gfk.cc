@@ -16,9 +16,13 @@
 #include <cstdio>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/flags.h"
+#include "common/random.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
+#include "knn/query.h"
 #include "core/privacy.h"
 #include "theory/calibration.h"
 #include "dataset/loader.h"
@@ -61,7 +65,10 @@ int Usage() {
       "  fingerprint --in ds.gfsz [--bits 1024] [--hash jenkins|murmur3|\n"
       "            splitmix] [--seed N] --out fp.gfsz\n"
       "  calibrate --in ds.gfsz [--reference 0.25] [--competitor 0.17]\n"
-      "            [--max-misordering 0.02]\n");
+      "            [--max-misordering 0.02]\n"
+      "  query-bench [--users 20000] [--bits 1024] [--batch 256]\n"
+      "            [--threads N] [--k 10] [--seed N]\n"
+      "            [--metrics-out metrics.json]\n");
   return 0;
 }
 
@@ -325,6 +332,106 @@ int CmdCalibrate(const Flags& flags) {
   return 0;
 }
 
+int CmdQueryBench(const Flags& flags) {
+  // Self-contained serving benchmark: synthesize a dataset, fingerprint
+  // it, then compare per-pair sequential Query() against the batched
+  // multi-query tile scan (1 thread and --threads threads) and the
+  // banded SHF index. All scan rows return bit-identical neighbors;
+  // banded trades exhaustiveness for sublinear candidate sets.
+  const auto users = static_cast<std::size_t>(flags.GetInt("users", 20000));
+  const auto batch = static_cast<std::size_t>(flags.GetInt("batch", 256));
+  const auto k = static_cast<std::size_t>(flags.GetInt("k", 10));
+  const int threads = flags.GetInt("threads", 0);
+  if (users == 0 || batch == 0 || k == 0) {
+    return Fail(Status::InvalidArgument(
+        "--users, --batch and --k must be >= 1"));
+  }
+
+  obs::MetricRegistry registry;
+  obs::PipelineContext ctx;
+  ctx.metrics = &registry;
+  std::optional<ThreadPool> pool;
+  if (threads > 0) {
+    pool.emplace(static_cast<std::size_t>(threads));
+    ctx.pool = &*pool;
+  }
+
+  SyntheticSpec spec;
+  spec.num_users = users;
+  spec.num_items = std::max<std::size_t>(2000, users / 10);
+  spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  auto dataset = GenerateZipfDataset(spec);
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  FingerprintConfig config;
+  config.num_bits = static_cast<std::size_t>(flags.GetInt("bits", 1024));
+  auto store = FingerprintStore::Build(*dataset, config, ctx.pool, &ctx);
+  if (!store.ok()) return Fail(store.status());
+
+  Rng rng(spec.seed ^ 0x5EED);
+  std::vector<Shf> queries;
+  queries.reserve(batch);
+  for (std::size_t q = 0; q < batch; ++q) {
+    queries.push_back(store->Extract(static_cast<UserId>(rng.Below(users))));
+  }
+
+  std::printf("store: %zu users x %zu bits, batch %zu, k %zu, threads %d\n\n",
+              users, config.num_bits, batch, k, threads);
+  std::printf("%-14s %12s %12s %10s\n", "mode", "wall ms", "queries/s",
+              "speedup");
+
+  const ScanQueryEngine scan_seq(*store, nullptr, &ctx);
+  const std::size_t baseline_n = std::min<std::size_t>(32, batch);
+  WallTimer baseline_timer;
+  for (std::size_t q = 0; q < baseline_n; ++q) {
+    if (auto r = scan_seq.Query(queries[q], k); !r.ok()) {
+      return Fail(r.status());
+    }
+  }
+  const double baseline_qps =
+      static_cast<double>(baseline_n) / baseline_timer.ElapsedSeconds();
+  std::printf("%-14s %12.1f %12.0f %9s\n", "perpair_1t",
+              baseline_timer.ElapsedSeconds() * 1e3, baseline_qps, "1.0x");
+
+  const auto run_batch = [&](const char* label, const auto& engine) {
+    WallTimer timer;
+    auto r = engine.QueryBatch(queries, k);
+    if (!r.ok()) return -1.0;
+    const double qps = static_cast<double>(batch) / timer.ElapsedSeconds();
+    std::printf("%-14s %12.1f %12.0f %9.1fx\n", label,
+                timer.ElapsedSeconds() * 1e3, qps, qps / baseline_qps);
+    return qps;
+  };
+
+  const double tile_1t = run_batch("tile_1t", scan_seq);
+  if (tile_1t < 0) return Fail(Status::Internal("batched scan failed"));
+  if (ctx.pool != nullptr) {
+    const ScanQueryEngine scan_mt(*store, ctx.pool, &ctx);
+    const std::string label = "tile_" + std::to_string(threads) + "t";
+    if (run_batch(label.c_str(), scan_mt) < 0) {
+      return Fail(Status::Internal("threaded batched scan failed"));
+    }
+  }
+  auto banded = BandedShfQueryEngine::Build(
+      *store, BandedShfQueryEngine::Options{}, ctx.pool, &ctx);
+  if (!banded.ok()) return Fail(banded.status());
+  if (run_batch("banded_1t", *banded) < 0) {
+    return Fail(Status::Internal("banded query failed"));
+  }
+
+  const std::string metrics_out = flags.GetString("metrics-out");
+  if (!metrics_out.empty()) {
+    const std::string json = obs::ExportJson(registry, nullptr);
+    if (const Status status =
+            io::Env::Default()->WriteFileAtomic(metrics_out, json);
+        !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("wrote metrics %s\n", metrics_out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace gf::tools
 
@@ -342,6 +449,7 @@ int main(int argc, char** argv) {
   if (command == "privacy") return gf::tools::CmdPrivacy(*flags);
   if (command == "fingerprint") return gf::tools::CmdFingerprint(*flags);
   if (command == "calibrate") return gf::tools::CmdCalibrate(*flags);
+  if (command == "query-bench") return gf::tools::CmdQueryBench(*flags);
   std::fprintf(stderr, "gfk: unknown subcommand '%s' (try gfk help)\n",
                command.c_str());
   return 1;
