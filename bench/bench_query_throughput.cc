@@ -7,6 +7,12 @@
 // runs carry the engines' own metrics — the query.latency histogram
 // and query.candidates / query.batches counters.
 //
+// With --band-sweep the harness instead sweeps
+// BandedShfQueryEngine::Options::band_bits over {8, 16, 32, 64} and
+// reports the recall@k / qps trade-off per band width against the
+// exhaustive ScanQueryEngine ground truth, emitting
+// BENCH_band_sweep.json — the tuning table for picking band_bits.
+//
 // Environment knobs (all optional):
 //   GF_QUERY_USERS    store size            (default 100000)
 //   GF_QUERY_BITS     fingerprint bits      (default 1024)
@@ -16,6 +22,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -61,14 +68,104 @@ gf::FingerprintStore MakeStore(std::size_t users, std::size_t bits,
   return std::move(store).value();
 }
 
+// Fraction of the exhaustive top-k the banded engine recovered,
+// averaged over the batch (id-set overlap; ties make id order the only
+// fair comparison).
+double RecallAtK(const std::vector<std::vector<gf::Neighbor>>& truth,
+                 const std::vector<std::vector<gf::Neighbor>>& got) {
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t q = 0; q < truth.size(); ++q) {
+    if (truth[q].empty()) continue;
+    std::size_t hits = 0;
+    for (const gf::Neighbor& t : truth[q]) {
+      for (const gf::Neighbor& g : got[q]) {
+        if (g.id == t.id) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    total += static_cast<double>(hits) / static_cast<double>(truth[q].size());
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+// --band-sweep: recall@k vs qps per band_bits, vs scan ground truth.
+int RunBandSweep(const gf::FingerprintStore& store,
+                 std::span<const gf::Shf> queries, std::size_t k) {
+  gf::bench::PrintHeader(
+      "Banded SHF tuning: recall@k vs qps per band width",
+      "smaller band_bits = more, easier-to-match bands = higher recall "
+      "and more rescore work; pick the knee");
+
+  // Ground truth from the exhaustive scan, timed as the qps reference.
+  gf::ScanQueryEngine scan(store);
+  gf::WallTimer scan_timer;
+  auto truth = scan.QueryBatch(queries, k);
+  if (!truth.ok()) std::abort();
+  const double scan_qps =
+      static_cast<double>(queries.size()) / scan_timer.ElapsedSeconds();
+
+  gf::bench::BenchReport report("band_sweep", "BENCH_band_sweep.json");
+  std::printf("%-12s %10s %14s %12s %14s\n", "band_bits", "bands",
+              "queries/s", "recall@k", "vs scan qps");
+  for (const std::size_t band_bits : {8, 16, 32, 64}) {
+    gf::obs::MetricRegistry registry;
+    gf::obs::PipelineContext obs{.metrics = &registry};
+    gf::BandedShfQueryEngine::Options options;
+    options.band_bits = band_bits;
+    auto engine =
+        gf::BandedShfQueryEngine::Build(store, options, nullptr, &obs);
+    if (!engine.ok()) std::abort();
+    gf::WallTimer timer;
+    auto result = engine->QueryBatch(queries, k);
+    if (!result.ok()) std::abort();
+    const double secs = timer.ElapsedSeconds();
+    const double qps = static_cast<double>(queries.size()) / secs;
+    const double recall = RecallAtK(*truth, *result);
+    registry.GetGauge("query.band_bits")
+        ->Set(static_cast<double>(band_bits));
+    registry.GetGauge("query.qps")->Set(qps);
+    registry.GetGauge("query.recall_at_k")->Set(recall);
+    registry.GetGauge("query.speedup_vs_scan")->Set(qps / scan_qps);
+    std::printf("%-12zu %10zu %14.0f %12.3f %13.1fx\n", band_bits,
+                engine->num_bands(), qps, recall, qps / scan_qps);
+    report.AddRun("band_" + std::to_string(band_bits), registry);
+  }
+  report.Write();
+  std::printf("\nrecall@k is the id-set overlap with the exhaustive scan\n"
+              "top-k, averaged over the batch. report: %s\n",
+              report.path().c_str());
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const std::size_t users = EnvSize("GF_QUERY_USERS", 100000);
   const std::size_t bits = EnvSize("GF_QUERY_BITS", 1024);
   const std::size_t batch = EnvSize("GF_QUERY_BATCH", 1024);
   const std::size_t threads = EnvSize("GF_QUERY_THREADS", 8);
   const std::size_t k = EnvSize("GF_QUERY_K", 10);
+
+  bool band_sweep = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--band-sweep") band_sweep = true;
+  }
+
+  if (band_sweep) {
+    gf::Rng rng(2026);
+    const gf::FingerprintStore store = MakeStore(users, bits, rng);
+    std::vector<gf::Shf> queries;
+    queries.reserve(batch);
+    for (std::size_t q = 0; q < batch; ++q) {
+      queries.push_back(
+          store.Extract(static_cast<gf::UserId>(rng.Below(users))));
+    }
+    return RunBandSweep(store, queries, k);
+  }
 
   gf::bench::PrintHeader(
       "Query serving: batched SIMD tile scan vs per-pair, vs banded SHF",

@@ -2,8 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 #include <utility>
 
+#include "common/simd_popcount.h"
 #include "obs/json_export.h"
 
 namespace gf::bench {
@@ -14,6 +16,31 @@ std::string ResolvePath(std::string default_filename) {
   const char* env = std::getenv("GF_BENCH_OUT");
   if (env != nullptr && env[0] != '\0') return env;
   return default_filename;
+}
+
+// The configure-time sha (GF_GIT_SHA compile definition, set in
+// bench/CMakeLists.txt) can go stale in incremental builds; the
+// GF_GIT_SHA env var wins so CI can stamp the true revision.
+std::string GitSha() {
+  const char* env = std::getenv("GF_GIT_SHA");
+  if (env != nullptr && env[0] != '\0') return env;
+#ifdef GF_GIT_SHA
+  return GF_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+std::string ContextJson() {
+  std::string out = "{\"cpus\":";
+  out += std::to_string(std::thread::hardware_concurrency());
+  out += ",\"simd\":\"";
+  out += obs::JsonEscape(
+      bits::PopcountBackendName(bits::ActivePopcountBackend()));
+  out += "\",\"git_sha\":\"";
+  out += obs::JsonEscape(GitSha());
+  out += "\"}";
+  return out;
 }
 
 }  // namespace
@@ -34,9 +61,11 @@ void BenchReport::AddRun(const std::string& label,
 }
 
 bool BenchReport::Write() const {
-  std::string out = "{\"schema_version\":1,\"bench\":\"";
+  std::string out = "{\"schema_version\":2,\"bench\":\"";
   out += obs::JsonEscape(bench_name_);
-  out += "\",\"runs\":[";
+  out += "\",\"context\":";
+  out += ContextJson();
+  out += ",\"runs\":[";
   for (std::size_t i = 0; i < runs_.size(); ++i) {
     if (i > 0) out += ",";
     out += runs_[i];

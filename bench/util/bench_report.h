@@ -3,15 +3,23 @@
 // single JSON report, so CI (and humans) can diff per-phase wall times
 // and counter totals across runs without scraping stdout tables.
 //
-// Report schema (schema_version 1):
+// Report schema (schema_version 2):
 //
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "bench": "<harness name>",
+//     "context": {
+//       "cpus": <hardware_concurrency>,
+//       "simd": "<active popcount backend, e.g. avx2>",
+//       "git_sha": "<short sha at configure time; GF_GIT_SHA overrides>"
+//     },
 //     "runs": [
 //       {"label": "<dataset/algo/mode>", "metrics": { ...obs::ExportJson }}
 //     ]
 //   }
+//
+// The context block makes cross-host report diffs interpretable: a qps
+// regression on 4 cpus vs 32, or scalar vs avx2, is hardware, not code.
 //
 // Each harness passes its own default output filename (BENCH_kernel_
 // popcount.json, BENCH_query.json, ...; BENCH_pipeline.json when

@@ -1,0 +1,116 @@
+#include "common/cpu_topology.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace gf {
+
+namespace {
+
+// Reads a small sysfs file; empty string when unreadable.
+std::string ReadSmallFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  char buf[4096];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  return std::string(buf, n);
+}
+
+std::vector<std::vector<int>> SingleNodeFallback() {
+  std::vector<int> all(NumCpus());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  return {std::move(all)};
+}
+
+}  // namespace
+
+std::size_t NumCpus() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+std::vector<int> ParseCpuList(std::string_view cpulist) {
+  std::vector<int> cpus;
+  std::size_t pos = 0;
+  while (pos < cpulist.size()) {
+    std::size_t end = cpulist.find(',', pos);
+    if (end == std::string_view::npos) end = cpulist.size();
+    std::string_view token = cpulist.substr(pos, end - pos);
+    while (!token.empty() && (token.back() == '\n' || token.back() == ' ')) {
+      token.remove_suffix(1);
+    }
+    while (!token.empty() && token.front() == ' ') token.remove_prefix(1);
+    if (!token.empty()) {
+      int lo = 0;
+      int hi = 0;
+      const std::size_t dash = token.find('-');
+      const auto parse = [](std::string_view s, int& out) {
+        if (s.empty()) return false;
+        long v = 0;
+        for (char c : s) {
+          if (c < '0' || c > '9') return false;
+          v = v * 10 + (c - '0');
+          if (v > 1 << 20) return false;  // implausible CPU id
+        }
+        out = static_cast<int>(v);
+        return true;
+      };
+      if (dash == std::string_view::npos) {
+        if (!parse(token, lo)) return {};
+        hi = lo;
+      } else if (!parse(token.substr(0, dash), lo) ||
+                 !parse(token.substr(dash + 1), hi) || hi < lo) {
+        return {};
+      }
+      for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+    }
+    pos = end + 1;
+  }
+  return cpus;
+}
+
+std::vector<std::vector<int>> NumaNodeCpuLists() {
+#if defined(__linux__)
+  std::vector<std::vector<int>> nodes;
+  for (int node = 0;; ++node) {
+    const std::string contents =
+        ReadSmallFile("/sys/devices/system/node/node" +
+                      std::to_string(node) + "/cpulist");
+    if (contents.empty()) break;
+    std::vector<int> cpus = ParseCpuList(contents);
+    // Memory-only nodes (no CPUs) can't host workers; skip them.
+    if (!cpus.empty()) nodes.push_back(std::move(cpus));
+  }
+  if (!nodes.empty()) return nodes;
+#endif
+  return SingleNodeFallback();
+}
+
+bool PinCurrentThreadToCpus(std::span<const int> cpus) {
+  if (cpus.empty()) return false;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int cpu : cpus) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) CPU_SET(cpu, &set);
+  }
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+std::vector<int> ShardCpuAssignment(std::size_t shard) {
+  const std::vector<std::vector<int>> nodes = NumaNodeCpuLists();
+  return nodes[shard % nodes.size()];
+}
+
+}  // namespace gf

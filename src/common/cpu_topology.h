@@ -1,0 +1,52 @@
+// CPU / NUMA topology discovery and thread placement — the locality
+// layer under the sharded serving stack (DESIGN.md §12). The sharded
+// fingerprint store wants each shard's arena resident on one NUMA node
+// with that shard's scan workers pinned to the same node. Linux gives
+// us both without any library dependency:
+//
+//   * topology from sysfs (/sys/devices/system/node/node*/cpulist),
+//   * placement from pthread_setaffinity_np + the kernel's first-touch
+//     page policy (a page is allocated on the node of the thread that
+//     first writes it).
+//
+// On non-Linux (or sysfs-less) hosts everything degrades to one node
+// holding every CPU and pinning becomes a no-op — callers never need
+// their own platform switches.
+
+#ifndef GF_COMMON_CPU_TOPOLOGY_H_
+#define GF_COMMON_CPU_TOPOLOGY_H_
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace gf {
+
+/// Online CPU count (hardware_concurrency, min 1).
+std::size_t NumCpus();
+
+/// The CPUs of each NUMA node, node-major. Parsed from sysfs on Linux;
+/// exactly one node holding [0, NumCpus()) when topology is
+/// undiscoverable. Never empty, no node list is empty.
+std::vector<std::vector<int>> NumaNodeCpuLists();
+
+/// Parses a kernel cpulist string ("0-3,8,10-11") into CPU ids.
+/// Malformed ranges yield an empty vector. Exposed for tests.
+std::vector<int> ParseCpuList(std::string_view cpulist);
+
+/// Restricts the calling thread to `cpus`. Returns true when the
+/// affinity call succeeded; false (no-op) on empty input, non-Linux
+/// builds, or kernel refusal — callers treat pinning as best-effort.
+bool PinCurrentThreadToCpus(std::span<const int> cpus);
+
+/// The CPU set shard `shard` should run on: shards are dealt
+/// round-robin across NUMA nodes (shard s -> node s % nodes), and the
+/// shards landing on one node share that node's full CPU list — the
+/// kernel balances within the node, the assignment only prevents
+/// cross-node migration. Never empty.
+std::vector<int> ShardCpuAssignment(std::size_t shard);
+
+}  // namespace gf
+
+#endif  // GF_COMMON_CPU_TOPOLOGY_H_

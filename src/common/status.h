@@ -22,6 +22,9 @@ enum class StatusCode : int {
   kFailedPrecondition = 6,
   kUnimplemented = 7,
   kInternal = 8,
+  kUnavailable = 9,        // transient overload — retry later (admission
+                           // control rejecting on a full request queue)
+  kDeadlineExceeded = 10,  // the caller's deadline passed before service
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -68,6 +71,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

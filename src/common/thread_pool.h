@@ -24,12 +24,24 @@ class ThreadPool {
  public:
   /// Spawns `n_threads` workers (0 means hardware_concurrency, min 1).
   explicit ThreadPool(std::size_t n_threads = 0);
+
+  /// Spawns `n_threads` workers restricted to `cpu_affinity` (each
+  /// worker pins itself to the whole set — typically one NUMA node's
+  /// CPU list, so the kernel still balances within the set). Pinning is
+  /// best-effort: an empty set or an unsupported platform degrades to
+  /// the unpinned constructor. The sharded serving engine uses this to
+  /// keep each shard's workers on the node holding the shard's arena.
+  ThreadPool(std::size_t n_threads, std::vector<int> cpu_affinity);
+
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t num_threads() const { return workers_.size(); }
+
+  /// The CPU set workers were asked to pin to; empty when unpinned.
+  const std::vector<int>& cpu_affinity() const { return cpu_affinity_; }
 
   /// Tasks completed since construction (relaxed; exact once quiescent).
   uint64_t tasks_executed() const {
@@ -60,6 +72,7 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
+  std::vector<int> cpu_affinity_;
   std::atomic<uint64_t> tasks_executed_{0};
   std::atomic<uint64_t> busy_micros_{0};
   std::queue<std::function<void()>> tasks_;

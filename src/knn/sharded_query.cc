@@ -1,0 +1,171 @@
+#include "knn/sharded_query.h"
+
+#include <algorithm>
+#include <string>
+
+namespace gf {
+
+namespace {
+
+obs::Histogram* HistogramOrNull(const obs::PipelineContext* obs,
+                                std::string_view name,
+                                std::span<const double> boundaries) {
+  return obs != nullptr && obs->HasMetrics()
+             ? obs->metrics->GetHistogram(name, boundaries)
+             : nullptr;
+}
+
+obs::Counter* CounterOrNull(const obs::PipelineContext* obs,
+                            std::string_view name) {
+  return obs != nullptr && obs->HasMetrics() ? obs->metrics->GetCounter(name)
+                                             : nullptr;
+}
+
+}  // namespace
+
+ShardedQueryEngine::ShardedQueryEngine(const ShardedFingerprintStore& store,
+                                       ThreadPool* pool,
+                                       const obs::PipelineContext* obs)
+    : ShardedQueryEngine(store, pool, obs, Options{}) {}
+
+ShardedQueryEngine::ShardedQueryEngine(const ShardedFingerprintStore& store,
+                                       ThreadPool* pool,
+                                       const obs::PipelineContext* obs,
+                                       Options options)
+    : store_(&store),
+      pool_(pool),
+      options_(options),
+      latency_(HistogramOrNull(obs, "query.latency",
+                               obs::kLatencyBucketBoundariesMicros)),
+      shard_scan_(HistogramOrNull(obs, "query.shard.scan_micros",
+                                  obs::kLatencyBucketBoundariesMicros)),
+      candidates_(CounterOrNull(obs, "query.candidates")),
+      batches_(CounterOrNull(obs, "query.sharded.batches")),
+      queries_(CounterOrNull(obs, "query.sharded.queries")) {
+  if (options_.tile_rows == 0) options_.tile_rows = 256;
+  if (obs != nullptr) clock_ = obs->EffectiveClock();
+  if (options_.pin_shard_workers) {
+    shard_pools_.reserve(store.num_shards());
+    for (std::size_t s = 0; s < store.num_shards(); ++s) {
+      const auto cpus = store.ShardCpus(s);
+      shard_pools_.push_back(std::make_unique<ThreadPool>(
+          1, std::vector<int>(cpus.begin(), cpus.end())));
+    }
+  }
+}
+
+void ShardedQueryEngine::ScanShard(std::size_t s,
+                                   std::span<const uint64_t> query_words,
+                                   std::span<const uint32_t> query_cards,
+                                   std::vector<TopKSelector>& selectors)
+    const {
+  const FingerprintStore& shard = store_->shard(s);
+  const std::size_t n = shard.num_users();
+  const std::size_t nb = query_cards.size();
+  if (n == 0 || nb == 0) return;
+  // Scan timing reads the system clock, not the context clock: shard
+  // scans run on worker threads and an injected FakeClock is
+  // single-threaded by contract.
+  const uint64_t t0 =
+      shard_scan_ != nullptr ? Clock::System()->NowMicros() : 0;
+
+  const UserId global_base = store_->ShardBegin(s);
+  const std::size_t tile_rows = std::min(options_.tile_rows, n);
+  std::vector<double> scores(nb * tile_rows);
+  for (std::size_t first = 0; first < n; first += tile_rows) {
+    const std::size_t m = std::min(tile_rows, n - first);
+    shard.EstimateJaccardTileMultiExternal(query_words, query_cards,
+                                           static_cast<UserId>(first), m,
+                                           {scores.data(), nb * m});
+    for (std::size_t q = 0; q < nb; ++q) {
+      const double* sims = scores.data() + q * m;
+      TopKSelector& sel = selectors[q];
+      for (std::size_t i = 0; i < m; ++i) {
+        sel.Offer(global_base + static_cast<UserId>(first + i), sims[i]);
+      }
+    }
+  }
+  if (shard_scan_ != nullptr) {
+    shard_scan_->Observe(
+        static_cast<double>(Clock::System()->NowMicros() - t0));
+  }
+}
+
+Result<std::vector<std::vector<Neighbor>>> ShardedQueryEngine::QueryBatch(
+    std::span<const Shf> queries, std::size_t k) const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  for (const Shf& query : queries) {
+    if (query.num_bits() != store_->num_bits()) {
+      return Status::InvalidArgument(
+          "batch query fingerprint has " + std::to_string(query.num_bits()) +
+          " bits, store uses " + std::to_string(store_->num_bits()));
+    }
+  }
+  const std::size_t nb = queries.size();
+  std::vector<std::vector<Neighbor>> results(nb);
+  if (nb == 0) return results;
+
+  const uint64_t t0 = latency_ != nullptr ? clock_->NowMicros() : 0;
+
+  // Pack the batch once; every shard scans the same packed queries.
+  const std::size_t words =
+      store_->num_shards() > 0 ? store_->shard(0).words_per_shf() : 0;
+  std::vector<uint64_t> query_words(nb * words);
+  std::vector<uint32_t> query_cards(nb);
+  for (std::size_t q = 0; q < nb; ++q) {
+    const auto w = queries[q].words();
+    std::copy(w.begin(), w.end(), query_words.begin() + q * words);
+    query_cards[q] = queries[q].cardinality();
+  }
+
+  // Scatter: one selector set per shard, filled by that shard's scan.
+  const std::size_t s_count = store_->num_shards();
+  std::vector<std::vector<TopKSelector>> shard_sels(
+      s_count, std::vector<TopKSelector>(nb, TopKSelector(k)));
+  if (!shard_pools_.empty()) {
+    for (std::size_t s = 0; s < s_count; ++s) {
+      shard_pools_[s]->Submit([this, s, &query_words, &query_cards,
+                               &shard_sels] {
+        ScanShard(s, query_words, query_cards, shard_sels[s]);
+      });
+    }
+    for (const auto& pool : shard_pools_) pool->Wait();
+  } else {
+    ParallelFor(pool_, s_count, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s) {
+        ScanShard(s, query_words, query_cards, shard_sels[s]);
+      }
+    });
+  }
+
+  // Merge: total-order selection makes the result independent of the
+  // shard order; ascending s keeps it deterministic anyway.
+  for (std::size_t q = 0; q < nb; ++q) {
+    TopKSelector global(k);
+    for (std::size_t s = 0; s < s_count; ++s) {
+      global.MergeFrom(shard_sels[s][q]);
+    }
+    results[q] = global.Take();
+  }
+
+  if (batches_ != nullptr) {
+    batches_->Add(1);
+    queries_->Add(nb);
+    candidates_->Add(nb * store_->num_users());
+  }
+  if (latency_ != nullptr) {
+    // Every query in the batch experienced the batch's wall time.
+    const auto elapsed = static_cast<double>(clock_->NowMicros() - t0);
+    for (std::size_t q = 0; q < nb; ++q) latency_->Observe(elapsed);
+  }
+  return results;
+}
+
+Result<std::vector<Neighbor>> ShardedQueryEngine::Query(
+    const Shf& query, std::size_t k) const {
+  auto batch = QueryBatch({&query, 1}, k);
+  if (!batch.ok()) return batch.status();
+  return std::move((*batch)[0]);
+}
+
+}  // namespace gf

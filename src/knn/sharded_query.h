@@ -1,0 +1,92 @@
+// ShardedQueryEngine — the scatter/merge serving engine over a
+// ShardedFingerprintStore (DESIGN.md §12). A QueryBatch scatters across
+// the S shards in parallel; each shard runs the same 16-query x
+// tile_rows SIMD tile scan ScanQueryEngine runs on the whole store,
+// into per-(shard, query) TopKSelectors; the per-shard survivors then
+// merge through the selectors' strict total order (similarity desc,
+// ties to the smaller id).
+//
+// Bit-exactness argument: the kernels sum integer popcounts, so a
+// (query, user) pair's double score is identical no matter which shard
+// arena the user's row lives in; and total-order selection makes the
+// merged top-k independent of both the partitioning and the merge
+// order. Hence results are bit-identical — same ids, same floats, same
+// tie-breaks — with ScanQueryEngine::QueryBatch on the unsharded store
+// (property-tested across shard counts x k, including k > n, empty
+// shards and zero-cardinality SHFs).
+//
+// Parallelism: with Options::pin_shard_workers the engine owns one
+// single-thread pool per shard, pinned to the shard's CPU set
+// (ShardedFingerprintStore::ShardCpus — the NUMA node the arena was
+// first-touched on), so every scan is node-local. Otherwise shards fan
+// out on the caller's shared pool (nullptr scans sequentially).
+
+#ifndef GF_KNN_SHARDED_QUERY_H_
+#define GF_KNN_SHARDED_QUERY_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/sharded_store.h"
+#include "knn/graph.h"
+#include "knn/query.h"
+#include "obs/pipeline_context.h"
+
+namespace gf {
+
+/// Scatter/merge query engine over contiguous fingerprint shards.
+class ShardedQueryEngine {
+ public:
+  struct Options {
+    /// Store rows per cache tile of each shard's scan (the
+    /// ScanQueryEngine default keeps the tile L1/L2-hot).
+    std::size_t tile_rows = 256;
+    /// Own one worker thread per shard, pinned to the shard's CPU set.
+    /// The shared `pool` is then ignored for the scatter.
+    bool pin_shard_workers = false;
+  };
+
+  /// The store (and pool / obs, when given) must outlive the engine.
+  /// The three-arg overload uses default Options.
+  explicit ShardedQueryEngine(const ShardedFingerprintStore& store,
+                              ThreadPool* pool = nullptr,
+                              const obs::PipelineContext* obs = nullptr);
+  ShardedQueryEngine(const ShardedFingerprintStore& store, ThreadPool* pool,
+                     const obs::PipelineContext* obs, Options options);
+
+  /// Batch of one. Bit-exact with QueryBatch (and with
+  /// ScanQueryEngine::Query on the unsharded store).
+  Result<std::vector<Neighbor>> Query(const Shf& query, std::size_t k) const;
+
+  /// Scatters `queries` across the shards, merges per-shard top-k.
+  /// result[i] answers queries[i], best first, global user ids.
+  Result<std::vector<std::vector<Neighbor>>> QueryBatch(
+      std::span<const Shf> queries, std::size_t k) const;
+
+  std::size_t num_shards() const { return store_->num_shards(); }
+
+ private:
+  void ScanShard(std::size_t s, std::span<const uint64_t> query_words,
+                 std::span<const uint32_t> query_cards,
+                 std::vector<TopKSelector>& selectors) const;
+
+  const ShardedFingerprintStore* store_;
+  ThreadPool* pool_;
+  Options options_;
+  // One pinned single-thread pool per shard when pin_shard_workers.
+  std::vector<std::unique_ptr<ThreadPool>> shard_pools_;
+  // Cached instruments (null without a metrics sink).
+  obs::Histogram* latency_ = nullptr;
+  obs::Histogram* shard_scan_ = nullptr;
+  obs::Counter* candidates_ = nullptr;
+  obs::Counter* batches_ = nullptr;
+  obs::Counter* queries_ = nullptr;
+  Clock* clock_ = nullptr;
+};
+
+}  // namespace gf
+
+#endif  // GF_KNN_SHARDED_QUERY_H_

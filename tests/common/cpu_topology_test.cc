@@ -1,0 +1,50 @@
+#include "common/cpu_topology.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gf {
+namespace {
+
+TEST(CpuTopologyTest, ParseCpuListHandlesRangesAndSingles) {
+  EXPECT_EQ(ParseCpuList("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(ParseCpuList("5"), (std::vector<int>{5}));
+  EXPECT_EQ(ParseCpuList("0-1,4,6-7"), (std::vector<int>{0, 1, 4, 6, 7}));
+  EXPECT_EQ(ParseCpuList("0-1,4,6-7\n"), (std::vector<int>{0, 1, 4, 6, 7}));
+}
+
+TEST(CpuTopologyTest, ParseCpuListRejectsMalformedInput) {
+  EXPECT_TRUE(ParseCpuList("").empty());
+  EXPECT_TRUE(ParseCpuList("abc").empty());
+  EXPECT_TRUE(ParseCpuList("3-1").empty());   // descending range
+  EXPECT_TRUE(ParseCpuList("1-").empty());
+  // Empty tokens are skipped, not fatal (kernel output never has them).
+  EXPECT_EQ(ParseCpuList("1,,2"), (std::vector<int>{1, 2}));
+}
+
+TEST(CpuTopologyTest, NumCpusIsPositive) { EXPECT_GE(NumCpus(), 1u); }
+
+TEST(CpuTopologyTest, TopologyCoversEveryNodeNonEmpty) {
+  const auto nodes = NumaNodeCpuLists();
+  ASSERT_FALSE(nodes.empty());
+  for (const auto& cpus : nodes) EXPECT_FALSE(cpus.empty());
+}
+
+TEST(CpuTopologyTest, ShardAssignmentRoundRobinsAcrossNodes) {
+  const auto nodes = NumaNodeCpuLists();
+  for (std::size_t s = 0; s < 2 * nodes.size(); ++s) {
+    EXPECT_EQ(ShardCpuAssignment(s), nodes[s % nodes.size()]) << "shard " << s;
+  }
+}
+
+TEST(CpuTopologyTest, PinIsBestEffortAndSafeOnOwnCpus) {
+  EXPECT_FALSE(PinCurrentThreadToCpus({}));  // empty input: no-op
+  // Pinning to the full first-node set must not fail on Linux and must
+  // be a harmless no-op elsewhere.
+  const auto nodes = NumaNodeCpuLists();
+  PinCurrentThreadToCpus(nodes[0]);  // best-effort by contract
+}
+
+}  // namespace
+}  // namespace gf

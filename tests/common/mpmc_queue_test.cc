@@ -1,0 +1,125 @@
+#include "common/mpmc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gf {
+namespace {
+
+TEST(MpmcQueueTest, PushPopFifo) {
+  BoundedMpmcQueue<int> queue(4);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_TRUE(queue.TryPush(3));
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.Pop().value(), 2);
+  EXPECT_EQ(queue.Pop().value(), 3);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(MpmcQueueTest, FullQueueRejectsWithoutBlocking) {
+  BoundedMpmcQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // full — rejected, not queued
+  EXPECT_EQ(queue.size(), 2u);
+  queue.Pop();
+  EXPECT_TRUE(queue.TryPush(3));  // space freed, admitted again
+}
+
+TEST(MpmcQueueTest, ZeroCapacityClampsToOne) {
+  BoundedMpmcQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.TryPush(7));
+  EXPECT_FALSE(queue.TryPush(8));
+}
+
+TEST(MpmcQueueTest, TryPopOnEmptyReturnsNothing) {
+  BoundedMpmcQueue<int> queue(2);
+  EXPECT_FALSE(queue.TryPop().has_value());
+  queue.TryPush(5);
+  EXPECT_EQ(queue.TryPop().value(), 5);
+}
+
+TEST(MpmcQueueTest, CloseDrainsThenEnds) {
+  BoundedMpmcQueue<int> queue(4);
+  queue.TryPush(1);
+  queue.TryPush(2);
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.TryPush(3));  // no admission after close
+  // Queued elements still drain in order before the end-of-stream.
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.Pop().value(), 2);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(MpmcQueueTest, CloseWakesBlockedPop) {
+  BoundedMpmcQueue<int> queue(1);
+  std::thread consumer([&queue] {
+    EXPECT_FALSE(queue.Pop().has_value());  // woken by Close, empty
+  });
+  queue.Close();
+  consumer.join();
+}
+
+TEST(MpmcQueueTest, HoldsMoveOnlyTypes) {
+  // The request type behind the serving queue carries promises and
+  // fingerprints: move-only, no default constructor required.
+  BoundedMpmcQueue<std::unique_ptr<std::string>> queue(2);
+  EXPECT_TRUE(queue.TryPush(std::make_unique<std::string>("req")));
+  auto popped = queue.Pop();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(**popped, "req");
+}
+
+TEST(MpmcQueueTest, ManyProducersManyConsumersDeliverEverythingOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 500;
+  BoundedMpmcQueue<int> queue(16);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int value = p * kPerProducer + i;
+        // Bounded queue under load: spin until admitted.
+        while (!queue.TryPush(std::move(value))) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::mutex mu;
+  std::vector<int> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&queue, &mu, &seen] {
+      while (auto value = queue.Pop()) {
+        std::lock_guard<std::mutex> lock(mu);
+        seen.push_back(*value);
+      }
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  queue.Close();
+  for (auto& t : consumers) t.join();
+
+  ASSERT_EQ(seen.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);  // each exactly once
+  }
+}
+
+}  // namespace
+}  // namespace gf

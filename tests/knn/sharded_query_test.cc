@@ -1,0 +1,177 @@
+#include "knn/sharded_query.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "knn/query.h"
+
+namespace gf {
+namespace {
+
+FingerprintStore RandomStore(std::size_t users, std::size_t bits, Rng& rng) {
+  const std::size_t words_per_shf = bits::WordsForBits(bits);
+  std::vector<uint64_t> words(users * words_per_shf);
+  for (auto& w : words) w = rng.Next() & rng.Next();
+  std::vector<uint32_t> cards(users);
+  for (std::size_t u = 0; u < users; ++u) {
+    cards[u] =
+        bits::PopCount({words.data() + u * words_per_shf, words_per_shf});
+  }
+  FingerprintConfig config;
+  config.num_bits = bits;
+  return FingerprintStore::FromRaw(config, users, std::move(words),
+                                   std::move(cards))
+      .value();
+}
+
+ShardedFingerprintStore Shard(const FingerprintStore& store,
+                              std::size_t shards) {
+  ShardedFingerprintStore::Options options;
+  options.num_shards = shards;
+  return ShardedFingerprintStore::Partition(store, options).value();
+}
+
+// Bit-exact: same ids, same float similarities, same order.
+void ExpectIdentical(const std::vector<std::vector<Neighbor>>& got,
+                     const std::vector<std::vector<Neighbor>>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t q = 0; q < want.size(); ++q) {
+    ASSERT_EQ(got[q].size(), want[q].size()) << "query " << q;
+    for (std::size_t i = 0; i < want[q].size(); ++i) {
+      EXPECT_EQ(got[q][i].id, want[q][i].id) << "query " << q << " pos " << i;
+      EXPECT_EQ(got[q][i].similarity, want[q][i].similarity)
+          << "query " << q << " pos " << i;
+    }
+  }
+}
+
+TEST(ShardedQueryTest, ValidatesArguments) {
+  Rng rng(1);
+  const auto store = RandomStore(30, 128, rng);
+  const auto sharded = Shard(store, 3);
+  ShardedQueryEngine engine(sharded);
+  EXPECT_FALSE(engine.Query(*Shf::Create(64), 3).ok());   // wrong length
+  EXPECT_FALSE(engine.Query(*Shf::Create(128), 0).ok());  // k == 0
+}
+
+// The tentpole property: across shard counts x k — including one user
+// per shard, shards exceeding the user count (empty shards), and
+// k > n — the scatter/merge result is bit-identical to the single-store
+// exhaustive scan.
+TEST(ShardedQueryTest, BitExactWithScanAcrossShardCountsAndK) {
+  Rng rng(2);
+  const std::size_t users = 67;  // prime: every split is uneven
+  const auto store = RandomStore(users, 256, rng);
+  std::vector<Shf> queries;
+  for (std::size_t q = 0; q < 9; ++q) {
+    queries.push_back(store.Extract(static_cast<UserId>(rng.Below(users))));
+  }
+  const ScanQueryEngine scan(store);
+
+  for (const std::size_t k : {1u, 5u, 1000u}) {  // k = 1000 > n
+    const auto want = scan.QueryBatch(queries, k).value();
+    for (const std::size_t shards : {1u, 2u, 3u, 5u, 8u, 67u, 80u}) {
+      const auto sharded = Shard(store, shards);
+      ShardedQueryEngine engine(sharded);
+      const auto got = engine.QueryBatch(queries, k).value();
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " k=" + std::to_string(k));
+      ExpectIdentical(got, want);
+    }
+  }
+}
+
+TEST(ShardedQueryTest, BitExactOnSharedPoolAndPinnedWorkers) {
+  Rng rng(3);
+  const std::size_t users = 120;
+  const auto store = RandomStore(users, 512, rng);
+  std::vector<Shf> queries;
+  for (std::size_t q = 0; q < 17; ++q) {
+    queries.push_back(store.Extract(static_cast<UserId>(rng.Below(users))));
+  }
+  const ScanQueryEngine scan(store);
+  const auto want = scan.QueryBatch(queries, 10).value();
+  const auto sharded = Shard(store, 4);
+
+  {  // shared pool scatter
+    ThreadPool pool(3);
+    ShardedQueryEngine engine(sharded, &pool);
+    ExpectIdentical(engine.QueryBatch(queries, 10).value(), want);
+  }
+  {  // owned pinned per-shard workers
+    ShardedQueryEngine::Options options;
+    options.pin_shard_workers = true;
+    ShardedQueryEngine engine(sharded, nullptr, nullptr, options);
+    ExpectIdentical(engine.QueryBatch(queries, 10).value(), want);
+  }
+}
+
+TEST(ShardedQueryTest, ZeroCardinalityQueriesAndRowsMatchScan) {
+  // All-zero fingerprints exercise the estimator's 0/0 guard on both
+  // sides of the scatter; ranking ties then resolve purely by id.
+  Rng rng(4);
+  const std::size_t users = 20;
+  const std::size_t bits = 128;
+  const std::size_t words_per_shf = bits::WordsForBits(bits);
+  std::vector<uint64_t> words(users * words_per_shf, 0);
+  std::vector<uint32_t> cards(users, 0);
+  // Half the rows get real content; the rest stay zero-cardinality.
+  for (std::size_t u = 0; u < users / 2; ++u) {
+    for (std::size_t w = 0; w < words_per_shf; ++w) {
+      words[u * words_per_shf + w] = rng.Next() & rng.Next();
+    }
+    cards[u] = bits::PopCount(
+        {words.data() + u * words_per_shf, words_per_shf});
+  }
+  FingerprintConfig config;
+  config.num_bits = bits;
+  const auto store = FingerprintStore::FromRaw(config, users,
+                                               std::move(words),
+                                               std::move(cards))
+                         .value();
+  std::vector<Shf> queries;
+  queries.push_back(store.Extract(0));           // non-zero query
+  queries.push_back(store.Extract(users - 1));   // zero-cardinality query
+  queries.push_back(*Shf::Create(bits));         // external empty query
+
+  const ScanQueryEngine scan(store);
+  const auto want = scan.QueryBatch(queries, 7).value();
+  for (const std::size_t shards : {2u, 5u, 30u}) {
+    const auto sharded = Shard(store, shards);
+    ShardedQueryEngine engine(sharded);
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ExpectIdentical(engine.QueryBatch(queries, 7).value(), want);
+  }
+}
+
+TEST(ShardedQueryTest, SingleQueryMatchesBatch) {
+  Rng rng(5);
+  const auto store = RandomStore(40, 256, rng);
+  const auto sharded = Shard(store, 3);
+  ShardedQueryEngine engine(sharded);
+  const Shf query = store.Extract(7);
+  const auto single = engine.Query(query, 5).value();
+  const auto batch = engine.QueryBatch({&query, 1}, 5).value();
+  ASSERT_EQ(batch.size(), 1u);
+  ASSERT_EQ(single.size(), batch[0].size());
+  for (std::size_t i = 0; i < single.size(); ++i) {
+    EXPECT_EQ(single[i].id, batch[0][i].id);
+    EXPECT_EQ(single[i].similarity, batch[0][i].similarity);
+  }
+  EXPECT_EQ(single[0].id, 7u);  // self-query: the user itself leads
+}
+
+TEST(ShardedQueryTest, EmptyBatchIsAnEmptyResult) {
+  Rng rng(6);
+  const auto store = RandomStore(10, 128, rng);
+  const auto sharded = Shard(store, 2);
+  ShardedQueryEngine engine(sharded);
+  EXPECT_TRUE(engine.QueryBatch({}, 3).value().empty());
+}
+
+}  // namespace
+}  // namespace gf

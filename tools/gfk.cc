@@ -12,10 +12,13 @@
 //   gfk privacy   --in ds.gfsz --bits 1024
 //   gfk help
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <future>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/flags.h"
@@ -29,8 +32,11 @@
 #include "dataset/synthetic.h"
 #include "io/env.h"
 #include "io/serialization.h"
+#include "core/sharded_store.h"
 #include "knn/builder.h"
 #include "knn/quality.h"
+#include "knn/query_service.h"
+#include "knn/sharded_query.h"
 #include "obs/json_export.h"
 #include "obs/metrics.h"
 #include "obs/pipeline_context.h"
@@ -68,7 +74,11 @@ int Usage() {
       "            [--max-misordering 0.02]\n"
       "  query-bench [--users 20000] [--bits 1024] [--batch 256]\n"
       "            [--threads N] [--k 10] [--seed N]\n"
-      "            [--metrics-out metrics.json]\n");
+      "            [--metrics-out metrics.json]\n"
+      "  serve-bench [--users 20000] [--bits 1024] [--shards 4]\n"
+      "            [--requests 1024] [--clients 4] [--k 10]\n"
+      "            [--max-queue 1024] [--max-batch 64] [--max-wait-us 200]\n"
+      "            [--seed N] [--metrics-out metrics.json]\n");
   return 0;
 }
 
@@ -432,6 +442,140 @@ int CmdQueryBench(const Flags& flags) {
   return 0;
 }
 
+int CmdServeBench(const Flags& flags) {
+  // End-to-end serving benchmark: synthesize a dataset, fingerprint it,
+  // cut the store into --shards NUMA-placed shards, and push --requests
+  // one-at-a-time requests from --clients concurrent client threads
+  // through the QueryService front-end (bounded queue + micro-batching
+  // coalescer) into the sharded scatter/merge engine. Every successful
+  // reply is verified bit-identical to the exhaustive single-store scan.
+  const auto users = static_cast<std::size_t>(flags.GetInt("users", 20000));
+  const auto shards = static_cast<std::size_t>(flags.GetInt("shards", 4));
+  const auto requests =
+      static_cast<std::size_t>(flags.GetInt("requests", 1024));
+  const auto clients = static_cast<std::size_t>(flags.GetInt("clients", 4));
+  const auto k = static_cast<std::size_t>(flags.GetInt("k", 10));
+  if (users == 0 || shards == 0 || requests == 0 || clients == 0 || k == 0) {
+    return Fail(Status::InvalidArgument(
+        "--users, --shards, --requests, --clients and --k must be >= 1"));
+  }
+
+  obs::MetricRegistry registry;
+  obs::PipelineContext ctx;
+  ctx.metrics = &registry;
+
+  SyntheticSpec spec;
+  spec.num_users = users;
+  spec.num_items = std::max<std::size_t>(2000, users / 10);
+  spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  auto dataset = GenerateZipfDataset(spec);
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  FingerprintConfig config;
+  config.num_bits = static_cast<std::size_t>(flags.GetInt("bits", 1024));
+  auto store = FingerprintStore::Build(*dataset, config, nullptr, &ctx);
+  if (!store.ok()) return Fail(store.status());
+
+  ShardedFingerprintStore::Options store_options;
+  store_options.num_shards = shards;
+  store_options.placement = ShardedFingerprintStore::Placement::kFirstTouch;
+  auto sharded = ShardedFingerprintStore::Partition(*store, store_options,
+                                                    &ctx);
+  if (!sharded.ok()) return Fail(sharded.status());
+  ShardedQueryEngine::Options engine_options;
+  engine_options.pin_shard_workers = true;
+  ShardedQueryEngine engine(*sharded, nullptr, &ctx, engine_options);
+
+  // A fixed query pool, reused round-robin, with scan ground truth to
+  // verify replies against.
+  const std::size_t pool_size = std::min<std::size_t>(256, requests);
+  Rng rng(spec.seed ^ 0x5EED);
+  std::vector<Shf> queries;
+  queries.reserve(pool_size);
+  for (std::size_t q = 0; q < pool_size; ++q) {
+    queries.push_back(store->Extract(static_cast<UserId>(rng.Below(users))));
+  }
+  const ScanQueryEngine scan(*store);
+  auto truth = scan.QueryBatch(queries, k);
+  if (!truth.ok()) return Fail(truth.status());
+
+  QueryService::Options service_options;
+  service_options.max_queue =
+      static_cast<std::size_t>(flags.GetInt("max-queue", 1024));
+  service_options.max_batch =
+      static_cast<std::size_t>(flags.GetInt("max-batch", 64));
+  service_options.max_wait_micros =
+      static_cast<uint64_t>(flags.GetInt("max-wait-us", 200));
+  service_options.expected_bits = config.num_bits;
+  QueryService service(
+      [&engine](std::span<const Shf> batch, std::size_t kk) {
+        return engine.QueryBatch(batch, kk);
+      },
+      service_options, &ctx);
+
+  std::printf(
+      "store: %zu users x %zu bits in %zu shard(s); %zu requests from "
+      "%zu client(s), k %zu\n\n",
+      users, config.num_bits, sharded->num_shards(), requests, clients, k);
+
+  std::atomic<std::size_t> served{0};
+  std::atomic<std::size_t> rejected{0};
+  std::atomic<std::size_t> mismatched{0};
+  WallTimer timer;
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      std::vector<std::pair<std::size_t,
+                            std::future<Result<std::vector<Neighbor>>>>>
+          pending;
+      for (std::size_t r = c; r < requests; r += clients) {
+        const std::size_t q = r % pool_size;
+        pending.emplace_back(q, service.Submit(queries[q], k));
+      }
+      for (auto& [q, future] : pending) {
+        auto result = future.get();
+        if (!result.ok()) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        served.fetch_add(1, std::memory_order_relaxed);
+        const std::vector<Neighbor>& expected = (*truth)[q];
+        bool exact = result->size() == expected.size();
+        for (std::size_t i = 0; exact && i < expected.size(); ++i) {
+          exact = (*result)[i].id == expected[i].id &&
+                  (*result)[i].similarity == expected[i].similarity;
+        }
+        if (!exact) mismatched.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : client_threads) t.join();
+  const double secs = timer.ElapsedSeconds();
+  service.Shutdown();
+
+  const double qps = static_cast<double>(served.load()) / secs;
+  std::printf("served %zu, rejected %zu, mismatched %zu in %.1f ms "
+              "(%.0f queries/s)\n",
+              served.load(), rejected.load(), mismatched.load(), secs * 1e3,
+              qps);
+
+  const std::string metrics_out = flags.GetString("metrics-out");
+  if (!metrics_out.empty()) {
+    const std::string json = obs::ExportJson(registry, nullptr);
+    if (const Status status =
+            io::Env::Default()->WriteFileAtomic(metrics_out, json);
+        !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("wrote metrics %s\n", metrics_out.c_str());
+  }
+  if (mismatched.load() != 0) {
+    return Fail(Status::Internal("served replies diverged from the scan"));
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace gf::tools
 
@@ -450,6 +594,7 @@ int main(int argc, char** argv) {
   if (command == "fingerprint") return gf::tools::CmdFingerprint(*flags);
   if (command == "calibrate") return gf::tools::CmdCalibrate(*flags);
   if (command == "query-bench") return gf::tools::CmdQueryBench(*flags);
+  if (command == "serve-bench") return gf::tools::CmdServeBench(*flags);
   std::fprintf(stderr, "gfk: unknown subcommand '%s' (try gfk help)\n",
                command.c_str());
   return 1;
