@@ -1,0 +1,208 @@
+// Cold-start to first answer: rebuilding the serving state from raw
+// artifacts vs opening a persistent GFIX index (io/gfix.h).
+//
+// Path A (rebuild) is what a serving process without an index must do
+// — the paper's §1 deployment loop: parse the raw ratings file, binarize
+// it, fingerprint every profile (FingerprintStore::Build), then answer
+// one query. Path B (mmap) opens the index — header + TOC validation
+// only, the arenas stay on disk until queries fault them in — and
+// answers the same query from the borrowed store. Both paths produce
+// bit-identical answers (the gfix_test property test pins that); this
+// harness times the gap.
+//
+// Acceptance: open-and-first-query >= 50x faster than
+// rebuild-and-first-query at >= 100k users. Emits BENCH_coldstart.json
+// (GF_BENCH_OUT overrides).
+//
+// Environment knobs (all optional):
+//   GF_COLDSTART_USERS  store size        (default 100000)
+//   GF_COLDSTART_BITS   fingerprint bits  (default 1024)
+//   GF_COLDSTART_K      neighbors/query   (default 10)
+//   GF_COLDSTART_DIR    scratch directory (default /tmp/gf_coldstart)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/fingerprint_store.h"
+#include "dataset/loader.h"
+#include "dataset/synthetic.h"
+#include "io/gfix.h"
+#include "knn/query.h"
+#include "obs/metrics.h"
+#include "util/bench_env.h"
+#include "util/bench_report.h"
+
+namespace {
+
+std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  const long value = std::atol(env);
+  return value > 0 ? static_cast<std::size_t>(value) : fallback;
+}
+
+[[noreturn]] void Die(const char* what, const gf::Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t users = EnvSize("GF_COLDSTART_USERS", 100000);
+  const std::size_t bits = EnvSize("GF_COLDSTART_BITS", 1024);
+  const std::size_t k = EnvSize("GF_COLDSTART_K", 10);
+  const char* dir_env = std::getenv("GF_COLDSTART_DIR");
+  const std::string dir =
+      (dir_env != nullptr && dir_env[0] != '\0') ? dir_env
+                                                 : "/tmp/gf_coldstart";
+
+  gf::bench::PrintHeader(
+      "Serving cold start: rebuild-from-ratings vs mmap'd GFIX index",
+      "acceptance: index open + first query >= 50x faster than ratings "
+      "parse + fingerprint build + first query at >= 100k users");
+
+  gf::io::Env* env = gf::io::Env::Default();
+  if (const gf::Status status = env->CreateDirs(dir); !status.ok()) {
+    Die("scratch dir", status);
+  }
+  const std::string ratings_path = dir + "/coldstart_ratings.dat";
+  const std::string index_path = dir + "/coldstart_index.gfix";
+
+  // ---- setup (untimed): the artifacts both paths start from ----------
+  // A synthetic rating set written as a raw MovieLens-style text file —
+  // the form ratings actually arrive in. The canonical dataset is what
+  // the LOADER makes of that file, so the rebuild path and the indexed
+  // store agree on every id.
+  gf::SyntheticSpec spec;
+  spec.num_users = users;
+  spec.num_items = std::max<std::size_t>(2000, users / 10);
+  spec.seed = 2026;
+  auto raw = gf::GenerateZipfDataset(spec);
+  if (!raw.ok()) Die("dataset", raw.status());
+  {
+    std::string lines;
+    for (gf::UserId u = 0; u < raw->NumUsers(); ++u) {
+      for (const gf::ItemId item : raw->Profile(u)) {
+        lines += std::to_string(u);
+        lines += "::";
+        lines += std::to_string(item);
+        lines += "::5::0\n";
+      }
+    }
+    if (const gf::Status status = env->WriteFileAtomic(ratings_path, lines);
+        !status.ok()) {
+      Die("write ratings", status);
+    }
+  }
+  gf::LoaderOptions loader_options;
+  loader_options.min_ratings_per_user = 1;
+  auto canonical = [&]() -> gf::Result<gf::Dataset> {
+    auto ratings = gf::LoadMovieLensDat(ratings_path, loader_options);
+    if (!ratings.ok()) return ratings.status();
+    return ratings->Binarize(3.0);
+  }();
+  if (!canonical.ok()) Die("canonical dataset", canonical.status());
+  gf::FingerprintConfig config;
+  config.num_bits = bits;
+  {
+    auto store = gf::FingerprintStore::Build(*canonical, config);
+    if (!store.ok()) Die("store", store.status());
+    if (const gf::Status status =
+            gf::io::WriteGfixIndex(*store, index_path);
+        !status.ok()) {
+      Die("write index", status);
+    }
+  }
+  auto index_bytes = env->ReadFile(index_path);
+  if (!index_bytes.ok()) Die("read back index", index_bytes.status());
+
+  // The same novel query for both paths (not a stored row, so neither
+  // path can shortcut).
+  auto fingerprinter = gf::Fingerprinter::Create(config);
+  if (!fingerprinter.ok()) Die("fingerprinter", fingerprinter.status());
+  std::vector<gf::ItemId> profile;
+  gf::Rng rng(7);
+  for (int i = 0; i < 32; ++i) {
+    profile.push_back(
+        static_cast<gf::ItemId>(rng.Below(canonical->NumItems())));
+  }
+  const gf::Shf query = fingerprinter->Fingerprint(profile);
+
+  std::printf("store: %zu users x %zu bits, index file %.1f MiB\n\n", users,
+              bits, static_cast<double>(index_bytes->size()) / (1 << 20));
+  std::printf("%-22s %14s\n", "path", "ms to answer");
+
+  // ---- Path A: parse ratings, binarize, fingerprint, answer ----------
+  gf::WallTimer rebuild_timer;
+  std::vector<gf::Neighbor> rebuild_answer;
+  {
+    auto ratings = gf::LoadMovieLensDat(ratings_path, loader_options);
+    if (!ratings.ok()) Die("rebuild parse", ratings.status());
+    auto ds = ratings->Binarize(3.0);
+    if (!ds.ok()) Die("rebuild binarize", ds.status());
+    auto store = gf::FingerprintStore::Build(*ds, config);
+    if (!store.ok()) Die("rebuild build", store.status());
+    const gf::ScanQueryEngine engine(*store);
+    auto answer = engine.Query(query, k);
+    if (!answer.ok()) Die("rebuild query", answer.status());
+    rebuild_answer = std::move(*answer);
+  }
+  const double rebuild_ms = rebuild_timer.ElapsedSeconds() * 1e3;
+  std::printf("%-22s %14.1f\n", "rebuild_from_ratings", rebuild_ms);
+
+  // ---- Path B: map the index, answer ---------------------------------
+  gf::WallTimer mmap_timer;
+  std::vector<gf::Neighbor> mmap_answer;
+  {
+    auto mapped = gf::io::MappedFingerprintStore::Open(index_path);
+    if (!mapped.ok()) Die("index open", mapped.status());
+    const gf::ScanQueryEngine engine(mapped->store());
+    auto answer = engine.Query(query, k);
+    if (!answer.ok()) Die("index query", answer.status());
+    mmap_answer = std::move(*answer);
+  }
+  const double mmap_ms = mmap_timer.ElapsedSeconds() * 1e3;
+  const double speedup = rebuild_ms / mmap_ms;
+  std::printf("%-22s %14.2f\n\n", "mmap_index", mmap_ms);
+
+  // Both paths must agree bit for bit — a speedup over a wrong answer
+  // is worthless.
+  bool exact = rebuild_answer.size() == mmap_answer.size();
+  for (std::size_t i = 0; exact && i < rebuild_answer.size(); ++i) {
+    exact = rebuild_answer[i].id == mmap_answer[i].id &&
+            rebuild_answer[i].similarity == mmap_answer[i].similarity;
+  }
+  if (!exact) {
+    std::fprintf(stderr, "FAIL: mapped answer diverged from rebuilt\n");
+    return 1;
+  }
+
+  std::printf("cold start speedup: %.0fx (acceptance >= 50x at >= 100k "
+              "users) — answers bit-identical\n",
+              speedup);
+
+  gf::bench::BenchReport report("index_coldstart", "BENCH_coldstart.json");
+  gf::obs::MetricRegistry registry;
+  registry.GetGauge("coldstart.users")->Set(static_cast<double>(users));
+  registry.GetGauge("coldstart.bits")->Set(static_cast<double>(bits));
+  registry.GetGauge("coldstart.index_bytes")
+      ->Set(static_cast<double>(index_bytes->size()));
+  registry.GetGauge("coldstart.rebuild_ms")->Set(rebuild_ms);
+  registry.GetGauge("coldstart.mmap_open_and_query_ms")->Set(mmap_ms);
+  registry.GetGauge("coldstart.speedup")->Set(speedup);
+  report.AddRun("coldstart", registry);
+  report.Write();
+  std::printf("report: %s\n", report.path().c_str());
+
+  if (users >= 100000 && speedup < 50.0) {
+    std::fprintf(stderr, "FAIL: speedup %.1fx below the 50x acceptance\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -30,11 +30,11 @@ void FingerprintStore::ScoreBatchImpl(const uint64_t* query,
   uint32_t counts[kScoreChunk];
   for (std::size_t done = 0; done < candidates.size(); done += kScoreChunk) {
     const std::size_t m = std::min(kScoreChunk, candidates.size() - done);
-    bits::AndPopCountBatch(query, words_.data(), words_per_shf_,
+    bits::AndPopCountBatch(query, words_data_, words_per_shf_,
                            candidates.data() + done, m, counts);
     for (std::size_t i = 0; i < m; ++i) {
       out[done + i] =
-          to_sim(query_card, cardinalities_[candidates[done + i]], counts[i]);
+          to_sim(query_card, cards_data_[candidates[done + i]], counts[i]);
     }
   }
   CountLoads(candidates.size() * (2 * words_per_shf_ + 2));
@@ -49,12 +49,12 @@ void FingerprintStore::ScoreTileImpl(const uint64_t* query,
   for (std::size_t done = 0; done < count; done += kScoreChunk) {
     const std::size_t m = std::min(kScoreChunk, count - done);
     const uint64_t* tile =
-        words_.data() +
+        words_data_ +
         (static_cast<std::size_t>(first) + done) * words_per_shf_;
     bits::AndPopCountTile(query, tile, m, words_per_shf_, counts);
     for (std::size_t i = 0; i < m; ++i) {
       out[done + i] =
-          to_sim(query_card, cardinalities_[first + done + i], counts[i]);
+          to_sim(query_card, cards_data_[first + done + i], counts[i]);
     }
   }
   CountLoads(count * (2 * words_per_shf_ + 2));
@@ -77,7 +77,7 @@ void FingerprintStore::ScoreTileMultiImpl(const uint64_t* queries,
     for (std::size_t done = 0; done < count; done += kScoreChunk) {
       const std::size_t m = std::min(kScoreChunk, count - done);
       const uint64_t* tile =
-          words_.data() +
+          words_data_ +
           (static_cast<std::size_t>(first) + done) * words_per_shf_;
       bits::AndPopCountTileMulti(queries + qdone * words_per_shf_, nq, tile,
                                  m, words_per_shf_, counts);
@@ -86,7 +86,7 @@ void FingerprintStore::ScoreTileMultiImpl(const uint64_t* queries,
         const uint32_t card_q = query_cards[qdone + q];
         for (std::size_t i = 0; i < m; ++i) {
           out_q[i] =
-              to_sim(card_q, cardinalities_[first + done + i], counts[q * m + i]);
+              to_sim(card_q, cards_data_[first + done + i], counts[q * m + i]);
         }
       }
     }
@@ -97,29 +97,29 @@ void FingerprintStore::ScoreTileMultiImpl(const uint64_t* queries,
 void FingerprintStore::EstimateJaccardBatch(UserId u,
                                             std::span<const UserId> candidates,
                                             std::span<double> out) const {
-  ScoreBatchImpl(words_.data() + static_cast<std::size_t>(u) * words_per_shf_,
-                 cardinalities_[u], candidates, out, &JaccardFromCounts);
+  ScoreBatchImpl(words_data_ + static_cast<std::size_t>(u) * words_per_shf_,
+                 cards_data_[u], candidates, out, &JaccardFromCounts);
 }
 
 void FingerprintStore::EstimateCosineBatch(UserId u,
                                            std::span<const UserId> candidates,
                                            std::span<double> out) const {
-  ScoreBatchImpl(words_.data() + static_cast<std::size_t>(u) * words_per_shf_,
-                 cardinalities_[u], candidates, out, &CosineFromCounts);
+  ScoreBatchImpl(words_data_ + static_cast<std::size_t>(u) * words_per_shf_,
+                 cards_data_[u], candidates, out, &CosineFromCounts);
 }
 
 void FingerprintStore::EstimateJaccardTile(UserId u, UserId first,
                                            std::size_t count,
                                            std::span<double> out) const {
-  ScoreTileImpl(words_.data() + static_cast<std::size_t>(u) * words_per_shf_,
-                cardinalities_[u], first, count, out, &JaccardFromCounts);
+  ScoreTileImpl(words_data_ + static_cast<std::size_t>(u) * words_per_shf_,
+                cards_data_[u], first, count, out, &JaccardFromCounts);
 }
 
 void FingerprintStore::EstimateCosineTile(UserId u, UserId first,
                                           std::size_t count,
                                           std::span<double> out) const {
-  ScoreTileImpl(words_.data() + static_cast<std::size_t>(u) * words_per_shf_,
-                cardinalities_[u], first, count, out, &CosineFromCounts);
+  ScoreTileImpl(words_data_ + static_cast<std::size_t>(u) * words_per_shf_,
+                cards_data_[u], first, count, out, &CosineFromCounts);
 }
 
 void FingerprintStore::EstimateJaccardTileExternal(
@@ -204,7 +204,39 @@ Result<FingerprintStore> FingerprintStore::FromRaw(
   FingerprintStore store(config, num_users);
   store.words_ = std::move(words);
   store.cardinalities_ = std::move(cardinalities);
+  store.words_data_ = store.words_.data();
+  store.cards_data_ = store.cardinalities_.data();
   return store;
+}
+
+Result<FingerprintStore> FingerprintStore::FromBorrowed(
+    const FingerprintConfig& config, std::size_t num_users,
+    const uint64_t* words, const uint32_t* cardinalities) {
+  auto fp = Fingerprinter::Create(config);  // validates the config
+  if (!fp.ok()) return fp.status();
+  if (num_users != 0 && (words == nullptr || cardinalities == nullptr)) {
+    return Status::InvalidArgument("borrowed arenas must be non-null");
+  }
+  FingerprintStore store(config, 0);
+  store.num_users_ = num_users;
+  store.borrowed_ = true;
+  store.words_data_ = words;
+  store.cards_data_ = cardinalities;
+  return store;
+}
+
+FingerprintStore& FingerprintStore::operator=(const FingerprintStore& other) {
+  if (this == &other) return *this;
+  config_ = other.config_;
+  num_bits_ = other.num_bits_;
+  words_per_shf_ = other.words_per_shf_;
+  num_users_ = other.num_users_;
+  borrowed_ = other.borrowed_;
+  words_ = other.words_;
+  cardinalities_ = other.cardinalities_;
+  words_data_ = borrowed_ ? other.words_data_ : words_.data();
+  cards_data_ = borrowed_ ? other.cards_data_ : cardinalities_.data();
+  return *this;
 }
 
 Shf FingerprintStore::Extract(UserId u) const {

@@ -1,12 +1,20 @@
-// FingerprintStore: all of a dataset's SHFs in one flat allocation
+// FingerprintStore: all of a dataset's SHFs in one flat arena
 // (row-major: user u's words at [u * words_per_shf, ...)), plus the
 // cardinality array. This is the representation the KNN algorithms run
 // on — the whole point of fingerprinting is that this array is small and
 // the per-pair kernel touches only 2 * words_per_shf contiguous words.
+//
+// A store either OWNS its arenas (Build / FromRaw — the construction
+// and deserialization paths) or BORROWS them (FromBorrowed — a zero-copy
+// view over memory someone else keeps alive, e.g. a mmap-ed GFIX index,
+// io/gfix.h). Both flavors expose the identical read surface; every
+// kernel runs off raw pointers, so a borrowed store is bit-exact with an
+// owning one over the same bytes.
 
 #ifndef GF_CORE_FINGERPRINT_STORE_H_
 #define GF_CORE_FINGERPRINT_STORE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -41,27 +49,63 @@ class FingerprintStore {
       const FingerprintConfig& config, std::size_t num_users,
       std::vector<uint64_t> words, std::vector<uint32_t> cardinalities);
 
-  std::size_t num_users() const { return cardinalities_.size(); }
+  /// Non-owning view over externally held arenas (the mmap serving
+  /// path): `words` holds num_users * WordsForBits(config.num_bits)
+  /// row-major words, `cardinalities` num_users entries, and both must
+  /// outlive the store (and any copy of it). Validates the config only;
+  /// integrity of the bytes themselves is the container's job (a GFIX
+  /// index CRC-checks every section before handing out views), so a
+  /// borrowed open stays O(1) and never faults the arena's pages in.
+  static Result<FingerprintStore> FromBorrowed(
+      const FingerprintConfig& config, std::size_t num_users,
+      const uint64_t* words, const uint32_t* cardinalities);
+
+  /// Copies re-derive the arena pointers: copying an owning store deep-
+  /// copies its arenas, copying a borrowed view copies the pointers.
+  FingerprintStore(const FingerprintStore& other) { *this = other; }
+  FingerprintStore& operator=(const FingerprintStore& other);
+  // Moves keep pointers valid: a moved std::vector's heap buffer (and
+  // a borrowed arena a fortiori) does not change address.
+  FingerprintStore(FingerprintStore&&) noexcept = default;
+  FingerprintStore& operator=(FingerprintStore&&) noexcept = default;
+
+  std::size_t num_users() const { return num_users_; }
   std::size_t num_bits() const { return num_bits_; }
   std::size_t words_per_shf() const { return words_per_shf_; }
   const FingerprintConfig& config() const { return config_; }
+  /// True when the store borrows its arenas (FromBorrowed).
+  bool borrowed() const { return borrowed_; }
+
+  /// The whole row-major word arena (num_users * words_per_shf words).
+  std::span<const uint64_t> WordsArena() const {
+    return {words_data_, num_users_ * words_per_shf_};
+  }
+
+  /// All cardinalities, indexed by user.
+  std::span<const uint32_t> Cardinalities() const {
+    return {cards_data_, num_users_};
+  }
 
   std::span<const uint64_t> WordsOf(UserId u) const {
-    return {words_.data() + static_cast<std::size_t>(u) * words_per_shf_,
+    assert(static_cast<std::size_t>(u) < num_users_ &&
+           "user id out of range (corrupt input?)");
+    return {words_data_ + static_cast<std::size_t>(u) * words_per_shf_,
             words_per_shf_};
   }
 
-  uint32_t CardinalityOf(UserId u) const { return cardinalities_[u]; }
+  uint32_t CardinalityOf(UserId u) const {
+    assert(static_cast<std::size_t>(u) < num_users_ &&
+           "user id out of range (corrupt input?)");
+    return cards_data_[u];
+  }
 
   /// Eq. 4 estimator between two users' fingerprints.
   double EstimateJaccard(UserId a, UserId b) const {
-    const uint64_t* wa =
-        words_.data() + static_cast<std::size_t>(a) * words_per_shf_;
-    const uint64_t* wb =
-        words_.data() + static_cast<std::size_t>(b) * words_per_shf_;
+    const uint64_t* wa = WordsOf(a).data();
+    const uint64_t* wb = WordsOf(b).data();
     CountLoads(2 * words_per_shf_ + 2);  // modelled traffic (Table 5)
     const uint32_t inter = bits::AndPopCount(wa, wb, words_per_shf_);
-    return JaccardFromCounts(cardinalities_[a], cardinalities_[b], inter);
+    return JaccardFromCounts(cards_data_[a], cards_data_[b], inter);
   }
 
   /// Eq. 4 estimator of `u` against a batch of candidates, through the
@@ -123,23 +167,21 @@ class FingerprintStore {
 
   /// Cosine analogue of EstimateJaccard (same kernel, CosineFromCounts).
   double EstimateCosine(UserId a, UserId b) const {
-    const uint64_t* wa =
-        words_.data() + static_cast<std::size_t>(a) * words_per_shf_;
-    const uint64_t* wb =
-        words_.data() + static_cast<std::size_t>(b) * words_per_shf_;
+    const uint64_t* wa = WordsOf(a).data();
+    const uint64_t* wb = WordsOf(b).data();
     CountLoads(2 * words_per_shf_ + 2);
     const uint32_t inter = bits::AndPopCount(wa, wb, words_per_shf_);
-    return CosineFromCounts(cardinalities_[a], cardinalities_[b], inter);
+    return CosineFromCounts(cards_data_[a], cards_data_[b], inter);
   }
 
   /// Copies user `u`'s fingerprint out as a standalone Shf.
   Shf Extract(UserId u) const;
 
   /// Total payload bytes (bit arrays + cardinalities) — the memory the
-  /// KNN phase works over.
+  /// KNN phase works over (owned or borrowed alike).
   std::size_t PayloadBytes() const {
-    return words_.size() * sizeof(uint64_t) +
-           cardinalities_.size() * sizeof(uint32_t);
+    return num_users_ * words_per_shf_ * sizeof(uint64_t) +
+           num_users_ * sizeof(uint32_t);
   }
 
  private:
@@ -165,14 +207,24 @@ class FingerprintStore {
       : config_(config),
         num_bits_(config.num_bits),
         words_per_shf_(bits::WordsForBits(config.num_bits)),
+        num_users_(num_users),
         words_(num_users * bits::WordsForBits(config.num_bits), 0),
-        cardinalities_(num_users, 0) {}
+        cardinalities_(num_users, 0),
+        words_data_(words_.data()),
+        cards_data_(cardinalities_.data()) {}
 
   FingerprintConfig config_;
-  std::size_t num_bits_;
-  std::size_t words_per_shf_;
+  std::size_t num_bits_ = 0;
+  std::size_t words_per_shf_ = 0;
+  std::size_t num_users_ = 0;
+  bool borrowed_ = false;
+  // Owned arenas; empty in a borrowed view.
   std::vector<uint64_t> words_;
   std::vector<uint32_t> cardinalities_;
+  // The arenas every accessor and kernel actually reads: either the
+  // owned vectors' buffers or the borrowed caller memory.
+  const uint64_t* words_data_ = nullptr;
+  const uint32_t* cards_data_ = nullptr;
 };
 
 }  // namespace gf

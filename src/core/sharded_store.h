@@ -54,6 +54,19 @@ class ShardedFingerprintStore {
       const FingerprintStore& store, const Options& options,
       const obs::PipelineContext* obs = nullptr);
 
+  /// Zero-copy hydration (the mmap serving path, io/gfix.h): shard s
+  /// becomes a borrowed view over rows [shard_begins[s],
+  /// shard_begins[s+1]) of `source`'s arena — no bytes move, so a
+  /// million-user store shards in microseconds. `shard_begins` must
+  /// start at 0 and be non-decreasing; source.num_users() closes the
+  /// last shard. The SOURCE's memory (not the source object) must
+  /// outlive the result; placement is kNone (the pages lie wherever the
+  /// mapping put them), but ShardCpus is still dealt round-robin so
+  /// pinned scan workers remain usable.
+  static Result<ShardedFingerprintStore> ViewOf(
+      const FingerprintStore& source, std::span<const UserId> shard_begins,
+      const obs::PipelineContext* obs = nullptr);
+
   std::size_t num_shards() const { return shards_.size(); }
 
   /// Shard `s`'s own store; its local row r is global user

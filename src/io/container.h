@@ -34,6 +34,11 @@ enum class PayloadKind : uint32_t {
   kFingerprintStore = 2,
   kKnnGraph = 3,
   kCheckpoint = 4,
+  /// The GFIX mmap-served index (io/gfix.h). Unlike kinds 1-4 it is
+  /// not framed by WrapContainer — GFIX has its own sectioned layout —
+  /// but the kind value is reserved here so the id spaces never
+  /// collide.
+  kIndex = 5,
 };
 
 // ---- little-endian primitives -----------------------------------------

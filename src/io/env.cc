@@ -2,6 +2,7 @@
 
 #include <dirent.h>
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -57,6 +58,55 @@ void SyncParentDir(const std::string& path) {
 
 }  // namespace
 
+// ---- MappedRegion ------------------------------------------------------
+
+MappedRegion& MappedRegion::operator=(MappedRegion&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapping_ = other.mapping_;
+    heap_ = other.heap_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapping_ = nullptr;
+    other.heap_ = nullptr;
+  }
+  return *this;
+}
+
+void MappedRegion::Reset() {
+  if (mapping_ != nullptr) ::munmap(mapping_, size_);
+  delete[] heap_;
+  data_ = nullptr;
+  size_ = 0;
+  mapping_ = nullptr;
+  heap_ = nullptr;
+}
+
+MappedRegion MappedRegion::FromBytes(std::string_view bytes) {
+  MappedRegion region;
+  region.heap_ = new char[std::max<std::size_t>(1, bytes.size())];
+  if (!bytes.empty()) std::memcpy(region.heap_, bytes.data(), bytes.size());
+  region.data_ = region.heap_;
+  region.size_ = bytes.size();
+  return region;
+}
+
+MappedRegion MappedRegion::FromMapping(void* mapping, std::size_t size) {
+  MappedRegion region;
+  region.mapping_ = mapping;
+  region.data_ = static_cast<const char*>(mapping);
+  region.size_ = size;
+  return region;
+}
+
+Result<MappedRegion> Env::MapReadOnly(const std::string& path) {
+  std::string bytes;
+  GF_ASSIGN_OR_RETURN(bytes, ReadFile(path));
+  return MappedRegion::FromBytes(bytes);
+}
+
 std::string JoinPath(const std::string& path, const std::string& name) {
   if (path.empty()) return name;
   if (path.back() == '/') return path + name;
@@ -96,6 +146,36 @@ Result<std::string> PosixEnv::ReadFile(const std::string& path) {
   }
   ::close(fd);
   return out;
+}
+
+Result<MappedRegion> PosixEnv::MapReadOnly(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = ErrnoStatus("stat", path, errno);
+    CloseQuietly(fd);
+    return status;
+  }
+  if (S_ISDIR(st.st_mode)) {
+    CloseQuietly(fd);
+    return Status::IOError("mmap " + path + ": is a directory");
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    // mmap rejects zero-length mappings; an empty file maps to an
+    // empty heap region so callers see one shape either way.
+    ::close(fd);
+    return MappedRegion::FromBytes({});
+  }
+  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int mmap_errno = errno;
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (mapping == MAP_FAILED) {
+    return ErrnoStatus("mmap", path, mmap_errno);
+  }
+  return MappedRegion::FromMapping(mapping, size);
 }
 
 Status PosixEnv::WriteFileAtomic(const std::string& path,
@@ -211,6 +291,11 @@ Result<T> RetryResult(const BackoffPolicy& policy, Clock* clock, Op&& op) {
 Result<std::string> RetryingEnv::ReadFile(const std::string& path) {
   return RetryResult<std::string>(policy_, clock_,
                                   [&] { return base_->ReadFile(path); });
+}
+
+Result<MappedRegion> RetryingEnv::MapReadOnly(const std::string& path) {
+  return RetryResult<MappedRegion>(policy_, clock_,
+                                   [&] { return base_->MapReadOnly(path); });
 }
 
 Status RetryingEnv::WriteFileAtomic(const std::string& path,

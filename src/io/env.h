@@ -25,6 +25,42 @@
 
 namespace gf::io {
 
+/// A read-only view of a whole file, returned by Env::MapReadOnly.
+/// Backed either by a real mmap (PosixEnv) or by a heap copy (the
+/// portable default, and what fakes/fault injectors produce). Move-only;
+/// the destructor unmaps/frees. data() is suitably aligned for any
+/// fundamental type (mmap returns page-aligned memory, the heap path
+/// allocates with operator new).
+class MappedRegion {
+ public:
+  MappedRegion() = default;
+  ~MappedRegion() { Reset(); }
+
+  MappedRegion(MappedRegion&& other) noexcept { *this = std::move(other); }
+  MappedRegion& operator=(MappedRegion&& other) noexcept;
+  MappedRegion(const MappedRegion&) = delete;
+  MappedRegion& operator=(const MappedRegion&) = delete;
+
+  const char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::string_view view() const { return {data_, size_}; }
+
+  /// Heap-backed region owning a copy of `bytes` (the portable
+  /// MapReadOnly fallback; also handy in tests).
+  static MappedRegion FromBytes(std::string_view bytes);
+
+  /// mmap-backed region adopting `mapping` (munmap'd on destruction).
+  static MappedRegion FromMapping(void* mapping, std::size_t size);
+
+ private:
+  void Reset();
+
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  void* mapping_ = nullptr;   // non-null: munmap(mapping_, size_) on Reset
+  char* heap_ = nullptr;      // non-null: delete[] on Reset
+};
+
 /// Abstract file-system environment.
 class Env {
  public:
@@ -32,6 +68,13 @@ class Env {
 
   /// Reads the whole file. NotFound when the path does not exist.
   virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Maps the whole file read-only. The default implementation reads
+  /// through ReadFile into a heap-backed region, so decorators
+  /// (RetryingEnv via override, FaultInjectingEnv via its scripted
+  /// ReadFile) cover mapped opens for free; PosixEnv overrides with a
+  /// real mmap so opening a multi-GB index touches no page up front.
+  virtual Result<MappedRegion> MapReadOnly(const std::string& path);
 
   /// Atomically replaces `path` with `data`: readers observe either the
   /// previous content or all of `data`, never a prefix (write to a
@@ -64,6 +107,7 @@ class Env {
 class PosixEnv : public Env {
  public:
   Result<std::string> ReadFile(const std::string& path) override;
+  Result<MappedRegion> MapReadOnly(const std::string& path) override;
   Status WriteFileAtomic(const std::string& path,
                          std::string_view data) override;
   Result<bool> FileExists(const std::string& path) override;
@@ -88,6 +132,7 @@ class RetryingEnv : public Env {
         clock_(clock != nullptr ? clock : Clock::System()) {}
 
   Result<std::string> ReadFile(const std::string& path) override;
+  Result<MappedRegion> MapReadOnly(const std::string& path) override;
   Status WriteFileAtomic(const std::string& path,
                          std::string_view data) override;
   Result<bool> FileExists(const std::string& path) override;

@@ -1,5 +1,7 @@
 #include "io/serialization.h"
 
+#include <limits>
+
 #include "io/container.h"
 
 namespace gf::io {
@@ -7,6 +9,26 @@ namespace gf::io {
 namespace {
 
 Env* OrDefault(Env* env) { return env != nullptr ? env : Env::Default(); }
+
+// Rejects a header-declared user count that cannot possibly fit the
+// bytes still in the payload (each user costs >= `min_bytes_per_user`)
+// or the 32-bit UserId space. Called BEFORE any user-sized allocation.
+Status CheckUserCount(uint64_t users, std::size_t remaining,
+                      std::size_t min_bytes_per_user) {
+  if (users > std::numeric_limits<uint32_t>::max()) {
+    return Status::Corruption("user count " + std::to_string(users) +
+                              " exceeds the 32-bit UserId space");
+  }
+  if (users > remaining / min_bytes_per_user) {
+    return Status::Corruption("user count " + std::to_string(users) +
+                              " needs >= " +
+                              std::to_string(min_bytes_per_user) +
+                              " bytes per user but only " +
+                              std::to_string(remaining) +
+                              " payload bytes remain");
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -38,11 +60,22 @@ Result<Dataset> DeserializeDataset(std::string_view buffer) {
   GF_RETURN_IF_ERROR(reader.ReadU64(&items));
   GF_RETURN_IF_ERROR(reader.ReadU64(&entries));
 
+  // Hostile-header guard: a valid-CRC container can still carry absurd
+  // counts, so every allocation below is first bounded by the bytes
+  // actually present (division form — immune to overflow). Each profile
+  // costs at least its u32 size field.
+  GF_RETURN_IF_ERROR(CheckUserCount(users, reader.remaining(), 4));
   std::vector<std::vector<ItemId>> profiles(users);
   uint64_t total = 0;
   for (uint64_t u = 0; u < users; ++u) {
     uint32_t size = 0;
     GF_RETURN_IF_ERROR(reader.ReadU32(&size));
+    if (size > reader.remaining() / 4) {
+      return Status::Corruption(
+          "profile of user " + std::to_string(u) + " claims " +
+          std::to_string(size) + " items but only " +
+          std::to_string(reader.remaining()) + " payload bytes remain");
+    }
     profiles[u].reserve(size);
     for (uint32_t i = 0; i < size; ++i) {
       uint32_t item = 0;
@@ -101,11 +134,25 @@ Result<FingerprintStore> DeserializeFingerprintStore(
   config.seed = seed;
   config.hashes_per_item = hashes;
 
+  // Validate the declared shape against the bytes present BEFORE any
+  // allocation: a hostile num_bits would otherwise overflow
+  // users * words_per, and a hostile users would drive a multi-GB
+  // vector from a tiny payload.
+  if (!bits::IsValidBitLength(num_bits)) {
+    return Status::Corruption("invalid fingerprint bit length " +
+                              std::to_string(num_bits) +
+                              " (need a positive multiple of 64)");
+  }
+  const std::size_t words_per = bits::WordsForBits(num_bits);
+  // Each user costs exactly 4 cardinality bytes + 8 * words_per word
+  // bytes; words_per <= 2^58 so the per-user cost cannot overflow.
+  const uint64_t bytes_per_user = 4 + 8 * static_cast<uint64_t>(words_per);
+  GF_RETURN_IF_ERROR(CheckUserCount(users, reader.remaining(),
+                                    bytes_per_user));
   std::vector<uint32_t> cardinalities(users);
   for (uint64_t u = 0; u < users; ++u) {
     GF_RETURN_IF_ERROR(reader.ReadU32(&cardinalities[u]));
   }
-  const std::size_t words_per = bits::WordsForBits(num_bits);
   std::vector<uint64_t> words(users * words_per);
   for (auto& w : words) GF_RETURN_IF_ERROR(reader.ReadU64(&w));
   return FingerprintStore::FromRaw(config, users, std::move(words),
@@ -137,6 +184,20 @@ Result<KnnGraph> DeserializeKnnGraph(std::string_view buffer) {
   uint64_t users = 0, k = 0;
   GF_RETURN_IF_ERROR(reader.ReadU64(&users));
   GF_RETURN_IF_ERROR(reader.ReadU64(&k));
+  // Bound the dense users * k edge table by the payload BEFORE
+  // allocating. Rows may legitimately be short (size < k), so allow the
+  // declared capacity to exceed the stored neighbors by a fixed factor
+  // of 8 — the allocation stays a small multiple of the payload while
+  // every honestly-written graph (>= 4 bytes per user, 8 per stored
+  // neighbor) still loads.
+  GF_RETURN_IF_ERROR(CheckUserCount(users, reader.remaining(), 4));
+  if (k != 0 && users != 0 &&
+      k > (8 * static_cast<uint64_t>(reader.remaining())) / users) {
+    return Status::Corruption(
+        "graph of " + std::to_string(users) + " users with k = " +
+        std::to_string(k) + " cannot fit in " +
+        std::to_string(reader.remaining()) + " payload bytes");
+  }
   std::vector<Neighbor> edges(users * k);
   std::vector<uint32_t> counts(users, 0);
   for (uint64_t u = 0; u < users; ++u) {
@@ -152,6 +213,12 @@ Result<KnnGraph> DeserializeKnnGraph(std::string_view buffer) {
       Neighbor nb;
       GF_RETURN_IF_ERROR(reader.ReadU32(&nb.id));
       GF_RETURN_IF_ERROR(reader.ReadF32(&nb.similarity));
+      if (nb.id >= users) {
+        return Status::Corruption(
+            "neighbor id " + std::to_string(nb.id) + " of user " +
+            std::to_string(u) + " out of range for " +
+            std::to_string(users) + " users");
+      }
       edges[u * k + i] = nb;
     }
   }

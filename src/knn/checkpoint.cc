@@ -109,8 +109,14 @@ Result<BuildCheckpoint> DeserializeCheckpoint(std::string_view buffer) {
   GF_RETURN_IF_ERROR(reader.ReadU8(&has_spare));
   out.rng.has_spare = has_spare != 0;
 
-  if (out.num_users > reader.remaining() / 4 || out.k > (1ull << 32) ||
-      (out.k != 0 && out.num_users > (1ull << 40) / out.k)) {
+  // Same payload-proportional rule as io/serialization.cc: each user
+  // costs at least its u32 row size, and the dense num_users * k row
+  // table may exceed the stored entries by at most 8x, so the
+  // allocation stays a small multiple of the bytes actually present.
+  if (out.num_users > reader.remaining() / 4 ||
+      (out.k != 0 && out.num_users != 0 &&
+       out.k > (8 * static_cast<uint64_t>(reader.remaining())) /
+                   out.num_users)) {
     return Status::Corruption("checkpoint dimensions exceed the payload");
   }
   out.row_sizes.assign(out.num_users, 0);

@@ -4,6 +4,7 @@
 
 #include "core/similarity.h"
 #include "hash/murmur3.h"
+#include "io/container.h"
 
 namespace gf {
 
@@ -296,6 +297,109 @@ Result<std::vector<Neighbor>> BandedShfQueryEngine::QueryProfile(
   auto fp = Fingerprinter::Create(store_->config());
   if (!fp.ok()) return fp.status();
   return Query(fp->Fingerprint(profile), k);
+}
+
+std::string BandedShfQueryEngine::SerializeIndexPayload() const {
+  std::string payload;
+  io::PutU64(payload, band_bits_);
+  io::PutU64(payload, seed_);
+  io::PutU64(payload, bands_);
+  std::vector<uint64_t> keys;
+  for (std::size_t band = 0; band < bands_; ++band) {
+    const auto& table = tables_[band];
+    keys.clear();
+    keys.reserve(table.size());
+    for (const auto& [key, bucket] : table) {
+      (void)bucket;
+      keys.push_back(key);
+    }
+    // Hash-map iteration order is not deterministic; sorted keys (and
+    // the build's ascending-id buckets) make the bytes reproducible.
+    std::sort(keys.begin(), keys.end());
+    io::PutU64(payload, table.size());
+    for (uint64_t key : keys) {
+      const auto& bucket = table.at(key);
+      io::PutU64(payload, key);
+      io::PutU32(payload, static_cast<uint32_t>(bucket.size()));
+      for (UserId id : bucket) io::PutU32(payload, id);
+    }
+  }
+  return payload;
+}
+
+Result<BandedShfQueryEngine> BandedShfQueryEngine::FromSerialized(
+    const FingerprintStore& store, std::string_view payload,
+    ThreadPool* pool, const obs::PipelineContext* obs) {
+  io::Reader reader(payload);
+  uint64_t band_bits = 0, seed = 0, bands = 0;
+  GF_RETURN_IF_ERROR(reader.ReadU64(&band_bits));
+  GF_RETURN_IF_ERROR(reader.ReadU64(&seed));
+  GF_RETURN_IF_ERROR(reader.ReadU64(&bands));
+  if (band_bits == 0 || band_bits > 64 || 64 % band_bits != 0) {
+    return Status::Corruption("banded index band_bits " +
+                              std::to_string(band_bits) +
+                              " does not divide 64");
+  }
+  if (bands != store.num_bits() / band_bits) {
+    return Status::Corruption(
+        "banded index geometry (" + std::to_string(bands) + " bands of " +
+        std::to_string(band_bits) + " bits) does not match a store of " +
+        std::to_string(store.num_bits()) + " bits");
+  }
+  Options options;
+  options.band_bits = static_cast<std::size_t>(band_bits);
+  options.seed = seed;
+  BandedShfQueryEngine engine(store, options, pool, obs);
+
+  const std::size_t num_users = store.num_users();
+  for (std::size_t band = 0; band < engine.bands_; ++band) {
+    uint64_t buckets = 0;
+    GF_RETURN_IF_ERROR(reader.ReadU64(&buckets));
+    // Every bucket costs at least its 12-byte (key, size) header; every
+    // member 4 bytes — so both counts are bounded by the bytes present
+    // BEFORE the hash table / bucket vectors grow.
+    if (buckets > reader.remaining() / 12) {
+      return Status::Corruption("band " + std::to_string(band) + " claims " +
+                                std::to_string(buckets) +
+                                " buckets but only " +
+                                std::to_string(reader.remaining()) +
+                                " payload bytes remain");
+    }
+    auto& table = engine.tables_[band];
+    table.reserve(buckets);
+    for (uint64_t b = 0; b < buckets; ++b) {
+      uint64_t key = 0;
+      uint32_t size = 0;
+      GF_RETURN_IF_ERROR(reader.ReadU64(&key));
+      GF_RETURN_IF_ERROR(reader.ReadU32(&size));
+      if (size > reader.remaining() / 4) {
+        return Status::Corruption(
+            "bucket of band " + std::to_string(band) + " claims " +
+            std::to_string(size) + " members but only " +
+            std::to_string(reader.remaining()) + " payload bytes remain");
+      }
+      auto& bucket = table[key];
+      bucket.reserve(size);
+      for (uint32_t i = 0; i < size; ++i) {
+        uint32_t id = 0;
+        GF_RETURN_IF_ERROR(reader.ReadU32(&id));
+        if (id >= num_users) {
+          return Status::Corruption("banded index user id " +
+                                    std::to_string(id) +
+                                    " out of range for " +
+                                    std::to_string(num_users) + " users");
+        }
+        bucket.push_back(id);
+      }
+    }
+  }
+  if (reader.remaining() != 0) {
+    return Status::Corruption("trailing bytes in banded index payload");
+  }
+  if (obs != nullptr) {
+    obs->Count("query.banded.hydrated_entries", engine.IndexedEntries());
+  }
+  return engine;
 }
 
 std::size_t BandedShfQueryEngine::IndexedEntries() const {

@@ -207,6 +207,23 @@ class BandedShfQueryEngine {
   Result<std::vector<Neighbor>> QueryProfile(
       std::span<const ItemId> profile, std::size_t k) const;
 
+  /// Deterministic wire form of the index: band geometry followed by
+  /// every bucket, bucket keys sorted within each band, bucket members
+  /// in ascending user id — byte-identical across runs for the same
+  /// store and options. This is the Bands section payload of a GFIX
+  /// index file (io/gfix.h).
+  std::string SerializeIndexPayload() const;
+
+  /// Rebuilds an engine over `store` from SerializeIndexPayload bytes
+  /// without re-hashing a single fingerprint (the mmap hydration path:
+  /// O(indexed entries) table fill instead of O(users x bands) chunk
+  /// computation). Mismatched geometry, out-of-range user ids and
+  /// counts that exceed the payload are rejected as Corruption before
+  /// any proportional allocation.
+  static Result<BandedShfQueryEngine> FromSerialized(
+      const FingerprintStore& store, std::string_view payload,
+      ThreadPool* pool = nullptr, const obs::PipelineContext* obs = nullptr);
+
   /// Total bucket entries across all band tables (diagnostics).
   std::size_t IndexedEntries() const;
 

@@ -182,6 +182,87 @@ TEST(FaultInjectingEnvTest, LatencySleepsOnTheClock) {
   EXPECT_EQ(clock.sleeps()[0], 12345u);
 }
 
+// ---- MapReadOnly -------------------------------------------------------
+
+TEST(PosixEnvTest, MapReadOnlyRoundTrip) {
+  PosixEnv env;
+  const std::string path = TempDir("map") + "/file.bin";
+  const std::string data("mapped\0bytes", 12);
+  ASSERT_TRUE(env.WriteFileAtomic(path, data).ok());
+  auto region = env.MapReadOnly(path);
+  ASSERT_TRUE(region.ok()) << region.status().ToString();
+  EXPECT_EQ(region->view(), data);
+}
+
+TEST(PosixEnvTest, MapReadOnlyEmptyFile) {
+  PosixEnv env;
+  const std::string path = TempDir("mapempty") + "/file.bin";
+  ASSERT_TRUE(env.WriteFileAtomic(path, "").ok());
+  auto region = env.MapReadOnly(path);
+  ASSERT_TRUE(region.ok()) << region.status().ToString();
+  EXPECT_EQ(region->size(), 0u);
+}
+
+TEST(PosixEnvTest, MapReadOnlyMissingFileIsNotFound) {
+  PosixEnv env;
+  auto region = env.MapReadOnly("/nonexistent/definitely/missing");
+  EXPECT_FALSE(region.ok());
+  EXPECT_EQ(region.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PosixEnvTest, MapReadOnlyDirectoryIsIOError) {
+  PosixEnv env;
+  auto region = env.MapReadOnly(TempDir("mapdir"));
+  EXPECT_FALSE(region.ok());
+  EXPECT_EQ(region.status().code(), StatusCode::kIOError);
+}
+
+TEST(PosixEnvTest, MappedRegionSurvivesMove) {
+  PosixEnv env;
+  const std::string path = TempDir("mapmove") + "/file.bin";
+  ASSERT_TRUE(env.WriteFileAtomic(path, "stable").ok());
+  auto region = env.MapReadOnly(path);
+  ASSERT_TRUE(region.ok());
+  const char* before = region->data();
+  MappedRegion moved = std::move(*region);
+  EXPECT_EQ(moved.data(), before);  // the mapping itself never moves
+  EXPECT_EQ(moved.view(), "stable");
+}
+
+// The default (heap-backed) MapReadOnly goes through ReadFile, so a
+// fault injector's scripted read faults cover mapped opens unchanged.
+TEST(FaultInjectingEnvTest, MapReadOnlyAppliesScriptedReadFaults) {
+  PosixEnv base;
+  FaultInjectingEnv env(&base);
+  const std::string path = TempDir("mapfault") + "/file.bin";
+  ASSERT_TRUE(env.WriteFileAtomic(path, "abcdef").ok());
+  env.InjectReadFault(1, {.kind = Fault::Kind::kShortRead,
+                          .keep_bytes = 2});
+  auto region = env.MapReadOnly(path);
+  ASSERT_TRUE(region.ok());
+  EXPECT_EQ(region->view(), "ab");
+  env.InjectReadFault(2, {.kind = Fault::Kind::kBitFlip, .bit_index = 0});
+  auto flipped = env.MapReadOnly(path);
+  ASSERT_TRUE(flipped.ok());
+  EXPECT_EQ(flipped->view()[0], 'a' ^ 1);
+  EXPECT_EQ(env.read_count(), 2u);
+}
+
+TEST(RetryingEnvTest, MapReadOnlyRetriesTransientErrors) {
+  PosixEnv base;
+  FaultInjectingEnv faults(&base);
+  FakeClock clock;
+  RetryingEnv env(&faults, {}, &clock);
+  const std::string path = TempDir("mapretry") + "/file.bin";
+  ASSERT_TRUE(base.WriteFileAtomic(path, "eventually").ok());
+  faults.InjectReadFault(1, {.kind = Fault::Kind::kError,
+                             .code = StatusCode::kIOError});
+  auto region = env.MapReadOnly(path);
+  ASSERT_TRUE(region.ok()) << region.status().ToString();
+  EXPECT_EQ(region->view(), "eventually");
+  EXPECT_EQ(faults.read_count(), 2u);  // failed once, then succeeded
+}
+
 TEST(FaultInjectingEnvTest, KillSwitchFailsEveryOperationFromN) {
   PosixEnv base;
   FaultInjectingEnv env(&base);

@@ -1,0 +1,223 @@
+// Crafted hostile headers for every GFSZ payload kind. Unlike the
+// random mutations of corruption_fuzz_test.cc, every buffer here is a
+// structurally VALID container (WrapContainer computes a correct CRC
+// over the hostile payload), so nothing but the deserializers' own
+// semantic validation stands between a fabricated count and a
+// multi-gigabyte allocation. The suite runs under ASan in CI: an
+// allocation driven by an unvalidated field fails the job even when
+// the parse would later error out.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "io/container.h"
+#include "io/serialization.h"
+#include "knn/checkpoint.h"
+
+namespace gf::io {
+namespace {
+
+void ExpectCorruption(const Status& status, const char* what) {
+  EXPECT_EQ(status.code(), StatusCode::kCorruption)
+      << what << ": " << status.ToString();
+}
+
+template <typename T>
+void ExpectCorruption(const Result<T>& result, const char* what) {
+  ASSERT_FALSE(result.ok()) << what;
+  ExpectCorruption(result.status(), what);
+}
+
+// ---- FingerprintStore ---------------------------------------------------
+
+// Payload prefix: u64 num_bits, u32 hash kind, u64 seed, u64
+// hashes_per_item, u64 num_users.
+std::string StorePayload(uint64_t num_bits, uint32_t hash_kind,
+                         uint64_t users) {
+  std::string p;
+  PutU64(p, num_bits);
+  PutU32(p, hash_kind);
+  PutU64(p, 7);   // seed
+  PutU64(p, 2);   // hashes_per_item
+  PutU64(p, users);
+  return p;
+}
+
+TEST(HostileStoreHeaderTest, HugeUserCountIsRejected) {
+  for (const uint64_t users :
+       {uint64_t{1} << 40, uint64_t{1} << 62, uint64_t{0xFFFFFFFFFFFFFFFF}}) {
+    std::string p = StorePayload(256, 0, users);
+    p.append(64, '\0');  // a few real bytes, nowhere near users' worth
+    ExpectCorruption(DeserializeFingerprintStore(
+                         WrapContainer(PayloadKind::kFingerprintStore, p)),
+                     "huge user count");
+  }
+}
+
+TEST(HostileStoreHeaderTest, UserCountBeyondUserIdSpaceIsRejected) {
+  // 2^33 users would even "fit" a fabricated byte budget check if the
+  // payload lied consistently — the UserId-space bound must fire first.
+  const std::string p = StorePayload(64, 0, uint64_t{1} << 33);
+  ExpectCorruption(DeserializeFingerprintStore(
+                       WrapContainer(PayloadKind::kFingerprintStore, p)),
+                   "user count beyond 32-bit UserId space");
+}
+
+TEST(HostileStoreHeaderTest, HostileBitLengthIsRejected) {
+  for (const uint64_t num_bits :
+       {uint64_t{0}, uint64_t{100}, uint64_t{1} << 63,
+        uint64_t{0xFFFFFFFFFFFFFFC0}}) {
+    std::string p = StorePayload(num_bits, 0, 1);
+    p.append(64, '\0');
+    ExpectCorruption(DeserializeFingerprintStore(
+                         WrapContainer(PayloadKind::kFingerprintStore, p)),
+                     "hostile num_bits");
+  }
+}
+
+TEST(HostileStoreHeaderTest, UnknownHashKindIsRejected) {
+  const std::string p = StorePayload(64, 99, 0);
+  ExpectCorruption(DeserializeFingerprintStore(
+                       WrapContainer(PayloadKind::kFingerprintStore, p)),
+                   "unknown hash kind");
+}
+
+// ---- KnnGraph -----------------------------------------------------------
+
+// Payload prefix: u64 users, u64 k.
+std::string GraphPayload(uint64_t users, uint64_t k) {
+  std::string p;
+  PutU64(p, users);
+  PutU64(p, k);
+  return p;
+}
+
+TEST(HostileGraphHeaderTest, HugeUserCountIsRejected) {
+  std::string p = GraphPayload(uint64_t{1} << 40, 10);
+  p.append(64, '\0');
+  ExpectCorruption(
+      DeserializeKnnGraph(WrapContainer(PayloadKind::kKnnGraph, p)),
+      "huge user count");
+}
+
+TEST(HostileGraphHeaderTest, UserCountBeyondUserIdSpaceIsRejected) {
+  const std::string p = GraphPayload(uint64_t{1} << 36, 0);
+  ExpectCorruption(
+      DeserializeKnnGraph(WrapContainer(PayloadKind::kKnnGraph, p)),
+      "user count beyond 32-bit UserId space");
+}
+
+TEST(HostileGraphHeaderTest, HugeKIsRejected) {
+  // 4 users with k = 2^40 would be a 32 TiB dense edge table from a
+  // 100-byte payload.
+  std::string p = GraphPayload(4, uint64_t{1} << 40);
+  p.append(100, '\0');
+  ExpectCorruption(
+      DeserializeKnnGraph(WrapContainer(PayloadKind::kKnnGraph, p)),
+      "huge k");
+}
+
+TEST(HostileGraphHeaderTest, OutOfRangeNeighborIdIsRejected) {
+  std::string p = GraphPayload(2, 1);
+  PutU32(p, 1);       // user 0: one neighbor
+  PutU32(p, 7);       // id 7 >= 2 users
+  PutF32(p, 0.5f);
+  PutU32(p, 0);       // user 1: empty
+  ExpectCorruption(
+      DeserializeKnnGraph(WrapContainer(PayloadKind::kKnnGraph, p)),
+      "out-of-range neighbor id");
+}
+
+// ---- Dataset ------------------------------------------------------------
+
+TEST(HostileDatasetHeaderTest, HugeUserCountIsRejected) {
+  std::string p;
+  PutString(p, "hostile");
+  PutU64(p, uint64_t{1} << 40);  // users
+  PutU64(p, 10);                 // items
+  PutU64(p, 0);                  // entries
+  p.append(64, '\0');
+  ExpectCorruption(
+      DeserializeDataset(WrapContainer(PayloadKind::kDataset, p)),
+      "huge user count");
+}
+
+TEST(HostileDatasetHeaderTest, HugeProfileSizeIsRejected) {
+  std::string p;
+  PutString(p, "hostile");
+  PutU64(p, 1);           // users
+  PutU64(p, 10);          // items
+  PutU64(p, 5);           // entries
+  PutU32(p, 0xFFFFFFF0);  // profile claims ~4 billion items
+  ExpectCorruption(
+      DeserializeDataset(WrapContainer(PayloadKind::kDataset, p)),
+      "huge profile size");
+}
+
+// ---- BuildCheckpoint ----------------------------------------------------
+
+// Payload prefix through the RNG block, leaving the reader right at
+// the num_users x k dimension check.
+std::string CheckpointPayload(uint64_t users, uint64_t k) {
+  std::string p;
+  PutU32(p, static_cast<uint32_t>(CheckpointAlgorithm::kBruteForce));
+  PutU64(p, users);
+  PutU64(p, k);
+  PutU64(p, 7);  // seed
+  PutU64(p, 0);  // next_user
+  PutU64(p, 0);  // iterations
+  PutU64(p, 0);  // computations
+  PutU32(p, 0);  // updates history length
+  for (int lane = 0; lane < 4; ++lane) PutU64(p, 0);
+  PutF64(p, 0.0);  // rng spare
+  PutU8(p, 0);     // rng has_spare
+  return p;
+}
+
+TEST(HostileCheckpointHeaderTest, HugeUserCountIsRejected) {
+  std::string p = CheckpointPayload(uint64_t{1} << 40, 3);
+  p.append(64, '\0');
+  ExpectCorruption(DeserializeCheckpoint(
+                       WrapContainer(PayloadKind::kCheckpoint, p)),
+                   "huge user count");
+}
+
+TEST(HostileCheckpointHeaderTest, HugeKIsRejected) {
+  std::string p = CheckpointPayload(4, uint64_t{1} << 40);
+  p.append(100, '\0');
+  ExpectCorruption(DeserializeCheckpoint(
+                       WrapContainer(PayloadKind::kCheckpoint, p)),
+                   "huge k");
+}
+
+TEST(HostileCheckpointHeaderTest, HugeUpdateHistoryIsRejected) {
+  std::string p;
+  PutU32(p, static_cast<uint32_t>(CheckpointAlgorithm::kNNDescent));
+  PutU64(p, 0);  // users
+  PutU64(p, 0);  // k
+  PutU64(p, 0);
+  PutU64(p, 0);
+  PutU64(p, 0);
+  PutU64(p, 0);
+  PutU32(p, 0xFFFFFFF0);  // updates history claims ~4 billion entries
+  ExpectCorruption(DeserializeCheckpoint(
+                       WrapContainer(PayloadKind::kCheckpoint, p)),
+                   "huge updates history");
+}
+
+TEST(HostileCheckpointHeaderTest, OutOfRangeRowEntryIsRejected) {
+  std::string p = CheckpointPayload(2, 1);
+  PutU32(p, 1);     // user 0: one entry
+  PutU32(p, 9);     // id 9 >= 2 users
+  PutF32(p, 0.5f);
+  PutU8(p, 1);
+  PutU32(p, 0);     // user 1: empty
+  ExpectCorruption(DeserializeCheckpoint(
+                       WrapContainer(PayloadKind::kCheckpoint, p)),
+                   "out-of-range row entry");
+}
+
+}  // namespace
+}  // namespace gf::io

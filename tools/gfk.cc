@@ -10,6 +10,9 @@
 //                 --bits 1024 --out graph.gfsz
 //   gfk recommend --in ds.gfsz --graph graph.gfsz --user 0 --n 10
 //   gfk privacy   --in ds.gfsz --bits 1024
+//   gfk index write --in ds.gfsz --bits 1024 --shards 4 --out index.gfix
+//   gfk index info  --in index.gfix
+//   gfk serve     --index index.gfix --requests 1024 --clients 4 --k 10
 //   gfk help
 
 #include <atomic>
@@ -31,6 +34,7 @@
 #include "dataset/loader.h"
 #include "dataset/synthetic.h"
 #include "io/env.h"
+#include "io/gfix.h"
 #include "io/serialization.h"
 #include "core/sharded_store.h"
 #include "knn/builder.h"
@@ -72,6 +76,13 @@ int Usage() {
       "            splitmix] [--seed N] --out fp.gfsz\n"
       "  calibrate --in ds.gfsz [--reference 0.25] [--competitor 0.17]\n"
       "            [--max-misordering 0.02]\n"
+      "  index write --in ds.gfsz|--store fp.gfsz --out index.gfix\n"
+      "            [--bits 1024] [--seed N] [--shards 1] [--band-bits 32]\n"
+      "            [--threads N]\n"
+      "  index info --in index.gfix [--full]\n"
+      "  serve     --index index.gfix [--requests 1024] [--clients 4]\n"
+      "            [--k 10] [--max-queue 1024] [--max-batch 64]\n"
+      "            [--max-wait-us 200] [--seed N]\n"
       "  query-bench [--users 20000] [--bits 1024] [--batch 256]\n"
       "            [--threads N] [--k 10] [--seed N]\n"
       "            [--metrics-out metrics.json]\n"
@@ -342,6 +353,230 @@ int CmdCalibrate(const Flags& flags) {
   return 0;
 }
 
+// Balanced contiguous shard boundaries, same split rule as
+// ShardedFingerprintStore::Partition.
+std::vector<UserId> BalancedShardBegins(std::size_t num_users,
+                                        std::size_t num_shards) {
+  std::vector<UserId> begins;
+  begins.reserve(num_shards);
+  const std::size_t base = num_users / num_shards;
+  const std::size_t extra = num_users % num_shards;
+  UserId begin = 0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    begins.push_back(begin);
+    begin += static_cast<UserId>(base + (s < extra ? 1 : 0));
+  }
+  return begins;
+}
+
+int CmdIndexWrite(const Flags& flags) {
+  const std::string out = flags.GetString("out");
+  if (out.empty()) return Fail(Status::InvalidArgument("--out required"));
+  std::optional<ThreadPool> pool;
+  const int threads = flags.GetInt("threads", 0);
+  if (threads > 0) pool.emplace(static_cast<std::size_t>(threads));
+  ThreadPool* pool_ptr = pool ? &*pool : nullptr;
+
+  // Either a pre-built fingerprint store, or a dataset to fingerprint.
+  Result<FingerprintStore> store =
+      Status::InvalidArgument("--in (dataset) or --store required");
+  const std::string store_path = flags.GetString("store");
+  if (!store_path.empty()) {
+    store = io::ReadFingerprintStore(store_path);
+  } else if (!flags.GetString("in").empty()) {
+    auto dataset = io::ReadDataset(flags.GetString("in"));
+    if (!dataset.ok()) return Fail(dataset.status());
+    FingerprintConfig config;
+    config.num_bits = static_cast<std::size_t>(flags.GetInt("bits", 1024));
+    config.seed = static_cast<uint64_t>(flags.GetInt("seed", 0));
+    store = FingerprintStore::Build(*dataset, config, pool_ptr);
+  }
+  if (!store.ok()) return Fail(store.status());
+
+  io::GfixWriteOptions options;
+  const auto shards =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   flags.GetInt("shards", 1)));
+  options.shard_begins = BalancedShardBegins(store->num_users(), shards);
+
+  // --band-bits 0 skips the Bands section (serving then rebuilds or
+  // scans); any other value persists the banded-LSH buckets.
+  std::optional<BandedShfQueryEngine> bands;
+  const int band_bits = flags.GetInt("band-bits", 32);
+  if (band_bits > 0) {
+    BandedShfQueryEngine::Options band_options;
+    band_options.band_bits = static_cast<std::size_t>(band_bits);
+    auto built = BandedShfQueryEngine::Build(*store, band_options, pool_ptr);
+    if (!built.ok()) return Fail(built.status());
+    bands.emplace(std::move(*built));
+    options.bands = &*bands;
+  }
+
+  WallTimer timer;
+  if (const Status status = io::WriteGfixIndex(*store, out, options);
+      !status.ok()) {
+    return Fail(status);
+  }
+  const std::string bands_note =
+      bands ? std::to_string(bands->IndexedEntries()) + " banded entries"
+            : std::string("no bands");
+  std::printf(
+      "wrote %s in %.1f ms: %zu users x %zu bits, %zu shard(s), %s\n",
+      out.c_str(), timer.ElapsedSeconds() * 1e3, store->num_users(),
+      store->num_bits(), options.shard_begins.size(), bands_note.c_str());
+  return 0;
+}
+
+int CmdIndexInfo(const Flags& flags) {
+  const std::string path = flags.GetString("in");
+  if (path.empty()) return Fail(Status::InvalidArgument("--in required"));
+  io::MappedFingerprintStore::OpenOptions options;
+  if (flags.GetBool("full", false)) options.verify = io::GfixVerify::kFull;
+  WallTimer timer;
+  auto mapped = io::MappedFingerprintStore::Open(path, options);
+  if (!mapped.ok()) return Fail(mapped.status());
+  std::printf("%s: opened in %.2f ms (%s verify)\n", path.c_str(),
+              timer.ElapsedSeconds() * 1e3,
+              options.verify == io::GfixVerify::kFull ? "full" : "structure");
+  std::printf("  %zu users x %zu bits (%zu words/fingerprint)\n",
+              mapped->num_users(), mapped->num_bits(),
+              mapped->store().words_per_shf());
+  std::printf("  shards:");
+  for (const UserId begin : mapped->shard_begins()) {
+    std::printf(" %u", begin);
+  }
+  std::printf("\n");
+  if (mapped->has_bands()) {
+    auto bands = mapped->Bands();
+    if (!bands.ok()) return Fail(bands.status());
+    std::printf("  bands: %zu tables, %zu entries\n", bands->num_bands(),
+                bands->IndexedEntries());
+  } else {
+    std::printf("  bands: none\n");
+  }
+  return 0;
+}
+
+int CmdIndex(const Flags& flags) {
+  const auto& positional = flags.positional();
+  const std::string action = positional.size() > 1 ? positional[1] : "";
+  if (action == "write") return CmdIndexWrite(flags);
+  if (action == "info") return CmdIndexInfo(flags);
+  return Fail(Status::InvalidArgument(
+      "usage: gfk index write|info ... (see gfk help)"));
+}
+
+int CmdServe(const Flags& flags) {
+  // Serving from a persistent index: map the GFIX file (no rebuild, no
+  // arena copy), hydrate the persisted shard layout into a zero-copy
+  // sharded engine, and drive it through the QueryService front-end
+  // exactly like serve-bench — replies are verified bit-identical to
+  // the exhaustive scan over the same mapped store.
+  const std::string index_path = flags.GetString("index");
+  if (index_path.empty()) {
+    return Fail(Status::InvalidArgument("--index required"));
+  }
+  const auto requests =
+      static_cast<std::size_t>(flags.GetInt("requests", 1024));
+  const auto clients = static_cast<std::size_t>(flags.GetInt("clients", 4));
+  const auto k = static_cast<std::size_t>(flags.GetInt("k", 10));
+  if (requests == 0 || clients == 0 || k == 0) {
+    return Fail(Status::InvalidArgument(
+        "--requests, --clients and --k must be >= 1"));
+  }
+
+  obs::MetricRegistry registry;
+  obs::PipelineContext ctx;
+  ctx.metrics = &registry;
+
+  WallTimer open_timer;
+  auto mapped = io::MappedFingerprintStore::Open(index_path);
+  if (!mapped.ok()) return Fail(mapped.status());
+  auto sharded = mapped->Shards(&ctx);
+  if (!sharded.ok()) return Fail(sharded.status());
+  ShardedQueryEngine engine(*sharded, nullptr, &ctx);
+  const double open_ms = open_timer.ElapsedSeconds() * 1e3;
+
+  const std::size_t users = mapped->num_users();
+  if (users == 0) return Fail(Status::InvalidArgument("empty index"));
+  std::printf(
+      "%s: %zu users x %zu bits in %zu shard(s), serving after %.2f ms\n",
+      index_path.c_str(), users, mapped->num_bits(), sharded->num_shards(),
+      open_ms);
+
+  const std::size_t pool_size = std::min<std::size_t>(256, requests);
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)) ^ 0x5EED);
+  std::vector<Shf> queries;
+  queries.reserve(pool_size);
+  for (std::size_t q = 0; q < pool_size; ++q) {
+    queries.push_back(
+        mapped->store().Extract(static_cast<UserId>(rng.Below(users))));
+  }
+  const ScanQueryEngine scan(mapped->store());
+  auto truth = scan.QueryBatch(queries, k);
+  if (!truth.ok()) return Fail(truth.status());
+
+  QueryService::Options service_options;
+  service_options.max_queue =
+      static_cast<std::size_t>(flags.GetInt("max-queue", 1024));
+  service_options.max_batch =
+      static_cast<std::size_t>(flags.GetInt("max-batch", 64));
+  service_options.max_wait_micros =
+      static_cast<uint64_t>(flags.GetInt("max-wait-us", 200));
+  service_options.expected_bits = mapped->num_bits();
+  QueryService service(
+      [&engine](std::span<const Shf> batch, std::size_t kk) {
+        return engine.QueryBatch(batch, kk);
+      },
+      service_options, &ctx);
+
+  std::atomic<std::size_t> served{0};
+  std::atomic<std::size_t> rejected{0};
+  std::atomic<std::size_t> mismatched{0};
+  WallTimer timer;
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      std::vector<std::pair<std::size_t,
+                            std::future<Result<std::vector<Neighbor>>>>>
+          pending;
+      for (std::size_t r = c; r < requests; r += clients) {
+        const std::size_t q = r % pool_size;
+        pending.emplace_back(q, service.Submit(queries[q], k));
+      }
+      for (auto& [q, future] : pending) {
+        auto result = future.get();
+        if (!result.ok()) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        served.fetch_add(1, std::memory_order_relaxed);
+        const std::vector<Neighbor>& expected = (*truth)[q];
+        bool exact = result->size() == expected.size();
+        for (std::size_t i = 0; exact && i < expected.size(); ++i) {
+          exact = (*result)[i].id == expected[i].id &&
+                  (*result)[i].similarity == expected[i].similarity;
+        }
+        if (!exact) mismatched.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : client_threads) t.join();
+  const double secs = timer.ElapsedSeconds();
+  service.Shutdown();
+
+  std::printf("served %zu, rejected %zu, mismatched %zu in %.1f ms "
+              "(%.0f queries/s)\n",
+              served.load(), rejected.load(), mismatched.load(), secs * 1e3,
+              static_cast<double>(served.load()) / secs);
+  if (mismatched.load() != 0) {
+    return Fail(Status::Internal(
+        "mapped-index replies diverged from the scan"));
+  }
+  return 0;
+}
+
 int CmdQueryBench(const Flags& flags) {
   // Self-contained serving benchmark: synthesize a dataset, fingerprint
   // it, then compare per-pair sequential Query() against the batched
@@ -592,6 +827,8 @@ int main(int argc, char** argv) {
   if (command == "recommend") return gf::tools::CmdRecommend(*flags);
   if (command == "privacy") return gf::tools::CmdPrivacy(*flags);
   if (command == "fingerprint") return gf::tools::CmdFingerprint(*flags);
+  if (command == "index") return gf::tools::CmdIndex(*flags);
+  if (command == "serve") return gf::tools::CmdServe(*flags);
   if (command == "calibrate") return gf::tools::CmdCalibrate(*flags);
   if (command == "query-bench") return gf::tools::CmdQueryBench(*flags);
   if (command == "serve-bench") return gf::tools::CmdServeBench(*flags);
