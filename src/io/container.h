@@ -39,6 +39,12 @@ enum class PayloadKind : uint32_t {
   /// but the kind value is reserved here so the id spaces never
   /// collide.
   kIndex = 5,
+  /// Distributed serving wire messages (net/wire.h). Regular GFSZ
+  /// containers — a network frame is exactly one container, so the
+  /// hostile-header and CRC validation the on-disk artifacts get is
+  /// what every message off the socket gets too.
+  kQueryRequest = 6,
+  kQueryResponse = 7,
 };
 
 // ---- little-endian primitives -----------------------------------------

@@ -21,6 +21,17 @@ struct Neighbor {
   float similarity = -1.0f;
 };
 
+/// A neighbor carrying the selection order's full-precision double
+/// score. This is the form per-shard top-k crosses process boundaries
+/// in (net/wire.h): the distributed coordinator re-offers doubles
+/// through TopKSelector and rounds to Neighbor's float only at the very
+/// end, exactly like the single-box batch scan — rounding earlier could
+/// collapse distinct scores into equal floats and flip id tie-breaks.
+struct ScoredNeighbor {
+  UserId id = kInvalidUser;
+  double similarity = -1.0;
+};
+
 /// Immutable KNN graph: up to k neighbors per user, sorted by
 /// decreasing similarity.
 class KnnGraph {

@@ -80,7 +80,22 @@ Result<std::vector<Neighbor>> ScanQueryEngine::Query(const Shf& query,
 
 Result<std::vector<std::vector<Neighbor>>> ScanQueryEngine::QueryBatch(
     std::span<const Shf> queries, std::size_t k) const {
-  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  std::vector<std::vector<ScoredNeighbor>> scored;
+  GF_ASSIGN_OR_RETURN(scored, QueryBatchScored(queries, k));
+  // The same double-to-float rounding TopKSelector::Take applies.
+  std::vector<std::vector<Neighbor>> results(scored.size());
+  for (std::size_t q = 0; q < scored.size(); ++q) {
+    results[q].reserve(scored[q].size());
+    for (const ScoredNeighbor& sn : scored[q]) {
+      results[q].push_back({sn.id, static_cast<float>(sn.similarity)});
+    }
+  }
+  return results;
+}
+
+Result<std::vector<std::vector<ScoredNeighbor>>>
+ScanQueryEngine::QueryBatchScored(std::span<const Shf> queries,
+                                  std::size_t k) const {
   for (const Shf& query : queries) {
     if (query.num_bits() != store_->num_bits()) {
       return Status::InvalidArgument(
@@ -88,14 +103,8 @@ Result<std::vector<std::vector<Neighbor>>> ScanQueryEngine::QueryBatch(
           " bits, store uses " + std::to_string(store_->num_bits()));
     }
   }
-  const std::size_t nb = queries.size();
-  std::vector<std::vector<Neighbor>> results(nb);
-  if (nb == 0) return results;
-
-  Clock* clock = ClockOrNull(obs_);
-  const uint64_t t0 = latency_ != nullptr ? clock->NowMicros() : 0;
-
   // Pack the batch contiguously — the multi-query kernel's layout.
+  const std::size_t nb = queries.size();
   const std::size_t words = store_->words_per_shf();
   std::vector<uint64_t> query_words(nb * words);
   std::vector<uint32_t> query_cards(nb);
@@ -104,6 +113,37 @@ Result<std::vector<std::vector<Neighbor>>> ScanQueryEngine::QueryBatch(
     std::copy(w.begin(), w.end(), query_words.begin() + q * words);
     query_cards[q] = queries[q].cardinality();
   }
+  return QueryBatchPackedScored(query_words, query_cards, k);
+}
+
+Result<std::vector<std::vector<ScoredNeighbor>>>
+ScanQueryEngine::QueryBatchPackedScored(std::span<const uint64_t> query_words,
+                                        std::span<const uint32_t> query_cards,
+                                        std::size_t k) const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  const std::size_t nb = query_cards.size();
+  const std::size_t words = store_->words_per_shf();
+  if (query_words.size() != nb * words) {
+    return Status::InvalidArgument(
+        "packed batch holds " + std::to_string(query_words.size()) +
+        " words for " + std::to_string(nb) + " queries of " +
+        std::to_string(words) + " words each");
+  }
+  const uint32_t num_bits = static_cast<uint32_t>(store_->num_bits());
+  for (const uint32_t card : query_cards) {
+    // A cardinality above the bit length cannot come from a real SHF
+    // and would wrap Eq. 4's unsigned union estimate.
+    if (card > num_bits) {
+      return Status::InvalidArgument(
+          "packed query cardinality " + std::to_string(card) +
+          " exceeds the store's " + std::to_string(num_bits) + " bits");
+    }
+  }
+  std::vector<std::vector<ScoredNeighbor>> results(nb);
+  if (nb == 0) return results;
+
+  Clock* clock = ClockOrNull(obs_);
+  const uint64_t t0 = latency_ != nullptr ? clock->NowMicros() : 0;
 
   const std::size_t n = store_->num_users();
   std::vector<TopKSelector> global(nb, TopKSelector(k));
@@ -130,7 +170,7 @@ Result<std::vector<std::vector<Neighbor>>> ScanQueryEngine::QueryBatch(
     const std::lock_guard<std::mutex> lock(merge_mu);
     for (std::size_t q = 0; q < nb; ++q) global[q].MergeFrom(local[q]);
   });
-  for (std::size_t q = 0; q < nb; ++q) results[q] = global[q].Take();
+  for (std::size_t q = 0; q < nb; ++q) results[q] = global[q].TakeScored();
 
   if (batches_ != nullptr) {
     batches_->Add(1);

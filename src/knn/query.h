@@ -93,6 +93,21 @@ class TopKSelector {
     return out;
   }
 
+  /// The survivors with their full-precision double scores, best first.
+  /// Leaves the selector empty. This is the form a replica ships its
+  /// local top-k in (net/wire.h): re-offering these doubles into
+  /// another selector and Take()-ing is bit-identical to having offered
+  /// the underlying candidates directly, which is what keeps the
+  /// distributed scatter/merge exact.
+  std::vector<ScoredNeighbor> TakeScored() {
+    std::sort(heap_.begin(), heap_.end(), Better);
+    std::vector<ScoredNeighbor> out;
+    out.reserve(heap_.size());
+    for (const Entry& e : heap_) out.push_back({e.id, e.similarity});
+    heap_.clear();
+    return out;
+  }
+
  private:
   struct Entry {
     UserId id;
@@ -144,6 +159,23 @@ class ScanQueryEngine {
   /// tie-breaks) with Query(queries[i], k).
   Result<std::vector<std::vector<Neighbor>>> QueryBatch(
       std::span<const Shf> queries, std::size_t k) const;
+
+  /// QueryBatch keeping the selectors' full-precision double scores
+  /// (QueryBatch is this plus a float conversion). Replica servers
+  /// answer from this path so the coordinator's cross-shard merge can
+  /// run on doubles and stay bit-exact (net/wire.h).
+  Result<std::vector<std::vector<ScoredNeighbor>>> QueryBatchScored(
+      std::span<const Shf> queries, std::size_t k) const;
+
+  /// The batch core on the kernel's packed layout: query q's words at
+  /// query_words[q * words_per_shf, ...), cardinality query_cards[q] —
+  /// exactly how a wire request arrives (net/wire.h), so the serving
+  /// path never repacks. Sizes are validated; cardinalities must not
+  /// exceed the bit length (a hostile value could wrap Eq. 4's
+  /// unsigned union estimate).
+  Result<std::vector<std::vector<ScoredNeighbor>>> QueryBatchPackedScored(
+      std::span<const uint64_t> query_words,
+      std::span<const uint32_t> query_cards, std::size_t k) const;
 
   /// Convenience: fingerprints `profile` with the store's own config
   /// and queries.

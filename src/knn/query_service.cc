@@ -146,6 +146,11 @@ void QueryService::DispatcherLoop() {
 }
 
 std::size_t QueryService::DrainOnce() {
+  // Serialized with concurrent DrainOnce/Shutdown callers: two drains
+  // running the engine (and reading a possibly-fake clock) at once was
+  // a real race when a stepping-mode test shut down from one thread
+  // while another still stepped the service.
+  const std::lock_guard<std::mutex> lock(drain_mu_);
   std::vector<Request> batch;
   batch.reserve(options_.max_batch);
   while (batch.size() < options_.max_batch) {
@@ -161,11 +166,21 @@ std::size_t QueryService::DrainOnce() {
 
 void QueryService::Shutdown() {
   queue_.Close();
-  if (dispatcher_.joinable()) {
-    dispatcher_.join();  // the loop drains the queue before exiting
-  } else {
-    while (DrainOnce() > 0) {
+  // Joining is guarded: two concurrent Shutdown() calls (or Shutdown
+  // racing the destructor) both used to see dispatcher_.joinable() and
+  // both call join() on the same std::thread — undefined behavior. The
+  // first caller under the lock joins; later callers see a joined
+  // (non-joinable) thread and fall through.
+  {
+    const std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (dispatcher_.joinable()) {
+      dispatcher_.join();  // the loop drains the queue before exiting
     }
+  }
+  // Requests admitted before Close() are served even in stepping mode
+  // (no dispatcher); after a dispatcher join this finds an empty queue
+  // and is a no-op. DrainOnce serializes concurrent drainers itself.
+  while (DrainOnce() > 0) {
   }
   UpdateDepthGauge();
 }

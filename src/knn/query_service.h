@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
@@ -97,7 +98,9 @@ class QueryService {
   std::size_t DrainOnce();
 
   /// Stops admitting, serves everything already admitted, joins the
-  /// dispatcher. Idempotent.
+  /// dispatcher. Idempotent AND safe to call concurrently — with
+  /// itself, with the destructor, or with a stepping thread still in
+  /// DrainOnce (the join and the drains are each serialized).
   void Shutdown();
 
   /// Requests currently queued (the `query.queue_depth` gauge).
@@ -121,6 +124,12 @@ class QueryService {
   Clock* clock_;
   BoundedMpmcQueue<Request> queue_;
   std::thread dispatcher_;
+  /// Guards the dispatcher join (concurrent Shutdown/destructor calls
+  /// must not both join).
+  std::mutex lifecycle_mu_;
+  /// Serializes DrainOnce bodies (a stepping-mode Shutdown may race a
+  /// stepping thread).
+  std::mutex drain_mu_;
   // Cached instruments (null without a metrics sink).
   obs::Counter* submitted_ = nullptr;
   obs::Counter* rejected_ = nullptr;

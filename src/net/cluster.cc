@@ -1,0 +1,100 @@
+#include "net/cluster.h"
+
+#include <algorithm>
+
+namespace gf::net {
+
+std::size_t ClusterConfig::ShardOfUser(UserId u) const {
+  // First shard whose begin is PAST u, minus one.
+  const auto it =
+      std::upper_bound(shard_begins.begin(), shard_begins.end(), u);
+  return static_cast<std::size_t>(it - shard_begins.begin()) - 1;
+}
+
+Status ClusterConfig::Validate() const {
+  if (replicas.empty()) {
+    return Status::InvalidArgument("cluster has no shards");
+  }
+  for (std::size_t s = 0; s < replicas.size(); ++s) {
+    if (replicas[s].empty()) {
+      return Status::InvalidArgument("shard " + std::to_string(s) +
+                                     " has no replicas");
+    }
+    for (const std::string& address : replicas[s]) {
+      if (address.empty()) {
+        return Status::InvalidArgument("shard " + std::to_string(s) +
+                                       " has an empty replica address");
+      }
+    }
+  }
+  if (shard_begins.size() != replicas.size()) {
+    return Status::InvalidArgument(
+        "cluster has " + std::to_string(replicas.size()) + " shards but " +
+        std::to_string(shard_begins.size()) + " shard begins");
+  }
+  if (shard_begins.front() != 0) {
+    return Status::InvalidArgument("first shard must begin at user 0");
+  }
+  for (std::size_t s = 1; s < shard_begins.size(); ++s) {
+    if (shard_begins[s] < shard_begins[s - 1]) {
+      return Status::InvalidArgument("shard begins must be non-decreasing");
+    }
+  }
+  if (shard_begins.back() > num_users) {
+    return Status::InvalidArgument("last shard begins past num_users");
+  }
+  return Status::OK();
+}
+
+void HealthTracker::ReportSuccess(const std::string& address) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  State& state = states_[address];
+  state.consecutive_failures = 0;
+  state.unhealthy_until = 0;
+}
+
+void HealthTracker::ReportFailure(const std::string& address,
+                                  uint64_t now_micros) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  State& state = states_[address];
+  ++state.consecutive_failures;
+  if (state.consecutive_failures >= options_.unhealthy_after_failures) {
+    // Transitions (not quarantine extensions) are what the counter
+    // reports — one per healthy -> quarantined edge.
+    if (state.consecutive_failures == options_.unhealthy_after_failures &&
+        unhealthy_transitions_ != nullptr) {
+      unhealthy_transitions_->Add(1);
+    }
+    state.unhealthy_until = now_micros + options_.quarantine_micros;
+  }
+}
+
+bool HealthTracker::IsHealthy(const std::string& address,
+                              uint64_t now_micros) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = states_.find(address);
+  if (it == states_.end()) return true;
+  return now_micros >= it->second.unhealthy_until;
+}
+
+int HealthTracker::consecutive_failures(const std::string& address) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = states_.find(address);
+  return it == states_.end() ? 0 : it->second.consecutive_failures;
+}
+
+std::size_t PickReplica(const ClusterConfig& config, std::size_t shard,
+                        std::size_t attempt, const HealthTracker& health,
+                        uint64_t now_micros) {
+  const std::size_t r = config.replicas[shard].size();
+  const std::size_t preferred = (shard + attempt) % r;
+  for (std::size_t step = 0; step < r; ++step) {
+    const std::size_t candidate = (preferred + step) % r;
+    if (health.IsHealthy(config.replicas[shard][candidate], now_micros)) {
+      return candidate;
+    }
+  }
+  return preferred;  // everything quarantined: probe the nominal choice
+}
+
+}  // namespace gf::net

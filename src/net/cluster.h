@@ -1,0 +1,111 @@
+// Cluster topology, routing and replica health (DESIGN.md §14).
+//
+// A serving cluster is S contiguous user shards — the exact carve
+// ShardedFingerprintStore uses, so shard s owns global users
+// [shard_begins[s], shard_begins[s+1]) and a replica's local row r is
+// global user shard_begins[s] + r — each replicated on R addresses.
+// Queries scatter to ONE replica per shard; which one is decided by a
+// deterministic rotation (spreading primaries across replicas) filtered
+// through per-replica health:
+//
+//   attempt a of shard s prefers replicas[s][(s + a) % R], walking
+//   forward past replicas currently quarantined by the HealthTracker;
+//   when everything is quarantined the nominal choice is used anyway
+//   (a suspect replica beats no replica).
+//
+// Health is plain consecutive-failure counting with a fixed quarantine:
+// `unhealthy_after_failures` transport failures in a row quarantine the
+// address for `quarantine_micros`, after which ONE caller probes it
+// again (success resets the streak). Deliberately minimal — the
+// failure-matrix tests need transitions to be exact, not adaptive.
+
+#ifndef GF_NET_CLUSTER_H_
+#define GF_NET_CLUSTER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataset/types.h"
+#include "obs/metrics.h"
+
+namespace gf::net {
+
+/// Static description of the serving cluster.
+struct ClusterConfig {
+  /// replicas[s][r] = address of replica r of shard s ("host:port" for
+  /// PosixTransport, any non-empty token for FakeTransport). Every
+  /// shard needs at least one replica; counts may differ per shard.
+  std::vector<std::vector<std::string>> replicas;
+  /// shard_begins[s] = first global user id of shard s. Starts at 0,
+  /// non-decreasing — identical to ShardedFingerprintStore::ShardBegin
+  /// so single-box and distributed routing agree row for row.
+  std::vector<UserId> shard_begins;
+  /// One past the last global user id (closes the last shard).
+  UserId num_users = 0;
+
+  std::size_t num_shards() const { return replicas.size(); }
+
+  /// First / one-past-last global user id of shard `s`.
+  UserId ShardBeginOf(std::size_t s) const { return shard_begins[s]; }
+  UserId ShardEndOf(std::size_t s) const {
+    return s + 1 < shard_begins.size() ? shard_begins[s + 1] : num_users;
+  }
+
+  /// The shard owning user `u` (valid for u < num_users).
+  std::size_t ShardOfUser(UserId u) const;
+
+  /// Structural validation: >= 1 shard, >= 1 non-empty address per
+  /// shard, shard_begins aligned with replicas and monotone in
+  /// [0, num_users].
+  Status Validate() const;
+};
+
+/// Thread-safe per-address health book-keeping.
+class HealthTracker {
+ public:
+  struct Options {
+    /// Consecutive transport failures before an address is quarantined.
+    int unhealthy_after_failures = 3;
+    /// Quarantine length; after it expires the address is probed again.
+    uint64_t quarantine_micros = 100'000;
+  };
+
+  /// `unhealthy_transitions` (nullable) is bumped once per transition
+  /// into quarantine (the net.replica_unhealthy counter).
+  explicit HealthTracker(Options options,
+                         obs::Counter* unhealthy_transitions = nullptr)
+      : options_(options), unhealthy_transitions_(unhealthy_transitions) {}
+
+  void ReportSuccess(const std::string& address);
+  void ReportFailure(const std::string& address, uint64_t now_micros);
+
+  /// False while `address` sits in quarantine at `now_micros`.
+  bool IsHealthy(const std::string& address, uint64_t now_micros) const;
+
+  int consecutive_failures(const std::string& address) const;
+
+ private:
+  struct State {
+    int consecutive_failures = 0;
+    uint64_t unhealthy_until = 0;
+  };
+
+  Options options_;
+  obs::Counter* unhealthy_transitions_;
+  mutable std::mutex mu_;
+  std::map<std::string, State> states_;
+};
+
+/// The replica index attempt `attempt` (0-based) of shard `shard`
+/// should target, per the rotation-plus-health policy above.
+std::size_t PickReplica(const ClusterConfig& config, std::size_t shard,
+                        std::size_t attempt, const HealthTracker& health,
+                        uint64_t now_micros);
+
+}  // namespace gf::net
+
+#endif  // GF_NET_CLUSTER_H_

@@ -1,0 +1,121 @@
+#include "net/fake_transport.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gf::net {
+
+void FakeTransport::RegisterHandler(const std::string& address,
+                                    Handler handler) {
+  handlers_[address] = std::move(handler);
+}
+
+void FakeTransport::UnregisterHandler(const std::string& address) {
+  handlers_.erase(address);
+}
+
+void FakeTransport::ScriptNext(const std::string& address,
+                               Behavior behavior) {
+  scripts_[address].push_back(behavior);
+}
+
+void FakeTransport::Schedule(uint64_t time, std::function<void()> fire) {
+  events_.push_back({time, next_seq_++, std::move(fire)});
+  std::push_heap(events_.begin(), events_.end(),
+                 [](const Event& a, const Event& b) {
+                   // Max-heap comparator inverted: smallest (time, seq)
+                   // surfaces first.
+                   return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+                 });
+}
+
+FakeTransport::Event FakeTransport::PopNext() {
+  std::pop_heap(events_.begin(), events_.end(),
+                [](const Event& a, const Event& b) {
+                  return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+                });
+  Event event = std::move(events_.back());
+  events_.pop_back();
+  return event;
+}
+
+void FakeTransport::CallAsync(const std::string& address,
+                              std::string request_frame,
+                              uint64_t deadline_micros,
+                              TransportCallback callback) {
+  ++calls_issued_;
+  Behavior behavior;
+  auto script = scripts_.find(address);
+  if (script != scripts_.end() && !script->second.empty()) {
+    behavior = script->second.front();
+    script->second.pop_front();
+  }
+  const uint64_t now = clock_->NowMicros();
+  const uint64_t delivery = now + behavior.latency_micros;
+
+  // A dropped request, and a response that could not exist before the
+  // deadline, both surface as kDeadlineExceeded AT the deadline — the
+  // caller never hangs and never hears a late success for this call.
+  if (behavior.drop || delivery > deadline_micros) {
+    Schedule(std::max(deadline_micros, now), [callback]() {
+      callback(Status::DeadlineExceeded("fake transport: no response"));
+    });
+    return;
+  }
+
+  Schedule(delivery, [this, address, behavior,
+                      request = std::move(request_frame), callback]() {
+    auto handler = handlers_.find(address);
+    if (behavior.fail_unavailable || handler == handlers_.end()) {
+      // Connection refused / replica died while the request was in
+      // flight.
+      callback(Status::Unavailable("fake transport: " + address +
+                                   " is unreachable"));
+      return;
+    }
+    std::string response = handler->second(request);
+    if (behavior.truncate_response_to < response.size()) {
+      response.resize(behavior.truncate_response_to);
+    }
+    if (behavior.corrupt_response_byte >= 0 &&
+        static_cast<std::size_t>(behavior.corrupt_response_byte) <
+            response.size()) {
+      response[static_cast<std::size_t>(behavior.corrupt_response_byte)] ^=
+          0x40;
+    }
+    callback(response);
+    for (int d = 0; d < behavior.duplicate_responses; ++d) {
+      callback(response);
+    }
+  });
+}
+
+std::size_t FakeTransport::Drive(uint64_t until_micros) {
+  std::size_t delivered = 0;
+  // Fired events may schedule new ones (the coordinator issues
+  // failover calls from completion callbacks), so the loop re-examines
+  // the heap top every iteration. Delivery stops after the earliest
+  // batch of same-timestamp events (plus anything they scheduled for
+  // that same instant): the caller gets control back to react — fire a
+  // hedge, notice its scatter completed — before the clock moves past
+  // the completion time.
+  while (!events_.empty()) {
+    const uint64_t next = events_.front().time;
+    if (next > until_micros) break;
+    if (delivered > 0 && next > clock_->NowMicros()) break;
+    if (next > clock_->NowMicros()) {
+      clock_->Advance(next - clock_->NowMicros());
+    }
+    Event event = PopNext();
+    event.fire();
+    ++delivered;
+  }
+  // Only an idle Drive advances the clock all the way to `until`;
+  // otherwise time stops at the delivered batch's timestamp.
+  if (delivered == 0 && clock_->NowMicros() < until_micros) {
+    clock_->Advance(until_micros - clock_->NowMicros());
+  }
+  return delivered;
+}
+
+}  // namespace gf::net

@@ -1,0 +1,106 @@
+// Deterministic in-process Transport for the failure-matrix tests.
+//
+// Replicas register a Handler per address; a scripted Behavior queue
+// per address decides what happens to each call in FIFO order (latency,
+// drop, duplication, frame mangling). Nothing happens until Drive():
+// events sit in a min-heap keyed by delivery time, and Drive advances
+// the FakeClock event by event, invoking handlers and completions
+// inline on the caller's thread. The result is a distributed-systems
+// test bench with zero real sleeps and a totally ordered, reproducible
+// schedule — the same property the FaultInjectingEnv gives the storage
+// layer.
+//
+// Threading: single-threaded by design (the FakeClock it drives is not
+// thread-safe). CallAsync MAY be called from inside a completion
+// callback (that is how the coordinator issues failovers); Drive must
+// not be re-entered.
+
+#ifndef GF_NET_FAKE_TRANSPORT_H_
+#define GF_NET_FAKE_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace gf::net {
+
+class FakeTransport : public Transport {
+ public:
+  /// Serves one request frame, returns the response frame (the
+  /// ReplicaServer's Handle, in production shape).
+  using Handler = std::function<std::string(std::string_view)>;
+
+  /// What happens to one call. Defaults model a healthy, instant
+  /// replica; tests script deviations per call.
+  struct Behavior {
+    /// Delivery (or failure) happens this long after CallAsync.
+    uint64_t latency_micros = 0;
+    /// The request vanishes: the caller hears nothing until its
+    /// deadline, then kDeadlineExceeded.
+    bool drop = false;
+    /// Connection refused at delivery time (kUnavailable), without
+    /// consuming the handler.
+    bool fail_unavailable = false;
+    /// Truncate the RESPONSE frame to this many bytes (torn frame —
+    /// must surface as kCorruption at the decoder, never a hang).
+    std::size_t truncate_response_to = std::numeric_limits<std::size_t>::max();
+    /// Flip one bit of this response byte (CRC must catch it).
+    std::ptrdiff_t corrupt_response_byte = -1;
+    /// Deliver the response this many EXTRA times (duplication).
+    int duplicate_responses = 0;
+  };
+
+  /// `clock` must outlive the transport and is advanced by Drive.
+  explicit FakeTransport(FakeClock* clock) : clock_(clock) {}
+
+  /// Routes calls for `address` to `handler` (replacing any previous
+  /// one). The handler is consulted at DELIVERY time, not call time.
+  void RegisterHandler(const std::string& address, Handler handler);
+
+  /// Replica death: calls delivered to `address` from now on complete
+  /// with kUnavailable — including calls already in flight, exactly
+  /// like a process that died mid-request.
+  void UnregisterHandler(const std::string& address);
+
+  /// Queues `behavior` for the next un-scripted call to `address`
+  /// (FIFO). Calls beyond the script fall back to default Behavior.
+  void ScriptNext(const std::string& address, Behavior behavior);
+
+  std::size_t calls_issued() const { return calls_issued_; }
+  std::size_t pending_events() const { return events_.size(); }
+
+  // Transport:
+  void CallAsync(const std::string& address, std::string request_frame,
+                 uint64_t deadline_micros, TransportCallback callback) override;
+  std::size_t Drive(uint64_t until_micros) override;
+  Clock* clock() override { return clock_; }
+
+ private:
+  struct Event {
+    uint64_t time = 0;
+    uint64_t seq = 0;  // FIFO among same-time events
+    std::function<void()> fire;
+  };
+
+  void Schedule(uint64_t time, std::function<void()> fire);
+  /// Pops the earliest event (smallest time, then seq).
+  Event PopNext();
+
+  FakeClock* clock_;
+  std::map<std::string, Handler> handlers_;
+  std::map<std::string, std::deque<Behavior>> scripts_;
+  std::vector<Event> events_;  // heap by (time, seq), smallest on top
+  uint64_t next_seq_ = 0;
+  std::size_t calls_issued_ = 0;
+};
+
+}  // namespace gf::net
+
+#endif  // GF_NET_FAKE_TRANSPORT_H_

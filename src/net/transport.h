@@ -1,0 +1,80 @@
+// The transport seam of the distributed serving tier (DESIGN.md §14).
+//
+// Everything above this interface — routing, hedging, failover, the
+// scatter/gather merge — is written against Transport and therefore
+// runs unchanged on either implementation:
+//
+//   FakeTransport  (fake_transport.h)  in-process, driven by a
+//     FakeClock: per-message latency, drops, duplication and frame
+//     mangling are scripted, and Drive() delivers completions
+//     deterministically on the caller's thread. Every failure-matrix
+//     test runs here with zero real sleeps.
+//   PosixTransport (posix_transport.h)  real blocking sockets with the
+//     Env-style error taxonomy (kUnavailable for connection failures,
+//     kDeadlineExceeded for timeouts, kCorruption for torn frames).
+//
+// The contract mirrors an async RPC stack deliberately stripped to what
+// the coordinator needs:
+//
+//   * CallAsync never blocks the caller. The callback fires from
+//     Drive() (FakeTransport) or from a background thread
+//     (PosixTransport) — implementations say which, callers that need
+//     mutual exclusion bring their own lock.
+//   * A callback may fire MORE THAN ONCE: networks duplicate, and the
+//     fake can be scripted to. Callers must treat completions as
+//     at-least-once and ignore late/duplicate ones.
+//   * Exactly-once is NOT promised either way: a call whose response
+//     cannot be produced by `deadline_micros` (absolute, on clock())
+//     completes with kDeadlineExceeded instead.
+//   * Drive(until) lends the caller's thread to the transport until
+//     `until` (absolute micros on clock()) or until progress was made,
+//     whichever is first. Callers loop: issue calls, Drive to the next
+//     timer (hedge or deadline), react, repeat. On FakeTransport this
+//     is also what advances the clock — no test ever sleeps.
+
+#ifndef GF_NET_TRANSPORT_H_
+#define GF_NET_TRANSPORT_H_
+
+#include <functional>
+#include <string>
+
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace gf::net {
+
+/// Completion of one CallAsync: the raw response frame bytes, or the
+/// transport-level failure (kUnavailable, kDeadlineExceeded,
+/// kCorruption, kIOError). May be invoked more than once per call
+/// (duplicate delivery); it is invoked at least once unless the
+/// transport is destroyed first.
+using TransportCallback = std::function<void(Result<std::string>)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends `request_frame` to `address` and eventually completes
+  /// `callback` with the response frame or a failure. Never blocks.
+  /// `deadline_micros` is an ABSOLUTE time on clock(): if no response
+  /// frame has been delivered by then, the callback receives
+  /// kDeadlineExceeded (the transport still owns cleanup of the late
+  /// response — callers never leak an in-flight slot).
+  virtual void CallAsync(const std::string& address,
+                         std::string request_frame, uint64_t deadline_micros,
+                         TransportCallback callback) = 0;
+
+  /// Lends the calling thread to the transport until clock() reaches
+  /// `until_micros` or at least one completion was delivered. Returns
+  /// the number of completions delivered during the call (0 = the
+  /// timer expired first).
+  virtual std::size_t Drive(uint64_t until_micros) = 0;
+
+  /// The time source deadlines are measured on. FakeTransport returns
+  /// its FakeClock; PosixTransport the system clock.
+  virtual Clock* clock() = 0;
+};
+
+}  // namespace gf::net
+
+#endif  // GF_NET_TRANSPORT_H_

@@ -1,0 +1,248 @@
+#include "net/wire.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "io/container.h"
+
+namespace gf::net {
+
+namespace {
+
+using io::PayloadKind;
+using io::PutF64;
+using io::PutString;
+using io::PutU32;
+using io::PutU64;
+using io::Reader;
+
+Status BadField(const char* what, uint64_t got, uint64_t bound) {
+  return Status::Corruption(std::string("wire message ") + what + " " +
+                            std::to_string(got) + " exceeds bound " +
+                            std::to_string(bound));
+}
+
+}  // namespace
+
+Result<QueryBatchRequest> QueryBatchRequest::Pack(uint64_t request_id,
+                                                  std::span<const Shf> queries,
+                                                  std::size_t k) {
+  if (k == 0 || k > kMaxWireK) {
+    return Status::InvalidArgument("k must be in [1, " +
+                                   std::to_string(kMaxWireK) + "]");
+  }
+  if (queries.empty()) {
+    return Status::InvalidArgument("empty query batch");
+  }
+  if (queries.size() > kMaxWireQueries) {
+    return Status::InvalidArgument("batch of " +
+                                   std::to_string(queries.size()) +
+                                   " queries exceeds the wire cap");
+  }
+  const std::size_t bits = queries.front().num_bits();
+  if (bits == 0 || bits % 64 != 0 || bits > kMaxWireBits) {
+    return Status::InvalidArgument("query bit length " +
+                                   std::to_string(bits) +
+                                   " not representable on the wire");
+  }
+  QueryBatchRequest request;
+  request.request_id = request_id;
+  request.k = static_cast<uint32_t>(k);
+  request.num_bits = static_cast<uint32_t>(bits);
+  const std::size_t words = bits / 64;
+  request.query_cards.reserve(queries.size());
+  request.query_words.reserve(queries.size() * words);
+  for (const Shf& query : queries) {
+    if (query.num_bits() != bits) {
+      return Status::InvalidArgument(
+          "mixed bit lengths in one wire batch (" + std::to_string(bits) +
+          " vs " + std::to_string(query.num_bits()) + ")");
+    }
+    request.query_cards.push_back(query.cardinality());
+    const auto w = query.words();
+    request.query_words.insert(request.query_words.end(), w.begin(), w.end());
+  }
+  return request;
+}
+
+std::string EncodeQueryRequest(const QueryBatchRequest& request) {
+  std::string payload;
+  const std::size_t words = request.words_per_query();
+  payload.reserve(20 + request.num_queries() * (4 + 8 * words));
+  PutU64(payload, request.request_id);
+  PutU32(payload, request.k);
+  PutU32(payload, request.num_bits);
+  PutU32(payload, static_cast<uint32_t>(request.num_queries()));
+  for (const uint32_t card : request.query_cards) PutU32(payload, card);
+  for (const uint64_t word : request.query_words) PutU64(payload, word);
+  return io::WrapContainer(PayloadKind::kQueryRequest, std::move(payload));
+}
+
+Result<QueryBatchRequest> DecodeQueryRequest(std::string_view frame) {
+  std::string_view payload;
+  GF_ASSIGN_OR_RETURN(payload,
+                      io::UnwrapContainer(frame, PayloadKind::kQueryRequest));
+  Reader reader(payload);
+  QueryBatchRequest request;
+  uint32_t num_queries = 0;
+  GF_RETURN_IF_ERROR(reader.ReadU64(&request.request_id));
+  GF_RETURN_IF_ERROR(reader.ReadU32(&request.k));
+  GF_RETURN_IF_ERROR(reader.ReadU32(&request.num_bits));
+  GF_RETURN_IF_ERROR(reader.ReadU32(&num_queries));
+  if (request.k == 0) return Status::Corruption("wire request with k = 0");
+  if (request.k > kMaxWireK) return BadField("k", request.k, kMaxWireK);
+  if (request.num_bits == 0 || request.num_bits % 64 != 0) {
+    return Status::Corruption("wire request bit length " +
+                              std::to_string(request.num_bits) +
+                              " is not a positive multiple of 64");
+  }
+  if (request.num_bits > kMaxWireBits) {
+    return BadField("num_bits", request.num_bits, kMaxWireBits);
+  }
+  if (num_queries == 0) {
+    return Status::Corruption("wire request with no queries");
+  }
+  if (num_queries > kMaxWireQueries) {
+    return BadField("num_queries", num_queries, kMaxWireQueries);
+  }
+  // Count-vs-bytes gate, division form (no overflow), BEFORE the
+  // proportional allocations below.
+  const std::size_t words = request.num_bits / 64;
+  const std::size_t per_query_bytes = 4 + 8 * words;
+  if (reader.remaining() / per_query_bytes < num_queries) {
+    return Status::Corruption(
+        "wire request promises " + std::to_string(num_queries) +
+        " queries but holds " + std::to_string(reader.remaining()) +
+        " payload bytes");
+  }
+  if (reader.remaining() != num_queries * per_query_bytes) {
+    return Status::Corruption("wire request payload has trailing bytes");
+  }
+  request.query_cards.resize(num_queries);
+  for (uint32_t q = 0; q < num_queries; ++q) {
+    GF_RETURN_IF_ERROR(reader.ReadU32(&request.query_cards[q]));
+    if (request.query_cards[q] > request.num_bits) {
+      return Status::Corruption(
+          "wire query cardinality " + std::to_string(request.query_cards[q]) +
+          " exceeds the fingerprint bit length");
+    }
+  }
+  request.query_words.resize(static_cast<std::size_t>(num_queries) * words);
+  for (uint64_t& word : request.query_words) {
+    GF_RETURN_IF_ERROR(reader.ReadU64(&word));
+  }
+  return request;
+}
+
+std::string EncodeQueryResponse(const QueryBatchResponse& response) {
+  std::string payload;
+  PutU64(payload, response.request_id);
+  PutU32(payload, static_cast<uint32_t>(response.status.code()));
+  PutString(payload, response.status.message());
+  PutU32(payload, static_cast<uint32_t>(response.results.size()));
+  for (const auto& neighbors : response.results) {
+    PutU32(payload, static_cast<uint32_t>(neighbors.size()));
+    for (const ScoredNeighbor& neighbor : neighbors) {
+      PutU32(payload, neighbor.id);
+      PutF64(payload, neighbor.similarity);
+    }
+  }
+  return io::WrapContainer(PayloadKind::kQueryResponse, std::move(payload));
+}
+
+Result<QueryBatchResponse> DecodeQueryResponse(std::string_view frame) {
+  std::string_view payload;
+  GF_ASSIGN_OR_RETURN(payload,
+                      io::UnwrapContainer(frame, PayloadKind::kQueryResponse));
+  Reader reader(payload);
+  QueryBatchResponse response;
+  uint32_t code = 0;
+  std::string message;
+  uint32_t num_queries = 0;
+  GF_RETURN_IF_ERROR(reader.ReadU64(&response.request_id));
+  GF_RETURN_IF_ERROR(reader.ReadU32(&code));
+  GF_RETURN_IF_ERROR(reader.ReadString(&message));
+  GF_RETURN_IF_ERROR(reader.ReadU32(&num_queries));
+  if (code > static_cast<uint32_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::Corruption("wire response carries unknown status code " +
+                              std::to_string(code));
+  }
+  response.status = code == 0
+                        ? Status::OK()
+                        : Status(static_cast<StatusCode>(code),
+                                 std::move(message));
+  if (num_queries > kMaxWireQueries) {
+    return BadField("num_queries", num_queries, kMaxWireQueries);
+  }
+  // Even an all-empty result list costs 4 bytes per query: gate the
+  // outer allocation on that before reserving.
+  if (reader.remaining() / 4 < num_queries) {
+    return Status::Corruption(
+        "wire response promises " + std::to_string(num_queries) +
+        " result lists but holds " + std::to_string(reader.remaining()) +
+        " payload bytes");
+  }
+  response.results.resize(num_queries);
+  for (uint32_t q = 0; q < num_queries; ++q) {
+    uint32_t count = 0;
+    GF_RETURN_IF_ERROR(reader.ReadU32(&count));
+    if (count > kMaxWireK) return BadField("neighbor count", count, kMaxWireK);
+    constexpr std::size_t kNeighborBytes = 4 + 8;
+    if (reader.remaining() / kNeighborBytes < count) {
+      return Status::Corruption(
+          "wire response promises " + std::to_string(count) +
+          " neighbors but holds " + std::to_string(reader.remaining()) +
+          " payload bytes");
+    }
+    auto& neighbors = response.results[q];
+    neighbors.resize(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      GF_RETURN_IF_ERROR(reader.ReadU32(&neighbors[i].id));
+      GF_RETURN_IF_ERROR(reader.ReadF64(&neighbors[i].similarity));
+      const double sim = neighbors[i].similarity;
+      // A NaN (or out-of-range) score would poison the merge
+      // selector's strict weak order; similarity estimates live in
+      // [0, 1] by construction.
+      if (!(sim >= 0.0 && sim <= 1.0)) {
+        return Status::Corruption(
+            "wire response similarity out of [0, 1]");
+      }
+    }
+  }
+  if (reader.remaining() != 0) {
+    return Status::Corruption("wire response payload has trailing bytes");
+  }
+  return response;
+}
+
+Result<std::size_t> FramePayloadBytes(std::string_view header) {
+  if (header.size() < kFrameHeaderBytes) {
+    return Status::Corruption("wire frame header truncated (" +
+                              std::to_string(header.size()) + " bytes)");
+  }
+  if (std::memcmp(header.data(), "GFSZ", 4) != 0) {
+    return Status::Corruption("wire frame is not a GFSZ container");
+  }
+  Reader reader(header.substr(4));
+  uint32_t version = 0, kind = 0;
+  uint64_t length = 0;
+  GF_RETURN_IF_ERROR(reader.ReadU32(&version));
+  GF_RETURN_IF_ERROR(reader.ReadU32(&kind));
+  GF_RETURN_IF_ERROR(reader.ReadU64(&length));
+  if (version != 1) {
+    return Status::Corruption("wire frame format version " +
+                              std::to_string(version) + " unsupported");
+  }
+  if (kind != static_cast<uint32_t>(io::PayloadKind::kQueryRequest) &&
+      kind != static_cast<uint32_t>(io::PayloadKind::kQueryResponse)) {
+    return Status::Corruption("wire frame carries non-wire payload kind " +
+                              std::to_string(kind));
+  }
+  if (length > kMaxWireFrameBytes) {
+    return BadField("frame length", length, kMaxWireFrameBytes);
+  }
+  // Payload plus the 4-byte CRC trailer.
+  return static_cast<std::size_t>(length) + 4;
+}
+
+}  // namespace gf::net

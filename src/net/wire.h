@@ -1,0 +1,111 @@
+// Wire protocol for the distributed serving tier (DESIGN.md §14). A
+// network message is exactly one GFSZ container (io/container.h): the
+// 20-byte header carries magic/version/kind/length, the payload is
+// kind-specific, and a CRC-32 trailer seals it — so every frame off a
+// socket gets the same validation discipline the on-disk artifacts get,
+// and a torn or truncated frame surfaces as Status::Corruption, never a
+// hang or an oversized allocation.
+//
+// Two message kinds:
+//
+//   kQueryRequest   a batch of query fingerprints + k. The queries ship
+//                   PACKED (all cardinalities, then all words row-major)
+//                   — the exact layout the multi-query SIMD kernel
+//                   consumes, so a replica scores a request with zero
+//                   repacking.
+//   kQueryResponse  per-query top-k lists with DOUBLE similarities.
+//                   Doubles (not the public float Neighbor) are what
+//                   keeps the distributed merge bit-exact: the
+//                   coordinator re-offers them through TopKSelector's
+//                   total order and only the final Take() rounds to
+//                   float, exactly like the single-box batch scan.
+//
+// Hostile-header rules (PR 6) apply to every field: counts are checked
+// against the actual payload bytes IN DIVISION FORM before any
+// proportional allocation, cardinalities are bounded by num_bits,
+// similarities must be finite and in [0, 1] (a NaN would poison the
+// selector's strict weak order), and bit widths/batch sizes/k are
+// capped by the kMaxWire* constants below.
+
+#ifndef GF_NET_WIRE_H_
+#define GF_NET_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/shf.h"
+#include "knn/graph.h"
+
+namespace gf::net {
+
+/// Hard caps on wire-declared sizes, enforced before allocation.
+inline constexpr uint32_t kMaxWireBits = 1u << 20;      // 128 KiB / query
+inline constexpr uint32_t kMaxWireQueries = 1u << 16;   // per batch
+inline constexpr uint32_t kMaxWireK = 1u << 20;
+/// Upper bound a socket reader enforces on the header's promised frame
+/// size before reading (or allocating) the body.
+inline constexpr uint64_t kMaxWireFrameBytes = uint64_t{1} << 30;
+
+/// A query batch in the kernel's packed layout.
+struct QueryBatchRequest {
+  uint64_t request_id = 0;
+  uint32_t k = 0;
+  uint32_t num_bits = 0;
+  /// num_queries() entries.
+  std::vector<uint32_t> query_cards;
+  /// num_queries() x (num_bits / 64) row-major words.
+  std::vector<uint64_t> query_words;
+
+  std::size_t num_queries() const { return query_cards.size(); }
+  std::size_t words_per_query() const { return num_bits / 64; }
+
+  /// Packs `queries` (all of the same bit length) into a request.
+  static Result<QueryBatchRequest> Pack(uint64_t request_id,
+                                        std::span<const Shf> queries,
+                                        std::size_t k);
+};
+
+/// A replica's answer: either a per-query list of scored neighbors, or
+/// the replica's own error status (transport-level failures never reach
+/// this type — they arrive as the transport callback's Status).
+struct QueryBatchResponse {
+  uint64_t request_id = 0;
+  Status status;  // OK or the server-side failure
+  /// One list per request query (empty on error), best first, ids
+  /// already offset into the global user space.
+  std::vector<std::vector<ScoredNeighbor>> results;
+};
+
+/// Frames the request as one GFSZ container (kind kQueryRequest).
+std::string EncodeQueryRequest(const QueryBatchRequest& request);
+
+/// Validates the container and every payload field. Any mismatch —
+/// torn frame, bad CRC, counts exceeding the payload, out-of-range
+/// cardinality — is Status::Corruption with a precise message.
+Result<QueryBatchRequest> DecodeQueryRequest(std::string_view frame);
+
+/// Frames the response as one GFSZ container (kind kQueryResponse).
+std::string EncodeQueryResponse(const QueryBatchResponse& response);
+
+/// Validates the container and every payload field (counts in division
+/// form before allocation; similarities finite in [0, 1]).
+Result<QueryBatchResponse> DecodeQueryResponse(std::string_view frame);
+
+/// Number of bytes of a GFSZ frame header (a socket reader pulls this
+/// many bytes first, then FramePayloadBytes tells it how many more).
+inline constexpr std::size_t kFrameHeaderBytes = 20;
+
+/// Validates the 20-byte frame header prefix (magic, version, a wire
+/// message kind, promised length <= kMaxWireFrameBytes) and returns how
+/// many bytes FOLLOW the header (payload + CRC trailer). This is the
+/// pre-allocation gate for socket readers: nothing is read or sized
+/// from an unvalidated length.
+Result<std::size_t> FramePayloadBytes(std::string_view header);
+
+}  // namespace gf::net
+
+#endif  // GF_NET_WIRE_H_

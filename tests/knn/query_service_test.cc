@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <vector>
 
 #include "common/bit_util.h"
@@ -214,6 +215,57 @@ TEST(QueryServiceTest, ThreadedEndToEndMatchesScan) {
     }
   }
   service.Shutdown();
+}
+
+// Regression: two Shutdown() callers (or Shutdown racing the
+// destructor) used to BOTH see dispatcher_.joinable() and both join the
+// same std::thread — undefined behavior. The join is now guarded; every
+// admitted request must still be answered exactly once.
+TEST(QueryServiceTest, ConcurrentShutdownCallsJoinExactlyOnce) {
+  Rng rng(8);
+  const auto store = RandomStore(30, 128, rng);
+  const ScanQueryEngine engine(store);
+  QueryService service(EngineFn(engine), QueryService::Options{});
+
+  std::vector<std::future<Result<std::vector<Neighbor>>>> futures;
+  for (std::size_t q = 0; q < 20; ++q) {
+    futures.push_back(
+        service.Submit(store.Extract(static_cast<UserId>(q % 30)), 4));
+  }
+  std::vector<std::thread> closers;
+  for (int t = 0; t < 4; ++t) {
+    closers.emplace_back([&service] { service.Shutdown(); });
+  }
+  for (auto& closer : closers) closer.join();
+  // No reply lost on Close(): everything admitted resolves.
+  for (auto& future : futures) EXPECT_TRUE(future.get().ok());
+}
+
+// Regression: in stepping mode a Shutdown() from one thread could run
+// the drain loop concurrently with a stepping thread still inside
+// DrainOnce() — two engine calls mutating batch state at once (a TSan
+// report). DrainOnce bodies are now serialized; whichever thread takes
+// a request must answer it.
+TEST(QueryServiceTest, SteppingShutdownRacesAStepperWithoutLostReplies) {
+  Rng rng(9);
+  const auto store = RandomStore(30, 128, rng);
+  const ScanQueryEngine engine(store);
+  auto options = SteppingOptions();
+  options.max_batch = 2;  // many small drains widen the race window
+  QueryService service(EngineFn(engine), options);
+
+  std::vector<std::future<Result<std::vector<Neighbor>>>> futures;
+  for (std::size_t q = 0; q < 12; ++q) {
+    futures.push_back(
+        service.Submit(store.Extract(static_cast<UserId>(q % 30)), 3));
+  }
+  std::thread stepper([&service] {
+    while (service.DrainOnce() > 0) {
+    }
+  });
+  service.Shutdown();
+  stepper.join();
+  for (auto& future : futures) EXPECT_TRUE(future.get().ok());
 }
 
 }  // namespace

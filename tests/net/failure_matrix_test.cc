@@ -1,0 +1,233 @@
+// The failure matrix: replica death, torn and bit-flipped frames,
+// duplicated deliveries, hostile replicas, server-side errors, and
+// coordinator destruction with scatters still in flight. Every case
+// asserts the returned status AND the obs counters, and every case runs
+// on the FakeClock — zero real sleeps, deterministic under TSan/ASan.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "knn/query.h"
+#include "net/coordinator.h"
+#include "net/net_test_util.h"
+#include "net/replica_server.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_context.h"
+
+namespace gf::net {
+namespace {
+
+class FailureMatrixTest : public ::testing::Test {
+ protected:
+  FailureMatrixTest()
+      : obs_{.metrics = &registry_},
+        store_(MakeStore()),
+        queries_(FirstQueries(store_, 3)),
+        engine_(store_) {}
+
+  static FingerprintStore MakeStore() {
+    Rng rng(0xFA11);
+    return RandomStore(40, 128, rng);
+  }
+
+  uint64_t Count(const char* name) {
+    return registry_.GetCounter(name)->value();
+  }
+
+  std::vector<std::vector<Neighbor>> Reference(std::size_t k) {
+    return engine_.QueryBatch(queries_, k).value();
+  }
+
+  FakeClock clock_;
+  obs::MetricRegistry registry_;
+  obs::PipelineContext obs_;
+  FingerprintStore store_;
+  std::vector<Shf> queries_;
+  ScanQueryEngine engine_;
+};
+
+TEST_F(FailureMatrixTest, ReplicaDeathMidBatchFailsOverAndStaysExact) {
+  TestCluster cluster(store_, /*shards=*/2, /*replicas=*/2, &clock_);
+  // Shard 0's primary dies while the request is in flight (the fake
+  // consults handlers at delivery time, like a real process death).
+  FakeTransport::Behavior in_flight;
+  in_flight.latency_micros = 100;
+  cluster.transport.ScriptNext("s0r0", in_flight);
+  cluster.transport.UnregisterHandler("s0r0");
+
+  ClusterCoordinator coordinator(cluster.config, &cluster.transport,
+                                 ClusterCoordinator::Options{}, &obs_);
+  auto answer = coordinator.QueryBatch(queries_, 5);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->complete());
+  EXPECT_EQ(Count("net.failovers"), 1u);
+  EXPECT_EQ(Count("net.requests"), 3u);  // 2 primaries + 1 failover
+  EXPECT_EQ(Count("net.corrupt_frames"), 0u);
+  EXPECT_TRUE(BitIdentical(answer->results, Reference(5)));
+  // One failure is far below the quarantine threshold.
+  EXPECT_TRUE(coordinator.ReplicaHealthy("s0r0"));
+}
+
+TEST_F(FailureMatrixTest, DuplicatedResponsesAreCountedAndHarmless) {
+  TestCluster cluster(store_, 1, 2, &clock_);
+  FakeTransport::Behavior duplicated;
+  duplicated.duplicate_responses = 2;
+  cluster.transport.ScriptNext("s0r0", duplicated);
+
+  ClusterCoordinator coordinator(cluster.config, &cluster.transport,
+                                 ClusterCoordinator::Options{}, &obs_);
+  auto answer = coordinator.QueryBatch(queries_, 4);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->complete());
+  // The attempt is processed exactly once; the two extra deliveries
+  // are recognized by their retired attempt id and dropped.
+  EXPECT_EQ(Count("net.duplicates_ignored"), 2u);
+  EXPECT_EQ(Count("net.failovers"), 0u);
+  EXPECT_TRUE(BitIdentical(answer->results, Reference(4)));
+}
+
+TEST_F(FailureMatrixTest, TornAndBitFlippedFramesAreCorruptionNeverAHang) {
+  TestCluster cluster(store_, 2, 2, &clock_);
+  // Shard 0's primary answers with a frame cut mid-header; shard 1's
+  // with one flipped payload byte (the CRC catches it).
+  FakeTransport::Behavior torn;
+  torn.truncate_response_to = 17;
+  cluster.transport.ScriptNext("s0r0", torn);
+  FakeTransport::Behavior flipped;
+  flipped.corrupt_response_byte = 25;
+  cluster.transport.ScriptNext("s1r1", flipped);  // shard 1 primary = r1
+
+  ClusterCoordinator coordinator(cluster.config, &cluster.transport,
+                                 ClusterCoordinator::Options{}, &obs_);
+  auto answer = coordinator.QueryBatch(queries_, 5);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->complete());
+  EXPECT_EQ(Count("net.corrupt_frames"), 2u);
+  EXPECT_EQ(Count("net.failovers"), 2u);
+  EXPECT_TRUE(BitIdentical(answer->results, Reference(5)));
+}
+
+TEST_F(FailureMatrixTest, HostileReplicaClaimingForeignRowsIsRejected) {
+  TestCluster cluster(store_, 2, 2, &clock_);
+  // s0r0 answers with a perfectly framed, CRC-valid response whose
+  // neighbor id (25) belongs to shard 1 — a lying (or misconfigured)
+  // replica. The coordinator's own range check must catch what frame
+  // validation cannot.
+  cluster.transport.RegisterHandler("s0r0", [](std::string_view frame) {
+    auto request = DecodeQueryRequest(frame);
+    QueryBatchResponse response;
+    response.request_id = request->request_id;
+    response.results.assign(request->num_queries(),
+                            {ScoredNeighbor{25, 0.5}});
+    return EncodeQueryResponse(response);
+  });
+
+  ClusterCoordinator coordinator(cluster.config, &cluster.transport,
+                                 ClusterCoordinator::Options{}, &obs_);
+  auto answer = coordinator.QueryBatch(queries_, 5);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->complete());
+  EXPECT_EQ(Count("net.corrupt_frames"), 1u);
+  EXPECT_EQ(Count("net.failovers"), 1u);
+  EXPECT_TRUE(BitIdentical(answer->results, Reference(5)));
+}
+
+TEST_F(FailureMatrixTest, ServerSideErrorFailsOverWithoutCorruptionCount) {
+  TestCluster cluster(store_, 1, 2, &clock_);
+  // The replica itself fails the batch (in-protocol error response, a
+  // valid frame) — failover, but NOT a corrupt-frame event.
+  cluster.transport.RegisterHandler("s0r0", [](std::string_view frame) {
+    auto request = DecodeQueryRequest(frame);
+    QueryBatchResponse response;
+    response.request_id = request->request_id;
+    response.status = Status::Internal("replica store went away");
+    return EncodeQueryResponse(response);
+  });
+
+  ClusterCoordinator coordinator(cluster.config, &cluster.transport,
+                                 ClusterCoordinator::Options{}, &obs_);
+  auto answer = coordinator.QueryBatch(queries_, 4);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->complete());
+  EXPECT_EQ(Count("net.corrupt_frames"), 0u);
+  EXPECT_EQ(Count("net.failovers"), 1u);
+  EXPECT_TRUE(BitIdentical(answer->results, Reference(4)));
+}
+
+TEST_F(FailureMatrixTest, AllAttemptsFailingReportsTheLastError) {
+  TestCluster cluster(store_, 1, 2, &clock_);
+  cluster.transport.UnregisterHandler("s0r0");
+  cluster.transport.UnregisterHandler("s0r1");
+
+  ClusterCoordinator::Options options;
+  options.max_attempts_per_shard = 2;
+  ClusterCoordinator coordinator(cluster.config, &cluster.transport, options,
+                                 &obs_);
+  auto answer = coordinator.QueryBatch(queries_, 4);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Count("net.failovers"), 1u);
+  EXPECT_EQ(Count("net.requests"), 2u);
+}
+
+TEST_F(FailureMatrixTest, CoordinatorDestructionWithInFlightScattersIsSafe) {
+  TestCluster cluster(store_, 2, 1, &clock_);
+  {
+    // A zero budget retires the scatter before any event is delivered,
+    // leaving both responses in flight when the coordinator dies.
+    ClusterCoordinator::Options options;
+    options.deadline_micros = 0;
+    ClusterCoordinator coordinator(cluster.config, &cluster.transport,
+                                   options, &obs_);
+    auto answer = coordinator.QueryBatch(queries_, 3);
+    ASSERT_FALSE(answer.ok());
+    EXPECT_EQ(answer.status().code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(Count("net.deadline_exceeded"), 2u);
+    EXPECT_EQ(cluster.transport.pending_events(), 2u);
+  }
+  // The completion callbacks own the scatter state (and the Core) via
+  // shared_ptr: delivering into the dead coordinator's orphaned state
+  // must be memory-safe (ASan) and keep the counters honest.
+  while (cluster.transport.pending_events() > 0) {
+    cluster.transport.Drive(1'000'000);
+  }
+  EXPECT_EQ(Count("net.duplicates_ignored"), 2u);
+}
+
+TEST_F(FailureMatrixTest, ReplicaServerAnswersBadFramesInProtocol) {
+  ReplicaServer server(store_, /*user_base=*/0, nullptr, &obs_);
+
+  // Garbage in, kCorruption response out — the server NEVER answers a
+  // frame with silence or a closed connection at this layer.
+  const std::string response_frame = server.Handle("definitely not GFSZ");
+  auto response = DecodeQueryResponse(response_frame);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(response->request_id, 0u);  // the real id is unknowable
+  EXPECT_EQ(Count("net.server.requests"), 1u);
+  EXPECT_EQ(Count("net.server.bad_frames"), 1u);
+
+  // A well-formed request whose bit length does not match the served
+  // store: in-protocol kInvalidArgument, id preserved, not a bad frame.
+  Rng rng(0x5407);
+  const auto short_store = RandomStore(4, 64, rng);
+  std::vector<Shf> short_queries{short_store.Extract(0)};
+  auto request = QueryBatchRequest::Pack(99, short_queries, 2);
+  ASSERT_TRUE(request.ok());
+  auto mismatch = DecodeQueryResponse(server.Handle(
+      EncodeQueryRequest(*request)));
+  ASSERT_TRUE(mismatch.ok());
+  EXPECT_EQ(mismatch->status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(mismatch->request_id, 99u);
+  EXPECT_EQ(Count("net.server.requests"), 2u);
+  EXPECT_EQ(Count("net.server.bad_frames"), 1u);
+}
+
+}  // namespace
+}  // namespace gf::net

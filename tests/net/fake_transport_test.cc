@@ -1,0 +1,229 @@
+// FakeTransport contract tests: the deterministic schedule every
+// failure-matrix test builds on. Latency, drops, duplication and frame
+// mangling are scripted per call; Drive() is the only thing that moves
+// time or delivers completions.
+
+#include "net/fake_transport.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace gf::net {
+namespace {
+
+constexpr uint64_t kFarDeadline = 1'000'000;
+
+struct CompletionLog {
+  std::vector<Result<std::string>> completions;
+
+  TransportCallback Sink() {
+    return [this](Result<std::string> result) {
+      completions.push_back(std::move(result));
+    };
+  }
+};
+
+class FakeTransportTest : public ::testing::Test {
+ protected:
+  FakeTransportTest() : transport_(&clock_) {
+    transport_.RegisterHandler("replica", [](std::string_view request) {
+      return std::string("echo:") + std::string(request);
+    });
+  }
+
+  FakeClock clock_;
+  FakeTransport transport_;
+  CompletionLog log_;
+};
+
+TEST_F(FakeTransportTest, NothingHappensUntilDrive) {
+  transport_.CallAsync("replica", "hi", kFarDeadline, log_.Sink());
+  EXPECT_TRUE(log_.completions.empty());
+  EXPECT_EQ(transport_.pending_events(), 1u);
+
+  EXPECT_EQ(transport_.Drive(kFarDeadline), 1u);
+  ASSERT_EQ(log_.completions.size(), 1u);
+  ASSERT_TRUE(log_.completions[0].ok());
+  EXPECT_EQ(*log_.completions[0], "echo:hi");
+  // Zero-latency delivery does not move the clock.
+  EXPECT_EQ(clock_.NowMicros(), 0u);
+}
+
+TEST_F(FakeTransportTest, LatencyDelaysDeliveryOnTheFakeClock) {
+  FakeTransport::Behavior slow;
+  slow.latency_micros = 500;
+  transport_.ScriptNext("replica", slow);
+  transport_.CallAsync("replica", "hi", kFarDeadline, log_.Sink());
+
+  // Driving short of the delivery time delivers nothing but advances
+  // the (otherwise idle) clock all the way to `until`.
+  EXPECT_EQ(transport_.Drive(400), 0u);
+  EXPECT_EQ(clock_.NowMicros(), 400u);
+  EXPECT_TRUE(log_.completions.empty());
+
+  EXPECT_EQ(transport_.Drive(kFarDeadline), 1u);
+  EXPECT_EQ(clock_.NowMicros(), 500u);
+  ASSERT_EQ(log_.completions.size(), 1u);
+  EXPECT_TRUE(log_.completions[0].ok());
+}
+
+TEST_F(FakeTransportTest, DriveStopsAfterTheEarliestBatch) {
+  FakeTransport::Behavior first;
+  first.latency_micros = 10;
+  FakeTransport::Behavior second;
+  second.latency_micros = 20;
+  transport_.ScriptNext("replica", first);
+  transport_.ScriptNext("replica", second);
+  transport_.CallAsync("replica", "a", kFarDeadline, log_.Sink());
+  transport_.CallAsync("replica", "b", kFarDeadline, log_.Sink());
+
+  // One Drive call delivers only the earliest completion and leaves
+  // the clock AT it — the caller gets to react (hedge, finish the
+  // scatter) before time moves past t = 10.
+  EXPECT_EQ(transport_.Drive(kFarDeadline), 1u);
+  EXPECT_EQ(clock_.NowMicros(), 10u);
+  ASSERT_EQ(log_.completions.size(), 1u);
+  EXPECT_EQ(*log_.completions[0], "echo:a");
+
+  EXPECT_EQ(transport_.Drive(kFarDeadline), 1u);
+  EXPECT_EQ(clock_.NowMicros(), 20u);
+  EXPECT_EQ(*log_.completions[1], "echo:b");
+}
+
+TEST_F(FakeTransportTest, SameTimeCompletionsAreFifoAndOneBatch) {
+  transport_.CallAsync("replica", "a", kFarDeadline, log_.Sink());
+  transport_.CallAsync("replica", "b", kFarDeadline, log_.Sink());
+  EXPECT_EQ(transport_.Drive(kFarDeadline), 2u);
+  ASSERT_EQ(log_.completions.size(), 2u);
+  EXPECT_EQ(*log_.completions[0], "echo:a");
+  EXPECT_EQ(*log_.completions[1], "echo:b");
+}
+
+TEST_F(FakeTransportTest, DroppedRequestSurfacesAtTheDeadline) {
+  FakeTransport::Behavior dropped;
+  dropped.drop = true;
+  transport_.ScriptNext("replica", dropped);
+  transport_.CallAsync("replica", "hi", 300, log_.Sink());
+
+  // The caller hears NOTHING before its deadline...
+  EXPECT_EQ(transport_.Drive(299), 0u);
+  EXPECT_TRUE(log_.completions.empty());
+  // ...and kDeadlineExceeded exactly at it: never a hang.
+  EXPECT_EQ(transport_.Drive(kFarDeadline), 1u);
+  EXPECT_EQ(clock_.NowMicros(), 300u);
+  ASSERT_EQ(log_.completions.size(), 1u);
+  EXPECT_EQ(log_.completions[0].status().code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(FakeTransportTest, ResponseSlowerThanDeadlineIsDeadlineExceeded) {
+  FakeTransport::Behavior slow;
+  slow.latency_micros = 1000;
+  transport_.ScriptNext("replica", slow);
+  transport_.CallAsync("replica", "hi", 300, log_.Sink());
+  EXPECT_EQ(transport_.Drive(kFarDeadline), 1u);
+  // The failure fires at the deadline, not at the would-be delivery.
+  EXPECT_EQ(clock_.NowMicros(), 300u);
+  ASSERT_EQ(log_.completions.size(), 1u);
+  EXPECT_EQ(log_.completions[0].status().code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(FakeTransportTest, ScriptedUnavailableAndUnknownAddress) {
+  FakeTransport::Behavior refused;
+  refused.fail_unavailable = true;
+  transport_.ScriptNext("replica", refused);
+  transport_.CallAsync("replica", "hi", kFarDeadline, log_.Sink());
+  transport_.CallAsync("nobody-home", "hi", kFarDeadline, log_.Sink());
+  EXPECT_EQ(transport_.Drive(kFarDeadline), 2u);
+  ASSERT_EQ(log_.completions.size(), 2u);
+  EXPECT_EQ(log_.completions[0].status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(log_.completions[1].status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(FakeTransportTest, ReplicaDeathAffectsCallsAlreadyInFlight) {
+  FakeTransport::Behavior slow;
+  slow.latency_micros = 100;
+  transport_.ScriptNext("replica", slow);
+  transport_.CallAsync("replica", "hi", kFarDeadline, log_.Sink());
+  // The process dies while the request is in flight: the handler is
+  // consulted at DELIVERY time, so the caller sees kUnavailable.
+  transport_.UnregisterHandler("replica");
+  EXPECT_EQ(transport_.Drive(kFarDeadline), 1u);
+  ASSERT_EQ(log_.completions.size(), 1u);
+  EXPECT_EQ(log_.completions[0].status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(FakeTransportTest, DuplicatedResponsesInvokeTheCallbackAgain) {
+  FakeTransport::Behavior duplicated;
+  duplicated.duplicate_responses = 2;
+  transport_.ScriptNext("replica", duplicated);
+  transport_.CallAsync("replica", "hi", kFarDeadline, log_.Sink());
+  transport_.Drive(kFarDeadline);
+  // At-least-once delivery: 1 + 2 duplicates, byte-identical.
+  ASSERT_EQ(log_.completions.size(), 3u);
+  for (const auto& completion : log_.completions) {
+    ASSERT_TRUE(completion.ok());
+    EXPECT_EQ(*completion, "echo:hi");
+  }
+}
+
+TEST_F(FakeTransportTest, MangledResponsesComeBackMangled) {
+  FakeTransport::Behavior torn;
+  torn.truncate_response_to = 3;
+  FakeTransport::Behavior flipped;
+  flipped.corrupt_response_byte = 1;
+  transport_.ScriptNext("replica", torn);
+  transport_.ScriptNext("replica", flipped);
+  transport_.CallAsync("replica", "hi", kFarDeadline, log_.Sink());
+  transport_.CallAsync("replica", "hi", kFarDeadline, log_.Sink());
+  transport_.Drive(kFarDeadline);
+  ASSERT_EQ(log_.completions.size(), 2u);
+  EXPECT_EQ(*log_.completions[0], "ech");
+  EXPECT_EQ(*log_.completions[1], std::string("e") + char('c' ^ 0x40) +
+                                      "ho:hi");
+}
+
+TEST_F(FakeTransportTest, ScriptsApplyInFifoOrderThenDefault) {
+  FakeTransport::Behavior refused;
+  refused.fail_unavailable = true;
+  FakeTransport::Behavior slow;
+  slow.latency_micros = 50;
+  transport_.ScriptNext("replica", refused);
+  transport_.ScriptNext("replica", slow);
+  transport_.CallAsync("replica", "1", kFarDeadline, log_.Sink());
+  transport_.CallAsync("replica", "2", kFarDeadline, log_.Sink());
+  transport_.CallAsync("replica", "3", kFarDeadline, log_.Sink());
+  while (transport_.pending_events() > 0) transport_.Drive(kFarDeadline);
+  ASSERT_EQ(log_.completions.size(), 3u);
+  EXPECT_EQ(log_.completions[0].status().code(), StatusCode::kUnavailable);
+  // Default (instant) behavior for the un-scripted third call, so it
+  // completes BEFORE the scripted slow second one.
+  EXPECT_EQ(*log_.completions[1], "echo:3");
+  EXPECT_EQ(*log_.completions[2], "echo:2");
+  EXPECT_EQ(transport_.calls_issued(), 3u);
+}
+
+TEST_F(FakeTransportTest, CallAsyncFromInsideACompletionIsDelivered) {
+  // The coordinator issues failover calls from completion callbacks;
+  // the event loop must pick those up in the same Drive when they are
+  // due at the current instant.
+  FakeTransport::Behavior refused;
+  refused.fail_unavailable = true;
+  transport_.ScriptNext("replica", refused);
+  transport_.CallAsync(
+      "replica", "first", kFarDeadline, [this](Result<std::string> result) {
+        EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+        transport_.CallAsync("replica", "retry", kFarDeadline, log_.Sink());
+      });
+  EXPECT_EQ(transport_.Drive(kFarDeadline), 2u);
+  ASSERT_EQ(log_.completions.size(), 1u);
+  EXPECT_EQ(*log_.completions[0], "echo:retry");
+}
+
+}  // namespace
+}  // namespace gf::net

@@ -1,0 +1,151 @@
+// Cluster topology validation, user->shard routing, and the
+// rotation-plus-health replica picker with exact quarantine
+// transitions.
+
+#include "net/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace gf::net {
+namespace {
+
+ClusterConfig SmallCluster() {
+  ClusterConfig config;
+  config.replicas = {{"s0r0", "s0r1", "s0r2"}, {"s1r0", "s1r1", "s1r2"}};
+  config.shard_begins = {0, 50};
+  config.num_users = 100;
+  return config;
+}
+
+TEST(ClusterConfigTest, ValidatesTopology) {
+  EXPECT_TRUE(SmallCluster().Validate().ok());
+
+  ClusterConfig no_shards;
+  EXPECT_EQ(no_shards.Validate().code(), StatusCode::kInvalidArgument);
+
+  ClusterConfig empty_shard = SmallCluster();
+  empty_shard.replicas[1].clear();
+  EXPECT_EQ(empty_shard.Validate().code(), StatusCode::kInvalidArgument);
+
+  ClusterConfig empty_address = SmallCluster();
+  empty_address.replicas[0][1] = "";
+  EXPECT_EQ(empty_address.Validate().code(), StatusCode::kInvalidArgument);
+
+  ClusterConfig misaligned = SmallCluster();
+  misaligned.shard_begins = {0};
+  EXPECT_EQ(misaligned.Validate().code(), StatusCode::kInvalidArgument);
+
+  ClusterConfig bad_first = SmallCluster();
+  bad_first.shard_begins = {5, 50};
+  EXPECT_EQ(bad_first.Validate().code(), StatusCode::kInvalidArgument);
+
+  ClusterConfig decreasing = SmallCluster();
+  decreasing.shard_begins = {0, 200};
+  EXPECT_EQ(decreasing.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterConfigTest, RoutesUsersToTheOwningShard) {
+  const ClusterConfig config = SmallCluster();
+  EXPECT_EQ(config.ShardOfUser(0), 0u);
+  EXPECT_EQ(config.ShardOfUser(49), 0u);
+  EXPECT_EQ(config.ShardOfUser(50), 1u);
+  EXPECT_EQ(config.ShardOfUser(99), 1u);
+  EXPECT_EQ(config.ShardBeginOf(1), 50u);
+  EXPECT_EQ(config.ShardEndOf(0), 50u);
+  EXPECT_EQ(config.ShardEndOf(1), 100u);
+}
+
+TEST(HealthTrackerTest, QuarantinesAfterConsecutiveFailures) {
+  obs::MetricRegistry registry;
+  obs::Counter* transitions = registry.GetCounter("net.replica_unhealthy");
+  HealthTracker::Options options;
+  options.unhealthy_after_failures = 3;
+  options.quarantine_micros = 1000;
+  HealthTracker health(options, transitions);
+
+  EXPECT_TRUE(health.IsHealthy("a", 0));
+  health.ReportFailure("a", 10);
+  health.ReportFailure("a", 20);
+  EXPECT_TRUE(health.IsHealthy("a", 20));
+  EXPECT_EQ(transitions->value(), 0u);
+
+  // The third consecutive failure is THE transition: quarantined for
+  // exactly quarantine_micros, counter bumped exactly once.
+  health.ReportFailure("a", 30);
+  EXPECT_FALSE(health.IsHealthy("a", 30));
+  EXPECT_FALSE(health.IsHealthy("a", 1029));
+  EXPECT_TRUE(health.IsHealthy("a", 1030));
+  EXPECT_EQ(transitions->value(), 1u);
+  EXPECT_EQ(health.consecutive_failures("a"), 3);
+
+  // A failed probe after the quarantine expired EXTENDS it: the streak
+  // never healed, so the counter (transitions, not extensions) stays.
+  health.ReportFailure("a", 2000);
+  EXPECT_FALSE(health.IsHealthy("a", 2000));
+  EXPECT_EQ(transitions->value(), 1u);
+
+  // Success resets the streak entirely.
+  health.ReportSuccess("a");
+  EXPECT_TRUE(health.IsHealthy("a", 2001));
+  EXPECT_EQ(health.consecutive_failures("a"), 0);
+  health.ReportFailure("a", 3000);
+  health.ReportFailure("a", 3001);
+  EXPECT_TRUE(health.IsHealthy("a", 3001));
+  EXPECT_EQ(transitions->value(), 1u);
+}
+
+TEST(HealthTrackerTest, SubThresholdFailuresNeverQuarantine) {
+  HealthTracker::Options options;
+  options.unhealthy_after_failures = 2;
+  options.quarantine_micros = 500;
+  HealthTracker health(options);
+  for (int i = 0; i < 10; ++i) {
+    health.ReportFailure("flappy", static_cast<uint64_t>(i) * 100);
+    health.ReportSuccess("flappy");
+  }
+  EXPECT_TRUE(health.IsHealthy("flappy", 1000));
+  EXPECT_EQ(health.consecutive_failures("flappy"), 0);
+}
+
+TEST(PickReplicaTest, RotatesPrimariesAcrossShardsAndAttempts) {
+  const ClusterConfig config = SmallCluster();
+  HealthTracker health(HealthTracker::Options{});
+  // attempt a of shard s prefers (s + a) % R: primaries spread across
+  // replicas, successive attempts walk the ring.
+  EXPECT_EQ(PickReplica(config, 0, 0, health, 0), 0u);
+  EXPECT_EQ(PickReplica(config, 0, 1, health, 0), 1u);
+  EXPECT_EQ(PickReplica(config, 0, 2, health, 0), 2u);
+  EXPECT_EQ(PickReplica(config, 0, 3, health, 0), 0u);
+  EXPECT_EQ(PickReplica(config, 1, 0, health, 0), 1u);
+  EXPECT_EQ(PickReplica(config, 1, 1, health, 0), 2u);
+}
+
+TEST(PickReplicaTest, WalksPastQuarantinedReplicas) {
+  const ClusterConfig config = SmallCluster();
+  HealthTracker::Options options;
+  options.unhealthy_after_failures = 1;
+  options.quarantine_micros = 1000;
+  HealthTracker health(options);
+
+  health.ReportFailure("s0r0", 0);
+  EXPECT_EQ(PickReplica(config, 0, 0, health, 0), 1u);
+
+  health.ReportFailure("s0r1", 0);
+  EXPECT_EQ(PickReplica(config, 0, 0, health, 0), 2u);
+
+  // All quarantined: the nominal pick is used anyway (a suspect
+  // replica beats no replica).
+  health.ReportFailure("s0r2", 0);
+  EXPECT_EQ(PickReplica(config, 0, 0, health, 0), 0u);
+  EXPECT_EQ(PickReplica(config, 0, 1, health, 0), 1u);
+
+  // Quarantine expiry restores the rotation.
+  EXPECT_EQ(PickReplica(config, 0, 0, health, 1000), 0u);
+}
+
+}  // namespace
+}  // namespace gf::net

@@ -1,0 +1,258 @@
+// Wire protocol round trips plus the hostile-frame matrix: every
+// count, length and value a peer declares is validated before it is
+// trusted (PR-6 discipline applied to the network).
+
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "io/container.h"
+#include "net/net_test_util.h"
+
+namespace gf::net {
+namespace {
+
+std::vector<Shf> SomeQueries(std::size_t count, std::size_t bits) {
+  Rng rng(0xA11CE);
+  const auto store = RandomStore(count, bits, rng);
+  return FirstQueries(store, count);
+}
+
+TEST(WireRequestTest, RoundTripsPackedBatch) {
+  const auto queries = SomeQueries(5, 256);
+  auto request = QueryBatchRequest::Pack(42, queries, 7);
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->num_queries(), 5u);
+  EXPECT_EQ(request->words_per_query(), 4u);
+
+  const std::string frame = EncodeQueryRequest(*request);
+  auto decoded = DecodeQueryRequest(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->request_id, 42u);
+  EXPECT_EQ(decoded->k, 7u);
+  EXPECT_EQ(decoded->num_bits, 256u);
+  EXPECT_EQ(decoded->query_cards, request->query_cards);
+  EXPECT_EQ(decoded->query_words, request->query_words);
+}
+
+TEST(WireRequestTest, PackRejectsBadBatches) {
+  const auto queries = SomeQueries(2, 128);
+  EXPECT_EQ(QueryBatchRequest::Pack(1, queries, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(QueryBatchRequest::Pack(1, {}, 3).status().code(),
+            StatusCode::kInvalidArgument);
+  // Mixed bit lengths in one batch.
+  std::vector<Shf> mixed = queries;
+  mixed.push_back(*Shf::Create(64));
+  EXPECT_EQ(QueryBatchRequest::Pack(1, mixed, 3).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WireRequestTest, TruncatedAndBitFlippedFramesAreCorruption) {
+  const auto queries = SomeQueries(3, 128);
+  const std::string frame =
+      EncodeQueryRequest(*QueryBatchRequest::Pack(7, queries, 5));
+  // Every truncation point — mid-header, mid-payload, mid-CRC — is
+  // Corruption, never a crash or an over-read.
+  for (const std::size_t cut : {0u, 3u, 19u, 20u, 40u}) {
+    ASSERT_LT(cut, frame.size());
+    EXPECT_EQ(DecodeQueryRequest(frame.substr(0, cut)).status().code(),
+              StatusCode::kCorruption)
+        << "cut at " << cut;
+  }
+  EXPECT_EQ(
+      DecodeQueryRequest(frame.substr(0, frame.size() - 1)).status().code(),
+      StatusCode::kCorruption);
+  // Any flipped payload bit fails the CRC.
+  std::string flipped = frame;
+  flipped[frame.size() / 2] ^= 0x10;
+  EXPECT_EQ(DecodeQueryRequest(flipped).status().code(),
+            StatusCode::kCorruption);
+}
+
+// Hand-crafts a request payload so the declared counts can lie.
+std::string RawRequestFrame(uint32_t k, uint32_t num_bits,
+                            uint32_t num_queries, std::size_t actual_cards,
+                            std::size_t actual_words) {
+  std::string payload;
+  io::PutU64(payload, 9);
+  io::PutU32(payload, k);
+  io::PutU32(payload, num_bits);
+  io::PutU32(payload, num_queries);
+  for (std::size_t i = 0; i < actual_cards; ++i) io::PutU32(payload, 1);
+  for (std::size_t i = 0; i < actual_words; ++i) io::PutU64(payload, 2);
+  return io::WrapContainer(io::PayloadKind::kQueryRequest,
+                           std::move(payload));
+}
+
+TEST(WireRequestTest, LyingCountsAreRejectedBeforeAllocation) {
+  // Promises 2^16 queries of 2^20 bits (64 GiB of words) in a
+  // 20-something-byte payload: the division-form gate fires first.
+  EXPECT_EQ(DecodeQueryRequest(RawRequestFrame(3, kMaxWireBits,
+                                               kMaxWireQueries, 1, 1))
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+  // Counts above the hard caps are rejected outright.
+  EXPECT_EQ(
+      DecodeQueryRequest(RawRequestFrame(3, 128, kMaxWireQueries + 1, 1, 2))
+          .status()
+          .code(),
+      StatusCode::kCorruption);
+  EXPECT_EQ(DecodeQueryRequest(RawRequestFrame(kMaxWireK + 1, 128, 1, 1, 2))
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+  // k = 0, zero queries, bit length not a multiple of 64.
+  EXPECT_EQ(DecodeQueryRequest(RawRequestFrame(0, 128, 1, 1, 2))
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(DecodeQueryRequest(RawRequestFrame(3, 128, 0, 0, 0))
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(DecodeQueryRequest(RawRequestFrame(3, 100, 1, 1, 2))
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+  // Trailing bytes after the declared batch.
+  EXPECT_EQ(DecodeQueryRequest(RawRequestFrame(3, 128, 1, 1, 3))
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+}
+
+TEST(WireRequestTest, CardinalityAboveBitLengthIsCorruption) {
+  std::string payload;
+  io::PutU64(payload, 9);
+  io::PutU32(payload, 3);    // k
+  io::PutU32(payload, 128);  // num_bits
+  io::PutU32(payload, 1);    // num_queries
+  io::PutU32(payload, 129);  // card > num_bits: would wrap Eq. 4
+  for (int i = 0; i < 2; ++i) io::PutU64(payload, 0);
+  const std::string frame =
+      io::WrapContainer(io::PayloadKind::kQueryRequest, std::move(payload));
+  EXPECT_EQ(DecodeQueryRequest(frame).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(WireResponseTest, RoundTripsScoredListsAndStatus) {
+  QueryBatchResponse response;
+  response.request_id = 77;
+  response.results = {{{3, 0.5}, {9, 0.25}}, {}, {{1, 1.0}}};
+  const std::string frame = EncodeQueryResponse(response);
+  auto decoded = DecodeQueryResponse(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->request_id, 77u);
+  EXPECT_TRUE(decoded->status.ok());
+  ASSERT_EQ(decoded->results.size(), 3u);
+  EXPECT_EQ(decoded->results[0][0].id, 3u);
+  EXPECT_EQ(decoded->results[0][0].similarity, 0.5);
+  EXPECT_TRUE(decoded->results[1].empty());
+
+  QueryBatchResponse error;
+  error.request_id = 78;
+  error.status = Status::Unavailable("replica overloaded");
+  auto decoded_error = DecodeQueryResponse(EncodeQueryResponse(error));
+  ASSERT_TRUE(decoded_error.ok());
+  EXPECT_EQ(decoded_error->status.code(), StatusCode::kUnavailable);
+}
+
+std::string RawResponseFrame(uint32_t code, uint32_t num_queries,
+                             uint32_t count, double similarity) {
+  std::string payload;
+  io::PutU64(payload, 5);
+  io::PutU32(payload, code);
+  io::PutString(payload, "");
+  io::PutU32(payload, num_queries);
+  for (uint32_t q = 0; q < num_queries; ++q) {
+    io::PutU32(payload, count);
+    for (uint32_t i = 0; i < count; ++i) {
+      io::PutU32(payload, i);
+      io::PutF64(payload, similarity);
+    }
+  }
+  return io::WrapContainer(io::PayloadKind::kQueryResponse,
+                           std::move(payload));
+}
+
+TEST(WireResponseTest, HostileResponsesAreCorruption) {
+  // Unknown status code.
+  EXPECT_EQ(DecodeQueryResponse(RawResponseFrame(99, 0, 0, 0.5))
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+  // A NaN similarity would poison the merge selector's strict weak
+  // order; out-of-range values are equally rejected.
+  EXPECT_EQ(DecodeQueryResponse(
+                RawResponseFrame(0, 1, 1,
+                                 std::numeric_limits<double>::quiet_NaN()))
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(DecodeQueryResponse(RawResponseFrame(0, 1, 1, 1.5))
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(DecodeQueryResponse(RawResponseFrame(0, 1, 1, -0.1))
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+
+  // Lying counts: promises kMaxWireQueries result lists in a tiny
+  // payload — gated in division form before the outer resize.
+  std::string payload;
+  io::PutU64(payload, 5);
+  io::PutU32(payload, 0);
+  io::PutString(payload, "");
+  io::PutU32(payload, kMaxWireQueries);
+  EXPECT_EQ(DecodeQueryResponse(io::WrapContainer(
+                                    io::PayloadKind::kQueryResponse,
+                                    std::move(payload)))
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+}
+
+TEST(WireFrameTest, FramePayloadBytesGatesTheHeader) {
+  const auto queries = SomeQueries(1, 128);
+  const std::string frame =
+      EncodeQueryRequest(*QueryBatchRequest::Pack(1, queries, 3));
+  auto bytes = FramePayloadBytes(frame);
+  ASSERT_TRUE(bytes.ok());
+  // Header + (payload + CRC) is exactly the frame.
+  EXPECT_EQ(kFrameHeaderBytes + *bytes, frame.size());
+
+  // Truncated header.
+  EXPECT_EQ(FramePayloadBytes(frame.substr(0, 10)).status().code(),
+            StatusCode::kCorruption);
+  // Wrong magic.
+  std::string bad_magic = frame;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(FramePayloadBytes(bad_magic).status().code(),
+            StatusCode::kCorruption);
+  // Unsupported version.
+  std::string bad_version = frame;
+  bad_version[4] = 9;
+  EXPECT_EQ(FramePayloadBytes(bad_version).status().code(),
+            StatusCode::kCorruption);
+  // An on-disk payload kind is not a wire message.
+  std::string disk_kind = frame;
+  disk_kind[8] = 1;  // kDataset
+  EXPECT_EQ(FramePayloadBytes(disk_kind).status().code(),
+            StatusCode::kCorruption);
+  // A promised length beyond the cap must be rejected BEFORE any
+  // reader allocates a buffer for it.
+  std::string huge = frame;
+  for (int i = 0; i < 8; ++i) huge[12 + i] = '\xff';
+  EXPECT_EQ(FramePayloadBytes(huge).status().code(),
+            StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace gf::net

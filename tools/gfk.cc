@@ -13,9 +13,12 @@
 //   gfk index write --in ds.gfsz --bits 1024 --shards 4 --out index.gfix
 //   gfk index info  --in index.gfix
 //   gfk serve     --index index.gfix --requests 1024 --clients 4 --k 10
+//   gfk serve     --replica --shard 0 --shards 2 --port 0 --port-file p0
+//   gfk cluster-query --cluster 127.0.0.1:7001,127.0.0.1:7002/127.0.0.1:7003
 //   gfk help
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <future>
@@ -41,6 +44,9 @@
 #include "knn/quality.h"
 #include "knn/query_service.h"
 #include "knn/sharded_query.h"
+#include "net/coordinator.h"
+#include "net/posix_transport.h"
+#include "net/replica_server.h"
 #include "obs/json_export.h"
 #include "obs/metrics.h"
 #include "obs/pipeline_context.h"
@@ -83,6 +89,13 @@ int Usage() {
       "  serve     --index index.gfix [--requests 1024] [--clients 4]\n"
       "            [--k 10] [--max-queue 1024] [--max-batch 64]\n"
       "            [--max-wait-us 200] [--seed N]\n"
+      "  serve     --replica --shard I --shards S [--users 2000]\n"
+      "            [--bits 512] [--seed N] [--port 0] [--port-file FILE]\n"
+      "            [--serve-for-ms 120000]\n"
+      "  cluster-query --cluster HOST:PORT[,R2...][/SHARD2...]\n"
+      "            [--users 2000] [--bits 512] [--seed N] [--queries 8]\n"
+      "            [--k 10] [--deadline-ms 2000] [--hedge-us 0]\n"
+      "            [--max-attempts 3] [--no-verify]\n"
       "  query-bench [--users 20000] [--bits 1024] [--batch 256]\n"
       "            [--threads N] [--k 10] [--seed N]\n"
       "            [--metrics-out metrics.json]\n"
@@ -466,7 +479,11 @@ int CmdIndex(const Flags& flags) {
       "usage: gfk index write|info ... (see gfk help)"));
 }
 
+int CmdServeReplica(const Flags& flags);
+
 int CmdServe(const Flags& flags) {
+  // `gfk serve --replica` is the distributed tier's server process.
+  if (flags.GetBool("replica")) return CmdServeReplica(flags);
   // Serving from a persistent index: map the GFIX file (no rebuild, no
   // arena copy), hydrate the persisted shard layout into a zero-copy
   // sharded engine, and drive it through the QueryService front-end
@@ -811,6 +828,220 @@ int CmdServeBench(const Flags& flags) {
   return 0;
 }
 
+// ---- Distributed serving (DESIGN.md §14) -------------------------------
+//
+// Both sides of the wire rebuild the SAME deterministic synthetic store
+// from (--users, --bits, --seed), so a replica can serve its balanced
+// slice and the client can verify the scattered answer bit-identical to
+// a local exhaustive scan — no dataset files have to be shipped around.
+
+Result<FingerprintStore> BuildSyntheticStore(std::size_t users,
+                                             std::size_t bits,
+                                             uint64_t seed) {
+  SyntheticSpec spec;
+  spec.num_users = users;
+  spec.num_items = std::max<std::size_t>(2000, users / 10);
+  spec.seed = seed;
+  auto dataset = GenerateZipfDataset(spec);
+  if (!dataset.ok()) return dataset.status();
+  FingerprintConfig config;
+  config.num_bits = bits;
+  return FingerprintStore::Build(*dataset, config);
+}
+
+/// The balanced contiguous carve used by both `serve --replica` and
+/// `cluster-query` (sizes differ by at most one user).
+UserId BalancedBegin(std::size_t users, std::size_t shards, std::size_t s) {
+  return static_cast<UserId>(s * users / shards);
+}
+
+Result<FingerprintStore> SliceStoreRows(const FingerprintStore& store,
+                                        UserId begin, UserId end) {
+  const std::size_t words_per_shf = store.words_per_shf();
+  std::vector<uint64_t> words;
+  words.reserve(static_cast<std::size_t>(end - begin) * words_per_shf);
+  std::vector<uint32_t> cards;
+  cards.reserve(end - begin);
+  for (UserId u = begin; u < end; ++u) {
+    const auto row = store.WordsOf(u);
+    words.insert(words.end(), row.begin(), row.end());
+    cards.push_back(store.CardinalityOf(u));
+  }
+  return FingerprintStore::FromRaw(store.config(), end - begin,
+                                   std::move(words), std::move(cards));
+}
+
+int CmdServeReplica(const Flags& flags) {
+  // One replica process: serve shard --shard of --shards over a real
+  // socket. --port 0 binds an ephemeral port; --port-file publishes the
+  // bound port for the launcher (the two-process ctest smoke reads it).
+  const auto shards = static_cast<std::size_t>(flags.GetInt("shards", 1));
+  const auto shard = static_cast<std::size_t>(flags.GetInt("shard", 0));
+  const auto users = static_cast<std::size_t>(flags.GetInt("users", 2000));
+  const auto bits = static_cast<std::size_t>(flags.GetInt("bits", 512));
+  if (shards == 0 || shard >= shards || users < shards) {
+    return Fail(Status::InvalidArgument(
+        "need --shards >= 1, --shard < --shards, --users >= --shards"));
+  }
+
+  auto store = BuildSyntheticStore(
+      users, bits, static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  if (!store.ok()) return Fail(store.status());
+  const UserId begin = BalancedBegin(users, shards, shard);
+  const UserId end = BalancedBegin(users, shards, shard + 1);
+  auto slice = SliceStoreRows(*store, begin, end);
+  if (!slice.ok()) return Fail(slice.status());
+
+  obs::MetricRegistry registry;
+  obs::PipelineContext ctx;
+  ctx.metrics = &registry;
+  const net::ReplicaServer replica(*slice, begin, nullptr, &ctx);
+  net::PosixServer server(
+      [&replica](std::string_view frame) { return replica.Handle(frame); });
+  if (const Status status =
+          server.Start(static_cast<uint16_t>(flags.GetInt("port", 0)));
+      !status.ok()) {
+    return Fail(status);
+  }
+  const std::string port_file = flags.GetString("port-file");
+  if (!port_file.empty()) {
+    if (const Status status = io::Env::Default()->WriteFileAtomic(
+            port_file, std::to_string(server.port()) + "\n");
+        !status.ok()) {
+      return Fail(status);
+    }
+  }
+  std::printf("replica %zu/%zu: users [%u, %u) x %zu bits on 127.0.0.1:%u\n",
+              shard, shards, begin, end, bits, server.port());
+  std::fflush(stdout);
+
+  // Serve until killed, bounded by --serve-for-ms as a safety net so an
+  // orphaned replica never outlives a crashed launcher by much.
+  const long serve_for_ms = flags.GetInt("serve-for-ms", 120'000);
+  const auto started = std::chrono::steady_clock::now();
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (serve_for_ms > 0 &&
+        std::chrono::steady_clock::now() - started >
+            std::chrono::milliseconds(serve_for_ms)) {
+      break;
+    }
+  }
+  return 0;
+}
+
+int CmdClusterQuery(const Flags& flags) {
+  // The client side of the distributed tier: scatter a query batch over
+  // a replicated cluster through ClusterCoordinator + PosixTransport
+  // and (by default) verify the merged top-k bit-identical to a local
+  // exhaustive scan of the same synthetic store.
+  //
+  // --cluster lists replica addresses: ',' separates the replicas of
+  // one shard, '/' separates shards, e.g. "a:1,a:2/b:1" = two shards,
+  // the first one two-way replicated.
+  const std::string spec = flags.GetString("cluster");
+  if (spec.empty()) return Fail(Status::InvalidArgument("--cluster required"));
+  const auto users = static_cast<std::size_t>(flags.GetInt("users", 2000));
+  const auto bits = static_cast<std::size_t>(flags.GetInt("bits", 512));
+  const auto num_queries =
+      static_cast<std::size_t>(flags.GetInt("queries", 8));
+  const auto k = static_cast<std::size_t>(flags.GetInt("k", 10));
+  if (users == 0 || num_queries == 0 || k == 0) {
+    return Fail(Status::InvalidArgument(
+        "--users, --queries and --k must be >= 1"));
+  }
+
+  net::ClusterConfig config;
+  config.num_users = static_cast<UserId>(users);
+  for (std::size_t pos = 0; pos <= spec.size();) {
+    std::size_t cut = spec.find('/', pos);
+    if (cut == std::string::npos) cut = spec.size();
+    std::vector<std::string> replicas;
+    for (std::size_t rpos = pos; rpos <= cut;) {
+      std::size_t rcut = std::min(spec.find(',', rpos), cut);
+      replicas.push_back(spec.substr(rpos, rcut - rpos));
+      rpos = rcut + 1;
+    }
+    config.replicas.push_back(std::move(replicas));
+    pos = cut + 1;
+  }
+  const std::size_t shards = config.replicas.size();
+  for (std::size_t s = 0; s < shards; ++s) {
+    config.shard_begins.push_back(BalancedBegin(users, shards, s));
+  }
+
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  auto store = BuildSyntheticStore(users, bits, seed);
+  if (!store.ok()) return Fail(store.status());
+  Rng rng(seed ^ 0xC1A57E);
+  std::vector<Shf> queries;
+  queries.reserve(num_queries);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    queries.push_back(store->Extract(static_cast<UserId>(rng.Below(users))));
+  }
+
+  obs::MetricRegistry registry;
+  obs::PipelineContext ctx;
+  ctx.metrics = &registry;
+  net::PosixTransport transport;
+  net::ClusterCoordinator::Options options;
+  options.deadline_micros =
+      static_cast<uint64_t>(flags.GetInt("deadline-ms", 2000)) * 1000;
+  options.hedge_delay_micros =
+      static_cast<uint64_t>(flags.GetInt("hedge-us", 0));
+  options.max_attempts_per_shard =
+      static_cast<std::size_t>(flags.GetInt("max-attempts", 3));
+  net::ClusterCoordinator coordinator(config, &transport, options, &ctx);
+
+  WallTimer timer;
+  auto answer = coordinator.QueryBatch(queries, k);
+  const double ms = timer.ElapsedSeconds() * 1e3;
+  if (!answer.ok()) return Fail(answer.status());
+  std::printf(
+      "%zu quer%s over %zu shard(s): %zu/%zu answered in %.1f ms "
+      "(%llu requests, %llu failovers, %llu hedges)\n",
+      num_queries, num_queries == 1 ? "y" : "ies", shards,
+      answer->shards_answered, answer->shards_total, ms,
+      static_cast<unsigned long long>(
+          registry.GetCounter("net.requests")->value()),
+      static_cast<unsigned long long>(
+          registry.GetCounter("net.failovers")->value()),
+      static_cast<unsigned long long>(
+          registry.GetCounter("net.hedges")->value()));
+  for (std::size_t s = 0; s < answer->shard_status.size(); ++s) {
+    if (!answer->shard_status[s].ok()) {
+      std::printf("  shard %zu: %s\n", s,
+                  answer->shard_status[s].ToString().c_str());
+    }
+  }
+
+  if (flags.GetBool("no-verify")) return 0;
+  if (!answer->complete()) {
+    return Fail(Status::Unavailable(
+        "partial answer; bit-exactness needs the full quorum "
+        "(pass --no-verify to accept degraded results)"));
+  }
+  const ScanQueryEngine scan(*store);
+  auto truth = scan.QueryBatch(queries, k);
+  if (!truth.ok()) return Fail(truth.status());
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    const auto& got = answer->results[q];
+    const auto& want = (*truth)[q];
+    bool exact = got.size() == want.size();
+    for (std::size_t i = 0; exact && i < want.size(); ++i) {
+      exact = got[i].id == want[i].id &&
+              got[i].similarity == want[i].similarity;
+    }
+    if (!exact) {
+      return Fail(Status::Internal(
+          "query " + std::to_string(q) +
+          ": distributed answer diverged from the local scan"));
+    }
+  }
+  std::printf("verified: all replies bit-identical to the local scan\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace gf::tools
 
@@ -832,6 +1063,7 @@ int main(int argc, char** argv) {
   if (command == "calibrate") return gf::tools::CmdCalibrate(*flags);
   if (command == "query-bench") return gf::tools::CmdQueryBench(*flags);
   if (command == "serve-bench") return gf::tools::CmdServeBench(*flags);
+  if (command == "cluster-query") return gf::tools::CmdClusterQuery(*flags);
   std::fprintf(stderr, "gfk: unknown subcommand '%s' (try gfk help)\n",
                command.c_str());
   return 1;

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Two-process socket smoke for the distributed serving tier:
+#
+#   1. launch three `gfk serve --replica` processes (shard 0 two-way
+#      replicated, shard 1 unreplicated), ports published via
+#      --port-file handshake;
+#   2. `gfk cluster-query` against the full cluster must verify every
+#      reply bit-identical to a local exhaustive scan;
+#   3. kill shard 0's primary replica and query again: the coordinator
+#      must fail over to the surviving replica and still verify.
+#
+# Usage: gfk_cluster_test.sh <path-to-gfk> <work-dir>
+set -u
+
+GFK="$1"
+WORK="$2"
+USERS=600
+BITS=256
+SEED=7
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null
+  done
+  wait 2>/dev/null
+}
+trap cleanup EXIT
+
+start_replica() { # shard, tag
+  local shard="$1" tag="$2"
+  "$GFK" serve --replica --shard "$shard" --shards 2 \
+    --users "$USERS" --bits "$BITS" --seed "$SEED" \
+    --port 0 --port-file "$WORK/port_$tag" > "$WORK/log_$tag" 2>&1 &
+  PIDS+=($!)
+}
+
+start_replica 0 s0r0
+start_replica 0 s0r1
+start_replica 1 s1r0
+
+wait_port() { # tag -> prints port
+  local tag="$1"
+  for _ in $(seq 1 200); do
+    if [ -s "$WORK/port_$tag" ]; then
+      cat "$WORK/port_$tag"
+      return 0
+    fi
+    sleep 0.05
+  done
+  echo "replica $tag never published its port" >&2
+  cat "$WORK/log_$tag" >&2 || true
+  return 1
+}
+
+P00=$(wait_port s0r0) || exit 1
+P01=$(wait_port s0r1) || exit 1
+P10=$(wait_port s1r0) || exit 1
+
+CLUSTER="127.0.0.1:$P00,127.0.0.1:$P01/127.0.0.1:$P10"
+
+echo "== full cluster =="
+"$GFK" cluster-query --cluster "$CLUSTER" \
+  --users "$USERS" --bits "$BITS" --seed "$SEED" \
+  --queries 6 --k 8 --deadline-ms 5000 || exit 1
+
+echo "== kill shard 0 primary, expect failover =="
+kill "${PIDS[0]}"
+wait "${PIDS[0]}" 2>/dev/null
+"$GFK" cluster-query --cluster "$CLUSTER" \
+  --users "$USERS" --bits "$BITS" --seed "$SEED" \
+  --queries 6 --k 8 --deadline-ms 5000 || exit 1
+
+echo "cluster smoke passed"
+exit 0
