@@ -1,0 +1,358 @@
+// Online ingestion: epoch publish throughput and the cost it imposes on
+// the serving path (DESIGN.md §15). Three phases:
+//
+//   1. correctness — a deterministic stepping-mode IngestService drains
+//      a seeded add/remove stream, then the published epoch is checked
+//      bit for bit against a from-scratch rebuild of the same ratings
+//      (Dataset::FromProfiles + FingerprintStore::Build): word arenas,
+//      cardinalities, and a SnapshotQueryEngine batch vs the exhaustive
+//      scan over that same snapshot. ANY divergence exits nonzero —
+//      this is the live-update soundness gate, not a statistic.
+//   2. read_only — baseline query throughput through
+//      SnapshotQueryEngine with no writer running.
+//   3. active_ingest — the same query loop while an IngestService
+//      worker drains a producer's event stream and publishes epochs
+//      under the readers. The headline is active/baseline qps; the
+//      acceptance bar is active >= GF_INGEST_QPS_GATE * baseline
+//      (default 0.8, i.e. within 20%; 0 disables the gate for noisy
+//      shared runners — the bit-exactness gate always runs).
+//
+// Emits BENCH_ingest.json (GF_BENCH_OUT overrides) whose runs carry
+// the ingest.* and query.* metrics of each phase.
+//
+// Environment knobs (all optional):
+//   GF_INGEST_USERS          store size              (default 20000)
+//   GF_INGEST_ITEMS          item universe           (default 2000)
+//   GF_INGEST_BITS           fingerprint bits        (default 1024)
+//   GF_INGEST_BATCH          queries per batch       (default 256)
+//   GF_INGEST_K              neighbors per query     (default 10)
+//   GF_INGEST_BATCHES        timed batches per phase (default 40)
+//   GF_INGEST_EVENTS         events in active phase  (default 200000)
+//   GF_INGEST_PUBLISH_EVERY  events per epoch        (default 1024)
+//   GF_INGEST_CHECK_EVENTS   correctness stream len  (default 4000)
+//   GF_INGEST_QPS_GATE       active/baseline floor   (default 0.8)
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/fingerprint_store.h"
+#include "core/versioned_store.h"
+#include "dataset/dataset.h"
+#include "knn/ingest.h"
+#include "knn/query.h"
+#include "knn/snapshot_query.h"
+#include "obs/metrics.h"
+#include "util/bench_env.h"
+#include "util/bench_report.h"
+
+namespace {
+
+std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  const long value = std::atol(env);
+  return value > 0 ? static_cast<std::size_t>(value) : fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  return std::atof(env);
+}
+
+// Seed profiles in the real-data cardinality regime: 10..60 items each.
+gf::MutableFingerprintStore SeedWriteSide(std::size_t users,
+                                          std::size_t items, std::size_t bits,
+                                          gf::Rng& rng) {
+  gf::FingerprintConfig config;
+  config.num_bits = bits;
+  auto store = gf::MutableFingerprintStore::Create(config, users);
+  if (!store.ok()) {
+    std::fprintf(stderr, "seed: %s\n", store.status().ToString().c_str());
+    std::exit(1);
+  }
+  for (gf::UserId u = 0; u < users; ++u) {
+    const std::size_t len = 10 + rng.Below(51);
+    for (std::size_t i = 0; i < len; ++i) {
+      store->Add(u, static_cast<gf::ItemId>(rng.Below(items)));
+    }
+  }
+  store->TakeDirty();
+  return std::move(store).value();
+}
+
+gf::RatingEvent RandomEvent(std::size_t users, std::size_t items,
+                            gf::Rng& rng) {
+  const auto user = static_cast<gf::UserId>(rng.Below(users));
+  const auto item = static_cast<gf::ItemId>(rng.Below(items));
+  // 70/30 add/remove; removes of absent items are rejected no-ops, so
+  // the applied mix self-balances around the set discipline.
+  return rng.Below(10) < 7 ? gf::RatingEvent::Add(user, item)
+                           : gf::RatingEvent::Remove(user, item);
+}
+
+std::vector<gf::Shf> DrawQueries(const gf::FingerprintStore& store,
+                                 std::size_t n, gf::Rng& rng) {
+  std::vector<gf::Shf> queries;
+  queries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    queries.push_back(
+        store.Extract(static_cast<gf::UserId>(rng.Below(store.num_users()))));
+  }
+  return queries;
+}
+
+// The bit-exactness gate. Returns false (after printing what diverged)
+// when the published epoch differs from a from-scratch rebuild of the
+// write side's ratings, or when the snapshot engine's answers differ
+// from the exhaustive scan over the very same snapshot.
+bool CheckEpochBitExact(const gf::VersionedStore& store,
+                        gf::SnapshotQueryEngine& engine,
+                        std::span<const gf::Shf> queries, std::size_t k) {
+  const gf::SnapshotPtr snapshot = store.Acquire();
+  const gf::MutableFingerprintStore& write = store.write_side();
+
+  std::vector<std::vector<gf::ItemId>> profiles(write.num_users());
+  std::size_t max_item = 0;
+  for (gf::UserId u = 0; u < write.num_users(); ++u) {
+    const auto profile = write.ProfileOf(u);
+    profiles[u].assign(profile.begin(), profile.end());
+    for (const gf::ItemId item : profile) {
+      max_item = std::max(max_item, static_cast<std::size_t>(item));
+    }
+  }
+  auto dataset =
+      gf::Dataset::FromProfiles(std::move(profiles), max_item + 1, "rebuild");
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "rebuild dataset: %s\n",
+                 dataset.status().ToString().c_str());
+    return false;
+  }
+  auto rebuilt = gf::FingerprintStore::Build(*dataset, write.config());
+  if (!rebuilt.ok()) {
+    std::fprintf(stderr, "rebuild store: %s\n",
+                 rebuilt.status().ToString().c_str());
+    return false;
+  }
+
+  const auto live_words = snapshot->store().WordsArena();
+  const auto rebuilt_words = rebuilt->WordsArena();
+  if (live_words.size() != rebuilt_words.size()) {
+    std::fprintf(stderr, "FAIL: arena size %zu vs rebuilt %zu\n",
+                 live_words.size(), rebuilt_words.size());
+    return false;
+  }
+  for (std::size_t i = 0; i < live_words.size(); ++i) {
+    if (live_words[i] != rebuilt_words[i]) {
+      std::fprintf(stderr, "FAIL: word %zu diverges: live %016llx vs "
+                           "rebuilt %016llx\n",
+                   i, static_cast<unsigned long long>(live_words[i]),
+                   static_cast<unsigned long long>(rebuilt_words[i]));
+      return false;
+    }
+  }
+  const auto live_cards = snapshot->store().Cardinalities();
+  const auto rebuilt_cards = rebuilt->Cardinalities();
+  for (std::size_t u = 0; u < live_cards.size(); ++u) {
+    if (live_cards[u] != rebuilt_cards[u]) {
+      std::fprintf(stderr, "FAIL: cardinality of user %zu: live %u vs "
+                           "rebuilt %u\n",
+                   u, live_cards[u], rebuilt_cards[u]);
+      return false;
+    }
+  }
+
+  auto pinned = engine.QueryBatchPinned(queries, k);
+  if (!pinned.ok()) {
+    std::fprintf(stderr, "pinned batch: %s\n",
+                 pinned.status().ToString().c_str());
+    return false;
+  }
+  const gf::ScanQueryEngine scan(pinned->snapshot);
+  auto expected = scan.QueryBatch(queries, k);
+  if (!expected.ok()) {
+    std::fprintf(stderr, "scan batch: %s\n",
+                 expected.status().ToString().c_str());
+    return false;
+  }
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto& got = pinned->results[q];
+    const auto& want = (*expected)[q];
+    if (got.size() != want.size()) {
+      std::fprintf(stderr, "FAIL: query %zu: %zu results vs scan %zu\n", q,
+                   got.size(), want.size());
+      return false;
+    }
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      if (got[j].id != want[j].id || got[j].similarity != want[j].similarity) {
+        std::fprintf(stderr,
+                     "FAIL: query %zu slot %zu: (%u, %f) vs scan (%u, %f)\n",
+                     q, j, got[j].id, static_cast<double>(got[j].similarity),
+                     want[j].id, static_cast<double>(want[j].similarity));
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t users = EnvSize("GF_INGEST_USERS", 20000);
+  const std::size_t items = EnvSize("GF_INGEST_ITEMS", 2000);
+  const std::size_t bits = EnvSize("GF_INGEST_BITS", 1024);
+  const std::size_t batch = EnvSize("GF_INGEST_BATCH", 256);
+  const std::size_t k = EnvSize("GF_INGEST_K", 10);
+  const std::size_t batches = EnvSize("GF_INGEST_BATCHES", 40);
+  const std::size_t events = EnvSize("GF_INGEST_EVENTS", 200000);
+  const std::size_t publish_every = EnvSize("GF_INGEST_PUBLISH_EVERY", 1024);
+  const std::size_t check_events = EnvSize("GF_INGEST_CHECK_EVENTS", 4000);
+  const double qps_gate = EnvDouble("GF_INGEST_QPS_GATE", 0.8);
+
+  gf::bench::PrintHeader(
+      "Online ingestion: live epochs under a serving load",
+      "gate 1: published epochs are bit-identical to a from-scratch "
+      "rebuild; gate 2: qps under ingest stays within the configured "
+      "fraction of the read-only baseline");
+  std::printf("store: %zu users x %zu bits, %zu items, batch %zu, k %zu, "
+              "publish_every %zu\n\n",
+              users, bits, items, batch, k, publish_every);
+
+  gf::bench::BenchReport report("ingest_throughput", "BENCH_ingest.json");
+  gf::Rng rng(0x16E57);
+
+  // ---- Phase 1: deterministic correctness (the bit-exactness gate) --
+  {
+    gf::obs::MetricRegistry registry;
+    gf::obs::PipelineContext obs{.metrics = &registry};
+    gf::VersionedStore store(SeedWriteSide(users, items, bits, rng));
+    gf::SnapshotQueryEngine engine(&store, nullptr, &obs);
+    gf::IngestService::Options options;
+    options.publish_every = publish_every;
+    options.start_worker = false;  // stepping: deterministic apply order
+    gf::IngestService ingest(&store, options, &obs);
+
+    const std::vector<gf::Shf> queries =
+        DrawQueries(store.Acquire()->store(), std::min<std::size_t>(batch, 64),
+                    rng);
+    for (std::size_t e = 0; e < check_events; ++e) {
+      if (!ingest.Submit(RandomEvent(users, items, rng)).ok()) {
+        while (ingest.DrainOnce() > 0) {
+        }
+      }
+    }
+    while (ingest.DrainOnce() > 0) {
+    }
+    ingest.Flush();
+
+    if (!CheckEpochBitExact(store, engine, queries, k)) {
+      std::fprintf(stderr,
+                   "\nbit-exactness gate FAILED at epoch %llu after %llu "
+                   "applied events\n",
+                   static_cast<unsigned long long>(store.epoch()),
+                   static_cast<unsigned long long>(ingest.EventsApplied()));
+      return 1;
+    }
+    std::printf("correctness: epoch %llu bit-identical to rebuild after "
+                "%llu applied events (%llu epochs)\n",
+                static_cast<unsigned long long>(store.epoch()),
+                static_cast<unsigned long long>(ingest.EventsApplied()),
+                static_cast<unsigned long long>(ingest.EpochsPublished()));
+    report.AddRun("correctness", registry);
+  }
+
+  // ---- Phases 2+3 share one store so the comparison is like-for-like.
+  gf::VersionedStore store(SeedWriteSide(users, items, bits, rng));
+  const std::vector<gf::Shf> queries =
+      DrawQueries(store.Acquire()->store(), batch, rng);
+
+  std::printf("\n%-14s %14s %14s %14s\n", "phase", "wall ms", "queries/s",
+              "events/s");
+
+  double baseline_qps = 0.0;
+  {  // ---- Phase 2: read-only baseline --------------------------------
+    gf::obs::MetricRegistry registry;
+    gf::obs::PipelineContext obs{.metrics = &registry};
+    gf::SnapshotQueryEngine engine(&store, nullptr, &obs);
+    gf::WallTimer timer;
+    for (std::size_t b = 0; b < batches; ++b) {
+      if (!engine.QueryBatch(queries, k).ok()) std::abort();
+    }
+    const double secs = timer.ElapsedSeconds();
+    baseline_qps = static_cast<double>(batches * batch) / secs;
+    registry.GetGauge("query.qps")->Set(baseline_qps);
+    std::printf("%-14s %14.1f %14.0f %14s\n", "read_only", secs * 1e3,
+                baseline_qps, "-");
+    report.AddRun("read_only", registry);
+  }
+
+  double active_qps = 0.0;
+  {  // ---- Phase 3: the same load with a live writer under it ---------
+    gf::obs::MetricRegistry registry;
+    gf::obs::PipelineContext obs{.metrics = &registry};
+    gf::SnapshotQueryEngine engine(&store, nullptr, &obs);
+    gf::IngestService::Options options;
+    options.publish_every = publish_every;
+    gf::IngestService ingest(&store, options, &obs);
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> submitted{0};
+    std::thread producer([&] {
+      gf::Rng producer_rng(0xFEED5);
+      std::size_t sent = 0;
+      while (sent < events && !stop.load(std::memory_order_relaxed)) {
+        if (ingest.Submit(RandomEvent(users, items, producer_rng)).ok()) {
+          ++sent;
+        } else {
+          std::this_thread::yield();  // full queue: back off, retry
+        }
+      }
+      submitted.store(sent, std::memory_order_relaxed);
+    });
+
+    gf::WallTimer timer;
+    for (std::size_t b = 0; b < batches; ++b) {
+      if (!engine.QueryBatch(queries, k).ok()) std::abort();
+    }
+    const double secs = timer.ElapsedSeconds();
+    stop.store(true, std::memory_order_relaxed);
+    producer.join();
+    ingest.Shutdown();
+
+    active_qps = static_cast<double>(batches * batch) / secs;
+    const double eps = static_cast<double>(ingest.EventsApplied()) / secs;
+    registry.GetGauge("query.qps")->Set(active_qps);
+    registry.GetGauge("ingest.events_per_sec")->Set(eps);
+    registry.GetGauge("ingest.qps_ratio")->Set(active_qps / baseline_qps);
+    std::printf("%-14s %14.1f %14.0f %14.0f\n", "active_ingest", secs * 1e3,
+                active_qps, eps);
+    std::printf("\nactive/baseline qps: %.2f (%llu events submitted, "
+                "%llu applied, %llu epochs)\n",
+                active_qps / baseline_qps,
+                static_cast<unsigned long long>(
+                    submitted.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(ingest.EventsApplied()),
+                static_cast<unsigned long long>(ingest.EpochsPublished()));
+    report.AddRun("active_ingest", registry);
+  }
+
+  report.Write();
+  std::printf("report: %s\n", report.path().c_str());
+
+  if (qps_gate > 0.0 && active_qps < qps_gate * baseline_qps) {
+    std::fprintf(stderr,
+                 "\nqps gate FAILED: active %.0f < %.2f x baseline %.0f\n",
+                 active_qps, qps_gate, baseline_qps);
+    return 1;
+  }
+  return 0;
+}

@@ -13,12 +13,22 @@
 // exhaustive ScanQueryEngine ground truth, emitting
 // BENCH_band_sweep.json — the tuning table for picking band_bits.
 //
+// Both modes default to a synthetic store but accept a real dataset:
+// `--ratings <path> --format dat|csv|amazon|edges` (or the
+// GF_QUERY_RATINGS / GF_QUERY_FORMAT env pair) loads the file through
+// the gf_dataset parsers, binarizes at the paper's threshold, and
+// fingerprints it at GF_QUERY_BITS — so the band_bits tuning table can
+// be produced for MovieLens / AmazonMovies / DBLP / Gowalla, not just
+// the synthetic density regime.
+//
 // Environment knobs (all optional):
-//   GF_QUERY_USERS    store size            (default 100000)
+//   GF_QUERY_USERS    synthetic store size  (default 100000)
 //   GF_QUERY_BITS     fingerprint bits      (default 1024)
 //   GF_QUERY_BATCH    queries per batch     (default 1024)
 //   GF_QUERY_THREADS  threads for the Nt run (default 8)
 //   GF_QUERY_K        neighbors per query   (default 10)
+//   GF_QUERY_RATINGS  real-dataset path     (default: synthetic)
+//   GF_QUERY_FORMAT   dat|csv|amazon|edges  (default dat)
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +41,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/fingerprint_store.h"
+#include "dataset/loader.h"
 #include "knn/query.h"
 #include "obs/metrics.h"
 #include "util/bench_env.h"
@@ -65,6 +76,41 @@ gf::FingerprintStore MakeStore(std::size_t users, std::size_t bits,
     std::fprintf(stderr, "store: %s\n", store.status().ToString().c_str());
     std::exit(1);
   }
+  return std::move(store).value();
+}
+
+// Real-data path: load + binarize + fingerprint at `bits`. Exits on
+// failure — a named dataset that doesn't parse is a setup error, not a
+// fall-back-to-synthetic situation.
+gf::FingerprintStore LoadStore(const std::string& path,
+                               const std::string& format, std::size_t bits) {
+  gf::LoaderOptions options;
+  gf::Result<gf::RatingDataset> raw = gf::Status::InvalidArgument(
+      "unknown --format '" + format + "' (dat|csv|amazon|edges)");
+  if (format == "dat") raw = gf::LoadMovieLensDat(path, options);
+  if (format == "csv") raw = gf::LoadMovieLensCsv(path, options);
+  if (format == "amazon") raw = gf::LoadAmazonRatings(path, options);
+  if (format == "edges") raw = gf::LoadEdgeList(path, options);
+  if (!raw.ok()) {
+    std::fprintf(stderr, "load: %s\n", raw.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto dataset = raw->Binarize();
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "binarize: %s\n",
+                 dataset.status().ToString().c_str());
+    std::exit(1);
+  }
+  gf::FingerprintConfig config;
+  config.num_bits = bits;
+  auto store = gf::FingerprintStore::Build(*dataset, config);
+  if (!store.ok()) {
+    std::fprintf(stderr, "store: %s\n", store.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("dataset: %s (%s): %zu users, %zu items -> %zu-bit store\n",
+              path.c_str(), format.c_str(), dataset->NumUsers(),
+              dataset->NumItems(), bits);
   return std::move(store).value();
 }
 
@@ -150,22 +196,32 @@ int main(int argc, char** argv) {
   const std::size_t threads = EnvSize("GF_QUERY_THREADS", 8);
   const std::size_t k = EnvSize("GF_QUERY_K", 10);
 
+  const char* ratings_env = std::getenv("GF_QUERY_RATINGS");
+  const char* format_env = std::getenv("GF_QUERY_FORMAT");
+  std::string ratings = ratings_env != nullptr ? ratings_env : "";
+  std::string format = format_env != nullptr && format_env[0] != '\0'
+                           ? format_env
+                           : "dat";
   bool band_sweep = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--band-sweep") band_sweep = true;
+    const std::string arg(argv[i]);
+    if (arg == "--band-sweep") band_sweep = true;
+    if (arg == "--ratings" && i + 1 < argc) ratings = argv[++i];
+    if (arg == "--format" && i + 1 < argc) format = argv[++i];
   }
 
-  if (band_sweep) {
-    gf::Rng rng(2026);
-    const gf::FingerprintStore store = MakeStore(users, bits, rng);
-    std::vector<gf::Shf> queries;
-    queries.reserve(batch);
-    for (std::size_t q = 0; q < batch; ++q) {
-      queries.push_back(
-          store.Extract(static_cast<gf::UserId>(rng.Below(users))));
-    }
-    return RunBandSweep(store, queries, k);
+  gf::Rng rng(2026);
+  const gf::FingerprintStore store =
+      ratings.empty() ? MakeStore(users, bits, rng)
+                      : LoadStore(ratings, format, bits);
+  std::vector<gf::Shf> queries;
+  queries.reserve(batch);
+  for (std::size_t q = 0; q < batch; ++q) {
+    queries.push_back(store.Extract(
+        static_cast<gf::UserId>(rng.Below(store.num_users()))));
   }
+
+  if (band_sweep) return RunBandSweep(store, queries, k);
 
   gf::bench::PrintHeader(
       "Query serving: batched SIMD tile scan vs per-pair, vs banded SHF",
@@ -173,16 +229,7 @@ int main(int argc, char** argv) {
       "on 100k users; threads add on top of that");
 
   std::printf("store: %zu users x %zu bits, batch %zu, k %zu, %zu threads\n\n",
-              users, bits, batch, k, threads);
-
-  gf::Rng rng(2026);
-  const gf::FingerprintStore store = MakeStore(users, bits, rng);
-  std::vector<gf::Shf> queries;
-  queries.reserve(batch);
-  for (std::size_t q = 0; q < batch; ++q) {
-    queries.push_back(
-        store.Extract(static_cast<gf::UserId>(rng.Below(users))));
-  }
+              store.num_users(), bits, batch, k, threads);
 
   gf::bench::BenchReport report("query_throughput", "BENCH_query.json");
   std::printf("%-14s %14s %14s %12s\n", "mode", "wall ms", "queries/s",

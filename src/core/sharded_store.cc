@@ -144,4 +144,31 @@ Result<ShardedFingerprintStore> ShardedFingerprintStore::ViewOf(
   return out;
 }
 
+Result<ShardedFingerprintStore> ShardedFingerprintStore::ViewOf(
+    SnapshotPtr snapshot, std::span<const UserId> shard_begins,
+    const obs::PipelineContext* obs) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("snapshot must be non-null");
+  }
+  auto view = ViewOf(snapshot->store(), shard_begins, obs);
+  if (!view.ok()) return view.status();
+  view->retain_ = std::move(snapshot);
+  return view;
+}
+
+std::vector<UserId> ShardedFingerprintStore::BalancedBegins(
+    std::size_t num_users, std::size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  const std::size_t base = num_users / num_shards;
+  const std::size_t extra = num_users % num_shards;
+  std::vector<UserId> begins;
+  begins.reserve(num_shards);
+  UserId begin = 0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    begins.push_back(begin);
+    begin += static_cast<UserId>(base + (s < extra ? 1 : 0));
+  }
+  return begins;
+}
+
 }  // namespace gf

@@ -27,6 +27,7 @@
 
 #include "common/result.h"
 #include "core/fingerprint_store.h"
+#include "core/store_snapshot.h"
 #include "obs/pipeline_context.h"
 
 namespace gf {
@@ -67,6 +68,21 @@ class ShardedFingerprintStore {
       const FingerprintStore& source, std::span<const UserId> shard_begins,
       const obs::PipelineContext* obs = nullptr);
 
+  /// ViewOf over an epoch snapshot: the same zero-copy hydration, but
+  /// the result co-owns the snapshot, so the epoch's arena stays alive
+  /// for as long as this view (or any engine built on it) does. This is
+  /// how a query batch stays pinned to one epoch end to end under live
+  /// ingestion (DESIGN.md §15).
+  static Result<ShardedFingerprintStore> ViewOf(
+      SnapshotPtr snapshot, std::span<const UserId> shard_begins,
+      const obs::PipelineContext* obs = nullptr);
+
+  /// The canonical balanced split: num_shards begins with shard sizes
+  /// differing by at most one user (the first num_users % num_shards
+  /// shards take the extra). Feed the result to ViewOf.
+  static std::vector<UserId> BalancedBegins(std::size_t num_users,
+                                            std::size_t num_shards);
+
   std::size_t num_shards() const { return shards_.size(); }
 
   /// Shard `s`'s own store; its local row r is global user
@@ -98,6 +114,9 @@ class ShardedFingerprintStore {
   std::vector<FingerprintStore> shards_;
   std::vector<UserId> shard_begins_;
   std::vector<std::vector<int>> shard_cpus_;
+  // Keeps the borrowed source (an epoch snapshot) alive for snapshot
+  // views; null for Partition copies and raw ViewOf borrows.
+  std::shared_ptr<const void> retain_;
 };
 
 }  // namespace gf

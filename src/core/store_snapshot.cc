@@ -1,0 +1,32 @@
+#include "core/store_snapshot.h"
+
+namespace gf {
+
+SnapshotPtr StoreSnapshot::Own(FingerprintStore store, uint64_t epoch,
+                               std::shared_ptr<const KnnGraph> graph,
+                               uint64_t published_micros,
+                               std::function<void()> on_retire) {
+  auto* snap = new StoreSnapshot();
+  snap->owned_.emplace(std::move(store));
+  snap->graph_ = std::move(graph);
+  snap->epoch_ = epoch;
+  snap->published_micros_ = published_micros;
+  if (on_retire == nullptr) return SnapshotPtr(snap);
+  return SnapshotPtr(snap, [retire = std::move(on_retire)](
+                               const StoreSnapshot* p) mutable {
+    delete p;
+    retire();
+  });
+}
+
+SnapshotPtr StoreSnapshot::Borrow(const FingerprintStore& store,
+                                  uint64_t epoch,
+                                  std::shared_ptr<const KnnGraph> graph) {
+  auto snap = std::shared_ptr<StoreSnapshot>(new StoreSnapshot());
+  snap->borrowed_ = &store;
+  snap->graph_ = std::move(graph);
+  snap->epoch_ = epoch;
+  return snap;
+}
+
+}  // namespace gf

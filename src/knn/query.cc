@@ -49,6 +49,18 @@ ScanQueryEngine::ScanQueryEngine(const FingerprintStore& store,
   if (options_.tile_rows == 0) options_.tile_rows = 256;
 }
 
+ScanQueryEngine::ScanQueryEngine(SnapshotPtr snapshot, ThreadPool* pool,
+                                 const obs::PipelineContext* obs)
+    : ScanQueryEngine(std::move(snapshot), pool, obs, Options{}) {}
+
+ScanQueryEngine::ScanQueryEngine(SnapshotPtr snapshot, ThreadPool* pool,
+                                 const obs::PipelineContext* obs,
+                                 Options options)
+    : ScanQueryEngine(snapshot->store(), pool, obs, options) {
+  pinned_ = std::move(snapshot);
+  store_ = &pinned_->store();
+}
+
 Result<std::vector<Neighbor>> ScanQueryEngine::Query(const Shf& query,
                                                      std::size_t k) const {
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
@@ -266,6 +278,19 @@ Result<BandedShfQueryEngine> BandedShfQueryEngine::Build(
     obs->Count("query.banded.indexed_entries", engine.IndexedEntries());
   }
   return engine;
+}
+
+Result<BandedShfQueryEngine> BandedShfQueryEngine::Build(
+    SnapshotPtr snapshot, const Options& options, ThreadPool* pool,
+    const obs::PipelineContext* obs) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("snapshot must be non-null");
+  }
+  auto engine = Build(snapshot->store(), options, pool, obs);
+  if (!engine.ok()) return engine.status();
+  engine->pinned_ = std::move(snapshot);
+  engine->store_ = &engine->pinned_->store();
+  return std::move(engine).value();
 }
 
 std::vector<Neighbor> BandedShfQueryEngine::QueryOne(const Shf& query,

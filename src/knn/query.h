@@ -42,6 +42,7 @@
 
 #include "common/thread_pool.h"
 #include "core/fingerprint_store.h"
+#include "core/store_snapshot.h"
 #include "dataset/dataset.h"
 #include "knn/graph.h"
 #include "minhash/permutation.h"
@@ -144,6 +145,19 @@ class ScanQueryEngine {
   ScanQueryEngine(const FingerprintStore& store, ThreadPool* pool,
                   const obs::PipelineContext* obs, Options options);
 
+  /// Epoch-pinned construction (DESIGN.md §15): the engine co-owns
+  /// `snapshot`, so the epoch's arena cannot be retired while any
+  /// query runs, even once the publisher has moved on. Every answer
+  /// reflects exactly the pinned epoch's ratings.
+  explicit ScanQueryEngine(SnapshotPtr snapshot, ThreadPool* pool = nullptr,
+                           const obs::PipelineContext* obs = nullptr);
+  ScanQueryEngine(SnapshotPtr snapshot, ThreadPool* pool,
+                  const obs::PipelineContext* obs, Options options);
+
+  /// The snapshot this engine is pinned to; nullptr when constructed
+  /// over a raw store reference (legacy batch call sites).
+  const SnapshotPtr& pinned_snapshot() const { return pinned_; }
+
   /// The k users most similar to `query` under the SHF Jaccard
   /// estimate. `query` must have the store's bit length (checked).
   /// This is the sequential per-pair reference path; QueryBatch is the
@@ -183,6 +197,7 @@ class ScanQueryEngine {
       std::span<const ItemId> profile, std::size_t k) const;
 
  private:
+  SnapshotPtr pinned_;  // set first so store_ may point into it
   const FingerprintStore* store_;
   ThreadPool* pool_;
   const obs::PipelineContext* obs_;
@@ -222,6 +237,16 @@ class BandedShfQueryEngine {
       const FingerprintStore& store, const Options& options,
       ThreadPool* pool = nullptr, const obs::PipelineContext* obs = nullptr);
   static Result<BandedShfQueryEngine> Build(const FingerprintStore& store);
+
+  /// Epoch-pinned Build: indexes the snapshot's store and co-owns the
+  /// snapshot, so band candidates and rescoring both read the pinned
+  /// epoch (DESIGN.md §15).
+  static Result<BandedShfQueryEngine> Build(
+      SnapshotPtr snapshot, const Options& options, ThreadPool* pool = nullptr,
+      const obs::PipelineContext* obs = nullptr);
+
+  /// The pinned snapshot; nullptr for raw-store builds.
+  const SnapshotPtr& pinned_snapshot() const { return pinned_; }
 
   /// The k most similar stored users among the band-collision
   /// candidates of `query`. May return fewer than k (even zero — a
@@ -269,6 +294,7 @@ class BandedShfQueryEngine {
   uint64_t ChunkOf(std::span<const uint64_t> words, std::size_t band) const;
   std::vector<Neighbor> QueryOne(const Shf& query, std::size_t k) const;
 
+  SnapshotPtr pinned_;
   const FingerprintStore* store_;
   ThreadPool* pool_;
   std::size_t band_bits_;

@@ -54,6 +54,19 @@ ShardedQueryEngine::ShardedQueryEngine(const ShardedFingerprintStore& store,
   }
 }
 
+ShardedQueryEngine::ShardedQueryEngine(
+    std::shared_ptr<const ShardedFingerprintStore> store, ThreadPool* pool,
+    const obs::PipelineContext* obs)
+    : ShardedQueryEngine(std::move(store), pool, obs, Options{}) {}
+
+ShardedQueryEngine::ShardedQueryEngine(
+    std::shared_ptr<const ShardedFingerprintStore> store, ThreadPool* pool,
+    const obs::PipelineContext* obs, Options options)
+    : ShardedQueryEngine(*store, pool, obs, options) {
+  owned_store_ = std::move(store);
+  store_ = owned_store_.get();
+}
+
 void ShardedQueryEngine::ScanShard(std::size_t s,
                                    std::span<const uint64_t> query_words,
                                    std::span<const uint32_t> query_cards,

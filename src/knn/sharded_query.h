@@ -57,6 +57,18 @@ class ShardedQueryEngine {
   ShardedQueryEngine(const ShardedFingerprintStore& store, ThreadPool* pool,
                      const obs::PipelineContext* obs, Options options);
 
+  /// Shared-ownership construction for the snapshot seam (DESIGN.md
+  /// §15): the engine co-owns `store` — typically a
+  /// ShardedFingerprintStore::ViewOf(SnapshotPtr, ...) whose shards
+  /// borrow one epoch's arena — so engine + view + epoch retire
+  /// together when the last query batch finishes.
+  explicit ShardedQueryEngine(
+      std::shared_ptr<const ShardedFingerprintStore> store,
+      ThreadPool* pool = nullptr, const obs::PipelineContext* obs = nullptr);
+  ShardedQueryEngine(std::shared_ptr<const ShardedFingerprintStore> store,
+                     ThreadPool* pool, const obs::PipelineContext* obs,
+                     Options options);
+
   /// Batch of one. Bit-exact with QueryBatch (and with
   /// ScanQueryEngine::Query on the unsharded store).
   Result<std::vector<Neighbor>> Query(const Shf& query, std::size_t k) const;
@@ -73,6 +85,9 @@ class ShardedQueryEngine {
                  std::span<const uint32_t> query_cards,
                  std::vector<TopKSelector>& selectors) const;
 
+  // Set when constructed with shared ownership; store_ then points at
+  // *owned_store_ and the underlying epoch stays pinned.
+  std::shared_ptr<const ShardedFingerprintStore> owned_store_;
   const ShardedFingerprintStore* store_;
   ThreadPool* pool_;
   Options options_;

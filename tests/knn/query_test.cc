@@ -142,6 +142,63 @@ TEST(ScanQueryTest, QueryBatchBitExactWithSequentialQuery) {
   }
 }
 
+TEST(ScanQueryTest, PinnedSnapshotEngineMatchesRawReference) {
+  // The snapshot seam: an engine constructed over a SnapshotPtr answers
+  // bit-identically to one over the raw store, and keeps its epoch
+  // alive on its own (the owning handle can be dropped).
+  Rng rng(0x9E51);
+  const FingerprintStore store = RandomStore(64, 256, rng);
+  std::vector<Shf> queries;
+  for (std::size_t q = 0; q < 8; ++q) {
+    queries.push_back(store.Extract(static_cast<UserId>(rng.Below(64))));
+  }
+  const ScanQueryEngine raw(store);
+  auto want = raw.QueryBatch(queries, 5);
+  ASSERT_TRUE(want.ok());
+
+  SnapshotPtr snapshot = StoreSnapshot::Borrow(store, 7);
+  const ScanQueryEngine pinned(std::move(snapshot));
+  EXPECT_EQ(pinned.pinned_snapshot()->epoch(), 7u);
+  auto got = pinned.QueryBatch(queries, 5);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), want->size());
+  for (std::size_t q = 0; q < want->size(); ++q) {
+    ASSERT_EQ((*got)[q].size(), (*want)[q].size());
+    for (std::size_t i = 0; i < (*want)[q].size(); ++i) {
+      EXPECT_EQ((*got)[q][i].id, (*want)[q][i].id);
+      EXPECT_EQ((*got)[q][i].similarity, (*want)[q][i].similarity);
+    }
+  }
+}
+
+TEST(BandedQueryTest, PinnedSnapshotBuildMatchesRawReference) {
+  Rng rng(0x9E52);
+  const FingerprintStore store = RandomStore(80, 256, rng);
+  std::vector<Shf> queries;
+  for (std::size_t q = 0; q < 6; ++q) {
+    queries.push_back(store.Extract(static_cast<UserId>(rng.Below(80))));
+  }
+  auto raw = BandedShfQueryEngine::Build(store);
+  ASSERT_TRUE(raw.ok());
+  auto want = raw->QueryBatch(queries, 4);
+  ASSERT_TRUE(want.ok());
+
+  auto pinned = BandedShfQueryEngine::Build(StoreSnapshot::Borrow(store, 3),
+                                            BandedShfQueryEngine::Options{});
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ(pinned->pinned_snapshot()->epoch(), 3u);
+  auto got = pinned->QueryBatch(queries, 4);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), want->size());
+  for (std::size_t q = 0; q < want->size(); ++q) {
+    ASSERT_EQ((*got)[q].size(), (*want)[q].size());
+    for (std::size_t i = 0; i < (*want)[q].size(); ++i) {
+      EXPECT_EQ((*got)[q][i].id, (*want)[q][i].id);
+      EXPECT_EQ((*got)[q][i].similarity, (*want)[q][i].similarity);
+    }
+  }
+}
+
 TEST(ScanQueryTest, QueryBatchValidatesArguments) {
   const Dataset d = testing::TinyDataset();
   const auto store = BuildStore(d, 128);

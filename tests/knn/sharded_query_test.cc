@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "common/bit_util.h"
@@ -47,6 +48,37 @@ void ExpectIdentical(const std::vector<std::vector<Neighbor>>& got,
           << "query " << q << " pos " << i;
     }
   }
+}
+
+TEST(ShardedQueryTest, SharedOwnershipViewOverSnapshotOutlivesItsHandles) {
+  // The seam path SnapshotQueryEngine uses internally: a zero-copy view
+  // over an owned snapshot, handed to the engine as shared ownership.
+  // Dropping both the snapshot handle and the view handle must leave
+  // the engine fully serviceable (the chain engine -> view -> snapshot
+  // keeps the epoch's arena alive).
+  Rng rng(0x51AB);
+  FingerprintStore owned = RandomStore(50, 128, rng);
+  std::vector<Shf> queries;
+  for (std::size_t q = 0; q < 5; ++q) {
+    queries.push_back(owned.Extract(static_cast<UserId>(rng.Below(50))));
+  }
+  const ScanQueryEngine scan(owned);
+  auto want = scan.QueryBatch(queries, 4);
+  ASSERT_TRUE(want.ok());
+
+  SnapshotPtr snapshot = StoreSnapshot::Own(std::move(owned), 5);
+  const auto begins = ShardedFingerprintStore::BalancedBegins(50, 3);
+  auto view = ShardedFingerprintStore::ViewOf(snapshot, begins);
+  ASSERT_TRUE(view.ok());
+  auto shared =
+      std::make_shared<const ShardedFingerprintStore>(std::move(view).value());
+  ShardedQueryEngine engine(shared);
+  snapshot.reset();
+  shared.reset();
+
+  auto got = engine.QueryBatch(queries, 4);
+  ASSERT_TRUE(got.ok());
+  ExpectIdentical(*got, *want);
 }
 
 TEST(ShardedQueryTest, ValidatesArguments) {

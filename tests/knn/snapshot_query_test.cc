@@ -1,0 +1,200 @@
+// SnapshotQueryEngine: epoch pinning, cache reuse across batches, and
+// bit-exactness with the scan reference over the pinned snapshot —
+// including through the QueryService micro-batching front-end.
+
+#include "knn/snapshot_query.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/versioned_store.h"
+#include "knn/query.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_context.h"
+
+namespace gf {
+namespace {
+
+FingerprintConfig SmallConfig(std::size_t bits = 256) {
+  FingerprintConfig config;
+  config.num_bits = bits;
+  return config;
+}
+
+Result<MutableFingerprintStore> RandomWriteSide(std::size_t users,
+                                                std::size_t items, Rng& rng) {
+  auto store = MutableFingerprintStore::Create(SmallConfig(), users);
+  if (!store.ok()) return store.status();
+  for (UserId u = 0; u < users; ++u) {
+    const std::size_t len = 1 + rng.Below(20);
+    for (std::size_t i = 0; i < len; ++i) {
+      store->Add(u, static_cast<ItemId>(rng.Below(items)));
+    }
+  }
+  store->TakeDirty();
+  return store;
+}
+
+std::vector<Shf> RandomQueries(const FingerprintStore& store, std::size_t n,
+                               Rng& rng) {
+  std::vector<Shf> queries;
+  queries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    queries.push_back(
+        store.Extract(static_cast<UserId>(rng.Below(store.num_users()))));
+  }
+  return queries;
+}
+
+void ExpectResultsIdentical(
+    const std::vector<std::vector<Neighbor>>& a,
+    const std::vector<std::vector<Neighbor>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size()) << "query " << i;
+    for (std::size_t j = 0; j < a[i].size(); ++j) {
+      EXPECT_EQ(a[i][j].id, b[i][j].id) << "query " << i << " slot " << j;
+      EXPECT_EQ(a[i][j].similarity, b[i][j].similarity)
+          << "query " << i << " slot " << j;
+    }
+  }
+}
+
+TEST(SnapshotQueryTest, MatchesScanAcrossShardCountsOnFixedSource) {
+  Rng rng(0x5A5A01);
+  auto write = RandomWriteSide(97, 400, rng);
+  ASSERT_TRUE(write.ok());
+  const FingerprintStore store = write->Materialize();
+  FixedSnapshotSource source(store);
+
+  const std::vector<Shf> queries = RandomQueries(store, 12, rng);
+  const ScanQueryEngine scan(store);
+  auto expected = scan.QueryBatch(queries, 7);
+  ASSERT_TRUE(expected.ok());
+
+  for (std::size_t shards : {1u, 2u, 5u, 8u}) {
+    SnapshotQueryEngine::Options options;
+    options.num_shards = shards;
+    SnapshotQueryEngine engine(&source, options);
+    auto got = engine.QueryBatch(queries, 7);
+    ASSERT_TRUE(got.ok()) << "shards=" << shards;
+    ExpectResultsIdentical(*expected, *got);
+  }
+}
+
+TEST(SnapshotQueryTest, PinnedBatchNamesItsEpochAndStaysOnIt) {
+  Rng rng(0x5A5A02);
+  auto write = RandomWriteSide(60, 300, rng);
+  ASSERT_TRUE(write.ok());
+  VersionedStore store(std::move(write).value());
+  SnapshotQueryEngine engine(&store);
+
+  const FingerprintStore epoch0 = store.Acquire()->store();
+  const std::vector<Shf> queries = RandomQueries(epoch0, 6, rng);
+
+  auto before = engine.QueryBatchPinned(queries, 5);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->snapshot->epoch(), 0u);
+
+  // Mutate + publish; a new batch must see epoch 1, and the old
+  // pinned results must still verify against their own epoch 0.
+  for (int i = 0; i < 10; ++i) {
+    store.Apply(RatingEvent::Add(static_cast<UserId>(i), 700));
+  }
+  store.Publish();
+
+  auto after = engine.QueryBatchPinned(queries, 5);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->snapshot->epoch(), 1u);
+  EXPECT_EQ(engine.cached_epoch(), 1u);
+
+  const ScanQueryEngine scan0(before->snapshot);
+  auto expect0 = scan0.QueryBatch(queries, 5);
+  ASSERT_TRUE(expect0.ok());
+  ExpectResultsIdentical(*expect0, before->results);
+
+  const ScanQueryEngine scan1(after->snapshot);
+  auto expect1 = scan1.QueryBatch(queries, 5);
+  ASSERT_TRUE(expect1.ok());
+  ExpectResultsIdentical(*expect1, after->results);
+}
+
+TEST(SnapshotQueryTest, CacheRebuildsOnlyOnEpochChange) {
+  Rng rng(0x5A5A03);
+  auto write = RandomWriteSide(40, 200, rng);
+  ASSERT_TRUE(write.ok());
+  VersionedStore store(std::move(write).value());
+  obs::MetricRegistry registry;
+  obs::PipelineContext obs{.metrics = &registry};
+  SnapshotQueryEngine engine(&store, SnapshotQueryEngine::Options{}, nullptr,
+                             &obs);
+
+  const std::vector<Shf> queries =
+      RandomQueries(store.Acquire()->store(), 4, rng);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(engine.QueryBatch(queries, 3).ok());
+  }
+  EXPECT_EQ(registry.FindCounter("query.snapshot_rebuilds")->value(), 1u)
+      << "same epoch, one build";
+  EXPECT_EQ(registry.FindGauge("query.epoch")->value(), 0.0);
+
+  store.Apply(RatingEvent::Add(0, 999));
+  store.Publish();
+  ASSERT_TRUE(engine.QueryBatch(queries, 3).ok());
+  EXPECT_EQ(registry.FindCounter("query.snapshot_rebuilds")->value(), 2u);
+  EXPECT_EQ(registry.FindGauge("query.epoch")->value(), 1.0);
+}
+
+TEST(SnapshotQueryTest, ServesThroughQueryServiceSteppingMode) {
+  Rng rng(0x5A5A04);
+  auto write = RandomWriteSide(50, 250, rng);
+  ASSERT_TRUE(write.ok());
+  VersionedStore store(std::move(write).value());
+  SnapshotQueryEngine::Options options;
+  options.num_shards = 2;
+  SnapshotQueryEngine engine(&store, options);
+
+  QueryService::Options service_options;
+  service_options.start_dispatcher = false;
+  QueryService service(engine.AsBatchFn(), service_options);
+
+  const FingerprintStore epoch0 = store.Acquire()->store();
+  const std::vector<Shf> queries = RandomQueries(epoch0, 5, rng);
+  std::vector<std::future<Result<std::vector<Neighbor>>>> futures;
+  for (const Shf& query : queries) {
+    futures.push_back(service.Submit(query, 4));
+  }
+  EXPECT_EQ(service.DrainOnce(), queries.size());
+
+  const ScanQueryEngine scan(epoch0);
+  auto expected = scan.QueryBatch(queries, 4);
+  ASSERT_TRUE(expected.ok());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    auto result = futures[i].get();
+    ASSERT_TRUE(result.ok()) << "query " << i;
+    ASSERT_EQ(result->size(), (*expected)[i].size());
+    for (std::size_t j = 0; j < result->size(); ++j) {
+      EXPECT_EQ((*result)[j].id, (*expected)[i][j].id);
+      EXPECT_EQ((*result)[j].similarity, (*expected)[i][j].similarity);
+    }
+  }
+  service.Shutdown();
+}
+
+TEST(SnapshotQueryTest, EmptyStoreAnswersEmptyLists) {
+  auto write = MutableFingerprintStore::Create(SmallConfig(), 0);
+  ASSERT_TRUE(write.ok());
+  VersionedStore store(std::move(write).value());
+  SnapshotQueryEngine engine(&store);
+  auto query = Shf::Create(SmallConfig().num_bits);
+  ASSERT_TRUE(query.ok());
+  auto result = engine.QueryBatch({&*query, 1}, 3);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_TRUE((*result)[0].empty());
+}
+
+}  // namespace
+}  // namespace gf

@@ -40,10 +40,14 @@
 #include "io/gfix.h"
 #include "io/serialization.h"
 #include "core/sharded_store.h"
+#include "core/store_snapshot.h"
+#include "core/versioned_store.h"
 #include "knn/builder.h"
+#include "knn/ingest.h"
 #include "knn/quality.h"
 #include "knn/query_service.h"
 #include "knn/sharded_query.h"
+#include "knn/snapshot_query.h"
 #include "net/coordinator.h"
 #include "net/posix_transport.h"
 #include "net/replica_server.h"
@@ -100,6 +104,11 @@ int Usage() {
       "            [--threads N] [--k 10] [--seed N]\n"
       "            [--metrics-out metrics.json]\n"
       "  serve-bench [--users 20000] [--bits 1024] [--shards 4]\n"
+      "            [--requests 1024] [--clients 4] [--k 10]\n"
+      "            [--max-queue 1024] [--max-batch 64] [--max-wait-us 200]\n"
+      "            [--seed N] [--metrics-out metrics.json]\n"
+      "  ingest-bench [--users 20000] [--bits 1024] [--shards 4]\n"
+      "            [--events 100000] [--publish-every 1024]\n"
       "            [--requests 1024] [--clients 4] [--k 10]\n"
       "            [--max-queue 1024] [--max-batch 64] [--max-wait-us 200]\n"
       "            [--seed N] [--metrics-out metrics.json]\n");
@@ -529,7 +538,9 @@ int CmdServe(const Flags& flags) {
     queries.push_back(
         mapped->store().Extract(static_cast<UserId>(rng.Below(users))));
   }
-  const ScanQueryEngine scan(mapped->store());
+  // The mapped file is an immutable epoch; the scan pins it through the
+  // snapshot seam like every other reader in the stack.
+  const ScanQueryEngine scan(StoreSnapshot::Borrow(mapped->store()));
   auto truth = scan.QueryBatch(queries, k);
   if (!truth.ok()) return Fail(truth.status());
 
@@ -725,14 +736,19 @@ int CmdServeBench(const Flags& flags) {
 
   FingerprintConfig config;
   config.num_bits = static_cast<std::size_t>(flags.GetInt("bits", 1024));
-  auto store = FingerprintStore::Build(*dataset, config, nullptr, &ctx);
-  if (!store.ok()) return Fail(store.status());
+  // Seed a versioned store and serve its epoch-0 snapshot: the NUMA
+  // partition copies out of a pinned epoch, not out of a raw store, so
+  // the benchmark exercises the same seam the live stack reads through.
+  auto write_side = MutableFingerprintStore::FromDataset(*dataset, config);
+  if (!write_side.ok()) return Fail(write_side.status());
+  VersionedStore versioned(std::move(write_side).value());
+  const SnapshotPtr snapshot = versioned.Acquire();
 
   ShardedFingerprintStore::Options store_options;
   store_options.num_shards = shards;
   store_options.placement = ShardedFingerprintStore::Placement::kFirstTouch;
-  auto sharded = ShardedFingerprintStore::Partition(*store, store_options,
-                                                    &ctx);
+  auto sharded = ShardedFingerprintStore::Partition(snapshot->store(),
+                                                    store_options, &ctx);
   if (!sharded.ok()) return Fail(sharded.status());
   ShardedQueryEngine::Options engine_options;
   engine_options.pin_shard_workers = true;
@@ -745,9 +761,10 @@ int CmdServeBench(const Flags& flags) {
   std::vector<Shf> queries;
   queries.reserve(pool_size);
   for (std::size_t q = 0; q < pool_size; ++q) {
-    queries.push_back(store->Extract(static_cast<UserId>(rng.Below(users))));
+    queries.push_back(
+        snapshot->store().Extract(static_cast<UserId>(rng.Below(users))));
   }
-  const ScanQueryEngine scan(*store);
+  const ScanQueryEngine scan(snapshot);
   auto truth = scan.QueryBatch(queries, k);
   if (!truth.ok()) return Fail(truth.status());
 
@@ -824,6 +841,205 @@ int CmdServeBench(const Flags& flags) {
   }
   if (mismatched.load() != 0) {
     return Fail(Status::Internal("served replies diverged from the scan"));
+  }
+  return 0;
+}
+
+int CmdIngestBench(const Flags& flags) {
+  // Live ingestion over the full serving stack (DESIGN.md §15): client
+  // threads push queries through QueryService + SnapshotQueryEngine
+  // while an IngestService worker drains a producer's rating events and
+  // publishes epochs under the readers. Queries never block on the
+  // writer; each batch pins whatever epoch is current. When the dust
+  // settles the final epoch is verified bit-identical to a from-scratch
+  // rebuild of the write side's ratings, and a pinned batch is verified
+  // against the exhaustive scan over that same snapshot.
+  const auto users = static_cast<std::size_t>(flags.GetInt("users", 20000));
+  const auto shards = static_cast<std::size_t>(flags.GetInt("shards", 4));
+  const auto requests =
+      static_cast<std::size_t>(flags.GetInt("requests", 1024));
+  const auto clients = static_cast<std::size_t>(flags.GetInt("clients", 4));
+  const auto k = static_cast<std::size_t>(flags.GetInt("k", 10));
+  const auto events =
+      static_cast<std::size_t>(flags.GetInt("events", 100000));
+  const auto publish_every =
+      static_cast<std::size_t>(flags.GetInt("publish-every", 1024));
+  if (users == 0 || shards == 0 || requests == 0 || clients == 0 ||
+      k == 0 || publish_every == 0) {
+    return Fail(Status::InvalidArgument(
+        "--users, --shards, --requests, --clients, --k and "
+        "--publish-every must be >= 1"));
+  }
+
+  obs::MetricRegistry registry;
+  obs::PipelineContext ctx;
+  ctx.metrics = &registry;
+
+  SyntheticSpec spec;
+  spec.num_users = users;
+  spec.num_items = std::max<std::size_t>(2000, users / 10);
+  spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  auto dataset = GenerateZipfDataset(spec);
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  FingerprintConfig config;
+  config.num_bits = static_cast<std::size_t>(flags.GetInt("bits", 1024));
+  auto write_side = MutableFingerprintStore::FromDataset(*dataset, config);
+  if (!write_side.ok()) return Fail(write_side.status());
+  VersionedStore versioned(std::move(write_side).value());
+
+  SnapshotQueryEngine::Options engine_options;
+  engine_options.num_shards = shards;
+  SnapshotQueryEngine engine(&versioned, engine_options, nullptr, &ctx);
+
+  IngestService::Options ingest_options;
+  ingest_options.publish_every = publish_every;
+  IngestService ingest(&versioned, ingest_options, &ctx);
+
+  const std::size_t pool_size = std::min<std::size_t>(256, requests);
+  Rng rng(spec.seed ^ 0x16E57);
+  std::vector<Shf> queries;
+  queries.reserve(pool_size);
+  for (std::size_t q = 0; q < pool_size; ++q) {
+    queries.push_back(versioned.Acquire()->store().Extract(
+        static_cast<UserId>(rng.Below(users))));
+  }
+
+  QueryService::Options service_options;
+  service_options.max_queue =
+      static_cast<std::size_t>(flags.GetInt("max-queue", 1024));
+  service_options.max_batch =
+      static_cast<std::size_t>(flags.GetInt("max-batch", 64));
+  service_options.max_wait_micros =
+      static_cast<uint64_t>(flags.GetInt("max-wait-us", 200));
+  service_options.expected_bits = config.num_bits;
+  QueryService service(engine.AsBatchFn(), service_options, &ctx);
+
+  std::printf(
+      "store: %zu users x %zu bits in %zu shard(s); %zu requests from "
+      "%zu client(s), k %zu; %zu events, epoch every %zu\n\n",
+      users, config.num_bits, shards, requests, clients, k, events,
+      publish_every);
+
+  std::atomic<bool> stop{false};
+  std::thread producer([&] {
+    Rng producer_rng(spec.seed ^ 0xFEED5);
+    std::size_t sent = 0;
+    while (sent < events && !stop.load(std::memory_order_relaxed)) {
+      const auto user = static_cast<UserId>(producer_rng.Below(users));
+      const auto item =
+          static_cast<ItemId>(producer_rng.Below(spec.num_items));
+      RatingEvent event = producer_rng.Below(10) < 7
+                              ? RatingEvent::Add(user, item)
+                              : RatingEvent::Remove(user, item);
+      if (ingest.Submit(event).ok()) {
+        ++sent;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  std::atomic<std::size_t> served{0};
+  std::atomic<std::size_t> rejected{0};
+  WallTimer timer;
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      std::vector<std::future<Result<std::vector<Neighbor>>>> pending;
+      for (std::size_t r = c; r < requests; r += clients) {
+        pending.push_back(service.Submit(queries[r % pool_size], k));
+      }
+      for (auto& future : pending) {
+        if (future.get().ok()) {
+          served.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : client_threads) t.join();
+  const double secs = timer.ElapsedSeconds();
+  stop.store(true, std::memory_order_relaxed);
+  producer.join();
+  service.Shutdown();
+  ingest.Shutdown();  // drains + publishes the tail epoch
+
+  std::printf("served %zu, rejected %zu in %.1f ms (%.0f queries/s) while "
+              "applying %llu events across %llu epochs (final epoch %llu)\n",
+              served.load(), rejected.load(), secs * 1e3,
+              static_cast<double>(served.load()) / secs,
+              static_cast<unsigned long long>(ingest.EventsApplied()),
+              static_cast<unsigned long long>(ingest.EpochsPublished()),
+              static_cast<unsigned long long>(versioned.epoch()));
+  if (const obs::Histogram* lag =
+          registry.FindHistogram("ingest.freshness_lag_micros");
+      lag != nullptr && lag->count() > 0) {
+    std::printf("freshness lag: %.0f us mean over %llu events\n",
+                lag->sum() / static_cast<double>(lag->count()),
+                static_cast<unsigned long long>(lag->count()));
+  }
+
+  // The bit-exactness gate: final epoch vs from-scratch rebuild.
+  const MutableFingerprintStore& write = versioned.write_side();
+  std::vector<std::vector<ItemId>> profiles(write.num_users());
+  for (UserId u = 0; u < write.num_users(); ++u) {
+    const auto profile = write.ProfileOf(u);
+    profiles[u].assign(profile.begin(), profile.end());
+  }
+  auto rebuilt_dataset = Dataset::FromProfiles(
+      std::move(profiles), spec.num_items, "ingest-rebuild");
+  if (!rebuilt_dataset.ok()) return Fail(rebuilt_dataset.status());
+  auto rebuilt = FingerprintStore::Build(*rebuilt_dataset, config);
+  if (!rebuilt.ok()) return Fail(rebuilt.status());
+  const SnapshotPtr final_snapshot = versioned.Acquire();
+  const auto live_words = final_snapshot->store().WordsArena();
+  const auto rebuilt_words = rebuilt->WordsArena();
+  bool exact = live_words.size() == rebuilt_words.size();
+  for (std::size_t i = 0; exact && i < live_words.size(); ++i) {
+    exact = live_words[i] == rebuilt_words[i];
+  }
+  const auto live_cards = final_snapshot->store().Cardinalities();
+  const auto rebuilt_cards = rebuilt->Cardinalities();
+  for (std::size_t u = 0; exact && u < live_cards.size(); ++u) {
+    exact = live_cards[u] == rebuilt_cards[u];
+  }
+  if (!exact) {
+    return Fail(Status::Internal(
+        "final epoch diverged from the from-scratch rebuild"));
+  }
+  auto pinned = engine.QueryBatchPinned(queries, k);
+  if (!pinned.ok()) return Fail(pinned.status());
+  const ScanQueryEngine final_scan(pinned->snapshot);
+  auto expected = final_scan.QueryBatch(queries, k);
+  if (!expected.ok()) return Fail(expected.status());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto& got = pinned->results[q];
+    const auto& want = (*expected)[q];
+    bool same = got.size() == want.size();
+    for (std::size_t j = 0; same && j < got.size(); ++j) {
+      same = got[j].id == want[j].id &&
+             got[j].similarity == want[j].similarity;
+    }
+    if (!same) {
+      return Fail(Status::Internal(
+          "pinned batch diverged from the scan on the final epoch"));
+    }
+  }
+  std::printf("verified: final epoch bit-identical to rebuild; pinned "
+              "batch bit-identical to the scan\n");
+
+  const std::string metrics_out = flags.GetString("metrics-out");
+  if (!metrics_out.empty()) {
+    const std::string json = obs::ExportJson(registry, nullptr);
+    if (const Status status =
+            io::Env::Default()->WriteFileAtomic(metrics_out, json);
+        !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("wrote metrics %s\n", metrics_out.c_str());
   }
   return 0;
 }
@@ -1063,6 +1279,7 @@ int main(int argc, char** argv) {
   if (command == "calibrate") return gf::tools::CmdCalibrate(*flags);
   if (command == "query-bench") return gf::tools::CmdQueryBench(*flags);
   if (command == "serve-bench") return gf::tools::CmdServeBench(*flags);
+  if (command == "ingest-bench") return gf::tools::CmdIngestBench(*flags);
   if (command == "cluster-query") return gf::tools::CmdClusterQuery(*flags);
   std::fprintf(stderr, "gfk: unknown subcommand '%s' (try gfk help)\n",
                command.c_str());
