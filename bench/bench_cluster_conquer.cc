@@ -1,0 +1,214 @@
+// Cluster-and-Conquer vs the GoldFinger greedy baselines: construction
+// time and quality of fingerprint-clustered KNN (knn/cluster_conquer.h)
+// against GoldFinger-Hyrec and GoldFinger-NNDescent on one synthetic
+// rating dataset.
+//
+// The sweep covers C (cluster count) x t (assignments per user): larger
+// C shrinks the per-cluster quadratic build, larger t recovers edges
+// that a single hard partition would cut. Every run re-scores its edges
+// with exact Jaccard (knn/quality.h), so the quality column is
+// comparable across algorithms — no algorithm grades its own estimates.
+//
+// Acceptance (armed at >= 50k users): some swept configuration must
+// build >= 2x faster than GoldFinger-Hyrec while keeping >= 0.9 of its
+// quality. Emits BENCH_cc.json (GF_BENCH_OUT overrides).
+//
+// Environment knobs (all optional):
+//   GF_CC_USERS        dataset size          (default 50000)
+//   GF_CC_K            neighborhood size     (default 30, the paper's k)
+//   GF_CC_BITS         fingerprint bits      (default 1024)
+//   GF_CC_THREADS      thread pool size      (default hardware)
+//   GF_CC_SKETCH_BITS  clustering sketch     (default 256)
+//   GF_CC_BAND_BITS    bits per band chunk   (default 16)
+//   GF_CC_CAP          cluster capacity      (default 0 = automatic)
+//   GF_CC_REFINE       NNDescent refinement iterations (default 1)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "dataset/synthetic.h"
+#include "knn/builder.h"
+#include "knn/quality.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_context.h"
+#include "obs/trace.h"
+#include "util/bench_env.h"
+#include "util/bench_report.h"
+
+namespace {
+
+std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  const long value = std::atol(env);
+  return value > 0 ? static_cast<std::size_t>(value) : fallback;
+}
+
+struct RunResult {
+  std::string label;
+  double seconds = 0.0;   // construction time (stats.seconds)
+  double avg_sim = 0.0;   // mean exact Jaccard over edges
+  double computations = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  const std::size_t users = EnvSize("GF_CC_USERS", 50000);
+  const std::size_t k = EnvSize("GF_CC_K", 30);
+  const std::size_t bits = EnvSize("GF_CC_BITS", 1024);
+  const std::size_t threads =
+      EnvSize("GF_CC_THREADS",
+              std::max(1u, std::thread::hardware_concurrency()));
+
+  gf::bench::PrintHeader(
+      "Cluster-and-Conquer vs GoldFinger-Hyrec / GoldFinger-NNDescent",
+      "acceptance: >= 2x construction speedup over GoldFinger-Hyrec at "
+      ">= 0.9 of its quality for some C x t, armed at >= 50k users");
+
+  gf::SyntheticSpec spec;
+  spec.name = "cc_bench";
+  spec.num_users = users;
+  spec.num_items = std::max<std::size_t>(2000, users / 5);
+  spec.mean_profile_size = 30.0;
+  spec.seed = 2026;
+  auto dataset = gf::GenerateZipfDataset(spec);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  gf::ThreadPool pool(threads);
+  std::printf("dataset: %zu users x %zu items, k=%zu, %zu-bit SHFs, "
+              "%zu threads\n\n",
+              dataset->NumUsers(), dataset->NumItems(), k, bits, threads);
+
+  gf::bench::BenchReport report("bench_cluster_conquer", "BENCH_cc.json");
+
+  const auto run = [&](const std::string& label,
+                       const gf::KnnPipelineConfig& config)
+      -> gf::Result<RunResult> {
+    gf::obs::MetricRegistry registry;
+    gf::obs::TraceRecorder tracer;
+    gf::obs::PipelineContext ctx;
+    ctx.pool = &pool;
+    ctx.metrics = &registry;
+    ctx.tracer = &tracer;
+    auto built = gf::BuildKnnGraph(*dataset, config, ctx);
+    if (!built.ok()) return built.status();
+    RunResult r;
+    r.label = label;
+    r.seconds = built->stats.seconds;
+    r.avg_sim = gf::AverageExactSimilarity(built->graph, *dataset, &pool);
+    r.computations =
+        static_cast<double>(built->stats.similarity_computations);
+    registry.GetGauge("bench.seconds")->Set(r.seconds);
+    registry.GetGauge("bench.avg_exact_similarity")->Set(r.avg_sim);
+    report.AddRun(label, registry, &tracer);
+    return r;
+  };
+
+  gf::KnnPipelineConfig base;
+  base.mode = gf::SimilarityMode::kGoldFinger;
+  base.fingerprint.num_bits = bits;
+  base.greedy.k = k;
+
+  // ---- baselines -----------------------------------------------------
+  gf::KnnPipelineConfig hyrec_config = base;
+  hyrec_config.algorithm = gf::KnnAlgorithm::kHyrec;
+  auto hyrec = run("golfi-hyrec", hyrec_config);
+  if (!hyrec.ok()) {
+    std::fprintf(stderr, "hyrec: %s\n", hyrec.status().ToString().c_str());
+    return 1;
+  }
+
+  gf::KnnPipelineConfig nnd_config = base;
+  nnd_config.algorithm = gf::KnnAlgorithm::kNNDescent;
+  auto nnd = run("golfi-nndescent", nnd_config);
+  if (!nnd.ok()) {
+    std::fprintf(stderr, "nndescent: %s\n", nnd.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-24s %10s %10s %10s %9s %14s\n", "config", "time(s)",
+              "speedup", "avg_sim", "quality", "computations");
+  std::printf("%-24s %10.2f %10s %10.4f %9s %14.0f\n", hyrec->label.c_str(),
+              hyrec->seconds, "1.00x", hyrec->avg_sim, "1.000",
+              hyrec->computations);
+  std::printf("%-24s %10.2f %9.2fx %10.4f %9.3f %14.0f\n",
+              nnd->label.c_str(), nnd->seconds,
+              nnd->seconds > 0 ? hyrec->seconds / nnd->seconds : 0.0,
+              nnd->avg_sim,
+              hyrec->avg_sim > 0 ? nnd->avg_sim / hyrec->avg_sim : 0.0,
+              nnd->computations);
+
+  // ---- the C x t sweep -----------------------------------------------
+  // Cluster counts scale with n so the small CI config sweeps sensible
+  // partitions too: users/400, /200, /100 — at 50k that is 125/250/500.
+  const std::size_t cs[] = {std::max<std::size_t>(4, users / 400),
+                            std::max<std::size_t>(8, users / 200),
+                            std::max<std::size_t>(16, users / 100)};
+  const std::size_t ts[] = {1, 2};
+
+  bool gate_passed = false;
+  double best_speedup = 0.0, best_quality = 0.0;
+  std::string best_label;
+  for (const std::size_t c : cs) {
+    for (const std::size_t t : ts) {
+      gf::KnnPipelineConfig config = base;
+      config.algorithm = gf::KnnAlgorithm::kClusterConquer;
+      config.cluster_conquer.num_clusters = c;
+      config.cluster_conquer.assignments = t;
+      config.cluster_conquer.sketch_bits = EnvSize("GF_CC_SKETCH_BITS", 256);
+      config.cluster_conquer.band_bits = EnvSize("GF_CC_BAND_BITS", 16);
+      config.cluster_conquer.max_cluster_size =
+          EnvSize("GF_CC_CAP", 0);  // EnvSize treats 0 as unset: 0 = auto
+      const char* refine_env = std::getenv("GF_CC_REFINE");
+      config.cluster_conquer.refine_iterations =
+          refine_env != nullptr && refine_env[0] != '\0'
+              ? static_cast<std::size_t>(std::atol(refine_env))
+              : 1;
+      const std::string label =
+          "cc-C" + std::to_string(c) + "-t" + std::to_string(t);
+      auto cc = run(label, config);
+      if (!cc.ok()) {
+        std::fprintf(stderr, "%s: %s\n", label.c_str(),
+                     cc.status().ToString().c_str());
+        return 1;
+      }
+      const double speedup =
+          cc->seconds > 0 ? hyrec->seconds / cc->seconds : 0.0;
+      const double quality =
+          hyrec->avg_sim > 0 ? cc->avg_sim / hyrec->avg_sim : 0.0;
+      std::printf("%-24s %10.2f %9.2fx %10.4f %9.3f %14.0f\n",
+                  label.c_str(), cc->seconds, speedup, cc->avg_sim, quality,
+                  cc->computations);
+      if (quality >= 0.9 && speedup >= 2.0) gate_passed = true;
+      if (quality >= 0.9 && speedup > best_speedup) {
+        best_speedup = speedup;
+        best_quality = quality;
+        best_label = label;
+      }
+    }
+  }
+
+  report.Write();
+  std::printf("\nreport: %s\n", report.path().c_str());
+  if (!best_label.empty()) {
+    std::printf("best at >= 0.9 quality: %s (%.2fx, quality %.3f)\n",
+                best_label.c_str(), best_speedup, best_quality);
+  }
+
+  if (users >= 50000 && !gate_passed) {
+    std::fprintf(stderr,
+                 "FAIL: no C x t configuration reached 2x speedup over "
+                 "GoldFinger-Hyrec at >= 0.9 quality\n");
+    return 1;
+  }
+  return 0;
+}

@@ -22,6 +22,7 @@ std::string_view KnnAlgorithmName(KnnAlgorithm algorithm) {
     case KnnAlgorithm::kKiff: return "KIFF";
     case KnnAlgorithm::kBandedLsh: return "BandedLSH";
     case KnnAlgorithm::kBisection: return "Bisection";
+    case KnnAlgorithm::kClusterConquer: return "ClusterConquer";
   }
   return "unknown";
 }
@@ -144,6 +145,23 @@ constexpr AlgorithmDispatch<Provider> kDispatchTable[] = {
        return RecursiveBisectionKnn(provider, bisection, stats, obs);
      },
      nullptr},
+    {KnnAlgorithm::kClusterConquer,
+     [](const Dataset& dataset, const Provider& provider,
+        const KnnPipelineConfig& config, ThreadPool* pool,
+        KnnBuildStats* stats,
+        const obs::PipelineContext* obs) -> Result<KnnGraph> {
+       return ClusterConquerKnn(dataset, provider, config.cluster_conquer,
+                                config.greedy, pool, stats, obs);
+     },
+     [](const Dataset& dataset, const Provider& provider,
+        const KnnPipelineConfig& config, ThreadPool* pool,
+        KnnBuildStats* stats,
+        const obs::PipelineContext* obs) -> Result<KnnGraph> {
+       return CheckpointedClusterConquerKnn(dataset, provider,
+                                            config.cluster_conquer,
+                                            config.greedy, config.checkpoint,
+                                            pool, stats, obs);
+     }},
 };
 
 template <typename Provider>
@@ -251,11 +269,33 @@ Status ValidateConfig(const Dataset& dataset,
       return Status::InvalidArgument("bisection overlap must be in [0, 1)");
     }
   }
+  if (config.algorithm == KnnAlgorithm::kClusterConquer) {
+    const ClusterConquerConfig& cc = config.cluster_conquer;
+    if (cc.num_clusters == 0 || cc.assignments == 0) {
+      return Status::InvalidArgument(
+          "cluster-conquer needs clusters, assignments >= 1");
+    }
+    if (cc.sketch_bits == 0 || cc.sketch_bits % 64 != 0) {
+      return Status::InvalidArgument(
+          "cluster-conquer sketch_bits must be a positive multiple of 64");
+    }
+    if (cc.band_bits == 0 || 64 % cc.band_bits != 0) {
+      return Status::InvalidArgument(
+          "cluster-conquer band_bits must divide 64");
+    }
+    if (cc.inner == ClusterConquerInner::kHyrec &&
+        (config.greedy.max_iterations == 0 ||
+         config.greedy.sample_rate <= 0.0)) {
+      return Status::InvalidArgument(
+          "cluster-conquer with a Hyrec inner build needs max_iterations "
+          ">= 1 and a positive sample_rate");
+    }
+  }
   if (!config.checkpoint.dir.empty() &&
       !SupportsCheckpointing(config.algorithm)) {
     return Status::InvalidArgument(
-        "checkpointing is only supported for BruteForce, Hyrec and "
-        "NNDescent");
+        "checkpointing is only supported for BruteForce, Hyrec, NNDescent "
+        "and ClusterConquer");
   }
   return Status::OK();
 }

@@ -25,6 +25,7 @@
 #include "knn/banded_lsh.h"
 #include "knn/bisection.h"
 #include "knn/checkpoint.h"
+#include "knn/cluster_conquer.h"
 #include "knn/greedy_config.h"
 #include "knn/lsh.h"
 #include "knn/stats.h"
@@ -35,7 +36,8 @@ namespace gf {
 
 /// The four KNN graph construction algorithms of the paper (§3.2),
 /// plus the related-work/extension algorithms (§6): KIFF, banded
-/// MinHash LSH, recursive bisection.
+/// MinHash LSH, recursive bisection, and fingerprint-clustered
+/// Cluster-and-Conquer (knn/cluster_conquer.h).
 enum class KnnAlgorithm {
   kBruteForce,
   kHyrec,
@@ -44,6 +46,7 @@ enum class KnnAlgorithm {
   kKiff,
   kBandedLsh,
   kBisection,
+  kClusterConquer,
 };
 
 /// How pair similarities are evaluated.
@@ -80,12 +83,13 @@ struct KnnPipelineConfig {
   LshConfig lsh;
   BandedLshConfig banded_lsh;
   BisectionConfig bisection;
+  ClusterConquerConfig cluster_conquer;
   FingerprintConfig fingerprint;     // GoldFinger mode
   BbitMinHashConfig minhash;         // MinHash mode
   /// Checkpoint/resume policy (knn/checkpoint.h). An empty dir (the
   /// default) disables checkpointing; a non-empty dir is supported for
-  /// BruteForce, Hyrec and NNDescent and rejected with InvalidArgument
-  /// for the other algorithms.
+  /// BruteForce, Hyrec, NNDescent and ClusterConquer and rejected with
+  /// InvalidArgument for the other algorithms.
   CheckpointConfig checkpoint;
 };
 

@@ -53,6 +53,18 @@ std::string SerializeCheckpoint(const BuildCheckpoint& checkpoint) {
   for (uint64_t lane : checkpoint.rng.lanes) io::PutU64(payload, lane);
   io::PutF64(payload, checkpoint.rng.spare);
   io::PutU8(payload, checkpoint.rng.has_spare ? 1 : 0);
+  if (checkpoint.algorithm == CheckpointAlgorithm::kClusterConquer) {
+    io::PutU64(payload, checkpoint.num_clusters);
+    io::PutU64(payload, checkpoint.assignments_per_user);
+    std::size_t offset = 0;
+    for (const uint32_t size : checkpoint.cluster_sizes) {
+      io::PutU32(payload, size);
+      for (uint32_t i = 0; i < size; ++i) {
+        io::PutU32(payload, checkpoint.cluster_members[offset + i]);
+      }
+      offset += size;
+    }
+  }
   for (uint64_t u = 0; u < checkpoint.num_users; ++u) {
     const uint32_t size = checkpoint.row_sizes[u];
     io::PutU32(payload, size);
@@ -75,7 +87,7 @@ Result<BuildCheckpoint> DeserializeCheckpoint(std::string_view buffer) {
   uint32_t algorithm = 0;
   GF_RETURN_IF_ERROR(reader.ReadU32(&algorithm));
   if (algorithm < static_cast<uint32_t>(CheckpointAlgorithm::kBruteForce) ||
-      algorithm > static_cast<uint32_t>(CheckpointAlgorithm::kNNDescent)) {
+      algorithm > static_cast<uint32_t>(CheckpointAlgorithm::kClusterConquer)) {
     return Status::Corruption("unknown checkpoint algorithm " +
                               std::to_string(algorithm));
   }
@@ -86,7 +98,10 @@ Result<BuildCheckpoint> DeserializeCheckpoint(std::string_view buffer) {
   GF_RETURN_IF_ERROR(reader.ReadU64(&out.next_user));
   GF_RETURN_IF_ERROR(reader.ReadU64(&out.iterations));
   GF_RETURN_IF_ERROR(reader.ReadU64(&out.computations));
-  if (out.next_user > out.num_users) {
+  // For ClusterConquer next_user counts clusters, bounded after the
+  // cluster table below; for the row-wise algorithms it counts users.
+  if (out.algorithm != CheckpointAlgorithm::kClusterConquer &&
+      out.next_user > out.num_users) {
     return Status::Corruption("checkpoint progress past the end: next_user " +
                               std::to_string(out.next_user) + " of " +
                               std::to_string(out.num_users));
@@ -108,6 +123,50 @@ Result<BuildCheckpoint> DeserializeCheckpoint(std::string_view buffer) {
   uint8_t has_spare = 0;
   GF_RETURN_IF_ERROR(reader.ReadU8(&has_spare));
   out.rng.has_spare = has_spare != 0;
+
+  if (out.algorithm == CheckpointAlgorithm::kClusterConquer) {
+    GF_RETURN_IF_ERROR(reader.ReadU64(&out.num_clusters));
+    GF_RETURN_IF_ERROR(reader.ReadU64(&out.assignments_per_user));
+    if (out.next_user > out.num_clusters) {
+      return Status::Corruption(
+          "checkpoint progress past the end: next cluster " +
+          std::to_string(out.next_user) + " of " +
+          std::to_string(out.num_clusters));
+    }
+    // Every cluster costs at least its u32 size; members cost 4 bytes
+    // each — so both counts stay bounded by the bytes actually present.
+    if (out.num_clusters > reader.remaining() / 4) {
+      return Status::Corruption("cluster table longer than the payload");
+    }
+    out.cluster_sizes.assign(out.num_clusters, 0);
+    out.cluster_members.clear();
+    for (uint64_t c = 0; c < out.num_clusters; ++c) {
+      uint32_t size = 0;
+      GF_RETURN_IF_ERROR(reader.ReadU32(&size));
+      if (size > reader.remaining() / 4) {
+        return Status::Corruption("cluster " + std::to_string(c) +
+                                  " larger than the payload");
+      }
+      out.cluster_sizes[c] = size;
+      uint32_t prev = 0;
+      for (uint32_t i = 0; i < size; ++i) {
+        uint32_t member = 0;
+        GF_RETURN_IF_ERROR(reader.ReadU32(&member));
+        if (member >= out.num_users) {
+          return Status::Corruption(
+              "cluster member " + std::to_string(member) +
+              " out of range for " + std::to_string(out.num_users) +
+              " users");
+        }
+        if (i > 0 && member <= prev) {
+          return Status::Corruption("cluster " + std::to_string(c) +
+                                    " members not strictly ascending");
+        }
+        prev = member;
+        out.cluster_members.push_back(member);
+      }
+    }
+  }
 
   // Same payload-proportional rule as io/serialization.cc: each user
   // costs at least its u32 row size, and the dense num_users * k row

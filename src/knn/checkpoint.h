@@ -17,15 +17,24 @@
 //
 // Checkpoint payload layout (little-endian, after the GFSZ header):
 //
-//   u32  algorithm       (1=BruteForce, 2=Hyrec, 3=NNDescent)
+//   u32  algorithm       (1=BruteForce, 2=Hyrec, 3=NNDescent,
+//                          4=ClusterConquer)
 //   u64  num_users
 //   u64  k
-//   u64  seed            (GreedyConfig::seed; 0 for brute force)
-//   u64  next_user       (brute force: rows [0, next_user) are final)
+//   u64  seed            (GreedyConfig::seed; 0 for brute force;
+//                          ClusterConquerSeedTag for ClusterConquer)
+//   u64  next_user       (brute force: rows [0, next_user) are final;
+//                          ClusterConquer: clusters [0, next_user) are
+//                          built and merged)
 //   u64  iterations      (greedy iterations completed)
 //   u64  computations    (similarity computations so far)
 //   u32  |updates_per_iteration|, then that many u64
 //   4x u64 RNG lanes, f64 RNG spare, u8 RNG has_spare
+//   ClusterConquer only (absent for the other algorithms):
+//     u64  num_clusters
+//     u64  assignments_per_user (t)
+//     per cluster: u32 size, then size x u32 member id
+//                  (strictly ascending within each cluster)
 //   per user: u32 size, then size x (u32 id, f32 similarity, u8 is_new)
 
 #ifndef GF_KNN_CHECKPOINT_H_
@@ -49,6 +58,7 @@ enum class CheckpointAlgorithm : uint32_t {
   kBruteForce = 1,
   kHyrec = 2,
   kNNDescent = 3,
+  kClusterConquer = 4,
 };
 
 /// Complete resumable state of an in-progress KNN build.
@@ -57,11 +67,18 @@ struct BuildCheckpoint {
   uint64_t num_users = 0;
   uint64_t k = 0;
   uint64_t seed = 0;
-  uint64_t next_user = 0;
+  uint64_t next_user = 0;  // ClusterConquer: the next *cluster* index
   uint64_t iterations = 0;
   uint64_t computations = 0;
   std::vector<uint64_t> updates_per_iteration;
   Rng::State rng;
+  // Cluster-and-Conquer extras (kClusterConquer only; empty otherwise):
+  // the cluster assignment the partial lists were merged under.
+  uint64_t num_clusters = 0;
+  uint64_t assignments_per_user = 0;
+  std::vector<uint32_t> cluster_sizes;          // num_clusters
+  std::vector<uint32_t> cluster_members;        // concatenated, ascending
+                                                // within each cluster
   std::vector<uint32_t> row_sizes;              // num_users
   std::vector<NeighborLists::Entry> rows;       // num_users * k, row-major
 };

@@ -35,6 +35,29 @@ std::string CheckpointBytes() {
   return SerializeCheckpoint(checkpoint);
 }
 
+// A kClusterConquer checkpoint: the kind-4 extras section (cluster
+// assignment) sits between the RNG state and the row payload, so the
+// fuzzers cover its bounds checks too.
+std::string ClusterCheckpointBytes() {
+  const Dataset d = gf::testing::SmallSynthetic(30);
+  ExactJaccardProvider provider(d);
+  NeighborLists lists(d.NumUsers(), 4);
+  BruteForceScoreRows(provider, lists, 0, d.NumUsers());
+  BuildCheckpoint checkpoint;
+  checkpoint.algorithm = CheckpointAlgorithm::kClusterConquer;
+  checkpoint.seed = 77;
+  checkpoint.next_user = 2;  // clusters merged so far
+  checkpoint.computations = 55;
+  checkpoint.num_clusters = 3;
+  checkpoint.assignments_per_user = 2;
+  checkpoint.cluster_sizes = {10, 10, 10};
+  for (UserId u = 0; u < d.NumUsers(); ++u) {
+    checkpoint.cluster_members.push_back(u);
+  }
+  CaptureLists(lists, &checkpoint);
+  return SerializeCheckpoint(checkpoint);
+}
+
 struct Artifact {
   const char* name;
   std::string bytes;
@@ -67,6 +90,7 @@ std::vector<Artifact> AllArtifacts() {
        &ParseFingerprints},
       {"graph", SerializeKnnGraph(BruteForceKnn(provider, 4)), &ParseGraph},
       {"checkpoint", CheckpointBytes(), &ParseCheckpoint},
+      {"cc_checkpoint", ClusterCheckpointBytes(), &ParseCheckpoint},
   };
 }
 

@@ -75,9 +75,12 @@ int Usage() {
       "            [--min-ratings 20] [--threshold 3.0] --out ds.gfsz\n"
       "  stats     --in ds.gfsz\n"
       "  knn       --in ds.gfsz [--algorithm bruteforce|hyrec|nndescent|\n"
-      "            lsh|kiff|bandedlsh|bisection]\n"
+      "            lsh|kiff|bandedlsh|bisection|cluster-conquer]\n"
       "            [--mode native|golfi|minhash] [--k 30] [--bits 1024]\n"
       "            [--threads N] [--metrics-out metrics.json]\n"
+      "            [--cc-clusters 128] [--cc-assignments 2]\n"
+      "            [--cc-inner bruteforce|hyrec] [--cc-refine 0]\n"
+      "            [--cc-cap 0]  (max cluster size; 0 = automatic)\n"
       "            [--checkpoint-dir DIR] [--checkpoint-every N]\n"
       "            [--resume] [--out graph.gfsz]\n"
       "  recommend --in ds.gfsz --graph graph.gfsz [--user U] [--n 30]\n"
@@ -212,7 +215,30 @@ int CmdKnn(const Flags& flags) {
   else if (algo == "kiff") config.algorithm = KnnAlgorithm::kKiff;
   else if (algo == "bandedlsh") config.algorithm = KnnAlgorithm::kBandedLsh;
   else if (algo == "bisection") config.algorithm = KnnAlgorithm::kBisection;
-  else return Fail(Status::InvalidArgument("unknown --algorithm " + algo));
+  else if (algo == "cluster-conquer") {
+    config.algorithm = KnnAlgorithm::kClusterConquer;
+  } else {
+    return Fail(Status::InvalidArgument("unknown --algorithm " + algo));
+  }
+
+  // Cluster-and-Conquer knobs: C buckets, t assignments per user, the
+  // per-cluster construction and the optional refinement pass.
+  config.cluster_conquer.num_clusters =
+      static_cast<std::size_t>(flags.GetInt("cc-clusters", 128));
+  config.cluster_conquer.assignments =
+      static_cast<std::size_t>(flags.GetInt("cc-assignments", 2));
+  config.cluster_conquer.refine_iterations =
+      static_cast<std::size_t>(flags.GetInt("cc-refine", 0));
+  config.cluster_conquer.max_cluster_size =
+      static_cast<std::size_t>(flags.GetInt("cc-cap", 0));
+  const std::string cc_inner = flags.GetString("cc-inner", "bruteforce");
+  if (cc_inner == "bruteforce") {
+    config.cluster_conquer.inner = ClusterConquerInner::kBruteForce;
+  } else if (cc_inner == "hyrec") {
+    config.cluster_conquer.inner = ClusterConquerInner::kHyrec;
+  } else {
+    return Fail(Status::InvalidArgument("unknown --cc-inner " + cc_inner));
+  }
 
   const std::string mode = flags.GetString("mode", "golfi");
   if (mode == "native") config.mode = SimilarityMode::kNative;
