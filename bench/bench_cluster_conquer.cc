@@ -71,22 +71,12 @@ int main() {
       "acceptance: >= 2x construction speedup over GoldFinger-Hyrec at "
       ">= 0.9 of its quality for some C x t, armed at >= 50k users");
 
-  gf::SyntheticSpec spec;
-  spec.name = "cc_bench";
-  spec.num_users = users;
-  spec.num_items = std::max<std::size_t>(2000, users / 5);
-  spec.mean_profile_size = 30.0;
-  spec.seed = 2026;
-  auto dataset = gf::GenerateZipfDataset(spec);
-  if (!dataset.ok()) {
-    std::fprintf(stderr, "dataset: %s\n",
-                 dataset.status().ToString().c_str());
-    return 1;
-  }
+  const gf::Dataset dataset = gf::bench::GenerateZipfOrDie(
+      gf::bench::MicroBenchSpec("cc_bench", users, users / 5, 30.0));
   gf::ThreadPool pool(threads);
   std::printf("dataset: %zu users x %zu items, k=%zu, %zu-bit SHFs, "
               "%zu threads\n\n",
-              dataset->NumUsers(), dataset->NumItems(), k, bits, threads);
+              dataset.NumUsers(), dataset.NumItems(), k, bits, threads);
 
   gf::bench::BenchReport report("bench_cluster_conquer", "BENCH_cc.json");
 
@@ -99,12 +89,12 @@ int main() {
     ctx.pool = &pool;
     ctx.metrics = &registry;
     ctx.tracer = &tracer;
-    auto built = gf::BuildKnnGraph(*dataset, config, ctx);
+    auto built = gf::BuildKnnGraph(dataset, config, ctx);
     if (!built.ok()) return built.status();
     RunResult r;
     r.label = label;
     r.seconds = built->stats.seconds;
-    r.avg_sim = gf::AverageExactSimilarity(built->graph, *dataset, &pool);
+    r.avg_sim = gf::AverageExactSimilarity(built->graph, dataset, &pool);
     r.computations =
         static_cast<double>(built->stats.similarity_computations);
     registry.GetGauge("bench.seconds")->Set(r.seconds);

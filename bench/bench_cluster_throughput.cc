@@ -169,7 +169,8 @@ int main() {
           std::make_unique<gf::FingerprintStore>(Slice(store, begin, end)));
       servers.push_back(std::make_unique<gf::net::ReplicaServer>(
           *shard_stores.back(), begin));
-      const std::string address = "s" + std::to_string(s);
+      std::string address = "s";
+      address += std::to_string(s);
       config.replicas.push_back({address});
       gf::net::ReplicaServer* server = servers.back().get();
       transport.RegisterHandler(address, [server](std::string_view frame) {

@@ -78,16 +78,12 @@ int main() {
   // the form ratings actually arrive in. The canonical dataset is what
   // the LOADER makes of that file, so the rebuild path and the indexed
   // store agree on every id.
-  gf::SyntheticSpec spec;
-  spec.num_users = users;
-  spec.num_items = std::max<std::size_t>(2000, users / 10);
-  spec.seed = 2026;
-  auto raw = gf::GenerateZipfDataset(spec);
-  if (!raw.ok()) Die("dataset", raw.status());
+  const gf::Dataset raw =
+      gf::bench::GenerateZipfOrDie(gf::bench::MicroBenchSpec("coldstart", users));
   {
     std::string lines;
-    for (gf::UserId u = 0; u < raw->NumUsers(); ++u) {
-      for (const gf::ItemId item : raw->Profile(u)) {
+    for (gf::UserId u = 0; u < raw.NumUsers(); ++u) {
+      for (const gf::ItemId item : raw.Profile(u)) {
         lines += std::to_string(u);
         lines += "::";
         lines += std::to_string(item);

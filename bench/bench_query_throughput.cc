@@ -13,6 +13,10 @@
 // exhaustive ScanQueryEngine ground truth, emitting
 // BENCH_band_sweep.json — the tuning table for picking band_bits.
 //
+// `--zipf-queries <s>` switches the query batch from uniform stored
+// rows to Zipf(s)-skewed arrivals (the rating-workload shape the
+// serving cache exploits), via the shared bench ZipfQuerySampler.
+//
 // Both modes default to a synthetic store but accept a real dataset:
 // `--ratings <path> --format dat|csv|amazon|edges` (or the
 // GF_QUERY_RATINGS / GF_QUERY_FORMAT env pair) loads the file through
@@ -203,11 +207,15 @@ int main(int argc, char** argv) {
                            ? format_env
                            : "dat";
   bool band_sweep = false;
+  double zipf_queries = 0.0;  // 0 = uniform query arrivals
   for (int i = 1; i < argc; ++i) {
     const std::string arg(argv[i]);
     if (arg == "--band-sweep") band_sweep = true;
     if (arg == "--ratings" && i + 1 < argc) ratings = argv[++i];
     if (arg == "--format" && i + 1 < argc) format = argv[++i];
+    if (arg == "--zipf-queries" && i + 1 < argc) {
+      zipf_queries = std::atof(argv[++i]);
+    }
   }
 
   gf::Rng rng(2026);
@@ -216,9 +224,23 @@ int main(int argc, char** argv) {
                       : LoadStore(ratings, format, bits);
   std::vector<gf::Shf> queries;
   queries.reserve(batch);
-  for (std::size_t q = 0; q < batch; ++q) {
-    queries.push_back(store.Extract(
-        static_cast<gf::UserId>(rng.Below(store.num_users()))));
+  if (zipf_queries > 0) {
+    // Skewed arrivals: the batch repeats hot stored rows Zipf(s)-often,
+    // the serving-cache workload shape (bench_serving_cache gates on
+    // it; here it just reweights which rows the scans touch).
+    gf::bench::ZipfQuerySampler arrivals(store.num_users(), zipf_queries,
+                                         2026);
+    for (std::size_t q = 0; q < batch; ++q) {
+      queries.push_back(
+          store.Extract(static_cast<gf::UserId>(arrivals.Next())));
+    }
+    std::printf("query arrivals: Zipf s=%.2f over %zu stored rows\n",
+                zipf_queries, store.num_users());
+  } else {
+    for (std::size_t q = 0; q < batch; ++q) {
+      queries.push_back(store.Extract(
+          static_cast<gf::UserId>(rng.Below(store.num_users()))));
+    }
   }
 
   if (band_sweep) return RunBandSweep(store, queries, k);

@@ -1,0 +1,261 @@
+// Serving cache hierarchy under a Zipf-skewed arrival stream
+// (DESIGN.md §17): the L1 exact-result cache in front of
+// SnapshotQueryEngine vs the same engine uncached, on one synthetic
+// store. Rating workloads repeat their hot queries Zipf-often (the
+// paper's datasets are all popularity-skewed), so an exact cache keyed
+// by (SHF, k, epoch) turns most arrivals into a probe instead of a
+// scan.
+//
+// Three exit gates, in order of importance:
+//   1. every answer the cached engine returns — hit or miss — is
+//      bit-identical to the exhaustive ScanQueryEngine answer;
+//   2. cached qps >= 5x uncached qps at Zipf s=1.0 (armed at >= 100k
+//      users — "the 100k-user config");
+//   3. publishing a new epoch drops the hit rate to zero on the next
+//      pass over the pool (no stale answers survive a publish).
+//
+// Emits BENCH_servecache.json (GF_BENCH_OUT overrides).
+//
+// Environment knobs (all optional):
+//   GF_SERVECACHE_USERS     store size           (default 100000)
+//   GF_SERVECACHE_BITS      fingerprint bits     (default 1024)
+//   GF_SERVECACHE_K         neighbors per query  (default 10)
+//   GF_SERVECACHE_POOL      distinct queries     (default 512)
+//   GF_SERVECACHE_ARRIVALS  total arrivals       (default 8192)
+//   GF_SERVECACHE_SKEW      Zipf exponent s      (default 1.0)
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/fingerprint_store.h"
+#include "core/store_snapshot.h"
+#include "knn/query.h"
+#include "knn/snapshot_query.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_context.h"
+#include "util/bench_env.h"
+#include "util/bench_report.h"
+
+namespace {
+
+std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  const long value = std::atol(env);
+  return value > 0 ? static_cast<std::size_t>(value) : fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  const double value = std::atof(env);
+  return value > 0 ? value : fallback;
+}
+
+[[noreturn]] void Die(const char* what, const gf::Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+// A source whose snapshot the harness swaps to drive the epoch-publish
+// gate — the minimal stand-in for VersionedStore publication.
+class SwappableSource final : public gf::SnapshotSource {
+ public:
+  explicit SwappableSource(gf::SnapshotPtr snapshot)
+      : snapshot_(std::move(snapshot)) {}
+
+  gf::SnapshotPtr Acquire() const override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return snapshot_;
+  }
+
+  void Publish(gf::SnapshotPtr snapshot) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    snapshot_ = std::move(snapshot);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  gf::SnapshotPtr snapshot_;
+};
+
+bool SameAnswer(const std::vector<gf::Neighbor>& a,
+                const std::vector<gf::Neighbor>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].similarity != b[i].similarity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t users = EnvSize("GF_SERVECACHE_USERS", 100000);
+  const std::size_t bits = EnvSize("GF_SERVECACHE_BITS", 1024);
+  const std::size_t k = EnvSize("GF_SERVECACHE_K", 10);
+  const std::size_t pool = EnvSize("GF_SERVECACHE_POOL", 512);
+  const std::size_t arrivals = EnvSize("GF_SERVECACHE_ARRIVALS", 8192);
+  const double skew = EnvDouble("GF_SERVECACHE_SKEW", 1.0);
+
+  gf::bench::PrintHeader(
+      "Serving cache: exact L1 hits vs full scans on Zipf arrivals",
+      "acceptance: every answer bit-identical to the exhaustive scan, "
+      ">= 5x qps over uncached at s=1.0 on 100k users, hit rate -> 0 "
+      "after an epoch publish");
+
+  const gf::Dataset dataset = gf::bench::GenerateZipfOrDie(
+      gf::bench::MicroBenchSpec("servecache", users));
+  gf::FingerprintConfig config;
+  config.num_bits = bits;
+  auto built = gf::FingerprintStore::Build(dataset, config);
+  if (!built.ok()) Die("store", built.status());
+  const gf::FingerprintStore store = std::move(built).value();
+
+  // The query pool: `pool` DISTINCT queries (dedup by cache key — a
+  // repeated pool entry would turn the post-publish pass into its own
+  // refill plus a hit); arrivals repeat them Zipf(s)-often.
+  gf::Rng rng(2026);
+  std::vector<gf::Shf> queries;
+  queries.reserve(pool);
+  std::unordered_set<uint64_t> keys;
+  for (std::size_t attempts = 0;
+       queries.size() < pool && attempts < pool * 64; ++attempts) {
+    gf::Shf candidate = store.Extract(
+        static_cast<gf::UserId>(rng.Below(store.num_users())));
+    if (keys.insert(gf::ServingCache::CanonicalHash(candidate, k)).second) {
+      queries.push_back(std::move(candidate));
+    }
+  }
+  if (queries.size() < pool) {
+    std::fprintf(stderr, "FATAL: could not sample %zu distinct queries\n",
+                 pool);
+    return 1;
+  }
+
+  // Ground truth, once per pool entry, from the exhaustive scan.
+  const gf::ScanQueryEngine scan(store);
+  auto truth = scan.QueryBatch(queries, k);
+  if (!truth.ok()) Die("truth", truth.status());
+
+  std::printf("store: %zu users x %zu bits, pool %zu, arrivals %zu, "
+              "s=%.2f, k=%zu\n\n",
+              store.num_users(), bits, pool, arrivals, skew, k);
+
+  SwappableSource source(gf::StoreSnapshot::Borrow(store, /*epoch=*/0));
+
+  // ---- uncached baseline: every arrival is a full engine pass --------
+  // A subsample keeps the baseline minutes-scale; qps extrapolates.
+  const std::size_t baseline_n = std::min<std::size_t>(arrivals, 128);
+  double uncached_qps = 0.0;
+  {
+    const gf::SnapshotQueryEngine engine(&source);
+    gf::bench::ZipfQuerySampler sampler(pool, skew, 7);
+    gf::WallTimer timer;
+    for (std::size_t a = 0; a < baseline_n; ++a) {
+      auto answer = engine.Query(queries[sampler.Next()], k);
+      if (!answer.ok()) Die("uncached query", answer.status());
+    }
+    uncached_qps = static_cast<double>(baseline_n) / timer.ElapsedSeconds();
+    std::printf("%-14s %14.0f queries/s (over %zu arrivals)\n",
+                "uncached", uncached_qps, baseline_n);
+  }
+
+  // ---- cached engine over the full arrival stream --------------------
+  gf::obs::MetricRegistry registry;
+  gf::obs::PipelineContext obs{.metrics = &registry};
+  gf::SnapshotQueryEngine::Options options;
+  options.cache_capacity = pool * 2;
+  const gf::SnapshotQueryEngine engine(&source, options, nullptr, &obs);
+
+  double cached_qps = 0.0;
+  bool exact = true;
+  {
+    gf::bench::ZipfQuerySampler sampler(pool, skew, 7);
+    std::vector<std::size_t> order(arrivals);
+    for (std::size_t a = 0; a < arrivals; ++a) order[a] = sampler.Next();
+    gf::WallTimer timer;
+    std::vector<std::vector<gf::Neighbor>> answers(arrivals);
+    for (std::size_t a = 0; a < arrivals; ++a) {
+      auto answer = engine.Query(queries[order[a]], k);
+      if (!answer.ok()) Die("cached query", answer.status());
+      answers[a] = std::move(*answer);
+    }
+    cached_qps = static_cast<double>(arrivals) / timer.ElapsedSeconds();
+    // Gate 1: hit or miss, every answer matches the exhaustive scan.
+    for (std::size_t a = 0; exact && a < arrivals; ++a) {
+      exact = SameAnswer(answers[a], (*truth)[order[a]]);
+    }
+  }
+  const gf::ServingCache::Stats warm = engine.cache()->stats();
+  const double hit_rate =
+      static_cast<double>(warm.hits) /
+      static_cast<double>(warm.hits + warm.misses);
+  const double speedup = cached_qps / uncached_qps;
+  std::printf("%-14s %14.0f queries/s (hit rate %.3f)\n", "cached",
+              cached_qps, hit_rate);
+  std::printf("%-14s %13.1fx\n\n", "speedup", speedup);
+
+  if (!exact) {
+    std::fprintf(stderr,
+                 "FAIL: a cached-engine answer diverged from the scan\n");
+    return 1;
+  }
+
+  // ---- epoch publish: the very next pass must not hit ----------------
+  source.Publish(gf::StoreSnapshot::Borrow(store, /*epoch=*/1));
+  const uint64_t hits_before = engine.cache()->stats().hits;
+  for (std::size_t q = 0; q < pool; ++q) {
+    auto answer = engine.Query(queries[q], k);
+    if (!answer.ok()) Die("post-publish query", answer.status());
+  }
+  const gf::ServingCache::Stats after = engine.cache()->stats();
+  const uint64_t post_publish_hits = after.hits - hits_before;
+  std::printf("post-publish pass: %llu hits over %zu distinct queries "
+              "(%llu stale entries reclaimed)\n",
+              static_cast<unsigned long long>(post_publish_hits), pool,
+              static_cast<unsigned long long>(after.stale_epoch_evictions));
+
+  gf::bench::BenchReport report("serving_cache", "BENCH_servecache.json");
+  registry.GetGauge("servecache.users")->Set(static_cast<double>(users));
+  registry.GetGauge("servecache.pool")->Set(static_cast<double>(pool));
+  registry.GetGauge("servecache.arrivals")
+      ->Set(static_cast<double>(arrivals));
+  registry.GetGauge("servecache.skew")->Set(skew);
+  registry.GetGauge("servecache.uncached_qps")->Set(uncached_qps);
+  registry.GetGauge("servecache.cached_qps")->Set(cached_qps);
+  registry.GetGauge("servecache.speedup")->Set(speedup);
+  registry.GetGauge("servecache.hit_rate")->Set(hit_rate);
+  registry.GetGauge("servecache.post_publish_hits")
+      ->Set(static_cast<double>(post_publish_hits));
+  report.AddRun("zipf_arrivals", registry);
+  report.Write();
+  std::printf("report: %s\n", report.path().c_str());
+
+  if (post_publish_hits != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu cache hits survived the epoch publish\n",
+                 static_cast<unsigned long long>(post_publish_hits));
+    return 1;
+  }
+  if (users >= 100000 && speedup < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: cached speedup %.1fx below the 5x acceptance\n",
+                 speedup);
+    return 1;
+  }
+  std::printf("\nall gates passed: answers bit-identical, %.1fx over "
+              "uncached, zero stale hits after publish\n",
+              speedup);
+  return 0;
+}

@@ -1,12 +1,50 @@
 #include "util/bench_env.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-
-#include "common/random.h"
+#include <numeric>
+#include <utility>
 
 namespace gf::bench {
+
+SyntheticSpec MicroBenchSpec(const std::string& name, std::size_t num_users,
+                             std::size_t num_items, double mean_profile_size,
+                             uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = name;
+  spec.num_users = num_users;
+  spec.num_items = std::max<std::size_t>(
+      2000, num_items != 0 ? num_items : num_users / 10);
+  if (mean_profile_size > 0) spec.mean_profile_size = mean_profile_size;
+  spec.seed = seed;
+  return spec;
+}
+
+Dataset GenerateZipfOrDie(const SyntheticSpec& spec) {
+  auto dataset = GenerateZipfDataset(spec);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "FATAL: generating %s failed: %s\n",
+                 spec.name.c_str(), dataset.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(dataset).value();
+}
+
+ZipfQuerySampler::ZipfQuerySampler(std::size_t n, double s, uint64_t seed)
+    : zipf_(n, s), rng_(seed), targets_(n) {
+  std::iota(targets_.begin(), targets_.end(), std::size_t{0});
+  // Fisher-Yates on the seeded rng: rank r lands on a stable but
+  // arbitrary target.
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(targets_[i - 1], targets_[rng_.Below(i)]);
+  }
+}
+
+std::size_t ZipfQuerySampler::Next() {
+  return targets_[zipf_.Sample(rng_)];
+}
 
 double DefaultScale(PaperDataset d) {
   switch (d) {
@@ -72,15 +110,7 @@ BenchDataset LoadBenchDatasetFullItems(PaperDataset d, uint64_t seed) {
   spec.num_items = full.num_items;  // restore the full item universe
   spec.num_communities = full.num_communities;
   spec.seed = SplitMix64(spec.seed ^ seed);
-  auto dataset = GenerateZipfDataset(spec);
-  if (!dataset.ok()) {
-    std::fprintf(stderr, "FATAL: generating %s failed: %s\n",
-                 PaperDatasetName(d).c_str(),
-                 dataset.status().ToString().c_str());
-    std::exit(1);
-  }
-  return BenchDataset{d, PaperDatasetName(d), scale,
-                      std::move(dataset).value()};
+  return BenchDataset{d, PaperDatasetName(d), scale, GenerateZipfOrDie(spec)};
 }
 
 std::vector<BenchDataset> LoadBenchDatasetsFullItems(uint64_t seed) {

@@ -13,9 +13,11 @@
 #ifndef GF_BENCH_UTIL_BENCH_ENV_H_
 #define GF_BENCH_UTIL_BENCH_ENV_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/random.h"
 #include "dataset/dataset.h"
 #include "dataset/synthetic.h"
 
@@ -55,6 +57,39 @@ BenchDataset LoadBenchDatasetFullItems(PaperDataset d, uint64_t seed = 42);
 
 /// Same, for every selected dataset.
 std::vector<BenchDataset> LoadBenchDatasetsFullItems(uint64_t seed = 42);
+
+/// The spec the micro harnesses (cluster-conquer, cold start, serving
+/// cache) share: `num_users` users over an item universe of
+/// max(2000, `num_items`) — pass 0 for the usual num_users/10 — with
+/// `mean_profile_size` <= 0 keeping the SyntheticSpec default. One
+/// seed (2026) everywhere so "the 100k-user config" names one dataset.
+SyntheticSpec MicroBenchSpec(const std::string& name, std::size_t num_users,
+                             std::size_t num_items = 0,
+                             double mean_profile_size = 0.0,
+                             uint64_t seed = 2026);
+
+/// GenerateZipfDataset or exit(1) with a message — the shared error
+/// path of every harness (a bench has no recovery story for a bad
+/// spec).
+Dataset GenerateZipfOrDie(const SyntheticSpec& spec);
+
+/// Seeded Zipf query-arrival sampler: Next() draws a target in
+/// [0, n) with rank popularity ~ 1/rank^s. A seeded shuffle maps rank
+/// to target so arrival skew is independent of id order (id 0 is not
+/// automatically the hottest query). Deterministic for a (n, s, seed)
+/// triple; not thread-safe (one sampler per driving thread).
+class ZipfQuerySampler {
+ public:
+  ZipfQuerySampler(std::size_t n, double s, uint64_t seed);
+
+  std::size_t Next();
+  std::size_t size() const { return targets_.size(); }
+
+ private:
+  ZipfSampler zipf_;
+  Rng rng_;
+  std::vector<std::size_t> targets_;  // rank -> target
+};
 
 /// Prints a "== Table N: title ==" header plus the paper-reference
 /// blurb so every bench output is self-describing.

@@ -61,7 +61,8 @@ void BenchReport::AddRun(const std::string& label,
 }
 
 bool BenchReport::Write() const {
-  std::string out = "{\"schema_version\":2,\"bench\":\"";
+  std::string out = "{\"schema_version\":" +
+                    std::to_string(kBenchReportSchemaVersion) + ",\"bench\":\"";
   out += obs::JsonEscape(bench_name_);
   out += "\",\"context\":";
   out += ContextJson();

@@ -38,6 +38,10 @@
 
 namespace gf::bench {
 
+/// The report schema version emitted by BenchReport::Write (surfaced
+/// by `gfk version`; bump together with the header comment above).
+inline constexpr int kBenchReportSchemaVersion = 2;
+
 class BenchReport {
  public:
   /// `bench_name` labels the report (the harness name);

@@ -9,7 +9,6 @@ namespace gf::io {
 namespace {
 
 constexpr char kMagic[4] = {'G', 'F', 'S', 'Z'};
-constexpr uint32_t kFormatVersion = 1;
 constexpr std::size_t kHeaderBytes = 20;
 constexpr std::size_t kTrailerBytes = 4;
 
@@ -107,7 +106,7 @@ std::string WrapContainer(PayloadKind kind, std::string payload) {
   std::string out;
   out.reserve(payload.size() + kHeaderBytes + kTrailerBytes);
   out.append(kMagic, 4);
-  PutU32(out, kFormatVersion);
+  PutU32(out, kGfszFormatVersion);
   PutU32(out, static_cast<uint32_t>(kind));
   PutU64(out, payload.size());
   const uint32_t crc = Crc32(payload.data(), payload.size());
@@ -130,7 +129,7 @@ Result<std::string_view> UnwrapContainer(std::string_view buffer,
   GF_RETURN_IF_ERROR(header.ReadU32(&version));
   GF_RETURN_IF_ERROR(header.ReadU32(&kind));
   GF_RETURN_IF_ERROR(header.ReadU64(&length));
-  if (version != kFormatVersion) {
+  if (version != kGfszFormatVersion) {
     return Status::Corruption("unsupported format version " +
                               std::to_string(version));
   }

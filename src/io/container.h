@@ -29,6 +29,10 @@
 
 namespace gf::io {
 
+/// The GFSZ container format version written by WrapContainer and
+/// required by UnwrapContainer (surfaced by `gfk version`).
+inline constexpr uint32_t kGfszFormatVersion = 1;
+
 enum class PayloadKind : uint32_t {
   kDataset = 1,
   kFingerprintStore = 2,

@@ -1,0 +1,202 @@
+#include "knn/candidate_source.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/bit_util.h"
+#include "core/shf.h"
+
+namespace gf {
+
+RecentAnswers::RecentAnswers(std::size_t capacity) : capacity_(capacity) {
+  ring_.reserve(capacity_);
+}
+
+void RecentAnswers::Record(const Shf& query,
+                           std::span<const Neighbor> result) {
+  if (capacity_ == 0) return;
+  Entry entry;
+  entry.num_bits = query.num_bits();
+  entry.cardinality = query.cardinality();
+  entry.words.assign(query.words().begin(), query.words().end());
+  entry.ids.reserve(result.size());
+  for (const Neighbor& n : result) entry.ids.push_back(n.id);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(entry));
+  } else {
+    ring_[next_] = std::move(entry);
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<UserId> RecentAnswers::NearestSeeds(const Shf& query,
+                                                double min_similarity) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* best = nullptr;
+  double best_sim = -1.0;
+  for (const Entry& entry : ring_) {
+    if (entry.num_bits != query.num_bits()) continue;
+    const uint32_t inter = bits::AndPopCount(
+        query.words().data(), entry.words.data(), entry.words.size());
+    const double sim =
+        JaccardFromCounts(query.cardinality(), entry.cardinality, inter);
+    if (sim > best_sim) {
+      best_sim = sim;
+      best = &entry;
+    }
+  }
+  if (best == nullptr || best_sim < min_similarity) return {};
+  return best->ids;
+}
+
+std::size_t RecentAnswers::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+GraphNeighborsSource::GraphNeighborsSource(
+    const RecentAnswers* recent, std::shared_ptr<const KnnGraph> graph,
+    std::size_t num_users, Options options)
+    : recent_(recent),
+      graph_(std::move(graph)),
+      num_users_(num_users),
+      options_(options) {}
+
+void GraphNeighborsSource::Collect(const Shf& query, std::size_t k,
+                                   std::vector<UserId>* out) const {
+  (void)k;
+  const std::vector<UserId> seeds =
+      recent_->NearestSeeds(query, options_.min_seed_similarity);
+  std::size_t taken = 0;
+  for (const UserId seed : seeds) {
+    if (taken >= options_.max_seeds) break;
+    // Seeds recorded under an older (possibly larger) epoch must not
+    // index past the pinned store or graph.
+    if (seed >= num_users_) continue;
+    ++taken;
+    out->push_back(seed);
+    if (graph_ == nullptr || seed >= graph_->NumUsers()) continue;
+    for (const Neighbor& n : graph_->NeighborsOf(seed)) {
+      if (n.id < num_users_) out->push_back(n.id);
+    }
+  }
+}
+
+PopularityCandidateSource::PopularityCandidateSource(
+    const FingerprintStore& store, std::size_t count) {
+  const std::size_t n = store.num_users();
+  std::vector<UserId> ids(n);
+  for (std::size_t u = 0; u < n; ++u) ids[u] = static_cast<UserId>(u);
+  const std::size_t keep = std::min(count, n);
+  std::partial_sort(ids.begin(), ids.begin() + keep, ids.end(),
+                    [&store](UserId a, UserId b) {
+                      const uint32_t ca = store.CardinalityOf(a);
+                      const uint32_t cb = store.CardinalityOf(b);
+                      if (ca != cb) return ca > cb;
+                      return a < b;
+                    });
+  popular_.assign(ids.begin(), ids.begin() + keep);
+}
+
+void PopularityCandidateSource::Collect(const Shf& query, std::size_t k,
+                                        std::vector<UserId>* out) const {
+  (void)query;
+  (void)k;
+  out->insert(out->end(), popular_.begin(), popular_.end());
+}
+
+CandidateQueryEngine::CandidateQueryEngine(
+    const FingerprintStore* store,
+    std::vector<const CandidateSource*> sources, Options options,
+    ThreadPool* pool, const obs::PipelineContext* obs)
+    : store_(store),
+      sources_(std::move(sources)),
+      options_(options),
+      pool_(pool) {
+  source_counters_.resize(sources_.size(), nullptr);
+  if (obs != nullptr && obs->HasMetrics()) {
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+      source_counters_[i] = obs->metrics->GetCounter(
+          "candidates." + std::string(sources_[i]->name()));
+    }
+    queries_ = obs->metrics->GetCounter("query.candidate_engine.queries");
+    candidates_ = obs->metrics->GetCounter("query.candidates");
+    candidate_sizes_ =
+        obs->metrics->GetHistogram("query.candidate_engine.candidate_set_size",
+                                   obs::kSizeBucketBoundaries);
+    latency_ = obs->metrics->GetHistogram(
+        "query.latency", obs::kLatencyBucketBoundariesMicros);
+  }
+  if (obs != nullptr) clock_ = obs->EffectiveClock();
+}
+
+std::vector<Neighbor> CandidateQueryEngine::QueryOne(const Shf& query,
+                                                     std::size_t k) const {
+  const uint64_t t0 = latency_ != nullptr ? clock_->NowMicros() : 0;
+  std::vector<UserId> candidates;
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    const std::size_t before = candidates.size();
+    sources_[i]->Collect(query, k, &candidates);
+    if (source_counters_[i] != nullptr) {
+      source_counters_[i]->Add(candidates.size() - before);
+    }
+    // Dedup after every source: the early-stop check must count
+    // DISTINCT candidates or a source repeating the same ids would
+    // starve the fallbacks.
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    if (candidates.size() >= options_.min_candidates) break;
+  }
+
+  std::vector<double> sims(candidates.size());
+  store_->EstimateJaccardBatchExternal(query.words(), query.cardinality(),
+                                       candidates, sims);
+  TopKSelector top(k);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    top.Offer(candidates[i], sims[i]);
+  }
+  if (queries_ != nullptr) {
+    queries_->Add(1);
+    candidates_->Add(candidates.size());
+    candidate_sizes_->Observe(static_cast<double>(candidates.size()));
+  }
+  if (latency_ != nullptr) {
+    latency_->Observe(static_cast<double>(clock_->NowMicros() - t0));
+  }
+  return top.Take();
+}
+
+Result<std::vector<Neighbor>> CandidateQueryEngine::Query(
+    const Shf& query, std::size_t k) const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (query.num_bits() != store_->num_bits()) {
+    return Status::InvalidArgument(
+        "query fingerprint has " + std::to_string(query.num_bits()) +
+        " bits, store uses " + std::to_string(store_->num_bits()));
+  }
+  return QueryOne(query, k);
+}
+
+Result<std::vector<std::vector<Neighbor>>> CandidateQueryEngine::QueryBatch(
+    std::span<const Shf> queries, std::size_t k) const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  for (const Shf& query : queries) {
+    if (query.num_bits() != store_->num_bits()) {
+      return Status::InvalidArgument(
+          "batch query fingerprint has " + std::to_string(query.num_bits()) +
+          " bits, store uses " + std::to_string(store_->num_bits()));
+    }
+  }
+  std::vector<std::vector<Neighbor>> results(queries.size());
+  ParallelFor(pool_, queries.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t q = begin; q < end; ++q) {
+      results[q] = QueryOne(queries[q], k);
+    }
+  });
+  return results;
+}
+
+}  // namespace gf

@@ -293,21 +293,26 @@ Result<BandedShfQueryEngine> BandedShfQueryEngine::Build(
   return std::move(engine).value();
 }
 
-std::vector<Neighbor> BandedShfQueryEngine::QueryOne(const Shf& query,
-                                                     std::size_t k) const {
-  const uint64_t t0 =
-      latency_ != nullptr ? clock_->NowMicros() : 0;
-  std::vector<UserId> candidates;
+void BandedShfQueryEngine::CollectBandCandidates(
+    const Shf& query, std::vector<UserId>* out) const {
+  const std::size_t first = out->size();
   for (std::size_t band = 0; band < bands_; ++band) {
     const uint64_t chunk = ChunkOf(query.words(), band);
     if (chunk == 0) continue;
     const auto it = tables_[band].find(BandKey(band, chunk));
     if (it == tables_[band].end()) continue;
-    candidates.insert(candidates.end(), it->second.begin(), it->second.end());
+    out->insert(out->end(), it->second.begin(), it->second.end());
   }
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
+  std::sort(out->begin() + first, out->end());
+  out->erase(std::unique(out->begin() + first, out->end()), out->end());
+}
+
+std::vector<Neighbor> BandedShfQueryEngine::QueryOne(const Shf& query,
+                                                     std::size_t k) const {
+  const uint64_t t0 =
+      latency_ != nullptr ? clock_->NowMicros() : 0;
+  std::vector<UserId> candidates;
+  CollectBandCandidates(query, &candidates);
 
   std::vector<double> sims(candidates.size());
   store_->EstimateJaccardBatchExternal(query.words(), query.cardinality(),

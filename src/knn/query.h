@@ -281,6 +281,12 @@ class BandedShfQueryEngine {
       const FingerprintStore& store, std::string_view payload,
       ThreadPool* pool = nullptr, const obs::PipelineContext* obs = nullptr);
 
+  /// Appends the band-collision candidates of `query` — deduplicated,
+  /// ascending id, NOT rescored. This is the index's contribution to
+  /// the CandidateSource seam (knn/candidate_source.h): Query() is
+  /// exactly this gather followed by the batched Eq. 4 rescore.
+  void CollectBandCandidates(const Shf& query, std::vector<UserId>* out) const;
+
   /// Total bucket entries across all band tables (diagnostics).
   std::size_t IndexedEntries() const;
 

@@ -25,6 +25,7 @@ QueryService::QueryService(BatchFn batch_fn, Options options,
   if (options_.max_batch == 0) options_.max_batch = 1;
   if (obs != nullptr && obs->HasMetrics()) {
     submitted_ = obs->metrics->GetCounter("query.service.submitted");
+    bypassed_ = obs->metrics->GetCounter("query.cache_bypass");
     rejected_ = obs->metrics->GetCounter("query.rejected");
     expired_ = obs->metrics->GetCounter("query.deadline_expired");
     batches_ = obs->metrics->GetCounter("query.service.batches");
@@ -55,6 +56,18 @@ std::future<Result<std::vector<Neighbor>>> QueryService::Submit(
     return ImmediateError(Status::InvalidArgument(
         "query fingerprint has " + std::to_string(query.num_bits()) +
         " bits, service expects " + std::to_string(options_.expected_bits)));
+  }
+  // L1 fast path: a cached exact answer resolves here — no queue slot,
+  // no linger, no scan. The probe is keyed to the source's CURRENT
+  // epoch, so a hit is exactly what a coalesced batch would answer.
+  if (options_.cache_try) {
+    std::vector<Neighbor> cached;
+    if (options_.cache_try(query, k, &cached)) {
+      if (bypassed_ != nullptr) bypassed_->Add(1);
+      std::promise<Result<std::vector<Neighbor>>> promise;
+      promise.set_value(std::move(cached));
+      return promise.get_future();
+    }
   }
   Request request{std::move(query), k, deadline_micros, clock_->NowMicros(),
                   {}};

@@ -50,6 +50,12 @@ namespace gf {
 /// Admission-controlled micro-batching request front-end.
 class QueryService {
  public:
+  /// Pre-queue exact-cache probe (see Options::cache_try). Returns
+  /// true and fills `*out` on a hit; must be safe to call from any
+  /// submitting thread.
+  using CacheTryFn =
+      std::function<bool(const Shf&, std::size_t, std::vector<Neighbor>*)>;
+
   struct Options {
     /// Queued-request bound; a full queue rejects (Unavailable).
     std::size_t max_queue = 1024;
@@ -64,6 +70,12 @@ class QueryService {
     /// Run the owned dispatcher thread. false = stepping mode: the
     /// caller drives the coalescer with DrainOnce() (FakeClock tests).
     bool start_dispatcher = true;
+    /// L1 serving-cache probe (SnapshotQueryEngine::AsCacheTryFn): a
+    /// hit completes the request inside Submit — it never enters the
+    /// coalescing queue, never waits on the linger window, and counts
+    /// as `query.cache_bypass`. Misses proceed normally and fill the
+    /// cache when their coalesced batch completes.
+    CacheTryFn cache_try;
   };
 
   /// One coalesced engine call: answers queries[i] with its top-k.
@@ -132,6 +144,7 @@ class QueryService {
   std::mutex drain_mu_;
   // Cached instruments (null without a metrics sink).
   obs::Counter* submitted_ = nullptr;
+  obs::Counter* bypassed_ = nullptr;
   obs::Counter* rejected_ = nullptr;
   obs::Counter* expired_ = nullptr;
   obs::Counter* batches_ = nullptr;

@@ -14,6 +14,15 @@ SnapshotQueryEngine::SnapshotQueryEngine(const SnapshotSource* source,
                                          const obs::PipelineContext* obs)
     : source_(source), options_(options), pool_(pool), obs_(obs) {
   if (options_.num_shards == 0) options_.num_shards = 1;
+  if (options_.cache_capacity > 0) {
+    ServingCache::Options cache_options;
+    cache_options.capacity = options_.cache_capacity;
+    cache_options.shards = options_.cache_shards;
+    cache_ = std::make_unique<ServingCache>(std::move(cache_options), obs);
+  }
+  if (options_.use_candidate_sources) {
+    recent_ = std::make_unique<RecentAnswers>(options_.recent_answers);
+  }
   if (obs != nullptr && obs->HasMetrics()) {
     epoch_gauge_ = obs->metrics->GetGauge("query.epoch");
     rebuilds_ = obs->metrics->GetCounter("query.snapshot_rebuilds");
@@ -42,6 +51,26 @@ SnapshotQueryEngine::AcquirePinned() const {
       std::move(view).value());
   pinned->engine = std::make_unique<ShardedQueryEngine>(
       pinned->view, pool_, obs_, options_.sharded);
+  if (options_.use_candidate_sources) {
+    auto banded =
+        BandedShfQueryEngine::Build(snap, options_.banded, pool_, obs_);
+    if (!banded.ok()) return banded.status();
+    pinned->banded =
+        std::make_unique<BandedShfQueryEngine>(std::move(banded).value());
+    pinned->sources.push_back(
+        std::make_unique<BandedCandidateSource>(pinned->banded.get()));
+    pinned->sources.push_back(std::make_unique<GraphNeighborsSource>(
+        recent_.get(), snap->graph(), snap->store().num_users(),
+        options_.graph_source));
+    pinned->sources.push_back(std::make_unique<PopularityCandidateSource>(
+        snap->store(), options_.popularity_count));
+    std::vector<const CandidateSource*> sources;
+    sources.reserve(pinned->sources.size());
+    for (const auto& source : pinned->sources) sources.push_back(source.get());
+    pinned->candidates = std::make_unique<CandidateQueryEngine>(
+        &pinned->snapshot->store(), std::move(sources), options_.candidates,
+        pool_, obs_);
+  }
   cached_ = pinned;
   if (epoch_gauge_ != nullptr) {
     epoch_gauge_->Set(static_cast<double>(snap->epoch()));
@@ -50,14 +79,56 @@ SnapshotQueryEngine::AcquirePinned() const {
   return std::shared_ptr<const Pinned>(std::move(pinned));
 }
 
+Result<std::vector<std::vector<Neighbor>>> SnapshotQueryEngine::RunEngine(
+    const Pinned& pinned, std::span<const Shf> pending, std::size_t k) const {
+  if (pinned.candidates != nullptr) {
+    return pinned.candidates->QueryBatch(pending, k);
+  }
+  return pinned.engine->QueryBatch(pending, k);
+}
+
 Result<SnapshotQueryEngine::PinnedResults>
 SnapshotQueryEngine::QueryBatchPinned(std::span<const Shf> queries,
                                       std::size_t k) const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
   std::shared_ptr<const Pinned> pinned;
   GF_ASSIGN_OR_RETURN(pinned, AcquirePinned());
-  auto results = pinned->engine->QueryBatch(queries, k);
-  if (!results.ok()) return results.status();
-  return PinnedResults{pinned->snapshot, std::move(results).value()};
+
+  if (cache_ == nullptr) {
+    auto results = RunEngine(*pinned, queries, k);
+    if (!results.ok()) return results.status();
+    if (recent_ != nullptr) {
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        recent_->Record(queries[i], (*results)[i]);
+      }
+    }
+    return PinnedResults{pinned->snapshot, std::move(results).value()};
+  }
+
+  // Probe the L1 at the pinned epoch; only the misses pay the engine.
+  const uint64_t epoch = pinned->snapshot->epoch();
+  std::vector<std::vector<Neighbor>> results(queries.size());
+  std::vector<std::size_t> miss_at;
+  std::vector<Shf> misses;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (!cache_->Lookup(queries[i], k, epoch, &results[i])) {
+      miss_at.push_back(i);
+      misses.push_back(queries[i]);
+    }
+  }
+  if (!misses.empty()) {
+    auto computed = RunEngine(*pinned, misses, k);
+    if (!computed.ok()) return computed.status();
+    // Misses fill the cache on batch completion: every entry is the
+    // engine's own answer at this epoch, so a later hit replays it
+    // bit for bit.
+    for (std::size_t j = 0; j < miss_at.size(); ++j) {
+      results[miss_at[j]] = std::move((*computed)[j]);
+      cache_->Insert(misses[j], k, epoch, results[miss_at[j]]);
+      if (recent_ != nullptr) recent_->Record(misses[j], results[miss_at[j]]);
+    }
+  }
+  return PinnedResults{pinned->snapshot, std::move(results)};
 }
 
 Result<std::vector<std::vector<Neighbor>>> SnapshotQueryEngine::QueryBatch(
@@ -74,9 +145,23 @@ Result<std::vector<Neighbor>> SnapshotQueryEngine::Query(
   return std::move(batch->front());
 }
 
+bool SnapshotQueryEngine::TryCached(const Shf& query, std::size_t k,
+                                    std::vector<Neighbor>* out) const {
+  if (cache_ == nullptr) return false;
+  const SnapshotPtr snap = source_->Acquire();
+  if (snap == nullptr) return false;
+  return cache_->Lookup(query, k, snap->epoch(), out);
+}
+
 QueryService::BatchFn SnapshotQueryEngine::AsBatchFn() const {
   return [this](std::span<const Shf> queries, std::size_t k) {
     return QueryBatch(queries, k);
+  };
+}
+
+QueryService::CacheTryFn SnapshotQueryEngine::AsCacheTryFn() const {
+  return [this](const Shf& query, std::size_t k, std::vector<Neighbor>* out) {
+    return TryCached(query, k, out);
   };
 }
 

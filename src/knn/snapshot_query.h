@@ -21,6 +21,17 @@
 // The rebuild cost is one ViewOf (zero-copy, O(num_shards)) plus
 // engine construction — no fingerprint bytes are copied, so epoch
 // churn at ingest rates leaves the read path allocation-light.
+//
+// Serving cache hierarchy (DESIGN.md §17). With Options::cache_capacity
+// set, an L1 ServingCache fronts the engine: each batch probes the
+// cache at the pinned epoch, scans only the misses, and fills the cache
+// from the batch's own answers — so a hit replays exactly what the
+// engine answered for that (query, k, epoch) and stays bit-identical to
+// the scan. Publication invalidates everything at once (the epoch is
+// part of the key). With Options::use_candidate_sources, misses run
+// through the L2 candidate stack (banded LSH + graph locality +
+// popularity fallback, knn/candidate_source.h) instead of the
+// exhaustive scan — approximate, so it is opt-in.
 
 #ifndef GF_KNN_SNAPSHOT_QUERY_H_
 #define GF_KNN_SNAPSHOT_QUERY_H_
@@ -34,8 +45,10 @@
 #include "common/thread_pool.h"
 #include "core/sharded_store.h"
 #include "core/store_snapshot.h"
+#include "knn/candidate_source.h"
 #include "knn/graph.h"
 #include "knn/query_service.h"
+#include "knn/serving_cache.h"
 #include "knn/sharded_query.h"
 #include "obs/pipeline_context.h"
 
@@ -49,6 +62,26 @@ class SnapshotQueryEngine {
     std::size_t num_shards = 1;
     /// Per-shard scan options (tile size, pinned workers).
     ShardedQueryEngine::Options sharded;
+    /// L1 exact-result cache entries (0 = no cache). Entries are keyed
+    /// to the pinned epoch, so a snapshot publish invalidates every
+    /// cached answer at once; hits bypass the engine entirely.
+    std::size_t cache_capacity = 0;
+    /// Lock stripes of the L1 cache.
+    std::size_t cache_shards = 8;
+    /// Serve cache misses from the candidate-source stack (banded LSH
+    /// + graph locality + popularity fallback) instead of the
+    /// exhaustive sharded scan. Approximate — recall may dip below 1 —
+    /// so it is opt-in; the cache itself stays exact either way (it
+    /// only replays what the active engine answered).
+    bool use_candidate_sources = false;
+    /// Candidate-mode knobs (ignored unless use_candidate_sources).
+    BandedShfQueryEngine::Options banded;
+    CandidateQueryEngine::Options candidates;
+    GraphNeighborsSource::Options graph_source;
+    /// Fallback pool size of the popularity source.
+    std::size_t popularity_count = 128;
+    /// Recently answered queries remembered as graph-locality seeds.
+    std::size_t recent_answers = 256;
   };
 
   /// `source`, `pool` and `obs` must outlive the engine. No snapshot
@@ -69,7 +102,10 @@ class SnapshotQueryEngine {
 
   /// Acquires the current epoch, answers the whole batch against it,
   /// and returns both. Bit-exact with ScanQueryEngine::QueryBatch over
-  /// `snapshot->store()` (the sharded scatter/merge guarantee).
+  /// `snapshot->store()` (the sharded scatter/merge guarantee) unless
+  /// use_candidate_sources trades recall for speed. Cache hits are
+  /// replayed answers of the same engine at the same epoch, so they
+  /// never change a result, only its cost.
   Result<PinnedResults> QueryBatchPinned(std::span<const Shf> queries,
                                          std::size_t k) const;
 
@@ -80,9 +116,21 @@ class SnapshotQueryEngine {
   /// Batch of one.
   Result<std::vector<Neighbor>> Query(const Shf& query, std::size_t k) const;
 
+  /// L1 probe at the CURRENT epoch, engine untouched. False without a
+  /// cache, on a miss, or when the source has no snapshot.
+  bool TryCached(const Shf& query, std::size_t k,
+                 std::vector<Neighbor>* out) const;
+
   /// Adapter for the micro-batching front-end: QueryService coalesces
   /// requests, each coalesced batch runs against one pinned epoch.
   QueryService::BatchFn AsBatchFn() const;
+
+  /// Adapter for QueryService::Options::cache_try — hits resolve in
+  /// Submit and never enter the coalescing queue.
+  QueryService::CacheTryFn AsCacheTryFn() const;
+
+  /// The L1 cache, or nullptr when cache_capacity was 0.
+  const ServingCache* cache() const { return cache_.get(); }
 
   /// Epoch of the cached engine (0 before the first batch). The lag
   /// between this and the source's current epoch is at most one batch.
@@ -95,9 +143,21 @@ class SnapshotQueryEngine {
     SnapshotPtr snapshot;
     std::shared_ptr<const ShardedFingerprintStore> view;
     std::unique_ptr<ShardedQueryEngine> engine;
+    // Candidate-mode stack (null in exhaustive mode). The banded index
+    // and sources are rebuilt per epoch — candidates must come from
+    // the pinned bytes — while the recent-answers seed table persists
+    // across epochs (see knn/candidate_source.h).
+    std::unique_ptr<BandedShfQueryEngine> banded;
+    std::vector<std::unique_ptr<CandidateSource>> sources;
+    std::unique_ptr<CandidateQueryEngine> candidates;
   };
 
   Result<std::shared_ptr<const Pinned>> AcquirePinned() const;
+  // The active engine for `pending` at this epoch: candidate stack
+  // when enabled, exhaustive sharded scan otherwise.
+  Result<std::vector<std::vector<Neighbor>>> RunEngine(
+      const Pinned& pinned, std::span<const Shf> pending,
+      std::size_t k) const;
 
   const SnapshotSource* source_;
   Options options_;
@@ -105,6 +165,8 @@ class SnapshotQueryEngine {
   const obs::PipelineContext* obs_;
   mutable std::mutex mu_;
   mutable std::shared_ptr<const Pinned> cached_;  // guarded by mu_
+  std::unique_ptr<ServingCache> cache_;           // null when disabled
+  std::unique_ptr<RecentAnswers> recent_;         // candidate mode only
   obs::Gauge* epoch_gauge_ = nullptr;
   obs::Counter* rebuilds_ = nullptr;
 };

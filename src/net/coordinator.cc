@@ -68,6 +68,10 @@ struct ClusterCoordinator::Core
   obs::Counter* deadline_exceeded;
   HealthTracker health;
   std::atomic<uint64_t> next_request_id{1};
+  /// Coordinator-side L1 mirror (null when disabled): merged complete
+  /// answers keyed by (SHF, k, cache_epoch). `net.cache.*` metrics.
+  std::unique_ptr<ServingCache> cache;
+  std::atomic<uint64_t> cache_epoch{0};
 
   Core(ClusterConfig config_in, Transport* transport_in, Options options_in,
        const obs::PipelineContext* obs)
@@ -83,7 +87,15 @@ struct ClusterCoordinator::Core
         partial_responses(CounterOrNull(obs, "net.partial_responses")),
         deadline_exceeded(CounterOrNull(obs, "net.deadline_exceeded")),
         health(options_in.health,
-               CounterOrNull(obs, "net.replica_unhealthy")) {}
+               CounterOrNull(obs, "net.replica_unhealthy")) {
+    if (options.cache_capacity > 0) {
+      ServingCache::Options cache_options;
+      cache_options.capacity = options.cache_capacity;
+      cache_options.shards = options.cache_shards;
+      cache_options.metric_prefix = "net.cache";
+      cache = std::make_unique<ServingCache>(std::move(cache_options), obs);
+    }
+  }
 
   // Lock order everywhere: ScatterState::mu first, then whatever the
   // transport takes inside CallAsync. Callbacks take ScatterState::mu
@@ -246,7 +258,66 @@ bool ClusterCoordinator::ReplicaHealthy(const std::string& address) const {
                                  core_->transport->clock()->NowMicros());
 }
 
+void ClusterCoordinator::SetCacheEpoch(uint64_t epoch) {
+  core_->cache_epoch.store(epoch, std::memory_order_release);
+}
+
+uint64_t ClusterCoordinator::cache_epoch() const {
+  return core_->cache_epoch.load(std::memory_order_acquire);
+}
+
+const ServingCache* ClusterCoordinator::cache() const {
+  return core_->cache.get();
+}
+
 Result<ClusterCoordinator::ClusterAnswer> ClusterCoordinator::QueryBatch(
+    std::span<const Shf> queries, std::size_t k) {
+  if (core_->cache == nullptr) return ScatterBatch(queries, k);
+
+  // Probe the coordinator cache at the declared epoch; only misses pay
+  // the scatter. A replayed row came from a COMPLETE merged answer, so
+  // it covers the full user range regardless of what this batch's
+  // scatter achieves.
+  const uint64_t epoch = core_->cache_epoch.load(std::memory_order_acquire);
+  std::vector<std::vector<Neighbor>> results(queries.size());
+  std::vector<std::size_t> miss_at;
+  std::vector<Shf> misses;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (!core_->cache->Lookup(queries[i], k, epoch, &results[i])) {
+      miss_at.push_back(i);
+      misses.push_back(queries[i]);
+    }
+  }
+  if (miss_at.empty()) {
+    ClusterAnswer answer;
+    answer.shards_total = core_->config.num_shards();
+    answer.shards_answered = answer.shards_total;
+    answer.shard_status.resize(answer.shards_total);
+    answer.results = std::move(results);
+    if (core_->batches != nullptr) core_->batches->Add(1);
+    return answer;
+  }
+
+  auto scattered = ScatterBatch(misses, k);
+  if (!scattered.ok()) return scattered.status();
+  ClusterAnswer answer;
+  answer.shards_total = scattered->shards_total;
+  answer.shards_answered = scattered->shards_answered;
+  answer.shard_status = std::move(scattered->shard_status);
+  answer.results = std::move(results);
+  // Only complete merges are cached: a partial answer is missing rows
+  // from the failed shards and must never be replayed as exact.
+  const bool fill = scattered->complete();
+  for (std::size_t j = 0; j < miss_at.size(); ++j) {
+    answer.results[miss_at[j]] = std::move(scattered->results[j]);
+    if (fill) {
+      core_->cache->Insert(misses[j], k, epoch, answer.results[miss_at[j]]);
+    }
+  }
+  return answer;
+}
+
+Result<ClusterCoordinator::ClusterAnswer> ClusterCoordinator::ScatterBatch(
     std::span<const Shf> queries, std::size_t k) {
   GF_RETURN_IF_ERROR(core_->config.Validate());
   QueryBatchRequest request;

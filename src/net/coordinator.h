@@ -45,6 +45,7 @@
 #include "common/result.h"
 #include "core/shf.h"
 #include "knn/graph.h"
+#include "knn/serving_cache.h"
 #include "net/cluster.h"
 #include "net/transport.h"
 #include "obs/pipeline_context.h"
@@ -64,6 +65,16 @@ class ClusterCoordinator {
     /// whole batch with the first shard's error).
     bool allow_partial = true;
     HealthTracker::Options health;
+    /// Coordinator-side mirror of the L1 serving cache (DESIGN.md
+    /// §17): merged COMPLETE answers are cached under the current
+    /// cache epoch (`net.cache.*` metrics) so repeat queries skip the
+    /// scatter entirely; 0 disables. Partial answers are never cached.
+    /// The coordinator has no snapshot source, so the serving tier
+    /// bumps the epoch explicitly via SetCacheEpoch when the replicas
+    /// publish a new store epoch.
+    std::size_t cache_capacity = 0;
+    /// Lock stripes of the coordinator cache.
+    std::size_t cache_shards = 8;
   };
 
   /// One batch's outcome. `results[q]` answers query q from the union
@@ -104,9 +115,24 @@ class ClusterCoordinator {
   /// Health introspection (tests and the gfk CLI).
   bool ReplicaHealthy(const std::string& address) const;
 
+  /// Declares the epoch the replicas now serve. Cached answers from
+  /// older epochs are lazily evicted on their next probe — exactly the
+  /// SnapshotQueryEngine invalidation story, driven explicitly because
+  /// epochs cross process boundaries here.
+  void SetCacheEpoch(uint64_t epoch);
+  uint64_t cache_epoch() const;
+
+  /// The coordinator cache, or nullptr when Options::cache_capacity
+  /// was 0.
+  const ServingCache* cache() const;
+
  private:
   struct Core;
   struct ScatterState;
+
+  /// The uncached scatter/gather (the whole pre-cache QueryBatch).
+  Result<ClusterAnswer> ScatterBatch(std::span<const Shf> queries,
+                                     std::size_t k);
 
   std::shared_ptr<Core> core_;
 };

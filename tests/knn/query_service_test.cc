@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -266,6 +267,49 @@ TEST(QueryServiceTest, SteppingShutdownRacesAStepperWithoutLostReplies) {
   service.Shutdown();
   stepper.join();
   for (auto& future : futures) EXPECT_TRUE(future.get().ok());
+}
+
+// L1 fast path: a cache_try hit resolves inside Submit — ready future,
+// empty queue, query.cache_bypass counted — while misses take the
+// normal coalescing path untouched.
+TEST(QueryServiceTest, CacheTryHitsBypassTheQueue) {
+  Rng rng(10);
+  const auto store = RandomStore(20, 128, rng);
+  const ScanQueryEngine engine(store);
+  obs::MetricRegistry registry;
+  obs::PipelineContext obs{.metrics = &registry};
+
+  const std::vector<Neighbor> canned = {{UserId{7}, 0.75f}};
+  const Shf hot = store.Extract(0);
+  auto options = SteppingOptions();
+  options.cache_try = [&](const Shf& query, std::size_t k,
+                          std::vector<Neighbor>* out) {
+    if (k != 3 || !(query == hot)) return false;
+    *out = canned;
+    return true;
+  };
+  QueryService service(EngineFn(engine), options, &obs);
+
+  auto hit = service.Submit(hot, 3);
+  ASSERT_EQ(hit.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready)
+      << "a cache hit must resolve without a drain";
+  EXPECT_EQ(service.QueueDepth(), 0u);
+  auto hit_result = hit.get();
+  ASSERT_TRUE(hit_result.ok());
+  ASSERT_EQ(hit_result->size(), 1u);
+  EXPECT_EQ((*hit_result)[0].id, UserId{7});
+  EXPECT_EQ((*hit_result)[0].similarity, 0.75f);
+  EXPECT_EQ(registry.GetCounter("query.cache_bypass")->value(), 1u);
+
+  // Same query at a different k misses the probe and queues normally.
+  auto miss = service.Submit(hot, 5);
+  EXPECT_EQ(service.QueueDepth(), 1u);
+  EXPECT_EQ(service.DrainOnce(), 1u);
+  auto miss_result = miss.get();
+  ASSERT_TRUE(miss_result.ok());
+  EXPECT_EQ(registry.GetCounter("query.cache_bypass")->value(), 1u);
+  service.Shutdown();
 }
 
 }  // namespace

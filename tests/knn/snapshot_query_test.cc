@@ -183,6 +183,91 @@ TEST(SnapshotQueryTest, ServesThroughQueryServiceSteppingMode) {
   service.Shutdown();
 }
 
+// The invariant the epoch-keyed serving cache relies on (DESIGN.md
+// §17): under rapid publish churn the engine rebuilds exactly once per
+// observed epoch — never per batch — and batches inside one epoch pin
+// the IDENTICAL snapshot object, so a cache entry stamped with an
+// epoch means exactly one store state.
+TEST(SnapshotQueryTest, RebuildCountAndPinnedIdentityUnderRapidChurn) {
+  Rng rng(0x5A5A05);
+  auto write = RandomWriteSide(45, 220, rng);
+  ASSERT_TRUE(write.ok());
+  VersionedStore store(std::move(write).value());
+  obs::MetricRegistry registry;
+  obs::PipelineContext obs{.metrics = &registry};
+  SnapshotQueryEngine engine(&store, SnapshotQueryEngine::Options{}, nullptr,
+                             &obs);
+  const std::vector<Shf> queries =
+      RandomQueries(store.Acquire()->store(), 3, rng);
+
+  constexpr uint64_t kEpochs = 8;
+  for (uint64_t epoch = 0; epoch < kEpochs; ++epoch) {
+    if (epoch != 0) {
+      store.Apply(RatingEvent::Add(static_cast<UserId>(epoch % 45), 900));
+      store.Publish();
+    }
+    auto first = engine.QueryBatchPinned(queries, 3);
+    ASSERT_TRUE(first.ok());
+    auto second = engine.QueryBatchPinned(queries, 3);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(first->snapshot->epoch(), epoch);
+    // Pointer identity, not just equal epoch numbers: both batches of
+    // this round served from the same pinned snapshot object.
+    EXPECT_EQ(first->snapshot.get(), second->snapshot.get())
+        << "epoch " << epoch;
+    EXPECT_EQ(engine.cached_epoch(), epoch);
+    EXPECT_EQ(registry.FindCounter("query.snapshot_rebuilds")->value(),
+              epoch + 1)
+        << "one rebuild per epoch, regardless of batch count";
+  }
+}
+
+// A real VersionedStore publish must zero the L1 hit path: the next
+// pass over previously-hot queries misses (stale entries reclaimed)
+// and re-fills with answers from the NEW epoch.
+TEST(SnapshotQueryTest, PublishInvalidatesTheServingCache) {
+  Rng rng(0x5A5A06);
+  auto write = RandomWriteSide(50, 240, rng);
+  ASSERT_TRUE(write.ok());
+  VersionedStore store(std::move(write).value());
+  obs::MetricRegistry registry;
+  obs::PipelineContext obs{.metrics = &registry};
+  SnapshotQueryEngine::Options options;
+  options.cache_capacity = 32;
+  SnapshotQueryEngine engine(&store, options, nullptr, &obs);
+
+  const std::vector<Shf> queries =
+      RandomQueries(store.Acquire()->store(), 6, rng);
+  ASSERT_TRUE(engine.QueryBatch(queries, 4).ok());  // fill
+  ASSERT_TRUE(engine.QueryBatch(queries, 4).ok());  // all hits
+  EXPECT_EQ(registry.GetCounter("cache.hits")->value(), queries.size());
+
+  // Mutate user 0 so the new epoch truly answers differently-bytes,
+  // then publish.
+  for (int i = 0; i < 30; ++i) {
+    store.Apply(RatingEvent::Add(0, static_cast<ItemId>(500 + i)));
+  }
+  store.Publish();
+
+  auto after = engine.QueryBatchPinned(queries, 4);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->snapshot->epoch(), 1u);
+  EXPECT_EQ(registry.GetCounter("cache.hits")->value(), queries.size())
+      << "no hit may survive the publish";
+  EXPECT_GE(registry.GetCounter("cache.stale_epoch_evictions")->value(),
+            queries.size());
+
+  // The refilled answers are the new epoch's scan answers, bit-exact.
+  const ScanQueryEngine scan(after->snapshot);
+  auto expected = scan.QueryBatch(queries, 4);
+  ASSERT_TRUE(expected.ok());
+  ExpectResultsIdentical(*expected, after->results);
+
+  // And the cache serves the new epoch immediately afterwards.
+  ASSERT_TRUE(engine.QueryBatch(queries, 4).ok());
+  EXPECT_EQ(registry.GetCounter("cache.hits")->value(), 2 * queries.size());
+}
+
 TEST(SnapshotQueryTest, EmptyStoreAnswersEmptyLists) {
   auto write = MutableFingerprintStore::Create(SmallConfig(), 0);
   ASSERT_TRUE(write.ok());

@@ -15,12 +15,14 @@
 //   gfk serve     --index index.gfix --requests 1024 --clients 4 --k 10
 //   gfk serve     --replica --shard 0 --shards 2 --port 0 --port-file p0
 //   gfk cluster-query --cluster 127.0.0.1:7001,127.0.0.1:7002/127.0.0.1:7003
+//   gfk version
 //   gfk help
 
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <future>
 #include <optional>
 #include <string>
@@ -28,6 +30,9 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/simd_popcount.h"
+#include "io/container.h"
+#include "util/bench_report.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -114,7 +119,27 @@ int Usage() {
       "            [--events 100000] [--publish-every 1024]\n"
       "            [--requests 1024] [--clients 4] [--k 10]\n"
       "            [--max-queue 1024] [--max-batch 64] [--max-wait-us 200]\n"
-      "            [--seed N] [--metrics-out metrics.json]\n");
+      "            [--seed N] [--metrics-out metrics.json]\n"
+      "  version   (git sha, SIMD backend, wire/report schema versions)\n");
+  return 0;
+}
+
+int CmdVersion(const Flags&) {
+  // The configure-time sha (GF_GIT_SHA compile definition from the
+  // top-level CMakeLists) — the GF_GIT_SHA env var wins so CI can
+  // stamp the true revision on a cached build tree.
+  const char* sha = std::getenv("GF_GIT_SHA");
+#ifdef GF_GIT_SHA
+  if (sha == nullptr || sha[0] == '\0') sha = GF_GIT_SHA;
+#endif
+  if (sha == nullptr || sha[0] == '\0') sha = "unknown";
+  std::printf("gfk — GoldFinger KNN toolbox\n");
+  std::printf("git sha:              %s\n", sha);
+  std::printf("simd backend:         %s\n",
+              bits::PopcountBackendName(bits::ActivePopcountBackend()));
+  std::printf("gfsz format version:  %u\n", io::kGfszFormatVersion);
+  std::printf("gfix format version:  %u\n", io::kGfixVersion);
+  std::printf("bench report schema:  %d\n", bench::kBenchReportSchemaVersion);
   return 0;
 }
 
@@ -1307,6 +1332,7 @@ int main(int argc, char** argv) {
   if (command == "serve-bench") return gf::tools::CmdServeBench(*flags);
   if (command == "ingest-bench") return gf::tools::CmdIngestBench(*flags);
   if (command == "cluster-query") return gf::tools::CmdClusterQuery(*flags);
+  if (command == "version") return gf::tools::CmdVersion(*flags);
   std::fprintf(stderr, "gfk: unknown subcommand '%s' (try gfk help)\n",
                command.c_str());
   return 1;
